@@ -1,0 +1,105 @@
+// Command census-experiment regenerates the tables and series behind the
+// paper's evaluation (Section 9): Figure 26 (chase times), Figure 27 (UWSDT
+// characteristics), Figure 28 (component size distribution) and Figure 30
+// (query evaluation times, with the 0% one-world baseline).
+//
+// Usage:
+//
+//	census-experiment -fig 26 [-sizes 100000,500000] [-densities 0.00005,0.001] [-seed 42]
+//	census-experiment -fig all -sizes 250000
+//
+// Densities are fractions (0.001 = 0.1%). The paper's sweep is 0.1M–12.5M
+// tuples at densities 0.005%–0.1%; defaults here are laptop-scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"maybms/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 26, 27, 28, 30 or all")
+	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
+	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	sizes := bench.DefaultSizes
+	if *sizesFlag != "" {
+		var err error
+		sizes, err = parseInts(*sizesFlag)
+		fail(err)
+	}
+	densities := bench.DefaultDensities
+	if *densFlag != "" {
+		var err error
+		densities, err = parseFloats(*densFlag)
+		fail(err)
+	}
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	if run("26") {
+		points, err := bench.Fig26Chase(sizes, densities, *seed)
+		fail(err)
+		bench.PrintFig26(os.Stdout, points)
+		fmt.Println()
+	}
+	if run("27") {
+		rows, err := bench.Fig27Characteristics(sizes[len(sizes)-1], densities, *seed)
+		fail(err)
+		fmt.Printf("(%d tuples)\n", sizes[len(sizes)-1])
+		bench.PrintFig27(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("28") {
+		rows, err := bench.Fig28Distribution(sizes, densities, *seed)
+		fail(err)
+		bench.PrintFig28(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("30") {
+		points, err := bench.Fig30Queries(sizes, append([]float64{0}, densities...), *seed)
+		fail(err)
+		bench.PrintFig30(os.Stdout, points)
+	}
+	if !run("26") && !run("27") && !run("28") && !run("30") {
+		fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30 or all)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad density %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "census-experiment:", err)
+		os.Exit(1)
+	}
+}

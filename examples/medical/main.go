@@ -1,0 +1,112 @@
+// Medical demonstrates the medical-data scenario of Section 10: clusters of
+// interdependent facts — diseases constrain admissible medications and
+// procedures — live together in WSD components, while independent facts stay
+// in separate components. Given an incompletely specified patient record,
+// the system answers "what are the possible diagnoses?" with confidences,
+// and new clinical knowledge arrives as dependencies chased into the
+// world-set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maybms"
+)
+
+// Disease codes.
+const (
+	flu       = 1
+	pneumonia = 2
+	asthma    = 3
+)
+
+// Medication codes.
+const (
+	oseltamivir = 10
+	amoxicillin = 11
+	salbutamol  = 12
+)
+
+// Procedure codes.
+const (
+	none       = 0
+	chestXRay  = 20
+	spirometry = 21
+)
+
+func main() {
+	// Patient record over (Disease, Med, Proc). The intake notes are
+	// incomplete: disease and medication are interdependent (a WSD
+	// component stores their joint distribution, as the Orion-style
+	// correlated-attribute clusters of Section 10), while the procedure
+	// depends only on the disease cluster through a separate reading.
+	schema := maybms.NewDBSchema(maybms.RelSchema{Name: "Patient", Attrs: []string{"Disease", "Med", "Proc"}})
+	w := maybms.NewWSD(schema, map[string]int{"Patient": 1})
+	fr := func(attr string) maybms.FieldRef {
+		return maybms.FieldRef{Rel: "Patient", Tuple: 1, Attr: attr}
+	}
+	row := func(p float64, vs ...int64) maybms.Row {
+		vals := make([]maybms.Value, len(vs))
+		for i, v := range vs {
+			vals[i] = maybms.Int(v)
+		}
+		return maybms.Row{Values: vals, P: p}
+	}
+	// Joint distribution of disease and medication: medications are only
+	// admissible for matching diseases.
+	must(w.AddComponent(maybms.NewComponent(
+		[]maybms.FieldRef{fr("Disease"), fr("Med")},
+		row(0.40, flu, oseltamivir),
+		row(0.25, pneumonia, amoxicillin),
+		row(0.20, asthma, salbutamol),
+		row(0.15, flu, amoxicillin), // suspected secondary infection
+	)))
+	// The procedure reading is independent of the cluster above.
+	must(w.AddComponent(maybms.NewComponent(
+		[]maybms.FieldRef{fr("Proc")},
+		row(0.5, none), row(0.3, chestXRay), row(0.2, spirometry),
+	)))
+	must(w.Validate(1e-9))
+
+	fmt.Println("possible (disease, medication, procedure) readings with confidence:")
+	printDiagnoses(w)
+
+	// New clinical knowledge: spirometry is only performed for asthma —
+	// as an equality-generating dependency Proc=21 ⇒ Disease=3, chased
+	// into the world-set. This composes the two components and
+	// renormalizes the probabilities.
+	dep := maybms.EGD{
+		Rel:        "Patient",
+		Premise:    []maybms.DependencyAtom{{Attr: "Proc", Theta: maybms.EQ, Const: maybms.Int(spirometry)}},
+		Conclusion: maybms.DependencyAtom{Attr: "Disease", Theta: maybms.EQ, Const: maybms.Int(asthma)},
+	}
+	must(maybms.Chase(w, []maybms.Dependency{dep}))
+	fmt.Println("\nafter chasing 'spirometry ⇒ asthma':")
+	printDiagnoses(w)
+
+	// Marginal question: how confident are we in each disease?
+	must(w.Project("Diag", "Patient", "Disease"))
+	tcs, err := maybms.PossibleP(w, "Diag")
+	must(err)
+	fmt.Println("\npossible diagnoses:")
+	names := map[int64]string{flu: "flu", pneumonia: "pneumonia", asthma: "asthma"}
+	for _, tc := range tcs {
+		fmt.Printf("  %-10s %.3f\n", names[tc.Tuple[0].AsInt()], tc.Conf)
+	}
+}
+
+func printDiagnoses(w *maybms.WSD) {
+	tcs, err := maybms.PossibleP(w, "Patient")
+	must(err)
+	for _, tc := range tcs {
+		fmt.Printf("  disease=%v med=%v proc=%-2v  conf %.3f\n",
+			tc.Tuple[0], tc.Tuple[1], tc.Tuple[2], tc.Conf)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

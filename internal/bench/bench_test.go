@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are exercised at small scale here; the full-size
+// sweeps run via cmd/census-experiment and the root benchmarks.
+
+func TestFig26ChaseShape(t *testing.T) {
+	points, err := Fig26Chase([]int{5000, 20000}, []float64{0.0001, 0.001}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Or-set counts scale with size × density.
+	if points[0].OrSets >= points[1].OrSets {
+		t.Fatal("or-sets must grow with density")
+	}
+	if points[1].OrSets >= points[3].OrSets {
+		t.Fatal("or-sets must grow with size")
+	}
+	var buf bytes.Buffer
+	PrintFig26(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 26") {
+		t.Fatal("printer lost header")
+	}
+}
+
+func TestFig27CharacteristicsShape(t *testing.T) {
+	rows, err := Fig27Characteristics(20000, []float64{0.0005}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One initial row, one chase row, six query rows.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var initial, chase Fig27Row
+	for _, r := range rows {
+		switch r.Stage {
+		case "initial":
+			initial = r
+		case "chase":
+			chase = r
+		}
+	}
+	// Initially all components are singleton or-sets.
+	if initial.Stats.NumCompGT1 != 0 {
+		t.Fatal("initial components must be singletons")
+	}
+	// The chase composes some components (the #comp>1 column of Figure 27)
+	// and the ratio stays around 1% of #comp, as in the paper.
+	if chase.Stats.NumCompGT1 == 0 {
+		t.Fatal("chase produced no composed components")
+	}
+	ratio := float64(chase.Stats.NumCompGT1) / float64(chase.Stats.NumComp)
+	if ratio < 0.001 || ratio > 0.1 {
+		t.Fatalf("#comp>1 / #comp = %.4f, expected ≈0.01 (Figure 27 shape)", ratio)
+	}
+	// Query results stay close to one world: |C| far below the input's.
+	for _, r := range rows {
+		if r.Stage == "initial" || r.Stage == "chase" {
+			continue
+		}
+		if r.Stats.CSize > chase.Stats.CSize {
+			t.Fatalf("%s: result |C| %d exceeds input |C| %d", r.Stage, r.Stats.CSize, chase.Stats.CSize)
+		}
+		if r.Stats.RSize >= chase.Stats.RSize {
+			t.Fatalf("%s: result not selective", r.Stage)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig27(&buf, rows)
+	if !strings.Contains(buf.String(), "chase") {
+		t.Fatal("printer lost stages")
+	}
+}
+
+func TestFig28DistributionShape(t *testing.T) {
+	rows, err := Fig28Distribution([]int{30000}, []float64{0.001}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rows[0].Hist
+	// Figure 28's shape: counts drop quickly with component size; most
+	// fields stay independent.
+	if h[1] == 0 || h[2] == 0 {
+		t.Fatalf("histogram lacks small components: %v", h)
+	}
+	if h[2] >= h[1] {
+		t.Fatalf("size-2 components should be rarer than singletons: %v", h)
+	}
+	if h[3] > h[2] {
+		t.Fatalf("size-3 components should be rarer than size-2: %v", h)
+	}
+	var buf bytes.Buffer
+	PrintFig28(&buf, rows)
+	if !strings.Contains(buf.String(), "size 2") {
+		t.Fatal("printer lost columns")
+	}
+}
+
+func TestFig30QueriesShape(t *testing.T) {
+	points, err := Fig30Queries([]int{20000}, []float64{0, 0.001}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 queries × 2 densities.
+	if len(points) != 12 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Per query: result sizes at density 0 and 0.1% must be within a small
+	// factor (query answers on UWSDTs stay close to one world).
+	byQ := map[string][]QueryPoint{}
+	for _, p := range points {
+		byQ[p.Query] = append(byQ[p.Query], p)
+	}
+	for q, ps := range byQ {
+		if len(ps) != 2 {
+			t.Fatalf("%s has %d points", q, len(ps))
+		}
+		r0, r1 := ps[0].Result.RSize, ps[1].Result.RSize
+		if r0 == 0 && r1 == 0 {
+			continue
+		}
+		hi, lo := float64(r0), float64(r1)
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if lo == 0 {
+			lo = 1
+		}
+		if hi/lo > 3 {
+			t.Fatalf("%s result sizes diverge: one-world %d vs UWSDT %d", q, r0, r1)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig30(&buf, points)
+	if !strings.Contains(buf.String(), "(Q5)") {
+		t.Fatal("printer lost query groups")
+	}
+}
+
+func TestPrepare(t *testing.T) {
+	p, err := Prepare(1000, 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows != 1000 || p.OrSets == 0 {
+		t.Fatalf("prepared = %+v", p)
+	}
+	if err := p.Store.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

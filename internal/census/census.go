@@ -1,0 +1,335 @@
+// Package census implements the experimental workload of Section 9: a
+// synthetic stand-in for the IPUMS 5% 1990 US census extract (50
+// multiple-choice attributes), or-set noise injection at configurable
+// densities, the twelve cleaning dependencies of Figure 25, and the six
+// queries of Figure 29.
+//
+// The real IPUMS extract is not redistributable; the generator reproduces
+// the properties the experiments exercise: the attribute codes referenced by
+// the dependencies and queries, marginal selectivities close to the paper's
+// reported result sizes, clean data satisfying the dependencies (so the
+// noisy database is never globally inconsistent), and or-sets of size
+// [2, min(8, domain)] that always contain the true reading.
+package census
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// Attr describes one census attribute: its IPUMS-style name and domain size
+// (codes are 0 .. Domain-1).
+type Attr struct {
+	Name   string
+	Domain int32
+}
+
+// Attrs is the 50-attribute census schema. The first block contains every
+// attribute referenced by Figure 25's dependencies and Figure 29's queries;
+// the rest are filler demographics with realistic domain sizes.
+var Attrs = []Attr{
+	{"AGE", 91}, {"SEX", 2}, {"RACE", 10}, {"MARITAL", 5}, {"RSPOUSE", 7},
+	{"FERTIL", 14}, {"SCHOOL", 4}, {"YEARSCH", 18}, {"ENGLISH", 5}, {"LANG1", 3},
+	{"POB", 59}, {"POWSTATE", 59}, {"CITIZEN", 5}, {"IMMIGR", 11}, {"RPOB", 53},
+	{"MILITARY", 5}, {"FEB55", 2}, {"KOREAN", 2}, {"VIETNAM", 2}, {"WWII", 2},
+	{"WORK89", 2}, {"WEEK89", 53}, {"HOUR89", 99}, {"CLASS", 10}, {"INDUSTRY", 21},
+	{"OCCUP", 26}, {"MEANS", 13}, {"RIDERS", 8}, {"DEPART", 25}, {"TRAVTIME", 99},
+	{"DISABL1", 3}, {"DISABL2", 3}, {"MOBILITY", 3}, {"PERSCARE", 3}, {"YEARWRK", 8},
+	{"LOOKING", 3}, {"AVAIL", 5}, {"TMPABSNT", 4}, {"SEPT80", 2}, {"RVETSERV", 12},
+	{"HISPANIC", 4}, {"ANCSTRY1", 36}, {"ANCSTRY2", 36}, {"MIGSTATE", 59}, {"MIGPUMA", 18},
+	{"LANG2", 20}, {"RLABOR", 7}, {"ROWNCHLD", 2}, {"RRELCHLD", 2}, {"REMPLPAR", 2},
+}
+
+// AttrNames returns the 50 attribute names in schema order.
+func AttrNames() []string {
+	out := make([]string, len(Attrs))
+	for i, a := range Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Domain returns the domain size of the named attribute.
+func Domain(name string) (int32, error) {
+	for _, a := range Attrs {
+		if a.Name == name {
+			return a.Domain, nil
+		}
+	}
+	return 0, fmt.Errorf("census: unknown attribute %q", name)
+}
+
+// Marginal selectivities for the attributes the queries filter on, tuned so
+// the query result sizes track the ratios of Figure 27 (e.g. Q1 selects
+// ≈0.37% of the relation, Q4 ≈3.2%).
+//
+// sampleAttr draws a value for attribute ai.
+func sampleAttr(rng *rand.Rand, ai int, row []int32) int32 {
+	a := Attrs[ai]
+	switch a.Name {
+	case "YEARSCH": // P(17) ≈ 0.015 (PhD)
+		if rng.Float64() < 0.015 {
+			return 17
+		}
+		return int32(rng.Intn(17))
+	case "CITIZEN": // P(0) ≈ 0.25 (born in the US → the single largest code here)
+		if rng.Float64() < 0.25 {
+			return 0
+		}
+		return 1 + int32(rng.Intn(4))
+	case "ENGLISH": // P(4) ≈ 0.009 ("not at all"), P(3) ≈ 0.0185 ("not well")
+		r := rng.Float64()
+		switch {
+		case r < 0.009:
+			return 4
+		case r < 0.009+0.0185:
+			return 3
+		default:
+			return int32(rng.Intn(3))
+		}
+	case "FERTIL": // P(1) ≈ 0.11 (no children), P(>4) ≈ 0.10
+		r := rng.Float64()
+		switch {
+		case r < 0.11:
+			return 1
+		case r < 0.21:
+			return 5 + int32(rng.Intn(9))
+		default:
+			return []int32{0, 2, 3, 4}[rng.Intn(4)]
+		}
+	case "MARITAL": // P(1) ≈ 0.15 (the widowed code used by Q3)
+		if rng.Float64() < 0.15 {
+			return 1
+		}
+		return []int32{0, 2, 3, 4}[rng.Intn(4)]
+	case "RSPOUSE": // P(1 or 2) ≈ 0.30
+		r := rng.Float64()
+		switch {
+		case r < 0.15:
+			return 1
+		case r < 0.30:
+			return 2
+		default:
+			return []int32{0, 3, 4, 5, 6}[rng.Intn(5)]
+		}
+	case "POWSTATE": // works where born with probability 0.1
+		if rng.Float64() < 0.1 {
+			return row[attrIndex("POB")]
+		}
+		return int32(rng.Intn(int(a.Domain)))
+	default:
+		return int32(rng.Intn(int(a.Domain)))
+	}
+}
+
+var attrIdx = func() map[string]int {
+	m := make(map[string]int, len(Attrs))
+	for i, a := range Attrs {
+		m[a.Name] = i
+	}
+	return m
+}()
+
+func attrIndex(name string) int { return attrIdx[name] }
+
+// Dependencies returns the twelve equality-generating dependencies of
+// Figure 25 that clean the census data.
+func Dependencies() []engine.EGD {
+	egd := func(pAttr string, pVal int32, cAttr string, cTheta relation.Op, cVal int32) engine.EGD {
+		return engine.EGD{
+			Premise:    []engine.Atom{{Attr: pAttr, Theta: relation.EQ, C: pVal}},
+			Conclusion: engine.Atom{Attr: cAttr, Theta: cTheta, C: cVal},
+		}
+	}
+	return []engine.EGD{
+		egd("CITIZEN", 0, "IMMIGR", relation.EQ, 0),   // 1
+		egd("FEB55", 1, "MILITARY", relation.NE, 4),   // 2
+		egd("KOREAN", 1, "MILITARY", relation.NE, 4),  // 3
+		egd("VIETNAM", 1, "MILITARY", relation.NE, 4), // 4
+		egd("WWII", 1, "MILITARY", relation.NE, 4),    // 5
+		egd("MARITAL", 0, "RSPOUSE", relation.NE, 6),  // 6
+		egd("MARITAL", 0, "RSPOUSE", relation.NE, 5),  // 7
+		egd("LANG1", 2, "ENGLISH", relation.NE, 4),    // 8
+		egd("RPOB", 52, "CITIZEN", relation.NE, 0),    // 9
+		egd("SCHOOL", 0, "KOREAN", relation.NE, 1),    // 10
+		egd("SCHOOL", 0, "FEB55", relation.NE, 1),     // 11
+		egd("SCHOOL", 0, "WWII", relation.NE, 1),      // 12
+	}
+}
+
+// Generate produces n clean census rows (column-major) satisfying all
+// twelve dependencies. Deterministic for a given seed.
+func Generate(n int, seed int64) [][]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]int32, len(Attrs))
+	for i := range cols {
+		cols[i] = make([]int32, n)
+	}
+	deps := Dependencies()
+	row := make([]int32, len(Attrs))
+	for r := 0; r < n; r++ {
+		for i := range Attrs {
+			row[i] = sampleAttr(rng, i, row)
+		}
+		enforceDeps(rng, row, deps)
+		for i := range Attrs {
+			cols[i][r] = row[i]
+		}
+	}
+	return cols
+}
+
+// enforceDeps resamples conclusion attributes until the row satisfies all
+// dependencies. The dependency graph of Figure 25 is acyclic under the
+// order below, so the loop converges in at most a few iterations.
+func enforceDeps(rng *rand.Rand, row []int32, deps []engine.EGD) {
+	for iter := 0; iter < 16; iter++ {
+		clean := true
+		for _, d := range deps {
+			holds := true
+			for _, a := range d.Premise {
+				if !atomHolds(a, row) {
+					holds = false
+					break
+				}
+			}
+			if !holds || atomHolds(d.Conclusion, row) {
+				continue
+			}
+			clean = false
+			fixConclusion(rng, row, d.Conclusion)
+		}
+		if clean {
+			return
+		}
+	}
+	panic("census: dependency enforcement did not converge")
+}
+
+func atomHolds(a engine.Atom, row []int32) bool {
+	v := row[attrIndex(a.Attr)]
+	switch a.Theta {
+	case relation.EQ:
+		return v == a.C
+	case relation.NE:
+		return v != a.C
+	case relation.LT:
+		return v < a.C
+	case relation.LE:
+		return v <= a.C
+	case relation.GT:
+		return v > a.C
+	case relation.GE:
+		return v >= a.C
+	}
+	return false
+}
+
+// fixConclusion assigns the conclusion attribute a value satisfying the
+// conclusion atom.
+func fixConclusion(rng *rand.Rand, row []int32, c engine.Atom) {
+	ai := attrIndex(c.Attr)
+	dom := Attrs[ai].Domain
+	switch c.Theta {
+	case relation.EQ:
+		row[ai] = c.C
+	case relation.NE:
+		v := int32(rng.Intn(int(dom - 1)))
+		if v >= c.C {
+			v++
+		}
+		row[ai] = v
+	default:
+		// Sample until the atom holds; all Figure 25 conclusions are EQ/NE,
+		// so this path exists only for user-supplied dependencies.
+		for {
+			v := int32(rng.Intn(int(dom)))
+			row[ai] = v
+			if atomHolds(c, row) {
+				return
+			}
+		}
+	}
+}
+
+// NewStore generates a clean census relation named rel with n rows.
+func NewStore(rel string, n int, seed int64) (*engine.Store, error) {
+	s := engine.NewStore()
+	if _, err := s.AddRelation(rel, AttrNames(), Generate(n, seed)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MaxOrSet is the maximum or-set size used by the noise generator
+// (Section 9: sizes are drawn from [2, min(8, domain)]).
+const MaxOrSet = 8
+
+// orSetSizeWeights skews the or-set sizes towards small sets so the mean
+// matches the paper's measured average of 3.5 values per or-set (a uniform
+// draw from [2,8] would average 5 and over-entangle the join of Q5).
+var orSetSizeWeights = []struct {
+	size int
+	w    float64
+}{{2, 0.35}, {3, 0.25}, {4, 0.15}, {5, 0.10}, {6, 0.07}, {7, 0.05}, {8, 0.03}}
+
+func orSetSize(rng *rand.Rand, max int32) int {
+	r := rng.Float64()
+	acc := 0.0
+	for _, sw := range orSetSizeWeights {
+		acc += sw.w
+		if r < acc || sw.size == int(max) {
+			if sw.size > int(max) {
+				return int(max)
+			}
+			return sw.size
+		}
+	}
+	return int(max)
+}
+
+// AddNoise replaces a fraction density of the fields of rel by or-sets of
+// size [2, min(8, domain)] containing the true value, with uniform
+// probabilities. It returns the number of or-sets introduced.
+func AddNoise(s *engine.Store, rel string, density float64, seed int64) (int, error) {
+	r := s.Rel(rel)
+	if r == nil {
+		return 0, fmt.Errorf("census: unknown relation %q", rel)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	count := 0
+	n := r.NumRows()
+	for row := 0; row < n; row++ {
+		for ai, a := range Attrs {
+			if rng.Float64() >= density {
+				continue
+			}
+			max := a.Domain
+			if max > MaxOrSet {
+				max = MaxOrSet
+			}
+			if max < 2 {
+				continue // domain too small for an or-set
+			}
+			k := orSetSize(rng, max)
+			truth := r.Cols[ai][row]
+			vals := []int32{truth}
+			seen := map[int32]bool{truth: true}
+			for len(vals) < k {
+				v := int32(rng.Intn(int(a.Domain)))
+				if !seen[v] {
+					seen[v] = true
+					vals = append(vals, v)
+				}
+			}
+			if err := s.SetUncertain(rel, row, a.Name, vals, nil); err != nil {
+				return count, err
+			}
+			count++
+		}
+	}
+	return count, nil
+}

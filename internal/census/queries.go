@@ -1,0 +1,134 @@
+package census
+
+import (
+	"fmt"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// This file implements the six queries of Figure 29 on the UWSDT engine.
+// Each query reads the (chased) census relation and materializes its result
+// under the given name; intermediate relations are dropped. Q5 is defined
+// over the results of Q2 and Q3, mirroring the paper (its reported time
+// excludes the subqueries).
+
+// QueryNames lists the queries in paper order.
+var QueryNames = []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
+
+// Q1 computes σ_{YEARSCH=17 ∧ CITIZEN=0}(src): US citizens with PhD degree.
+func Q1(s *engine.Store, src, res string) error {
+	_, err := s.Select(res, src, engine.And{engine.Eq("YEARSCH", 17), engine.Eq("CITIZEN", 0)})
+	return err
+}
+
+// Q2 computes π_{POWSTATE,CITIZEN,IMMIGR}(σ_{CITIZEN≠0 ∧ ENGLISH>3}(src)):
+// birthplaces of citizens born outside the US who do not speak English well.
+func Q2(s *engine.Store, src, res string) error {
+	tmp := res + "\x00σ"
+	if _, err := s.Select(tmp, src, engine.And{engine.Ne("CITIZEN", 0), engine.Gt("ENGLISH", 3)}); err != nil {
+		return err
+	}
+	defer s.DropRelation(tmp)
+	_, err := s.Project(res, tmp, "POWSTATE", "CITIZEN", "IMMIGR")
+	return err
+}
+
+// Q3 computes π_{POWSTATE,MARITAL,FERTIL}(σ_{POWSTATE=POB}(σ_{FERTIL>4 ∧
+// MARITAL=1}(src))): widows with more than three children living in the
+// state where they were born.
+func Q3(s *engine.Store, src, res string) error {
+	t1 := res + "\x00σ1"
+	t2 := res + "\x00σ2"
+	if _, err := s.Select(t1, src, engine.And{engine.Gt("FERTIL", 4), engine.Eq("MARITAL", 1)}); err != nil {
+		return err
+	}
+	defer s.DropRelation(t1)
+	if _, err := s.Select(t2, t1, engine.AttrAttr{A: "POWSTATE", Theta: relation.EQ, B: "POB"}); err != nil {
+		return err
+	}
+	defer s.DropRelation(t2)
+	_, err := s.Project(res, t2, "POWSTATE", "MARITAL", "FERTIL")
+	return err
+}
+
+// Q4 computes σ_{FERTIL=1 ∧ (RSPOUSE=1 ∨ RSPOUSE=2)}(src): married persons
+// with no children (the very unselective query).
+func Q4(s *engine.Store, src, res string) error {
+	_, err := s.Select(res, src, engine.And{
+		engine.Eq("FERTIL", 1),
+		engine.Or{engine.Eq("RSPOUSE", 1), engine.Eq("RSPOUSE", 2)},
+	})
+	return err
+}
+
+// Q5 joins the Q2 and Q3 results restricted to states with IPUMS index
+// greater than 50: δ_{POWSTATE→P1}(σ_{POWSTATE>50}(q2)) ⋈_{P1=P2}
+// δ_{POWSTATE→P2}(σ_{POWSTATE>50}(q3)).
+func Q5(s *engine.Store, q2, q3, res string) error {
+	a := res + "\x00l"
+	b := res + "\x00r"
+	al := res + "\x00lδ"
+	bl := res + "\x00rδ"
+	if _, err := s.Select(a, q2, engine.Gt("POWSTATE", 50)); err != nil {
+		return err
+	}
+	defer s.DropRelation(a)
+	if _, err := s.Rename(al, a, map[string]string{"POWSTATE": "P1"}); err != nil {
+		return err
+	}
+	defer s.DropRelation(al)
+	if _, err := s.Select(b, q3, engine.Gt("POWSTATE", 50)); err != nil {
+		return err
+	}
+	defer s.DropRelation(b)
+	if _, err := s.Rename(bl, b, map[string]string{"POWSTATE": "P2", "MARITAL": "MARITAL2", "FERTIL": "FERTIL2"}); err != nil {
+		return err
+	}
+	defer s.DropRelation(bl)
+	_, err := s.Join(res, al, bl, "P1", "P2")
+	return err
+}
+
+// Q6 computes π_{POWSTATE,POB}(σ_{ENGLISH=3}(src)): places of birth and work
+// of persons speaking English "not well".
+func Q6(s *engine.Store, src, res string) error {
+	tmp := res + "\x00σ"
+	if _, err := s.Select(tmp, src, engine.Eq("ENGLISH", 3)); err != nil {
+		return err
+	}
+	defer s.DropRelation(tmp)
+	_, err := s.Project(res, tmp, "POWSTATE", "POB")
+	return err
+}
+
+// Run evaluates the named query (Q1..Q6) of Figure 29 against src,
+// materializing the result as res. Q5 computes its Q2 and Q3 inputs first
+// and drops them afterwards.
+func Run(s *engine.Store, name, src, res string) error {
+	switch name {
+	case "Q1":
+		return Q1(s, src, res)
+	case "Q2":
+		return Q2(s, src, res)
+	case "Q3":
+		return Q3(s, src, res)
+	case "Q4":
+		return Q4(s, src, res)
+	case "Q5":
+		q2 := res + "\x00q2"
+		q3 := res + "\x00q3"
+		if err := Q2(s, src, q2); err != nil {
+			return err
+		}
+		defer s.DropRelation(q2)
+		if err := Q3(s, src, q3); err != nil {
+			return err
+		}
+		defer s.DropRelation(q3)
+		return Q5(s, q2, q3, res)
+	case "Q6":
+		return Q6(s, src, res)
+	}
+	return fmt.Errorf("census: unknown query %q", name)
+}

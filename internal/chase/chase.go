@@ -1,0 +1,581 @@
+// Package chase implements data cleaning on world-set decompositions
+// (Section 8, Figure 24): removing the worlds inconsistent with a set of
+// functional dependencies and single-tuple equality-generating dependencies,
+// composing components where needed and renormalizing probabilities.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// ErrInconsistent is returned when no represented world satisfies the
+// dependencies (a component runs empty during the chase).
+var ErrInconsistent = errors.New("chase: world-set is inconsistent with the dependencies")
+
+// Dependency is a constraint the chase can enforce.
+type Dependency interface {
+	// Holds reports whether the dependency is satisfied in one world.
+	Holds(db *worlds.Database) bool
+	// String renders the dependency.
+	String() string
+}
+
+// FD is a functional dependency LHS → RHS over relation Rel. Multiple RHS
+// attributes abbreviate one FD per attribute (A → B,C ≡ A→B and A→C).
+type FD struct {
+	Rel string
+	LHS []string
+	RHS []string
+}
+
+// Holds implements Dependency.
+func (d FD) Holds(db *worlds.Database) bool {
+	r := db.Rel(d.Rel)
+	if r == nil {
+		return true
+	}
+	s := r.Schema()
+	for i := 0; i < r.Size(); i++ {
+		for j := i + 1; j < r.Size(); j++ {
+			ti, tj := r.Tuple(i), r.Tuple(j)
+			eq := true
+			for _, a := range d.LHS {
+				if ti[s.MustPos(a)] != tj[s.MustPos(a)] {
+					eq = false
+					break
+				}
+			}
+			if !eq {
+				continue
+			}
+			for _, b := range d.RHS {
+				if ti[s.MustPos(b)] != tj[s.MustPos(b)] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (d FD) String() string {
+	return fmt.Sprintf("%s: %s → %s", d.Rel, strings.Join(d.LHS, ","), strings.Join(d.RHS, ","))
+}
+
+// Atom is the comparison Attr θ Const of an equality-generating dependency.
+type Atom struct {
+	Attr  string
+	Theta relation.Op
+	Const relation.Value
+}
+
+func (a Atom) String() string { return fmt.Sprintf("%s%s%s", a.Attr, a.Theta, a.Const) }
+
+func (a Atom) eval(v relation.Value) bool { return a.Theta.Apply(v, a.Const) }
+
+// EGD is a single-tuple equality-generating dependency
+// φ1 ∧ ... ∧ φm ⇒ φ0 over relation Rel, with each φi comparing an attribute
+// to a constant (Section 8).
+type EGD struct {
+	Rel        string
+	Premise    []Atom
+	Conclusion Atom
+}
+
+// Holds implements Dependency.
+func (d EGD) Holds(db *worlds.Database) bool {
+	r := db.Rel(d.Rel)
+	if r == nil {
+		return true
+	}
+	s := r.Schema()
+	for i := 0; i < r.Size(); i++ {
+		t := r.Tuple(i)
+		sat := true
+		for _, a := range d.Premise {
+			if !a.eval(t[s.MustPos(a.Attr)]) {
+				sat = false
+				break
+			}
+		}
+		if sat && !d.Conclusion.eval(t[s.MustPos(d.Conclusion.Attr)]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d EGD) String() string {
+	parts := make([]string, len(d.Premise))
+	for i, a := range d.Premise {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s: %s ⇒ %s", d.Rel, strings.Join(parts, " ∧ "), d.Conclusion)
+}
+
+// HoldsAll reports whether every dependency holds in the world.
+func HoldsAll(deps []Dependency, db *worlds.Database) bool {
+	for _, d := range deps {
+		if !d.Holds(db) {
+			return false
+		}
+	}
+	return true
+}
+
+// Chase enforces the dependencies on the WSD in place (the algorithm of
+// Figure 24). Unlike the classical chase on tableaux no fixpoint is needed:
+// one pass over dependencies and tuple slots suffices, because removing
+// value combinations cannot introduce new violations. It returns
+// ErrInconsistent if no world survives.
+func Chase(w *core.WSD, deps []Dependency) error {
+	for _, d := range deps {
+		switch d := d.(type) {
+		case FD:
+			if err := chaseFD(w, d); err != nil {
+				return err
+			}
+		case EGD:
+			if err := chaseEGD(w, d); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("chase: unsupported dependency %T", d)
+		}
+	}
+	return nil
+}
+
+// chaseFD enforces one functional dependency on every pair of tuple slots.
+func chaseFD(w *core.WSD, d FD) error {
+	attrs, ok := w.RelAttrs(d.Rel)
+	if !ok {
+		return fmt.Errorf("chase: unknown relation %q", d.Rel)
+	}
+	if err := checkAttrs(attrs, d.LHS); err != nil {
+		return err
+	}
+	if err := checkAttrs(attrs, d.RHS); err != nil {
+		return err
+	}
+	max := w.MaxCard[d.Rel]
+	for s := 1; s <= max; s++ {
+		for t := s + 1; t <= max; t++ {
+			if !fdPossiblyViolated(w, d, s, t) {
+				continue
+			}
+			// Section 8 refinement: LHS attributes equal in all worlds and
+			// RHS attributes unequal in all worlds need no composition —
+			// their contribution to the violation condition is constant.
+			var lhsUndecided []string
+			for _, a := range d.LHS {
+				fa := core.FieldRef{Rel: d.Rel, Tuple: s, Attr: a}
+				fb := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a}
+				if !alwaysEqual(w, fa, fb) {
+					lhsUndecided = append(lhsUndecided, a)
+				}
+			}
+			var rhsUndecided []string
+			rhsAlwaysViolates := false
+			for _, b := range d.RHS {
+				fa := core.FieldRef{Rel: d.Rel, Tuple: s, Attr: b}
+				fb := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: b}
+				switch {
+				case alwaysUnequal(w, fa, fb):
+					rhsAlwaysViolates = true
+				case possiblyUnequal(w, fa, fb):
+					rhsUndecided = append(rhsUndecided, b)
+				}
+			}
+			if rhsAlwaysViolates {
+				rhsUndecided = nil // premise alone decides the violation
+			}
+			var fields []core.FieldRef
+			fields = append(fields, slotFields(w, d.Rel, s, lhsUndecided)...)
+			fields = append(fields, slotFields(w, d.Rel, t, lhsUndecided)...)
+			fields = append(fields, slotFields(w, d.Rel, s, rhsUndecided)...)
+			fields = append(fields, slotFields(w, d.Rel, t, rhsUndecided)...)
+			fields = append(fields, bottomCarriers(w, d.Rel, attrs, s, t)...)
+			if len(fields) == 0 {
+				// Fully decided: the pair violates in every world both
+				// tuples exist; with no absence possible, the world-set is
+				// inconsistent.
+				return fmt.Errorf("%w: tuples %d and %d of %s always violate %v",
+					ErrInconsistent, s, t, d.Rel, d)
+			}
+			comp := w.MergeComponents(fields...)
+			comp.PropagateBottom()
+			violated := func(row core.Row) bool {
+				if !slotPresent(comp, d.Rel, s, row) || !slotPresent(comp, d.Rel, t, row) {
+					return false
+				}
+				for _, a := range lhsUndecided {
+					va := rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: s, Attr: a})
+					vb := rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a})
+					if va != vb {
+						return false
+					}
+				}
+				if rhsAlwaysViolates {
+					return true
+				}
+				for _, b := range rhsUndecided {
+					va := rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: s, Attr: b})
+					vb := rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: b})
+					if va != vb {
+						return true
+					}
+				}
+				return false
+			}
+			if err := removeRows(comp, violated); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chaseEGD enforces one single-tuple EGD on every tuple slot.
+func chaseEGD(w *core.WSD, d EGD) error {
+	attrs, ok := w.RelAttrs(d.Rel)
+	if !ok {
+		return fmt.Errorf("chase: unknown relation %q", d.Rel)
+	}
+	involved := []string{d.Conclusion.Attr}
+	for _, a := range d.Premise {
+		involved = append(involved, a.Attr)
+	}
+	if err := checkAttrs(attrs, involved); err != nil {
+		return err
+	}
+	for t := 1; t <= w.MaxCard[d.Rel]; t++ {
+		if !egdPossiblyViolated(w, d, t) {
+			continue
+		}
+		// Section 8 refinement: premise atoms holding in all worlds and a
+		// conclusion failing in all worlds contribute constants; only the
+		// undecided fields are composed.
+		var premiseUndecided []Atom
+		for _, a := range d.Premise {
+			f := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a.Attr}
+			at := a
+			if someValue(w, f, func(v relation.Value) bool { return !v.IsBottom() && !at.eval(v) }) {
+				premiseUndecided = append(premiseUndecided, a)
+			}
+		}
+		conclUndecided := false
+		{
+			f := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: d.Conclusion.Attr}
+			c := d.Conclusion
+			if someValue(w, f, func(v relation.Value) bool { return !v.IsBottom() && c.eval(v) }) {
+				conclUndecided = true
+			}
+		}
+		var names []string
+		for _, a := range premiseUndecided {
+			names = append(names, a.Attr)
+		}
+		if conclUndecided {
+			names = append(names, d.Conclusion.Attr)
+		}
+		fields := slotFields(w, d.Rel, t, names)
+		fields = append(fields, bottomCarriers(w, d.Rel, attrs, t)...)
+		if len(fields) == 0 {
+			return fmt.Errorf("%w: tuple %d of %s always violates %v",
+				ErrInconsistent, t, d.Rel, d)
+		}
+		comp := w.MergeComponents(fields...)
+		comp.PropagateBottom()
+		violated := func(row core.Row) bool {
+			if !slotPresent(comp, d.Rel, t, row) {
+				return false
+			}
+			for _, a := range premiseUndecided {
+				if !a.eval(rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a.Attr})) {
+					return false
+				}
+			}
+			if !conclUndecided {
+				return true
+			}
+			return !d.Conclusion.eval(rowValue(comp, row, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: d.Conclusion.Attr}))
+		}
+		if err := removeRows(comp, violated); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkAttrs(schema, used []string) error {
+	for _, u := range used {
+		found := false
+		for _, a := range schema {
+			if a == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("chase: attribute %q not in relation schema", u)
+		}
+	}
+	return nil
+}
+
+// slotFields returns the field references of the given attributes of slot i.
+func slotFields(w *core.WSD, rel string, i int, attrs []string) []core.FieldRef {
+	out := make([]core.FieldRef, 0, len(attrs))
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, core.FieldRef{Rel: rel, Tuple: i, Attr: a})
+	}
+	return out
+}
+
+// bottomCarriers returns the fields of the given slots that can be ⊥ in some
+// local world. Their components record tuple absence and must participate in
+// the merge so that absent tuples do not trigger deletions.
+func bottomCarriers(w *core.WSD, rel string, attrs []string, slots ...int) []core.FieldRef {
+	var out []core.FieldRef
+	for _, i := range slots {
+		for _, a := range attrs {
+			f := core.FieldRef{Rel: rel, Tuple: i, Attr: a}
+			c := w.ComponentOf(f)
+			if c == nil {
+				continue
+			}
+			col, _ := c.Pos(f)
+			for _, r := range c.Rows {
+				if r.Values[col].IsBottom() {
+					out = append(out, f)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// slotPresent reports whether slot i of rel is present in the local world
+// row: none of its fields defined in comp is ⊥. Fields of the slot living in
+// other components are ⊥-free (bottomCarriers pulled in all ⊥-possible ones).
+func slotPresent(comp *core.Component, rel string, i int, row core.Row) bool {
+	for col, f := range comp.Fields {
+		if f.Rel == rel && f.Tuple == i && row.Values[col].IsBottom() {
+			return false
+		}
+	}
+	return true
+}
+
+func rowValue(comp *core.Component, row core.Row, f core.FieldRef) relation.Value {
+	col, ok := comp.Pos(f)
+	if !ok {
+		panic(fmt.Sprintf("chase: field %v not in merged component", f))
+	}
+	return row.Values[col]
+}
+
+// removeRows deletes the rows matching the predicate and renormalizes the
+// probabilities of the survivors (y' = y/(1−x) accumulated over all removed
+// rows). An emptied component means no world satisfies the dependencies.
+func removeRows(comp *core.Component, bad func(core.Row) bool) error {
+	kept := comp.Rows[:0]
+	var keptP float64
+	removed := false
+	prob := false
+	for _, r := range comp.Rows {
+		if r.P != 0 {
+			prob = true
+		}
+		if bad(r) {
+			removed = true
+			continue
+		}
+		keptP += r.P
+		kept = append(kept, r)
+	}
+	comp.Rows = kept
+	if len(comp.Rows) == 0 {
+		return ErrInconsistent
+	}
+	if removed && prob {
+		if keptP <= 0 {
+			return ErrInconsistent
+		}
+		for i := range comp.Rows {
+			comp.Rows[i].P /= keptP
+		}
+	}
+	return nil
+}
+
+// fdPossiblyViolated performs the cheap pre-check of Section 8's refinement:
+// components are only composed when the possible values of the fields admit
+// a violation of the FD on slots (s, t).
+func fdPossiblyViolated(w *core.WSD, d FD, s, t int) bool {
+	for _, a := range d.LHS {
+		if !possiblyEqual(w, core.FieldRef{Rel: d.Rel, Tuple: s, Attr: a}, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a}) {
+			return false
+		}
+	}
+	for _, b := range d.RHS {
+		if possiblyUnequal(w, core.FieldRef{Rel: d.Rel, Tuple: s, Attr: b}, core.FieldRef{Rel: d.Rel, Tuple: t, Attr: b}) {
+			return true
+		}
+	}
+	return false
+}
+
+// egdPossiblyViolated prunes slots whose possible values cannot violate the
+// EGD: some premise atom never holds, or the conclusion always holds.
+func egdPossiblyViolated(w *core.WSD, d EGD, t int) bool {
+	for _, a := range d.Premise {
+		f := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: a.Attr}
+		if !someValue(w, f, a.eval) {
+			return false
+		}
+	}
+	f := core.FieldRef{Rel: d.Rel, Tuple: t, Attr: d.Conclusion.Attr}
+	return someValue(w, f, func(v relation.Value) bool { return !v.IsBottom() && !d.Conclusion.eval(v) })
+}
+
+// someValue reports whether some possible value of field f satisfies pred.
+func someValue(w *core.WSD, f core.FieldRef, pred func(relation.Value) bool) bool {
+	c := w.ComponentOf(f)
+	if c == nil {
+		return false
+	}
+	col, _ := c.Pos(f)
+	for _, r := range c.Rows {
+		if pred(r.Values[col]) {
+			return true
+		}
+	}
+	return false
+}
+
+// possiblyEqual reports whether fields f and g can take equal non-⊥ values
+// in some world.
+func possiblyEqual(w *core.WSD, f, g core.FieldRef) bool {
+	cf, cg := w.ComponentOf(f), w.ComponentOf(g)
+	colF, _ := cf.Pos(f)
+	colG, _ := cg.Pos(g)
+	if cf == cg {
+		for _, r := range cf.Rows {
+			if !r.Values[colF].IsBottom() && r.Values[colF] == r.Values[colG] {
+				return true
+			}
+		}
+		return false
+	}
+	vals := make(map[relation.Value]bool)
+	for _, r := range cf.Rows {
+		if !r.Values[colF].IsBottom() {
+			vals[r.Values[colF]] = true
+		}
+	}
+	for _, r := range cg.Rows {
+		if vals[r.Values[colG]] {
+			return true
+		}
+	}
+	return false
+}
+
+// alwaysEqual reports whether fields f and g are equal in every world where
+// both are present (non-⊥).
+func alwaysEqual(w *core.WSD, f, g core.FieldRef) bool {
+	cf, cg := w.ComponentOf(f), w.ComponentOf(g)
+	colF, _ := cf.Pos(f)
+	colG, _ := cg.Pos(g)
+	if cf == cg {
+		for _, r := range cf.Rows {
+			if !r.Values[colF].IsBottom() && !r.Values[colG].IsBottom() && r.Values[colF] != r.Values[colG] {
+				return false
+			}
+		}
+		return true
+	}
+	// Independent components: equal in all worlds only if both are a
+	// single, identical non-⊥ value.
+	vf := distinctValues(cf, colF)
+	vg := distinctValues(cg, colG)
+	return len(vf) == 1 && len(vg) == 1 && vf[0] == vg[0]
+}
+
+// alwaysUnequal reports whether fields f and g differ in every world where
+// both are present.
+func alwaysUnequal(w *core.WSD, f, g core.FieldRef) bool {
+	cf, cg := w.ComponentOf(f), w.ComponentOf(g)
+	colF, _ := cf.Pos(f)
+	colG, _ := cg.Pos(g)
+	if cf == cg {
+		for _, r := range cf.Rows {
+			if !r.Values[colF].IsBottom() && !r.Values[colG].IsBottom() && r.Values[colF] == r.Values[colG] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, vf := range distinctValues(cf, colF) {
+		for _, vg := range distinctValues(cg, colG) {
+			if vf == vg {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func distinctValues(c *core.Component, col int) []relation.Value {
+	seen := make(map[relation.Value]bool)
+	var out []relation.Value
+	for _, r := range c.Rows {
+		v := r.Values[col]
+		if !v.IsBottom() && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// possiblyUnequal reports whether fields f and g can take distinct non-⊥
+// values in some world.
+func possiblyUnequal(w *core.WSD, f, g core.FieldRef) bool {
+	cf, cg := w.ComponentOf(f), w.ComponentOf(g)
+	colF, _ := cf.Pos(f)
+	colG, _ := cg.Pos(g)
+	if cf == cg {
+		for _, r := range cf.Rows {
+			if !r.Values[colF].IsBottom() && !r.Values[colG].IsBottom() && r.Values[colF] != r.Values[colG] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, rf := range cf.Rows {
+		if rf.Values[colF].IsBottom() {
+			continue
+		}
+		for _, rg := range cg.Rows {
+			if !rg.Values[colG].IsBottom() && rf.Values[colF] != rg.Values[colG] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package confidence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/chase"
+	"maybms/internal/relation"
+)
+
+func TestConfGivenBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	dep := chase.EGD{
+		Rel:        "R",
+		Premise:    []chase.Atom{{Attr: "A", Theta: relation.EQ, Const: relation.Int(1)}},
+		Conclusion: chase.Atom{Attr: "B", Theta: relation.NE, Const: relation.Int(0)},
+	}
+	deps := []chase.Dependency{dep}
+	for trial := 0; trial < 40; trial++ {
+		w := randWSD(rng, true)
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple := relation.Ints(int64(rng.Intn(2)), int64(rng.Intn(2)))
+		var pBoth, pPsi float64
+		for i, db := range rep.Worlds {
+			if !chase.HoldsAll(deps, db) {
+				continue
+			}
+			pPsi += rep.Probs[i]
+			if db.Rel("R").Contains(tuple) {
+				pBoth += rep.Probs[i]
+			}
+		}
+		got, err := ConfGiven(w, deps, "R", tuple)
+		if pPsi == 0 {
+			if err == nil {
+				t.Fatalf("trial %d: zero-probability condition must error", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := pBoth / pPsi
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ConfGiven = %g, brute force %g", trial, got, want)
+		}
+		// The input must be untouched.
+		repAfter, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !repAfter.Equal(rep, 1e-12) {
+			t.Fatalf("trial %d: ConfGiven mutated the input", trial)
+		}
+	}
+}
+
+func TestProbSatisfiesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 40; trial++ {
+		w := randWSD(rng, true)
+		dep := chase.EGD{
+			Rel:        "R",
+			Premise:    []chase.Atom{{Attr: "A", Theta: relation.EQ, Const: relation.Int(int64(rng.Intn(2)))}},
+			Conclusion: chase.Atom{Attr: "B", Theta: relation.Op(rng.Intn(6)), Const: relation.Int(int64(rng.Intn(2)))},
+		}
+		deps := []chase.Dependency{dep}
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for i, db := range rep.Worlds {
+			if chase.HoldsAll(deps, db) {
+				want += rep.Probs[i]
+			}
+		}
+		got, err := ProbSatisfies(w, deps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ProbSatisfies = %g, brute force %g", trial, got, want)
+		}
+	}
+}
+
+func TestConditionalChainRule(t *testing.T) {
+	// P(φ ∧ ψ) = P(φ | ψ) · P(ψ): the identity the paper uses to close
+	// difference queries (Section 4).
+	rng := rand.New(rand.NewSource(83))
+	dep := chase.EGD{
+		Rel:        "R",
+		Premise:    []chase.Atom{{Attr: "A", Theta: relation.EQ, Const: relation.Int(0)}},
+		Conclusion: chase.Atom{Attr: "B", Theta: relation.EQ, Const: relation.Int(1)},
+	}
+	deps := []chase.Dependency{dep}
+	for trial := 0; trial < 25; trial++ {
+		w := randWSD(rng, true)
+		tuple := relation.Ints(0, 1)
+		pPsi, err := ProbSatisfies(w, deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pPsi == 0 {
+			continue
+		}
+		condConf, err := ConfGiven(w, deps, "R", tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pBoth float64
+		for i, db := range rep.Worlds {
+			if chase.HoldsAll(deps, db) && db.Rel("R").Contains(tuple) {
+				pBoth += rep.Probs[i]
+			}
+		}
+		if math.Abs(condConf*pPsi-pBoth) > 1e-9 {
+			t.Fatalf("trial %d: chain rule broken: %g·%g ≠ %g", trial, condConf, pPsi, pBoth)
+		}
+	}
+}
+
+func TestConfGivenNonProbabilistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	w := randWSD(rng, false)
+	if _, err := ConfGiven(w, nil, "R", relation.Ints(0, 0)); err == nil {
+		t.Fatal("non-probabilistic input must error")
+	}
+	if _, err := ProbSatisfies(w, nil); err == nil {
+		t.Fatal("non-probabilistic input must error")
+	}
+}

@@ -1,0 +1,206 @@
+// Package confidence implements the across-world query operators of
+// Section 6: the confidence of a tuple (Figure 17), the possible tuples of a
+// relation (Figure 18), and the combination of both (Figure 19).
+//
+// Confidence computation requires a tuple-level view of the decomposition:
+// all fields of a tuple slot in one component. The normalization can blow up
+// exponentially in the worst case — unavoidable, since deciding tuple
+// certainty on WSDs is NP-hard [9] — but only the components actually
+// touching the relation's slots are composed.
+package confidence
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+)
+
+// TupleConf pairs a possible tuple with its confidence.
+type TupleConf struct {
+	Tuple relation.Tuple
+	Conf  float64
+}
+
+// Conf computes the confidence of tuple t in relation rel: the sum of the
+// probabilities of the worlds whose rel contains t (Figure 17). The input
+// WSD is not modified. It fails on non-probabilistic WSDs.
+func Conf(w *core.WSD, rel string, t relation.Tuple) (float64, error) {
+	if !w.Probabilistic() {
+		return 0, fmt.Errorf("confidence: WSD carries no probabilities")
+	}
+	attrs, ok := w.RelAttrs(rel)
+	if !ok {
+		return 0, fmt.Errorf("confidence: unknown relation %q", rel)
+	}
+	if len(t) != len(attrs) {
+		return 0, fmt.Errorf("confidence: tuple arity %d, want %d", len(t), len(attrs))
+	}
+	work := tupleLevel(w, rel, attrs)
+	// Worlds containing t correspond, within each component, to local
+	// worlds where some slot of rel equals t; matches in distinct
+	// components are independent events.
+	c := 0.0
+	for _, comp := range work.Comps {
+		confC := 0.0
+		for _, r := range comp.Rows {
+			if rowHasTuple(comp, r, rel, attrs, t, work.MaxCard[rel]) {
+				confC += r.P
+			}
+		}
+		c = 1 - (1-c)*(1-confC)
+	}
+	return c, nil
+}
+
+// Possible computes the tuples appearing in at least one world of rel
+// (Figure 18). Works for probabilistic and plain WSDs.
+func Possible(w *core.WSD, rel string) (*relation.Relation, error) {
+	attrs, ok := w.RelAttrs(rel)
+	if !ok {
+		return nil, fmt.Errorf("confidence: unknown relation %q", rel)
+	}
+	work := tupleLevel(w, rel, attrs)
+	out := relation.New("possible("+rel+")", relation.NewSchema(attrs...))
+	for _, comp := range work.Comps {
+		for slot := 1; slot <= work.MaxCard[rel]; slot++ {
+			if !slotInComp(comp, rel, slot, attrs) {
+				continue
+			}
+			for _, r := range comp.Rows {
+				tup, present := slotTuple(comp, r, rel, slot, attrs)
+				if present {
+					out.Insert(tup)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// PossibleP computes the possible tuples of rel together with their
+// confidences (Figure 19), sorted canonically.
+func PossibleP(w *core.WSD, rel string) ([]TupleConf, error) {
+	poss, err := Possible(w, rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TupleConf, 0, poss.Size())
+	for _, t := range poss.SortedTuples() {
+		c, err := Conf(w, rel, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TupleConf{Tuple: t, Conf: c})
+	}
+	return out, nil
+}
+
+// Certain reports whether tuple t occurs in every world of rel: its
+// confidence is 1 within eps. For non-probabilistic WSDs it enumerates no
+// worlds but checks that every component choice yields the tuple.
+func Certain(w *core.WSD, rel string, t relation.Tuple, eps float64) (bool, error) {
+	attrs, ok := w.RelAttrs(rel)
+	if !ok {
+		return false, fmt.Errorf("confidence: unknown relation %q", rel)
+	}
+	if len(t) != len(attrs) {
+		return false, fmt.Errorf("confidence: tuple arity %d, want %d", len(t), len(attrs))
+	}
+	if w.Probabilistic() {
+		c, err := Conf(w, rel, t)
+		if err != nil {
+			return false, err
+		}
+		return c >= 1-eps, nil
+	}
+	// Non-probabilistic: t is certain iff some component has t in every
+	// local world (after tuple-level normalization, matches across
+	// components are independent, so certainty needs one all-rows match).
+	work := tupleLevel(w, rel, attrs)
+	for _, comp := range work.Comps {
+		all := len(comp.Rows) > 0
+		for _, r := range comp.Rows {
+			if !rowHasTuple(comp, r, rel, attrs, t, work.MaxCard[rel]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// tupleLevel clones w and composes, for every slot of rel, the components
+// defining the slot's fields, so each slot is defined within one component.
+func tupleLevel(w *core.WSD, rel string, attrs []string) *core.WSD {
+	work := w.Clone()
+	for slot := 1; slot <= work.MaxCard[rel]; slot++ {
+		fields := make([]core.FieldRef, len(attrs))
+		for i, a := range attrs {
+			fields[i] = core.FieldRef{Rel: rel, Tuple: slot, Attr: a}
+		}
+		work.MergeComponents(fields...)
+	}
+	return work
+}
+
+// rowHasTuple reports whether some slot of rel defined in comp equals t in
+// the local world r.
+func rowHasTuple(comp *core.Component, r core.Row, rel string, attrs []string, t relation.Tuple, maxCard int) bool {
+	for slot := 1; slot <= maxCard; slot++ {
+		if !slotInComp(comp, rel, slot, attrs) {
+			continue
+		}
+		match := true
+		for i, a := range attrs {
+			col := comp.MustPos(core.FieldRef{Rel: rel, Tuple: slot, Attr: a})
+			v := r.Values[col]
+			if v.IsBottom() || v != t[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func slotInComp(comp *core.Component, rel string, slot int, attrs []string) bool {
+	for _, a := range attrs {
+		if !comp.Has(core.FieldRef{Rel: rel, Tuple: slot, Attr: a}) {
+			return false
+		}
+	}
+	return true
+}
+
+func slotTuple(comp *core.Component, r core.Row, rel string, slot int, attrs []string) (relation.Tuple, bool) {
+	t := make(relation.Tuple, len(attrs))
+	for i, a := range attrs {
+		col := comp.MustPos(core.FieldRef{Rel: rel, Tuple: slot, Attr: a})
+		v := r.Values[col]
+		if v.IsBottom() {
+			return nil, false
+		}
+		t[i] = v
+	}
+	return t, true
+}
+
+// Sort orders tuple-confidence pairs by descending confidence, then by the
+// canonical tuple order: the ranked retrieval presentation of probabilistic
+// query answers.
+func Sort(tcs []TupleConf) {
+	sort.Slice(tcs, func(i, j int) bool {
+		if tcs[i].Conf != tcs[j].Conf {
+			return tcs[i].Conf > tcs[j].Conf
+		}
+		return relation.Compare(tcs[i].Tuple[0], tcs[j].Tuple[0]) < 0
+	})
+}

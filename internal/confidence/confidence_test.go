@@ -1,0 +1,263 @@
+package confidence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+func fr(rel string, tup int, attr string) core.FieldRef {
+	return core.FieldRef{Rel: rel, Tuple: tup, Attr: attr}
+}
+
+func ints(p float64, vs ...int64) core.Row {
+	vals := make([]relation.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = relation.Int(v)
+	}
+	return core.Row{Values: vals, P: p}
+}
+
+// fig4WSD builds the probabilistic WSD of Figure 4 (census running example).
+func fig4WSD(t *testing.T) *core.WSD {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"S", "N", "M"}})
+	w := core.New(schema, map[string]int{"R": 2})
+	add := func(c *core.Component) {
+		t.Helper()
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "S"), fr("R", 2, "S")},
+		ints(0.2, 185, 186), ints(0.4, 785, 185), ints(0.4, 785, 186)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "N")},
+		core.Row{Values: []relation.Value{relation.String("Smith")}, P: 1}))
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "M")}, ints(0.7, 1), ints(0.3, 2)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "N")},
+		core.Row{Values: []relation.Value{relation.String("Brown")}, P: 1}))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "M")},
+		ints(0.25, 1), ints(0.25, 2), ints(0.25, 3), ints(0.25, 4)))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestExample11ConfidenceTable(t *testing.T) {
+	// Q = π_S(R) on the Figure 4 WSD; Example 11 reports the confidences
+	// 185 ↦ 0.6, 186 ↦ 0.6, 785 ↦ 0.8.
+	w := fig4WSD(t)
+	if err := w.Project("Q", "R", "S"); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{185: 0.6, 186: 0.6, 785: 0.8}
+	tcs, err := PossibleP(w, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != 3 {
+		t.Fatalf("possible tuples = %d, want 3", len(tcs))
+	}
+	for _, tc := range tcs {
+		v := tc.Tuple[0].AsInt()
+		if math.Abs(tc.Conf-want[v]) > 1e-9 {
+			t.Fatalf("conf(%d) = %g, want %g", v, tc.Conf, want[v])
+		}
+	}
+}
+
+func TestConfBruteForce(t *testing.T) {
+	w := fig4WSD(t)
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := relation.Tuple{relation.Int(185), relation.String("Smith"), relation.Int(1)}
+	var want float64
+	for i, db := range rep.Worlds {
+		if db.Rel("R").Contains(tuple) {
+			want += rep.Probs[i]
+		}
+	}
+	got, err := Conf(w, "R", tuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Conf = %g, brute force %g", got, want)
+	}
+}
+
+func TestConfErrors(t *testing.T) {
+	w := fig4WSD(t)
+	if _, err := Conf(w, "Z", relation.Ints(1)); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := Conf(w, "R", relation.Ints(1)); err == nil {
+		t.Fatal("wrong arity must fail")
+	}
+	// Non-probabilistic WSD: Conf must refuse.
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}})
+	np := core.New(schema, map[string]int{"R": 1})
+	if err := np.AddComponent(core.NewComponent([]core.FieldRef{fr("R", 1, "A")}, ints(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Conf(np, "R", relation.Ints(1)); err == nil {
+		t.Fatal("non-probabilistic Conf must fail")
+	}
+}
+
+func TestConfDoesNotMutateInput(t *testing.T) {
+	w := fig4WSD(t)
+	before := w.NumComponents()
+	if _, err := Conf(w, "R", relation.Tuple{relation.Int(185), relation.String("Smith"), relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumComponents() != before {
+		t.Fatal("Conf must not mutate the input WSD")
+	}
+}
+
+// randWSD mirrors the core test generator for a single relation R[A,B].
+func randWSD(rng *rand.Rand, prob bool) *core.WSD {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := core.New(schema, map[string]int{"R": 3})
+	fields := w.Fields()
+	rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(fields) {
+			n = len(fields)
+		}
+		group := fields[:n]
+		fields = fields[n:]
+		c := core.NewComponent(append([]core.FieldRef(nil), group...))
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			vals := make([]relation.Value, n)
+			for i := range vals {
+				vals[i] = relation.Int(int64(rng.Intn(2)))
+			}
+			if rng.Float64() < 0.2 {
+				vals[rng.Intn(n)] = relation.Bottom()
+			}
+			c.AddRow(core.Row{Values: vals})
+		}
+		c.PropagateBottom()
+		if prob {
+			total := 0.0
+			ps := make([]float64, len(c.Rows))
+			for i := range ps {
+				ps[i] = rng.Float64() + 0.01
+				total += ps[i]
+			}
+			for i := range ps {
+				c.Rows[i].P = ps[i] / total
+			}
+		}
+		if err := w.AddComponent(c); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func TestConfAgainstEnumerationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		w := randWSD(rng, true)
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple := relation.Ints(int64(rng.Intn(2)), int64(rng.Intn(2)))
+		var want float64
+		for i, db := range rep.Worlds {
+			if db.Rel("R").Contains(tuple) {
+				want += rep.Probs[i]
+			}
+		}
+		got, err := Conf(w, "R", tuple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Conf(%v) = %g, brute force %g\n%v", trial, tuple, got, want, w)
+		}
+	}
+}
+
+func TestPossibleAgainstEnumerationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 80; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := relation.New("possible(R)", relation.NewSchema("A", "B"))
+		for _, db := range rep.Worlds {
+			for _, tup := range db.Rel("R").Tuples() {
+				want.Insert(tup.Clone())
+			}
+		}
+		got, err := Possible(w, "R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: Possible mismatch\ngot %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestCertainAgainstEnumerationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 80; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple := relation.Ints(int64(rng.Intn(2)), int64(rng.Intn(2)))
+		want := rep.Size() > 0
+		for _, db := range rep.Worlds {
+			if !db.Rel("R").Contains(tuple) {
+				want = false
+				break
+			}
+		}
+		got, err := Certain(w, "R", tuple, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: Certain(%v) = %t, brute force %t", trial, tuple, got, want)
+		}
+	}
+}
+
+func TestPossiblePSorted(t *testing.T) {
+	w := fig4WSD(t)
+	if err := w.Project("Q", "R", "S"); err != nil {
+		t.Fatal(err)
+	}
+	tcs, err := PossibleP(w, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Sort(tcs)
+	if tcs[0].Tuple[0].AsInt() != 785 {
+		t.Fatalf("highest-confidence tuple = %v, want 785", tcs[0].Tuple)
+	}
+	for i := 1; i < len(tcs); i++ {
+		if tcs[i].Conf > tcs[i-1].Conf {
+			t.Fatal("Sort must order by descending confidence")
+		}
+	}
+}

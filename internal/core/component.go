@@ -1,0 +1,302 @@
+// Package core implements world-set decompositions (WSDs) and their
+// template-relation refinement (WSDTs), the primary contribution of the
+// paper (Section 3), together with the relational algebra evaluation on
+// decompositions of Section 4 (Figure 9).
+//
+// A WSD represents a finite set of possible worlds as a product of small
+// component relations. Each component defines the joint distribution of a
+// set of correlated fields; distinct components are independent. The
+// represented world-set is obtained by choosing one local world (row) from
+// every component and decoding the resulting wide tuple with inline⁻¹.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+)
+
+// FieldRef identifies one field of one tuple slot: the Attr-field of tuple
+// slot Tuple (1-based) of database relation Rel. This is the FID of the
+// uniform representation.
+type FieldRef struct {
+	Rel   string
+	Tuple int
+	Attr  string
+}
+
+// String renders the field as R.t1.A.
+func (f FieldRef) String() string { return fmt.Sprintf("%s.t%d.%s", f.Rel, f.Tuple, f.Attr) }
+
+// Less orders field references (by relation, slot, attribute).
+func (f FieldRef) Less(g FieldRef) bool {
+	if f.Rel != g.Rel {
+		return f.Rel < g.Rel
+	}
+	if f.Tuple != g.Tuple {
+		return f.Tuple < g.Tuple
+	}
+	return f.Attr < g.Attr
+}
+
+// Row is one local world of a component: a value for every field of the
+// component plus its probability weight. In non-probabilistic WSDs all
+// weights are zero.
+type Row struct {
+	Values []relation.Value
+	P      float64
+}
+
+// Clone deep-copies the row.
+func (r Row) Clone() Row {
+	return Row{Values: append([]relation.Value(nil), r.Values...), P: r.P}
+}
+
+// Component is one factor of a world-set decomposition: a relation over a
+// set of fields whose rows are the component's local worlds.
+type Component struct {
+	Fields []FieldRef
+	Rows   []Row
+	pos    map[FieldRef]int
+}
+
+// NewComponent builds a component over the given fields. It panics on
+// duplicate fields; components are built programmatically and a duplicate is
+// a programming error.
+func NewComponent(fields []FieldRef, rows ...Row) *Component {
+	c := &Component{Fields: fields, pos: make(map[FieldRef]int, len(fields))}
+	for i, f := range fields {
+		if _, dup := c.pos[f]; dup {
+			panic(fmt.Sprintf("core: duplicate field %v in component", f))
+		}
+		c.pos[f] = i
+	}
+	for _, r := range rows {
+		c.AddRow(r)
+	}
+	return c
+}
+
+// AddRow appends a local world. It panics if the arity does not match.
+func (c *Component) AddRow(r Row) {
+	if len(r.Values) != len(c.Fields) {
+		panic(fmt.Sprintf("core: row arity %d in component of arity %d", len(r.Values), len(c.Fields)))
+	}
+	c.Rows = append(c.Rows, r)
+}
+
+// Pos returns the column of field f and whether the component defines it.
+func (c *Component) Pos(f FieldRef) (int, bool) {
+	i, ok := c.pos[f]
+	return i, ok
+}
+
+// MustPos returns the column of field f, panicking if undefined.
+func (c *Component) MustPos(f FieldRef) int {
+	i, ok := c.pos[f]
+	if !ok {
+		panic(fmt.Sprintf("core: component does not define %v", f))
+	}
+	return i
+}
+
+// Has reports whether the component defines field f.
+func (c *Component) Has(f FieldRef) bool {
+	_, ok := c.pos[f]
+	return ok
+}
+
+// Value returns the value of field f in row i.
+func (c *Component) Value(i int, f FieldRef) relation.Value {
+	return c.Rows[i].Values[c.pos[f]]
+}
+
+// Arity returns the number of fields.
+func (c *Component) Arity() int { return len(c.Fields) }
+
+// Size returns the number of local worlds.
+func (c *Component) Size() int { return len(c.Rows) }
+
+// Clone deep-copies the component.
+func (c *Component) Clone() *Component {
+	n := NewComponent(append([]FieldRef(nil), c.Fields...))
+	for _, r := range c.Rows {
+		n.AddRow(r.Clone())
+	}
+	return n
+}
+
+// TotalP returns the sum of the row probabilities.
+func (c *Component) TotalP() float64 {
+	var s float64
+	for _, r := range c.Rows {
+		s += r.P
+	}
+	return s
+}
+
+// Ext extends the component with a new field dst whose value in every row is
+// a copy of field src's value: the ext(C, Ai, B) operation of Section 4.
+func (c *Component) Ext(src, dst FieldRef) {
+	i, ok := c.pos[src]
+	if !ok {
+		panic(fmt.Sprintf("core: ext: component does not define %v", src))
+	}
+	if c.Has(dst) {
+		panic(fmt.Sprintf("core: ext: component already defines %v", dst))
+	}
+	c.pos[dst] = len(c.Fields)
+	c.Fields = append(c.Fields, dst)
+	for r := range c.Rows {
+		c.Rows[r].Values = append(c.Rows[r].Values, c.Rows[r].Values[i])
+	}
+}
+
+// Compose returns the composition of c and d (Section 4): the relational
+// product of their rows with probabilities multiplied.
+func Compose(c, d *Component) *Component {
+	fields := append(append([]FieldRef(nil), c.Fields...), d.Fields...)
+	n := NewComponent(fields)
+	for _, rc := range c.Rows {
+		for _, rd := range d.Rows {
+			vals := make([]relation.Value, 0, len(rc.Values)+len(rd.Values))
+			vals = append(vals, rc.Values...)
+			vals = append(vals, rd.Values...)
+			n.AddRow(Row{Values: vals, P: rc.P * rd.P})
+		}
+	}
+	return n
+}
+
+// PropagateBottom implements propagate-⊥ (Figure 12): within every row, if
+// any field of tuple slot (Rel, Tuple) is ⊥, all fields of that slot defined
+// in this component become ⊥. This marks the slot as deleted so that later
+// projections cannot resurrect it.
+func (c *Component) PropagateBottom() {
+	type slot struct {
+		rel string
+		tup int
+	}
+	bySlot := make(map[slot][]int)
+	for i, f := range c.Fields {
+		k := slot{f.Rel, f.Tuple}
+		bySlot[k] = append(bySlot[k], i)
+	}
+	for r := range c.Rows {
+		vals := c.Rows[r].Values
+		for _, cols := range bySlot {
+			hasBottom := false
+			for _, i := range cols {
+				if vals[i].IsBottom() {
+					hasBottom = true
+					break
+				}
+			}
+			if hasBottom {
+				for _, i := range cols {
+					vals[i] = relation.Bottom()
+				}
+			}
+		}
+	}
+}
+
+// DropField removes field f (the "project away" of Figure 9). Rows are kept
+// as-is (duplicates may arise; Compress in internal/normalize merges them).
+// It reports whether the component became empty of fields.
+func (c *Component) DropField(f FieldRef) bool {
+	i, ok := c.pos[f]
+	if !ok {
+		panic(fmt.Sprintf("core: drop: component does not define %v", f))
+	}
+	c.Fields = append(c.Fields[:i], c.Fields[i+1:]...)
+	delete(c.pos, f)
+	for g, j := range c.pos {
+		if j > i {
+			c.pos[g] = j - 1
+		}
+	}
+	for r := range c.Rows {
+		c.Rows[r].Values = append(c.Rows[r].Values[:i], c.Rows[r].Values[i+1:]...)
+	}
+	return len(c.Fields) == 0
+}
+
+// RenameField renames field old to new, keeping its column.
+func (c *Component) RenameField(old, new FieldRef) {
+	i, ok := c.pos[old]
+	if !ok {
+		panic(fmt.Sprintf("core: rename: component does not define %v", old))
+	}
+	if old == new {
+		return
+	}
+	if c.Has(new) {
+		panic(fmt.Sprintf("core: rename: component already defines %v", new))
+	}
+	delete(c.pos, old)
+	c.pos[new] = i
+	c.Fields[i] = new
+}
+
+// SortedFields returns the fields in canonical order.
+func (c *Component) SortedFields() []FieldRef {
+	fs := append([]FieldRef(nil), c.Fields...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Less(fs[j]) })
+	return fs
+}
+
+// Validate checks internal consistency: row arities, and (for probabilistic
+// components) weights in [0,1] summing to 1 within eps. A component is
+// probabilistic when any weight is nonzero.
+func (c *Component) Validate(eps float64) error {
+	for i, r := range c.Rows {
+		if len(r.Values) != len(c.Fields) {
+			return fmt.Errorf("core: component row %d arity %d, want %d", i, len(r.Values), len(c.Fields))
+		}
+	}
+	prob := false
+	for _, r := range c.Rows {
+		if r.P != 0 {
+			prob = true
+			break
+		}
+	}
+	if prob {
+		for i, r := range c.Rows {
+			if r.P < -eps || r.P > 1+eps {
+				return fmt.Errorf("core: component row %d probability %g outside [0,1]", i, r.P)
+			}
+		}
+		if d := math.Abs(c.TotalP() - 1); d > eps {
+			return fmt.Errorf("core: component probabilities sum to %g, want 1", c.TotalP())
+		}
+	}
+	return nil
+}
+
+// String renders the component as a table, fields in declaration order.
+func (c *Component) String() string {
+	var b strings.Builder
+	parts := make([]string, len(c.Fields))
+	for i, f := range c.Fields {
+		parts[i] = f.String()
+	}
+	fmt.Fprintf(&b, "C(%s) {\n", strings.Join(parts, ", "))
+	for _, r := range c.Rows {
+		vs := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			vs[i] = v.String()
+		}
+		if r.P != 0 {
+			fmt.Fprintf(&b, "  %s : %g\n", strings.Join(vs, ", "), r.P)
+		} else {
+			fmt.Fprintf(&b, "  %s\n", strings.Join(vs, ", "))
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}

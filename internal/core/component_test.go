@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+func fr(rel string, tup int, attr string) FieldRef { return FieldRef{rel, tup, attr} }
+
+func row(p float64, vs ...int64) Row {
+	vals := make([]relation.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = relation.Int(v)
+	}
+	return Row{Values: vals, P: p}
+}
+
+func TestComponentBasics(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A"), fr("R", 1, "B")},
+		row(0.4, 1, 2), row(0.6, 3, 4))
+	if c.Arity() != 2 || c.Size() != 2 {
+		t.Fatalf("arity/size = %d/%d", c.Arity(), c.Size())
+	}
+	if i, ok := c.Pos(fr("R", 1, "B")); !ok || i != 1 {
+		t.Fatalf("Pos = %d,%t", i, ok)
+	}
+	if c.Value(1, fr("R", 1, "A")) != relation.Int(3) {
+		t.Fatal("Value broken")
+	}
+	if c.TotalP() != 1.0 {
+		t.Fatalf("TotalP = %g", c.TotalP())
+	}
+	if err := c.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponentDuplicateFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate field must panic")
+		}
+	}()
+	NewComponent([]FieldRef{fr("R", 1, "A"), fr("R", 1, "A")})
+}
+
+func TestComponentValidateProbabilities(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0.5, 1), row(0.2, 2))
+	if err := c.Validate(1e-9); err == nil {
+		t.Fatal("probabilities not summing to 1 must be rejected")
+	}
+	c2 := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2))
+	if err := c2.Validate(1e-9); err != nil {
+		t.Fatalf("non-probabilistic component rejected: %v", err)
+	}
+	c3 := NewComponent([]FieldRef{fr("R", 1, "A")}, row(1.5, 1), row(-0.5, 2))
+	if err := c3.Validate(1e-9); err == nil {
+		t.Fatal("out-of-range probability must be rejected")
+	}
+}
+
+func TestExt(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2))
+	c.Ext(fr("R", 1, "A"), fr("P", 1, "A"))
+	if c.Arity() != 3-1 {
+		t.Fatalf("arity after ext = %d", c.Arity())
+	}
+	if c.Value(0, fr("P", 1, "A")) != relation.Int(1) || c.Value(1, fr("P", 1, "A")) != relation.Int(2) {
+		t.Fatal("ext did not copy values")
+	}
+}
+
+func TestComposeMultipliesProbabilities(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0.3, 1), row(0.7, 2))
+	d := NewComponent([]FieldRef{fr("R", 1, "B")}, row(0.5, 10), row(0.5, 20))
+	m := Compose(c, d)
+	if m.Size() != 4 || m.Arity() != 2 {
+		t.Fatalf("compose size/arity = %d/%d", m.Size(), m.Arity())
+	}
+	if m.Rows[0].P != 0.15 || m.Rows[3].P != 0.35 {
+		t.Fatalf("compose probabilities = %v, %v", m.Rows[0].P, m.Rows[3].P)
+	}
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateBottom(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("P", 1, "A"), fr("P", 1, "B"), fr("P", 2, "A")})
+	c.AddRow(Row{Values: []relation.Value{relation.Bottom(), relation.Int(1), relation.Int(5)}})
+	c.AddRow(Row{Values: []relation.Value{relation.Int(2), relation.Int(3), relation.Int(6)}})
+	c.PropagateBottom()
+	if !c.Rows[0].Values[1].IsBottom() {
+		t.Fatal("⊥ must propagate within slot 1")
+	}
+	if c.Rows[0].Values[2] != relation.Int(5) {
+		t.Fatal("⊥ must not propagate across slots")
+	}
+	if c.Rows[1].Values[0] != relation.Int(2) {
+		t.Fatal("⊥ must not propagate across rows")
+	}
+}
+
+func TestDropAndRenameField(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A"), fr("R", 1, "B")}, row(0, 1, 2))
+	if empty := c.DropField(fr("R", 1, "A")); empty {
+		t.Fatal("component should not be empty yet")
+	}
+	if c.Arity() != 1 || c.Rows[0].Values[0] != relation.Int(2) {
+		t.Fatal("drop shifted columns incorrectly")
+	}
+	c.RenameField(fr("R", 1, "B"), fr("R", 1, "X"))
+	if !c.Has(fr("R", 1, "X")) || c.Has(fr("R", 1, "B")) {
+		t.Fatal("rename broken")
+	}
+	if empty := c.DropField(fr("R", 1, "X")); !empty {
+		t.Fatal("component should report empty")
+	}
+}
+
+func TestComponentClone(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0.5, 1), row(0.5, 2))
+	d := c.Clone()
+	d.Rows[0].Values[0] = relation.Int(99)
+	if c.Rows[0].Values[0] != relation.Int(1) {
+		t.Fatal("clone shares row storage")
+	}
+}
+
+func TestFieldRefOrderingAndString(t *testing.T) {
+	a := fr("R", 1, "A")
+	b := fr("R", 1, "B")
+	c := fr("R", 2, "A")
+	d := fr("S", 1, "A")
+	if !a.Less(b) || !b.Less(c) || !c.Less(d) || d.Less(a) {
+		t.Fatal("Less ordering broken")
+	}
+	if a.String() != "R.t1.A" {
+		t.Fatalf("String = %q", a.String())
+	}
+}

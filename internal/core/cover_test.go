@@ -1,0 +1,173 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+func TestComponentAccessorsAndString(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "B"), fr("R", 1, "A")}, row(0.5, 1, 2), row(0.5, 3, 4))
+	if c.MustPos(fr("R", 1, "A")) != 1 {
+		t.Fatal("MustPos wrong")
+	}
+	sf := c.SortedFields()
+	if sf[0] != fr("R", 1, "A") || sf[1] != fr("R", 1, "B") {
+		t.Fatalf("SortedFields = %v", sf)
+	}
+	s := c.String()
+	if !strings.Contains(s, "R.t1.B") || !strings.Contains(s, "0.5") {
+		t.Fatalf("String = %q", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPos on missing field must panic")
+		}
+	}()
+	c.MustPos(fr("Z", 9, "Z"))
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	c := NewComponent([]FieldRef{fr("R", 1, "A")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	c.AddRow(row(0, 1, 2))
+}
+
+func TestWSDString(t *testing.T) {
+	w := fig10WSD(t)
+	s := w.String()
+	if !strings.Contains(s, "R.t1.A") || !strings.Contains(s, "×") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestReplaceComponentValidation(t *testing.T) {
+	w := fig10WSD(t)
+	c := w.Comps[0] // R.t1.A with rows 1, 2
+	// Replacement introducing a foreign field must fail.
+	bad := NewComponent([]FieldRef{fr("R", 9, "Z")}, row(0, 1))
+	if err := w.ReplaceComponent(c, bad); err == nil {
+		t.Fatal("foreign field must be rejected")
+	}
+	// Replacement covering too few fields must fail.
+	two := w.MergeComponents(fr("R", 1, "A"), fr("R", 2, "A"))
+	partial := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1))
+	if err := w.ReplaceComponent(two, partial); err == nil {
+		t.Fatal("partial cover must be rejected")
+	}
+	// A proper split must succeed and preserve rep.
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2))
+	b := NewComponent([]FieldRef{fr("R", 2, "A")}, row(0, 4), row(0, 5))
+	if err := w.ReplaceComponent(two, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before, 0) {
+		t.Fatal("ReplaceComponent changed the world-set")
+	}
+}
+
+func TestRemoveSlotRenumbers(t *testing.T) {
+	// Build R with 3 slots where slot 2 is ⊥ everywhere, remove it.
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}})
+	w := New(schema, map[string]int{"R": 3})
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1))))
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 2, "A")},
+		Row{Values: []relation.Value{relation.Bottom()}})))
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 3, "A")}, row(0, 3))))
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveSlot("R", 2)
+	if w.MaxCard["R"] != 2 {
+		t.Fatalf("MaxCard = %d", w.MaxCard["R"])
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before, 0) {
+		t.Fatal("RemoveSlot changed the world-set")
+	}
+	// Removing a slot of an unknown relation is a no-op.
+	w.RemoveSlot("Z", 1)
+}
+
+func TestNegateAllConnectives(t *testing.T) {
+	// ¬(p ∧ q), ¬(p ∨ q), ¬¬p and both atom kinds, all against the oracle.
+	preds := []relation.Predicate{
+		relation.Not{P: relation.And{relation.Eq("A", 1), relation.Cmp("B", relation.GT, 3)}},
+		relation.Not{P: relation.Or{relation.Eq("A", 1), relation.AttrAttr{A: "B", Theta: relation.LT, B: "C"}}},
+		relation.Not{P: relation.Not{P: relation.Eq("C", 7)}},
+		relation.Not{P: relation.AttrAttr{A: "A", Theta: relation.GE, B: "B"}},
+	}
+	for i, p := range preds {
+		w := fig10WSD(t)
+		checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: p})
+		_ = i
+	}
+}
+
+func TestEmptyDisjunctionSelectsNothing(t *testing.T) {
+	w := fig10WSD(t)
+	if err := NewEvaluator(w).Eval(worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Or{}}, "P"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range rep.Worlds {
+		if db.Rel("P").Size() != 0 {
+			t.Fatal("σ_false must be empty in every world")
+		}
+	}
+}
+
+func TestEmptyConjunctionSelectsEverything(t *testing.T) {
+	w := fig10WSD(t)
+	checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.And{}})
+}
+
+func TestKeepAuxRetainsIntermediates(t *testing.T) {
+	w := fig10WSD(t)
+	ev := NewEvaluator(w)
+	ev.KeepAux = true
+	if err := ev.Eval(worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("A", 1)}, "P"); err != nil {
+		t.Fatal(err)
+	}
+	aux := 0
+	for _, rs := range w.Schema.Rels {
+		if strings.Contains(rs.Name, "aux") {
+			aux++
+		}
+	}
+	if aux == 0 {
+		t.Fatal("KeepAux must retain auxiliary relations")
+	}
+}

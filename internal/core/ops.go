@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+)
+
+// This file implements the relational algebra operations on WSDs of
+// Figure 9. Each operation extends the input WSD with a fresh result
+// relation; the input relations stay available so that subqueries remain
+// correlated with their inputs (the compositional semantics of Section 4).
+
+// Copy adds relation res as a copy of src: res and src have the same tuples
+// in every represented world. Implemented with ext on every component
+// defining a field of src (the copy(R, P) operation of Section 4).
+func (w *WSD) Copy(res, src string) error {
+	attrs, ok := w.RelAttrs(src)
+	if !ok {
+		return fmt.Errorf("core: copy: unknown relation %q", src)
+	}
+	return w.copyRenamed(res, src, attrs)
+}
+
+// copyRenamed copies src to res giving the result the attribute names
+// resAttrs (position-wise). Used by Copy (same names) and Rename.
+func (w *WSD) copyRenamed(res, src string, resAttrs []string) error {
+	srcAttrs, ok := w.RelAttrs(src)
+	if !ok {
+		return fmt.Errorf("core: copy: unknown relation %q", src)
+	}
+	if len(resAttrs) != len(srcAttrs) {
+		return fmt.Errorf("core: copy: attribute count mismatch")
+	}
+	if err := w.AddRelation(res, resAttrs, w.MaxCard[src]); err != nil {
+		return err
+	}
+	for i := 1; i <= w.MaxCard[src]; i++ {
+		for j, a := range srcAttrs {
+			srcF := FieldRef{src, i, a}
+			dstF := FieldRef{res, i, resAttrs[j]}
+			c := w.fieldComp[srcF]
+			if c == nil {
+				return fmt.Errorf("core: copy: field %v undefined", srcF)
+			}
+			c.Ext(srcF, dstF)
+			w.fieldComp[dstF] = c
+		}
+	}
+	return nil
+}
+
+// SelectConst computes res := σ_{attr θ c}(src): algorithm select[Aθc] of
+// Figure 9. Tuples failing the condition are marked deleted with ⊥ and the
+// mark is propagated across the fields of the slot within its component.
+func (w *WSD) SelectConst(res, src, attr string, theta relation.Op, c relation.Value) error {
+	if err := w.Copy(res, src); err != nil {
+		return err
+	}
+	for i := 1; i <= w.MaxCard[res]; i++ {
+		f := FieldRef{res, i, attr}
+		comp := w.fieldComp[f]
+		if comp == nil {
+			return fmt.Errorf("core: select: field %v undefined", f)
+		}
+		col, _ := comp.Pos(f)
+		for r := range comp.Rows {
+			if !theta.Apply(comp.Rows[r].Values[col], c) {
+				comp.Rows[r].Values[col] = relation.Bottom()
+			}
+		}
+		comp.PropagateBottom()
+	}
+	return nil
+}
+
+// SelectAttr computes res := σ_{a θ b}(src): algorithm select[AθB] of
+// Figure 9. If a and b of a tuple slot live in different components, the
+// components are composed first.
+func (w *WSD) SelectAttr(res, src, a string, theta relation.Op, b string) error {
+	if err := w.Copy(res, src); err != nil {
+		return err
+	}
+	for i := 1; i <= w.MaxCard[res]; i++ {
+		fa := FieldRef{res, i, a}
+		fb := FieldRef{res, i, b}
+		comp := w.MergeComponents(fa, fb)
+		ca, _ := comp.Pos(fa)
+		cb, _ := comp.Pos(fb)
+		for r := range comp.Rows {
+			if !theta.Apply(comp.Rows[r].Values[ca], comp.Rows[r].Values[cb]) {
+				comp.Rows[r].Values[ca] = relation.Bottom()
+			}
+		}
+		comp.PropagateBottom()
+	}
+	return nil
+}
+
+// Product computes res := l × r (algorithm product of Figure 9). The result
+// has |l|max · |r|max tuple slots; slot (i, j) holds the concatenation of
+// l's slot i and r's slot j, and is absent from a world whenever either
+// input slot is absent (⊥ copies over).
+func (w *WSD) Product(res, l, r string) error {
+	la, ok := w.RelAttrs(l)
+	if !ok {
+		return fmt.Errorf("core: product: unknown relation %q", l)
+	}
+	ra, ok := w.RelAttrs(r)
+	if !ok {
+		return fmt.Errorf("core: product: unknown relation %q", r)
+	}
+	for _, a := range la {
+		for _, b := range ra {
+			if a == b {
+				return fmt.Errorf("core: product: attribute %q on both sides", a)
+			}
+		}
+	}
+	lm, rm := w.MaxCard[l], w.MaxCard[r]
+	if err := w.AddRelation(res, append(append([]string{}, la...), ra...), lm*rm); err != nil {
+		return err
+	}
+	slot := func(i, j int) int { return (i-1)*rm + j }
+	for j := 1; j <= rm; j++ {
+		for i := 1; i <= lm; i++ {
+			for _, a := range la {
+				srcF := FieldRef{l, i, a}
+				dstF := FieldRef{res, slot(i, j), a}
+				c := w.fieldComp[srcF]
+				c.Ext(srcF, dstF)
+				w.fieldComp[dstF] = c
+			}
+		}
+	}
+	for i := 1; i <= lm; i++ {
+		for j := 1; j <= rm; j++ {
+			for _, b := range ra {
+				srcF := FieldRef{r, j, b}
+				dstF := FieldRef{res, slot(i, j), b}
+				c := w.fieldComp[srcF]
+				c.Ext(srcF, dstF)
+				w.fieldComp[dstF] = c
+			}
+		}
+	}
+	return nil
+}
+
+// Union computes res := l ∪ r (algorithm union of Figure 9). The result has
+// |l|max + |r|max slots; duplicates between l and r are eliminated when
+// worlds are decoded (set semantics of inline⁻¹).
+func (w *WSD) Union(res, l, r string) error {
+	la, ok := w.RelAttrs(l)
+	if !ok {
+		return fmt.Errorf("core: union: unknown relation %q", l)
+	}
+	ra, ok := w.RelAttrs(r)
+	if !ok {
+		return fmt.Errorf("core: union: unknown relation %q", r)
+	}
+	if len(la) != len(ra) {
+		return fmt.Errorf("core: union: schema mismatch")
+	}
+	for i := range la {
+		if la[i] != ra[i] {
+			return fmt.Errorf("core: union: schema mismatch at %q vs %q", la[i], ra[i])
+		}
+	}
+	lm, rm := w.MaxCard[l], w.MaxCard[r]
+	if err := w.AddRelation(res, la, lm+rm); err != nil {
+		return err
+	}
+	for i := 1; i <= lm; i++ {
+		for _, a := range la {
+			srcF := FieldRef{l, i, a}
+			dstF := FieldRef{res, i, a}
+			c := w.fieldComp[srcF]
+			c.Ext(srcF, dstF)
+			w.fieldComp[dstF] = c
+		}
+	}
+	for j := 1; j <= rm; j++ {
+		for _, a := range ra {
+			srcF := FieldRef{r, j, a}
+			dstF := FieldRef{res, lm + j, a}
+			c := w.fieldComp[srcF]
+			c.Ext(srcF, dstF)
+			w.fieldComp[dstF] = c
+		}
+	}
+	return nil
+}
+
+// Project computes res := π_attrs(src) (algorithm project[U] of Figure 9).
+// Before discarding a non-kept attribute whose component records tuple
+// deletions (⊥), that component is composed with a component holding a kept
+// attribute of the same slot and the ⊥ marks are propagated, so deleted
+// tuples are not resurrected.
+func (w *WSD) Project(res, src string, attrs ...string) error {
+	srcAttrs, ok := w.RelAttrs(src)
+	if !ok {
+		return fmt.Errorf("core: project: unknown relation %q", src)
+	}
+	keep := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		found := false
+		for _, s := range srcAttrs {
+			if s == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: project: attribute %q not in %q", a, src)
+		}
+		keep[a] = true
+	}
+	if err := w.copyProjected(res, src, attrs); err != nil {
+		return err
+	}
+	var drop []string
+	for _, a := range srcAttrs {
+		if !keep[a] {
+			drop = append(drop, a)
+		}
+	}
+	for i := 1; i <= w.MaxCard[res]; i++ {
+		// Propagate ⊥ locally first: a component holding both a kept and a
+		// dropped field of slot i handles the deletion mark on its own.
+		seen := make(map[*Component]bool)
+		for _, a := range srcAttrs {
+			c := w.fieldComp[FieldRef{res, i, a}]
+			if !seen[c] {
+				seen[c] = true
+				c.PropagateBottom()
+			}
+		}
+		// Fixpoint: compose components carrying ⊥-marked dropped fields of
+		// slot i with a component carrying a kept field of slot i.
+		for {
+			merged := w.projectMergeStep(res, i, attrs, drop)
+			if !merged {
+				break
+			}
+		}
+	}
+	// Finally project the dropped attributes away from all components.
+	for i := 1; i <= w.MaxCard[res]; i++ {
+		for _, b := range drop {
+			f := FieldRef{res, i, b}
+			c := w.fieldComp[f]
+			delete(w.fieldComp, f)
+			if c.DropField(f) {
+				w.removeComponent(c)
+			}
+		}
+	}
+	// Shrink the schema of res to the kept attributes.
+	for k, rs := range w.Schema.Rels {
+		if rs.Name == res {
+			w.Schema.Rels[k].Attrs = append([]string(nil), attrs...)
+		}
+	}
+	return nil
+}
+
+// copyProjected copies src to res keeping all source attributes (they are
+// dropped at the end of Project); the result relation is registered with the
+// full attribute list first so field bookkeeping stays uniform.
+func (w *WSD) copyProjected(res, src string, _ []string) error {
+	return w.Copy(res, src)
+}
+
+// projectMergeStep performs one merge of the projection fixpoint for slot i
+// of relation res and reports whether a merge happened.
+func (w *WSD) projectMergeStep(res string, i int, kept, dropped []string) bool {
+	for _, b := range dropped {
+		fb := FieldRef{res, i, b}
+		cb := w.fieldComp[fb]
+		// Skip components that already hold a kept field of this slot:
+		// local propagation has handled them.
+		holdsKept := false
+		for _, a := range kept {
+			if cb.Has(FieldRef{res, i, a}) {
+				holdsKept = true
+				break
+			}
+		}
+		if holdsKept {
+			continue
+		}
+		// Only components recording a deletion (⊥) matter.
+		col, _ := cb.Pos(fb)
+		hasBottom := false
+		for _, r := range cb.Rows {
+			if r.Values[col].IsBottom() {
+				hasBottom = true
+				break
+			}
+		}
+		if !hasBottom {
+			continue
+		}
+		for _, a := range kept {
+			fa := FieldRef{res, i, a}
+			ca := w.fieldComp[fa]
+			if ca == cb {
+				continue
+			}
+			m := w.MergeComponents(fa, fb)
+			m.PropagateBottom()
+			return true
+		}
+	}
+	return false
+}
+
+// Rename computes res := δ_{old→new}(src) as a copy with the attribute
+// renamed (algorithm rename of Figure 9, made compositional).
+func (w *WSD) Rename(res, src, old, new string) error {
+	attrs, ok := w.RelAttrs(src)
+	if !ok {
+		return fmt.Errorf("core: rename: unknown relation %q", src)
+	}
+	out := append([]string(nil), attrs...)
+	found := false
+	for i, a := range out {
+		if a == new && old != new {
+			return fmt.Errorf("core: rename: attribute %q already exists", new)
+		}
+		if a == old {
+			out[i] = new
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: rename: no attribute %q", old)
+	}
+	return w.copyRenamed(res, src, out)
+}
+
+// Difference computes res := l − r (algorithm difference of Figure 9). For
+// every pair of slots the components of both slots are composed, and rows
+// where the slots carry equal tuples mark the result slot deleted.
+func (w *WSD) Difference(res, l, r string) error {
+	la, ok := w.RelAttrs(l)
+	if !ok {
+		return fmt.Errorf("core: difference: unknown relation %q", l)
+	}
+	ra, ok := w.RelAttrs(r)
+	if !ok {
+		return fmt.Errorf("core: difference: unknown relation %q", r)
+	}
+	if len(la) != len(ra) {
+		return fmt.Errorf("core: difference: schema mismatch")
+	}
+	for i := range la {
+		if la[i] != ra[i] {
+			return fmt.Errorf("core: difference: schema mismatch at %q vs %q", la[i], ra[i])
+		}
+	}
+	if err := w.Copy(res, l); err != nil {
+		return err
+	}
+	for i := 1; i <= w.MaxCard[res]; i++ {
+		for j := 1; j <= w.MaxCard[r]; j++ {
+			fields := make([]FieldRef, 0, 2*len(la))
+			for _, a := range la {
+				fields = append(fields, FieldRef{res, i, a}, FieldRef{r, j, a})
+			}
+			comp := w.MergeComponents(fields...)
+			resCols := make([]int, len(la))
+			rCols := make([]int, len(la))
+			for k, a := range la {
+				resCols[k], _ = comp.Pos(FieldRef{res, i, a})
+				rCols[k], _ = comp.Pos(FieldRef{r, j, a})
+			}
+			for rowI := range comp.Rows {
+				vals := comp.Rows[rowI].Values
+				equal := true
+				for k := range la {
+					if vals[resCols[k]] != vals[rCols[k]] {
+						equal = false
+						break
+					}
+				}
+				if equal {
+					for _, c := range resCols {
+						vals[c] = relation.Bottom()
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// checkAgainstOracle evaluates q on the WSD and independently on the
+// explicitly enumerated world-set, and requires the results to denote the
+// same world-set (Theorem 1).
+func checkAgainstOracle(t *testing.T, w *WSD, q worlds.Query) *WSD {
+	t.Helper()
+	repIn, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := worlds.EvalWorldSet(q, repIn, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewEvaluator(w).Eval(q, "P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatalf("result WSD invalid: %v", err)
+	}
+	got, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatalf("query %v:\nWSD result has %d distinct worlds, oracle %d\ngot: %v\nwant: %v",
+			q, len(got.Canonical()), len(want.Canonical()), got.Worlds, want.Worlds)
+	}
+	return w
+}
+
+func TestFig11aSelectConst(t *testing.T) {
+	// P := σ_{C=7}(R) on the WSD of Figure 10.
+	w := fig10WSD(t)
+	checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("C", 7)})
+	// Figure 11(a): t2 of P is ⊥ in all worlds (C=0 never passes), so every
+	// world of P contains at most t1 and t3.
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range rep.Worlds {
+		if db.Rel("P").Size() > 2 {
+			t.Fatalf("world with %d tuples; t2 must never survive σC=7", db.Rel("P").Size())
+		}
+	}
+}
+
+func TestFig11bSelectConst(t *testing.T) {
+	w := fig10WSD(t)
+	checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("B", 1)})
+}
+
+func TestFig13SelectAttrAttr(t *testing.T) {
+	// P := σ_{A=B}(R): Figure 13 reports five worlds — one with three
+	// tuples, three with two, one with one.
+	w := fig10WSD(t)
+	checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.AttrAttr{A: "A", Theta: relation.EQ, B: "B"}})
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]int{}
+	for _, cw := range rep.Canonical() {
+		sizes[cw.World.Rel("P").Size()]++
+	}
+	if len(rep.Canonical()) != 5 || sizes[3] != 1 || sizes[2] != 3 || sizes[1] != 1 {
+		t.Fatalf("world size histogram = %v (distinct worlds %d), want 1×3t, 3×2t, 1×1t",
+			sizes, len(rep.Canonical()))
+	}
+}
+
+func fig14WSD(t *testing.T) *WSD {
+	t.Helper()
+	schema := worlds.NewSchema(
+		worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+		worlds.RelSchema{Name: "S", Attrs: []string{"C", "D"}},
+	)
+	w := New(schema, map[string]int{"R": 2, "S": 2})
+	add := func(c *Component) {
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2)))
+	add(NewComponent([]FieldRef{fr("R", 1, "B"), fr("R", 2, "A")}, row(0, 3, 5), row(0, 4, 6)))
+	add(NewComponent([]FieldRef{fr("R", 2, "B")}, row(0, 7), row(0, 8)))
+	str := func(s string) relation.Value { return relation.String(s) }
+	add(NewComponent([]FieldRef{fr("S", 1, "C")},
+		Row{Values: []relation.Value{str("a")}}, Row{Values: []relation.Value{str("b")}}))
+	add(NewComponent([]FieldRef{fr("S", 1, "D"), fr("S", 2, "C")},
+		Row{Values: []relation.Value{str("c"), str("e")}},
+		Row{Values: []relation.Value{str("d"), str("f")}}))
+	add(NewComponent([]FieldRef{fr("S", 2, "D")},
+		Row{Values: []relation.Value{str("g")}}, Row{Values: []relation.Value{str("h")}}))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFig14Product(t *testing.T) {
+	w := fig14WSD(t)
+	checkAgainstOracle(t, w, worlds.Product{L: worlds.Base{Rel: "R"}, R: worlds.Base{Rel: "S"}})
+	// Every world of the product has exactly 2·2 = 4 tuples.
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range rep.Worlds {
+		if db.Rel("P").Size() != 4 {
+			t.Fatalf("product world with %d tuples, want 4", db.Rel("P").Size())
+		}
+	}
+}
+
+func fig15WSD(t *testing.T) *WSD {
+	t.Helper()
+	// Figure 15(a): two worlds over R[A,B]; one world has only t1 = (a, c),
+	// the other only t2 = (b, d).
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := New(schema, map[string]int{"R": 2})
+	str := func(s string) relation.Value { return relation.String(s) }
+	add := func(c *Component) {
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewComponent([]FieldRef{fr("R", 1, "A")}, Row{Values: []relation.Value{str("a")}}))
+	add(NewComponent([]FieldRef{fr("R", 2, "A")}, Row{Values: []relation.Value{str("b")}}))
+	add(NewComponent([]FieldRef{fr("R", 1, "B"), fr("R", 2, "B")},
+		Row{Values: []relation.Value{str("c"), relation.Bottom()}},
+		Row{Values: []relation.Value{relation.Bottom(), str("d")}}))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFig15Projection(t *testing.T) {
+	// P := π_A(R): the naive projection would lose the fact that only one
+	// tuple exists per world; the merge loop of Figure 9 must keep it.
+	w := fig15WSD(t)
+	checkAgainstOracle(t, w, worlds.Project{Q: worlds.Base{Rel: "R"}, Attrs: []string{"A"}})
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Canonical()) != 2 {
+		t.Fatalf("distinct worlds = %d, want 2", len(rep.Canonical()))
+	}
+	for _, db := range rep.Worlds {
+		if db.Rel("P").Size() != 1 {
+			t.Fatalf("projection world has %d tuples, want 1", db.Rel("P").Size())
+		}
+	}
+}
+
+func TestUnionAgainstOracle(t *testing.T) {
+	w := fig10WSD(t)
+	q := worlds.Union{
+		L: worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("A", 1)},
+		R: worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("B", 2)},
+	}
+	checkAgainstOracle(t, w, q)
+}
+
+func TestDifferenceAgainstOracle(t *testing.T) {
+	w := fig10WSD(t)
+	q := worlds.Difference{
+		L: worlds.Base{Rel: "R"},
+		R: worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("C", 7)},
+	}
+	checkAgainstOracle(t, w, q)
+}
+
+func TestRenameAgainstOracle(t *testing.T) {
+	w := fig10WSD(t)
+	checkAgainstOracle(t, w, worlds.Rename{Q: worlds.Base{Rel: "R"}, Old: "A", New: "X"})
+}
+
+func TestOrPredicateAgainstOracle(t *testing.T) {
+	w := fig10WSD(t)
+	q := worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Or{
+		relation.Eq("A", 1), relation.Eq("C", 7),
+	}}
+	checkAgainstOracle(t, w, q)
+}
+
+func TestAndNotPredicateAgainstOracle(t *testing.T) {
+	w := fig10WSD(t)
+	q := worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.And{
+		relation.Not{P: relation.Eq("A", 1)},
+		relation.Cmp("B", relation.LE, 6),
+	}}
+	checkAgainstOracle(t, w, q)
+}
+
+func TestProbabilisticSelectKeepsDistribution(t *testing.T) {
+	// Probabilistic WSD: query evaluation is per world; probabilities of
+	// surviving worlds must carry over unchanged (Remark 2).
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := New(schema, map[string]int{"R": 2})
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0.3, 1), row(0.7, 2))))
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "B")}, row(1, 5))))
+	must(w.AddComponent(NewComponent([]FieldRef{fr("R", 2, "A"), fr("R", 2, "B")},
+		row(0.5, 1, 6), row(0.5, 2, 6))))
+	must(w.Validate(1e-9))
+	checkAgainstOracle(t, w, worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("A", 1)})
+	rep, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(1e-9); err != nil {
+		t.Fatalf("result distribution invalid: %v", err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	w := fig10WSD(t)
+	if err := NewEvaluator(w).Eval(worlds.Base{Rel: "Z"}, "P"); err == nil {
+		t.Fatal("unknown base relation must fail")
+	}
+	if err := NewEvaluator(w).Eval(worlds.Project{Q: worlds.Base{Rel: "R"}, Attrs: []string{"Z"}}, "P2"); err == nil {
+		t.Fatal("unknown projection attribute must fail")
+	}
+	if err := NewEvaluator(w).Eval(worlds.Union{
+		L: worlds.Base{Rel: "R"},
+		R: worlds.Rename{Q: worlds.Base{Rel: "R"}, Old: "A", New: "X"},
+	}, "P3"); err == nil {
+		t.Fatal("union schema mismatch must fail")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// This file property-tests the Q ↦ Q̂ translation on randomized WSDs against
+// naive per-world evaluation, for both probabilistic and non-probabilistic
+// decompositions.
+
+// randWSD builds a random WSD over R[A,B] (2 slots) and S[C] (2 slots):
+// fields are randomly partitioned into components, rows carry random small
+// values with occasional whole-slot ⊥ marks, and probabilities are random
+// normalized weights when prob is set.
+func randWSD(rng *rand.Rand, prob bool) *WSD {
+	schema := worlds.NewSchema(
+		worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+		worlds.RelSchema{Name: "S", Attrs: []string{"C"}},
+	)
+	w := New(schema, map[string]int{"R": 2, "S": 2})
+	fields := w.Fields()
+	rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(fields) {
+			n = len(fields)
+		}
+		group := fields[:n]
+		fields = fields[n:]
+		c := NewComponent(append([]FieldRef(nil), group...))
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			vals := make([]relation.Value, n)
+			for i := range vals {
+				vals[i] = relation.Int(int64(rng.Intn(3)))
+			}
+			// Occasionally mark a slot deleted.
+			if rng.Float64() < 0.2 {
+				vals[rng.Intn(n)] = relation.Bottom()
+			}
+			c.AddRow(Row{Values: vals})
+		}
+		c.PropagateBottom()
+		if prob {
+			total := 0.0
+			ps := make([]float64, len(c.Rows))
+			for i := range ps {
+				ps[i] = rng.Float64() + 0.01
+				total += ps[i]
+			}
+			for i := range ps {
+				c.Rows[i].P = ps[i] / total
+			}
+		}
+		if err := w.AddComponent(c); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+// randQuery builds a random query of bounded depth whose output schema is
+// valid over the test schema.
+func randQuery(rng *rand.Rand, schema worlds.Schema, depth int) worlds.Query {
+	if depth == 0 {
+		if rng.Intn(2) == 0 {
+			return worlds.Base{Rel: "R"}
+		}
+		return worlds.Base{Rel: "S"}
+	}
+	sub := randQuery(rng, schema, depth-1)
+	subSchema, err := sub.OutSchema(schema)
+	if err != nil {
+		return sub
+	}
+	attrs := subSchema.Attrs()
+	switch rng.Intn(7) {
+	case 0: // selection
+		return worlds.Select{Q: sub, Pred: randPred(rng, attrs, 1)}
+	case 1: // projection onto a random nonempty subset
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		k := 1 + rng.Intn(len(attrs))
+		return worlds.Project{Q: sub, Attrs: attrs[:k]}
+	case 2: // rename a random attribute to a fresh name
+		return worlds.Rename{Q: sub, Old: attrs[rng.Intn(len(attrs))], New: fmt.Sprintf("X%d", rng.Intn(1000))}
+	case 3: // union of two selections over the same subquery
+		return worlds.Union{
+			L: worlds.Select{Q: sub, Pred: randPred(rng, attrs, 1)},
+			R: worlds.Select{Q: sub, Pred: randPred(rng, attrs, 1)},
+		}
+	case 4: // difference of two selections over the same subquery
+		return worlds.Difference{
+			L: worlds.Select{Q: sub, Pred: randPred(rng, attrs, 1)},
+			R: worlds.Select{Q: sub, Pred: randPred(rng, attrs, 1)},
+		}
+	case 5: // product with the other base relation if schemas stay disjoint
+		q := worlds.Product{L: worlds.Base{Rel: "R"}, R: worlds.Base{Rel: "S"}}
+		if _, err := q.OutSchema(schema); err == nil {
+			return q
+		}
+		return sub
+	default:
+		return sub
+	}
+}
+
+func randPred(rng *rand.Rand, attrs []string, depth int) relation.Predicate {
+	atom := func() relation.Predicate {
+		op := relation.Op(rng.Intn(6))
+		a := attrs[rng.Intn(len(attrs))]
+		if len(attrs) > 1 && rng.Intn(3) == 0 {
+			b := attrs[rng.Intn(len(attrs))]
+			if b != a {
+				return relation.AttrAttr{A: a, Theta: op, B: b}
+			}
+		}
+		return relation.AttrConst{Attr: a, Theta: op, Const: relation.Int(int64(rng.Intn(3)))}
+	}
+	if depth == 0 {
+		return atom()
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return relation.And{randPred(rng, attrs, depth-1), randPred(rng, attrs, depth-1)}
+	case 1:
+		return relation.Or{randPred(rng, attrs, depth-1), randPred(rng, attrs, depth-1)}
+	case 2:
+		return relation.Not{P: randPred(rng, attrs, depth-1)}
+	default:
+		return atom()
+	}
+}
+
+func runOracleTrials(t *testing.T, prob bool, trials int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		w := randWSD(rng, prob)
+		if err := w.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: generated WSD invalid: %v", trial, err)
+		}
+		q := randQuery(rng, w.Schema, 1+rng.Intn(2))
+		repIn, err := w.Rep(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := worlds.EvalWorldSet(q, repIn, "P")
+		if err != nil {
+			continue // schema-invalid query (rare); skip
+		}
+		if err := NewEvaluator(w).Eval(q, "P"); err != nil {
+			t.Fatalf("trial %d: query %v failed on WSD: %v", trial, q, err)
+		}
+		if err := w.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: query %v left WSD invalid: %v", trial, q, err)
+		}
+		got, err := w.RepRelation("P", 1<<22)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: query %v mismatch\nWSD: %d distinct worlds\noracle: %d distinct worlds\nWSD:\n%v",
+				trial, q, len(got.Canonical()), len(want.Canonical()), w)
+		}
+	}
+}
+
+func TestOracleNonProbabilistic(t *testing.T) {
+	runOracleTrials(t, false, 120, 1)
+}
+
+func TestOracleProbabilistic(t *testing.T) {
+	runOracleTrials(t, true, 120, 2)
+}
+
+func TestOracleDeepQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		q := randQuery(rng, w.Schema, 3)
+		repIn, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := worlds.EvalWorldSet(q, repIn, "P")
+		if err != nil {
+			continue
+		}
+		if err := NewEvaluator(w).Eval(q, "P"); err != nil {
+			t.Fatalf("trial %d: %v: %v", trial, q, err)
+		}
+		got, err := w.RepRelation("P", 1<<22)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: deep query %v mismatch", trial, q)
+		}
+	}
+}

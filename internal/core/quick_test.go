@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/relation"
+)
+
+// Property-based tests (testing/quick) on the core data structures. Each
+// property receives a seed and builds a randomized decomposition from it, so
+// quick.Check explores the space of WSDs rather than of raw Go values.
+
+func qc(t *testing.T, name string, f interface{}) {
+	t.Helper()
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// Property: rep is invariant under cloning.
+func TestQuickCloneRepInvariant(t *testing.T) {
+	qc(t, "clone", func(seed int64) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), seed%2 == 0)
+		a, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		b, err := w.Clone().Rep(0)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b, 1e-9)
+	})
+}
+
+// Property: composing any two components preserves rep (composition is the
+// product, Section 4).
+func TestQuickComposePreservesRep(t *testing.T) {
+	qc(t, "compose", func(seed int64, i, j uint8) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), seed%2 == 0)
+		before, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		ci := w.Comps[int(i)%len(w.Comps)]
+		cj := w.Comps[int(j)%len(w.Comps)]
+		if ci != cj {
+			w.ReplaceComponents(Compose(ci, cj), ci, cj)
+		}
+		if err := w.Validate(1e-9); err != nil {
+			return false
+		}
+		after, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		return before.Equal(after, 1e-9)
+	})
+}
+
+// Property: for probabilistic WSDs the represented distribution is a
+// probability distribution (weights sum to 1).
+func TestQuickRepDistribution(t *testing.T) {
+	qc(t, "distribution", func(seed int64) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), true)
+		rep, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rep.TotalProb()-1) < 1e-9
+	})
+}
+
+// Property: NumWorlds equals the product of component sizes and bounds the
+// number of distinct worlds.
+func TestQuickNumWorldsBound(t *testing.T) {
+	qc(t, "numworlds", func(seed int64) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), false)
+		rep, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		n := 1.0
+		for _, c := range w.Comps {
+			n *= float64(len(c.Rows))
+		}
+		return w.NumWorlds() == n && float64(len(rep.Canonical())) <= n
+	})
+}
+
+// Property: query evaluation never invalidates the decomposition and keeps
+// the input relations' world-set intact (compositionality).
+func TestQuickQueryKeepsInputWorlds(t *testing.T) {
+	qc(t, "compositional", func(seed int64, which uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randWSD(rng, seed%2 == 0)
+		before, err := w.RepRelation("R", 0)
+		if err != nil {
+			return false
+		}
+		q := randQuery(rng, w.Schema, 1+int(which)%2)
+		if err := NewEvaluator(w).Eval(q, "P"); err != nil {
+			return false
+		}
+		if err := w.Validate(1e-9); err != nil {
+			return false
+		}
+		after, err := w.RepRelation("R", 1<<22)
+		if err != nil {
+			return false
+		}
+		return before.Equal(after, 1e-9)
+	})
+}
+
+// Property: Ext makes an exact copy (the new field equals the source field
+// in every local world).
+func TestQuickExtCopies(t *testing.T) {
+	qc(t, "ext", func(vals []int16) bool {
+		if len(vals) == 0 {
+			vals = []int16{1}
+		}
+		c := NewComponent([]FieldRef{fr("R", 1, "A")})
+		for _, v := range vals {
+			c.AddRow(Row{Values: []relation.Value{relation.Int(int64(v))}})
+		}
+		c.Ext(fr("R", 1, "A"), fr("P", 1, "A"))
+		for i := range c.Rows {
+			if c.Value(i, fr("R", 1, "A")) != c.Value(i, fr("P", 1, "A")) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Property: PropagateBottom is idempotent and only ever turns values into ⊥.
+func TestQuickPropagateBottomIdempotent(t *testing.T) {
+	qc(t, "propagate", func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewComponent([]FieldRef{fr("R", 1, "A"), fr("R", 1, "B"), fr("R", 2, "A")})
+		for r := 0; r < 1+rng.Intn(4); r++ {
+			vals := make([]relation.Value, 3)
+			for i := range vals {
+				if rng.Intn(4) == 0 {
+					vals[i] = relation.Bottom()
+				} else {
+					vals[i] = relation.Int(int64(rng.Intn(3)))
+				}
+			}
+			c.AddRow(Row{Values: vals})
+		}
+		c.PropagateBottom()
+		snapshot := c.Clone()
+		c.PropagateBottom()
+		for i := range c.Rows {
+			for j := range c.Rows[i].Values {
+				if c.Rows[i].Values[j] != snapshot.Rows[i].Values[j] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Property: WSDT roundtrip (SplitTemplate then ToWSD) is the identity on
+// world-sets, and the template absorbs exactly the single-row components.
+func TestQuickTemplateRoundtrip(t *testing.T) {
+	qc(t, "template", func(seed int64) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), seed%2 == 0)
+		before, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		wsdt := SplitTemplate(w)
+		single := 0
+		for _, c := range w.Comps {
+			if len(c.Rows) == 1 {
+				single++
+			}
+		}
+		if len(wsdt.Comps) != len(w.Comps)-single {
+			return false
+		}
+		back, err := wsdt.ToWSD()
+		if err != nil {
+			return false
+		}
+		after, err := back.Rep(0)
+		if err != nil {
+			return false
+		}
+		return before.Equal(after, 1e-9)
+	})
+}

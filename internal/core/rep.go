@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// DefaultMaxWorlds caps explicit world enumeration. Enumerating rep(W) is an
+// exponential operation reserved for tests, examples and tiny inputs; the
+// cap turns runaway enumerations into errors.
+const DefaultMaxWorlds = 1 << 20
+
+// NumWorlds returns the number of world candidates of the decomposition,
+// i.e. the product of the component sizes (before deduplication of decoded
+// worlds). A WSD with an empty component represents no worlds.
+func (w *WSD) NumWorlds() float64 {
+	n := 1.0
+	for _, c := range w.Comps {
+		n *= float64(len(c.Rows))
+	}
+	return n
+}
+
+// Rep enumerates the represented world-set: rep(W) of Definition 2. For
+// probabilistic WSDs each world's probability is the product of the chosen
+// local-world probabilities; duplicate decoded worlds are kept as listed
+// (use WorldSet.Canonical to accumulate them). Enumeration fails if the
+// number of candidates exceeds maxWorlds (0 means DefaultMaxWorlds).
+func (w *WSD) Rep(maxWorlds int) (*worlds.WorldSet, error) {
+	if maxWorlds <= 0 {
+		maxWorlds = DefaultMaxWorlds
+	}
+	if n := w.NumWorlds(); n > float64(maxWorlds) {
+		return nil, fmt.Errorf("core: %g worlds exceed enumeration cap %d", n, maxWorlds)
+	}
+	ws := worlds.NewWorldSet(w.Schema)
+	assign := make(map[FieldRef]relation.Value)
+	prob := w.Probabilistic()
+
+	var rec func(i int, p float64) error
+	rec = func(i int, p float64) error {
+		if i == len(w.Comps) {
+			db, err := w.decode(assign)
+			if err != nil {
+				return err
+			}
+			if !prob {
+				p = 0
+			}
+			ws.Add(db, p)
+			return nil
+		}
+		c := w.Comps[i]
+		for _, r := range c.Rows {
+			for j, f := range c.Fields {
+				assign[f] = r.Values[j]
+			}
+			q := p
+			if prob {
+				q *= r.P
+			}
+			if err := rec(i+1, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 1); err != nil {
+		return nil, err
+	}
+	return ws, nil
+}
+
+// decode materializes one world from a full field assignment, dropping
+// every tuple slot containing ⊥ (the inline⁻¹ convention).
+func (w *WSD) decode(assign map[FieldRef]relation.Value) (*worlds.Database, error) {
+	db := worlds.NewDatabase(w.Schema)
+	for _, rs := range w.Schema.Rels {
+		for i := 1; i <= w.MaxCard[rs.Name]; i++ {
+			t := make(relation.Tuple, len(rs.Attrs))
+			bottom := false
+			for j, a := range rs.Attrs {
+				v, ok := assign[FieldRef{rs.Name, i, a}]
+				if !ok {
+					return nil, fmt.Errorf("core: field %v undefined during decode", FieldRef{rs.Name, i, a})
+				}
+				if v.IsBottom() {
+					bottom = true
+				}
+				t[j] = v
+			}
+			if !bottom {
+				db.Rels[rs.Name].Insert(t)
+			}
+		}
+	}
+	return db, nil
+}
+
+// RepRelation enumerates the represented worlds restricted to a single
+// relation: the world-set of {R^A | A ∈ rep(W)}. This is what query
+// correctness statements quantify over (Theorem 1 drops all relations but
+// the result).
+func (w *WSD) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error) {
+	full, err := w.Rep(maxWorlds)
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := w.Schema.Rel(rel)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown relation %q", rel)
+	}
+	out := worlds.NewWorldSet(worlds.NewSchema(rs))
+	for i, db := range full.Worlds {
+		nd := worlds.NewDatabase(out.Schema)
+		for _, t := range db.Rels[rel].Tuples() {
+			nd.Rels[rel].Insert(t.Clone())
+		}
+		out.Add(nd, full.Probs[i])
+	}
+	return out, nil
+}

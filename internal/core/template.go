@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// WSDT is a WSD with template relations (Section 3): data that is the same
+// in all possible worlds is stored once in the templates, and fields on
+// which worlds disagree appear there as the placeholder '?', their possible
+// values being defined by the components.
+type WSDT struct {
+	Schema  worlds.Schema
+	MaxCard map[string]int
+	// Templates maps each relation to its template rows, indexed by tuple
+	// slot (slot i at index i-1). Certain fields carry their value;
+	// uncertain fields carry relation.Placeholder().
+	Templates map[string][]relation.Tuple
+	// Comps are the components defining the uncertain fields.
+	Comps []*Component
+}
+
+// SplitTemplate converts a WSD into a WSDT: every single-row component's
+// fields become certain template values; all other fields become '?'
+// placeholders backed by the remaining components.
+func SplitTemplate(w *WSD) *WSDT {
+	t := &WSDT{
+		Schema:    worlds.NewSchema(append([]worlds.RelSchema(nil), w.Schema.Rels...)...),
+		MaxCard:   make(map[string]int, len(w.MaxCard)),
+		Templates: make(map[string][]relation.Tuple),
+	}
+	for k, v := range w.MaxCard {
+		t.MaxCard[k] = v
+	}
+	for _, rs := range w.Schema.Rels {
+		rows := make([]relation.Tuple, w.MaxCard[rs.Name])
+		for i := range rows {
+			rows[i] = make(relation.Tuple, len(rs.Attrs))
+			for j := range rows[i] {
+				rows[i][j] = relation.Placeholder()
+			}
+		}
+		t.Templates[rs.Name] = rows
+	}
+	for _, c := range w.Comps {
+		if len(c.Rows) == 1 {
+			for i, f := range c.Fields {
+				rs, _ := w.Schema.Rel(f.Rel)
+				for j, a := range rs.Attrs {
+					if a == f.Attr {
+						t.Templates[f.Rel][f.Tuple-1][j] = c.Rows[0].Values[i]
+					}
+				}
+			}
+			continue
+		}
+		t.Comps = append(t.Comps, c.Clone())
+	}
+	return t
+}
+
+// ToWSD converts the WSDT back to a plain WSD: certain template fields
+// become single-row components (with probability 1 when the decomposition
+// is probabilistic).
+func (t *WSDT) ToWSD() (*WSD, error) {
+	w := New(worlds.NewSchema(append([]worlds.RelSchema(nil), t.Schema.Rels...)...), t.MaxCard)
+	prob := false
+	for _, c := range t.Comps {
+		for _, r := range c.Rows {
+			if r.P != 0 {
+				prob = true
+			}
+		}
+	}
+	for _, c := range t.Comps {
+		if err := w.AddComponent(c.Clone()); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range t.Schema.Rels {
+		rows := t.Templates[rs.Name]
+		if len(rows) != t.MaxCard[rs.Name] {
+			return nil, fmt.Errorf("core: template %s has %d rows, want %d", rs.Name, len(rows), t.MaxCard[rs.Name])
+		}
+		for i, row := range rows {
+			for j, a := range rs.Attrs {
+				v := row[j]
+				f := FieldRef{rs.Name, i + 1, a}
+				if v.IsPlaceholder() {
+					if w.ComponentOf(f) == nil {
+						return nil, fmt.Errorf("core: placeholder %v has no defining component", f)
+					}
+					continue
+				}
+				p := 0.0
+				if prob {
+					p = 1.0
+				}
+				c := NewComponent([]FieldRef{f}, Row{Values: []relation.Value{v}, P: p})
+				if err := w.AddComponent(c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// Rep enumerates the represented world-set via the plain-WSD semantics.
+func (t *WSDT) Rep(maxWorlds int) (*worlds.WorldSet, error) {
+	w, err := t.ToWSD()
+	if err != nil {
+		return nil, err
+	}
+	return w.Rep(maxWorlds)
+}
+
+// Placeholders returns the number of '?' fields across all templates.
+func (t *WSDT) Placeholders() int {
+	n := 0
+	for _, rows := range t.Templates {
+		for _, row := range rows {
+			for _, v := range row {
+				if v.IsPlaceholder() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks that every placeholder is defined by exactly one component
+// and that no component defines a certain template field.
+func (t *WSDT) Validate(eps float64) error {
+	w, err := t.ToWSD()
+	if err != nil {
+		return err
+	}
+	return w.Validate(eps)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// fig5WSDT builds the running example of the introduction as a WSD (Figure
+// 4/5): census relation R[S,N,M] with two tuples, social security numbers
+// correlated by the key constraint, names certain.
+func fig4WSD(t *testing.T) *WSD {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"S", "N", "M"}})
+	w := New(schema, map[string]int{"R": 2})
+	add := func(c *Component) {
+		t.Helper()
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewComponent([]FieldRef{fr("R", 1, "S"), fr("R", 2, "S")},
+		row(0.2, 185, 186), row(0.4, 785, 185), row(0.4, 785, 186)))
+	add(NewComponent([]FieldRef{fr("R", 1, "N")},
+		Row{Values: []relation.Value{relation.String("Smith")}, P: 1}))
+	add(NewComponent([]FieldRef{fr("R", 1, "M")}, row(0.7, 1), row(0.3, 2)))
+	add(NewComponent([]FieldRef{fr("R", 2, "N")},
+		Row{Values: []relation.Value{relation.String("Brown")}, P: 1}))
+	add(NewComponent([]FieldRef{fr("R", 2, "M")},
+		row(0.25, 1), row(0.25, 2), row(0.25, 3), row(0.25, 4)))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFig4RepProbabilities(t *testing.T) {
+	w := fig4WSD(t)
+	if got := w.NumWorlds(); got != 24 {
+		t.Fatalf("NumWorlds = %g, want 24 (the cleaned census example)", got)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// The worked example of Section 1: choosing (185,186), Smith, M=2,
+	// Brown, M=2 yields probability 0.2·1·0.3·1·0.25 = 0.015.
+	want := worlds.NewDatabase(rep.Schema)
+	want.Rels["R"].Insert(relation.Tuple{relation.Int(185), relation.String("Smith"), relation.Int(2)})
+	want.Rels["R"].Insert(relation.Tuple{relation.Int(186), relation.String("Brown"), relation.Int(2)})
+	found := false
+	for fp, cw := range rep.Canonical() {
+		if fp == want.Fingerprint() {
+			found = true
+			if d := cw.Prob - 0.015; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("world probability = %g, want 0.015", cw.Prob)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected world not represented")
+	}
+}
+
+func TestSplitTemplateFig5(t *testing.T) {
+	// Figure 5: the template holds Smith/Brown and '?' for S and M fields.
+	w := fig4WSD(t)
+	wsdt := SplitTemplate(w)
+	if got := wsdt.Placeholders(); got != 4 {
+		t.Fatalf("placeholders = %d, want 4 (two S and two M fields)", got)
+	}
+	if len(wsdt.Comps) != 3 {
+		t.Fatalf("components = %d, want 3 (S-pair, t1.M, t2.M)", len(wsdt.Comps))
+	}
+	tmpl := wsdt.Templates["R"]
+	if tmpl[0][1] != relation.String("Smith") || tmpl[1][1] != relation.String("Brown") {
+		t.Fatal("template names wrong")
+	}
+	if !tmpl[0][0].IsPlaceholder() || !tmpl[1][2].IsPlaceholder() {
+		t.Fatal("uncertain fields must be placeholders")
+	}
+}
+
+func TestWSDTRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		want, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsdt := SplitTemplate(w)
+		if err := wsdt.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := wsdt.Rep(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: WSDT roundtrip changed the world-set", trial)
+		}
+	}
+}
+
+func TestToWSDMissingComponent(t *testing.T) {
+	wsdt := &WSDT{
+		Schema:  worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}}),
+		MaxCard: map[string]int{"R": 1},
+		Templates: map[string][]relation.Tuple{
+			"R": {relation.Tuple{relation.Placeholder()}},
+		},
+	}
+	if _, err := wsdt.ToWSD(); err == nil {
+		t.Fatal("dangling placeholder must be rejected")
+	}
+}
+
+func TestToWSDTemplateArityMismatch(t *testing.T) {
+	wsdt := &WSDT{
+		Schema:    worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}}),
+		MaxCard:   map[string]int{"R": 2},
+		Templates: map[string][]relation.Tuple{"R": {relation.Ints(1)}},
+	}
+	if _, err := wsdt.ToWSD(); err == nil {
+		t.Fatal("template row count mismatch must be rejected")
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// WSD is a world-set decomposition: a set of components whose product,
+// decoded by inline⁻¹, is the represented world-set (Definition 1 and 2).
+// Every field (R, i, A) with R in the schema, 1 ≤ i ≤ MaxCard[R] and A an
+// attribute of R must be defined by exactly one component.
+//
+// Query evaluation on WSDs is compositional: the result of a query is a new
+// relation added to the same WSD, so correlations between input and output
+// are preserved (Section 4).
+type WSD struct {
+	Schema  worlds.Schema
+	MaxCard map[string]int
+	Comps   []*Component
+
+	fieldComp map[FieldRef]*Component
+}
+
+// New creates a WSD over the given schema with the given per-relation
+// maximum cardinalities and no components yet. AddComponent populates it;
+// Validate checks completeness.
+func New(schema worlds.Schema, maxCard map[string]int) *WSD {
+	mc := make(map[string]int, len(maxCard))
+	for k, v := range maxCard {
+		mc[k] = v
+	}
+	return &WSD{
+		Schema:    schema,
+		MaxCard:   mc,
+		fieldComp: make(map[FieldRef]*Component),
+	}
+}
+
+// FromDatabase builds the trivial WSD of a single certain world: one
+// single-field, single-row component per field, with probability 1 if prob
+// is true. Tuple slots are assigned in the relation's canonical order.
+func FromDatabase(db *worlds.Database, prob bool) *WSD {
+	maxCard := make(map[string]int)
+	for n, r := range db.Rels {
+		maxCard[n] = r.Size()
+	}
+	w := New(db.Schema, maxCard)
+	p := 0.0
+	if prob {
+		p = 1.0
+	}
+	for _, rs := range db.Schema.Rels {
+		r := db.Rels[rs.Name]
+		for i, t := range r.SortedTuples() {
+			for j, a := range rs.Attrs {
+				f := FieldRef{rs.Name, i + 1, a}
+				c := NewComponent([]FieldRef{f}, Row{Values: []relation.Value{t[j]}, P: p})
+				if err := w.AddComponent(c); err != nil {
+					panic(err) // fresh fields cannot collide
+				}
+			}
+		}
+	}
+	return w
+}
+
+// AddComponent registers a component. It fails if any of its fields is
+// already defined by another component.
+func (w *WSD) AddComponent(c *Component) error {
+	for _, f := range c.Fields {
+		if _, dup := w.fieldComp[f]; dup {
+			return fmt.Errorf("core: field %v defined by two components", f)
+		}
+	}
+	for _, f := range c.Fields {
+		w.fieldComp[f] = c
+	}
+	w.Comps = append(w.Comps, c)
+	return nil
+}
+
+// ComponentOf returns the component defining field f, or nil.
+func (w *WSD) ComponentOf(f FieldRef) *Component { return w.fieldComp[f] }
+
+// Fields returns all fields of the WSD's schema in canonical order.
+func (w *WSD) Fields() []FieldRef {
+	var out []FieldRef
+	for _, rs := range w.Schema.Rels {
+		for i := 1; i <= w.MaxCard[rs.Name]; i++ {
+			for _, a := range rs.Attrs {
+				out = append(out, FieldRef{rs.Name, i, a})
+			}
+		}
+	}
+	return out
+}
+
+// RelAttrs returns the attribute list of relation rel.
+func (w *WSD) RelAttrs(rel string) ([]string, bool) {
+	rs, ok := w.Schema.Rel(rel)
+	if !ok {
+		return nil, false
+	}
+	return rs.Attrs, true
+}
+
+// AddRelation extends the schema with a new relation (used by query
+// operators to register their result relation).
+func (w *WSD) AddRelation(name string, attrs []string, maxCard int) error {
+	if _, exists := w.Schema.Rel(name); exists {
+		return fmt.Errorf("core: relation %q already in schema", name)
+	}
+	w.Schema.Rels = append(w.Schema.Rels, worlds.RelSchema{Name: name, Attrs: attrs})
+	w.MaxCard[name] = maxCard
+	return nil
+}
+
+// DropRelation removes a relation from the schema and projects its fields
+// away from all components (removing emptied components). Query pipelines
+// use it to discard intermediate results.
+func (w *WSD) DropRelation(name string) {
+	for f, c := range w.fieldComp {
+		if f.Rel != name {
+			continue
+		}
+		delete(w.fieldComp, f)
+		if c.DropField(f) {
+			w.removeComponent(c)
+		}
+	}
+	for i, rs := range w.Schema.Rels {
+		if rs.Name == name {
+			w.Schema.Rels = append(w.Schema.Rels[:i], w.Schema.Rels[i+1:]...)
+			break
+		}
+	}
+	delete(w.MaxCard, name)
+}
+
+func (w *WSD) removeComponent(c *Component) {
+	for i, x := range w.Comps {
+		if x == c {
+			w.Comps = append(w.Comps[:i], w.Comps[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplaceComponents substitutes the components olds by the single component
+// merged, rebinding the field index. The fields of merged must be exactly
+// the union of the fields of olds.
+func (w *WSD) ReplaceComponents(merged *Component, olds ...*Component) {
+	for _, o := range olds {
+		w.removeComponent(o)
+	}
+	w.Comps = append(w.Comps, merged)
+	for _, f := range merged.Fields {
+		w.fieldComp[f] = merged
+	}
+}
+
+// ReplaceComponent substitutes component old by the components news, whose
+// fields must together be exactly old's fields. Used by normalization to
+// install a product decomposition of a component.
+func (w *WSD) ReplaceComponent(old *Component, news ...*Component) error {
+	oldFields := make(map[FieldRef]bool, len(old.Fields))
+	for _, f := range old.Fields {
+		oldFields[f] = true
+	}
+	count := 0
+	for _, n := range news {
+		for _, f := range n.Fields {
+			if !oldFields[f] {
+				return fmt.Errorf("core: replacement introduces field %v", f)
+			}
+			count++
+		}
+	}
+	if count != len(old.Fields) {
+		return fmt.Errorf("core: replacement covers %d of %d fields", count, len(old.Fields))
+	}
+	w.removeComponent(old)
+	for _, n := range news {
+		w.Comps = append(w.Comps, n)
+		for _, f := range n.Fields {
+			w.fieldComp[f] = n
+		}
+	}
+	return nil
+}
+
+// RemoveSlot deletes tuple slot i of relation rel from the decomposition:
+// its fields are projected away from their components (emptied components
+// are removed), higher slots are renumbered down, and |rel|max decreases.
+// The caller must ensure the slot is absent from all worlds (all-⊥), as
+// RemoveInvalidTuples in internal/normalize does.
+func (w *WSD) RemoveSlot(rel string, slot int) {
+	attrs, ok := w.RelAttrs(rel)
+	if !ok {
+		return
+	}
+	for _, a := range attrs {
+		f := FieldRef{rel, slot, a}
+		c := w.fieldComp[f]
+		if c == nil {
+			continue
+		}
+		delete(w.fieldComp, f)
+		if c.DropField(f) {
+			w.removeComponent(c)
+		}
+	}
+	for j := slot + 1; j <= w.MaxCard[rel]; j++ {
+		for _, a := range attrs {
+			oldF := FieldRef{rel, j, a}
+			newF := FieldRef{rel, j - 1, a}
+			c := w.fieldComp[oldF]
+			if c == nil {
+				continue
+			}
+			c.RenameField(oldF, newF)
+			delete(w.fieldComp, oldF)
+			w.fieldComp[newF] = c
+		}
+	}
+	w.MaxCard[rel]--
+}
+
+// MergeComponents composes the distinct components defining the given fields
+// into one and returns it. If all fields already live in one component, that
+// component is returned unchanged.
+func (w *WSD) MergeComponents(fields ...FieldRef) *Component {
+	seen := make(map[*Component]bool)
+	var cs []*Component
+	for _, f := range fields {
+		c := w.fieldComp[f]
+		if c == nil {
+			panic(fmt.Sprintf("core: field %v not defined", f))
+		}
+		if !seen[c] {
+			seen[c] = true
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	merged := cs[0]
+	for _, c := range cs[1:] {
+		merged = Compose(merged, c)
+	}
+	w.ReplaceComponents(merged, cs...)
+	return merged
+}
+
+// Probabilistic reports whether any component row carries a nonzero weight.
+func (w *WSD) Probabilistic() bool {
+	for _, c := range w.Comps {
+		for _, r := range c.Rows {
+			if r.P != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Validate checks structural consistency: every schema field defined by
+// exactly one component, no stray fields, per-component validity, and (for
+// probabilistic WSDs) all components probabilistic.
+func (w *WSD) Validate(eps float64) error {
+	want := make(map[FieldRef]bool)
+	for _, f := range w.Fields() {
+		want[f] = true
+	}
+	seen := make(map[FieldRef]bool)
+	prob := w.Probabilistic()
+	for _, c := range w.Comps {
+		if err := c.Validate(eps); err != nil {
+			return err
+		}
+		if prob && len(c.Rows) > 0 && c.TotalP() == 0 {
+			return fmt.Errorf("core: mixed probabilistic and non-probabilistic components")
+		}
+		for _, f := range c.Fields {
+			if seen[f] {
+				return fmt.Errorf("core: field %v defined twice", f)
+			}
+			seen[f] = true
+			if !want[f] {
+				return fmt.Errorf("core: field %v not in schema", f)
+			}
+			if w.fieldComp[f] != c {
+				return fmt.Errorf("core: stale field index for %v", f)
+			}
+		}
+	}
+	for f := range want {
+		if !seen[f] {
+			return fmt.Errorf("core: field %v not defined by any component", f)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the WSD.
+func (w *WSD) Clone() *WSD {
+	c := New(worlds.NewSchema(append([]worlds.RelSchema(nil), w.Schema.Rels...)...), w.MaxCard)
+	for _, comp := range w.Comps {
+		if err := c.AddComponent(comp.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// NumComponents returns the number of components.
+func (w *WSD) NumComponents() int { return len(w.Comps) }
+
+// String renders the decomposition as the product of its component tables.
+func (w *WSD) String() string {
+	parts := make([]string, len(w.Comps))
+	for i, c := range w.Comps {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\n× ")
+}

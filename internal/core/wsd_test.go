@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// fig10WSD builds the 7-WSD of Figure 10(b): relation R[A,B,C] with three
+// tuple slots, representing the eight worlds of Figure 10(a).
+func fig10WSD(t *testing.T) *WSD {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B", "C"}})
+	w := New(schema, map[string]int{"R": 3})
+	add := func(c *Component) {
+		t.Helper()
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2)))
+	add(NewComponent([]FieldRef{fr("R", 1, "B"), fr("R", 1, "C"), fr("R", 2, "B")},
+		row(0, 1, 0, 3), row(0, 2, 7, 4)))
+	add(NewComponent([]FieldRef{fr("R", 2, "A")}, row(0, 4), row(0, 5)))
+	add(NewComponent([]FieldRef{fr("R", 2, "C")}, row(0, 0)))
+	add(NewComponent([]FieldRef{fr("R", 3, "A")}, row(0, 6)))
+	add(NewComponent([]FieldRef{fr("R", 3, "B")}, row(0, 6)))
+	add(NewComponent([]FieldRef{fr("R", 3, "C")}, row(0, 7)))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// fig10Worlds enumerates the eight worlds of Figure 10(a) explicitly.
+func fig10Worlds(t *testing.T) *worlds.WorldSet {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B", "C"}})
+	ws := worlds.NewWorldSet(schema)
+	for _, a1 := range []int64{1, 2} {
+		for _, bc := range [][4]int64{{1, 0, 3}, {2, 7, 4}} {
+			for _, a2 := range []int64{4, 5} {
+				db := worlds.NewDatabase(schema)
+				db.Rels["R"].Insert(relation.Ints(a1, bc[0], bc[1]))
+				db.Rels["R"].Insert(relation.Ints(a2, bc[2], 0))
+				db.Rels["R"].Insert(relation.Ints(6, 6, 7))
+				ws.Add(db, 0)
+			}
+		}
+	}
+	return ws
+}
+
+func TestFig10Rep(t *testing.T) {
+	w := fig10WSD(t)
+	if got := w.NumWorlds(); got != 8 {
+		t.Fatalf("NumWorlds = %g, want 8", got)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal(fig10Worlds(t), 0) {
+		t.Fatalf("rep mismatch:\ngot %d worlds", rep.Size())
+	}
+}
+
+func TestFromDatabase(t *testing.T) {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	db := worlds.NewDatabase(schema)
+	db.Rels["R"].Insert(relation.Ints(1, 2))
+	db.Rels["R"].Insert(relation.Ints(3, 4))
+	w := FromDatabase(db, true)
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Size() != 1 || !rep.Worlds[0].Equal(db) {
+		t.Fatal("certain database must represent exactly itself")
+	}
+	if rep.Probs[0] != 1.0 {
+		t.Fatalf("certain world probability = %g", rep.Probs[0])
+	}
+}
+
+func TestAddComponentRejectsDoubleDefinition(t *testing.T) {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}})
+	w := New(schema, map[string]int{"R": 1})
+	if err := w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 2))); err == nil {
+		t.Fatal("double definition must be rejected")
+	}
+}
+
+func TestValidateDetectsMissingField(t *testing.T) {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := New(schema, map[string]int{"R": 1})
+	if err := w.AddComponent(NewComponent([]FieldRef{fr("R", 1, "A")}, row(0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(1e-9); err == nil {
+		t.Fatal("missing field must be detected")
+	}
+}
+
+func TestMergeComponents(t *testing.T) {
+	w := fig10WSD(t)
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := w.NumComponents()
+	m := w.MergeComponents(fr("R", 1, "A"), fr("R", 2, "A"), fr("R", 2, "C"))
+	if w.NumComponents() != nc-2 {
+		t.Fatalf("components = %d, want %d", w.NumComponents(), nc-2)
+	}
+	if m.Arity() != 3 || m.Size() != 4 {
+		t.Fatalf("merged arity/size = %d/%d", m.Arity(), m.Size())
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Equal(after, 0) {
+		t.Fatal("merging components must preserve rep")
+	}
+	// Merging fields already in one component is a no-op.
+	if got := w.MergeComponents(fr("R", 1, "A"), fr("R", 2, "A")); got != m {
+		t.Fatal("already-merged fields must return existing component")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	w := fig10WSD(t)
+	c := w.Clone()
+	c.Comps[0].Rows[0].Values[0] = relation.Int(99)
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal(fig10Worlds(t), 0) {
+		t.Fatal("clone shares storage with original")
+	}
+	if err := c.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropRelation(t *testing.T) {
+	w := fig10WSD(t)
+	if err := w.Copy("P", "R"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	w.DropRelation("P")
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal(fig10Worlds(t), 0) {
+		t.Fatal("drop of copy must leave original world-set intact")
+	}
+}
+
+func TestRepRelation(t *testing.T) {
+	w := fig10WSD(t)
+	if err := w.Copy("P", "R"); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := w.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P is a copy of R: same worlds, restricted to one relation named P.
+	if len(ws.Canonical()) != 8 {
+		t.Fatalf("distinct worlds = %d, want 8", len(ws.Canonical()))
+	}
+}
+
+func TestRepCap(t *testing.T) {
+	w := fig10WSD(t)
+	if _, err := w.Rep(4); err == nil {
+		t.Fatal("enumeration beyond cap must fail")
+	}
+}

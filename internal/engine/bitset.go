@@ -1,0 +1,73 @@
+package engine
+
+// Bitset is a growable bit vector used for the per-(field, local world)
+// absence marks of component rows. The zero value is an empty set.
+type Bitset []uint64
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool {
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i, growing the set as needed, and returns the (possibly
+// reallocated) bitset.
+func (b Bitset) Set(i int) Bitset {
+	w := i >> 6
+	for w >= len(b) {
+		b = append(b, 0)
+	}
+	b[w] |= 1 << uint(i&63)
+	return b
+}
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) {
+	w := i >> 6
+	if w < len(b) {
+		b[w] &^= 1 << uint(i&63)
+	}
+}
+
+// Assign sets bit i to v and returns the bitset.
+func (b Bitset) Assign(i int, v bool) Bitset {
+	if v {
+		return b.Set(i)
+	}
+	b.Clear(i)
+	return b
+}
+
+// Clone copies the bitset.
+func (b Bitset) Clone() Bitset {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Any reports whether any bit is set.
+func (b Bitset) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OrShifted ors the first n bits of src into b starting at offset shift and
+// returns the result (used when composing components).
+func (b Bitset) OrShifted(src Bitset, n, shift int) Bitset {
+	for i := 0; i < n; i++ {
+		if src.Get(i) {
+			b = b.Set(shift + i)
+		}
+	}
+	return b
+}

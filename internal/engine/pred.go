@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+)
+
+// Pred is a selection condition over one template row: comparisons of
+// attributes against constants or other attributes, combined with ∧ and ∨.
+// This covers the query workload of Figure 29 (Q4 needs a disjunction, Q3 a
+// same-tuple attribute comparison).
+type Pred interface {
+	// Compile resolves attribute names against a relation.
+	Compile(r *Relation) (CompiledPred, error)
+	String() string
+}
+
+// CompiledPred evaluates against a row accessor returning the value of an
+// attribute index.
+type CompiledPred interface {
+	Eval(get func(attr uint16) int32) bool
+	// Attrs returns the referenced attribute indexes, sorted, deduplicated.
+	Attrs() []uint16
+}
+
+func applyOp(theta relation.Op, a, b int32) bool {
+	switch theta {
+	case relation.EQ:
+		return a == b
+	case relation.NE:
+		return a != b
+	case relation.LT:
+		return a < b
+	case relation.LE:
+		return a <= b
+	case relation.GT:
+		return a > b
+	case relation.GE:
+		return a >= b
+	}
+	return false
+}
+
+// AttrConst is the atom Attr θ C.
+type AttrConst struct {
+	Attr  string
+	Theta relation.Op
+	C     int32
+}
+
+// Compile implements Pred.
+func (p AttrConst) Compile(r *Relation) (CompiledPred, error) {
+	ai, err := r.AttrIndex(p.Attr)
+	if err != nil {
+		return nil, err
+	}
+	return compiledConst{ai: ai, theta: p.Theta, c: p.C}, nil
+}
+
+func (p AttrConst) String() string { return fmt.Sprintf("%s%s%d", p.Attr, p.Theta, p.C) }
+
+type compiledConst struct {
+	ai    uint16
+	theta relation.Op
+	c     int32
+}
+
+func (p compiledConst) Eval(get func(uint16) int32) bool { return applyOp(p.theta, get(p.ai), p.c) }
+func (p compiledConst) Attrs() []uint16                  { return []uint16{p.ai} }
+
+// AttrAttr is the atom A θ B over two attributes of the same tuple.
+type AttrAttr struct {
+	A     string
+	Theta relation.Op
+	B     string
+}
+
+// Compile implements Pred.
+func (p AttrAttr) Compile(r *Relation) (CompiledPred, error) {
+	a, err := r.AttrIndex(p.A)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.AttrIndex(p.B)
+	if err != nil {
+		return nil, err
+	}
+	return compiledAttrAttr{a: a, theta: p.Theta, b: b}, nil
+}
+
+func (p AttrAttr) String() string { return fmt.Sprintf("%s%s%s", p.A, p.Theta, p.B) }
+
+type compiledAttrAttr struct {
+	a, b  uint16
+	theta relation.Op
+}
+
+func (p compiledAttrAttr) Eval(get func(uint16) int32) bool {
+	return applyOp(p.theta, get(p.a), get(p.b))
+}
+
+func (p compiledAttrAttr) Attrs() []uint16 {
+	if p.a == p.b {
+		return []uint16{p.a}
+	}
+	if p.a < p.b {
+		return []uint16{p.a, p.b}
+	}
+	return []uint16{p.b, p.a}
+}
+
+// And is a conjunction (empty = true).
+type And []Pred
+
+// Compile implements Pred.
+func (p And) Compile(r *Relation) (CompiledPred, error) { return compileList(p, r, true) }
+
+func (p And) String() string { return joinPreds(p, " ∧ ") }
+
+// Or is a disjunction (empty = false).
+type Or []Pred
+
+// Compile implements Pred.
+func (p Or) Compile(r *Relation) (CompiledPred, error) { return compileList(p, r, false) }
+
+func (p Or) String() string { return joinPreds(p, " ∨ ") }
+
+type compiledList struct {
+	kids  []CompiledPred
+	conj  bool
+	attrs []uint16
+}
+
+func compileList(ps []Pred, r *Relation, conj bool) (CompiledPred, error) {
+	out := compiledList{conj: conj}
+	seen := map[uint16]bool{}
+	for _, p := range ps {
+		c, err := p.Compile(r)
+		if err != nil {
+			return nil, err
+		}
+		out.kids = append(out.kids, c)
+		for _, a := range c.Attrs() {
+			if !seen[a] {
+				seen[a] = true
+				out.attrs = append(out.attrs, a)
+			}
+		}
+	}
+	sort.Slice(out.attrs, func(i, j int) bool { return out.attrs[i] < out.attrs[j] })
+	return out, nil
+}
+
+func (p compiledList) Eval(get func(uint16) int32) bool {
+	for _, k := range p.kids {
+		if k.Eval(get) != p.conj {
+			return !p.conj
+		}
+	}
+	return p.conj
+}
+
+func (p compiledList) Attrs() []uint16 { return p.attrs }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Eq is shorthand for Attr = c.
+func Eq(attr string, c int32) Pred { return AttrConst{attr, relation.EQ, c} }
+
+// Ne is shorthand for Attr ≠ c.
+func Ne(attr string, c int32) Pred { return AttrConst{attr, relation.NE, c} }
+
+// Gt is shorthand for Attr > c.
+func Gt(attr string, c int32) Pred { return AttrConst{attr, relation.GT, c} }

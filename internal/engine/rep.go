@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// ToWSD converts the store into a generic WSD over all live relations. This
+// bridge exists for testing and for small data: the engine's operators are
+// property-tested against per-world evaluation through it, and examples use
+// it to hand engine results to the confidence and normalization packages.
+// Values become relation.Int; absent fields become ⊥.
+func (s *Store) ToWSD() (*core.WSD, error) {
+	var rels []worlds.RelSchema
+	maxCard := make(map[string]int)
+	for _, r := range s.rels {
+		if r == nil {
+			continue
+		}
+		rels = append(rels, worlds.RelSchema{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)})
+		maxCard[r.Name] = r.NumRows()
+	}
+	w := core.New(worlds.NewSchema(rels...), maxCard)
+
+	// Uncertain fields: one core component per engine component.
+	for _, c := range s.comps {
+		fields := make([]core.FieldRef, len(c.Fields))
+		for i, f := range c.Fields {
+			r := s.rels[f.Rel]
+			if r == nil {
+				return nil, fmt.Errorf("engine: component %d references dropped relation", c.ID)
+			}
+			fields[i] = core.FieldRef{Rel: r.Name, Tuple: int(f.Row) + 1, Attr: r.Attrs[f.Attr]}
+		}
+		cc := core.NewComponent(fields)
+		for _, row := range c.Rows {
+			vals := make([]relation.Value, len(fields))
+			for i := range fields {
+				if row.IsAbsent(i) {
+					vals[i] = relation.Bottom()
+				} else {
+					vals[i] = relation.Int(int64(row.Vals[i]))
+				}
+			}
+			cc.AddRow(core.Row{Values: vals, P: row.P})
+		}
+		if err := w.AddComponent(cc); err != nil {
+			return nil, err
+		}
+	}
+
+	// Certain fields: single-row components with probability 1.
+	for _, r := range s.rels {
+		if r == nil {
+			continue
+		}
+		for i := 0; i < r.NumRows(); i++ {
+			for ai, a := range r.Attrs {
+				v := r.Cols[ai][i]
+				if v == Placeholder {
+					continue
+				}
+				f := core.FieldRef{Rel: r.Name, Tuple: i + 1, Attr: a}
+				cc := core.NewComponent([]core.FieldRef{f},
+					core.Row{Values: []relation.Value{relation.Int(int64(v))}, P: 1})
+				if err := w.AddComponent(cc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// RepRelation enumerates the world-set of one relation; testing only.
+func (s *Store) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error) {
+	w, err := s.ToWSD()
+	if err != nil {
+		return nil, err
+	}
+	return w.RepRelation(rel, maxWorlds)
+}
+
+// Validate checks store invariants: field/component index agreement,
+// probability sums, bitmap width, and placeholder bookkeeping.
+func (s *Store) Validate(eps float64) error {
+	for cid, c := range s.comps {
+		if c.ID != cid {
+			return fmt.Errorf("engine: component id mismatch %d vs %d", c.ID, cid)
+		}
+		if len(c.Fields) > MaxCompFields {
+			return fmt.Errorf("engine: component %d has %d fields", cid, len(c.Fields))
+		}
+		for i, f := range c.Fields {
+			if c.pos[f] != i {
+				return fmt.Errorf("engine: component %d field index broken", cid)
+			}
+			if s.fieldComp[f] != cid {
+				return fmt.Errorf("engine: field %v maps to wrong component", f)
+			}
+			r := s.rels[f.Rel]
+			if r == nil {
+				return fmt.Errorf("engine: component %d references dropped relation", cid)
+			}
+			if r.Cols[f.Attr][f.Row] != Placeholder {
+				return fmt.Errorf("engine: field %v not a placeholder in template", f)
+			}
+		}
+		total := c.TotalP()
+		if total < 1-eps || total > 1+eps {
+			return fmt.Errorf("engine: component %d probabilities sum to %g", cid, total)
+		}
+		for _, row := range c.Rows {
+			if len(row.Vals) != len(c.Fields) {
+				return fmt.Errorf("engine: component %d row arity mismatch", cid)
+			}
+		}
+	}
+	for f, cid := range s.fieldComp {
+		c, ok := s.comps[cid]
+		if !ok {
+			return fmt.Errorf("engine: field %v maps to dead component %d", f, cid)
+		}
+		if c.Pos(f) < 0 {
+			return fmt.Errorf("engine: field %v missing from its component", f)
+		}
+	}
+	for _, r := range s.rels {
+		if r == nil {
+			continue
+		}
+		for row, attrs := range r.uncertain {
+			for _, a := range attrs {
+				if r.Cols[a][row] != Placeholder {
+					return fmt.Errorf("engine: %s row %d attr %d marked uncertain but certain", r.Name, row, a)
+				}
+				if _, ok := s.fieldComp[FieldID{Rel: r.id, Row: row, Attr: a}]; !ok {
+					return fmt.Errorf("engine: %s row %d attr %d has no component", r.Name, row, a)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package engine
+
+import "sort"
+
+// Stats summarizes a relation's uniform representation in the terms of
+// Figure 27: component counts, |C| (component value rows) and |R| (template
+// rows).
+type Stats struct {
+	NumComp    int // components defining at least one field of the relation
+	NumCompGT1 int // components with more than one placeholder of the relation
+	CSize      int // |C|: (field, local world) value pairs of the relation
+	RSize      int // |R|: template rows
+}
+
+// Stats computes the representation statistics of one relation.
+func (s *Store) Stats(rel string) Stats {
+	r := s.Rel(rel)
+	if r == nil {
+		return Stats{}
+	}
+	st := Stats{RSize: r.NumRows()}
+	fieldsPerComp := make(map[int32]int)
+	for row, attrs := range r.uncertain {
+		for _, a := range attrs {
+			f := FieldID{Rel: r.id, Row: row, Attr: a}
+			cid, ok := s.fieldComp[f]
+			if !ok {
+				continue
+			}
+			fieldsPerComp[cid]++
+			c := s.comps[cid]
+			col := c.Pos(f)
+			for _, crow := range c.Rows {
+				if !crow.IsAbsent(col) {
+					st.CSize++
+				}
+			}
+		}
+	}
+	st.NumComp = len(fieldsPerComp)
+	for _, n := range fieldsPerComp {
+		if n > 1 {
+			st.NumCompGT1++
+		}
+	}
+	return st
+}
+
+// ComponentSizeHistogram returns, for one relation, how many components
+// define exactly k of its placeholders (the distribution of Figure 28).
+func (s *Store) ComponentSizeHistogram(rel string) map[int]int {
+	r := s.Rel(rel)
+	if r == nil {
+		return nil
+	}
+	fieldsPerComp := make(map[int32]int)
+	for row, attrs := range r.uncertain {
+		for _, a := range attrs {
+			f := FieldID{Rel: r.id, Row: row, Attr: a}
+			if cid, ok := s.fieldComp[f]; ok {
+				fieldsPerComp[cid]++
+			}
+		}
+	}
+	hist := make(map[int]int)
+	for _, n := range fieldsPerComp {
+		hist[n]++
+	}
+	return hist
+}
+
+// HistogramSizes returns the sorted sizes present in a histogram.
+func HistogramSizes(h map[int]int) []int {
+	out := make([]int, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TotalPlaceholders returns the number of uncertain fields of a relation.
+func (s *Store) TotalPlaceholders(rel string) int {
+	r := s.Rel(rel)
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, attrs := range r.uncertain {
+		n += len(attrs)
+	}
+	return n
+}

@@ -1,0 +1,500 @@
+// Package engine is the scalable UWSDT query engine of Sections 5 and 9:
+// the role PostgreSQL plays under the paper's MayBMS prototype. Certain data
+// lives in columnar int32 template relations; uncertain fields are '?'
+// placeholders backed by a shared component store. Multiple relations — base
+// data and query results — share one component space, so subquery results
+// stay correlated with their inputs.
+//
+// Values are non-negative integers (the census data is exclusively
+// multiple-choice codes); the sentinel Placeholder marks uncertain template
+// fields. A tuple is absent from a world when any of its fields has no value
+// at the chosen local world of its component (the UWSDT encoding of worlds
+// of different sizes).
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Placeholder is the template sentinel for an uncertain field. All real
+// values must be ≥ 0.
+const Placeholder int32 = -1
+
+// FieldID identifies one field of one tuple of one relation in the store.
+type FieldID struct {
+	Rel  int32  // relation id (store catalog index)
+	Row  int32  // 0-based row index in the template
+	Attr uint16 // 0-based attribute index
+}
+
+// CompRow is one local world of a component: a value for every field plus a
+// presence bit per field (a cleared bit means the field's tuple is absent
+// from worlds choosing this local world), and the local world's probability.
+type CompRow struct {
+	Vals   []int32
+	Absent Bitset
+	P      float64
+}
+
+// IsAbsent reports whether field column i has no value in this local world.
+func (r CompRow) IsAbsent(i int) bool { return r.Absent.Get(i) }
+
+// MaxCompFields bounds the number of fields a single component can hold
+// (including the result-field copies query operators extend it with). The
+// paper measures 1–4 placeholders per component in practice (Figure 28);
+// hitting this limit indicates a pathological workload and surfaces as an
+// error rather than silent corruption.
+const MaxCompFields = 1 << 16
+
+// Component is one factor of the decomposition, shared by all relations
+// whose fields it defines.
+type Component struct {
+	ID     int32
+	Fields []FieldID
+	Rows   []CompRow
+	pos    map[FieldID]int
+}
+
+// Pos returns the column index of field f, or -1.
+func (c *Component) Pos(f FieldID) int {
+	if i, ok := c.pos[f]; ok {
+		return i
+	}
+	return -1
+}
+
+// Size returns the number of local worlds.
+func (c *Component) Size() int { return len(c.Rows) }
+
+// Arity returns the number of fields.
+func (c *Component) Arity() int { return len(c.Fields) }
+
+// TotalP sums the local world probabilities.
+func (c *Component) TotalP() float64 {
+	var s float64
+	for _, r := range c.Rows {
+		s += r.P
+	}
+	return s
+}
+
+// Relation is a columnar template relation: Cols[a][row] is the value of
+// attribute a, or Placeholder when the field is uncertain.
+type Relation struct {
+	id    int32
+	Name  string
+	Attrs []string
+	Cols  [][]int32
+	// uncertain lists, per row, the attribute indexes holding placeholders.
+	uncertain map[int32][]uint16
+}
+
+// NumRows returns the number of template rows.
+func (r *Relation) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return len(r.Cols[0])
+}
+
+// AttrIndex returns the index of the named attribute, or an error.
+func (r *Relation) AttrIndex(name string) (uint16, error) {
+	for i, a := range r.Attrs {
+		if a == name {
+			return uint16(i), nil
+		}
+	}
+	return 0, fmt.Errorf("engine: relation %s has no attribute %q", r.Name, name)
+}
+
+// UncertainRows returns the number of rows with at least one placeholder.
+func (r *Relation) UncertainRows() int { return len(r.uncertain) }
+
+// Store holds the template relations and the shared component store.
+type Store struct {
+	rels    []*Relation
+	relID   map[string]int32
+	comps   map[int32]*Component
+	nextCID int32
+	// fieldComp maps every uncertain field to its component id.
+	fieldComp map[FieldID]int32
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		relID:     make(map[string]int32),
+		comps:     make(map[int32]*Component),
+		fieldComp: make(map[FieldID]int32),
+	}
+}
+
+// AddRelation registers a new relation with the given columns (column-major;
+// all columns must have equal length and non-negative values). The store
+// takes ownership of cols.
+func (s *Store) AddRelation(name string, attrs []string, cols [][]int32) (*Relation, error) {
+	if _, dup := s.relID[name]; dup {
+		return nil, fmt.Errorf("engine: relation %q already exists", name)
+	}
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("engine: %d columns for %d attributes", len(cols), len(attrs))
+	}
+	n := -1
+	for i, c := range cols {
+		if n < 0 {
+			n = len(c)
+		}
+		if len(c) != n {
+			return nil, fmt.Errorf("engine: column %s has %d rows, want %d", attrs[i], len(c), n)
+		}
+	}
+	r := &Relation{
+		id:        int32(len(s.rels)),
+		Name:      name,
+		Attrs:     append([]string(nil), attrs...),
+		Cols:      cols,
+		uncertain: make(map[int32][]uint16),
+	}
+	s.relID[name] = r.id
+	s.rels = append(s.rels, r)
+	return r, nil
+}
+
+// Rel returns the named relation, or nil.
+func (s *Store) Rel(name string) *Relation {
+	id, ok := s.relID[name]
+	if !ok {
+		return nil
+	}
+	return s.rels[id]
+}
+
+// Relations returns the names of all live relations.
+func (s *Store) Relations() []string {
+	out := make([]string, 0, len(s.relID))
+	for _, r := range s.rels {
+		if r != nil {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// Component returns the component with the given id, or nil.
+func (s *Store) Component(cid int32) *Component { return s.comps[cid] }
+
+// ComponentOf returns the component defining field f, or nil.
+func (s *Store) ComponentOf(f FieldID) *Component {
+	cid, ok := s.fieldComp[f]
+	if !ok {
+		return nil
+	}
+	return s.comps[cid]
+}
+
+// NumComponents returns the number of live components.
+func (s *Store) NumComponents() int { return len(s.comps) }
+
+// SetUncertain replaces the field (rel, row, attr) by an or-set of values
+// with probabilities (nil probs means uniform), creating a fresh component.
+// The field must currently be certain.
+func (s *Store) SetUncertain(rel string, row int, attr string, values []int32, probs []float64) error {
+	r := s.Rel(rel)
+	if r == nil {
+		return fmt.Errorf("engine: unknown relation %q", rel)
+	}
+	ai, err := r.AttrIndex(attr)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= r.NumRows() {
+		return fmt.Errorf("engine: row %d out of range", row)
+	}
+	if r.Cols[ai][row] == Placeholder {
+		return fmt.Errorf("engine: field (%s, %d, %s) already uncertain", rel, row, attr)
+	}
+	if len(values) == 0 {
+		return fmt.Errorf("engine: empty or-set")
+	}
+	if probs != nil && len(probs) != len(values) {
+		return fmt.Errorf("engine: %d probabilities for %d values", len(probs), len(values))
+	}
+	f := FieldID{Rel: r.id, Row: int32(row), Attr: ai}
+	c := s.newComponent([]FieldID{f})
+	for i, v := range values {
+		if v < 0 {
+			return fmt.Errorf("engine: negative value %d in or-set", v)
+		}
+		p := 1 / float64(len(values))
+		if probs != nil {
+			p = probs[i]
+		}
+		c.Rows = append(c.Rows, CompRow{Vals: []int32{v}, P: p})
+	}
+	r.Cols[ai][row] = Placeholder
+	r.uncertain[int32(row)] = append(r.uncertain[int32(row)], ai)
+	return nil
+}
+
+func (s *Store) newComponent(fields []FieldID) *Component {
+	s.nextCID++
+	c := &Component{ID: s.nextCID, Fields: fields, pos: make(map[FieldID]int, len(fields))}
+	for i, f := range fields {
+		c.pos[f] = i
+		s.fieldComp[f] = c.ID
+	}
+	s.comps[c.ID] = c
+	return c
+}
+
+// mergeComps composes the distinct components of the given fields into one
+// and returns it. Fails if the merged component would exceed MaxCompFields.
+func (s *Store) mergeComps(fields ...FieldID) (*Component, error) {
+	seen := make(map[int32]bool)
+	var cs []*Component
+	for _, f := range fields {
+		cid, ok := s.fieldComp[f]
+		if !ok {
+			return nil, fmt.Errorf("engine: field %v has no component", f)
+		}
+		if !seen[cid] {
+			seen[cid] = true
+			cs = append(cs, s.comps[cid])
+		}
+	}
+	if len(cs) == 1 {
+		return cs[0], nil
+	}
+	total := 0
+	for _, c := range cs {
+		total += len(c.Fields)
+	}
+	if total > MaxCompFields {
+		return nil, fmt.Errorf("engine: composing %d fields exceeds limit %d", total, MaxCompFields)
+	}
+	merged := cs[0]
+	for _, c := range cs[1:] {
+		if len(merged.Rows)*len(c.Rows) > MaxCompRows {
+			return nil, fmt.Errorf("engine: composing components would exceed %d local worlds (the exponential join blow-up of Section 4); rewrite the query or lower the density", MaxCompRows)
+		}
+		merged = composeComponents(merged, c)
+		compressComponent(merged)
+	}
+	s.nextCID++
+	merged.ID = s.nextCID
+	s.comps[merged.ID] = merged
+	for _, c := range cs {
+		delete(s.comps, c.ID)
+	}
+	for _, f := range merged.Fields {
+		s.fieldComp[f] = merged.ID
+	}
+	return merged, nil
+}
+
+func composeComponents(a, b *Component) *Component {
+	fields := append(append([]FieldID(nil), a.Fields...), b.Fields...)
+	m := &Component{Fields: fields, pos: make(map[FieldID]int, len(fields))}
+	for i, f := range fields {
+		m.pos[f] = i
+	}
+	m.Rows = make([]CompRow, 0, len(a.Rows)*len(b.Rows))
+	shift := len(a.Fields)
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			vals := make([]int32, 0, len(ra.Vals)+len(rb.Vals))
+			vals = append(vals, ra.Vals...)
+			vals = append(vals, rb.Vals...)
+			absent := ra.Absent.Clone()
+			absent = absent.OrShifted(rb.Absent, len(b.Fields), shift)
+			m.Rows = append(m.Rows, CompRow{
+				Vals:   vals,
+				Absent: absent,
+				P:      ra.P * rb.P,
+			})
+		}
+	}
+	return m
+}
+
+// MaxCompRows bounds the number of local worlds a composition may produce.
+// Compositions beyond it indicate the inherent exponential blow-up of joins
+// on WSDs (Section 4); failing fast beats exhausting memory.
+const MaxCompRows = 1 << 21
+
+// compressComponent merges local worlds with identical values and absence
+// marks, summing their probabilities (the compress normalization of
+// Figure 20). Composition products shrink dramatically: fields restricted
+// by earlier selections contribute their distinct surviving states rather
+// than their original local-world count.
+func compressComponent(c *Component) {
+	if len(c.Rows) < 2 {
+		return
+	}
+	type key string
+	seen := make(map[key]int, len(c.Rows))
+	buf := make([]byte, 0, 8*len(c.Fields)+8)
+	out := c.Rows[:0]
+	for _, row := range c.Rows {
+		buf = buf[:0]
+		for i, v := range row.Vals {
+			if row.Absent.Get(i) {
+				v = -2 // absent marker, distinct from any value
+			}
+			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := key(buf)
+		if j, ok := seen[k]; ok {
+			out[j].P += row.P
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, row)
+	}
+	c.Rows = out
+}
+
+// addField appends a new field column to component c with the given values
+// and absence bits (one entry per component row).
+func (s *Store) addField(c *Component, f FieldID, vals []int32, absent []bool) error {
+	if len(c.Fields) >= MaxCompFields {
+		return fmt.Errorf("engine: component %d is full", c.ID)
+	}
+	if len(vals) != len(c.Rows) || len(absent) != len(c.Rows) {
+		return fmt.Errorf("engine: addField: %d values for %d rows", len(vals), len(c.Rows))
+	}
+	col := len(c.Fields)
+	c.Fields = append(c.Fields, f)
+	c.pos[f] = col
+	for i := range c.Rows {
+		c.Rows[i].Vals = append(c.Rows[i].Vals, vals[i])
+		if absent[i] {
+			c.Rows[i].Absent = c.Rows[i].Absent.Set(col)
+		}
+	}
+	s.fieldComp[f] = c.ID
+	return nil
+}
+
+// Clone deep-copies the store: templates, components and indexes. Used by
+// benchmarks to re-run destructive operations (chase) from one prepared
+// state, and generally to branch a world-set.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		rels:      make([]*Relation, len(s.rels)),
+		relID:     make(map[string]int32, len(s.relID)),
+		comps:     make(map[int32]*Component, len(s.comps)),
+		nextCID:   s.nextCID,
+		fieldComp: make(map[FieldID]int32, len(s.fieldComp)),
+	}
+	for name, id := range s.relID {
+		c.relID[name] = id
+	}
+	for i, r := range s.rels {
+		if r == nil {
+			continue
+		}
+		nr := &Relation{
+			id:        r.id,
+			Name:      r.Name,
+			Attrs:     append([]string(nil), r.Attrs...),
+			Cols:      make([][]int32, len(r.Cols)),
+			uncertain: make(map[int32][]uint16, len(r.uncertain)),
+		}
+		for j, col := range r.Cols {
+			nr.Cols[j] = append([]int32(nil), col...)
+		}
+		for row, attrs := range r.uncertain {
+			nr.uncertain[row] = append([]uint16(nil), attrs...)
+		}
+		c.rels[i] = nr
+	}
+	for cid, comp := range s.comps {
+		nc := &Component{
+			ID:     comp.ID,
+			Fields: append([]FieldID(nil), comp.Fields...),
+			Rows:   make([]CompRow, len(comp.Rows)),
+			pos:    make(map[FieldID]int, len(comp.pos)),
+		}
+		for f, i := range comp.pos {
+			nc.pos[f] = i
+		}
+		for i, row := range comp.Rows {
+			nc.Rows[i] = CompRow{
+				Vals:   append([]int32(nil), row.Vals...),
+				Absent: row.Absent.Clone(),
+				P:      row.P,
+			}
+		}
+		c.comps[cid] = nc
+	}
+	for f, cid := range s.fieldComp {
+		c.fieldComp[f] = cid
+	}
+	return c
+}
+
+// DropRelation removes a relation and projects its fields away from the
+// component store (components left with no fields are deleted).
+func (s *Store) DropRelation(name string) {
+	id, ok := s.relID[name]
+	if !ok {
+		return
+	}
+	r := s.rels[id]
+	for row, attrs := range r.uncertain {
+		for _, a := range attrs {
+			f := FieldID{Rel: id, Row: row, Attr: a}
+			cid, ok := s.fieldComp[f]
+			if !ok {
+				continue
+			}
+			delete(s.fieldComp, f)
+			c := s.comps[cid]
+			s.dropFieldFromComp(c, f)
+			if len(c.Fields) == 0 {
+				delete(s.comps, cid)
+			}
+		}
+	}
+	s.rels[id] = nil
+	delete(s.relID, name)
+}
+
+func (s *Store) dropFieldFromComp(c *Component, f FieldID) {
+	i, ok := c.pos[f]
+	if !ok {
+		return
+	}
+	last := len(c.Fields) - 1
+	// Swap-remove the column, fixing the bitmaps.
+	c.Fields[i] = c.Fields[last]
+	c.Fields = c.Fields[:last]
+	delete(c.pos, f)
+	if i != last {
+		c.pos[c.Fields[i]] = i
+	}
+	for r := range c.Rows {
+		row := &c.Rows[r]
+		lastBit := row.Absent.Get(last)
+		row.Vals[i] = row.Vals[last]
+		row.Vals = row.Vals[:last]
+		// Move the last column's bit into position i.
+		row.Absent = row.Absent.Assign(i, lastBit)
+		row.Absent.Clear(last)
+	}
+}
+
+// renormalize rescales a component's probabilities to sum to 1; it returns
+// false if the total mass is zero.
+func renormalize(c *Component) bool {
+	total := c.TotalP()
+	if total <= 0 || math.IsNaN(total) {
+		return false
+	}
+	for i := range c.Rows {
+		c.Rows[i].P /= total
+	}
+	return true
+}

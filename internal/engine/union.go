@@ -1,0 +1,141 @@
+package engine
+
+import "fmt"
+
+// Union computes res := l ∪ r for two relations with identical schemas.
+// Like the WSD union of Figure 9, the result holds one tuple slot per input
+// slot; duplicate tuples coincide when worlds are decoded (set semantics).
+func (s *Store) Union(res, l, r string) (*Relation, error) {
+	lr, rr := s.Rel(l), s.Rel(r)
+	if lr == nil || rr == nil {
+		return nil, fmt.Errorf("engine: unknown relation in union (%q, %q)", l, r)
+	}
+	if s.Rel(res) != nil {
+		return nil, fmt.Errorf("engine: relation %q already exists", res)
+	}
+	if len(lr.Attrs) != len(rr.Attrs) {
+		return nil, fmt.Errorf("engine: union schema mismatch")
+	}
+	for i := range lr.Attrs {
+		if lr.Attrs[i] != rr.Attrs[i] {
+			return nil, fmt.Errorf("engine: union schema mismatch at %q vs %q", lr.Attrs[i], rr.Attrs[i])
+		}
+	}
+	ln, rn := lr.NumRows(), rr.NumRows()
+	cols := make([][]int32, len(lr.Attrs))
+	for i := range cols {
+		cols[i] = make([]int32, ln+rn)
+		copy(cols[i], lr.Cols[i])
+		copy(cols[i][ln:], rr.Cols[i])
+	}
+	out, err := s.AddRelation(res, lr.Attrs, cols)
+	if err != nil {
+		return nil, err
+	}
+	ext := func(src *Relation, offset int) error {
+		for row, attrs := range src.uncertain {
+			for _, a := range attrs {
+				srcF := FieldID{Rel: src.id, Row: row, Attr: a}
+				comp := s.ComponentOf(srcF)
+				col := comp.Pos(srcF)
+				vals := make([]int32, len(comp.Rows))
+				absent := make([]bool, len(comp.Rows))
+				for w := range comp.Rows {
+					vals[w] = comp.Rows[w].Vals[col]
+					absent[w] = comp.Rows[w].IsAbsent(col)
+				}
+				dstRow := int32(offset) + row
+				dstF := FieldID{Rel: out.id, Row: dstRow, Attr: a}
+				if err := s.addField(comp, dstF, vals, absent); err != nil {
+					return err
+				}
+				out.Cols[a][dstRow] = Placeholder
+				out.uncertain[dstRow] = append(out.uncertain[dstRow], a)
+			}
+		}
+		return nil
+	}
+	if err := ext(lr, 0); err != nil {
+		return nil, err
+	}
+	if err := ext(rr, ln); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Product computes res := l × r for two relations with disjoint attribute
+// sets (the product of Figure 9 on the uniform encoding): one result slot
+// per pair of input slots, absent from a world whenever either input slot
+// is absent.
+func (s *Store) Product(res, l, r string) (*Relation, error) {
+	lr, rr := s.Rel(l), s.Rel(r)
+	if lr == nil || rr == nil {
+		return nil, fmt.Errorf("engine: unknown relation in product (%q, %q)", l, r)
+	}
+	if s.Rel(res) != nil {
+		return nil, fmt.Errorf("engine: relation %q already exists", res)
+	}
+	for _, a := range lr.Attrs {
+		for _, b := range rr.Attrs {
+			if a == b {
+				return nil, fmt.Errorf("engine: product: attribute %q on both sides", a)
+			}
+		}
+	}
+	ln, rn := lr.NumRows(), rr.NumRows()
+	attrs := append(append([]string{}, lr.Attrs...), rr.Attrs...)
+	cols := make([][]int32, len(attrs))
+	for i := range cols {
+		cols[i] = make([]int32, ln*rn)
+	}
+	slot := func(i, j int) int { return i*rn + j }
+	for i := 0; i < ln; i++ {
+		for j := 0; j < rn; j++ {
+			k := slot(i, j)
+			for a := range lr.Attrs {
+				cols[a][k] = lr.Cols[a][i]
+			}
+			for b := range rr.Attrs {
+				cols[len(lr.Attrs)+b][k] = rr.Cols[b][j]
+			}
+		}
+	}
+	out, err := s.AddRelation(res, attrs, cols)
+	if err != nil {
+		return nil, err
+	}
+	ext := func(srcRel *Relation, srcRow int32, attrOffset uint16, dstRow int) error {
+		for _, a := range srcRel.uncertain[srcRow] {
+			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: a}
+			comp := s.ComponentOf(srcF)
+			col := comp.Pos(srcF)
+			vals := make([]int32, len(comp.Rows))
+			absent := make([]bool, len(comp.Rows))
+			for w := range comp.Rows {
+				vals[w] = comp.Rows[w].Vals[col]
+				absent[w] = comp.Rows[w].IsAbsent(col)
+			}
+			di := attrOffset + a
+			dstF := FieldID{Rel: out.id, Row: int32(dstRow), Attr: di}
+			if err := s.addField(comp, dstF, vals, absent); err != nil {
+				return err
+			}
+			out.Cols[di][dstRow] = Placeholder
+			out.uncertain[int32(dstRow)] = append(out.uncertain[int32(dstRow)], di)
+		}
+		return nil
+	}
+	for i := 0; i < ln; i++ {
+		for j := 0; j < rn; j++ {
+			k := slot(i, j)
+			if err := ext(lr, int32(i), 0, k); err != nil {
+				return nil, err
+			}
+			if err := ext(rr, int32(j), uint16(len(lr.Attrs)), k); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+// Package factor computes product decompositions of relations: partitions of
+// the columns such that the relation equals the product of its projections
+// onto the blocks (Section 2 of the paper; the polynomial algorithm is given
+// in the companion ICDT'07 paper cited as [9]).
+//
+// The decomposition returned is always valid. For relations of at most
+// MaxExactColumns columns it is also the unique maximal (prime)
+// decomposition, computed by finding, for each column, the minimum valid
+// factor side containing it (valid sides are closed under intersection, so
+// the minimum is the prime factor). Beyond that width a pairwise-independence
+// heuristic with witness-driven merging is used; it still returns a valid
+// decomposition but may be coarser than prime. WSD components are narrow in
+// practice (Figure 28 of the paper measures almost all at 1–4 fields), so
+// the exact path is the one that runs.
+package factor
+
+import (
+	"math/bits"
+	"sort"
+
+	"maybms/internal/relation"
+)
+
+// MaxExactColumns bounds the subset enumeration of the exact algorithm.
+const MaxExactColumns = 16
+
+// Decompose partitions the columns [0, arity) of the given rows (a set of
+// tuples; duplicates are ignored) into blocks such that the relation is the
+// product of its block projections. Blocks are returned with sorted columns,
+// ordered by their smallest column.
+func Decompose(rows [][]relation.Value, arity int) [][]int {
+	if arity == 0 {
+		return nil
+	}
+	rows = dedupe(rows, arity)
+	if len(rows) <= 1 {
+		// The empty and singleton relations factor into singletons.
+		out := make([][]int, arity)
+		for i := range out {
+			out[i] = []int{i}
+		}
+		return out
+	}
+	cols := make([]int, arity)
+	for i := range cols {
+		cols[i] = i
+	}
+	var blocks [][]int
+	if arity <= MaxExactColumns {
+		blocks = exact(rows, cols)
+	} else {
+		blocks = heuristic(rows, cols)
+	}
+	for _, b := range blocks {
+		sort.Ints(b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i][0] < blocks[j][0] })
+	return blocks
+}
+
+// Valid reports whether the column partition is a product decomposition of
+// the rows: |R| = Π |π_B(R)| (R is always contained in the product of its
+// projections, so equal cardinality means equality).
+func Valid(rows [][]relation.Value, blocks [][]int) bool {
+	rows = dedupe(rows, -1)
+	prod := 1
+	for _, b := range blocks {
+		prod *= projSize(rows, b)
+		if prod > len(rows) {
+			return false
+		}
+	}
+	return prod == len(rows)
+}
+
+func dedupe(rows [][]relation.Value, arity int) [][]relation.Value {
+	seen := make(map[string]bool, len(rows))
+	out := make([][]relation.Value, 0, len(rows))
+	for _, r := range rows {
+		k := relation.Tuple(r).Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	_ = arity
+	return out
+}
+
+func projSize(rows [][]relation.Value, cols []int) int {
+	seen := make(map[string]bool, len(rows))
+	buf := make(relation.Tuple, len(cols))
+	for _, r := range rows {
+		for i, c := range cols {
+			buf[i] = r[c]
+		}
+		seen[buf.Key()] = true
+	}
+	return len(seen)
+}
+
+// exact computes the prime decomposition of the projection of rows onto
+// cols by peeling off, for each remaining leading column, the minimum valid
+// side containing it.
+func exact(rows [][]relation.Value, cols []int) [][]int {
+	var blocks [][]int
+	remaining := append([]int(nil), cols...)
+	for len(remaining) > 0 {
+		n := len(remaining)
+		if n == 1 {
+			blocks = append(blocks, []int{remaining[0]})
+			break
+		}
+		total := projSize(rows, remaining)
+		// Enumerate subsets of remaining[1:] by increasing size; the block
+		// is remaining[0] plus the chosen subset.
+		found := -1
+		for size := 0; size < n-1 && found < 0; size++ {
+			for mask := 0; mask < 1<<(n-1); mask++ {
+				if bits.OnesCount(uint(mask)) != size {
+					continue
+				}
+				side := []int{remaining[0]}
+				var rest []int
+				for i := 1; i < n; i++ {
+					if mask&(1<<(i-1)) != 0 {
+						side = append(side, remaining[i])
+					} else {
+						rest = append(rest, remaining[i])
+					}
+				}
+				if projSize(rows, side)*projSize(rows, rest) == total {
+					blocks = append(blocks, side)
+					remaining = rest
+					found = mask
+					break
+				}
+			}
+		}
+		if found < 0 {
+			// No proper split: the remaining columns form one prime block.
+			blocks = append(blocks, remaining)
+			break
+		}
+	}
+	return blocks
+}
+
+// heuristic starts from the connected components of the pairwise-dependence
+// graph and merges blocks, guided by single-block mixing witnesses, until
+// the partition is valid. Single-block mixing closure is equivalent to
+// validity, so termination at a valid partition is guaranteed (worst case:
+// one block).
+func heuristic(rows [][]relation.Value, cols []int) [][]int {
+	n := len(cols)
+	// Pairwise dependence graph.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pi := projSize(rows, []int{cols[i]})
+			pj := projSize(rows, []int{cols[j]})
+			pij := projSize(rows, []int{cols[i], cols[j]})
+			if pi*pj != pij {
+				union(i, j)
+			}
+		}
+	}
+	blockOf := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		blockOf[r] = append(blockOf[r], cols[i])
+	}
+	var blocks [][]int
+	for _, b := range blockOf {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i][0] < blocks[j][0] })
+
+	inR := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		inR[relation.Tuple(r).Key()] = true
+	}
+	mixKey := func(t, u []relation.Value, fromT map[int]bool) string {
+		buf := make(relation.Tuple, len(t))
+		copy(buf, u)
+		for c := range fromT {
+			buf[c] = t[c]
+		}
+		return buf.Key()
+	}
+	for !Valid(rows, blocks) && len(blocks) > 1 {
+		merged := false
+		// Find a failing single-block mixing witness and merge its block
+		// with the block of a column certifying the failure.
+	search:
+		for bi, b := range blocks {
+			setB := map[int]bool{}
+			for _, c := range b {
+				setB[c] = true
+			}
+			for _, t := range rows {
+				for _, u := range rows {
+					if inR[mixKey(t, u, setB)] {
+						continue
+					}
+					// Witness found: merge b with the next block; grow
+					// minimally by trying each other block.
+					for bj := range blocks {
+						if bj == bi {
+							continue
+						}
+						both := map[int]bool{}
+						for c := range setB {
+							both[c] = true
+						}
+						for _, c := range blocks[bj] {
+							both[c] = true
+						}
+						if inR[mixKey(t, u, both)] {
+							blocks[bi] = append(blocks[bi], blocks[bj]...)
+							blocks = append(blocks[:bj], blocks[bj+1:]...)
+							merged = true
+							break search
+						}
+					}
+					// No single extra block fixes the witness: merge b with
+					// its successor and retry.
+					nj := (bi + 1) % len(blocks)
+					blocks[bi] = append(blocks[bi], blocks[nj]...)
+					blocks = append(blocks[:nj], blocks[nj+1:]...)
+					merged = true
+					break search
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	if !Valid(rows, blocks) {
+		all := []int{}
+		for _, b := range blocks {
+			all = append(all, b...)
+		}
+		blocks = [][]int{all}
+	}
+	return blocks
+}

@@ -1,0 +1,252 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+func rowsOf(vals ...[]int64) [][]relation.Value {
+	out := make([][]relation.Value, len(vals))
+	for i, vs := range vals {
+		row := make([]relation.Value, len(vs))
+		for j, v := range vs {
+			row[j] = relation.Int(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func blocksEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDecomposeFullProduct(t *testing.T) {
+	// {0,1}×{0,1}: fully independent columns.
+	rows := rowsOf([]int64{0, 0}, []int64{0, 1}, []int64{1, 0}, []int64{1, 1})
+	got := Decompose(rows, 2)
+	if !blocksEqual(got, [][]int{{0}, {1}}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDecomposeDependentPair(t *testing.T) {
+	// Diagonal: columns fully correlated.
+	rows := rowsOf([]int64{0, 0}, []int64{1, 1})
+	got := Decompose(rows, 2)
+	if !blocksEqual(got, [][]int{{0, 1}}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDecomposeXORNeedsTriple(t *testing.T) {
+	// a⊕b⊕c = 0: all pairs independent, triple dependent. The prime
+	// decomposition is the single block {0,1,2}; pairwise reasoning alone
+	// would wrongly split it.
+	var rows [][]relation.Value
+	for a := int64(0); a < 2; a++ {
+		for b := int64(0); b < 2; b++ {
+			rows = append(rows, rowsOf([]int64{a, b, a ^ b})...)
+		}
+	}
+	got := Decompose(rows, 3)
+	if !blocksEqual(got, [][]int{{0, 1, 2}}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDecomposeTwoXORBlocks(t *testing.T) {
+	// Two independent XOR triples: prime factorization {0,1,2},{3,4,5}.
+	var left, right [][]int64
+	for a := int64(0); a < 2; a++ {
+		for b := int64(0); b < 2; b++ {
+			left = append(left, []int64{a, b, a ^ b})
+			right = append(right, []int64{a, b, a ^ b})
+		}
+	}
+	var rows [][]relation.Value
+	for _, l := range left {
+		for _, r := range right {
+			rows = append(rows, rowsOf([]int64{l[0], l[1], l[2], r[0], r[1], r[2]})...)
+		}
+	}
+	got := Decompose(rows, 6)
+	if !blocksEqual(got, [][]int{{0, 1, 2}, {3, 4, 5}}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDecomposeSingletonAndEmpty(t *testing.T) {
+	if got := Decompose(nil, 3); !blocksEqual(got, [][]int{{0}, {1}, {2}}) {
+		t.Fatalf("empty: %v", got)
+	}
+	rows := rowsOf([]int64{7, 8})
+	if got := Decompose(rows, 2); !blocksEqual(got, [][]int{{0}, {1}}) {
+		t.Fatalf("singleton: %v", got)
+	}
+	if got := Decompose(rows, 0); got != nil {
+		t.Fatalf("zero arity: %v", got)
+	}
+}
+
+func TestDecomposeDuplicatesIgnored(t *testing.T) {
+	rows := rowsOf([]int64{0, 0}, []int64{0, 0}, []int64{1, 1}, []int64{1, 1})
+	got := Decompose(rows, 2)
+	if !blocksEqual(got, [][]int{{0, 1}}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	rows := rowsOf([]int64{0, 0}, []int64{0, 1}, []int64{1, 0}, []int64{1, 1})
+	if !Valid(rows, [][]int{{0}, {1}}) {
+		t.Fatal("full product must validate singleton blocks")
+	}
+	diag := rowsOf([]int64{0, 0}, []int64{1, 1})
+	if Valid(diag, [][]int{{0}, {1}}) {
+		t.Fatal("diagonal must not validate singleton blocks")
+	}
+	if !Valid(diag, [][]int{{0, 1}}) {
+		t.Fatal("single block is always valid")
+	}
+}
+
+// randomProduct builds a relation as an explicit product of k random factors
+// and returns the rows plus the generating column partition.
+func randomProduct(rng *rand.Rand, k int) ([][]relation.Value, [][]int) {
+	type factorRel struct {
+		width int
+		rows  [][]int64
+	}
+	var factors []factorRel
+	arity := 0
+	var partition [][]int
+	for f := 0; f < k; f++ {
+		width := 1 + rng.Intn(2)
+		nrows := 2 + rng.Intn(3)
+		fr := factorRel{width: width}
+		seen := map[string]bool{}
+		for len(fr.rows) < nrows {
+			row := make([]int64, width)
+			key := ""
+			for i := range row {
+				row[i] = int64(rng.Intn(4))
+				key += string(rune('0' + row[i]))
+			}
+			if !seen[key] {
+				seen[key] = true
+				fr.rows = append(fr.rows, row)
+			}
+		}
+		cols := make([]int, width)
+		for i := range cols {
+			cols[i] = arity + i
+		}
+		partition = append(partition, cols)
+		arity += width
+		factors = append(factors, fr)
+	}
+	rows := [][]relation.Value{{}}
+	for _, f := range factors {
+		var next [][]relation.Value
+		for _, prefix := range rows {
+			for _, fr := range f.rows {
+				row := append([]relation.Value(nil), prefix...)
+				for _, v := range fr {
+					row = append(row, relation.Int(v))
+				}
+				next = append(next, row)
+			}
+		}
+		rows = next
+	}
+	return rows, partition
+}
+
+func TestDecomposeRecoversRandomProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(3)
+		rows, partition := randomProduct(rng, k)
+		arity := 0
+		for _, b := range partition {
+			arity += len(b)
+		}
+		got := Decompose(rows, arity)
+		if !Valid(rows, got) {
+			t.Fatalf("trial %d: invalid decomposition %v", trial, got)
+		}
+		// The prime decomposition must be at least as fine as the
+		// generating partition.
+		if len(got) < len(partition) {
+			t.Fatalf("trial %d: got %d blocks, generated with %d factors", trial, len(got), len(partition))
+		}
+		// And each returned block must lie inside one generating factor.
+		factorOf := map[int]int{}
+		for fi, b := range partition {
+			for _, c := range b {
+				factorOf[c] = fi
+			}
+		}
+		for _, b := range got {
+			for _, c := range b[1:] {
+				if factorOf[c] != factorOf[b[0]] {
+					t.Fatalf("trial %d: block %v spans generating factors", trial, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeRandomAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		arity := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(12)
+		rows := make([][]relation.Value, n)
+		for i := range rows {
+			row := make([]relation.Value, arity)
+			for j := range row {
+				row[j] = relation.Int(int64(rng.Intn(3)))
+			}
+			rows[i] = row
+		}
+		got := Decompose(rows, arity)
+		if !Valid(rows, got) {
+			t.Fatalf("trial %d: invalid decomposition %v", trial, got)
+		}
+	}
+}
+
+func TestHeuristicWideRelation(t *testing.T) {
+	// More columns than MaxExactColumns: heuristic path; result must be a
+	// valid decomposition of a wide full product.
+	arity := MaxExactColumns + 2
+	var rows [][]relation.Value
+	for i := 0; i < 32; i++ {
+		row := make([]relation.Value, arity)
+		for j := range row {
+			row[j] = relation.Int(int64((i >> uint(j%5)) & 1))
+		}
+		rows = append(rows, row)
+	}
+	got := Decompose(rows, arity)
+	if !Valid(rows, got) {
+		t.Fatalf("heuristic produced invalid decomposition %v", got)
+	}
+}

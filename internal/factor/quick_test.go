@@ -1,0 +1,114 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/relation"
+)
+
+// Property-based tests (testing/quick) for relation factorization.
+
+// Property: Decompose always returns a partition of the columns and a valid
+// product decomposition, on arbitrary random relations.
+func TestQuickDecomposeValidPartition(t *testing.T) {
+	f := func(seed int64, arityRaw, rowsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 1 + int(arityRaw)%6
+		n := int(rowsRaw) % 14
+		rows := make([][]relation.Value, n)
+		for i := range rows {
+			row := make([]relation.Value, arity)
+			for j := range row {
+				row[j] = relation.Int(int64(rng.Intn(3)))
+			}
+			rows[i] = row
+		}
+		blocks := Decompose(rows, arity)
+		seen := make(map[int]bool)
+		for _, b := range blocks {
+			for _, c := range b {
+				if c < 0 || c >= arity || seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != arity {
+			return false
+		}
+		return Valid(rows, blocks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decomposing a product of two relations over disjoint columns
+// never produces a block spanning the two sides.
+func TestQuickDecomposeRespectsProducts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, partition := randomProduct(rng, 2)
+		arity := 0
+		for _, b := range partition {
+			arity += len(b)
+		}
+		blocks := Decompose(rows, arity)
+		side := make(map[int]int)
+		for si, b := range partition {
+			for _, c := range b {
+				side[c] = si
+			}
+		}
+		for _, b := range blocks {
+			for _, c := range b[1:] {
+				if side[c] != side[b[0]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the single block is always valid, and singleton blocks are
+// valid exactly when the relation is a full product of its columns.
+func TestQuickValidConsistency(t *testing.T) {
+	f := func(seed int64, arityRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 1 + int(arityRaw)%4
+		n := 1 + rng.Intn(9)
+		rows := make([][]relation.Value, n)
+		for i := range rows {
+			row := make([]relation.Value, arity)
+			for j := range row {
+				row[j] = relation.Int(int64(rng.Intn(2)))
+			}
+			rows[i] = row
+		}
+		all := make([]int, arity)
+		for i := range all {
+			all[i] = i
+		}
+		if !Valid(rows, [][]int{all}) {
+			return false
+		}
+		// Cross-check the singleton partition against a direct product
+		// reconstruction.
+		singles := make([][]int, arity)
+		sizes := 1
+		for i := range singles {
+			singles[i] = []int{i}
+			sizes *= projSize(dedupe(rows, arity), []int{i})
+		}
+		return Valid(rows, singles) == (sizes == len(dedupe(rows, arity)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package normalize implements the WSD normalization algorithms of Section 7
+// (Figure 20): removing invalid tuples, maximally decomposing components
+// (via internal/factor), and compressing duplicate local worlds. All three
+// preserve the represented (probabilistic) world-set while shrinking the
+// representation.
+package normalize
+
+import (
+	"math"
+
+	"maybms/internal/core"
+	"maybms/internal/factor"
+	"maybms/internal/relation"
+)
+
+// DefaultEps is the probability tolerance used when verifying that a
+// structural component decomposition also factors the probability
+// distribution.
+const DefaultEps = 1e-9
+
+// Normalize applies the full pipeline: remove invalid tuples, compress
+// (dropping a removed slot's fields can leave duplicate local worlds), and
+// decompose maximally. The result is a fixpoint: running Normalize again
+// changes nothing.
+func Normalize(w *core.WSD) {
+	RemoveInvalidTuples(w)
+	Compress(w)
+	DecomposeComponents(w, DefaultEps)
+}
+
+// RemoveInvalidTuples deletes tuple slots that are absent from every world:
+// slots for which some field is ⊥ in every local world of its component
+// (first algorithm of Figure 20). Higher slots are renumbered down.
+func RemoveInvalidTuples(w *core.WSD) {
+	for _, rs := range append([]struct {
+		Name  string
+		Attrs []string
+	}(nil), schemaOf(w)...) {
+		// Scan slots from the highest down so renumbering is safe.
+		for i := w.MaxCard[rs.Name]; i >= 1; i-- {
+			if slotInvalid(w, rs.Name, rs.Attrs, i) {
+				w.RemoveSlot(rs.Name, i)
+			}
+		}
+	}
+}
+
+func schemaOf(w *core.WSD) []struct {
+	Name  string
+	Attrs []string
+} {
+	out := make([]struct {
+		Name  string
+		Attrs []string
+	}, 0, len(w.Schema.Rels))
+	for _, rs := range w.Schema.Rels {
+		out = append(out, struct {
+			Name  string
+			Attrs []string
+		}{rs.Name, rs.Attrs})
+	}
+	return out
+}
+
+// slotInvalid reports whether slot i of rel is ⊥ in all worlds: some field
+// of the slot is ⊥ in every row of its component.
+func slotInvalid(w *core.WSD, rel string, attrs []string, i int) bool {
+	for _, a := range attrs {
+		f := core.FieldRef{Rel: rel, Tuple: i, Attr: a}
+		c := w.ComponentOf(f)
+		if c == nil {
+			continue
+		}
+		col, _ := c.Pos(f)
+		if len(c.Rows) == 0 {
+			continue
+		}
+		all := true
+		for _, r := range c.Rows {
+			if !r.Values[col].IsBottom() {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Compress merges identical local worlds of every component, summing their
+// probabilities (third algorithm of Figure 20).
+func Compress(w *core.WSD) {
+	for _, c := range w.Comps {
+		compressComponent(c)
+	}
+}
+
+func compressComponent(c *core.Component) {
+	seen := make(map[string]int, len(c.Rows))
+	out := c.Rows[:0]
+	for _, r := range c.Rows {
+		k := relation.Tuple(r.Values).Key()
+		if i, ok := seen[k]; ok {
+			out[i].P += r.P
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, r)
+	}
+	c.Rows = out
+}
+
+// DecomposeComponents maximally decomposes every component whose rows form a
+// relational product (second algorithm of Figure 20). For probabilistic
+// components a structural split is only installed when the probability
+// distribution factors accordingly (within eps); otherwise correlated blocks
+// are re-merged greedily until it does.
+func DecomposeComponents(w *core.WSD, eps float64) {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	for _, c := range append([]*core.Component(nil), w.Comps...) {
+		decomposeOne(w, c, eps)
+	}
+}
+
+func decomposeOne(w *core.WSD, c *core.Component, eps float64) {
+	if c.Arity() <= 1 || len(c.Rows) <= 1 {
+		if c.Arity() > 1 && len(c.Rows) == 1 {
+			// A single local world splits into singleton fields.
+			installBlocks(w, c, singletonBlocks(c.Arity()))
+		}
+		return
+	}
+	rows := make([][]relation.Value, len(c.Rows))
+	for i, r := range c.Rows {
+		rows[i] = r.Values
+	}
+	blocks := factor.Decompose(rows, c.Arity())
+	if len(blocks) <= 1 {
+		return
+	}
+	if probabilistic(c) {
+		blocks = probValidBlocks(c, blocks, eps)
+		if len(blocks) <= 1 {
+			return
+		}
+	}
+	// A block coarsened by the probability check may itself factor once its
+	// marginal distribution stands alone (deduplication can reveal
+	// independence the joint hid); recurse until the decomposition is a
+	// fixpoint. Arities strictly shrink, so this terminates.
+	for _, nc := range installBlocks(w, c, blocks) {
+		if nc.Arity() < c.Arity() {
+			decomposeOne(w, nc, eps)
+		}
+	}
+}
+
+func singletonBlocks(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = []int{i}
+	}
+	return out
+}
+
+func probabilistic(c *core.Component) bool {
+	for _, r := range c.Rows {
+		if r.P != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// marginal computes the projection of the component onto the block columns,
+// accumulating probabilities of identical projected rows.
+func marginal(c *core.Component, block []int) map[string]float64 {
+	m := make(map[string]float64)
+	buf := make(relation.Tuple, len(block))
+	for _, r := range c.Rows {
+		for i, col := range block {
+			buf[i] = r.Values[col]
+		}
+		m[buf.Key()] += r.P
+	}
+	return m
+}
+
+// probValid reports whether the probability of every local world equals the
+// product of its block marginals within eps.
+func probValid(c *core.Component, blocks [][]int, eps float64) bool {
+	margs := make([]map[string]float64, len(blocks))
+	for i, b := range blocks {
+		margs[i] = marginal(c, b)
+	}
+	for _, r := range c.Rows {
+		p := 1.0
+		for i, b := range blocks {
+			buf := make(relation.Tuple, len(b))
+			for j, col := range b {
+				buf[j] = r.Values[col]
+			}
+			p *= margs[i][buf.Key()]
+		}
+		if math.Abs(p-r.P) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// probValidBlocks coarsens the structural blocks until the probability
+// distribution factors over them; the trivial single block always does.
+func probValidBlocks(c *core.Component, blocks [][]int, eps float64) [][]int {
+	for len(blocks) > 1 && !probValid(c, blocks, eps) {
+		// Merge the pair of blocks with the largest pairwise correlation.
+		bi, bj := mostCorrelatedPair(c, blocks)
+		merged := append(append([]int(nil), blocks[bi]...), blocks[bj]...)
+		var next [][]int
+		for k, b := range blocks {
+			if k != bi && k != bj {
+				next = append(next, b)
+			}
+		}
+		blocks = append(next, merged)
+	}
+	return blocks
+}
+
+func mostCorrelatedPair(c *core.Component, blocks [][]int) (int, int) {
+	bestI, bestJ, best := 0, 1, -1.0
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			mi := marginal(c, blocks[i])
+			mj := marginal(c, blocks[j])
+			joint := marginal(c, append(append([]int(nil), blocks[i]...), blocks[j]...))
+			dev := 0.0
+			bufI := make(relation.Tuple, len(blocks[i]))
+			bufJ := make(relation.Tuple, len(blocks[j]))
+			for _, r := range c.Rows {
+				for k, col := range blocks[i] {
+					bufI[k] = r.Values[col]
+				}
+				for k, col := range blocks[j] {
+					bufJ[k] = r.Values[col]
+				}
+				d := math.Abs(joint[relation.Tuple(append(append(relation.Tuple{}, bufI...), bufJ...)).Key()] -
+					mi[bufI.Key()]*mj[bufJ.Key()])
+				if d > dev {
+					dev = d
+				}
+			}
+			if dev > best {
+				best, bestI, bestJ = dev, i, j
+			}
+		}
+	}
+	return bestI, bestJ
+}
+
+// installBlocks replaces component c by one component per block, with
+// probabilities given by the block marginals, and returns the new
+// components.
+func installBlocks(w *core.WSD, c *core.Component, blocks [][]int) []*core.Component {
+	prob := probabilistic(c)
+	news := make([]*core.Component, 0, len(blocks))
+	for _, b := range blocks {
+		fields := make([]core.FieldRef, len(b))
+		for i, col := range b {
+			fields[i] = c.Fields[col]
+		}
+		nc := core.NewComponent(fields)
+		seen := make(map[string]int)
+		for _, r := range c.Rows {
+			vals := make([]relation.Value, len(b))
+			for i, col := range b {
+				vals[i] = r.Values[col]
+			}
+			k := relation.Tuple(vals).Key()
+			if i, ok := seen[k]; ok {
+				if prob {
+					nc.Rows[i].P += r.P
+				}
+				continue
+			}
+			seen[k] = len(nc.Rows)
+			p := 0.0
+			if prob {
+				p = r.P
+			}
+			nc.AddRow(core.Row{Values: vals, P: p})
+		}
+		news = append(news, nc)
+	}
+	if err := w.ReplaceComponent(c, news...); err != nil {
+		// Blocks are a partition of c's fields by construction.
+		panic(err)
+	}
+	return news
+}

@@ -1,0 +1,263 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+func fr(rel string, tup int, attr string) core.FieldRef {
+	return core.FieldRef{Rel: rel, Tuple: tup, Attr: attr}
+}
+
+func row(p float64, vs ...int64) core.Row {
+	vals := make([]relation.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = relation.Int(v)
+	}
+	return core.Row{Values: vals, P: p}
+}
+
+// fig10WSD rebuilds the running 7-WSD of Figure 10(b).
+func fig10WSD(t *testing.T) *core.WSD {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B", "C"}})
+	w := core.New(schema, map[string]int{"R": 3})
+	add := func(c *core.Component) {
+		t.Helper()
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "A")}, row(0, 1), row(0, 2)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "B"), fr("R", 1, "C"), fr("R", 2, "B")},
+		row(0, 1, 0, 3), row(0, 2, 7, 4)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "A")}, row(0, 4), row(0, 5)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "C")}, row(0, 0)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 3, "A")}, row(0, 6)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 3, "B")}, row(0, 6)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 3, "C")}, row(0, 7)))
+	return w
+}
+
+func TestFig21RemoveInvalidTuples(t *testing.T) {
+	// P := σ_{C=7}(R) on the Figure 10 WSD leaves t2 of P all-⊥ (Figure
+	// 11(a)); removing invalid tuples yields the WSD of Figure 21 with only
+	// two slots for P.
+	w := fig10WSD(t)
+	if err := w.SelectConst("P", "R", "C", relation.EQ, relation.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	w.DropRelation("R")
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RemoveInvalidTuples(w)
+	if got := w.MaxCard["P"]; got != 2 {
+		t.Fatalf("|P|max = %d after removal, want 2", got)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before, 0) {
+		t.Fatal("removing invalid tuples changed the world-set")
+	}
+}
+
+func TestCompressSumsProbabilities(t *testing.T) {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A"}})
+	w := core.New(schema, map[string]int{"R": 1})
+	c := core.NewComponent([]core.FieldRef{fr("R", 1, "A")},
+		row(0.25, 1), row(0.25, 1), row(0.5, 2))
+	if err := w.AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	Compress(w)
+	if len(c.Rows) != 2 {
+		t.Fatalf("rows after compress = %d, want 2", len(c.Rows))
+	}
+	if c.Rows[0].P != 0.5 || c.Rows[1].P != 0.5 {
+		t.Fatalf("probabilities = %g, %g; want 0.5, 0.5", c.Rows[0].P, c.Rows[1].P)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeComponentsSplitsProduct(t *testing.T) {
+	// Merge two independent components, then decompose: the merge must be
+	// undone (maximality) and the world-set preserved.
+	w := fig10WSD(t)
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.MergeComponents(fr("R", 1, "A"), fr("R", 2, "A"), fr("R", 2, "C"))
+	nBefore := w.NumComponents()
+	DecomposeComponents(w, 0)
+	if w.NumComponents() != nBefore+2 {
+		t.Fatalf("components = %d, want %d", w.NumComponents(), nBefore+2)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before, 0) {
+		t.Fatal("decompose changed the world-set")
+	}
+}
+
+func TestDecomposeRespectsProbabilisticCorrelation(t *testing.T) {
+	// Structurally the component is a full product {1,2}×{1,2}, but the
+	// probabilities are correlated, so it must NOT be decomposed.
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := core.New(schema, map[string]int{"R": 1})
+	c := core.NewComponent([]core.FieldRef{fr("R", 1, "A"), fr("R", 1, "B")},
+		row(0.4, 1, 1), row(0.1, 1, 2), row(0.1, 2, 1), row(0.4, 2, 2))
+	if err := w.AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	DecomposeComponents(w, 0)
+	if w.NumComponents() != 1 {
+		t.Fatal("correlated probabilistic component must stay merged")
+	}
+	// With independent probabilities it must split.
+	w2 := core.New(schema, map[string]int{"R": 1})
+	c2 := core.NewComponent([]core.FieldRef{fr("R", 1, "A"), fr("R", 1, "B")},
+		row(0.12, 1, 1), row(0.28, 1, 2), row(0.18, 2, 1), row(0.42, 2, 2))
+	if err := w2.AddComponent(c2); err != nil {
+		t.Fatal(err)
+	}
+	DecomposeComponents(w2, 1e-9)
+	if w2.NumComponents() != 2 {
+		t.Fatalf("independent probabilistic component must split, got %d comps", w2.NumComponents())
+	}
+	if err := w2.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w2.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeSingleRowComponent(t *testing.T) {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := core.New(schema, map[string]int{"R": 1})
+	c := core.NewComponent([]core.FieldRef{fr("R", 1, "A"), fr("R", 1, "B")}, row(1, 7, 8))
+	if err := w.AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	DecomposeComponents(w, 0)
+	if w.NumComponents() != 2 {
+		t.Fatalf("single-row component must split into singletons, got %d", w.NumComponents())
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randWSD generates a random probabilistic or plain WSD (mirrors the core
+// test generator, kept local to avoid exporting test helpers).
+func randWSD(rng *rand.Rand, prob bool) *core.WSD {
+	schema := worlds.NewSchema(
+		worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+		worlds.RelSchema{Name: "S", Attrs: []string{"C"}},
+	)
+	w := core.New(schema, map[string]int{"R": 2, "S": 2})
+	fields := w.Fields()
+	rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(fields) {
+			n = len(fields)
+		}
+		group := fields[:n]
+		fields = fields[n:]
+		c := core.NewComponent(append([]core.FieldRef(nil), group...))
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			vals := make([]relation.Value, n)
+			for i := range vals {
+				vals[i] = relation.Int(int64(rng.Intn(3)))
+			}
+			if rng.Float64() < 0.2 {
+				vals[rng.Intn(n)] = relation.Bottom()
+			}
+			c.AddRow(core.Row{Values: vals})
+		}
+		c.PropagateBottom()
+		if prob {
+			total := 0.0
+			ps := make([]float64, len(c.Rows))
+			for i := range ps {
+				ps[i] = rng.Float64() + 0.01
+				total += ps[i]
+			}
+			for i := range ps {
+				c.Rows[i].P = ps[i] / total
+			}
+		}
+		if err := w.AddComponent(c); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func TestNormalizePreservesRep(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		before, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Normalize(w)
+		if err := w.Validate(1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		after, err := w.Rep(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !after.Equal(before, 1e-6) {
+			t.Fatalf("trial %d: normalization changed the world-set", trial)
+		}
+	}
+}
+
+func TestNormalizeNeverGrowsRepresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	size := func(w *core.WSD) int {
+		n := 0
+		for _, c := range w.Comps {
+			n += c.Arity() * c.Size()
+		}
+		return n
+	}
+	for trial := 0; trial < 40; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		// Worsen the representation first.
+		w.MergeComponents(fr("R", 1, "A"), fr("R", 2, "B"))
+		before := size(w)
+		Normalize(w)
+		if got := size(w); got > before {
+			t.Fatalf("trial %d: normalization grew representation %d → %d", trial, before, got)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/core"
+)
+
+// Property (testing/quick): every normalization step preserves the
+// represented probabilistic world-set, and Compress never increases the
+// number of local worlds.
+func TestQuickStepsPreserveRep(t *testing.T) {
+	f := func(seed int64, step uint8) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), seed%2 == 0)
+		before, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		rowsBefore := totalRows(w)
+		switch step % 3 {
+		case 0:
+			Compress(w)
+			if totalRows(w) > rowsBefore {
+				return false
+			}
+		case 1:
+			RemoveInvalidTuples(w)
+		default:
+			DecomposeComponents(w, 0)
+		}
+		if err := w.Validate(1e-6); err != nil {
+			return false
+		}
+		after, err := w.Rep(0)
+		if err != nil {
+			return false
+		}
+		return after.Equal(before, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 90}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize is idempotent on the representation size.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randWSD(rand.New(rand.NewSource(seed)), seed%2 == 0)
+		Normalize(w)
+		size1 := totalCells(w)
+		comps1 := w.NumComponents()
+		Normalize(w)
+		return totalCells(w) == size1 && w.NumComponents() == comps1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalRows(w *core.WSD) int {
+	n := 0
+	for _, c := range w.Comps {
+		n += c.Size()
+	}
+	return n
+}
+
+func totalCells(w *core.WSD) int {
+	n := 0
+	for _, c := range w.Comps {
+		n += c.Size() * c.Arity()
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+// Package orset implements relations with or-set fields (Section 1; [21]):
+// every field holds a finite set of possible values, optionally weighted,
+// and fields are independent. Or-sets are the input format of the paper's
+// census scenario ("one field in 10⁴ can be read in two different ways") and
+// translate to WSDs in linear space (Example 1) — in contrast to their
+// exponential expansion into explicit worlds.
+package orset
+
+import (
+	"fmt"
+	"math"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// Field is one or-set field: a set of possible values with optional
+// probability weights (nil Probs means unweighted; a singleton Values is a
+// certain field).
+type Field struct {
+	Values []relation.Value
+	Probs  []float64
+}
+
+// Certain builds a certain field.
+func Certain(v relation.Value) Field { return Field{Values: []relation.Value{v}} }
+
+// OrInts builds an unweighted or-set field of integer values.
+func OrInts(vs ...int64) Field {
+	f := Field{Values: make([]relation.Value, len(vs))}
+	for i, v := range vs {
+		f.Values[i] = relation.Int(v)
+	}
+	return f
+}
+
+// Uniform attaches uniform probabilities to the field's values.
+func (f Field) Uniform() Field {
+	p := make([]float64, len(f.Values))
+	for i := range p {
+		p[i] = 1 / float64(len(f.Values))
+	}
+	f.Probs = p
+	return f
+}
+
+// Validate checks the field: at least one value, and weights (if present)
+// matching the values and summing to 1.
+func (f Field) Validate(eps float64) error {
+	if len(f.Values) == 0 {
+		return fmt.Errorf("orset: empty or-set field")
+	}
+	if f.Probs == nil {
+		return nil
+	}
+	if len(f.Probs) != len(f.Values) {
+		return fmt.Errorf("orset: %d probabilities for %d values", len(f.Probs), len(f.Values))
+	}
+	var s float64
+	for _, p := range f.Probs {
+		if p < -eps || p > 1+eps {
+			return fmt.Errorf("orset: probability %g outside [0,1]", p)
+		}
+		s += p
+	}
+	if math.Abs(s-1) > eps {
+		return fmt.Errorf("orset: probabilities sum to %g", s)
+	}
+	return nil
+}
+
+// Relation is a relation whose fields are or-sets.
+type Relation struct {
+	Name   string
+	Attrs  []string
+	Tuples [][]Field
+}
+
+// New creates an empty or-set relation.
+func New(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: attrs}
+}
+
+// Add appends a tuple of or-set fields.
+func (r *Relation) Add(fields ...Field) error {
+	if len(fields) != len(r.Attrs) {
+		return fmt.Errorf("orset: tuple arity %d, want %d", len(fields), len(r.Attrs))
+	}
+	r.Tuples = append(r.Tuples, fields)
+	return nil
+}
+
+// Validate checks all fields.
+func (r *Relation) Validate(eps float64) error {
+	for i, t := range r.Tuples {
+		for j, f := range t {
+			if err := f.Validate(eps); err != nil {
+				return fmt.Errorf("orset: tuple %d attr %s: %w", i+1, r.Attrs[j], err)
+			}
+		}
+	}
+	return nil
+}
+
+// NumWorlds returns the number of represented worlds: the product of the
+// or-set sizes.
+func (r *Relation) NumWorlds() float64 {
+	n := 1.0
+	for _, t := range r.Tuples {
+		for _, f := range t {
+			n *= float64(len(f.Values))
+		}
+	}
+	return n
+}
+
+// Probabilistic reports whether any field carries weights.
+func (r *Relation) Probabilistic() bool {
+	for _, t := range r.Tuples {
+		for _, f := range t {
+			if f.Probs != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ToWSD translates the or-set relation into a WSD with one single-field
+// component per field (Example 1): the size of the WSD is linear in the
+// size of the or-set relation. Unweighted fields of a probabilistic
+// relation get uniform weights.
+func (r *Relation) ToWSD() (*core.WSD, error) {
+	if err := r.Validate(1e-9); err != nil {
+		return nil, err
+	}
+	prob := r.Probabilistic()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: r.Name, Attrs: r.Attrs})
+	w := core.New(schema, map[string]int{r.Name: len(r.Tuples)})
+	for i, t := range r.Tuples {
+		for j, f := range t {
+			ref := core.FieldRef{Rel: r.Name, Tuple: i + 1, Attr: r.Attrs[j]}
+			c := core.NewComponent([]core.FieldRef{ref})
+			for k, v := range f.Values {
+				p := 0.0
+				if prob {
+					if f.Probs != nil {
+						p = f.Probs[k]
+					} else {
+						p = 1 / float64(len(f.Values))
+					}
+				}
+				c.AddRow(core.Row{Values: []relation.Value{v}, P: p})
+			}
+			if err := w.AddComponent(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// Worlds expands the or-set relation into its explicit world-set, up to
+// maxWorlds candidates (0 means core.DefaultMaxWorlds). This is the
+// exponential baseline the introduction argues against.
+func (r *Relation) Worlds(maxWorlds int) (*worlds.WorldSet, error) {
+	w, err := r.ToWSD()
+	if err != nil {
+		return nil, err
+	}
+	return w.Rep(maxWorlds)
+}
+
+// Size returns the representation size of the or-set relation: the total
+// number of values across all fields.
+func (r *Relation) Size() int {
+	n := 0
+	for _, t := range r.Tuples {
+		for _, f := range t {
+			n += len(f.Values)
+		}
+	}
+	return n
+}

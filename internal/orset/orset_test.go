@@ -1,0 +1,194 @@
+package orset
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/chase"
+	"maybms/internal/relation"
+)
+
+// introRelation is the or-set relation of the introduction: two census
+// tuples over (S, N, M) with 2·2·2·4 = 32 worlds.
+func introRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New("R", "S", "N", "M")
+	if err := r.Add(OrInts(185, 785), Certain(relation.String("Smith")), OrInts(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(OrInts(185, 186), Certain(relation.String("Brown")), OrInts(1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIntroWorldCount(t *testing.T) {
+	r := introRelation(t)
+	if got := r.NumWorlds(); got != 32 {
+		t.Fatalf("NumWorlds = %g, want 32", got)
+	}
+	if got := r.Size(); got != 12 {
+		t.Fatalf("Size = %d, want 12 values", got)
+	}
+}
+
+func TestToWSDLinearAndEquivalent(t *testing.T) {
+	r := introRelation(t)
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 1: one component per field — linear representation.
+	if w.NumComponents() != 6 {
+		t.Fatalf("components = %d, want 6", w.NumComponents())
+	}
+	ws, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := r.Worlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Equal(direct, 0) {
+		t.Fatal("WSD translation changed the world-set")
+	}
+	if len(ws.Canonical()) != 32 {
+		t.Fatalf("distinct worlds = %d, want 32", len(ws.Canonical()))
+	}
+}
+
+func TestOrSetsNotClosedUnderCleaning(t *testing.T) {
+	// Section 1: enforcing the SSN key constraint leaves 24 worlds, which no
+	// or-set relation can represent — but the WSD can.
+	r := introRelation(t)
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := chase.FD{Rel: "R", LHS: []string{"S"}, RHS: []string{"N", "M"}}
+	if err := chase.Chase(w, []chase.Dependency{fd}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Canonical()); got != 24 {
+		t.Fatalf("worlds after cleaning = %d, want 24", got)
+	}
+}
+
+func TestProbabilisticOrSets(t *testing.T) {
+	r := New("R", "A")
+	f := OrInts(1, 2)
+	f.Probs = []float64{0.3, 0.7}
+	if err := r.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Size() != 2 {
+		t.Fatalf("worlds = %d", rep.Size())
+	}
+}
+
+func TestMixedProbabilisticGetsUniform(t *testing.T) {
+	r := New("R", "A", "B")
+	f := OrInts(1, 2)
+	f.Probs = []float64{0.5, 0.5}
+	if err := r.Add(f, OrInts(3, 4)); err != nil { // B unweighted
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatalf("mixed weights must become uniform: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := New("R", "A")
+	if err := r.Add(OrInts(1), OrInts(2)); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := r.Add(Field{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(1e-9); err == nil {
+		t.Fatal("empty or-set must fail validation")
+	}
+	bad := New("R", "A")
+	f := OrInts(1, 2)
+	f.Probs = []float64{0.5}
+	if err := bad.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(1e-9); err == nil {
+		t.Fatal("probs/values mismatch must fail")
+	}
+	bad2 := New("R", "A")
+	g := OrInts(1, 2)
+	g.Probs = []float64{0.9, 0.9}
+	if err := bad2.Add(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad2.Validate(1e-9); err == nil {
+		t.Fatal("probs not summing to 1 must fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	f := OrInts(1, 2, 3, 4).Uniform()
+	if err := f.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if f.Probs[0] != 0.25 {
+		t.Fatalf("uniform prob = %g", f.Probs[0])
+	}
+}
+
+func TestRandomOrSetsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		r := New("R", "A", "B")
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			fa := OrInts(int64(rng.Intn(3)), 10+int64(rng.Intn(3)))
+			fb := OrInts(int64(rng.Intn(3)))
+			if trial%2 == 0 {
+				fa = fa.Uniform()
+				fb = fb.Uniform()
+			}
+			if err := r.Add(fa, fb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, err := r.ToWSD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := r.Worlds(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ws.Equal(direct, 1e-9) {
+			t.Fatalf("trial %d: roundtrip mismatch", trial)
+		}
+	}
+}

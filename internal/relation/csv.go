@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the relation as CSV: a header row with the attribute
+// names followed by one row per tuple in canonical order. ⊥ is written as
+// an empty field and '?' as a literal question mark; integer and string
+// values print naturally.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Attrs()); err != nil {
+		return err
+	}
+	rec := make([]string, r.schema.Arity())
+	for _, t := range r.SortedTuples() {
+		for i, v := range t {
+			switch v.Kind() {
+			case KindBottom:
+				rec[i] = ""
+			case KindPlaceholder:
+				rec[i] = "?"
+			default:
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation from CSV written in WriteCSV's format. The first
+// row is the schema; fields parsing as integers become integer values,
+// empty fields become ⊥, a lone "?" becomes the placeholder, and anything
+// else a string.
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: csv header: %w", err)
+	}
+	rel := New(name, NewSchema(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: csv row: %w", err)
+		}
+		t := make(Tuple, len(rec))
+		for i, field := range rec {
+			t[i] = parseCSVValue(field)
+		}
+		rel.Insert(t)
+	}
+}
+
+func parseCSVValue(s string) Value {
+	switch s {
+	case "":
+		return Bottom()
+	case "?":
+		return Placeholder()
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(n)
+	}
+	return String(s)
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	r := New("R", NewSchema("A", "B", "C"))
+	r.Insert(Tuple{Int(1), String("x"), Bottom()})
+	r.Insert(Tuple{Int(-7), String("hello, world"), Placeholder()})
+	r.Insert(Ints(2, 3, 4))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(back) {
+		t.Fatalf("roundtrip lost data:\n%v\nvs\n%v", r, back)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	r := New("R", NewSchema("A"))
+	r.Insert(Tuple{String(`she said "hi", twice`)})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(back) {
+		t.Fatal("quoted strings must survive")
+	}
+}
+
+func TestCSVNumericStringsStayNumbers(t *testing.T) {
+	// A string that looks numeric comes back as an integer; this lossiness
+	// is documented ReadCSV behaviour.
+	r := New("R", NewSchema("A"))
+	r.Insert(Tuple{String("42")})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Contains(Ints(42)) {
+		t.Fatal("numeric field must parse as integer")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("R", strings.NewReader("")); err == nil {
+		t.Fatal("empty input must fail on header")
+	}
+	if _, err := ReadCSV("R", strings.NewReader("A,B\n1\n")); err == nil {
+		t.Fatal("ragged row must fail")
+	}
+}
+
+func TestCSVRandomRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		r := New("R", NewSchema("A", "B"))
+		for i := 0; i < rng.Intn(10); i++ {
+			var t1, t2 Value
+			switch rng.Intn(3) {
+			case 0:
+				t1 = Int(int64(rng.Intn(100) - 50))
+			case 1:
+				t1 = String("s" + letter(rng.Intn(5)))
+			default:
+				t1 = Bottom()
+			}
+			t2 = Int(int64(rng.Intn(3)))
+			r.Insert(Tuple{t1, t2})
+		}
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV("R", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Equal(back) {
+			t.Fatalf("trial %d: roundtrip mismatch", trial)
+		}
+	}
+}
+
+func letter(n int) string { return string(rune('a' + n)) }

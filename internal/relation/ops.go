@@ -1,0 +1,146 @@
+package relation
+
+import "fmt"
+
+// This file implements classical relational algebra on complete relations.
+// These operators define the per-world semantics that the decomposition-based
+// operators of internal/core must agree with; the worlds package uses them as
+// the naive ground-truth evaluator.
+
+// Select computes σ_p(R). Tuples containing ⊥ never satisfy any predicate
+// atom, so they are dropped, matching inline⁻¹'s convention.
+func Select(r *Relation, p Predicate, name string) *Relation {
+	out := New(name, r.schema)
+	for _, t := range r.tuples {
+		if p.Eval(r.schema, t) {
+			out.Insert(t.Clone())
+		}
+	}
+	return out
+}
+
+// Project computes π_attrs(R) with set semantics.
+func Project(r *Relation, name string, attrs ...string) (*Relation, error) {
+	s, err := r.schema.Project(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = r.schema.MustPos(a)
+	}
+	out := New(name, s)
+	for _, t := range r.tuples {
+		u := make(Tuple, len(pos))
+		for i, p := range pos {
+			u[i] = t[p]
+		}
+		out.Insert(u)
+	}
+	return out, nil
+}
+
+// Product computes R × S. The attribute sets must be disjoint; callers join
+// relations with overlapping attributes after renaming.
+func Product(r, s *Relation, name string) (*Relation, error) {
+	sch, err := r.schema.Concat(s.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, sch)
+	for _, t := range r.tuples {
+		for _, u := range s.tuples {
+			tu := make(Tuple, 0, len(t)+len(u))
+			tu = append(tu, t...)
+			tu = append(tu, u...)
+			out.Insert(tu)
+		}
+	}
+	return out, nil
+}
+
+// Union computes R ∪ S; the schemas must be equal.
+func Union(r, s *Relation, name string) (*Relation, error) {
+	if !r.schema.Equal(s.schema) {
+		return nil, fmt.Errorf("relation: union: schemas differ: %v vs %v", r.schema, s.schema)
+	}
+	out := New(name, r.schema)
+	for _, t := range r.tuples {
+		out.Insert(t.Clone())
+	}
+	for _, t := range s.tuples {
+		out.Insert(t.Clone())
+	}
+	return out, nil
+}
+
+// Difference computes R − S; the schemas must be equal.
+func Difference(r, s *Relation, name string) (*Relation, error) {
+	if !r.schema.Equal(s.schema) {
+		return nil, fmt.Errorf("relation: difference: schemas differ: %v vs %v", r.schema, s.schema)
+	}
+	out := New(name, r.schema)
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			out.Insert(t.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Rename computes δ_{old→new}(R).
+func Rename(r *Relation, old, new, name string) (*Relation, error) {
+	sch, err := r.schema.Rename(old, new)
+	if err != nil {
+		return nil, err
+	}
+	out := New(name, sch)
+	for _, t := range r.tuples {
+		out.Insert(t.Clone())
+	}
+	return out, nil
+}
+
+// Join computes R ⋈_{A=B} S as σ_{A=B}(R × S) but with a hash join on the
+// equality condition; A is an attribute of R and B of S. The schemas must
+// otherwise be disjoint.
+func Join(r, s *Relation, a, b, name string) (*Relation, error) {
+	sch, err := r.schema.Concat(s.schema)
+	if err != nil {
+		return nil, err
+	}
+	pa := r.schema.MustPos(a)
+	pb := s.schema.MustPos(b)
+	byVal := make(map[Value][]Tuple)
+	for _, u := range s.tuples {
+		if u[pb].IsBottom() || u[pb].IsPlaceholder() {
+			continue
+		}
+		byVal[u[pb]] = append(byVal[u[pb]], u)
+	}
+	out := New(name, sch)
+	for _, t := range r.tuples {
+		if t[pa].IsBottom() || t[pa].IsPlaceholder() {
+			continue
+		}
+		for _, u := range byVal[t[pa]] {
+			tu := make(Tuple, 0, len(t)+len(u))
+			tu = append(tu, t...)
+			tu = append(tu, u...)
+			out.Insert(tu)
+		}
+	}
+	return out, nil
+}
+
+// DropBottoms returns R without any tuple containing ⊥; the cleanup step
+// after extracting a world from an inlined representation.
+func DropBottoms(r *Relation, name string) *Relation {
+	out := New(name, r.schema)
+	for _, t := range r.tuples {
+		if !t.HasBottom() {
+			out.Insert(t.Clone())
+		}
+	}
+	return out
+}

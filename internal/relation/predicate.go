@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is a boolean condition over a single tuple, built from atomic
+// comparisons AθB and Aθc with ∧, ∨ and ¬. This is the selection-condition
+// language of the paper's Figure 29 queries (Q4 uses a disjunction).
+type Predicate interface {
+	// Eval evaluates the predicate on tuple t under schema s.
+	Eval(s Schema, t Tuple) bool
+	// Attrs returns the attribute names the predicate reads, sorted and
+	// de-duplicated. Query processors on decompositions use this to know
+	// which components a condition entangles.
+	Attrs() []string
+	// String renders the predicate.
+	String() string
+}
+
+// AttrConst is the atomic condition Attr θ c.
+type AttrConst struct {
+	Attr  string
+	Theta Op
+	Const Value
+}
+
+// Eval implements Predicate.
+func (p AttrConst) Eval(s Schema, t Tuple) bool {
+	return p.Theta.Apply(t[s.MustPos(p.Attr)], p.Const)
+}
+
+// Attrs implements Predicate.
+func (p AttrConst) Attrs() []string { return []string{p.Attr} }
+
+func (p AttrConst) String() string {
+	return fmt.Sprintf("%s%s%s", p.Attr, p.Theta, p.Const)
+}
+
+// AttrAttr is the atomic condition AttrA θ AttrB (a join condition when the
+// two attributes come from different relations of a product).
+type AttrAttr struct {
+	A     string
+	Theta Op
+	B     string
+}
+
+// Eval implements Predicate.
+func (p AttrAttr) Eval(s Schema, t Tuple) bool {
+	return p.Theta.Apply(t[s.MustPos(p.A)], t[s.MustPos(p.B)])
+}
+
+// Attrs implements Predicate.
+func (p AttrAttr) Attrs() []string { return dedupeSorted([]string{p.A, p.B}) }
+
+func (p AttrAttr) String() string {
+	return fmt.Sprintf("%s%s%s", p.A, p.Theta, p.B)
+}
+
+// And is the conjunction of its operands; the empty conjunction is true.
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(s Schema, t Tuple) bool {
+	for _, q := range p {
+		if !q.Eval(s, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attrs implements Predicate.
+func (p And) Attrs() []string { return childAttrs(p) }
+
+func (p And) String() string { return joinPreds(p, " ∧ ") }
+
+// Or is the disjunction of its operands; the empty disjunction is false.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (p Or) Eval(s Schema, t Tuple) bool {
+	for _, q := range p {
+		if q.Eval(s, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs implements Predicate.
+func (p Or) Attrs() []string { return childAttrs(p) }
+
+func (p Or) String() string { return joinPreds(p, " ∨ ") }
+
+// Not negates its operand.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(s Schema, t Tuple) bool { return !p.P.Eval(s, t) }
+
+// Attrs implements Predicate.
+func (p Not) Attrs() []string { return p.P.Attrs() }
+
+func (p Not) String() string { return "¬(" + p.P.String() + ")" }
+
+// Eq is shorthand for the condition Attr = c with an integer constant, the
+// most common atom in the census queries.
+func Eq(attr string, c int64) Predicate { return AttrConst{attr, EQ, Int(c)} }
+
+// Cmp is shorthand for Attr θ c with an integer constant.
+func Cmp(attr string, theta Op, c int64) Predicate { return AttrConst{attr, theta, Int(c)} }
+
+func childAttrs(ps []Predicate) []string {
+	var all []string
+	for _, q := range ps {
+		all = append(all, q.Attrs()...)
+	}
+	return dedupeSorted(all)
+}
+
+func dedupeSorted(xs []string) []string {
+	sort.Strings(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func joinPreds(ps []Predicate, sep string) string {
+	parts := make([]string, len(ps))
+	for i, q := range ps {
+		parts[i] = q.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named set of tuples over a schema. Tuples are kept in
+// insertion order for deterministic iteration, with a key index enforcing set
+// semantics.
+type Relation struct {
+	name   string
+	schema Schema
+	tuples []Tuple
+	index  map[string]int // tuple key -> position in tuples
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema Schema) *Relation {
+	return &Relation{name: name, schema: schema, index: make(map[string]int)}
+}
+
+// NewWith creates a relation and inserts the given tuples.
+func NewWith(name string, schema Schema, tuples ...Tuple) *Relation {
+	r := New(name, schema)
+	for _, t := range tuples {
+		r.Insert(t)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Size returns |R|, the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Arity returns ar(R).
+func (r *Relation) Arity() int { return r.schema.Arity() }
+
+// Tuples returns the tuples in insertion order. The slice must not be
+// modified by the caller.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Tuple returns the i-th tuple.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Insert adds tuple t if not already present and reports whether it was added.
+// The tuple is stored as given; callers sharing tuple slices should Clone.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.schema.Arity() {
+		panic(fmt.Sprintf("relation: insert arity %d into %s%v", len(t), r.name, r.schema))
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains reports whether tuple t is in R.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Value returns the value of attribute a in the i-th tuple.
+func (r *Relation) Value(i int, a string) Value {
+	return r.tuples[i][r.schema.MustPos(a)]
+}
+
+// Clone returns a deep copy of R, optionally with a new name.
+func (r *Relation) Clone(name string) *Relation {
+	if name == "" {
+		name = r.name
+	}
+	c := New(name, r.schema)
+	for _, t := range r.tuples {
+		c.Insert(t.Clone())
+	}
+	return c
+}
+
+// Equal reports whether R and S have equal schemas and the same set of tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.schema.Equal(s.schema) || len(r.tuples) != len(s.tuples) {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedTuples returns the tuples in the canonical order of Compare; useful
+// for deterministic output and for comparing relations across systems.
+func (r *Relation) SortedTuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+	return out
+}
+
+func lessTuple(a, b Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Fingerprint returns a canonical string identifying the relation's contents
+// (schema plus sorted tuples). Two relations are Equal iff their fingerprints
+// match and their schemas match.
+func (r *Relation) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	for _, t := range r.SortedTuples() {
+		b.WriteString("|")
+		b.WriteString(t.Key())
+	}
+	return b.String()
+}
+
+// String renders the relation as a small table; intended for examples,
+// debugging and golden tests.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s {\n", r.name, r.schema)
+	for _, t := range r.SortedTuples() {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	b.WriteString("}")
+	return b.String()
+}

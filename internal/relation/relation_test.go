@@ -1,0 +1,307 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("A", "B", "C")
+	if s.Arity() != 3 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if i, ok := s.Pos("B"); !ok || i != 1 {
+		t.Errorf("Pos(B) = %d,%t", i, ok)
+	}
+	if _, ok := s.Pos("Z"); ok {
+		t.Error("Pos(Z) should not exist")
+	}
+	if !s.Has("C") || s.Has("Z") {
+		t.Error("Has broken")
+	}
+	if s.String() != "[A, B, C]" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attribute must panic")
+		}
+	}()
+	NewSchema("A", "A")
+}
+
+func TestSchemaRename(t *testing.T) {
+	s := NewSchema("A", "B")
+	r, err := s.Rename("A", "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(NewSchema("X", "B")) {
+		t.Errorf("rename got %v", r)
+	}
+	if _, err := s.Rename("Z", "Y"); err == nil {
+		t.Error("rename of missing attribute must fail")
+	}
+	if _, err := s.Rename("A", "B"); err == nil {
+		t.Error("rename onto existing attribute must fail")
+	}
+	if same, err := s.Rename("A", "A"); err != nil || !same.Equal(s) {
+		t.Error("identity rename must succeed")
+	}
+}
+
+func TestSchemaProjectConcat(t *testing.T) {
+	s := NewSchema("A", "B", "C")
+	p, err := s.Project("C", "A")
+	if err != nil || !p.Equal(NewSchema("C", "A")) {
+		t.Errorf("project: %v, %v", p, err)
+	}
+	if _, err := s.Project("Z"); err == nil {
+		t.Error("project of missing attr must fail")
+	}
+	c, err := s.Concat(NewSchema("D"))
+	if err != nil || !c.Equal(NewSchema("A", "B", "C", "D")) {
+		t.Errorf("concat: %v, %v", c, err)
+	}
+	if _, err := s.Concat(NewSchema("B")); err == nil {
+		t.Error("concat with overlap must fail")
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := New("R", NewSchema("A", "B"))
+	if !r.Insert(Ints(1, 2)) {
+		t.Error("first insert should add")
+	}
+	if r.Insert(Ints(1, 2)) {
+		t.Error("duplicate insert should not add")
+	}
+	r.Insert(Ints(1, 3))
+	if r.Size() != 2 {
+		t.Errorf("size = %d", r.Size())
+	}
+	if !r.Contains(Ints(1, 2)) || r.Contains(Ints(9, 9)) {
+		t.Error("Contains broken")
+	}
+	if got := r.Value(1, "B"); got != Int(3) {
+		t.Errorf("Value(1,B) = %v", got)
+	}
+}
+
+func TestRelationCloneIndependent(t *testing.T) {
+	r := NewWith("R", NewSchema("A"), Ints(1), Ints(2))
+	c := r.Clone("C")
+	c.Insert(Ints(3))
+	if r.Size() != 2 || c.Size() != 3 {
+		t.Error("clone shares state")
+	}
+	if c.Name() != "C" {
+		t.Error("clone name not applied")
+	}
+	if r.Clone("").Name() != "R" {
+		t.Error("empty clone name should keep original")
+	}
+}
+
+func TestRelationEqualAndFingerprint(t *testing.T) {
+	a := NewWith("R", NewSchema("A", "B"), Ints(1, 2), Ints(3, 4))
+	b := NewWith("S", NewSchema("A", "B"), Ints(3, 4), Ints(1, 2))
+	if !a.Equal(b) {
+		t.Error("order must not matter for Equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints must match for equal relations")
+	}
+	c := NewWith("T", NewSchema("A", "B"), Ints(1, 2))
+	if a.Equal(c) || a.Fingerprint() == c.Fingerprint() {
+		t.Error("different relations compare equal")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := NewWith("R", NewSchema("A", "B"), Ints(1, 10), Ints(2, 20), Ints(3, 30))
+	got := Select(r, Cmp("A", GE, 2), "P")
+	want := NewWith("P", NewSchema("A", "B"), Ints(2, 20), Ints(3, 30))
+	if !got.Equal(want) {
+		t.Errorf("select got %v", got)
+	}
+	if got2 := Select(r, AttrAttr{"A", EQ, "B"}, "P"); got2.Size() != 0 {
+		t.Errorf("A=B select got %v", got2)
+	}
+}
+
+func TestSelectSkipsBottomTuples(t *testing.T) {
+	r := New("R", NewSchema("A"))
+	r.Insert(Tuple{Bottom()})
+	r.Insert(Ints(1))
+	got := Select(r, Or{Eq("A", 1), Not{Eq("A", 1)}}, "P")
+	// ⊥ satisfies neither A=1 nor ¬(A=1)=... Not flips Eval, so ¬(A=1) on ⊥
+	// is true under closed-world Eval; this documents Not's behaviour.
+	if !got.Contains(Ints(1)) {
+		t.Error("1 must survive")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := NewWith("R", NewSchema("A", "B"), Ints(1, 5), Ints(2, 5))
+	got, err := Project(r, "P", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 1 || !got.Contains(Ints(5)) {
+		t.Errorf("project got %v", got)
+	}
+	if _, err := Project(r, "P", "Z"); err == nil {
+		t.Error("project missing attr must fail")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	r := NewWith("R", NewSchema("A"), Ints(1), Ints(2))
+	s := NewWith("S", NewSchema("B"), Ints(10), Ints(20))
+	got, err := Product(r, s, "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 4 || !got.Contains(Ints(2, 10)) {
+		t.Errorf("product got %v", got)
+	}
+	if _, err := Product(r, r, "T"); err == nil {
+		t.Error("product with overlapping schema must fail")
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	r := NewWith("R", NewSchema("A"), Ints(1), Ints(2))
+	s := NewWith("S", NewSchema("A"), Ints(2), Ints(3))
+	u, err := Union(r, s, "U")
+	if err != nil || u.Size() != 3 {
+		t.Errorf("union got %v, %v", u, err)
+	}
+	d, err := Difference(r, s, "D")
+	if err != nil || d.Size() != 1 || !d.Contains(Ints(1)) {
+		t.Errorf("difference got %v, %v", d, err)
+	}
+	bad := NewWith("B", NewSchema("X"), Ints(1))
+	if _, err := Union(r, bad, "U"); err == nil {
+		t.Error("union schema mismatch must fail")
+	}
+	if _, err := Difference(r, bad, "D"); err == nil {
+		t.Error("difference schema mismatch must fail")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := NewWith("R", NewSchema("A", "B"), Ints(1, 2))
+	got, err := Rename(r, "A", "X", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema().Equal(NewSchema("X", "B")) || !got.Contains(Ints(1, 2)) {
+		t.Errorf("rename got %v", got)
+	}
+}
+
+func TestJoinMatchesSelectOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		r := New("R", NewSchema("A", "B"))
+		s := New("S", NewSchema("C", "D"))
+		for i := 0; i < 8; i++ {
+			r.Insert(Ints(int64(rng.Intn(4)), int64(rng.Intn(4))))
+			s.Insert(Ints(int64(rng.Intn(4)), int64(rng.Intn(4))))
+		}
+		viaJoin, err := Join(r, s, "B", "C", "J")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := Product(r, s, "P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaSelect := Select(prod, AttrAttr{"B", EQ, "C"}, "J")
+		if !viaJoin.Equal(viaSelect) {
+			t.Fatalf("join != select∘product:\n%v\nvs\n%v", viaJoin, viaSelect)
+		}
+	}
+}
+
+func TestDropBottoms(t *testing.T) {
+	r := New("R", NewSchema("A", "B"))
+	r.Insert(Ints(1, 2))
+	r.Insert(Tuple{Int(3), Bottom()})
+	got := DropBottoms(r, "P")
+	if got.Size() != 1 || !got.Contains(Ints(1, 2)) {
+		t.Errorf("DropBottoms got %v", got)
+	}
+}
+
+func TestPredicateAttrs(t *testing.T) {
+	p := And{Eq("B", 1), Or{Eq("A", 2), AttrAttr{"C", LT, "A"}}}
+	got := p.Attrs()
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("Attrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	p := And{Eq("A", 1), Not{Or{Cmp("B", GT, 2)}}}
+	if p.String() != "(A=1 ∧ ¬((B>2)))" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestEmptyAndOr(t *testing.T) {
+	s := NewSchema("A")
+	tup := Ints(1)
+	if !(And{}).Eval(s, tup) {
+		t.Error("empty And must be true")
+	}
+	if (Or{}).Eval(s, tup) {
+		t.Error("empty Or must be false")
+	}
+}
+
+// Algebraic laws on random relations.
+func TestAlgebraLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randRel := func(name string) *Relation {
+		r := New(name, NewSchema("A", "B"))
+		n := rng.Intn(10)
+		for i := 0; i < n; i++ {
+			r.Insert(Ints(int64(rng.Intn(3)), int64(rng.Intn(3))))
+		}
+		return r
+	}
+	for trial := 0; trial < 50; trial++ {
+		r, s := randRel("R"), randRel("S")
+		u1, _ := Union(r, s, "U")
+		u2, _ := Union(s, r, "U")
+		if !u1.Equal(u2) {
+			t.Fatal("union not commutative")
+		}
+		d, _ := Difference(r, s, "D")
+		back, _ := Union(d, s, "B")
+		full, _ := Union(r, s, "F")
+		if !back.Equal(full) {
+			t.Fatal("(R−S) ∪ S ≠ R ∪ S")
+		}
+		// σ distributes over ∪.
+		p := Cmp("A", LE, 1)
+		left := Select(full, p, "L")
+		sr, ss := Select(r, p, "x"), Select(s, p, "y")
+		right, _ := Union(sr, ss, "R")
+		if !left.Equal(right) {
+			t.Fatal("selection does not distribute over union")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema is an ordered list of attribute names, the U in R[U] of the named
+// perspective. Attribute names within a schema are unique.
+type Schema struct {
+	attrs []string
+	pos   map[string]int
+}
+
+// NewSchema builds a schema from attribute names. It panics on duplicates;
+// schemas are almost always literals in code, so this is a programming error.
+func NewSchema(attrs ...string) Schema {
+	s := Schema{attrs: append([]string(nil), attrs...), pos: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.pos[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a))
+		}
+		s.pos[a] = i
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.attrs) }
+
+// Attrs returns a copy of the attribute names in order.
+func (s Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Attr returns the i-th attribute name.
+func (s Schema) Attr(i int) string { return s.attrs[i] }
+
+// Pos returns the position of attribute a and whether it exists.
+func (s Schema) Pos(a string) (int, bool) {
+	i, ok := s.pos[a]
+	return i, ok
+}
+
+// MustPos returns the position of attribute a, panicking if absent.
+func (s Schema) MustPos(a string) int {
+	i, ok := s.pos[a]
+	if !ok {
+		panic(fmt.Sprintf("relation: no attribute %q in schema %v", a, s.attrs))
+	}
+	return i
+}
+
+// Has reports whether the schema contains attribute a.
+func (s Schema) Has(a string) bool {
+	_, ok := s.pos[a]
+	return ok
+}
+
+// Equal reports whether two schemas have the same attributes in the same order.
+func (s Schema) Equal(t Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rename returns a schema with attribute old renamed to new. It returns an
+// error if old is absent or new already present.
+func (s Schema) Rename(old, new string) (Schema, error) {
+	if !s.Has(old) {
+		return Schema{}, fmt.Errorf("relation: rename: no attribute %q", old)
+	}
+	if old != new && s.Has(new) {
+		return Schema{}, fmt.Errorf("relation: rename: attribute %q already exists", new)
+	}
+	attrs := s.Attrs()
+	attrs[s.MustPos(old)] = new
+	return NewSchema(attrs...), nil
+}
+
+// Project returns the schema restricted to attrs, in the given order.
+func (s Schema) Project(attrs ...string) (Schema, error) {
+	for _, a := range attrs {
+		if !s.Has(a) {
+			return Schema{}, fmt.Errorf("relation: project: no attribute %q", a)
+		}
+	}
+	return NewSchema(attrs...), nil
+}
+
+// Concat returns the concatenation of two schemas (for products). The
+// attribute sets must be disjoint.
+func (s Schema) Concat(t Schema) (Schema, error) {
+	for _, a := range t.attrs {
+		if s.Has(a) {
+			return Schema{}, fmt.Errorf("relation: product: attribute %q on both sides", a)
+		}
+	}
+	return NewSchema(append(s.Attrs(), t.attrs...)...), nil
+}
+
+// String renders the schema as [A, B, C].
+func (s Schema) String() string { return "[" + strings.Join(s.attrs, ", ") + "]" }
+
+// Tuple is an ordered list of values conforming to some schema.
+type Tuple []Value
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasBottom reports whether any field of t is ⊥. By the paper's convention
+// such a tuple is a t⊥ tuple and does not belong to its world.
+func (t Tuple) HasBottom() bool {
+	for _, v := range t {
+		if v.IsBottom() {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a string key identifying t, usable in maps. Distinct tuples
+// have distinct keys.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		switch v.Kind() {
+		case KindBottom:
+			b.WriteString("\x00B")
+		case KindPlaceholder:
+			b.WriteString("\x00P")
+		case KindInt:
+			fmt.Fprintf(&b, "\x00i%d", v.AsInt())
+		case KindString:
+			fmt.Fprintf(&b, "\x00s%s", v.AsString())
+		}
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Ints builds a tuple of integer values; a convenience for tests and examples.
+func Ints(vs ...int64) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Int(v)
+	}
+	return t
+}

@@ -1,0 +1,205 @@
+// Package relation implements the in-memory relational algebra substrate the
+// rest of the repository builds on: typed values, tuples, schemas,
+// set-semantics relations and the classical operators of the named
+// perspective (selection, projection, product, union, difference, renaming,
+// plus joins as a convenience).
+//
+// The paper evaluates its prototype on top of PostgreSQL; this package plays
+// that role here. It deliberately supports the two extra "values" the
+// world-set machinery needs: the bottom symbol ⊥ (a field of a deleted tuple
+// slot) and the template placeholder '?' (a field on which possible worlds
+// disagree).
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	// KindBottom is the special symbol ⊥. A tuple containing at least one
+	// ⊥ field is treated as absent from its world (Section 3 of the paper).
+	KindBottom Kind = iota
+	// KindInt is a 64-bit integer value.
+	KindInt
+	// KindString is a string value.
+	KindString
+	// KindPlaceholder is the template symbol '?' marking a field on which
+	// the possible worlds disagree (Section 3, template relations).
+	KindPlaceholder
+)
+
+// Value is a dynamically typed database value. Values are comparable with ==
+// and usable as map keys. The zero Value is ⊥.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Bottom returns the special value ⊥.
+func Bottom() Value { return Value{kind: KindBottom} }
+
+// Placeholder returns the template symbol '?'.
+func Placeholder() Value { return Value{kind: KindPlaceholder} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsBottom reports whether v is ⊥.
+func (v Value) IsBottom() bool { return v.kind == KindBottom }
+
+// IsPlaceholder reports whether v is the template symbol '?'.
+func (v Value) IsPlaceholder() bool { return v.kind == KindPlaceholder }
+
+// AsInt returns the integer stored in v. It panics if v is not an integer;
+// callers that cannot guarantee the kind should switch on Kind first.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("relation: AsInt on %v", v))
+	}
+	return v.i
+}
+
+// AsString returns the string stored in v. It panics if v is not a string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("relation: AsString on %v", v))
+	}
+	return v.s
+}
+
+// String renders v for display: integers as decimal, strings verbatim,
+// ⊥ and ? as their symbols.
+func (v Value) String() string {
+	switch v.kind {
+	case KindBottom:
+		return "⊥"
+	case KindPlaceholder:
+		return "?"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	default:
+		return v.s
+	}
+}
+
+// Compare orders two values. The order is total: ⊥ < ? < ints < strings,
+// ints by numeric order, strings lexicographically. Only values of the same
+// kind compare "meaningfully"; the cross-kind order exists so values can be
+// sorted deterministically.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	default: // ⊥ and ? are singletons
+		return 0
+	}
+}
+
+// Op is a comparison operator θ of the selection predicates
+// σ(AθB) and σ(Aθc) in the paper: =, ≠, <, ≤, >, ≥.
+type Op uint8
+
+// The comparison operators.
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the usual symbol for the operator.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Apply evaluates a θ b. Comparisons involving ⊥ or ? are false for every
+// operator, matching the paper's convention that a deleted field satisfies
+// no selection condition.
+func (o Op) Apply(a, b Value) bool {
+	if a.kind == KindBottom || b.kind == KindBottom ||
+		a.kind == KindPlaceholder || b.kind == KindPlaceholder {
+		return false
+	}
+	c := Compare(a, b)
+	switch o {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+// Negate returns the operator θ' with a θ' b ⇔ ¬(a θ b) on non-⊥ values.
+func (o Op) Negate() Op {
+	switch o {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	default:
+		return LT
+	}
+}

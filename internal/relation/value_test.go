@@ -1,0 +1,144 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if !Bottom().IsBottom() {
+		t.Error("Bottom not bottom")
+	}
+	if !Placeholder().IsPlaceholder() {
+		t.Error("Placeholder not placeholder")
+	}
+	if Int(7).Kind() != KindInt || Int(7).AsInt() != 7 {
+		t.Error("Int roundtrip failed")
+	}
+	if String("x").Kind() != KindString || String("x").AsString() != "x" {
+		t.Error("String roundtrip failed")
+	}
+	var zero Value
+	if !zero.IsBottom() {
+		t.Error("zero Value should be ⊥")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{
+		Bottom():      "⊥",
+		Placeholder(): "?",
+		Int(-3):       "-3",
+		String("ab"):  "ab",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestValueComparable(t *testing.T) {
+	m := map[Value]int{Int(1): 1, String("1"): 2, Bottom(): 3}
+	if m[Int(1)] != 1 || m[String("1")] != 2 || m[Bottom()] != 3 {
+		t.Error("values do not work as map keys")
+	}
+	if Int(1) == String("1") {
+		t.Error("int 1 must differ from string 1")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Value{Bottom(), Int(-5), Int(0), Int(9), String(""), String("a"), String("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			// Bottom() < Placeholder() but neither appears twice here;
+			// placeholder tested separately.
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if Compare(Bottom(), Placeholder()) >= 0 {
+		t.Error("⊥ must sort before ?")
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(String(a), String(b)) == -Compare(String(b), String(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	cases := []struct {
+		a    Value
+		op   Op
+		b    Value
+		want bool
+	}{
+		{Int(1), EQ, Int(1), true},
+		{Int(1), EQ, Int(2), false},
+		{Int(1), NE, Int(2), true},
+		{Int(1), LT, Int(2), true},
+		{Int(2), LT, Int(2), false},
+		{Int(2), LE, Int(2), true},
+		{Int(3), GT, Int(2), true},
+		{Int(2), GE, Int(2), true},
+		{String("a"), LT, String("b"), true},
+		{String("a"), EQ, String("a"), true},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %t, want %t", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpApplyBottomAlwaysFalse(t *testing.T) {
+	ops := []Op{EQ, NE, LT, LE, GT, GE}
+	for _, op := range ops {
+		if op.Apply(Bottom(), Int(1)) || op.Apply(Int(1), Bottom()) ||
+			op.Apply(Bottom(), Bottom()) {
+			t.Errorf("op %v must be false on ⊥", op)
+		}
+		if op.Apply(Placeholder(), Int(1)) || op.Apply(Int(1), Placeholder()) {
+			t.Errorf("op %v must be false on ?", op)
+		}
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	f := func(a, b int64, opRaw uint8) bool {
+		op := Op(opRaw % 6)
+		return op.Apply(Int(a), Int(b)) == !op.Negate().Apply(Int(a), Int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{EQ: "=", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}

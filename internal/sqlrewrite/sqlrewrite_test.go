@@ -1,0 +1,85 @@
+package sqlrewrite
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+func TestSelectConstHasSixSteps(t *testing.T) {
+	r := SelectConst("P", "R", []string{"S", "N", "M"}, "M", relation.EQ, 1)
+	if len(r.Statements) != 6 {
+		t.Fatalf("Figure 16 has six lines, got %d", len(r.Statements))
+	}
+	s := r.String()
+	for _, want := range []string{
+		"CREATE TABLE P0",
+		"M = 1 OR M IS NULL",       // line 1: keep satisfying or placeholder rows
+		"INSERT INTO F",            // line 2
+		"c.attr <> 'M' OR c.val =", // line 3: filter only the selection attribute
+		"DELETE FROM C",            // line 4
+		"DELETE FROM F",            // line 5
+		"DELETE FROM P0",           // line 6
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rewriting missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSelectConstOperators(t *testing.T) {
+	ops := map[relation.Op]string{
+		relation.EQ: "=", relation.NE: "<>", relation.LT: "<",
+		relation.LE: "<=", relation.GT: ">", relation.GE: ">=",
+	}
+	for op, sym := range ops {
+		r := SelectConst("P", "R", []string{"A"}, "A", op, 7)
+		if !strings.Contains(r.Statements[0].SQL, "A "+sym+" 7") {
+			t.Fatalf("op %v missing symbol %q in %s", op, sym, r.Statements[0].SQL)
+		}
+	}
+}
+
+func TestProductSlotArithmetic(t *testing.T) {
+	r := Product("T", "R", "S", []string{"A"}, []string{"B"}, 10)
+	s := r.String()
+	if !strings.Contains(s, "l.tid * 10 + r.tid") {
+		t.Fatalf("missing composite slot ids:\n%s", s)
+	}
+	if !strings.Contains(s, "WHERE f.rel = 'R'") || !strings.Contains(s, "WHERE f.rel = 'S'") {
+		t.Fatalf("missing field copies for both sides:\n%s", s)
+	}
+}
+
+func TestUnionOffsets(t *testing.T) {
+	r := Union("T", "R", "S", []string{"A", "B"}, 500)
+	s := r.String()
+	if !strings.Contains(s, "tid + 500") {
+		t.Fatalf("missing slot offset:\n%s", s)
+	}
+	if !strings.Contains(s, "UNION ALL") {
+		t.Fatalf("missing union:\n%s", s)
+	}
+}
+
+func TestRenameRewritesAttrNames(t *testing.T) {
+	r := Rename("P", "Q2", []string{"POWSTATE", "CITIZEN"}, "POWSTATE", "P1")
+	s := r.String()
+	if !strings.Contains(s, "POWSTATE AS P1") {
+		t.Fatalf("template rename missing:\n%s", s)
+	}
+	if !strings.Contains(s, "CASE attr WHEN 'POWSTATE' THEN 'P1'") {
+		t.Fatalf("F/C rename missing:\n%s", s)
+	}
+}
+
+func TestProjectNote(t *testing.T) {
+	r := ProjectNote("P", "R", []string{"A", "B"})
+	if !strings.Contains(r.Statements[0].SQL, "wsd_project") {
+		t.Fatal("PL/SQL stub missing")
+	}
+	if !strings.Contains(r.String(), "π_{A,B}") {
+		t.Fatal("header missing")
+	}
+}

@@ -1,0 +1,188 @@
+// Package tupleind implements tuple-independent probabilistic databases
+// (Example 5; Dalvi–Suciu [15]): every tuple carries an independent
+// probability of belonging to the database. The paper shows that WSDs
+// strictly generalize this model (Figure 7): each tuple becomes a component
+// with two local worlds, the tuple itself and the empty (all-⊥) world.
+package tupleind
+
+import (
+	"fmt"
+	"math"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// Table is one tuple-independent probabilistic relation.
+type Table struct {
+	Name   string
+	Attrs  []string
+	Tuples []relation.Tuple
+	Probs  []float64
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, attrs ...string) *Table {
+	return &Table{Name: name, Attrs: attrs}
+}
+
+// Add appends a tuple with membership probability p.
+func (t *Table) Add(tup relation.Tuple, p float64) error {
+	if len(tup) != len(t.Attrs) {
+		return fmt.Errorf("tupleind: tuple arity %d, want %d", len(tup), len(t.Attrs))
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("tupleind: probability %g outside [0,1]", p)
+	}
+	t.Tuples = append(t.Tuples, tup)
+	t.Probs = append(t.Probs, p)
+	return nil
+}
+
+// DB is a tuple-independent probabilistic database.
+type DB struct {
+	Tables []*Table
+}
+
+// NumWorlds returns 2^n for n uncertain tuples (tuples with probability
+// strictly between 0 and 1 contribute a factor of 2).
+func (db *DB) NumWorlds() float64 {
+	n := 1.0
+	for _, t := range db.Tables {
+		for _, p := range t.Probs {
+			if p > 0 && p < 1 {
+				n *= 2
+			}
+		}
+	}
+	return n
+}
+
+// Schema returns the database schema.
+func (db *DB) Schema() worlds.Schema {
+	rels := make([]worlds.RelSchema, len(db.Tables))
+	for i, t := range db.Tables {
+		rels[i] = worlds.RelSchema{Name: t.Name, Attrs: t.Attrs}
+	}
+	return worlds.NewSchema(rels...)
+}
+
+// ToWSD translates the database into a WSD following Figure 7: one
+// component per tuple, with the tuple at its confidence and the empty local
+// world at one minus the confidence.
+func (db *DB) ToWSD() (*core.WSD, error) {
+	maxCard := make(map[string]int, len(db.Tables))
+	for _, t := range db.Tables {
+		maxCard[t.Name] = len(t.Tuples)
+	}
+	w := core.New(db.Schema(), maxCard)
+	for _, t := range db.Tables {
+		for i, tup := range t.Tuples {
+			fields := make([]core.FieldRef, len(t.Attrs))
+			for j, a := range t.Attrs {
+				fields[j] = core.FieldRef{Rel: t.Name, Tuple: i + 1, Attr: a}
+			}
+			c := core.NewComponent(fields)
+			present := make([]relation.Value, len(tup))
+			copy(present, tup)
+			absent := make([]relation.Value, len(tup))
+			for j := range absent {
+				absent[j] = relation.Bottom()
+			}
+			p := t.Probs[i]
+			switch {
+			case p >= 1:
+				c.AddRow(core.Row{Values: present, P: 1})
+			case p <= 0:
+				c.AddRow(core.Row{Values: absent, P: 1})
+			default:
+				c.AddRow(core.Row{Values: present, P: p})
+				c.AddRow(core.Row{Values: absent, P: 1 - p})
+			}
+			if err := w.AddComponent(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return w, nil
+}
+
+// Worlds enumerates the explicit world-set (Figure 6(b)): all subsets of
+// the uncertain tuples, with their product probabilities.
+func (db *DB) Worlds(maxWorlds int) (*worlds.WorldSet, error) {
+	if maxWorlds <= 0 {
+		maxWorlds = core.DefaultMaxWorlds
+	}
+	if db.NumWorlds() > float64(maxWorlds) {
+		return nil, fmt.Errorf("tupleind: %g worlds exceed cap %d", db.NumWorlds(), maxWorlds)
+	}
+	schema := db.Schema()
+	ws := worlds.NewWorldSet(schema)
+	type choice struct {
+		table int
+		tuple int
+	}
+	var uncertain []choice
+	for ti, t := range db.Tables {
+		for i, p := range t.Probs {
+			if p > 0 && p < 1 {
+				uncertain = append(uncertain, choice{ti, i})
+			}
+		}
+	}
+	n := len(uncertain)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		dbw := worlds.NewDatabase(schema)
+		p := 1.0
+		for ti, t := range db.Tables {
+			for i, tp := range t.Probs {
+				include := tp >= 1
+				for ui, u := range uncertain {
+					if u.table == ti && u.tuple == i {
+						include = mask&(1<<uint(ui)) != 0
+						if include {
+							p *= tp
+						} else {
+							p *= 1 - tp
+						}
+					}
+				}
+				if include {
+					dbw.Rels[t.Name].Insert(t.Tuples[i].Clone())
+				}
+			}
+		}
+		ws.Add(dbw, p)
+	}
+	return ws, nil
+}
+
+// Conf returns the confidence of tuple tup in table name, or an error if the
+// tuple is not listed.
+func (db *DB) Conf(name string, tup relation.Tuple) (float64, error) {
+	for _, t := range db.Tables {
+		if t.Name != name {
+			continue
+		}
+		for i, u := range t.Tuples {
+			if u.Equal(tup) {
+				return t.Probs[i], nil
+			}
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("tupleind: unknown table %q", name)
+}
+
+// Validate checks probability ranges.
+func (db *DB) Validate() error {
+	for _, t := range db.Tables {
+		for i, p := range t.Probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("tupleind: %s tuple %d has probability %g", t.Name, i, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package tupleind
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/confidence"
+	"maybms/internal/relation"
+)
+
+// example5DB builds the tuple-independent database of Figure 6(a).
+func example5DB(t *testing.T) *DB {
+	t.Helper()
+	s := NewTable("S", "A", "B")
+	if err := s.Add(relation.Tuple{relation.String("m"), relation.Int(1)}, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(relation.Tuple{relation.String("n"), relation.Int(1)}, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	tt := NewTable("T", "C", "D")
+	if err := tt.Add(relation.Tuple{relation.Int(1), relation.String("p")}, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	return &DB{Tables: []*Table{s, tt}}
+}
+
+func TestExample5Worlds(t *testing.T) {
+	db := example5DB(t)
+	if got := db.NumWorlds(); got != 8 {
+		t.Fatalf("NumWorlds = %g, want 8 (Figure 6(b))", got)
+	}
+	ws, err := db.Worlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// D3 = {s2, t1} has probability (1−0.8)·0.5·0.6 = 0.06.
+	want := 0.0
+	for i, w := range ws.Worlds {
+		if w.Rel("S").Size() == 1 &&
+			w.Rel("S").Contains(relation.Tuple{relation.String("n"), relation.Int(1)}) &&
+			w.Rel("T").Size() == 1 {
+			want = ws.Probs[i]
+		}
+	}
+	if math.Abs(want-0.06) > 1e-12 {
+		t.Fatalf("P(D3) = %g, want 0.06", want)
+	}
+}
+
+func TestFig7WSDTranslation(t *testing.T) {
+	db := example5DB(t)
+	w, err := db.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3 (one per tuple, Figure 7)", w.NumComponents())
+	}
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := db.Worlds(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equal(direct, 1e-9) {
+		t.Fatal("WSD translation changed the probabilistic world-set")
+	}
+}
+
+func TestConfMatchesWSDConfidence(t *testing.T) {
+	db := example5DB(t)
+	w, err := db.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := relation.Tuple{relation.String("m"), relation.Int(1)}
+	got, err := confidence.Conf(w, "S", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Conf("S", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Conf = %g, want %g", got, want)
+	}
+}
+
+func TestCertainAndImpossibleTuples(t *testing.T) {
+	s := NewTable("S", "A")
+	if err := s.Add(relation.Ints(1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(relation.Ints(2), 0.0); err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{Tables: []*Table{s}}
+	if got := db.NumWorlds(); got != 1 {
+		t.Fatalf("NumWorlds = %g, want 1", got)
+	}
+	w, err := db.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Size() != 1 || rep.Worlds[0].Rel("S").Size() != 1 {
+		t.Fatal("certain/impossible tuples mishandled")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := NewTable("S", "A")
+	if err := s.Add(relation.Ints(1, 2), 0.5); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := s.Add(relation.Ints(1), 1.5); err == nil {
+		t.Fatal("probability out of range must fail")
+	}
+	if err := s.Add(relation.Ints(1), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{Tables: []*Table{s}}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Probs[0] = 2
+	if err := db.Validate(); err == nil {
+		t.Fatal("Validate must catch bad probabilities")
+	}
+	if _, err := db.Conf("Z", relation.Ints(1)); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		s := NewTable("S", "A", "B")
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			if err := s.Add(relation.Ints(int64(i), int64(rng.Intn(3))), rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db := &DB{Tables: []*Table{s}}
+		w, err := db.ToWSD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := db.Worlds(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Equal(direct, 1e-9) {
+			t.Fatalf("trial %d: equivalence failed", trial)
+		}
+	}
+}

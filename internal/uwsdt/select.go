@@ -1,0 +1,208 @@
+package uwsdt
+
+import (
+	"fmt"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// SelectConst evaluates P := σ_{attr θ c}(src) directly on the uniform
+// encoding, following Figure 16 line by line:
+//
+//  1. the result template keeps the rows satisfying the condition or
+//     carrying a placeholder for attr,
+//  2. the field-to-component mapping is extended to the result fields,
+//  3. component values are copied, filtering the values of attr by θc,
+//  4. incomplete world tuples are removed (a placeholder value at a local
+//     world where a sibling placeholder of the same tuple and component has
+//     none),
+//  5. placeholders with no remaining values are dropped, and
+//  6. result tuples whose attr-placeholder lost all its values are dropped.
+//
+// The result relation res is added to the UWSDT; its components are shared
+// with src (same CIDs), so input and result stay correlated.
+func (u *UWSDT) SelectConst(res, src, attr string, theta relation.Op, c relation.Value) error {
+	rs, ok := u.Schema.Rel(src)
+	if !ok {
+		return fmt.Errorf("uwsdt: unknown relation %q", src)
+	}
+	if _, exists := u.Schema.Rel(res); exists {
+		return fmt.Errorf("uwsdt: relation %q already exists", res)
+	}
+	attrPos := -1
+	for i, a := range rs.Attrs {
+		if a == attr {
+			attrPos = i
+		}
+	}
+	if attrPos < 0 {
+		return fmt.Errorf("uwsdt: no attribute %q in %q", attr, src)
+	}
+
+	// Line 1: P0 := σ_{Aθc ∨ A='?'}(R0), renumbering surviving slots.
+	srcRows := u.Templates[src]
+	slotMap := make(map[int]int) // src slot -> res slot
+	var resRows []relation.Tuple
+	for i, row := range srcRows {
+		v := row[attrPos]
+		if v.IsPlaceholder() || theta.Apply(v, c) {
+			slotMap[i+1] = len(resRows) + 1
+			resRows = append(resRows, row.Clone())
+		}
+	}
+
+	// Line 2: extend F with the placeholders of the surviving tuples.
+	resFID := func(srcF core.FieldRef) (core.FieldRef, bool) {
+		slot, ok := slotMap[srcF.Tuple]
+		if !ok {
+			return core.FieldRef{}, false
+		}
+		return core.FieldRef{Rel: res, Tuple: slot, Attr: srcF.Attr}, true
+	}
+	newF := make([]FEntry, 0)
+	for _, fe := range u.F {
+		if fe.FID.Rel != src {
+			continue
+		}
+		if f, ok := resFID(fe.FID); ok {
+			newF = append(newF, FEntry{FID: f, CID: fe.CID})
+		}
+	}
+
+	// Line 3: extend C with the values of those placeholders, filtering the
+	// values of attr by the selection condition.
+	newC := make([]CEntry, 0)
+	for _, ce := range u.C {
+		if ce.FID.Rel != src {
+			continue
+		}
+		f, ok := resFID(ce.FID)
+		if !ok {
+			continue
+		}
+		if ce.FID.Attr == attr && !theta.Apply(ce.Val, c) {
+			continue
+		}
+		newC = append(newC, CEntry{FID: f, LWID: ce.LWID, Val: ce.Val})
+	}
+
+	// Line 4: remove incomplete world tuples — a value of placeholder X at
+	// local world w where sibling placeholder Y (same tuple, same component)
+	// has no value at w.
+	type fw struct {
+		f core.FieldRef
+		w int
+	}
+	hasVal := make(map[fw]bool, len(newC))
+	for _, ce := range newC {
+		hasVal[fw{ce.FID, ce.LWID}] = true
+	}
+	siblings := make(map[core.FieldRef][]core.FieldRef)
+	for _, fe := range newF {
+		for _, ge := range newF {
+			if fe.FID.Tuple == ge.FID.Tuple && fe.CID == ge.CID && fe.FID.Attr != ge.FID.Attr {
+				siblings[fe.FID] = append(siblings[fe.FID], ge.FID)
+			}
+		}
+	}
+	filteredC := newC[:0]
+	for _, ce := range newC {
+		keep := true
+		for _, sib := range siblings[ce.FID] {
+			if !hasVal[fw{sib, ce.LWID}] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			filteredC = append(filteredC, ce)
+		}
+	}
+	newC = filteredC
+
+	// Line 5: drop placeholders with no remaining values.
+	hasAny := make(map[core.FieldRef]bool)
+	for _, ce := range newC {
+		hasAny[ce.FID] = true
+	}
+	filteredF := newF[:0]
+	dropped := make(map[core.FieldRef]bool)
+	for _, fe := range newF {
+		if hasAny[fe.FID] {
+			filteredF = append(filteredF, fe)
+		} else {
+			dropped[fe.FID] = true
+		}
+	}
+	newF = filteredF
+
+	// Line 6: drop result tuples one of whose placeholders lost all values,
+	// renumbering again. (A tuple certain on attr keeps its slot.)
+	deadSlot := make(map[int]bool)
+	for f := range dropped {
+		deadSlot[f.Tuple] = true
+	}
+	if len(deadSlot) > 0 {
+		finalMap := make(map[int]int)
+		var finalRows []relation.Tuple
+		for i, row := range resRows {
+			if deadSlot[i+1] {
+				continue
+			}
+			finalMap[i+1] = len(finalRows) + 1
+			finalRows = append(finalRows, row)
+		}
+		resRows = finalRows
+		remap := func(f core.FieldRef) (core.FieldRef, bool) {
+			s, ok := finalMap[f.Tuple]
+			if !ok {
+				return core.FieldRef{}, false
+			}
+			f.Tuple = s
+			return f, true
+		}
+		ff := newF[:0]
+		for _, fe := range newF {
+			if f, ok := remap(fe.FID); ok {
+				fe.FID = f
+				ff = append(ff, fe)
+			}
+		}
+		newF = ff
+		cc := newC[:0]
+		for _, ce := range newC {
+			if f, ok := remap(ce.FID); ok {
+				ce.FID = f
+				cc = append(cc, ce)
+			}
+		}
+		newC = cc
+	}
+
+	// Dangling '?' in the template (placeholder dropped but tuple kept —
+	// cannot happen for attr by line 6; defensive for siblings) would make
+	// the result undecodable; verify against the final entries.
+	finalHas := make(map[core.FieldRef]bool, len(newF))
+	for _, fe := range newF {
+		finalHas[fe.FID] = true
+	}
+	for i, row := range resRows {
+		for j, a := range rs.Attrs {
+			if row[j].IsPlaceholder() {
+				f := core.FieldRef{Rel: res, Tuple: i + 1, Attr: a}
+				if !finalHas[f] {
+					return fmt.Errorf("uwsdt: internal: dangling placeholder %v", f)
+				}
+			}
+		}
+	}
+
+	u.Schema.Rels = append(u.Schema.Rels, worlds.RelSchema{Name: res, Attrs: rs.Attrs})
+	u.MaxCard[res] = len(resRows)
+	u.Templates[res] = resRows
+	u.F = append(u.F, newF...)
+	u.C = append(u.C, newC...)
+	return nil
+}

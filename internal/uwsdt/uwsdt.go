@@ -1,0 +1,232 @@
+// Package uwsdt implements uniform world-set decompositions with template
+// relations (UWSDTs, Section 3 and Figure 8): the WSD components are stored
+// in three fixed-schema relations
+//
+//	C[FID, LWID, VAL]   — component values per local world
+//	F[FID, CID]         — field-to-component mapping
+//	W[CID, LWID, PR]    — local worlds of each component with probabilities
+//
+// plus one template relation per database relation, holding the values that
+// are the same in all worlds and the placeholder '?' where worlds disagree.
+// The uniform encoding exists because practical DBMSs do not support
+// relations of arbitrary, data-dependent arity; every UWSDT relation has a
+// fixed schema regardless of the decomposition.
+//
+// Worlds of different sizes are encoded by a placeholder having values for
+// only a subset of its component's local worlds: a missing (FID, LWID) pair
+// in C means the tuple is absent from the worlds choosing that local world.
+package uwsdt
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// CEntry is a row of the component value relation C[FID, LWID, VAL].
+type CEntry struct {
+	FID  core.FieldRef
+	LWID int
+	Val  relation.Value
+}
+
+// FEntry is a row of the field-to-component mapping F[FID, CID].
+type FEntry struct {
+	FID core.FieldRef
+	CID int
+}
+
+// WEntry is a row of the world relation W[CID, LWID, PR].
+type WEntry struct {
+	CID  int
+	LWID int
+	PR   float64
+}
+
+// UWSDT is a uniform world-set decomposition with template relations.
+type UWSDT struct {
+	Schema  worlds.Schema
+	MaxCard map[string]int
+	// Templates maps each relation to its template rows (slot i at index
+	// i-1); '?' marks fields with more than one possible value.
+	Templates map[string][]relation.Tuple
+	C         []CEntry
+	F         []FEntry
+	W         []WEntry
+}
+
+// FromWSDT converts a WSDT into its uniform encoding, assigning component
+// ids 1..m and local world ids 1..k per component. ⊥ values are encoded by
+// omitting the (FID, LWID) pair from C.
+func FromWSDT(t *core.WSDT) *UWSDT {
+	u := &UWSDT{
+		Schema:    worlds.NewSchema(append([]worlds.RelSchema(nil), t.Schema.Rels...)...),
+		MaxCard:   make(map[string]int, len(t.MaxCard)),
+		Templates: make(map[string][]relation.Tuple, len(t.Templates)),
+	}
+	for k, v := range t.MaxCard {
+		u.MaxCard[k] = v
+	}
+	for rel, rows := range t.Templates {
+		cp := make([]relation.Tuple, len(rows))
+		for i, r := range rows {
+			cp[i] = r.Clone()
+		}
+		u.Templates[rel] = cp
+	}
+	for ci, comp := range t.Comps {
+		cid := ci + 1
+		for _, f := range comp.Fields {
+			u.F = append(u.F, FEntry{FID: f, CID: cid})
+		}
+		for ri, row := range comp.Rows {
+			lwid := ri + 1
+			u.W = append(u.W, WEntry{CID: cid, LWID: lwid, PR: row.P})
+			for fi, f := range comp.Fields {
+				if row.Values[fi].IsBottom() {
+					continue
+				}
+				u.C = append(u.C, CEntry{FID: f, LWID: lwid, Val: row.Values[fi]})
+			}
+		}
+	}
+	return u
+}
+
+// FromWSD is shorthand for FromWSDT(SplitTemplate(w)).
+func FromWSD(w *core.WSD) *UWSDT { return FromWSDT(core.SplitTemplate(w)) }
+
+// ToWSDT reconstructs the WSDT. Missing (FID, LWID) pairs become ⊥.
+func (u *UWSDT) ToWSDT() (*core.WSDT, error) {
+	t := &core.WSDT{
+		Schema:    worlds.NewSchema(append([]worlds.RelSchema(nil), u.Schema.Rels...)...),
+		MaxCard:   make(map[string]int, len(u.MaxCard)),
+		Templates: make(map[string][]relation.Tuple, len(u.Templates)),
+	}
+	for k, v := range u.MaxCard {
+		t.MaxCard[k] = v
+	}
+	for rel, rows := range u.Templates {
+		cp := make([]relation.Tuple, len(rows))
+		for i, r := range rows {
+			cp[i] = r.Clone()
+		}
+		t.Templates[rel] = cp
+	}
+	fieldsByCID := make(map[int][]core.FieldRef)
+	for _, fe := range u.F {
+		fieldsByCID[fe.CID] = append(fieldsByCID[fe.CID], fe.FID)
+	}
+	lwidsByCID := make(map[int][]WEntry)
+	for _, we := range u.W {
+		lwidsByCID[we.CID] = append(lwidsByCID[we.CID], we)
+	}
+	vals := make(map[core.FieldRef]map[int]relation.Value, len(u.F))
+	for _, ce := range u.C {
+		m := vals[ce.FID]
+		if m == nil {
+			m = make(map[int]relation.Value)
+			vals[ce.FID] = m
+		}
+		if _, dup := m[ce.LWID]; dup {
+			return nil, fmt.Errorf("uwsdt: duplicate C entry for %v lwid %d", ce.FID, ce.LWID)
+		}
+		m[ce.LWID] = ce.Val
+	}
+	cids := make([]int, 0, len(fieldsByCID))
+	for cid := range fieldsByCID {
+		cids = append(cids, cid)
+	}
+	sort.Ints(cids)
+	for _, cid := range cids {
+		fields := fieldsByCID[cid]
+		sort.Slice(fields, func(i, j int) bool { return fields[i].Less(fields[j]) })
+		ws := lwidsByCID[cid]
+		if len(ws) == 0 {
+			return nil, fmt.Errorf("uwsdt: component %d has no local worlds", cid)
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].LWID < ws[j].LWID })
+		comp := core.NewComponent(fields)
+		for _, we := range ws {
+			row := core.Row{Values: make([]relation.Value, len(fields)), P: we.PR}
+			for i, f := range fields {
+				if v, ok := vals[f][we.LWID]; ok {
+					row.Values[i] = v
+				} else {
+					row.Values[i] = relation.Bottom()
+				}
+			}
+			comp.AddRow(row)
+		}
+		t.Comps = append(t.Comps, comp)
+	}
+	return t, nil
+}
+
+// Rep enumerates the represented world-set.
+func (u *UWSDT) Rep(maxWorlds int) (*worlds.WorldSet, error) {
+	t, err := u.ToWSDT()
+	if err != nil {
+		return nil, err
+	}
+	return t.Rep(maxWorlds)
+}
+
+// Stats summarizes the representation in the terms of Figure 27.
+type Stats struct {
+	NumComp    int // number of components
+	NumCompGT1 int // components with more than one placeholder
+	CSize      int // |C|: rows of the component value relation
+	RSize      int // |R|: total template rows
+}
+
+// Stats computes representation statistics.
+func (u *UWSDT) Stats() Stats {
+	s := Stats{CSize: len(u.C)}
+	fieldsByCID := make(map[int]int)
+	for _, fe := range u.F {
+		fieldsByCID[fe.CID]++
+	}
+	s.NumComp = len(fieldsByCID)
+	for _, n := range fieldsByCID {
+		if n > 1 {
+			s.NumCompGT1++
+		}
+	}
+	for _, rows := range u.Templates {
+		s.RSize += len(rows)
+	}
+	return s
+}
+
+// AsRelations materializes C, F and W as generic relations with the fixed
+// schemas of Section 3 (FID rendered as its three columns), so they can be
+// inspected and queried with the relational substrate — the form in which a
+// conventional RDBMS would store them.
+func (u *UWSDT) AsRelations() (c, f, w *relation.Relation) {
+	c = relation.New("C", relation.NewSchema("REL", "TID", "ATTR", "LWID", "VAL"))
+	for _, ce := range u.C {
+		c.Insert(relation.Tuple{
+			relation.String(ce.FID.Rel), relation.Int(int64(ce.FID.Tuple)),
+			relation.String(ce.FID.Attr), relation.Int(int64(ce.LWID)), ce.Val,
+		})
+	}
+	f = relation.New("F", relation.NewSchema("REL", "TID", "ATTR", "CID"))
+	for _, fe := range u.F {
+		f.Insert(relation.Tuple{
+			relation.String(fe.FID.Rel), relation.Int(int64(fe.FID.Tuple)),
+			relation.String(fe.FID.Attr), relation.Int(int64(fe.CID)),
+		})
+	}
+	w = relation.New("W", relation.NewSchema("CID", "LWID", "PR"))
+	for _, we := range u.W {
+		w.Insert(relation.Tuple{
+			relation.Int(int64(we.CID)), relation.Int(int64(we.LWID)),
+			relation.Int(int64(we.PR * 1e9)), // fixed-point: the substrate is integer/string typed
+		})
+	}
+	return c, f, w
+}

@@ -1,0 +1,258 @@
+package uwsdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+func fr(rel string, tup int, attr string) core.FieldRef {
+	return core.FieldRef{Rel: rel, Tuple: tup, Attr: attr}
+}
+
+func ints(p float64, vs ...int64) core.Row {
+	vals := make([]relation.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = relation.Int(v)
+	}
+	return core.Row{Values: vals, P: p}
+}
+
+// fig8WSD builds the WSD behind Figure 8: the census WSDT of Figure 5
+// modified so t2.M is certain (value 3).
+func fig8WSD(t *testing.T) *core.WSD {
+	t.Helper()
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"S", "N", "M"}})
+	w := core.New(schema, map[string]int{"R": 2})
+	add := func(c *core.Component) {
+		t.Helper()
+		if err := w.AddComponent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "S"), fr("R", 2, "S")},
+		ints(0.2, 185, 186), ints(0.4, 785, 185), ints(0.4, 785, 186)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "N")},
+		core.Row{Values: []relation.Value{relation.String("Smith")}, P: 1}))
+	add(core.NewComponent([]core.FieldRef{fr("R", 1, "M")}, ints(0.7, 1), ints(0.3, 2)))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "N")},
+		core.Row{Values: []relation.Value{relation.String("Brown")}, P: 1}))
+	add(core.NewComponent([]core.FieldRef{fr("R", 2, "M")}, ints(1, 3)))
+	if err := w.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFig8Encoding(t *testing.T) {
+	u := FromWSD(fig8WSD(t))
+	st := u.Stats()
+	// Figure 8: two components (C1 = S-pair, C2 = t1.M); t2.M moved to the
+	// template.
+	if st.NumComp != 2 {
+		t.Fatalf("#comp = %d, want 2", st.NumComp)
+	}
+	if st.NumCompGT1 != 1 {
+		t.Fatalf("#comp>1 = %d, want 1", st.NumCompGT1)
+	}
+	// C holds 6 S values and 2 M values (Figure 8).
+	if st.CSize != 8 {
+		t.Fatalf("|C| = %d, want 8", st.CSize)
+	}
+	if st.RSize != 2 {
+		t.Fatalf("|R| = %d, want 2", st.RSize)
+	}
+	tmpl := u.Templates["R"]
+	if tmpl[1][2] != relation.Int(3) {
+		t.Fatalf("t2.M in template = %v, want 3", tmpl[1][2])
+	}
+	if !tmpl[0][0].IsPlaceholder() {
+		t.Fatal("t1.S must be a placeholder")
+	}
+	// W has 3 + 2 local worlds.
+	if len(u.W) != 5 {
+		t.Fatalf("|W| = %d, want 5", len(u.W))
+	}
+}
+
+func TestRoundtripFig8(t *testing.T) {
+	w := fig8WSD(t)
+	want, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := FromWSD(w)
+	got, err := u.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("UWSDT roundtrip changed the world-set")
+	}
+}
+
+// randWSD mirrors the core generator (single relation, with ⊥ marks).
+func randWSD(rng *rand.Rand, prob bool) *core.WSD {
+	schema := worlds.NewSchema(worlds.RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+	w := core.New(schema, map[string]int{"R": 3})
+	fields := w.Fields()
+	rng.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 0 {
+		n := 1 + rng.Intn(3)
+		if n > len(fields) {
+			n = len(fields)
+		}
+		group := fields[:n]
+		fields = fields[n:]
+		c := core.NewComponent(append([]core.FieldRef(nil), group...))
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			vals := make([]relation.Value, n)
+			for i := range vals {
+				vals[i] = relation.Int(int64(rng.Intn(3)))
+			}
+			if rng.Float64() < 0.2 {
+				vals[rng.Intn(n)] = relation.Bottom()
+			}
+			c.AddRow(core.Row{Values: vals})
+		}
+		c.PropagateBottom()
+		if prob {
+			total := 0.0
+			ps := make([]float64, len(c.Rows))
+			for i := range ps {
+				ps[i] = rng.Float64() + 0.01
+				total += ps[i]
+			}
+			for i := range ps {
+				c.Rows[i].P = ps[i] / total
+			}
+		}
+		if err := w.AddComponent(c); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func TestRandomRoundtrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 60; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		want, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := FromWSD(w)
+		got, err := u.Rep(0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: roundtrip mismatch", trial)
+		}
+	}
+}
+
+func TestSelectConstFig16(t *testing.T) {
+	// σ_{M=1}(R) on the Figure 8 UWSDT, checked against per-world
+	// evaluation.
+	w := fig8WSD(t)
+	repIn, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.Eq("M", 1)}
+	want, err := worlds.EvalWorldSet(q, repIn, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := FromWSD(w)
+	if err := u.SelectConst("P", "R", "M", relation.EQ, relation.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	wsdt, err := u.ToWSDT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsd, err := wsdt.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wsd.RepRelation("P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatalf("Figure 16 selection mismatch: got %d distinct worlds, want %d",
+			len(got.Canonical()), len(want.Canonical()))
+	}
+}
+
+func TestSelectConstRandomAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		w := randWSD(rng, trial%2 == 0)
+		repIn, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr := []string{"A", "B"}[rng.Intn(2)]
+		theta := relation.Op(rng.Intn(6))
+		c := relation.Int(int64(rng.Intn(3)))
+		q := worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.AttrConst{Attr: attr, Theta: theta, Const: c}}
+		want, err := worlds.EvalWorldSet(q, repIn, "P")
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := FromWSD(w)
+		if err := u.SelectConst("P", "R", attr, theta, c); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wsdt, err := u.ToWSDT()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wsd, err := wsdt.ToWSD()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := wsd.RepRelation("P", 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("trial %d: σ_{%s%v%v} mismatch", trial, attr, theta, c)
+		}
+	}
+}
+
+func TestSelectConstErrors(t *testing.T) {
+	u := FromWSD(fig8WSD(t))
+	if err := u.SelectConst("P", "Z", "M", relation.EQ, relation.Int(1)); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if err := u.SelectConst("P", "R", "Z", relation.EQ, relation.Int(1)); err == nil {
+		t.Fatal("unknown attribute must fail")
+	}
+	if err := u.SelectConst("P", "R", "M", relation.EQ, relation.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SelectConst("P", "R", "M", relation.EQ, relation.Int(1)); err == nil {
+		t.Fatal("duplicate result name must fail")
+	}
+}
+
+func TestAsRelations(t *testing.T) {
+	u := FromWSD(fig8WSD(t))
+	c, f, w := u.AsRelations()
+	if c.Size() != len(u.C) || f.Size() != len(u.F) || w.Size() != len(u.W) {
+		t.Fatal("materialized relations lost rows")
+	}
+	if !c.Schema().Has("VAL") || !f.Schema().Has("CID") || !w.Schema().Has("PR") {
+		t.Fatal("fixed schemas wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package worlds
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+)
+
+// This file implements the inline encoding of Section 3: a world A over
+// schema Σ becomes a single wide tuple inline(A) = inline(R1^A) ◦ ... ◦
+// inline(Rk^A), padding each relation with t⊥ tuples up to |R|max, and the
+// world-set relation {inline(A) | A ∈ ws}.
+
+// InlineSchema returns the schema of the world-set relation of ws: one
+// attribute "R.ti.Aj" per relation R, tuple slot i (1-based, up to |R|max)
+// and attribute Aj of R.
+func InlineSchema(s Schema, maxCard map[string]int) relation.Schema {
+	var attrs []string
+	for _, rs := range s.Rels {
+		for i := 1; i <= maxCard[rs.Name]; i++ {
+			for _, a := range rs.Attrs {
+				attrs = append(attrs, FieldName(rs.Name, i, a))
+			}
+		}
+	}
+	return relation.NewSchema(attrs...)
+}
+
+// FieldName renders the world-set relation attribute name for field
+// (R, ti, A); the R.ti.Aj of the paper.
+func FieldName(rel string, tupleID int, attr string) string {
+	return fmt.Sprintf("%s.t%d.%s", rel, tupleID, attr)
+}
+
+// Inline encodes world db as a single wide tuple, ordering each relation's
+// tuples canonically and padding with ⊥ up to maxCard. It returns an error
+// if a relation exceeds its maximum cardinality.
+func Inline(db *Database, maxCard map[string]int) (relation.Tuple, error) {
+	var out relation.Tuple
+	for _, rs := range db.Schema.Rels {
+		r := db.Rels[rs.Name]
+		max := maxCard[rs.Name]
+		if r.Size() > max {
+			return nil, fmt.Errorf("worlds: relation %s has %d tuples, max %d", rs.Name, r.Size(), max)
+		}
+		// Canonical tuple order keeps the encoding deterministic; the
+		// paper leaves the order arbitrary (all choices are equivalent).
+		for _, t := range r.SortedTuples() {
+			out = append(out, t...)
+		}
+		pad := max - r.Size()
+		for i := 0; i < pad*len(rs.Attrs); i++ {
+			out = append(out, relation.Bottom())
+		}
+	}
+	return out, nil
+}
+
+// InlineInverse decodes a wide tuple back into a world, dropping every tuple
+// slot that contains at least one ⊥ (the t⊥ convention).
+func InlineInverse(s Schema, maxCard map[string]int, wide relation.Tuple) (*Database, error) {
+	db := NewDatabase(s)
+	pos := 0
+	for _, rs := range s.Rels {
+		ar := len(rs.Attrs)
+		for i := 0; i < maxCard[rs.Name]; i++ {
+			if pos+ar > len(wide) {
+				return nil, fmt.Errorf("worlds: inline tuple too short for %s", rs.Name)
+			}
+			slot := wide[pos : pos+ar]
+			pos += ar
+			if !relation.Tuple(slot).HasBottom() {
+				db.Rels[rs.Name].Insert(relation.Tuple(slot).Clone())
+			}
+		}
+	}
+	if pos != len(wide) {
+		return nil, fmt.Errorf("worlds: inline tuple has %d extra fields", len(wide)-pos)
+	}
+	return db, nil
+}
+
+// WorldSetRelation builds the explicit world-set relation of ws: one wide
+// tuple per world. This is the representation whose size the paper's
+// introduction shows to be infeasible; it is built here only for small
+// world-sets (tests, baselines).
+func WorldSetRelation(ws *WorldSet) (*relation.Relation, map[string]int, error) {
+	maxCard := ws.MaxCardinalities()
+	sch := InlineSchema(ws.Schema, maxCard)
+	r := relation.New("W", sch)
+	for _, w := range ws.Worlds {
+		t, err := Inline(w, maxCard)
+		if err != nil {
+			return nil, nil, err
+		}
+		r.Insert(t)
+	}
+	return r, maxCard, nil
+}
+
+// FromWorldSetRelation decodes a world-set relation back to the world-set it
+// represents (without probabilities).
+func FromWorldSetRelation(s Schema, maxCard map[string]int, r *relation.Relation) (*WorldSet, error) {
+	ws := NewWorldSet(s)
+	for _, t := range r.Tuples() {
+		db, err := InlineInverse(s, maxCard, t)
+		if err != nil {
+			return nil, err
+		}
+		ws.Add(db, 0)
+	}
+	return ws, nil
+}

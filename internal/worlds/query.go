@@ -1,0 +1,214 @@
+package worlds
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+)
+
+// Query is a relational algebra query over a database schema: the language
+// of Section 4 (σ, π, ×, ∪, −, δ over base relations). The same AST is
+// evaluated three ways in this repository: naively per world (here, the
+// ground truth), on WSDs (internal/core, Figure 9), and on the scalable
+// UWSDT engine (internal/engine, Section 5).
+type Query interface {
+	// OutSchema computes the result schema under database schema s.
+	OutSchema(s Schema) (relation.Schema, error)
+	// String renders the query.
+	String() string
+}
+
+// Base is a base relation reference R.
+type Base struct{ Rel string }
+
+// Select is σ_Pred(Q).
+type Select struct {
+	Q    Query
+	Pred relation.Predicate
+}
+
+// Project is π_Attrs(Q).
+type Project struct {
+	Q     Query
+	Attrs []string
+}
+
+// Product is Q1 × Q2; attribute sets must be disjoint.
+type Product struct{ L, R Query }
+
+// Union is Q1 ∪ Q2; schemas must match.
+type Union struct{ L, R Query }
+
+// Difference is Q1 − Q2; schemas must match.
+type Difference struct{ L, R Query }
+
+// Rename is δ_{Old→New}(Q).
+type Rename struct {
+	Q        Query
+	Old, New string
+}
+
+// OutSchema implements Query.
+func (q Base) OutSchema(s Schema) (relation.Schema, error) {
+	rs, ok := s.Rel(q.Rel)
+	if !ok {
+		return relation.Schema{}, fmt.Errorf("worlds: unknown relation %q", q.Rel)
+	}
+	return relation.NewSchema(rs.Attrs...), nil
+}
+
+func (q Base) String() string { return q.Rel }
+
+// OutSchema implements Query.
+func (q Select) OutSchema(s Schema) (relation.Schema, error) { return q.Q.OutSchema(s) }
+
+func (q Select) String() string { return fmt.Sprintf("σ[%s](%s)", q.Pred, q.Q) }
+
+// OutSchema implements Query.
+func (q Project) OutSchema(s Schema) (relation.Schema, error) {
+	in, err := q.Q.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return in.Project(q.Attrs...)
+}
+
+func (q Project) String() string { return fmt.Sprintf("π%v(%s)", q.Attrs, q.Q) }
+
+// OutSchema implements Query.
+func (q Product) OutSchema(s Schema) (relation.Schema, error) {
+	l, err := q.L.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	r, err := q.R.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return l.Concat(r)
+}
+
+func (q Product) String() string { return fmt.Sprintf("(%s × %s)", q.L, q.R) }
+
+// OutSchema implements Query.
+func (q Union) OutSchema(s Schema) (relation.Schema, error) {
+	l, err := q.L.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	r, err := q.R.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	if !l.Equal(r) {
+		return relation.Schema{}, fmt.Errorf("worlds: union schema mismatch %v vs %v", l, r)
+	}
+	return l, nil
+}
+
+func (q Union) String() string { return fmt.Sprintf("(%s ∪ %s)", q.L, q.R) }
+
+// OutSchema implements Query.
+func (q Difference) OutSchema(s Schema) (relation.Schema, error) {
+	return Union{q.L, q.R}.OutSchema(s)
+}
+
+func (q Difference) String() string { return fmt.Sprintf("(%s − %s)", q.L, q.R) }
+
+// OutSchema implements Query.
+func (q Rename) OutSchema(s Schema) (relation.Schema, error) {
+	in, err := q.Q.OutSchema(s)
+	if err != nil {
+		return relation.Schema{}, err
+	}
+	return in.Rename(q.Old, q.New)
+}
+
+func (q Rename) String() string { return fmt.Sprintf("δ[%s→%s](%s)", q.Old, q.New, q.Q) }
+
+// Eval evaluates the query in one world. This is classical relational
+// algebra; the decomposition-based evaluators are tested against it.
+func Eval(q Query, db *Database) (*relation.Relation, error) {
+	switch q := q.(type) {
+	case Base:
+		r := db.Rel(q.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("worlds: unknown relation %q", q.Rel)
+		}
+		return r, nil
+	case Select:
+		in, err := Eval(q.Q, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Select(in, q.Pred, "P"), nil
+	case Project:
+		in, err := Eval(q.Q, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Project(in, "P", q.Attrs...)
+	case Product:
+		l, err := Eval(q.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(q.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Product(l, r, "P")
+	case Union:
+		l, err := Eval(q.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(q.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Union(l, r, "P")
+	case Difference:
+		l, err := Eval(q.L, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(q.R, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Difference(l, r, "P")
+	case Rename:
+		in, err := Eval(q.Q, db)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Rename(in, q.Old, q.New, "P")
+	}
+	return nil, fmt.Errorf("worlds: unknown query node %T", q)
+}
+
+// EvalWorldSet evaluates Q in every world of ws and returns the world-set
+// {Q(A) | A ∈ rep(ws)} over a single-relation schema named result. World
+// probabilities carry over unchanged: query evaluation is per-world and does
+// not look at the weights (Remark 2 of the paper).
+func EvalWorldSet(q Query, ws *WorldSet, result string) (*WorldSet, error) {
+	outSchema, err := q.OutSchema(ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	rs := RelSchema{Name: result, Attrs: outSchema.Attrs()}
+	out := NewWorldSet(NewSchema(rs))
+	for i, w := range ws.Worlds {
+		res, err := Eval(q, w)
+		if err != nil {
+			return nil, err
+		}
+		db := NewDatabase(out.Schema)
+		for _, t := range res.Tuples() {
+			db.Rels[result].Insert(t.Clone())
+		}
+		out.Add(db, ws.Probs[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package worlds
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/relation"
+)
+
+// Property: inline then inline⁻¹ is the identity on databases, for random
+// instances and paddings.
+func TestQuickInlineRoundtrip(t *testing.T) {
+	f := func(seed int64, padRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema(
+			RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+			RelSchema{Name: "S", Attrs: []string{"C"}},
+		)
+		db := NewDatabase(s)
+		for i := 0; i < rng.Intn(4); i++ {
+			db.Rels["R"].Insert(relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3))))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			db.Rels["S"].Insert(relation.Ints(int64(rng.Intn(3))))
+		}
+		maxCard := map[string]int{
+			"R": db.Rels["R"].Size() + int(padRaw)%3,
+			"S": db.Rels["S"].Size() + int(padRaw)%2,
+		}
+		wide, err := Inline(db, maxCard)
+		if err != nil {
+			return false
+		}
+		back, err := InlineInverse(s, maxCard, wide)
+		if err != nil {
+			return false
+		}
+		return db.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the world-set relation has one tuple per distinct inlining and
+// decodes to the same world-set.
+func TestQuickWorldSetRelationFaithful(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema(RelSchema{Name: "R", Attrs: []string{"A"}})
+		ws := NewWorldSet(s)
+		for w := 0; w < 1+rng.Intn(6); w++ {
+			db := NewDatabase(s)
+			for i := 0; i < rng.Intn(3); i++ {
+				db.Rels["R"].Insert(relation.Ints(int64(rng.Intn(3))))
+			}
+			ws.Add(db, 0)
+		}
+		wsr, maxCard, err := WorldSetRelation(ws)
+		if err != nil {
+			return false
+		}
+		back, err := FromWorldSetRelation(s, maxCard, wsr)
+		if err != nil {
+			return false
+		}
+		return ws.Equal(back, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalWorldSet commutes with adding an unrelated world (query
+// evaluation is per world).
+func TestQuickEvalPerWorld(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema(RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+		mkdb := func() *Database {
+			db := NewDatabase(s)
+			for i := 0; i < rng.Intn(4); i++ {
+				db.Rels["R"].Insert(relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3))))
+			}
+			return db
+		}
+		q := Select{Q: Base{Rel: "R"}, Pred: relation.Eq("A", 1)}
+		a := NewWorldSet(s)
+		a.Add(mkdb(), 0)
+		outA, err := EvalWorldSet(q, a, "P")
+		if err != nil {
+			return false
+		}
+		b := NewWorldSet(s)
+		b.Add(a.Worlds[0], 0)
+		b.Add(mkdb(), 0)
+		outB, err := EvalWorldSet(q, b, "P")
+		if err != nil {
+			return false
+		}
+		// The first world's result must be identical in both evaluations.
+		return outA.Worlds[0].Equal(outB.Worlds[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueryStrings(t *testing.T) {
+	q := Difference{
+		L: Union{
+			L: Project{Q: Select{Q: Base{Rel: "R"}, Pred: relation.Eq("A", 1)}, Attrs: []string{"A"}},
+			R: Project{Q: Rename{Q: Base{Rel: "R"}, Old: "B", New: "A2"}, Attrs: []string{"A"}},
+		},
+		R: Project{Q: Product{L: Base{Rel: "R"}, R: Base{Rel: "S"}}, Attrs: []string{"A"}},
+	}
+	s := q.String()
+	for _, want := range []string{"σ", "π", "δ", "×", "∪", "−", "R", "S"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("query string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestOutSchemas(t *testing.T) {
+	s := NewSchema(
+		RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+		RelSchema{Name: "S", Attrs: []string{"C"}},
+	)
+	cases := []struct {
+		q    Query
+		want []string
+	}{
+		{Base{Rel: "R"}, []string{"A", "B"}},
+		{Select{Q: Base{Rel: "R"}, Pred: relation.Eq("A", 1)}, []string{"A", "B"}},
+		{Project{Q: Base{Rel: "R"}, Attrs: []string{"B"}}, []string{"B"}},
+		{Product{L: Base{Rel: "R"}, R: Base{Rel: "S"}}, []string{"A", "B", "C"}},
+		{Union{L: Base{Rel: "R"}, R: Base{Rel: "R"}}, []string{"A", "B"}},
+		{Difference{L: Base{Rel: "R"}, R: Base{Rel: "R"}}, []string{"A", "B"}},
+		{Rename{Q: Base{Rel: "R"}, Old: "A", New: "X"}, []string{"X", "B"}},
+	}
+	for _, c := range cases {
+		got, err := c.q.OutSchema(s)
+		if err != nil {
+			t.Fatalf("%v: %v", c.q, err)
+		}
+		if !got.Equal(relation.NewSchema(c.want...)) {
+			t.Fatalf("%v: schema %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Error paths.
+	bads := []Query{
+		Base{Rel: "Z"},
+		Select{Q: Base{Rel: "Z"}, Pred: relation.Eq("A", 1)},
+		Project{Q: Base{Rel: "R"}, Attrs: []string{"Z"}},
+		Project{Q: Base{Rel: "Z"}, Attrs: []string{"A"}},
+		Product{L: Base{Rel: "R"}, R: Base{Rel: "R"}},
+		Product{L: Base{Rel: "Z"}, R: Base{Rel: "R"}},
+		Product{L: Base{Rel: "R"}, R: Base{Rel: "Z"}},
+		Union{L: Base{Rel: "R"}, R: Base{Rel: "S"}},
+		Union{L: Base{Rel: "Z"}, R: Base{Rel: "R"}},
+		Union{L: Base{Rel: "R"}, R: Base{Rel: "Z"}},
+		Rename{Q: Base{Rel: "R"}, Old: "Z", New: "X"},
+		Rename{Q: Base{Rel: "Z"}, Old: "A", New: "X"},
+	}
+	for _, q := range bads {
+		if _, err := q.OutSchema(s); err == nil {
+			t.Fatalf("%v: expected schema error", q)
+		}
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	s := NewSchema(RelSchema{Name: "R"}, RelSchema{Name: "S"})
+	names := s.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDatabaseString(t *testing.T) {
+	s := NewSchema(RelSchema{Name: "R", Attrs: []string{"A"}})
+	db := NewDatabase(s)
+	db.Rels["R"].Insert(relation.Ints(7))
+	if !strings.Contains(db.String(), "7") {
+		t.Fatal("String lost data")
+	}
+}

@@ -1,0 +1,244 @@
+// Package worlds implements explicit finite sets of possible worlds over a
+// relational schema (Section 2 and Section 3 of the paper): databases,
+// world-sets with probability weights, the inline/inline⁻¹ encoding of a
+// world as a single wide tuple, and world-set relations.
+//
+// Explicit world-sets are exponential objects; this package exists as the
+// semantic ground truth. Every operation on decompositions in internal/core
+// is property-tested against naive per-world evaluation implemented here, and
+// the world-set relation is the baseline representation whose size explosion
+// motivates WSDs.
+package worlds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+)
+
+// RelSchema is one relation schema R[U] of a database schema Σ.
+type RelSchema struct {
+	Name  string
+	Attrs []string
+}
+
+// Schema is a database schema Σ = (R1[U1], ..., Rk[Uk]).
+type Schema struct {
+	Rels []RelSchema
+}
+
+// NewSchema builds a schema from (name, attrs...) groups.
+func NewSchema(rels ...RelSchema) Schema { return Schema{Rels: rels} }
+
+// Rel returns the schema of the named relation.
+func (s Schema) Rel(name string) (RelSchema, bool) {
+	for _, r := range s.Rels {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RelSchema{}, false
+}
+
+// Names returns the relation names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Rels))
+	for i, r := range s.Rels {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Database is one possible world: a relation instance for every relation
+// name of its schema.
+type Database struct {
+	Schema Schema
+	Rels   map[string]*relation.Relation
+}
+
+// NewDatabase creates an empty database over schema s (all relations empty).
+func NewDatabase(s Schema) *Database {
+	db := &Database{Schema: s, Rels: make(map[string]*relation.Relation, len(s.Rels))}
+	for _, rs := range s.Rels {
+		db.Rels[rs.Name] = relation.New(rs.Name, relation.NewSchema(rs.Attrs...))
+	}
+	return db
+}
+
+// Rel returns the named relation; nil if the name is unknown.
+func (db *Database) Rel(name string) *relation.Relation { return db.Rels[name] }
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	c := &Database{Schema: db.Schema, Rels: make(map[string]*relation.Relation, len(db.Rels))}
+	for n, r := range db.Rels {
+		c.Rels[n] = r.Clone("")
+	}
+	return c
+}
+
+// Equal reports whether two databases have the same relations with the same
+// tuples, by name.
+func (db *Database) Equal(o *Database) bool {
+	if len(db.Rels) != len(o.Rels) {
+		return false
+	}
+	for n, r := range db.Rels {
+		or, ok := o.Rels[n]
+		if !ok || !r.Equal(or) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a canonical string identifying the database contents.
+func (db *Database) Fingerprint() string {
+	names := make([]string, 0, len(db.Rels))
+	for n := range db.Rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s:%s;", n, db.Rels[n].Fingerprint())
+	}
+	return b.String()
+}
+
+// String renders all relations of the database.
+func (db *Database) String() string {
+	names := make([]string, 0, len(db.Rels))
+	for n := range db.Rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = db.Rels[n].String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// WorldSet is a finite set of possible worlds with probability weights.
+// A weight of 0 on every world means "non-probabilistic"; otherwise the
+// weights should sum to 1 (checked by Validate).
+type WorldSet struct {
+	Schema Schema
+	Worlds []*Database
+	Probs  []float64
+}
+
+// NewWorldSet creates an empty world-set over schema s.
+func NewWorldSet(s Schema) *WorldSet { return &WorldSet{Schema: s} }
+
+// Add appends a world with probability p.
+func (ws *WorldSet) Add(db *Database, p float64) {
+	ws.Worlds = append(ws.Worlds, db)
+	ws.Probs = append(ws.Probs, p)
+}
+
+// Size returns the number of listed worlds (duplicates counted).
+func (ws *WorldSet) Size() int { return len(ws.Worlds) }
+
+// Probabilistic reports whether any world carries a nonzero weight.
+func (ws *WorldSet) Probabilistic() bool {
+	for _, p := range ws.Probs {
+		if p != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalProb returns the sum of the world weights.
+func (ws *WorldSet) TotalProb() float64 {
+	var s float64
+	for _, p := range ws.Probs {
+		s += p
+	}
+	return s
+}
+
+// Validate checks that a probabilistic world-set has weights in [0,1]
+// summing to 1 (within eps).
+func (ws *WorldSet) Validate(eps float64) error {
+	if !ws.Probabilistic() {
+		return nil
+	}
+	for i, p := range ws.Probs {
+		if p < -eps || p > 1+eps {
+			return fmt.Errorf("worlds: world %d has probability %g outside [0,1]", i, p)
+		}
+	}
+	if d := math.Abs(ws.TotalProb() - 1); d > eps {
+		return fmt.Errorf("worlds: probabilities sum to %g, want 1", ws.TotalProb())
+	}
+	return nil
+}
+
+// Canonical groups duplicate worlds, summing their probabilities, and
+// returns fingerprint → (representative world, total probability). This is
+// the comparison form: two representations denote the same probabilistic
+// world-set iff their canonical maps agree.
+func (ws *WorldSet) Canonical() map[string]CanonWorld {
+	m := make(map[string]CanonWorld)
+	for i, w := range ws.Worlds {
+		fp := w.Fingerprint()
+		cw := m[fp]
+		if cw.World == nil {
+			cw.World = w
+		}
+		cw.Prob += ws.Probs[i]
+		m[fp] = cw
+	}
+	return m
+}
+
+// CanonWorld is a deduplicated world with its accumulated probability.
+type CanonWorld struct {
+	World *Database
+	Prob  float64
+}
+
+// Equal reports whether two world-sets denote the same set of worlds,
+// ignoring duplicates and, when both are probabilistic, comparing
+// accumulated probabilities within eps. If exactly one side is
+// probabilistic, probabilities are ignored.
+func (ws *WorldSet) Equal(o *WorldSet, eps float64) bool {
+	a, b := ws.Canonical(), o.Canonical()
+	if len(a) != len(b) {
+		return false
+	}
+	checkProbs := ws.Probabilistic() && o.Probabilistic()
+	for fp, cw := range a {
+		ow, ok := b[fp]
+		if !ok {
+			return false
+		}
+		if checkProbs && math.Abs(cw.Prob-ow.Prob) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCardinalities returns |R|max for every relation: the maximum number of
+// tuples the relation has in any world. Used to size the inline encoding.
+func (ws *WorldSet) MaxCardinalities() map[string]int {
+	m := make(map[string]int)
+	for _, rs := range ws.Schema.Rels {
+		m[rs.Name] = 0
+	}
+	for _, w := range ws.Worlds {
+		for n, r := range w.Rels {
+			if r.Size() > m[n] {
+				m[n] = r.Size()
+			}
+		}
+	}
+	return m
+}

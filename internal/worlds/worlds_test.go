@@ -1,0 +1,263 @@
+package worlds
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+func schemaR() Schema {
+	return NewSchema(RelSchema{Name: "R", Attrs: []string{"A", "B"}})
+}
+
+func dbWith(t *testing.T, s Schema, rel string, tuples ...relation.Tuple) *Database {
+	t.Helper()
+	db := NewDatabase(s)
+	for _, tup := range tuples {
+		db.Rels[rel].Insert(tup)
+	}
+	return db
+}
+
+func TestDatabaseCloneEqual(t *testing.T) {
+	s := schemaR()
+	a := dbWith(t, s, "R", relation.Ints(1, 2))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Rels["R"].Insert(relation.Ints(3, 4))
+	if a.Equal(b) {
+		t.Fatal("clone shares storage")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprints must differ")
+	}
+}
+
+func TestWorldSetEqualModuloDuplicates(t *testing.T) {
+	s := schemaR()
+	w1 := dbWith(t, s, "R", relation.Ints(1, 1))
+	w2 := dbWith(t, s, "R", relation.Ints(2, 2))
+
+	a := NewWorldSet(s)
+	a.Add(w1, 0.5)
+	a.Add(w2, 0.5)
+
+	b := NewWorldSet(s)
+	b.Add(w2.Clone(), 0.25)
+	b.Add(w1.Clone(), 0.5)
+	b.Add(w2.Clone(), 0.25) // duplicate world, probabilities accumulate
+
+	if !a.Equal(b, 1e-9) {
+		t.Fatal("world-sets should be equal modulo duplicates")
+	}
+	c := NewWorldSet(s)
+	c.Add(w1.Clone(), 1)
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different world-sets compare equal")
+	}
+}
+
+func TestWorldSetValidate(t *testing.T) {
+	s := schemaR()
+	ws := NewWorldSet(s)
+	ws.Add(dbWith(t, s, "R", relation.Ints(1, 1)), 0.4)
+	ws.Add(dbWith(t, s, "R", relation.Ints(2, 2)), 0.6)
+	if err := ws.Validate(1e-9); err != nil {
+		t.Fatalf("valid world-set rejected: %v", err)
+	}
+	ws.Probs[1] = 0.7
+	if err := ws.Validate(1e-9); err == nil {
+		t.Fatal("invalid probability sum accepted")
+	}
+	// Non-probabilistic sets validate trivially.
+	np := NewWorldSet(s)
+	np.Add(dbWith(t, s, "R", relation.Ints(1, 1)), 0)
+	if err := np.Validate(1e-9); err != nil {
+		t.Fatalf("non-probabilistic set rejected: %v", err)
+	}
+}
+
+func TestMaxCardinalities(t *testing.T) {
+	s := schemaR()
+	ws := NewWorldSet(s)
+	ws.Add(dbWith(t, s, "R", relation.Ints(1, 1), relation.Ints(2, 2)), 0)
+	ws.Add(dbWith(t, s, "R", relation.Ints(3, 3)), 0)
+	if got := ws.MaxCardinalities()["R"]; got != 2 {
+		t.Fatalf("|R|max = %d, want 2", got)
+	}
+}
+
+func TestInlineRoundtrip(t *testing.T) {
+	s := NewSchema(
+		RelSchema{Name: "R", Attrs: []string{"A", "B"}},
+		RelSchema{Name: "S", Attrs: []string{"C"}},
+	)
+	db := NewDatabase(s)
+	db.Rels["R"].Insert(relation.Ints(1, 2))
+	db.Rels["R"].Insert(relation.Ints(3, 4))
+	db.Rels["S"].Insert(relation.Ints(9))
+	maxCard := map[string]int{"R": 3, "S": 2}
+
+	wide, err := Inline(db, maxCard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) != 3*2+2*1 {
+		t.Fatalf("inline width = %d", len(wide))
+	}
+	back, err := InlineInverse(s, maxCard, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Equal(back) {
+		t.Fatalf("roundtrip lost data:\n%v\nvs\n%v", db, back)
+	}
+}
+
+func TestInlineOverflow(t *testing.T) {
+	s := schemaR()
+	db := dbWith(t, s, "R", relation.Ints(1, 1), relation.Ints(2, 2))
+	if _, err := Inline(db, map[string]int{"R": 1}); err == nil {
+		t.Fatal("overflow must error")
+	}
+}
+
+func TestInlineInverseErrors(t *testing.T) {
+	s := schemaR()
+	if _, err := InlineInverse(s, map[string]int{"R": 1}, relation.Ints(1)); err == nil {
+		t.Fatal("short tuple must error")
+	}
+	if _, err := InlineInverse(s, map[string]int{"R": 1}, relation.Ints(1, 2, 3)); err == nil {
+		t.Fatal("long tuple must error")
+	}
+}
+
+func TestWorldSetRelationRoundtrip(t *testing.T) {
+	s := schemaR()
+	rng := rand.New(rand.NewSource(3))
+	ws := NewWorldSet(s)
+	for w := 0; w < 12; w++ {
+		db := NewDatabase(s)
+		for i := 0; i < rng.Intn(4); i++ {
+			db.Rels["R"].Insert(relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3))))
+		}
+		ws.Add(db, 0)
+	}
+	wsr, maxCard, err := WorldSetRelation(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromWorldSetRelation(s, maxCard, wsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Equal(back, 0) {
+		t.Fatal("world-set relation roundtrip lost worlds")
+	}
+}
+
+func TestFieldName(t *testing.T) {
+	if got := FieldName("R", 2, "B"); got != "R.t2.B" {
+		t.Fatalf("FieldName = %q", got)
+	}
+}
+
+func TestQueryEval(t *testing.T) {
+	s := schemaR()
+	db := dbWith(t, s, "R",
+		relation.Ints(1, 10), relation.Ints(2, 20), relation.Ints(3, 30))
+
+	q := Select{Q: Base{"R"}, Pred: relation.Cmp("A", GEint(), 2)}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 2 {
+		t.Fatalf("select size = %d", res.Size())
+	}
+
+	pq := Project{Q: q, Attrs: []string{"B"}}
+	res, err = Eval(pq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 2 || !res.Contains(relation.Ints(20)) {
+		t.Fatalf("project got %v", res)
+	}
+
+	uq := Union{L: q, R: Select{Q: Base{"R"}, Pred: relation.Eq("A", 1)}}
+	res, err = Eval(uq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 3 {
+		t.Fatalf("union size = %d", res.Size())
+	}
+
+	dq := Difference{L: Base{"R"}, R: q}
+	res, err = Eval(dq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 1 || !res.Contains(relation.Ints(1, 10)) {
+		t.Fatalf("difference got %v", res)
+	}
+
+	rq := Rename{Q: Base{"R"}, Old: "A", New: "X"}
+	res, err = Eval(rq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schema().Has("X") {
+		t.Fatal("rename lost attribute")
+	}
+
+	xq := Product{L: rq, R: Rename{Q: Rename{Q: Base{"R"}, Old: "A", New: "C"}, Old: "B", New: "D"}}
+	res, err = Eval(xq, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size() != 9 {
+		t.Fatalf("product size = %d", res.Size())
+	}
+}
+
+// GEint avoids an import cycle on relation.GE in composite literals above.
+func GEint() relation.Op { return relation.GE }
+
+func TestQueryErrors(t *testing.T) {
+	s := schemaR()
+	db := NewDatabase(s)
+	if _, err := Eval(Base{"Z"}, db); err == nil {
+		t.Fatal("unknown relation must error")
+	}
+	if _, err := Eval(Union{L: Base{"R"}, R: Rename{Q: Base{"R"}, Old: "A", New: "X"}}, db); err == nil {
+		t.Fatal("union schema mismatch must error")
+	}
+	if _, err := (Product{L: Base{"R"}, R: Base{"R"}}).OutSchema(s); err == nil {
+		t.Fatal("self-product without rename must error")
+	}
+}
+
+func TestEvalWorldSet(t *testing.T) {
+	s := schemaR()
+	ws := NewWorldSet(s)
+	ws.Add(dbWith(t, s, "R", relation.Ints(1, 10)), 0.3)
+	ws.Add(dbWith(t, s, "R", relation.Ints(2, 20)), 0.7)
+	out, err := EvalWorldSet(Select{Q: Base{"R"}, Pred: relation.Eq("A", 1)}, ws, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 2 {
+		t.Fatalf("size = %d", out.Size())
+	}
+	if out.Worlds[0].Rel("P").Size() != 1 || out.Worlds[1].Rel("P").Size() != 0 {
+		t.Fatal("per-world results wrong")
+	}
+	if out.Probs[0] != 0.3 || out.Probs[1] != 0.7 {
+		t.Fatal("probabilities must carry over")
+	}
+}

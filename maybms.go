@@ -1,0 +1,260 @@
+// Package maybms is a self-contained Go implementation of world-set
+// decompositions (WSDs), the representation system for incomplete and
+// probabilistic information of
+//
+//	Antova, Koch, Olteanu:
+//	"10^(10^6) Worlds and Beyond: Efficient Representation and Processing
+//	of Incomplete Information" (ICDE 2007 / VLDB Journal),
+//
+// the research prototype that grew into the MayBMS system.
+//
+// The package is a facade: it re-exports the stable surface of the internal
+// packages so downstream users get one import path.
+//
+//   - WSD / WSDT / Component — the decomposition model (Section 3) and the
+//     relational algebra on decompositions (Section 4, Figure 9).
+//   - UWSDT — the uniform, fixed-schema encoding (Figure 8) with the
+//     Figure 16 selection.
+//   - Chase, FD, EGD — data cleaning (Section 8, Figure 24).
+//   - Conf, Possible, PossibleP — confidence computation (Section 6).
+//   - Normalize, DecomposeRelation — normalization (Section 7, Figure 20).
+//   - Store — the scalable columnar UWSDT engine behind the Section 9
+//     census experiments, with the workload generator in internal/census.
+package maybms
+
+import (
+	"maybms/internal/chase"
+	"maybms/internal/confidence"
+	"maybms/internal/core"
+	"maybms/internal/engine"
+	"maybms/internal/factor"
+	"maybms/internal/normalize"
+	"maybms/internal/orset"
+	"maybms/internal/relation"
+	"maybms/internal/tupleind"
+	"maybms/internal/uwsdt"
+	"maybms/internal/worlds"
+)
+
+// Decomposition model (internal/core).
+type (
+	// WSD is a world-set decomposition (Definition 1/2).
+	WSD = core.WSD
+	// WSDT is a WSD with template relations.
+	WSDT = core.WSDT
+	// Component is one factor of a decomposition.
+	Component = core.Component
+	// FieldRef identifies the Attr-field of tuple slot Tuple of relation Rel.
+	FieldRef = core.FieldRef
+	// Row is a local world of a component.
+	Row = core.Row
+	// Evaluator rewrites relational algebra queries to WSD operations.
+	Evaluator = core.Evaluator
+)
+
+// NewWSD creates an empty WSD over a schema with given maximum
+// cardinalities; NewComponent builds a component; FromDatabase lifts a
+// certain database; SplitTemplate extracts template relations.
+var (
+	NewWSD        = core.New
+	NewComponent  = core.NewComponent
+	FromDatabase  = core.FromDatabase
+	SplitTemplate = core.SplitTemplate
+	NewEvaluator  = core.NewEvaluator
+	Compose       = core.Compose
+)
+
+// Values and relational substrate (internal/relation).
+type (
+	// Value is a dynamically typed field value (int, string, ⊥, ?).
+	Value = relation.Value
+	// Tuple is an ordered list of values.
+	Tuple = relation.Tuple
+	// Relation is an in-memory set-semantics relation.
+	Relation = relation.Relation
+	// Op is a comparison operator θ.
+	Op = relation.Op
+	// Predicate is a selection condition.
+	Predicate = relation.Predicate
+)
+
+// Comparison operators.
+const (
+	EQ = relation.EQ
+	NE = relation.NE
+	LT = relation.LT
+	LE = relation.LE
+	GT = relation.GT
+	GE = relation.GE
+)
+
+// Value constructors and relation helpers.
+var (
+	Int         = relation.Int
+	Str         = relation.String
+	Bottom      = relation.Bottom
+	Placeholder = relation.Placeholder
+	NewSchema   = relation.NewSchema
+	NewRelation = relation.NewWith
+)
+
+// Predicate constructors: Attr θ c, Attr θ Attr, conjunction, disjunction,
+// negation.
+type (
+	// CmpConst is the atom Attr θ c.
+	CmpConst = relation.AttrConst
+	// CmpAttrs is the atom A θ B.
+	CmpAttrs = relation.AttrAttr
+	// AndP is a conjunction of predicates.
+	AndP = relation.And
+	// OrP is a disjunction of predicates.
+	OrP = relation.Or
+	// NotP negates a predicate.
+	NotP = relation.Not
+)
+
+// Eq and Cmp build integer comparison atoms.
+var (
+	Eq  = relation.Eq
+	Cmp = relation.Cmp
+)
+
+// Possible worlds (internal/worlds).
+type (
+	// Database is one possible world.
+	Database = worlds.Database
+	// WorldSet is a finite set of worlds with probability weights.
+	WorldSet = worlds.WorldSet
+	// DBSchema is a database schema Σ.
+	DBSchema = worlds.Schema
+	// RelSchema is one relation schema of Σ.
+	RelSchema = worlds.RelSchema
+	// Query is a relational algebra query AST.
+	Query = worlds.Query
+)
+
+// Query AST constructors.
+type (
+	// Base references a base relation.
+	Base = worlds.Base
+	// Select is σ.
+	Select = worlds.Select
+	// Project is π.
+	Project = worlds.Project
+	// ProductQ is ×.
+	ProductQ = worlds.Product
+	// UnionQ is ∪.
+	UnionQ = worlds.Union
+	// DifferenceQ is −.
+	DifferenceQ = worlds.Difference
+	// RenameQ is δ.
+	RenameQ = worlds.Rename
+)
+
+var (
+	NewDatabase  = worlds.NewDatabase
+	NewWorldSet  = worlds.NewWorldSet
+	NewDBSchema  = worlds.NewSchema
+	EvalPerWorld = worlds.EvalWorldSet
+)
+
+// Data cleaning (internal/chase).
+type (
+	// FD is a functional dependency.
+	FD = chase.FD
+	// EGD is a single-tuple equality-generating dependency.
+	EGD = chase.EGD
+	// DependencyAtom is one comparison of an EGD.
+	DependencyAtom = chase.Atom
+	// Dependency is a chaseable constraint.
+	Dependency = chase.Dependency
+)
+
+// Chase enforces dependencies on a WSD; ErrInconsistent signals an empty
+// world-set.
+var (
+	Chase            = chase.Chase
+	ErrInconsistent  = chase.ErrInconsistent
+	DependenciesHold = chase.HoldsAll
+)
+
+// Confidence computation (internal/confidence).
+type (
+	// TupleConf pairs a tuple with its confidence.
+	TupleConf = confidence.TupleConf
+)
+
+var (
+	Conf      = confidence.Conf
+	Possible  = confidence.Possible
+	PossibleP = confidence.PossibleP
+	Certain   = confidence.Certain
+)
+
+// Normalization (internal/normalize) and relation factorization
+// (internal/factor).
+var (
+	Normalize           = normalize.Normalize
+	Compress            = normalize.Compress
+	RemoveInvalidTuples = normalize.RemoveInvalidTuples
+	DecomposeWSD        = normalize.DecomposeComponents
+	DecomposeRelation   = factor.Decompose
+	ValidDecomposition  = factor.Valid
+)
+
+// Uniform encoding (internal/uwsdt).
+type (
+	// UWSDT is the fixed-schema C/F/W encoding with templates.
+	UWSDT = uwsdt.UWSDT
+	// UWSDTStats are the Figure 27 characteristics.
+	UWSDTStats = uwsdt.Stats
+)
+
+var (
+	UniformFromWSD  = uwsdt.FromWSD
+	UniformFromWSDT = uwsdt.FromWSDT
+)
+
+// Baselines.
+type (
+	// OrSetRelation is a relation with or-set fields.
+	OrSetRelation = orset.Relation
+	// OrSetField is one or-set field.
+	OrSetField = orset.Field
+	// TupleIndependentDB is a Dalvi–Suciu probabilistic database.
+	TupleIndependentDB = tupleind.DB
+	// TupleIndependentTable is one of its tables.
+	TupleIndependentTable = tupleind.Table
+)
+
+var (
+	NewOrSetRelation = orset.New
+	OrInts           = orset.OrInts
+	CertainField     = orset.Certain
+	NewTupleIndTable = tupleind.NewTable
+)
+
+// Scalable engine (internal/engine).
+type (
+	// Store is the columnar UWSDT engine.
+	Store = engine.Store
+	// StoreStats are per-relation representation statistics.
+	StoreStats = engine.Stats
+	// EnginePred is a predicate over template rows.
+	EnginePred = engine.Pred
+	// EngineEGD is an engine-level cleaning dependency.
+	EngineEGD = engine.EGD
+	// EngineAtom is one comparison of an engine-level dependency.
+	EngineAtom = engine.Atom
+)
+
+// Engine predicate constructors and options.
+var (
+	NewStore     = engine.NewStore
+	EngineEq     = engine.Eq
+	EngineNe     = engine.Ne
+	EngineGt     = engine.Gt
+	ChaseOptions = func(refined, assumeClean bool) engine.ChaseOptions {
+		return engine.ChaseOptions{Refined: refined, AssumeClean: assumeClean}
+	}
+)

@@ -1,0 +1,214 @@
+package maybms
+
+// End-to-end tests through the public facade: the API a downstream user
+// sees must carry the whole workflow — representation, cleaning, querying,
+// confidence — without reaching into internal packages.
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFacadeRunningExample(t *testing.T) {
+	forms := NewOrSetRelation("R", "S", "N", "M")
+	if err := forms.Add(OrInts(185, 785), CertainField(Str("Smith")), OrInts(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := forms.Add(OrInts(185, 186), CertainField(Str("Brown")), OrInts(1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if forms.NumWorlds() != 32 {
+		t.Fatalf("worlds = %g", forms.NumWorlds())
+	}
+	w, err := forms.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := FD{Rel: "R", LHS: []string{"S"}, RHS: []string{"N", "M"}}
+	if err := Chase(w, []Dependency{key}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Canonical()); got != 24 {
+		t.Fatalf("cleaned worlds = %d, want 24", got)
+	}
+	for _, db := range rep.Worlds {
+		if !DependenciesHold([]Dependency{key}, db) {
+			t.Fatal("surviving world violates the key")
+		}
+	}
+	if err := w.Project("Q", "R", "S"); err != nil {
+		t.Fatal(err)
+	}
+	poss, err := Possible(w, "Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poss.Size() != 3 {
+		t.Fatalf("possible answers = %d, want 3", poss.Size())
+	}
+}
+
+func TestFacadeProbabilisticPipeline(t *testing.T) {
+	// Probabilistic or-sets → WSD → query via the AST evaluator →
+	// confidences, all through public names.
+	r := NewOrSetRelation("R", "A", "B")
+	f := OrInts(1, 2)
+	f.Probs = []float64{0.25, 0.75}
+	if err := r.Add(f, OrInts(5, 6).Uniform()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Select{Q: Base{Rel: "R"}, Pred: Eq("A", 2)}
+	if err := NewEvaluator(w).Eval(q, "P"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Conf(w, "P", Tuple{Int(2), Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.75*0.5) > 1e-9 {
+		t.Fatalf("conf = %g, want 0.375", c)
+	}
+	certain, err := Certain(w, "R", Tuple{Int(1), Int(5)}, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certain {
+		t.Fatal("uncertain tuple reported certain")
+	}
+}
+
+func TestFacadeUniformEncoding(t *testing.T) {
+	r := NewOrSetRelation("R", "A")
+	if err := r.Add(OrInts(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := UniformFromWSD(w)
+	st := u.Stats()
+	if st.NumComp != 1 || st.CSize != 2 || st.RSize != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	back, err := u.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig, 1e-9) {
+		t.Fatal("uniform roundtrip changed the world-set")
+	}
+}
+
+func TestFacadeNormalizeAndFactor(t *testing.T) {
+	// DecomposeRelation on a full product.
+	rows := [][]Value{
+		{Int(0), Int(0)}, {Int(0), Int(1)}, {Int(1), Int(0)}, {Int(1), Int(1)},
+	}
+	blocks := DecomposeRelation(rows, 2)
+	if len(blocks) != 2 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if !ValidDecomposition(rows, blocks) {
+		t.Fatal("decomposition invalid")
+	}
+	// Normalize a WSD round-trip.
+	r := NewOrSetRelation("R", "A", "B")
+	if err := r.Add(OrInts(1, 2), OrInts(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Normalize(w)
+	after, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before, 1e-9) {
+		t.Fatal("normalization changed the world-set")
+	}
+}
+
+func TestFacadeChaseInconsistent(t *testing.T) {
+	r := NewOrSetRelation("R", "A", "B")
+	if err := r.Add(OrInts(1), OrInts(5)); err != nil {
+		t.Fatal(err)
+	}
+	w, err := r.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := EGD{
+		Rel:        "R",
+		Premise:    []DependencyAtom{{Attr: "A", Theta: EQ, Const: Int(1)}},
+		Conclusion: DependencyAtom{Attr: "B", Theta: NE, Const: Int(5)},
+	}
+	err = Chase(w, []Dependency{bad})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestFacadeEngineStore(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "B", []int32{3, 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("P", "R", EngineEq("B", 9)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats("P")
+	if st.RSize != 1 || st.NumComp != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFacadeChaseOptionsAndEngineChase(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 1}, {5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "B", []int32{5, 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	dep := EngineEGD{
+		Premise:    []EngineAtom{{Attr: "A", Theta: EQ, C: 1}},
+		Conclusion: EngineAtom{Attr: "B", Theta: NE, C: 9},
+	}
+	if err := s.ChaseEGDsOpt("R", []EngineEGD{dep}, ChaseOptions(true, true)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats("R")
+	if st.CSize != 1 {
+		t.Fatalf("|C| = %d after chase, want 1 (value 9 removed)", st.CSize)
+	}
+	// Engine predicates through the facade.
+	if _, err := s.Select("P", "R", EngineNe("A", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Select("P2", "R", EngineGt("B", 5)); err != nil {
+		t.Fatal(err)
+	}
+}
