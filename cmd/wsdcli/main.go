@@ -6,11 +6,22 @@
 // Usage:
 //
 //	wsdcli [-rows 100000] [-density 0.0001] [-seed 42] [-queries Q1,Q3] [-skip-chase]
+//	wsdcli -sql [-rows 10000] [-density 0.0001]          # interactive SQL REPL
+//	wsdcli -exec "SELECT CONF() FROM R WHERE YEARSCH = 17"
+//
+// With -sql the binary prepares (and optionally chases) the census relation
+// R and reads semicolon-terminated SQL statements from stdin; with -exec it
+// runs the given statements and exits. The accepted SQL subset — including
+// CONF(), POSSIBLE, CERTAIN and EXPLAIN — is documented on internal/sql.
+// REPL meta commands: \d lists relations, \stats REL prints representation
+// statistics, \q quits.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -18,6 +29,7 @@ import (
 	"maybms/internal/bench"
 	"maybms/internal/census"
 	"maybms/internal/engine"
+	"maybms/internal/sql"
 )
 
 func main() {
@@ -26,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	queries := flag.String("queries", strings.Join(census.QueryNames, ","), "queries to run")
 	skipChase := flag.Bool("skip-chase", false, "skip the data-cleaning chase")
+	sqlMode := flag.Bool("sql", false, "start an interactive SQL REPL over the census relation R")
+	exec := flag.String("exec", "", "execute the given semicolon-separated SQL statements and exit")
+	limit := flag.Int("limit", 20, "maximum tuples to decode and print per SQL result")
 	flag.Parse()
 
 	fmt.Printf("generating census relation: %d tuples × %d attributes, density %.3f%%\n",
@@ -44,6 +59,16 @@ func main() {
 		printStats(p.Store, "R", "after chase")
 	}
 
+	if *exec != "" {
+		runStatements(p.Store, strings.NewReader(*exec), *limit, false)
+		return
+	}
+	if *sqlMode {
+		fmt.Println("SQL REPL over relation R — end statements with ';', \\q quits")
+		runStatements(p.Store, os.Stdin, *limit, true)
+		return
+	}
+
 	for _, q := range strings.Split(*queries, ",") {
 		q = strings.TrimSpace(q)
 		if q == "" {
@@ -56,6 +81,169 @@ func main() {
 		fmt.Printf("%s evaluated in %s\n", q, time.Since(start).Round(time.Microsecond))
 		printStats(p.Store, res, "result")
 		p.Store.DropRelation(res)
+	}
+}
+
+// runStatements reads semicolon-terminated statements (and backslash meta
+// commands) and executes them against the store.
+func runStatements(s *engine.Store, in io.Reader, limit int, interactive bool) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			fmt.Print("sql> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if buf.Len() == 0 {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				prompt()
+				continue
+			}
+			if strings.HasPrefix(trimmed, "\\") {
+				if !meta(s, trimmed) {
+					return
+				}
+				prompt()
+				continue
+			}
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		for {
+			stmtText, rest, ok := splitStatement(buf.String())
+			if !ok {
+				break
+			}
+			buf.Reset()
+			if strings.TrimSpace(rest) != "" {
+				buf.WriteString(rest)
+			}
+			runOne(s, stmtText, limit)
+		}
+		if buf.Len() == 0 {
+			prompt()
+		} else if interactive {
+			fmt.Print("  -> ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdcli: reading input:", err)
+		return
+	}
+	// A trailing statement without ';' still runs (convenient for -exec).
+	if strings.TrimSpace(buf.String()) != "" {
+		runOne(s, buf.String(), limit)
+	}
+}
+
+// splitStatement cuts the input at the first semicolon outside quotes.
+func splitStatement(input string) (stmt, rest string, ok bool) {
+	inStr := false
+	for i := 0; i < len(input); i++ {
+		switch input[i] {
+		case '\'':
+			inStr = !inStr
+		case ';':
+			if !inStr {
+				return input[:i], input[i+1:], true
+			}
+		}
+	}
+	return "", input, false
+}
+
+// meta executes a backslash command; it returns false to quit.
+func meta(s *engine.Store, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\d":
+		for _, name := range s.Relations() {
+			r := s.Rel(name)
+			fmt.Printf("  %s(%s)  |R|=%d placeholders=%d\n",
+				name, strings.Join(r.Attrs, ", "), r.NumRows(), s.TotalPlaceholders(name))
+		}
+	case "\\stats":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\stats REL")
+			break
+		}
+		if s.Rel(fields[1]) == nil {
+			fmt.Printf("unknown relation %q\n", fields[1])
+			break
+		}
+		printStats(s, fields[1], "stats")
+	default:
+		fmt.Printf("unknown command %s (try \\d, \\stats REL, \\q)\n", fields[0])
+	}
+	return true
+}
+
+// runOne parses and executes a single statement, printing the result.
+func runOne(s *engine.Store, text string, limit int) {
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return
+	}
+	st, err := sql.Parse(text)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if st.Explain {
+		out, err := sql.ExplainStmt(s, st)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Print(out)
+		return
+	}
+	start := time.Now()
+	res, err := sql.ExecStmt(s, st, "sqlres")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	if res.Relation == "" {
+		// Across-world answers: tuples with confidences.
+		fmt.Printf("%s: %d tuples in %s\n", st.Mode, len(res.Tuples), elapsed)
+		fmt.Printf("  (%s)\n", strings.Join(res.Attrs, ", "))
+		for i, tc := range res.Tuples {
+			if i >= limit {
+				fmt.Printf("  ... %d more\n", len(res.Tuples)-limit)
+				break
+			}
+			if st.Mode == sql.ModeConf {
+				fmt.Printf("  %s  conf=%.6g\n", tc.Tuple, tc.Conf)
+			} else {
+				fmt.Printf("  %s\n", tc.Tuple)
+			}
+		}
+		return
+	}
+	defer s.DropRelation(res.Relation)
+	fmt.Printf("evaluated in %s\n", elapsed)
+	printStats(s, res.Relation, "result")
+	r := s.Rel(res.Relation)
+	if r.NumRows() <= limit && r.UncertainRows() == 0 {
+		fmt.Printf("  (%s)\n", strings.Join(res.Attrs, ", "))
+		for i := 0; i < r.NumRows(); i++ {
+			vals := make([]string, len(r.Attrs))
+			for a := range r.Attrs {
+				vals[a] = fmt.Sprint(r.Cols[a][i])
+			}
+			fmt.Printf("  (%s)\n", strings.Join(vals, ", "))
+		}
+	} else if r.NumRows() <= limit {
+		fmt.Println("  (result carries placeholders; use SELECT POSSIBLE or SELECT CONF() to decode)")
 	}
 }
 

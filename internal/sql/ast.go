@@ -1,0 +1,203 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"maybms/internal/relation"
+)
+
+// Stmt is one parsed statement.
+type Stmt struct {
+	// Explain marks an EXPLAIN statement.
+	Explain bool
+	// Mode is the across-world construct heading the query.
+	Mode Mode
+	// Query is the set-operation tree of selects.
+	Query Node
+}
+
+// Node is a query node: a select block or a set operation over two of them.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// SetOpKind discriminates set operations.
+type SetOpKind uint8
+
+// The set operations.
+const (
+	SetUnion SetOpKind = iota
+	SetExcept
+)
+
+// SetNode is L UNION R or L EXCEPT R (set semantics, per Figure 9).
+type SetNode struct {
+	Op   SetOpKind
+	L, R Node
+}
+
+func (SetNode) node() {}
+
+func (n SetNode) String() string {
+	op := "UNION"
+	if n.Op == SetExcept {
+		op = "EXCEPT"
+	}
+	return fmt.Sprintf("%s %s %s", n.L, op, n.R)
+}
+
+// SelectNode is one SELECT ... FROM ... WHERE ... block.
+type SelectNode struct {
+	// Star marks SELECT *; otherwise Items lists the projected columns.
+	Star  bool
+	Items []ColumnRef
+	From  []TableRef
+	// Where is the selection condition; nil means true.
+	Where Expr
+	// mode records a CONF()/POSSIBLE/CERTAIN head; the parser hoists the
+	// leftmost select's mode to the statement and rejects it elsewhere.
+	mode Mode
+}
+
+func (SelectNode) node() {}
+
+func (n SelectNode) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if n.mode == ModeConf {
+		b.WriteString("CONF()")
+	} else {
+		if n.mode != ModePlain {
+			b.WriteString(n.mode.String() + " ")
+		}
+		if n.Star {
+			b.WriteString("*")
+		} else {
+			parts := make([]string, len(n.Items))
+			for i, c := range n.Items {
+				parts[i] = c.String()
+			}
+			b.WriteString(strings.Join(parts, ", "))
+		}
+	}
+	b.WriteString(" FROM ")
+	parts := make([]string, len(n.From))
+	for i, t := range n.From {
+		parts[i] = t.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	if n.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(n.Where.String())
+	}
+	return b.String()
+}
+
+// TableRef is one FROM entry: a base relation with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string // empty = Name
+	off   int    // byte offset, for resolution errors
+}
+
+// Display returns the name the table is referenced by.
+func (t TableRef) Display() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" && t.Alias != t.Name {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// ColumnRef is a possibly table-qualified column reference.
+type ColumnRef struct {
+	Table  string // empty = unqualified
+	Column string
+	off    int
+}
+
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Expr is a boolean condition over one joined tuple.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// AndExpr is a conjunction.
+type AndExpr []Expr
+
+func (AndExpr) expr() {}
+
+func (e AndExpr) String() string { return joinExprs(e, " AND ") }
+
+// OrExpr is a disjunction.
+type OrExpr []Expr
+
+func (OrExpr) expr() {}
+
+func (e OrExpr) String() string { return "(" + joinExprs(e, " OR ") + ")" }
+
+// CmpExpr is the comparison L θ R.
+type CmpExpr struct {
+	L, R  Operand
+	Theta relation.Op
+}
+
+func (CmpExpr) expr() {}
+
+func (e CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.L, e.Theta, e.R)
+}
+
+// Operand is one side of a comparison: a column reference or a literal.
+type Operand struct {
+	// Col is non-nil for a column reference.
+	Col *ColumnRef
+	// Val is the literal value (int or string) when Col is nil.
+	Val relation.Value
+}
+
+// IsCol reports whether the operand is a column reference.
+func (o Operand) IsCol() bool { return o.Col != nil }
+
+func (o Operand) String() string {
+	if o.Col != nil {
+		return o.Col.String()
+	}
+	if o.Val.Kind() == relation.KindString {
+		return "'" + strings.ReplaceAll(o.Val.AsString(), "'", "''") + "'"
+	}
+	return o.Val.String()
+}
+
+func joinExprs(es []Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// String renders the statement.
+func (s *Stmt) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString(s.Query.String())
+	return b.String()
+}

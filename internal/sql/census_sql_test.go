@@ -1,0 +1,140 @@
+package sql
+
+import (
+	"testing"
+
+	"maybms/internal/bench"
+	"maybms/internal/census"
+	"maybms/internal/engine"
+)
+
+// CensusSQL expresses each Figure 29 query as a SQL string. Q5 is defined
+// over the materialized Q2 and Q3 results (named q2 and q3), mirroring the
+// paper and internal/census.
+var CensusSQL = map[string]string{
+	"Q1": "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0",
+	"Q2": "SELECT POWSTATE, CITIZEN, IMMIGR FROM R WHERE CITIZEN <> 0 AND ENGLISH > 3",
+	"Q3": "SELECT POWSTATE, MARITAL, FERTIL FROM R WHERE FERTIL > 4 AND MARITAL = 1 AND POWSTATE = POB",
+	"Q4": "SELECT * FROM R WHERE FERTIL = 1 AND (RSPOUSE = 1 OR RSPOUSE = 2)",
+	"Q5": "SELECT * FROM q2 AS a, q3 AS b WHERE a.POWSTATE > 50 AND b.POWSTATE > 50 AND a.POWSTATE = b.POWSTATE",
+	"Q6": "SELECT POWSTATE, POB FROM R WHERE ENGLISH = 3",
+}
+
+// runCensusSQL executes the SQL form of a Figure 29 query, materializing
+// res. Q5 computes its q2 and q3 inputs through the SQL frontend first and
+// drops them afterwards, like census.Run does.
+func runCensusSQL(t *testing.T, s *engine.Store, name, res string) *Result {
+	t.Helper()
+	if name == "Q5" {
+		for _, in := range []string{"Q2", "Q3"} {
+			tgt := map[string]string{"Q2": "q2", "Q3": "q3"}[in]
+			if _, err := Exec(s, CensusSQL[in], tgt); err != nil {
+				t.Fatalf("%s (input of Q5): %v", in, err)
+			}
+		}
+		defer s.DropRelation("q3")
+		defer s.DropRelation("q2")
+	}
+	r, err := Exec(s, CensusSQL[name], res)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return r
+}
+
+// TestCensusSQLStatsMatchHandBuilt is the acceptance check for the SQL
+// frontend: every Figure 29 query expressed in SQL produces, on the engine
+// store, byte-identical representation statistics to the hand-built
+// census.Run plan for the same seed.
+func TestCensusSQLStatsMatchHandBuilt(t *testing.T) {
+	p, err := bench.Prepare(3000, 0.004, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OrSets == 0 {
+		t.Fatal("prepared store has no or-sets; the comparison would be vacuous")
+	}
+	for _, name := range census.QueryNames {
+		hand := p.Store.Clone()
+		viaSQL := p.Store.Clone()
+		if err := census.Run(hand, name, "R", "res"); err != nil {
+			t.Fatalf("%s: hand-built: %v", name, err)
+		}
+		runCensusSQL(t, viaSQL, name, "res")
+		want := hand.Stats("res")
+		got := viaSQL.Stats("res")
+		if got != want {
+			t.Fatalf("%s: SQL stats %+v diverge from hand-built %+v", name, got, want)
+		}
+		if err := viaSQL.Validate(1e-9); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestCensusSQLStatsMatchAfterChase repeats the comparison on a chased
+// store, the state the Section 9 experiments query.
+func TestCensusSQLStatsMatchAfterChase(t *testing.T) {
+	p, err := bench.Prepare(2000, 0.004, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range census.QueryNames {
+		hand := p.Store.Clone()
+		viaSQL := p.Store.Clone()
+		if err := census.Run(hand, name, "R", "res"); err != nil {
+			t.Fatalf("%s: hand-built: %v", name, err)
+		}
+		runCensusSQL(t, viaSQL, name, "res")
+		if got, want := viaSQL.Stats("res"), hand.Stats("res"); got != want {
+			t.Fatalf("%s: SQL stats %+v diverge from hand-built %+v", name, got, want)
+		}
+	}
+}
+
+// TestCensusSQLAgainstOracle closes the loop on a tiny store: the SQL
+// frontend on the engine must agree with naive per-world evaluation of the
+// same SQL for each single-relation Figure 29 query.
+func TestCensusSQLAgainstOracle(t *testing.T) {
+	for _, name := range []string{"Q1", "Q2", "Q3", "Q4", "Q6"} {
+		// Keep the noise low: per-world evaluation enumerates the product of
+		// all or-set sizes, so a handful of or-sets is already thousands of
+		// worlds.
+		s, err := census.NewStore("R", 30, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := census.AddNoise(s, "R", 0.002, 4); err != nil {
+			t.Fatal(err)
+		}
+		w, err := s.ToWSD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := w.Rep(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Parse(CensusSQL[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := ExecWorlds(st, ws, "P")
+		if err != nil {
+			t.Fatalf("%s: per-world: %v", name, err)
+		}
+		if _, err := Exec(s, CensusSQL[name], "P"); err != nil {
+			t.Fatalf("%s: engine: %v", name, err)
+		}
+		got, err := s.RepRelation("P", 1<<22)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(want.WorldSet, 1e-9) {
+			t.Fatalf("%s: engine SQL result diverges from per-world SQL result", name)
+		}
+	}
+}

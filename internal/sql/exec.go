@@ -1,0 +1,157 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/confidence"
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// certainEps is the tolerance under which a confidence counts as 1.
+const certainEps = 1e-9
+
+// Exec parses and executes one statement against the engine store. A plain
+// query materializes its result as relation res (the caller owns dropping
+// it); CONF()/POSSIBLE/CERTAIN queries materialize nothing and return their
+// answers in Result.Tuples, computed by handing the query result to
+// internal/confidence through the store's WSD bridge. EXPLAIN statements are
+// rejected; use Explain.
+func Exec(s *engine.Store, input, res string) (*Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
+	}
+	return ExecStmt(s, st, res)
+}
+
+// ExecStmt executes a parsed statement against the engine store.
+func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
+	target := res
+	if st.Mode != ModePlain {
+		// The across-world modes read the materialized result through the
+		// WSD bridge and then discard it.
+		target = res + "\x00mode"
+	}
+	plan, err := PlanEngine(st, s, target)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Run(s); err != nil {
+		return nil, err
+	}
+	plan.DropTemps(s)
+	out := &Result{Mode: st.Mode, Attrs: plan.OutAttrs}
+	if st.Mode == ModePlain {
+		out.Relation = res
+		out.Stats = s.Stats(res)
+		return out, nil
+	}
+	defer s.DropRelation(target)
+	w, err := s.ToWSD()
+	if err != nil {
+		return nil, err
+	}
+	tcs, err := confidence.PossibleP(w, target)
+	if err != nil {
+		return nil, err
+	}
+	if st.Mode == ModeCertain {
+		kept := tcs[:0]
+		for _, tc := range tcs {
+			if tc.Conf >= 1-certainEps {
+				kept = append(kept, tc)
+			}
+		}
+		tcs = kept
+	}
+	out.Tuples = tcs
+	return out, nil
+}
+
+// ExecWorlds executes a parsed statement under the per-world reference
+// semantics: the query is evaluated in every world of ws, and the mode is
+// applied across the resulting world-set. For non-probabilistic world-sets
+// CONF() fails, POSSIBLE reports Conf 0, and CERTAIN keeps the tuples
+// present in every world.
+func ExecWorlds(st *Stmt, ws *worlds.WorldSet, result string) (*Result, error) {
+	if st.Explain {
+		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
+	}
+	q, err := PlanWorlds(st, ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := q.OutSchema(ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	evaluated, err := worlds.EvalWorldSet(q, ws, result)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Mode: st.Mode, Attrs: outSchema.Attrs()}
+	if st.Mode == ModePlain {
+		out.WorldSet = evaluated
+		return out, nil
+	}
+	prob := evaluated.Probabilistic()
+	if st.Mode == ModeConf && !prob {
+		return nil, fmt.Errorf("sql: CONF() requires a probabilistic world-set")
+	}
+	type acc struct {
+		tuple relation.Tuple
+		conf  float64
+		n     int // worlds containing the tuple
+	}
+	sums := make(map[string]*acc)
+	for i, w := range evaluated.Worlds {
+		r := w.Rel(result)
+		for _, t := range r.Tuples() {
+			k := t.Key()
+			a := sums[k]
+			if a == nil {
+				a = &acc{tuple: t}
+				sums[k] = a
+			}
+			a.conf += evaluated.Probs[i]
+			a.n++
+		}
+	}
+	var tcs []confidence.TupleConf
+	for _, a := range sums {
+		if st.Mode == ModeCertain {
+			if prob && a.conf < 1-certainEps {
+				continue
+			}
+			if !prob && a.n < evaluated.Size() {
+				continue
+			}
+		}
+		tcs = append(tcs, confidence.TupleConf{Tuple: a.tuple, Conf: a.conf})
+	}
+	sort.Slice(tcs, func(i, j int) bool {
+		return lessTuple(tcs[i].Tuple, tcs[j].Tuple)
+	})
+	out.Tuples = tcs
+	return out, nil
+}
+
+// lessTuple orders tuples by element-wise value comparison, the canonical
+// order confidence.PossibleP sorts by.
+func lessTuple(a, b relation.Tuple) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := relation.Compare(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}

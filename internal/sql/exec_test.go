@@ -1,0 +1,235 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"maybms/internal/engine"
+	"maybms/internal/worlds"
+)
+
+// tinyStore builds a two-relation uncertain store small enough to enumerate
+// every world: R(A, B) with two placeholders, S(C, D) with one.
+func tinyStore(t *testing.T) *engine.Store {
+	t.Helper()
+	s := engine.NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2, 3}, {10, 20, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "A", []int32{1, 2}, []float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 2, "B", []int32{30, 40, 50}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRelation("S", []string{"C", "D"}, [][]int32{{1, 2}, {7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("S", 1, "C", []int32{2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// worldSetOf enumerates the store as an explicit world-set.
+func worldSetOf(t *testing.T, s *engine.Store) *worlds.WorldSet {
+	t.Helper()
+	w, err := s.ToWSD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := w.Rep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// TestEngineAgreesWithPerWorld runs every plain query on both paths — the
+// native engine operators and naive per-world evaluation — and compares the
+// resulting world-sets.
+func TestEngineAgreesWithPerWorld(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM R",
+		"SELECT * FROM R WHERE A = 1",
+		"SELECT * FROM R WHERE A = 1 OR B > 25",
+		"SELECT B FROM R WHERE A <= 2 AND B < 45",
+		"SELECT A FROM R WHERE A = B",
+		"SELECT * FROM R WHERE A = 2 AND (B = 20 OR B = 40)",
+		"SELECT * FROM R, S WHERE A = C",
+		"SELECT * FROM R AS x, S AS y WHERE x.A = y.C AND y.D > 7",
+		"SELECT x.A, y.D FROM R AS x, S AS y WHERE x.A = y.C",
+		"SELECT * FROM R a, S b",
+		"SELECT A FROM R WHERE A = 1 UNION SELECT A FROM R WHERE A = 2",
+		"SELECT B FROM R WHERE B >= 30 UNION SELECT B FROM R WHERE A = 2",
+	}
+	for _, q := range queries {
+		s := tinyStore(t)
+		ws := worldSetOf(t, s)
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := ExecWorlds(st, ws, "P")
+		if err != nil {
+			t.Fatalf("%s: per-world: %v", q, err)
+		}
+		res, err := Exec(s, q, "P")
+		if err != nil {
+			t.Fatalf("%s: engine: %v", q, err)
+		}
+		if err := s.Validate(1e-9); err != nil {
+			t.Fatalf("%s: store invalid after exec: %v", q, err)
+		}
+		if !sameAttrs(res.Attrs, want.Attrs) {
+			t.Fatalf("%s: attrs diverge: engine %v, per-world %v", q, res.Attrs, want.Attrs)
+		}
+		got, err := s.RepRelation("P", 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if !got.Equal(want.WorldSet, 1e-9) {
+			t.Fatalf("%s: engine result diverges from per-world evaluation (%d vs %d distinct worlds)",
+				q, len(got.Canonical()), len(want.WorldSet.Canonical()))
+		}
+		s.DropRelation("P")
+	}
+}
+
+// TestExceptPerWorldOnly checks that EXCEPT evaluates per world and is
+// rejected with a clear error on the engine path.
+func TestExceptPerWorldOnly(t *testing.T) {
+	const q = "SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > 15"
+	s := tinyStore(t)
+	ws := worldSetOf(t, s)
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExecWorlds(st, ws, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.WorldSet.Size() == 0 {
+		t.Fatal("per-world EXCEPT evaluated to no worlds")
+	}
+	if _, err := Exec(s, q, "P"); err == nil || !strings.Contains(err.Error(), "EXCEPT") {
+		t.Fatalf("engine EXCEPT error = %v, want unsupported", err)
+	}
+}
+
+// TestConfAgreement compares CONF()/POSSIBLE/CERTAIN answers across paths.
+func TestConfAgreement(t *testing.T) {
+	queries := []string{
+		"SELECT CONF() FROM R WHERE A = 2",
+		"SELECT CONF() FROM R WHERE B > 25",
+		"SELECT CONF() FROM R, S WHERE A = C",
+		"SELECT POSSIBLE B FROM R",
+		"SELECT CERTAIN B FROM R WHERE B <= 30",
+		"SELECT CERTAIN A, B FROM R",
+	}
+	for _, q := range queries {
+		s := tinyStore(t)
+		ws := worldSetOf(t, s)
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := ExecWorlds(st, ws, "P")
+		if err != nil {
+			t.Fatalf("%s: per-world: %v", q, err)
+		}
+		got, err := Exec(s, q, "P")
+		if err != nil {
+			t.Fatalf("%s: engine: %v", q, err)
+		}
+		if len(got.Tuples) != len(want.Tuples) {
+			t.Fatalf("%s: %d tuples on engine path, %d per world", q, len(got.Tuples), len(want.Tuples))
+		}
+		for i := range got.Tuples {
+			if !got.Tuples[i].Tuple.Equal(want.Tuples[i].Tuple) {
+				t.Fatalf("%s: tuple %d: %v vs %v", q, i, got.Tuples[i].Tuple, want.Tuples[i].Tuple)
+			}
+			if math.Abs(got.Tuples[i].Conf-want.Tuples[i].Conf) > 1e-9 {
+				t.Fatalf("%s: conf of %v: %g vs %g", q, got.Tuples[i].Tuple, got.Tuples[i].Conf, want.Tuples[i].Conf)
+			}
+		}
+		// The across-world modes must leave no result relations behind.
+		if got.Relation != "" || s.Rel("P") != nil {
+			t.Fatalf("%s: mode query left relation %q in the store", q, got.Relation)
+		}
+	}
+}
+
+// TestPlanErrors sweeps resolution and planning failures.
+func TestPlanErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"SELECT * FROM Nope", "unknown relation"},
+		{"SELECT Z FROM R", "unknown column"},
+		{"SELECT * FROM R WHERE Z = 1", "unknown column"},
+		{"SELECT * FROM R WHERE q.A = 1", "unknown table"},
+		{"SELECT * FROM R WHERE R.Z = 1", "no attribute"},
+		{"SELECT * FROM R AS x, R AS y WHERE A = 1", "ambiguous"},
+		{"SELECT * FROM R, R", "duplicate table name"},
+		{"SELECT A, A FROM R", "duplicate column"},
+		{"SELECT A FROM R UNION SELECT * FROM S", "UNION schema mismatch"},
+		{"SELECT A FROM R UNION SELECT C, D FROM S", "UNION schema mismatch"},
+		{"SELECT * FROM R WHERE A = 'one'", "integer codes only"},
+		{"SELECT * FROM R WHERE A = 3000000000", "overflows"},
+	}
+	for _, c := range cases {
+		s := tinyStore(t)
+		_, err := Exec(s, c.in, "P")
+		if err == nil {
+			t.Errorf("Exec(%q) succeeded, want error containing %q", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Exec(%q) error %q, want substring %q", c.in, err, c.wantSub)
+		}
+		// Failed plans must not leak relations into the store.
+		for _, rel := range s.Relations() {
+			if rel != "R" && rel != "S" {
+				t.Errorf("Exec(%q) leaked relation %q", c.in, rel)
+			}
+		}
+	}
+}
+
+// TestPlainResultMaterialization checks the plain-path contract: the result
+// exists under the requested name, temps are gone, stats are filled.
+func TestPlainResultMaterialization(t *testing.T) {
+	s := tinyStore(t)
+	res, err := Exec(s, "SELECT B FROM R WHERE A = 1", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relation != "out" || s.Rel("out") == nil {
+		t.Fatalf("result relation %q missing", res.Relation)
+	}
+	if got := s.Rel("out").Attrs; len(got) != 1 || got[0] != "B" {
+		t.Fatalf("result attrs = %v", got)
+	}
+	if res.Stats.RSize != s.Stats("out").RSize {
+		t.Fatalf("stats mismatch")
+	}
+	for _, rel := range s.Relations() {
+		if rel != "R" && rel != "S" && rel != "out" {
+			t.Fatalf("temp relation %q leaked", rel)
+		}
+	}
+	// A bare base query still materializes a fresh copy.
+	if _, err := Exec(s, "SELECT * FROM S", "copy"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rel("copy") == nil {
+		t.Fatal("bare SELECT * did not materialize a copy")
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/sqlrewrite"
+)
+
+// TestExplainGoldenSelectConst asserts that EXPLAIN of a constant selection
+// emits exactly the Figure 16 rewriting sqlrewrite generates for the same
+// algebra operation — the frontend and the documented SQL stay in lockstep.
+func TestExplainGoldenSelectConst(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "EXPLAIN SELECT * FROM R WHERE A = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sqlrewrite.SelectConst("P", "R", []string{"A", "B"}, "A", relation.EQ, 1).String()
+	if !strings.Contains(got, want) {
+		t.Fatalf("EXPLAIN output does not embed the Figure 16 rewriting.\n--- got ---\n%s\n--- want embedded ---\n%s", got, want)
+	}
+}
+
+// TestExplainGoldenConjunction checks that a conjunction chains one
+// Figure 16 script per constant atom through an intermediate result.
+func TestExplainGoldenConjunction(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "SELECT * FROM R WHERE A = 1 AND B > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []string{"A", "B"}
+	first := sqlrewrite.SelectConst("P~σ1", "R", attrs, "A", relation.EQ, 1).String()
+	second := sqlrewrite.SelectConst("P", "P~σ1", attrs, "B", relation.GT, 15).String()
+	for _, want := range []string{first, second} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("EXPLAIN missing chained rewriting.\n--- got ---\n%s\n--- want embedded ---\n%s", got, want)
+		}
+	}
+}
+
+// TestExplainGoldenProjectAndAttrSelect covers the PL/SQL note stubs for π
+// and σ(AθB).
+func TestExplainGoldenProjectAndAttrSelect(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "SELECT B FROM R WHERE A = B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrNote := sqlrewrite.SelectAttrNote("P~s1", "R", "A", relation.EQ, "B").String()
+	projNote := sqlrewrite.ProjectNote("P", "P~s1", []string{"B"}).String()
+	for _, want := range []string{attrNote, projNote} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("EXPLAIN missing note rewriting.\n--- got ---\n%s\n--- want embedded ---\n%s", got, want)
+		}
+	}
+}
+
+// TestExplainGoldenUnion checks the union rewriting with the |R|max slot
+// offset taken from the left input's template size.
+func TestExplainGoldenUnion(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "SELECT A FROM R UNION SELECT A FROM R WHERE A = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both branches project to [A]; the left branch keeps R's 3 template
+	// rows, so the union offsets right slot ids by 3.
+	if !strings.Contains(got, "tid + 3") {
+		t.Fatalf("EXPLAIN union missing |R|max offset 3:\n%s", got)
+	}
+	if !strings.Contains(got, "T := ") || !strings.Contains(got, " ∪ ") {
+		t.Fatalf("EXPLAIN union missing the sqlrewrite union header:\n%s", got)
+	}
+}
+
+// TestExplainGoldenJoin checks that an equi-join renders as the product
+// rewriting plus the σ(AθB) note, with the slot arithmetic of Figure 9.
+func TestExplainGoldenJoin(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "SELECT * FROM R x, S y WHERE x.A = y.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "×") {
+		t.Fatalf("EXPLAIN join missing product rewriting:\n%s", got)
+	}
+	if !strings.Contains(got, "x.A = y.C") {
+		t.Fatalf("EXPLAIN join missing equality selection over qualified attributes:\n%s", got)
+	}
+	// The disjunction stub of sqlrewrite must be used for OR conditions.
+	got2, err := Explain(s, "SELECT * FROM R WHERE A = 1 OR A = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orNote := sqlrewrite.SelectOrNote("P", "R", "(A=1 ∨ A=2)").String()
+	if !strings.Contains(got2, orNote) {
+		t.Fatalf("EXPLAIN OR missing SelectOrNote.\n--- got ---\n%s\n--- want embedded ---\n%s", got2, orNote)
+	}
+}
+
+// TestExplainMode notes the across-world construct above the plan.
+func TestExplainMode(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "SELECT CONF() FROM R WHERE A = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "CONF() applies across worlds") {
+		t.Fatalf("EXPLAIN missing the mode note:\n%s", got)
+	}
+}

@@ -1,0 +1,173 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"maybms/internal/relation"
+)
+
+// tokKind discriminates lexer tokens.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword // normalized to upper case in text
+	tkNumber
+	tkString
+	tkOp // comparison operator; theta holds the relation.Op
+	tkStar
+	tkComma
+	tkDot
+	tkLParen
+	tkRParen
+	tkSemi
+	tkMinus
+)
+
+// token is one lexeme with its byte offset (for error messages).
+type token struct {
+	kind  tokKind
+	text  string
+	theta relation.Op
+	off   int
+}
+
+// keywords of the subset; identifiers matching one case-insensitively are
+// normalized to upper case and tagged tkKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"UNION": true, "EXCEPT": true, "AS": true, "EXPLAIN": true,
+	"CONF": true, "POSSIBLE": true, "CERTAIN": true,
+}
+
+// lex tokenizes the whole input. Errors carry the byte offset.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tkStar, text: "*", off: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tkComma, text: ",", off: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tkDot, text: ".", off: i})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tkLParen, text: "(", off: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tkRParen, text: ")", off: i})
+			i++
+		case c == ';':
+			toks = append(toks, token{kind: tkSemi, text: ";", off: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tkMinus, text: "-", off: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tkOp, text: "=", theta: relation.EQ, off: i})
+			i++
+		case c == '!':
+			if i+1 >= len(input) || input[i+1] != '=' {
+				return nil, fmt.Errorf("sql: offset %d: unexpected %q (did you mean !=?)", i, "!")
+			}
+			toks = append(toks, token{kind: tkOp, text: "!=", theta: relation.NE, off: i})
+			i += 2
+		case c == '<':
+			switch {
+			case i+1 < len(input) && input[i+1] == '>':
+				toks = append(toks, token{kind: tkOp, text: "<>", theta: relation.NE, off: i})
+				i += 2
+			case i+1 < len(input) && input[i+1] == '=':
+				toks = append(toks, token{kind: tkOp, text: "<=", theta: relation.LE, off: i})
+				i += 2
+			default:
+				toks = append(toks, token{kind: tkOp, text: "<", theta: relation.LT, off: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{kind: tkOp, text: ">=", theta: relation.GE, off: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tkOp, text: ">", theta: relation.GT, off: i})
+				i++
+			}
+		case c == '\'':
+			s, n, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tkString, text: s, off: i})
+			i = n
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tkNumber, text: input[i:j], off: i})
+			i = j
+		default:
+			r, size := utf8.DecodeRuneInString(input[i:])
+			if !isIdentStart(r) {
+				return nil, fmt.Errorf("sql: offset %d: unexpected character %q", i, string(r))
+			}
+			j := i + size
+			for j < len(input) {
+				r, size := utf8.DecodeRuneInString(input[j:])
+				if !isIdentPart(r) {
+					break
+				}
+				j += size
+			}
+			word := input[i:j]
+			if up := strings.ToUpper(word); keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up, off: i})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word, off: i})
+			}
+			i = j
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, text: "end of input", off: len(input)})
+	return toks, nil
+}
+
+// lexString scans a single-quoted literal starting at input[start] == '\”,
+// with ” as the quote escape. It returns the unescaped value and the offset
+// past the closing quote.
+func lexString(input string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(input) {
+		if input[i] == '\'' {
+			if i+1 < len(input) && input[i+1] == '\'' {
+				b.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return b.String(), i + 1, nil
+		}
+		b.WriteByte(input[i])
+		i++
+	}
+	return "", 0, fmt.Errorf("sql: offset %d: unterminated string literal", start)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

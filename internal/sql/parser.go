@@ -1,0 +1,315 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"maybms/internal/relation"
+)
+
+// Parse parses one statement of the subset grammar (see the package
+// comment). A trailing semicolon is optional; anything after it is an error.
+func Parse(input string) (*Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tkSemi {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tkEOF {
+		return nil, p.errorf(t, "expected end of statement, found %q", t.text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tkEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("sql: offset %d: %s", t.off, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tkKeyword || t.text != kw {
+		return p.errorf(t, "expected %s, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) statement() (*Stmt, error) {
+	st := &Stmt{}
+	if t := p.peek(); t.kind == tkKeyword && t.text == "EXPLAIN" {
+		p.next()
+		st.Explain = true
+	}
+	first, err := p.selectBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Mode = first.mode
+	var q Node = first
+	for {
+		t := p.peek()
+		if t.kind != tkKeyword || (t.text != "UNION" && t.text != "EXCEPT") {
+			break
+		}
+		p.next()
+		op := SetUnion
+		if t.text == "EXCEPT" {
+			op = SetExcept
+		}
+		right, err := p.selectBlock()
+		if err != nil {
+			return nil, err
+		}
+		if right.mode != ModePlain {
+			return nil, p.errorf(t, "%s is only allowed on the leftmost SELECT of a statement", right.mode)
+		}
+		q = SetNode{Op: op, L: q, R: right}
+	}
+	st.Query = q
+	return st, nil
+}
+
+func (p *parser) selectBlock() (*SelectNode, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectNode{}
+	switch t := p.peek(); {
+	case t.kind == tkKeyword && t.text == "CONF":
+		p.next()
+		if t := p.next(); t.kind != tkLParen {
+			return nil, p.errorf(t, "expected ( after CONF, found %q", t.text)
+		}
+		if t := p.next(); t.kind != tkRParen {
+			return nil, p.errorf(t, "expected ) after CONF(, found %q", t.text)
+		}
+		sel.mode = ModeConf
+		sel.Star = true
+	case t.kind == tkKeyword && (t.text == "POSSIBLE" || t.text == "CERTAIN"):
+		p.next()
+		if t.text == "POSSIBLE" {
+			sel.mode = ModePossible
+		} else {
+			sel.mode = ModeCertain
+		}
+		if err := p.itemList(sel); err != nil {
+			return nil, err
+		}
+	default:
+		if err := p.itemList(sel); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if p.peek().kind != tkComma {
+			break
+		}
+		p.next()
+	}
+	if t := p.peek(); t.kind == tkKeyword && t.text == "WHERE" {
+		p.next()
+		e, err := p.disjunction()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	return sel, nil
+}
+
+func (p *parser) itemList(sel *SelectNode) error {
+	if p.peek().kind == tkStar {
+		p.next()
+		sel.Star = true
+		return nil
+	}
+	for {
+		c, err := p.columnRef()
+		if err != nil {
+			return err
+		}
+		sel.Items = append(sel.Items, c)
+		if p.peek().kind != tkComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tkIdent {
+		return TableRef{}, p.errorf(t, "expected relation name, found %q", t.text)
+	}
+	tr := TableRef{Name: t.text, off: t.off}
+	if a := p.peek(); a.kind == tkKeyword && a.text == "AS" {
+		p.next()
+		al := p.next()
+		if al.kind != tkIdent {
+			return TableRef{}, p.errorf(al, "expected alias after AS, found %q", al.text)
+		}
+		tr.Alias = al.text
+	} else if a.kind == tkIdent {
+		p.next()
+		tr.Alias = a.text
+	}
+	return tr, nil
+}
+
+func (p *parser) columnRef() (ColumnRef, error) {
+	t := p.next()
+	if t.kind != tkIdent {
+		return ColumnRef{}, p.errorf(t, "expected column name, found %q", t.text)
+	}
+	c := ColumnRef{Column: t.text, off: t.off}
+	if p.peek().kind == tkDot {
+		p.next()
+		a := p.next()
+		if a.kind != tkIdent {
+			return ColumnRef{}, p.errorf(a, "expected column name after %q., found %q", t.text, a.text)
+		}
+		c.Table, c.Column = t.text, a.text
+	}
+	return c, nil
+}
+
+func (p *parser) disjunction() (Expr, error) {
+	first, err := p.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	out := OrExpr{first}
+	for {
+		t := p.peek()
+		if t.kind != tkKeyword || t.text != "OR" {
+			break
+		}
+		p.next()
+		e, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 1 {
+		return out[0], nil
+	}
+	return out, nil
+}
+
+func (p *parser) conjunction() (Expr, error) {
+	first, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	out := AndExpr{first}
+	for {
+		t := p.peek()
+		if t.kind != tkKeyword || t.text != "AND" {
+			break
+		}
+		p.next()
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 1 {
+		return out[0], nil
+	}
+	return out, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	if p.peek().kind == tkLParen {
+		p.next()
+		e, err := p.disjunction()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.next(); t.kind != tkRParen {
+			return nil, p.errorf(t, "expected ), found %q", t.text)
+		}
+		return e, nil
+	}
+	l, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tkOp {
+		return nil, p.errorf(t, "expected comparison operator, found %q", t.text)
+	}
+	r, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	if !l.IsCol() && !r.IsCol() {
+		return nil, p.errorf(t, "comparison must reference at least one column")
+	}
+	return CmpExpr{L: l, R: r, Theta: t.theta}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	switch t := p.peek(); t.kind {
+	case tkIdent:
+		c, err := p.columnRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: &c}, nil
+	case tkNumber, tkMinus:
+		neg := false
+		if t.kind == tkMinus {
+			p.next()
+			neg = true
+			if p.peek().kind != tkNumber {
+				return Operand{}, p.errorf(p.peek(), "expected number after -, found %q", p.peek().text)
+			}
+		}
+		n := p.next()
+		v, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil {
+			return Operand{}, p.errorf(n, "bad integer literal %q", n.text)
+		}
+		if neg {
+			v = -v
+		}
+		return Operand{Val: relation.Int(v)}, nil
+	case tkString:
+		p.next()
+		return Operand{Val: relation.String(t.text)}, nil
+	default:
+		return Operand{}, p.errorf(t, "expected column, number or string, found %q", t.text)
+	}
+}

@@ -1,0 +1,102 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // rendered statement
+	}{
+		{"select * from R", "SELECT * FROM R"},
+		{"SELECT A, B FROM R;", "SELECT A, B FROM R"},
+		{"SELECT a.X FROM R AS a, S b WHERE a.X = b.Y", "SELECT a.X FROM R AS a, S AS b WHERE a.X = b.Y"},
+		{"SELECT * FROM R WHERE A = 1 AND (B = 2 OR B = 3)", "SELECT * FROM R WHERE A = 1 AND (B = 2 OR B = 3)"},
+		{"SELECT * FROM R WHERE A <> -5", "SELECT * FROM R WHERE A != -5"},
+		{"SELECT * FROM R WHERE N = 'O''Brien'", "SELECT * FROM R WHERE N = 'O''Brien'"},
+		{"SELECT CONF() FROM R WHERE A = 1", "SELECT CONF() FROM R WHERE A = 1"},
+		{"SELECT POSSIBLE A FROM R", "SELECT POSSIBLE A FROM R"},
+		{"SELECT certain A FROM R", "SELECT CERTAIN A FROM R"},
+		{"EXPLAIN SELECT * FROM R WHERE A = 1", "EXPLAIN SELECT * FROM R WHERE A = 1"},
+		{"SELECT A FROM R UNION SELECT A FROM S", "SELECT A FROM R UNION SELECT A FROM S"},
+		{"SELECT A FROM R EXCEPT SELECT A FROM S", "SELECT A FROM R EXCEPT SELECT A FROM S"},
+		{"SELECT * FROM R WHERE 1 < A", "SELECT * FROM R WHERE 1 < A"},
+		{"SELECT Größe FROM Maße", "SELECT Größe FROM Maße"},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := st.String(); got != c.want {
+			t.Errorf("Parse(%q) renders %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseModeHoisting(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"SELECT CONF() FROM R":     ModeConf,
+		"SELECT POSSIBLE * FROM R": ModePossible,
+		"SELECT CERTAIN * FROM R":  ModeCertain,
+		"SELECT * FROM R":          ModePlain,
+	} {
+		st, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if st.Mode != want {
+			t.Errorf("Parse(%q).Mode = %v, want %v", in, st.Mode, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "expected column name"},
+		{"SELECT * FROM", "expected relation name"},
+		{"SELECT * FROM R WHERE", "expected column, number or string"},
+		{"SELECT * FROM R WHERE A", "expected comparison operator"},
+		{"SELECT * FROM R WHERE A = ", "expected column, number or string"},
+		{"SELECT * FROM R WHERE A = 'x", "unterminated string literal"},
+		{"SELECT * FROM R WHERE 'a' = 'b'", "at least one column"},
+		{"SELECT * FROM R WHERE A = 1 garbage", "expected end of statement"},
+		{"SELECT * FROM R; SELECT * FROM S", "expected end of statement"},
+		{"SELECT * FROM R WHERE A # 1", "unexpected character"},
+		{"SELECT € FROM R", "unexpected character \"€\""},
+		{"SELECT * FROM R WHERE (A = 1", "expected )"},
+		{"SELECT CONF FROM R", "expected ( after CONF"},
+		{"SELECT A FROM R UNION SELECT POSSIBLE A FROM S", "leftmost SELECT"},
+		{"SELECT A FROM R UNION SELECT CONF() FROM S", "leftmost SELECT"},
+		{"SELECT * FROM R AS", "expected alias after AS"},
+		{"SELECT R. FROM R", "expected column name after"},
+		{"SELECT * FROM R WHERE A = !", "did you mean !="},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexOffsets(t *testing.T) {
+	toks, err := lex("SELECT *\nFROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].text != "FROM" || toks[2].off != 9 {
+		t.Fatalf("FROM token = %+v, want offset 9", toks[2])
+	}
+}

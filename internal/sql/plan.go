@@ -1,0 +1,577 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// This file resolves names against a catalog and compiles statements into
+// sequences of native operators on the columnar engine. The compiled shapes
+// deliberately mirror the hand-built Figure 29 plans of internal/census:
+// constant conjuncts of a WHERE clause become one selection, each
+// same-tuple attribute comparison its own selection, per-table conditions
+// are pushed below joins, and one cross-table equality per table pair
+// becomes an equi-join. This keeps the engine's component compositions —
+// and hence the representation statistics of Figure 27 — identical to the
+// hand-built plans.
+
+// catalog resolves relation names to attribute lists.
+type catalog interface {
+	relAttrs(name string) ([]string, bool)
+}
+
+type storeCatalog struct{ s *engine.Store }
+
+func (c storeCatalog) relAttrs(name string) ([]string, bool) {
+	r := c.s.Rel(name)
+	if r == nil {
+		return nil, false
+	}
+	return r.Attrs, true
+}
+
+// binding is a resolved FROM clause.
+type binding struct {
+	tables []boundTable
+	// multi marks a join query: attributes are qualified alias.attr.
+	multi bool
+}
+
+type boundTable struct {
+	ref   TableRef
+	attrs []string
+}
+
+// internalName returns the attribute name table ti's attr carries in the
+// join result: the bare name for single-table queries, alias.attr otherwise.
+func (b *binding) internalName(ti int, attr string) string {
+	if !b.multi {
+		return attr
+	}
+	return b.tables[ti].ref.Display() + "." + attr
+}
+
+func resolveFrom(sel *SelectNode, cat catalog) (*binding, error) {
+	b := &binding{multi: len(sel.From) > 1}
+	seen := make(map[string]bool)
+	for _, tr := range sel.From {
+		attrs, ok := cat.relAttrs(tr.Name)
+		if !ok {
+			return nil, fmt.Errorf("sql: offset %d: unknown relation %q", tr.off, tr.Name)
+		}
+		d := tr.Display()
+		if seen[d] {
+			return nil, fmt.Errorf("sql: offset %d: duplicate table name %q in FROM (use AS to alias)", tr.off, d)
+		}
+		seen[d] = true
+		b.tables = append(b.tables, boundTable{ref: tr, attrs: attrs})
+	}
+	return b, nil
+}
+
+// resolveColumn maps a column reference to (table index, base attribute).
+func (b *binding) resolveColumn(c ColumnRef) (int, string, error) {
+	if c.Table != "" {
+		for i, t := range b.tables {
+			if t.ref.Display() == c.Table {
+				if hasAttr(t.attrs, c.Column) {
+					return i, c.Column, nil
+				}
+				return 0, "", fmt.Errorf("sql: offset %d: relation %q has no attribute %q", c.off, t.ref.Name, c.Column)
+			}
+		}
+		return 0, "", fmt.Errorf("sql: offset %d: unknown table %q", c.off, c.Table)
+	}
+	found := -1
+	for i, t := range b.tables {
+		if hasAttr(t.attrs, c.Column) {
+			if found >= 0 {
+				return 0, "", fmt.Errorf("sql: offset %d: column %q is ambiguous (qualify it)", c.off, c.Column)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, "", fmt.Errorf("sql: offset %d: unknown column %q", c.off, c.Column)
+	}
+	return found, c.Column, nil
+}
+
+func hasAttr(attrs []string, a string) bool {
+	for _, x := range attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// flattenConjuncts splits a condition into its top-level conjuncts.
+func flattenConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	and, ok := e.(AndExpr)
+	if !ok {
+		return []Expr{e}
+	}
+	var out []Expr
+	for _, c := range and {
+		out = append(out, flattenConjuncts(c)...)
+	}
+	return out
+}
+
+// exprTables returns the set of table indexes a condition references.
+func exprTables(b *binding, e Expr) (map[int]bool, error) {
+	out := make(map[int]bool)
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		switch e := e.(type) {
+		case AndExpr:
+			for _, c := range e {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case OrExpr:
+			for _, c := range e {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case CmpExpr:
+			for _, o := range []Operand{e.L, e.R} {
+				if o.IsCol() {
+					ti, _, err := b.resolveColumn(*o.Col)
+					if err != nil {
+						return err
+					}
+					out[ti] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// converse returns θ' with a θ b ⇔ b θ' a (operand swap, not negation).
+func converse(o relation.Op) relation.Op {
+	switch o {
+	case relation.LT:
+		return relation.GT
+	case relation.LE:
+		return relation.GE
+	case relation.GT:
+		return relation.LT
+	case relation.GE:
+		return relation.LE
+	}
+	return o // EQ and NE are symmetric
+}
+
+// isAttrAttr reports whether e is a single column-column comparison.
+func isAttrAttr(e Expr) bool {
+	c, ok := e.(CmpExpr)
+	return ok && c.L.IsCol() && c.R.IsCol()
+}
+
+// exprToEnginePred converts a condition to an engine predicate; name maps
+// column references to attribute names of the relation the predicate will
+// run against.
+func exprToEnginePred(e Expr, name func(ColumnRef) (string, error)) (engine.Pred, error) {
+	switch e := e.(type) {
+	case AndExpr:
+		out := make(engine.And, len(e))
+		for i, c := range e {
+			p, err := exprToEnginePred(c, name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	case OrExpr:
+		out := make(engine.Or, len(e))
+		for i, c := range e {
+			p, err := exprToEnginePred(c, name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	case CmpExpr:
+		l, r, theta := e.L, e.R, e.Theta
+		if !l.IsCol() {
+			l, r, theta = r, l, converse(theta)
+		}
+		a, err := name(*l.Col)
+		if err != nil {
+			return nil, err
+		}
+		if r.IsCol() {
+			b, err := name(*r.Col)
+			if err != nil {
+				return nil, err
+			}
+			return engine.AttrAttr{A: a, Theta: theta, B: b}, nil
+		}
+		if r.Val.Kind() != relation.KindInt {
+			return nil, fmt.Errorf("sql: the engine stores integer codes only; string literal %s is not comparable (use the per-world evaluator)", r.Val)
+		}
+		v := r.Val.AsInt()
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return nil, fmt.Errorf("sql: constant %d overflows the engine's 32-bit values", v)
+		}
+		return engine.AttrConst{Attr: a, Theta: theta, C: int32(v)}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported condition %T", e)
+}
+
+func andOfEngine(ps []engine.Pred) engine.Pred {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return engine.And(ps)
+}
+
+// OpKind discriminates engine plan operators.
+type OpKind uint8
+
+// The engine plan operators, one per engine.Store method.
+const (
+	OpSelect OpKind = iota
+	OpProject
+	OpRename
+	OpJoin
+	OpProduct
+	OpUnion
+)
+
+// EngineOp is one step of an engine plan.
+type EngineOp struct {
+	Kind OpKind
+	// Res is the relation the step materializes; Src (and Src2 for binary
+	// operators) are its inputs.
+	Res, Src, Src2 string
+	// Pred is the selection condition (OpSelect).
+	Pred engine.Pred
+	// Attrs is the projection list (OpProject).
+	Attrs []string
+	// Renames maps old to new attribute names (OpRename).
+	Renames map[string]string
+	// OnL and OnR are the equi-join attributes (OpJoin).
+	OnL, OnR string
+}
+
+// EnginePlan is a compiled statement: a sequence of native operators whose
+// last step materializes Result.
+type EnginePlan struct {
+	Mode Mode
+	Ops  []EngineOp
+	// Result is the relation the final step materializes.
+	Result string
+	// Temps are the intermediate relations, in creation order; drop them
+	// (in reverse) after reading the result.
+	Temps []string
+	// OutAttrs are the output attribute names.
+	OutAttrs []string
+}
+
+// Run executes the plan's operators against the store. On error every
+// relation already created by the plan is dropped.
+func (p *EnginePlan) Run(s *engine.Store) error {
+	var created []string
+	fail := func(err error) error {
+		for i := len(created) - 1; i >= 0; i-- {
+			s.DropRelation(created[i])
+		}
+		return err
+	}
+	for _, op := range p.Ops {
+		var err error
+		switch op.Kind {
+		case OpSelect:
+			_, err = s.Select(op.Res, op.Src, op.Pred)
+		case OpProject:
+			_, err = s.Project(op.Res, op.Src, op.Attrs...)
+		case OpRename:
+			_, err = s.Rename(op.Res, op.Src, op.Renames)
+		case OpJoin:
+			_, err = s.Join(op.Res, op.Src, op.Src2, op.OnL, op.OnR)
+		case OpProduct:
+			_, err = s.Product(op.Res, op.Src, op.Src2)
+		case OpUnion:
+			_, err = s.Union(op.Res, op.Src, op.Src2)
+		default:
+			err = fmt.Errorf("sql: unknown plan operator %d", op.Kind)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		created = append(created, op.Res)
+	}
+	return nil
+}
+
+// DropTemps drops the plan's intermediate relations, newest first.
+func (p *EnginePlan) DropTemps(s *engine.Store) {
+	for i := len(p.Temps) - 1; i >= 0; i-- {
+		s.DropRelation(p.Temps[i])
+	}
+}
+
+// PlanEngine compiles a statement into native operators materializing res on
+// store s. EXCEPT has no engine operator and is rejected here; the across-
+// world modes are recorded on the plan and handled by Exec.
+func PlanEngine(st *Stmt, s *engine.Store, res string) (*EnginePlan, error) {
+	pl := &eplanner{cat: storeCatalog{s}, res: res}
+	rel, attrs, err := pl.node(st.Query)
+	if err != nil {
+		return nil, err
+	}
+	plan := &EnginePlan{Mode: st.Mode, Ops: pl.ops, Result: res, OutAttrs: attrs}
+	if n := len(plan.Ops); n > 0 && plan.Ops[n-1].Res == rel {
+		plan.Ops[n-1].Res = res
+	} else {
+		// The query reduced to a bare base relation: materialize a copy so
+		// the result is always a fresh relation named res.
+		plan.Ops = append(plan.Ops, EngineOp{Kind: OpRename, Res: res, Src: rel, Renames: map[string]string{}})
+	}
+	for _, op := range plan.Ops[:len(plan.Ops)-1] {
+		plan.Temps = append(plan.Temps, op.Res)
+	}
+	return plan, nil
+}
+
+type eplanner struct {
+	cat  catalog
+	res  string
+	ops  []EngineOp
+	tmpN int
+}
+
+func (p *eplanner) tmp() string {
+	p.tmpN++
+	return fmt.Sprintf("%s\x00s%d", p.res, p.tmpN)
+}
+
+func (p *eplanner) add(op EngineOp) string {
+	op.Res = p.tmp()
+	p.ops = append(p.ops, op)
+	return op.Res
+}
+
+func (p *eplanner) node(n Node) (string, []string, error) {
+	switch n := n.(type) {
+	case *SelectNode:
+		return p.selectNode(n)
+	case SetNode:
+		if n.Op == SetExcept {
+			return "", nil, fmt.Errorf("sql: EXCEPT is not supported on the engine path (the columnar store has no difference operator yet); use the per-world evaluator")
+		}
+		lRel, lAttrs, err := p.node(n.L)
+		if err != nil {
+			return "", nil, err
+		}
+		rRel, rAttrs, err := p.node(n.R)
+		if err != nil {
+			return "", nil, err
+		}
+		if !sameAttrs(lAttrs, rAttrs) {
+			return "", nil, fmt.Errorf("sql: UNION schema mismatch: %v vs %v", lAttrs, rAttrs)
+		}
+		res := p.add(EngineOp{Kind: OpUnion, Src: lRel, Src2: rRel})
+		return res, lAttrs, nil
+	}
+	return "", nil, fmt.Errorf("sql: unknown query node %T", n)
+}
+
+func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
+	b, err := resolveFrom(sel, p.cat)
+	if err != nil {
+		return "", nil, err
+	}
+	conjs := flattenConjuncts(sel.Where)
+	type conjInfo struct {
+		e      Expr
+		tables map[int]bool
+		used   bool
+	}
+	infos := make([]conjInfo, len(conjs))
+	for i, c := range conjs {
+		ts, err := exprTables(b, c)
+		if err != nil {
+			return "", nil, err
+		}
+		infos[i] = conjInfo{e: c, tables: ts}
+	}
+
+	bareNamer := func(ti int) func(ColumnRef) (string, error) {
+		return func(c ColumnRef) (string, error) {
+			ci, attr, err := b.resolveColumn(c)
+			if err != nil {
+				return "", err
+			}
+			if ci != ti {
+				return "", fmt.Errorf("sql: internal error: column %s does not belong to table %d", c, ti)
+			}
+			return attr, nil
+		}
+	}
+	qualNamer := func(c ColumnRef) (string, error) {
+		ti, attr, err := b.resolveColumn(c)
+		if err != nil {
+			return "", err
+		}
+		return b.internalName(ti, attr), nil
+	}
+
+	// Per table: push down its local conditions (constant-style conjuncts
+	// as one selection, each same-tuple attribute comparison its own), then
+	// qualify the attribute names when joining.
+	planned := make([]string, len(b.tables))
+	for ti, t := range b.tables {
+		cur := t.ref.Name
+		var group []engine.Pred
+		var atoms []engine.Pred
+		for i := range infos {
+			in := &infos[i]
+			if in.used || len(in.tables) != 1 || !in.tables[ti] {
+				continue
+			}
+			pred, err := exprToEnginePred(in.e, bareNamer(ti))
+			if err != nil {
+				return "", nil, err
+			}
+			if isAttrAttr(in.e) {
+				atoms = append(atoms, pred)
+			} else {
+				group = append(group, pred)
+			}
+			in.used = true
+		}
+		if len(group) > 0 {
+			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, Pred: andOfEngine(group)})
+		}
+		for _, a := range atoms {
+			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, Pred: a})
+		}
+		if b.multi {
+			renames := make(map[string]string, len(t.attrs))
+			for _, a := range t.attrs {
+				renames[a] = b.internalName(ti, a)
+			}
+			cur = p.add(EngineOp{Kind: OpRename, Src: cur, Renames: renames})
+		}
+		planned[ti] = cur
+	}
+
+	// Fold the tables left to right: the first unused cross-table equality
+	// linking the accumulated join to the next table becomes an equi-join,
+	// otherwise the pair is a plain product.
+	acc := planned[0]
+	inAcc := map[int]bool{0: true}
+	for ti := 1; ti < len(b.tables); ti++ {
+		joined := false
+		for i := range infos {
+			in := &infos[i]
+			if in.used || !isAttrAttr(in.e) {
+				continue
+			}
+			cmp := in.e.(CmpExpr)
+			if cmp.Theta != relation.EQ {
+				continue
+			}
+			li, la, err := b.resolveColumn(*cmp.L.Col)
+			if err != nil {
+				return "", nil, err
+			}
+			ri, ra, err := b.resolveColumn(*cmp.R.Col)
+			if err != nil {
+				return "", nil, err
+			}
+			if ri == ti && inAcc[li] {
+				// keep sides as written
+			} else if li == ti && inAcc[ri] {
+				li, la, ri, ra = ri, ra, li, la
+			} else {
+				continue
+			}
+			acc = p.add(EngineOp{
+				Kind: OpJoin, Src: acc, Src2: planned[ti],
+				OnL: b.internalName(li, la), OnR: b.internalName(ri, ra),
+			})
+			in.used = true
+			joined = true
+			break
+		}
+		if !joined {
+			acc = p.add(EngineOp{Kind: OpProduct, Src: acc, Src2: planned[ti]})
+		}
+		inAcc[ti] = true
+	}
+
+	// Remaining conditions (extra equalities, non-equality cross-table
+	// comparisons, conditions over three or more tables) run on the join.
+	var rest []engine.Pred
+	for i := range infos {
+		if infos[i].used {
+			continue
+		}
+		pred, err := exprToEnginePred(infos[i].e, qualNamer)
+		if err != nil {
+			return "", nil, err
+		}
+		rest = append(rest, pred)
+	}
+	if len(rest) > 0 {
+		acc = p.add(EngineOp{Kind: OpSelect, Src: acc, Pred: andOfEngine(rest)})
+	}
+
+	// Projection. SELECT * keeps the join result as is.
+	if sel.Star {
+		var out []string
+		for ti, t := range b.tables {
+			for _, a := range t.attrs {
+				out = append(out, b.internalName(ti, a))
+			}
+		}
+		return acc, out, nil
+	}
+	out := make([]string, len(sel.Items))
+	seen := make(map[string]bool, len(sel.Items))
+	for i, c := range sel.Items {
+		ti, attr, err := b.resolveColumn(c)
+		if err != nil {
+			return "", nil, err
+		}
+		out[i] = b.internalName(ti, attr)
+		if seen[out[i]] {
+			return "", nil, fmt.Errorf("sql: offset %d: duplicate column %s in SELECT list", c.off, c)
+		}
+		seen[out[i]] = true
+	}
+	acc = p.add(EngineOp{Kind: OpProject, Src: acc, Attrs: out})
+	return acc, out, nil
+}
+
+func sameAttrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package sql
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// This file compiles statements into worlds.Query algebra trees, the
+// reference semantics evaluated naively per world. The compiled tree uses
+// the same name-resolution and pushdown decisions as the engine planner so
+// both paths produce identically named output attributes.
+
+type schemaCatalog struct{ s worlds.Schema }
+
+func (c schemaCatalog) relAttrs(name string) ([]string, bool) {
+	rs, ok := c.s.Rel(name)
+	if !ok {
+		return nil, false
+	}
+	return rs.Attrs, true
+}
+
+// exprToRelPred converts a condition to a relation predicate; name maps
+// column references to attribute names.
+func exprToRelPred(e Expr, name func(ColumnRef) (string, error)) (relation.Predicate, error) {
+	switch e := e.(type) {
+	case AndExpr:
+		out := make(relation.And, len(e))
+		for i, c := range e {
+			p, err := exprToRelPred(c, name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	case OrExpr:
+		out := make(relation.Or, len(e))
+		for i, c := range e {
+			p, err := exprToRelPred(c, name)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	case CmpExpr:
+		l, r, theta := e.L, e.R, e.Theta
+		if !l.IsCol() {
+			l, r, theta = r, l, converse(theta)
+		}
+		a, err := name(*l.Col)
+		if err != nil {
+			return nil, err
+		}
+		if r.IsCol() {
+			b, err := name(*r.Col)
+			if err != nil {
+				return nil, err
+			}
+			return relation.AttrAttr{A: a, Theta: theta, B: b}, nil
+		}
+		return relation.AttrConst{Attr: a, Theta: theta, Const: r.Val}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported condition %T", e)
+}
+
+func andOfRel(ps []relation.Predicate) relation.Predicate {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return relation.And(ps)
+}
+
+// PlanWorlds compiles the statement's algebra into a worlds.Query. The
+// across-world mode is not part of the algebra; ExecWorlds applies it to the
+// evaluated world-set.
+func PlanWorlds(st *Stmt, schema worlds.Schema) (worlds.Query, error) {
+	return planWorldsNode(st.Query, schemaCatalog{schema})
+}
+
+func planWorldsNode(n Node, cat catalog) (worlds.Query, error) {
+	switch n := n.(type) {
+	case *SelectNode:
+		return planWorldsSelect(n, cat)
+	case SetNode:
+		l, err := planWorldsNode(n.L, cat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := planWorldsNode(n.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == SetExcept {
+			return worlds.Difference{L: l, R: r}, nil
+		}
+		return worlds.Union{L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown query node %T", n)
+}
+
+func planWorldsSelect(sel *SelectNode, cat catalog) (worlds.Query, error) {
+	b, err := resolveFrom(sel, cat)
+	if err != nil {
+		return nil, err
+	}
+	conjs := flattenConjuncts(sel.Where)
+	local := make([][]Expr, len(b.tables))
+	var cross []Expr
+	for _, c := range conjs {
+		ts, err := exprTables(b, c)
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) == 1 {
+			for ti := range ts {
+				local[ti] = append(local[ti], c)
+			}
+		} else {
+			cross = append(cross, c)
+		}
+	}
+
+	bareNamer := func(ti int) func(ColumnRef) (string, error) {
+		return func(c ColumnRef) (string, error) {
+			_, attr, err := b.resolveColumn(c)
+			return attr, err
+		}
+	}
+	qualNamer := func(c ColumnRef) (string, error) {
+		ti, attr, err := b.resolveColumn(c)
+		if err != nil {
+			return "", err
+		}
+		return b.internalName(ti, attr), nil
+	}
+
+	// Per table: pushed-down selections, then renames qualifying every
+	// attribute when the query joins.
+	var q worlds.Query
+	for ti, t := range b.tables {
+		var tq worlds.Query = worlds.Base{Rel: t.ref.Name}
+		var group []relation.Predicate
+		var atoms []relation.Predicate
+		for _, c := range local[ti] {
+			p, err := exprToRelPred(c, bareNamer(ti))
+			if err != nil {
+				return nil, err
+			}
+			if isAttrAttr(c) {
+				atoms = append(atoms, p)
+			} else {
+				group = append(group, p)
+			}
+		}
+		if len(group) > 0 {
+			tq = worlds.Select{Q: tq, Pred: andOfRel(group)}
+		}
+		for _, a := range atoms {
+			tq = worlds.Select{Q: tq, Pred: a}
+		}
+		if b.multi {
+			for _, a := range t.attrs {
+				tq = worlds.Rename{Q: tq, Old: a, New: b.internalName(ti, a)}
+			}
+		}
+		if q == nil {
+			q = tq
+		} else {
+			q = worlds.Product{L: q, R: tq}
+		}
+	}
+
+	// Cross-table conditions run on the product (the per-world evaluator
+	// has no join operator; σ over × is its reference form).
+	if len(cross) > 0 {
+		preds := make([]relation.Predicate, len(cross))
+		for i, c := range cross {
+			p, err := exprToRelPred(c, qualNamer)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		q = worlds.Select{Q: q, Pred: andOfRel(preds)}
+	}
+
+	if sel.Star {
+		return q, nil
+	}
+	out := make([]string, len(sel.Items))
+	seen := make(map[string]bool, len(sel.Items))
+	for i, c := range sel.Items {
+		ti, attr, err := b.resolveColumn(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b.internalName(ti, attr)
+		if seen[out[i]] {
+			return nil, fmt.Errorf("sql: offset %d: duplicate column %s in SELECT list", c.off, c)
+		}
+		seen[out[i]] = true
+	}
+	return worlds.Project{Q: q, Attrs: out}, nil
+}

@@ -1,0 +1,100 @@
+// Package sql is the SQL frontend over UWSDTs: a lexer, a recursive-descent
+// parser and two planners for the query language the MayBMS prototype grew
+// around the Section 5 machinery. A statement is compiled two ways — into a
+// worlds.Query evaluated naively per world (the reference semantics), and
+// into a sequence of native operators on the scalable columnar engine
+// (internal/engine) whose shapes mirror the hand-built Figure 29 plans. The
+// across-world constructs CONF(), POSSIBLE and CERTAIN route engine results
+// through internal/confidence; EXPLAIN emits the exact Section 5 SQL
+// rewriting of every plan step via internal/sqlrewrite.
+//
+// The accepted subset, in EBNF (keywords are case-insensitive; identifiers
+// are case-sensitive):
+//
+//	statement   = [ "EXPLAIN" ] query [ ";" ] .
+//	query       = select { ( "UNION" | "EXCEPT" ) select } .
+//	select      = "SELECT" head "FROM" tables [ "WHERE" disjunction ] .
+//	head        = "CONF" "(" ")" | [ "POSSIBLE" | "CERTAIN" ] items .
+//	items       = "*" | column { "," column } .
+//	tables      = table { "," table } .
+//	table       = ident [ [ "AS" ] ident ] .
+//	column      = ident [ "." ident ] .
+//	disjunction = conjunction { "OR" conjunction } .
+//	conjunction = primary { "AND" primary } .
+//	primary     = "(" disjunction ")" | comparison .
+//	comparison  = operand op operand .
+//	op          = "=" | "<>" | "!=" | "<" | "<=" | ">" | ">=" .
+//	operand     = column | [ "-" ] number | string .
+//
+// Multiple FROM tables form a cross join; equality comparisons between two
+// tables become equi-joins on the engine path. CONF(), POSSIBLE and CERTAIN
+// may only head the leftmost select of a statement and apply to the whole
+// query. Strings are single-quoted with ” as the escape; they are accepted
+// by the per-world evaluator but rejected by the engine planner, whose
+// columnar store holds integer codes only.
+//
+// Join queries qualify every output attribute as alias.attr; single-table
+// queries keep bare names. UNION and EXCEPT arms must therefore produce
+// identically named columns — until the grammar grows column aliases, a
+// single-table arm cannot union with a join arm.
+//
+// Not yet covered (see ROADMAP "Open items"): aggregates beyond CONF(),
+// GROUP BY, subqueries, column aliases, EXCEPT on the engine path (the
+// columnar store has no difference operator), and a REPAIR BY syntax for
+// the chase.
+package sql
+
+import (
+	"maybms/internal/confidence"
+	"maybms/internal/engine"
+	"maybms/internal/worlds"
+)
+
+// Mode is the across-world construct heading a statement.
+type Mode uint8
+
+// The statement modes.
+const (
+	// ModePlain materializes the query result as a relation.
+	ModePlain Mode = iota
+	// ModeConf lists every possible result tuple with its confidence
+	// (Figure 19, SELECT CONF()).
+	ModeConf
+	// ModePossible lists the tuples appearing in at least one world
+	// (Figure 18).
+	ModePossible
+	// ModeCertain lists the tuples appearing in every world.
+	ModeCertain
+)
+
+// String renders the mode as its SQL keyword.
+func (m Mode) String() string {
+	switch m {
+	case ModeConf:
+		return "CONF()"
+	case ModePossible:
+		return "POSSIBLE"
+	case ModeCertain:
+		return "CERTAIN"
+	}
+	return ""
+}
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Mode is the statement's across-world construct.
+	Mode Mode
+	// Attrs are the output attribute names.
+	Attrs []string
+	// Relation names the materialized engine relation (ModePlain on the
+	// engine path; empty otherwise). The caller owns dropping it.
+	Relation string
+	// Stats are the representation statistics of Relation.
+	Stats engine.Stats
+	// Tuples holds the answers of CONF()/POSSIBLE/CERTAIN queries, sorted
+	// canonically. For ModePossible and non-probabilistic inputs the Conf
+	// fields are 0.
+	Tuples []confidence.TupleConf
+	// WorldSet is the per-world result (ModePlain on the per-world path).
+	WorldSet *worlds.WorldSet
+}

@@ -199,10 +199,42 @@ func Rename(res, src string, attrs []string, old, new string) Rewriting {
 	}
 }
 
-// ProjectNote returns the explanatory rewriting stub for π and σ(AθB):
-// Section 5 implements their fixpoint compositions as recursive PL/SQL
-// rather than pure SQL; the in-memory engine runs the same algorithm
-// natively (engine.Project, engine.Select with attribute atoms).
+// SelectAttrNote returns the explanatory rewriting stub for σ(AθB), the
+// same-tuple attribute comparison: like π, Section 5 implements its
+// component compositions as recursive PL/SQL rather than pure SQL; the
+// in-memory engine runs the same algorithm natively (engine.Select with an
+// attribute atom).
+func SelectAttrNote(res, src, a string, theta relation.Op, b string) Rewriting {
+	op := sqlOp(theta)
+	return Rewriting{
+		Op: fmt.Sprintf("P := σ_{%s %s %s}(%s)", a, op, b, src),
+		Statements: []Statement{{
+			Comment: "Section 5: σ(AθB) composes the components of both fields and is " +
+				"encoded as a recursive PL/SQL program; see engine.Select for the native algorithm",
+			SQL: fmt.Sprintf("-- CALL wsd_select_attr('%s', '%s', '%s', '%s', '%s');", res, src, a, op, b),
+		}},
+	}
+}
+
+// SelectOrNote returns the explanatory rewriting stub for a selection with a
+// disjunctive (or otherwise non-atomic) condition. Each atom alone follows
+// Figure 16; their disjunction needs per-local-world evaluation, which the
+// prototype runs as PL/SQL and the in-memory engine runs natively.
+func SelectOrNote(res, src, cond string) Rewriting {
+	return Rewriting{
+		Op: fmt.Sprintf("P := σ_{%s}(%s)", cond, src),
+		Statements: []Statement{{
+			Comment: "Section 5: non-atomic conditions evaluate per local world and are " +
+				"encoded as a recursive PL/SQL program; see engine.Select for the native algorithm",
+			SQL: fmt.Sprintf("-- CALL wsd_select('%s', '%s', '%s');", res, src, cond),
+		}},
+	}
+}
+
+// ProjectNote returns the explanatory rewriting stub for π: Section 5
+// implements its ⊥-propagation fixpoint as recursive PL/SQL rather than
+// pure SQL; the in-memory engine runs the same algorithm natively
+// (engine.Project). For σ(AθB) see SelectAttrNote.
 func ProjectNote(res, src string, attrs []string) Rewriting {
 	return Rewriting{
 		Op: fmt.Sprintf("P := π_{%s}(%s)", strings.Join(attrs, ","), src),

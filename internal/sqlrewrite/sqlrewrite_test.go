@@ -83,3 +83,23 @@ func TestProjectNote(t *testing.T) {
 		t.Fatal("header missing")
 	}
 }
+
+func TestSelectAttrNote(t *testing.T) {
+	r := SelectAttrNote("P", "R", "POWSTATE", relation.EQ, "POB")
+	if !strings.Contains(r.Statements[0].SQL, "wsd_select_attr") {
+		t.Fatal("PL/SQL stub missing")
+	}
+	if !strings.Contains(r.String(), "POWSTATE = POB") {
+		t.Fatalf("header missing:\n%s", r)
+	}
+}
+
+func TestSelectOrNote(t *testing.T) {
+	r := SelectOrNote("P", "R", "(RSPOUSE=1 ∨ RSPOUSE=2)")
+	if !strings.Contains(r.Statements[0].SQL, "wsd_select") {
+		t.Fatal("PL/SQL stub missing")
+	}
+	if !strings.Contains(r.String(), "σ_{(RSPOUSE=1 ∨ RSPOUSE=2)}") {
+		t.Fatalf("header missing:\n%s", r)
+	}
+}

@@ -20,6 +20,10 @@
 //   - Normalize, DecomposeRelation — normalization (Section 7, Figure 20).
 //   - Store — the scalable columnar UWSDT engine behind the Section 9
 //     census experiments, with the workload generator in internal/census.
+//   - ParseSQL / PlanSQL / ExecSQL / Explain — the SQL frontend: the MayBMS
+//     query subset with CONF(), POSSIBLE and CERTAIN, compiled onto the
+//     engine (and, per world, onto the reference semantics), with EXPLAIN
+//     emitting the Section 5 rewritings.
 package maybms
 
 import (
@@ -31,6 +35,7 @@ import (
 	"maybms/internal/normalize"
 	"maybms/internal/orset"
 	"maybms/internal/relation"
+	"maybms/internal/sql"
 	"maybms/internal/tupleind"
 	"maybms/internal/uwsdt"
 	"maybms/internal/worlds"
@@ -257,4 +262,40 @@ var (
 	ChaseOptions = func(refined, assumeClean bool) engine.ChaseOptions {
 		return engine.ChaseOptions{Refined: refined, AssumeClean: assumeClean}
 	}
+)
+
+// SQL frontend (internal/sql): parse a statement of the MayBMS subset, plan
+// it, execute it on the engine store or per world, and render the Section 5
+// rewriting of the plan. See the internal/sql package comment for the
+// grammar.
+type (
+	// SQLStmt is a parsed SQL statement.
+	SQLStmt = sql.Stmt
+	// SQLResult is the outcome of executing a statement.
+	SQLResult = sql.Result
+	// SQLEnginePlan is a statement compiled to native engine operators.
+	SQLEnginePlan = sql.EnginePlan
+	// SQLMode is the across-world construct of a statement
+	// (CONF()/POSSIBLE/CERTAIN).
+	SQLMode = sql.Mode
+)
+
+// SQL execution modes.
+const (
+	SQLPlain    = sql.ModePlain
+	SQLConf     = sql.ModeConf
+	SQLPossible = sql.ModePossible
+	SQLCertain  = sql.ModeCertain
+)
+
+// ParseSQL parses one statement; PlanSQL compiles it into engine operators;
+// ExecSQL parses and executes against an engine store, materializing res;
+// ExecSQLPerWorld evaluates under the per-world reference semantics;
+// Explain renders the Section 5 SQL rewriting of the plan.
+var (
+	ParseSQL        = sql.Parse
+	PlanSQL         = sql.PlanEngine
+	ExecSQL         = sql.Exec
+	ExecSQLPerWorld = sql.ExecWorlds
+	Explain         = sql.Explain
 )

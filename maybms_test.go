@@ -7,6 +7,7 @@ package maybms
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -210,5 +211,50 @@ func TestFacadeChaseOptionsAndEngineChase(t *testing.T) {
 	}
 	if _, err := s.Select("P2", "R", EngineGt("B", 5)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFacadeSQLFrontend(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "B", []int32{3, 9}, []float64{0.4, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseSQL("SELECT A FROM R WHERE B = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanSQL(st, s, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Ops) != 2 {
+		t.Fatalf("plan has %d ops, want select+project", len(plan.Ops))
+	}
+	res, err := ExecSQL(s, "SELECT A FROM R WHERE B = 9", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RSize != 1 {
+		t.Fatalf("result stats = %+v", res.Stats)
+	}
+	s.DropRelation("P")
+
+	conf, err := ExecSQL(s, "SELECT CONF() FROM R WHERE B = 9", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conf.Tuples) != 1 || math.Abs(conf.Tuples[0].Conf-0.6) > 1e-9 {
+		t.Fatalf("CONF() tuples = %v", conf.Tuples)
+	}
+
+	planText, err := Explain(s, "EXPLAIN SELECT A FROM R WHERE B = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(planText, "Figure 16") {
+		t.Fatalf("EXPLAIN output missing the Figure 16 rewriting:\n%s", planText)
 	}
 }
