@@ -1,13 +1,20 @@
 // Command census-experiment regenerates the tables and series behind the
 // paper's evaluation (Section 9): Figure 26 (chase times), Figure 27 (UWSDT
 // characteristics), Figure 28 (component size distribution) and Figure 30
-// (query evaluation times, with the 0% one-world baseline).
+// (query evaluation times, with the 0% one-world baseline). Two extra
+// figures measure the session API: "prepared" runs the Figure 29 queries as
+// prepared statements through DB/Stmt/Rows (plan once, run many, including
+// a parameterized plan bound with different values per run), and "conf"
+// compares the scoped CONF() bridge (only components reachable from the
+// result) against converting the whole store.
 //
 // Usage:
 //
 //	census-experiment -fig 26 [-sizes 100000,500000] [-densities 0.00005,0.001] [-seed 42]
 //	census-experiment -fig all -sizes 250000
 //	census-experiment -fig 30 -json results.json
+//	census-experiment -fig prepared -reps 10
+//	census-experiment -fig conf
 //
 // Densities are fractions (0.001 = 0.1%). The paper's sweep is 0.1M–12.5M
 // tuples at densities 0.005%–0.1%; defaults here are laptop-scale.
@@ -33,13 +40,35 @@ import (
 // benchJSON is the machine-readable result file: one entry per measurement,
 // durations in nanoseconds and fractional milliseconds.
 type benchJSON struct {
-	Seed      int64       `json:"seed"`
-	Sizes     []int       `json:"sizes"`
-	Densities []float64   `json:"densities"`
-	Chase     []chaseJSON `json:"chase,omitempty"`      // Figure 26
-	Stats     []statsJSON `json:"stats,omitempty"`      // Figure 27
-	Hist      []histJSON  `json:"components,omitempty"` // Figure 28
-	Queries   []queryJSON `json:"queries,omitempty"`    // Figure 30
+	Seed      int64            `json:"seed"`
+	Sizes     []int            `json:"sizes"`
+	Densities []float64        `json:"densities"`
+	Chase     []chaseJSON      `json:"chase,omitempty"`      // Figure 26
+	Stats     []statsJSON      `json:"stats,omitempty"`      // Figure 27
+	Hist      []histJSON       `json:"components,omitempty"` // Figure 28
+	Queries   []queryJSON      `json:"queries,omitempty"`    // Figure 30
+	Prepared  []preparedJSON   `json:"prepared,omitempty"`   // session API, plan once / run many
+	Conf      []confBridgeJSON `json:"conf_bridge,omitempty"`
+}
+
+type preparedJSON struct {
+	Query     string  `json:"query"`
+	Rows      int     `json:"rows"`
+	Density   float64 `json:"density"`
+	Reps      int     `json:"reps"`
+	PrepareNS int64   `json:"prepare_ns"`
+	FirstNS   int64   `json:"first_run_ns"`
+	MeanNS    int64   `json:"mean_run_ns"`
+	MeanMS    float64 `json:"mean_run_ms"`
+}
+
+type confBridgeJSON struct {
+	Rows       int     `json:"rows"`
+	Density    float64 `json:"density"`
+	ResultRows int     `json:"result_rows"`
+	ScopedNS   int64   `json:"scoped_ns"`
+	FullNS     int64   `json:"full_store_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 type chaseJSON struct {
@@ -74,10 +103,11 @@ type queryJSON struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 26, 27, 28, 30 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 26, 27, 28, 30, prepared, conf or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
 	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
 	seed := flag.Int64("seed", 42, "random seed")
+	reps := flag.Int("reps", 5, "executions per prepared statement (-fig prepared)")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty disables)")
 	flag.Parse()
 
@@ -139,8 +169,42 @@ func main() {
 			})
 		}
 	}
-	if !run("26") && !run("27") && !run("28") && !run("30") {
-		fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30 or all)\n", *fig)
+	if run("prepared") {
+		// Prepared statements run at the first configured size: the point is
+		// the plan/run split, not another size sweep.
+		points, err := bench.PreparedQueries(sizes[0], densities[len(densities)-1], *seed, *reps)
+		fail(err)
+		bench.PrintPrepared(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.Prepared = append(out.Prepared, preparedJSON{
+				Query: p.Query, Rows: p.Rows, Density: p.Density, Reps: p.Reps,
+				PrepareNS: p.Prepare.Nanoseconds(), FirstNS: p.First.Nanoseconds(),
+				MeanNS: p.Mean.Nanoseconds(), MeanMS: ms(p.Mean),
+			})
+		}
+	}
+	if run("conf") {
+		// The whole-store bridge is the quadratic baseline the scoped bridge
+		// replaces; keep its sizes small so the comparison terminates.
+		var points []bench.ConfBridgePoint
+		for _, n := range []int{500, 1000, 2000} {
+			p, err := bench.ConfBridge(n, densities[len(densities)-1], *seed)
+			fail(err)
+			points = append(points, p)
+		}
+		bench.PrintConfBridge(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.Conf = append(out.Conf, confBridgeJSON{
+				Rows: p.Rows, Density: p.Density, ResultRows: p.ResultRows,
+				ScopedNS: p.Scoped.Nanoseconds(), FullNS: p.Full.Nanoseconds(),
+				Speedup: float64(p.Full) / float64(p.Scoped),
+			})
+		}
+	}
+	if !run("26") && !run("27") && !run("28") && !run("30") && !run("prepared") && !run("conf") {
+		fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

@@ -10,11 +10,18 @@
 //	wsdcli -exec "SELECT CONF() FROM R WHERE YEARSCH = 17"
 //
 // With -sql the binary prepares (and optionally chases) the census relation
-// R and reads semicolon-terminated SQL statements from stdin; with -exec it
-// runs the given statements and exits. The accepted SQL subset — including
-// CONF(), POSSIBLE, CERTAIN and EXPLAIN — is documented on internal/sql.
-// REPL meta commands: \d lists relations, \stats REL prints representation
-// statistics, \q quits.
+// R, opens a SQL session over the store, and reads semicolon-terminated
+// statements from stdin; with -exec it runs the given statements and exits.
+// The accepted SQL subset — including ? parameters, AS aliases, CONF(),
+// POSSIBLE, CERTAIN and EXPLAIN — is documented on internal/sql. REPL meta
+// commands:
+//
+//	\d                  list relations
+//	\stats REL          representation statistics
+//	\prepare NAME SQL   compile a (parameterized) statement once
+//	\exec NAME [ARGS]   run a prepared statement with bound arguments
+//	\stmts              list prepared statements
+//	\q                  quit
 package main
 
 import (
@@ -23,12 +30,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"maybms/internal/bench"
 	"maybms/internal/census"
 	"maybms/internal/engine"
+	"maybms/internal/relation"
 	"maybms/internal/sql"
 )
 
@@ -49,23 +59,25 @@ func main() {
 	p, err := bench.Prepare(*rows, *density, *seed)
 	fail(err)
 	fmt.Printf("  %d or-sets introduced in %s\n", p.OrSets, time.Since(start).Round(time.Millisecond))
-	printStats(p.Store, "R", "initial")
+	printStats(p.Store.Stats("R"), "R", "initial")
 
 	if !*skipChase {
 		start = time.Now()
 		err = p.Store.ChaseEGDsOpt("R", census.Dependencies(), engine.ChaseOptions{AssumeClean: true})
 		fail(err)
 		fmt.Printf("chased %d dependencies in %s\n", len(census.Dependencies()), time.Since(start).Round(time.Millisecond))
-		printStats(p.Store, "R", "after chase")
+		printStats(p.Store.Stats("R"), "R", "after chase")
 	}
 
 	if *exec != "" {
-		runStatements(p.Store, strings.NewReader(*exec), *limit, false)
+		repl := newREPL(p.Store, *limit)
+		repl.run(strings.NewReader(*exec), false)
 		return
 	}
 	if *sqlMode {
 		fmt.Println("SQL REPL over relation R — end statements with ';', \\q quits")
-		runStatements(p.Store, os.Stdin, *limit, true)
+		repl := newREPL(p.Store, *limit)
+		repl.run(os.Stdin, true)
 		return
 	}
 
@@ -79,14 +91,26 @@ func main() {
 		err = census.Run(p.Store, q, "R", res)
 		fail(err)
 		fmt.Printf("%s evaluated in %s\n", q, time.Since(start).Round(time.Microsecond))
-		printStats(p.Store, res, "result")
+		printStats(p.Store.Stats(res), res, "result")
 		p.Store.DropRelation(res)
 	}
 }
 
-// runStatements reads semicolon-terminated statements (and backslash meta
-// commands) and executes them against the store.
-func runStatements(s *engine.Store, in io.Reader, limit int, interactive bool) {
+// repl is the interactive SQL session: one DB over the store plus the named
+// statements \prepare compiled.
+type repl struct {
+	db    *sql.DB
+	limit int
+	stmts map[string]*sql.Prepared
+}
+
+func newREPL(s *engine.Store, limit int) *repl {
+	return &repl{db: sql.Open(s), limit: limit, stmts: make(map[string]*sql.Prepared)}
+}
+
+// run reads semicolon-terminated statements (and backslash meta commands)
+// and executes them through the session.
+func (r *repl) run(in io.Reader, interactive bool) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -105,7 +129,7 @@ func runStatements(s *engine.Store, in io.Reader, limit int, interactive bool) {
 				continue
 			}
 			if strings.HasPrefix(trimmed, "\\") {
-				if !meta(s, trimmed) {
+				if !r.meta(trimmed) {
 					return
 				}
 				prompt()
@@ -123,7 +147,7 @@ func runStatements(s *engine.Store, in io.Reader, limit int, interactive bool) {
 			if strings.TrimSpace(rest) != "" {
 				buf.WriteString(rest)
 			}
-			runOne(s, stmtText, limit)
+			r.runOne(stmtText)
 		}
 		if buf.Len() == 0 {
 			prompt()
@@ -137,7 +161,7 @@ func runStatements(s *engine.Store, in io.Reader, limit int, interactive bool) {
 	}
 	// A trailing statement without ';' still runs (convenient for -exec).
 	if strings.TrimSpace(buf.String()) != "" {
-		runOne(s, buf.String(), limit)
+		r.runOne(buf.String())
 	}
 }
 
@@ -158,46 +182,91 @@ func splitStatement(input string) (stmt, rest string, ok bool) {
 }
 
 // meta executes a backslash command; it returns false to quit.
-func meta(s *engine.Store, cmd string) bool {
+func (r *repl) meta(cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return false
 	case "\\d":
-		for _, name := range s.Relations() {
-			r := s.Rel(name)
+		for _, name := range r.db.Relations() {
+			st := r.db.Stats(name)
 			fmt.Printf("  %s(%s)  |R|=%d placeholders=%d\n",
-				name, strings.Join(r.Attrs, ", "), r.NumRows(), s.TotalPlaceholders(name))
+				name, strings.Join(r.db.Schema(name), ", "), st.RSize, r.db.Placeholders(name))
 		}
 	case "\\stats":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\stats REL")
 			break
 		}
-		if s.Rel(fields[1]) == nil {
+		if r.db.Schema(fields[1]) == nil {
 			fmt.Printf("unknown relation %q\n", fields[1])
 			break
 		}
-		printStats(s, fields[1], "stats")
+		printStats(r.db.Stats(fields[1]), fields[1], "stats")
+	case "\\prepare":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
+		name, text, ok := strings.Cut(rest, " ")
+		if !ok || strings.TrimSpace(text) == "" {
+			fmt.Println("usage: \\prepare NAME SELECT ...")
+			break
+		}
+		stmt, err := r.db.Prepare(strings.TrimSuffix(strings.TrimSpace(text), ";"))
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		r.stmts[name] = stmt
+		fmt.Printf("prepared %s: %d parameter(s), columns (%s)\n",
+			name, stmt.NumParams(), strings.Join(stmt.Columns(), ", "))
+	case "\\exec":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\exec NAME [ARGS]")
+			break
+		}
+		stmt, ok := r.stmts[fields[1]]
+		if !ok {
+			fmt.Printf("no prepared statement %q (try \\prepare)\n", fields[1])
+			break
+		}
+		args := make([]any, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+				args = append(args, n)
+			} else {
+				args = append(args, strings.Trim(f, "'"))
+			}
+		}
+		start := time.Now()
+		rows, err := stmt.Query(args...)
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		r.printRows(rows, time.Since(start))
+	case "\\stmts":
+		names := make([]string, 0, len(r.stmts))
+		for name := range r.stmts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %s: %s\n", name, r.stmts[name].Text())
+		}
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\stats REL, \\q)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\stats REL, \\prepare, \\exec, \\stmts, \\q)\n", fields[0])
 	}
 	return true
 }
 
-// runOne parses and executes a single statement, printing the result.
-func runOne(s *engine.Store, text string, limit int) {
+// runOne executes a single statement through the session, printing the
+// result.
+func (r *repl) runOne(text string) {
 	text = strings.TrimSpace(text)
 	if text == "" {
 		return
 	}
-	st, err := sql.Parse(text)
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	if st.Explain {
-		out, err := sql.ExplainStmt(s, st)
+	if st, err := sql.Parse(text); err == nil && st.Explain {
+		out, err := r.db.Explain(text)
 		if err != nil {
 			fmt.Println(err)
 			return
@@ -206,49 +275,70 @@ func runOne(s *engine.Store, text string, limit int) {
 		return
 	}
 	start := time.Now()
-	res, err := sql.ExecStmt(s, st, "sqlres")
+	rows, err := r.db.Query(text)
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	elapsed := time.Since(start).Round(time.Microsecond)
-	if res.Relation == "" {
-		// Across-world answers: tuples with confidences.
-		fmt.Printf("%s: %d tuples in %s\n", st.Mode, len(res.Tuples), elapsed)
-		fmt.Printf("  (%s)\n", strings.Join(res.Attrs, ", "))
-		for i, tc := range res.Tuples {
-			if i >= limit {
-				fmt.Printf("  ... %d more\n", len(res.Tuples)-limit)
+	r.printRows(rows, time.Since(start))
+}
+
+// printRows renders a result: across-world answers as tuples with
+// confidences, plain results as representation statistics plus up to limit
+// decoded template rows ('?' marks uncertain fields).
+func (r *repl) printRows(rows *sql.Rows, elapsed time.Duration) {
+	defer rows.Close()
+	res := rows.Result()
+	if res.Mode != sql.ModePlain {
+		fmt.Printf("%s: %d tuples in %s\n", res.Mode, len(res.Tuples), elapsed.Round(time.Microsecond))
+		fmt.Printf("  (%s)\n", strings.Join(rows.Columns(), ", "))
+		n := 0
+		for rows.Next() {
+			if n >= r.limit {
+				fmt.Printf("  ... %d more\n", len(res.Tuples)-r.limit)
 				break
 			}
-			if st.Mode == sql.ModeConf {
-				fmt.Printf("  %s  conf=%.6g\n", tc.Tuple, tc.Conf)
+			if res.Mode == sql.ModeConf {
+				fmt.Printf("  %s  conf=%.6g\n", res.Tuples[n].Tuple, rows.Conf())
 			} else {
-				fmt.Printf("  %s\n", tc.Tuple)
+				fmt.Printf("  %s\n", res.Tuples[n].Tuple)
 			}
+			n++
 		}
 		return
 	}
-	defer s.DropRelation(res.Relation)
-	fmt.Printf("evaluated in %s\n", elapsed)
-	printStats(s, res.Relation, "result")
-	r := s.Rel(res.Relation)
-	if r.NumRows() <= limit && r.UncertainRows() == 0 {
-		fmt.Printf("  (%s)\n", strings.Join(res.Attrs, ", "))
-		for i := 0; i < r.NumRows(); i++ {
-			vals := make([]string, len(r.Attrs))
-			for a := range r.Attrs {
-				vals[a] = fmt.Sprint(r.Cols[a][i])
-			}
-			fmt.Printf("  (%s)\n", strings.Join(vals, ", "))
+	fmt.Printf("evaluated in %s\n", elapsed.Round(time.Microsecond))
+	printStats(rows.Stats(), "result", "result")
+	if rows.Len() > r.limit {
+		return
+	}
+	fmt.Printf("  (%s)\n", strings.Join(rows.Columns(), ", "))
+	uncertain := false
+	vals := make([]relation.Value, len(rows.Columns()))
+	dests := make([]any, len(vals))
+	for i := range vals {
+		dests[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(dests...); err != nil {
+			fmt.Println(err)
+			return
 		}
-	} else if r.NumRows() <= limit {
-		fmt.Println("  (result carries placeholders; use SELECT POSSIBLE or SELECT CONF() to decode)")
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = v.String()
+			if v.IsPlaceholder() {
+				uncertain = true
+			}
+		}
+		fmt.Printf("  (%s)\n", strings.Join(parts, ", "))
+	}
+	if uncertain {
+		fmt.Println("  ('?' fields are uncertain; use SELECT POSSIBLE or SELECT CONF() to decode)")
 	}
 }
 
-func printStats(s *engine.Store, rel, label string) {
-	st := s.Stats(rel)
+func printStats(st engine.Stats, rel, label string) {
 	fmt.Printf("  %-12s %s: #comp=%d #comp>1=%d |C|=%d |R|=%d\n",
 		label, rel, st.NumComp, st.NumCompGT1, st.CSize, st.RSize)
 }

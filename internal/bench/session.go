@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"maybms/internal/census"
+	"maybms/internal/confidence"
+	"maybms/internal/sql"
+)
+
+// This file measures the session API (internal/sql's DB/Prepared/Rows): the
+// plan-once/run-many behavior of prepared statements over the Figure 29
+// workload, and the effect of scoping the WSD bridge for CONF() to the
+// result relation instead of converting the whole store.
+
+// PreparedPoint is one plan-once/run-many measurement: a Figure 29 query
+// prepared once and executed reps times through the session API.
+type PreparedPoint struct {
+	Query   string
+	Rows    int
+	Density float64
+	Reps    int
+	// Prepare is the one-time parse+plan cost; First the first execution
+	// (which warms nothing: plans are bound per run); Mean the mean over
+	// all reps.
+	Prepare time.Duration
+	First   time.Duration
+	Mean    time.Duration
+}
+
+// PreparedQueries prepares each Figure 29 query once on a chased census
+// store and executes it reps times, recording plan and run times. Q5 runs
+// over q2 and q3 materialized through the same session. The final entry,
+// "Q1(θ=?)", binds a parameterized Q1 with a different YEARSCH value per
+// repetition — one plan, many bindings.
+func PreparedQueries(rows int, density float64, seed int64, reps int) ([]PreparedPoint, error) {
+	p, err := Prepare(rows, density, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+		return nil, err
+	}
+	db := sql.Open(p.Store)
+	defer db.Close()
+	if _, err := db.Materialize("q2", census.SQL["Q2"]); err != nil {
+		return nil, err
+	}
+	defer db.DropRelation("q2")
+	if _, err := db.Materialize("q3", census.SQL["Q3"]); err != nil {
+		return nil, err
+	}
+	defer db.DropRelation("q3")
+
+	var out []PreparedPoint
+	run := func(label, text string, argFor func(rep int) []any) error {
+		start := time.Now()
+		stmt, err := db.Prepare(text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		pt := PreparedPoint{Query: label, Rows: rows, Density: density, Reps: reps, Prepare: time.Since(start)}
+		var total time.Duration
+		for rep := 0; rep < reps; rep++ {
+			start = time.Now()
+			rows, err := stmt.Query(argFor(rep)...)
+			if err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			if err := rows.Close(); err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			total += elapsed
+			if rep == 0 {
+				pt.First = elapsed
+			}
+		}
+		pt.Mean = total / time.Duration(reps)
+		out = append(out, pt)
+		return nil
+	}
+	none := func(int) []any { return nil }
+	for _, q := range census.QueryNames {
+		if err := run(q, census.SQL[q], none); err != nil {
+			return nil, err
+		}
+	}
+	err = run("Q1(θ=?)", "SELECT * FROM R WHERE YEARSCH = ? AND CITIZEN = 0",
+		func(rep int) []any { return []any{10 + rep%8} })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrintPrepared renders the plan-once/run-many table.
+func PrintPrepared(w io.Writer, points []PreparedPoint) {
+	fmt.Fprintln(w, "Prepared statements — plan once, run many (session API)")
+	fmt.Fprintf(w, "%-10s %12s %10s %12s %12s %12s %6s\n",
+		"query", "tuples", "density", "prepare", "first run", "mean run", "reps")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-10s %12d %9.3f%% %12s %12s %12s %6d\n",
+			p.Query, p.Rows, p.Density*100,
+			p.Prepare.Round(time.Microsecond), p.First.Round(time.Microsecond),
+			p.Mean.Round(time.Microsecond), p.Reps)
+	}
+}
+
+// ConfBridgePoint compares CONF() bridge strategies on one store: Scoped
+// converts only the components reachable from the result relation (the
+// session path), Full converts the whole store (the pre-session behavior).
+type ConfBridgePoint struct {
+	Rows    int
+	Density float64
+	// ResultRows is the size of the query result the bridge converts.
+	ResultRows int
+	Scoped     time.Duration
+	Full       time.Duration
+}
+
+// ConfBridge measures both bridge strategies for the confidence computation
+// of a selective query (Q1's condition) over a chased census store. Keep
+// rows modest: the full bridge materializes one component per certain field
+// — 50·rows components — which is exactly the cost the scoped bridge
+// avoids.
+func ConfBridge(rows int, density float64, seed int64) (ConfBridgePoint, error) {
+	p, err := Prepare(rows, density, seed)
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+		return ConfBridgePoint{}, err
+	}
+	db := sql.Open(p.Store)
+	defer db.Close()
+	res, err := db.Materialize("confres", census.SQL["Q1"])
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	defer db.DropRelation("confres")
+	pt := ConfBridgePoint{Rows: rows, Density: density, ResultRows: res.Stats.RSize}
+
+	start := time.Now()
+	w, err := p.Store.ToWSDOf("confres")
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	scoped, err := confidence.PossibleP(w, "confres")
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	pt.Scoped = time.Since(start)
+
+	start = time.Now()
+	w, err = p.Store.ToWSD()
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	full, err := confidence.PossibleP(w, "confres")
+	if err != nil {
+		return ConfBridgePoint{}, err
+	}
+	pt.Full = time.Since(start)
+	if len(scoped) != len(full) {
+		return ConfBridgePoint{}, fmt.Errorf("bench: bridge strategies disagree: %d vs %d tuples", len(scoped), len(full))
+	}
+	return pt, nil
+}
+
+// PrintConfBridge renders the bridge comparison.
+func PrintConfBridge(w io.Writer, points []ConfBridgePoint) {
+	fmt.Fprintln(w, "CONF() bridge scoping — result-reachable components vs whole store")
+	fmt.Fprintf(w, "%12s %10s %12s %12s %12s %10s\n",
+		"tuples", "density", "|result|", "scoped", "full store", "speedup")
+	for _, p := range points {
+		speedup := float64(p.Full) / float64(p.Scoped)
+		fmt.Fprintf(w, "%12d %9.3f%% %12d %12s %12s %9.1fx\n",
+			p.Rows, p.Density*100, p.ResultRows,
+			p.Scoped.Round(time.Microsecond), p.Full.Round(time.Microsecond), speedup)
+	}
+}

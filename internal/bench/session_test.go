@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestPreparedQueriesShape checks the plan-once/run-many sweep: every
+// Figure 29 query plus the parameterized variant reports a prepare cost and
+// reps executions.
+func TestPreparedQueriesShape(t *testing.T) {
+	points, err := PreparedQueries(1500, 0.002, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 { // Q1..Q6 + parameterized Q1
+		t.Fatalf("%d measurements, want 7", len(points))
+	}
+	for _, p := range points {
+		if p.Reps != 2 || p.Prepare <= 0 || p.First <= 0 || p.Mean <= 0 {
+			t.Fatalf("degenerate measurement %+v", p)
+		}
+	}
+}
+
+// TestConfBridgeShape checks the bridge comparison: both strategies agree
+// (asserted inside ConfBridge) and the scoped one does not lose to the full
+// conversion on a store dominated by untouched fields.
+func TestConfBridgeShape(t *testing.T) {
+	p, err := ConfBridge(400, 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scoped <= 0 || p.Full <= 0 {
+		t.Fatalf("degenerate measurement %+v", p)
+	}
+	if p.Scoped > p.Full {
+		t.Fatalf("scoped bridge (%s) slower than full conversion (%s)", p.Scoped, p.Full)
+	}
+}

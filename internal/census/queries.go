@@ -16,6 +16,21 @@ import (
 // QueryNames lists the queries in paper order.
 var QueryNames = []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6"}
 
+// SQL expresses each Figure 29 query in the subset of internal/sql. Q5 is
+// defined over the materialized Q2 and Q3 results (named q2 and q3),
+// mirroring the paper. The SQL planner compiles these to the exact operator
+// shapes of the hand-built plans below (asserted by byte-identical
+// representation statistics in internal/sql's tests), so either form feeds
+// the Section 9 experiments.
+var SQL = map[string]string{
+	"Q1": "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0",
+	"Q2": "SELECT POWSTATE, CITIZEN, IMMIGR FROM R WHERE CITIZEN <> 0 AND ENGLISH > 3",
+	"Q3": "SELECT POWSTATE, MARITAL, FERTIL FROM R WHERE FERTIL > 4 AND MARITAL = 1 AND POWSTATE = POB",
+	"Q4": "SELECT * FROM R WHERE FERTIL = 1 AND (RSPOUSE = 1 OR RSPOUSE = 2)",
+	"Q5": "SELECT * FROM q2 AS a, q3 AS b WHERE a.POWSTATE > 50 AND b.POWSTATE > 50 AND a.POWSTATE = b.POWSTATE",
+	"Q6": "SELECT POWSTATE, POB FROM R WHERE ENGLISH = 3",
+}
+
 // Q1 computes σ_{YEARSCH=17 ∧ CITIZEN=0}(src): US citizens with PhD degree.
 func Q1(s *engine.Store, src, res string) error {
 	_, err := s.Select(res, src, engine.And{engine.Eq("YEARSCH", 17), engine.Eq("CITIZEN", 0)})

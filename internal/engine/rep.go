@@ -14,21 +14,50 @@ import (
 // it to hand engine results to the confidence and normalization packages.
 // Values become relation.Int; absent fields become ⊥.
 func (s *Store) ToWSD() (*core.WSD, error) {
+	return s.ToWSDOf(s.Relations()...)
+}
+
+// ToWSDOf converts only the named relations — and the components reachable
+// from them — into a WSD. Components spanning both named and unnamed
+// relations are marginalized: the fields of unnamed relations are projected
+// away and local worlds that become indistinguishable merge, summing their
+// probabilities. The result carries the exact distribution of the named
+// relations, at a size independent of everything else in the store, which is
+// what makes confidence computation on query results scale: CONF() over a
+// small result no longer pays for base relations the query never touched.
+func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
+	include := make(map[int32]bool, len(names))
 	var rels []worlds.RelSchema
 	maxCard := make(map[string]int)
-	for _, r := range s.rels {
+	for _, name := range names {
+		r := s.Rel(name)
 		if r == nil {
-			continue
+			return nil, fmt.Errorf("engine: unknown relation %q", name)
 		}
+		if include[r.id] {
+			return nil, fmt.Errorf("engine: relation %q named twice", name)
+		}
+		include[r.id] = true
 		rels = append(rels, worlds.RelSchema{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)})
 		maxCard[r.Name] = r.NumRows()
 	}
 	w := core.New(worlds.NewSchema(rels...), maxCard)
 
-	// Uncertain fields: one core component per engine component.
+	// Uncertain fields: one core component per reachable engine component,
+	// restricted to the fields of the named relations.
 	for _, c := range s.comps {
-		fields := make([]core.FieldRef, len(c.Fields))
+		var keep []int // column indexes of fields in named relations
 		for i, f := range c.Fields {
+			if include[f.Rel] {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		fields := make([]core.FieldRef, len(keep))
+		for i, col := range keep {
+			f := c.Fields[col]
 			r := s.rels[f.Rel]
 			if r == nil {
 				return nil, fmt.Errorf("engine: component %d references dropped relation", c.ID)
@@ -36,16 +65,33 @@ func (s *Store) ToWSD() (*core.WSD, error) {
 			fields[i] = core.FieldRef{Rel: r.Name, Tuple: int(f.Row) + 1, Attr: r.Attrs[f.Attr]}
 		}
 		cc := core.NewComponent(fields)
+		// Marginalize: project each local world onto the kept fields and
+		// merge duplicates, summing probabilities.
+		seen := make(map[string]int, len(c.Rows))
+		var merged []core.Row
+		key := make([]byte, 0, 8*len(keep))
 		for _, row := range c.Rows {
-			vals := make([]relation.Value, len(fields))
-			for i := range fields {
-				if row.IsAbsent(i) {
+			key = key[:0]
+			for _, col := range keep {
+				key = appendFieldKey(key, row.Vals[col], row.IsAbsent(col))
+			}
+			if j, ok := seen[string(key)]; ok {
+				merged[j].P += row.P
+				continue
+			}
+			vals := make([]relation.Value, len(keep))
+			for i, col := range keep {
+				if row.IsAbsent(col) {
 					vals[i] = relation.Bottom()
 				} else {
-					vals[i] = relation.Int(int64(row.Vals[i]))
+					vals[i] = relation.Int(int64(row.Vals[col]))
 				}
 			}
-			cc.AddRow(core.Row{Values: vals, P: row.P})
+			seen[string(key)] = len(merged)
+			merged = append(merged, core.Row{Values: vals, P: row.P})
+		}
+		for _, row := range merged {
+			cc.AddRow(row)
 		}
 		if err := w.AddComponent(cc); err != nil {
 			return nil, err
@@ -54,7 +100,7 @@ func (s *Store) ToWSD() (*core.WSD, error) {
 
 	// Certain fields: single-row components with probability 1.
 	for _, r := range s.rels {
-		if r == nil {
+		if r == nil || !include[r.id] {
 			continue
 		}
 		for i := 0; i < r.NumRows(); i++ {
@@ -75,9 +121,11 @@ func (s *Store) ToWSD() (*core.WSD, error) {
 	return w, nil
 }
 
-// RepRelation enumerates the world-set of one relation; testing only.
+// RepRelation enumerates the world-set of one relation; testing only. It
+// goes through the scoped bridge, so enumeration cost is driven by the one
+// relation rather than the whole store.
 func (s *Store) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error) {
-	w, err := s.ToWSD()
+	w, err := s.ToWSDOf(rel)
 	if err != nil {
 		return nil, err
 	}

@@ -119,6 +119,8 @@ type Store struct {
 	nextCID int32
 	// fieldComp maps every uncertain field to its component id.
 	fieldComp map[FieldID]int32
+	// scratchSeq numbers the scratch relations handed out by NewScratch.
+	scratchSeq int64
 }
 
 // NewStore creates an empty store.
@@ -159,6 +161,32 @@ func (s *Store) AddRelation(name string, attrs []string, cols [][]int32) (*Relat
 	s.relID[name] = r.id
 	s.rels = append(s.rels, r)
 	return r, nil
+}
+
+// NewScratch returns a fresh relation name for query intermediates and
+// session-scoped results. Scratch names carry a NUL byte, which no SQL
+// identifier (and no sane user relation name) can contain, so they never
+// collide with user relations — or with each other, thanks to the sequence
+// number.
+func (s *Store) NewScratch() string {
+	s.scratchSeq++
+	return fmt.Sprintf("\x00q%d", s.scratchSeq)
+}
+
+// RenameRelation renames a relation in the catalog. Components and field
+// references are untouched: they key relations by id, not by name.
+func (s *Store) RenameRelation(old, new string) error {
+	id, ok := s.relID[old]
+	if !ok {
+		return fmt.Errorf("engine: unknown relation %q", old)
+	}
+	if _, dup := s.relID[new]; dup {
+		return fmt.Errorf("engine: relation %q already exists", new)
+	}
+	delete(s.relID, old)
+	s.relID[new] = id
+	s.rels[id].Name = new
+	return nil
 }
 
 // Rel returns the named relation, or nil.
@@ -339,10 +367,7 @@ func compressComponent(c *Component) {
 	for _, row := range c.Rows {
 		buf = buf[:0]
 		for i, v := range row.Vals {
-			if row.Absent.Get(i) {
-				v = -2 // absent marker, distinct from any value
-			}
-			buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			buf = appendFieldKey(buf, v, row.Absent.Get(i))
 		}
 		k := key(buf)
 		if j, ok := seen[k]; ok {
@@ -353,6 +378,17 @@ func compressComponent(c *Component) {
 		out = append(out, row)
 	}
 	c.Rows = out
+}
+
+// appendFieldKey appends the canonical 4-byte encoding of one field state —
+// the value, or a -2 absent marker distinct from every real value (≥ 0) and
+// from Placeholder — used to merge indistinguishable local worlds.
+// compressComponent and the scoped WSD bridge (ToWSDOf) share it.
+func appendFieldKey(buf []byte, v int32, absent bool) []byte {
+	if absent {
+		v = -2
+	}
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // addField appends a new field column to component c with the given values
@@ -382,11 +418,12 @@ func (s *Store) addField(c *Component, f FieldID, vals []int32, absent []bool) e
 // state, and generally to branch a world-set.
 func (s *Store) Clone() *Store {
 	c := &Store{
-		rels:      make([]*Relation, len(s.rels)),
-		relID:     make(map[string]int32, len(s.relID)),
-		comps:     make(map[int32]*Component, len(s.comps)),
-		nextCID:   s.nextCID,
-		fieldComp: make(map[FieldID]int32, len(s.fieldComp)),
+		rels:       make([]*Relation, len(s.rels)),
+		relID:      make(map[string]int32, len(s.relID)),
+		comps:      make(map[int32]*Component, len(s.comps)),
+		nextCID:    s.nextCID,
+		fieldComp:  make(map[FieldID]int32, len(s.fieldComp)),
+		scratchSeq: s.scratchSeq,
 	}
 	for name, id := range s.relID {
 		c.relID[name] = id

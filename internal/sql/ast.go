@@ -15,6 +15,9 @@ type Stmt struct {
 	Mode Mode
 	// Query is the set-operation tree of selects.
 	Query Node
+	// NumParams counts the ? placeholders; parameters are numbered 1..N in
+	// order of appearance and bound positionally at execute time.
+	NumParams int
 }
 
 // Node is a query node: a select block or a set operation over two of them.
@@ -52,7 +55,7 @@ func (n SetNode) String() string {
 type SelectNode struct {
 	// Star marks SELECT *; otherwise Items lists the projected columns.
 	Star  bool
-	Items []ColumnRef
+	Items []SelectItem
 	From  []TableRef
 	// Where is the selection condition; nil means true.
 	Where Expr
@@ -117,6 +120,22 @@ func (t TableRef) String() string {
 	return t.Name
 }
 
+// SelectItem is one entry of a SELECT list: a column reference with an
+// optional output alias.
+type SelectItem struct {
+	Col ColumnRef
+	// Alias is the output attribute name (AS); empty keeps the column's
+	// resolved name.
+	Alias string
+}
+
+func (it SelectItem) String() string {
+	if it.Alias != "" {
+		return it.Col.String() + " AS " + it.Alias
+	}
+	return it.Col.String()
+}
+
 // ColumnRef is a possibly table-qualified column reference.
 type ColumnRef struct {
 	Table  string // empty = unqualified
@@ -163,20 +182,30 @@ func (e CmpExpr) String() string {
 	return fmt.Sprintf("%s %s %s", e.L, e.Theta, e.R)
 }
 
-// Operand is one side of a comparison: a column reference or a literal.
+// Operand is one side of a comparison: a column reference, a ? parameter,
+// or a literal.
 type Operand struct {
 	// Col is non-nil for a column reference.
 	Col *ColumnRef
-	// Val is the literal value (int or string) when Col is nil.
+	// Param is the 1-based placeholder ordinal of a ? operand; 0 otherwise.
+	Param int
+	// Val is the literal value (int or string) when Col is nil and Param
+	// is 0; for parameters it is filled by binding.
 	Val relation.Value
 }
 
 // IsCol reports whether the operand is a column reference.
 func (o Operand) IsCol() bool { return o.Col != nil }
 
+// IsParam reports whether the operand is an unbound ? placeholder.
+func (o Operand) IsParam() bool { return o.Param > 0 }
+
 func (o Operand) String() string {
 	if o.Col != nil {
 		return o.Col.String()
+	}
+	if o.Param > 0 {
+		return "?"
 	}
 	if o.Val.Kind() == relation.KindString {
 		return "'" + strings.ReplaceAll(o.Val.AsString(), "'", "''") + "'"

@@ -3,22 +3,29 @@ package sql
 import (
 	"testing"
 
-	"maybms/internal/bench"
 	"maybms/internal/census"
 	"maybms/internal/engine"
 )
 
-// CensusSQL expresses each Figure 29 query as a SQL string. Q5 is defined
-// over the materialized Q2 and Q3 results (named q2 and q3), mirroring the
-// paper and internal/census.
-var CensusSQL = map[string]string{
-	"Q1": "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0",
-	"Q2": "SELECT POWSTATE, CITIZEN, IMMIGR FROM R WHERE CITIZEN <> 0 AND ENGLISH > 3",
-	"Q3": "SELECT POWSTATE, MARITAL, FERTIL FROM R WHERE FERTIL > 4 AND MARITAL = 1 AND POWSTATE = POB",
-	"Q4": "SELECT * FROM R WHERE FERTIL = 1 AND (RSPOUSE = 1 OR RSPOUSE = 2)",
-	"Q5": "SELECT * FROM q2 AS a, q3 AS b WHERE a.POWSTATE > 50 AND b.POWSTATE > 50 AND a.POWSTATE = b.POWSTATE",
-	"Q6": "SELECT POWSTATE, POB FROM R WHERE ENGLISH = 3",
+// prepareCensus builds a noisy census store (what bench.Prepare does; the
+// bench package now sits above this one in the import graph, measuring the
+// session API).
+func prepareCensus(t *testing.T, rows int, density float64, seed int64) (*engine.Store, int) {
+	t.Helper()
+	s, err := census.NewStore("R", rows, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := census.AddNoise(s, "R", density, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, n
 }
+
+// CensusSQL is the SQL form of each Figure 29 query, shared with the bench
+// and experiment drivers through internal/census.
+var CensusSQL = census.SQL
 
 // runCensusSQL executes the SQL form of a Figure 29 query, materializing
 // res. Q5 computes its q2 and q3 inputs through the SQL frontend first and
@@ -47,16 +54,13 @@ func runCensusSQL(t *testing.T, s *engine.Store, name, res string) *Result {
 // store, byte-identical representation statistics to the hand-built
 // census.Run plan for the same seed.
 func TestCensusSQLStatsMatchHandBuilt(t *testing.T) {
-	p, err := bench.Prepare(3000, 0.004, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if p.OrSets == 0 {
+	store, orSets := prepareCensus(t, 3000, 0.004, 7)
+	if orSets == 0 {
 		t.Fatal("prepared store has no or-sets; the comparison would be vacuous")
 	}
 	for _, name := range census.QueryNames {
-		hand := p.Store.Clone()
-		viaSQL := p.Store.Clone()
+		hand := store.Clone()
+		viaSQL := store.Clone()
 		if err := census.Run(hand, name, "R", "res"); err != nil {
 			t.Fatalf("%s: hand-built: %v", name, err)
 		}
@@ -75,16 +79,13 @@ func TestCensusSQLStatsMatchHandBuilt(t *testing.T) {
 // TestCensusSQLStatsMatchAfterChase repeats the comparison on a chased
 // store, the state the Section 9 experiments query.
 func TestCensusSQLStatsMatchAfterChase(t *testing.T) {
-	p, err := bench.Prepare(2000, 0.004, 11)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+	store, _ := prepareCensus(t, 2000, 0.004, 11)
+	if err := store.ChaseEGDs("R", census.Dependencies()); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range census.QueryNames {
-		hand := p.Store.Clone()
-		viaSQL := p.Store.Clone()
+		hand := store.Clone()
+		viaSQL := store.Clone()
 		if err := census.Run(hand, name, "R", "res"); err != nil {
 			t.Fatalf("%s: hand-built: %v", name, err)
 		}

@@ -13,32 +13,30 @@ import (
 // certainEps is the tolerance under which a confidence counts as 1.
 const certainEps = 1e-9
 
-// Exec parses and executes one statement against the engine store. A plain
-// query materializes its result as relation res (the caller owns dropping
-// it); CONF()/POSSIBLE/CERTAIN queries materialize nothing and return their
-// answers in Result.Tuples, computed by handing the query result to
-// internal/confidence through the store's WSD bridge. EXPLAIN statements are
-// rejected; use Explain.
-func Exec(s *engine.Store, input, res string) (*Result, error) {
-	st, err := Parse(input)
-	if err != nil {
-		return nil, err
-	}
-	if st.Explain {
-		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
-	}
-	return ExecStmt(s, st, res)
+// Executor is a compiled statement bound to an execution backend. The
+// engine path (native operators on the columnar store) and the per-world
+// reference path (naive evaluation over an explicit world-set) implement
+// the same contract, so callers — the session API above, tests, tools —
+// run either through one Query call.
+type Executor interface {
+	// Columns returns the output attribute names.
+	Columns() []string
+	// NumParams returns the number of ? placeholders to bind.
+	NumParams() int
+	// Query binds args positionally and executes the statement.
+	Query(args []relation.Value) (*Result, error)
 }
 
-// ExecStmt executes a parsed statement against the engine store.
-func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
-	target := res
-	if st.Mode != ModePlain {
-		// The across-world modes read the materialized result through the
-		// WSD bridge and then discard it.
-		target = res + "\x00mode"
-	}
-	plan, err := PlanEngine(st, s, target)
+// runEngine binds a compiled template to a fresh scratch relation and
+// executes it. Plain results are left under the scratch name — the caller
+// owns dropping it — unless install is non-empty, in which case the result
+// is renamed into the user's namespace. Across-world modes materialize
+// nothing: the scratch result is handed to internal/confidence through the
+// scoped WSD bridge (only the components reachable from the result are
+// converted) and dropped.
+func runEngine(s *engine.Store, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
+	scratch := s.NewScratch()
+	plan, err := tpl.Bind(scratch, args)
 	if err != nil {
 		return nil, err
 	}
@@ -46,22 +44,30 @@ func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
 		return nil, err
 	}
 	plan.DropTemps(s)
-	out := &Result{Mode: st.Mode, Attrs: plan.OutAttrs}
-	if st.Mode == ModePlain {
-		out.Relation = res
-		out.Stats = s.Stats(res)
+	out := &Result{Mode: tpl.Mode, Attrs: plan.OutAttrs}
+	if tpl.Mode == ModePlain {
+		name := scratch
+		if install != "" {
+			if err := s.RenameRelation(scratch, install); err != nil {
+				s.DropRelation(scratch)
+				return nil, fmt.Errorf("sql: installing result: %w", err)
+			}
+			name = install
+		}
+		out.Relation = name
+		out.Stats = s.Stats(name)
 		return out, nil
 	}
-	defer s.DropRelation(target)
-	w, err := s.ToWSD()
+	defer s.DropRelation(scratch)
+	w, err := s.ToWSDOf(scratch)
 	if err != nil {
 		return nil, err
 	}
-	tcs, err := confidence.PossibleP(w, target)
+	tcs, err := confidence.PossibleP(w, scratch)
 	if err != nil {
 		return nil, err
 	}
-	if st.Mode == ModeCertain {
+	if tpl.Mode == ModeCertain {
 		kept := tcs[:0]
 		for _, tc := range tcs {
 			if tc.Conf >= 1-certainEps {
@@ -74,19 +80,78 @@ func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
 	return out, nil
 }
 
+// Exec parses and executes one statement against the engine store. A plain
+// query materializes its result as relation res (the caller owns dropping
+// it); CONF()/POSSIBLE/CERTAIN queries materialize nothing and return their
+// answers in Result.Tuples. EXPLAIN statements are rejected; use Explain.
+//
+// Deprecated: Exec re-lexes, re-parses and re-plans on every call and
+// needs a caller-managed result name. Use Open and DB.Prepare/DB.Query,
+// which reuse compiled plans, bind ? parameters, and scope result relations
+// to the session.
+func Exec(s *engine.Store, input, res string) (*Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
+	}
+	return ExecStmt(s, st, res)
+}
+
+// ExecStmt executes a parsed statement against the engine store,
+// materializing plain results under res. All intermediates run under
+// session-scoped scratch names, so the only way res can clash with the
+// store is the final install — which is checked up front with a clear
+// error instead of surfacing a mid-plan engine failure.
+//
+// Deprecated: use Open and DB.Prepare/DB.Query (see Exec).
+func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
+	if st.Mode == ModePlain && s.Rel(res) != nil {
+		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
+	}
+	tpl, err := compileEngine(st, storeCatalog{s})
+	if err != nil {
+		return nil, err
+	}
+	install := res
+	if st.Mode != ModePlain {
+		install = ""
+	}
+	return runEngine(s, tpl, nil, install)
+}
+
 // ExecWorlds executes a parsed statement under the per-world reference
 // semantics: the query is evaluated in every world of ws, and the mode is
 // applied across the resulting world-set. For non-probabilistic world-sets
 // CONF() fails, POSSIBLE reports Conf 0, and CERTAIN keeps the tuples
 // present in every world.
+//
+// Deprecated: use PrepareWorlds, which shares the Executor contract with
+// the engine path and binds ? parameters.
 func ExecWorlds(st *Stmt, ws *worlds.WorldSet, result string) (*Result, error) {
+	return execWorldsBound(st, ws, result, nil)
+}
+
+func execWorldsBound(st *Stmt, ws *worlds.WorldSet, result string, args []relation.Value) (*Result, error) {
 	if st.Explain {
 		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
 	}
-	q, err := PlanWorlds(st, ws.Schema)
+	bound, err := bindStmt(st, args)
 	if err != nil {
 		return nil, err
 	}
+	q, err := PlanWorlds(bound, ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return evalWorlds(st.Mode, q, ws, result)
+}
+
+// evalWorlds evaluates a compiled per-world plan and applies the mode
+// across the resulting world-set.
+func evalWorlds(mode Mode, q worlds.Query, ws *worlds.WorldSet, result string) (*Result, error) {
 	outSchema, err := q.OutSchema(ws.Schema)
 	if err != nil {
 		return nil, err
@@ -95,13 +160,13 @@ func ExecWorlds(st *Stmt, ws *worlds.WorldSet, result string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Mode: st.Mode, Attrs: outSchema.Attrs()}
-	if st.Mode == ModePlain {
+	out := &Result{Mode: mode, Attrs: outSchema.Attrs()}
+	if mode == ModePlain {
 		out.WorldSet = evaluated
 		return out, nil
 	}
 	prob := evaluated.Probabilistic()
-	if st.Mode == ModeConf && !prob {
+	if mode == ModeConf && !prob {
 		return nil, fmt.Errorf("sql: CONF() requires a probabilistic world-set")
 	}
 	type acc struct {
@@ -125,7 +190,7 @@ func ExecWorlds(st *Stmt, ws *worlds.WorldSet, result string) (*Result, error) {
 	}
 	var tcs []confidence.TupleConf
 	for _, a := range sums {
-		if st.Mode == ModeCertain {
+		if mode == ModeCertain {
 			if prob && a.conf < 1-certainEps {
 				continue
 			}

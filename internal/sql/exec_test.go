@@ -63,6 +63,10 @@ func TestEngineAgreesWithPerWorld(t *testing.T) {
 		"SELECT * FROM R a, S b",
 		"SELECT A FROM R WHERE A = 1 UNION SELECT A FROM R WHERE A = 2",
 		"SELECT B FROM R WHERE B >= 30 UNION SELECT B FROM R WHERE A = 2",
+		"SELECT A AS x FROM R",
+		"SELECT A AS B, B AS A FROM R",
+		"SELECT x.A AS a1, y.D AS d1 FROM R AS x, S AS y WHERE x.A = y.C",
+		"SELECT x.A AS A FROM R AS x, S AS y WHERE x.A = y.C UNION SELECT A FROM R WHERE A = 1",
 	}
 	for _, q := range queries {
 		s := tinyStore(t)
@@ -180,6 +184,9 @@ func TestPlanErrors(t *testing.T) {
 		{"SELECT A FROM R UNION SELECT C, D FROM S", "UNION schema mismatch"},
 		{"SELECT * FROM R WHERE A = 'one'", "integer codes only"},
 		{"SELECT * FROM R WHERE A = 3000000000", "overflows"},
+		{"SELECT A AS x, B AS x FROM R", "duplicate output column"},
+		{"SELECT A AS B, B FROM R", "duplicate output column"},
+		{"SELECT A FROM R WHERE B = ?", "1 parameter(s), 0 argument(s)"},
 	}
 	for _, c := range cases {
 		s := tinyStore(t)

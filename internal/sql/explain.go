@@ -24,14 +24,30 @@ func Explain(s *engine.Store, input string) (string, error) {
 	return ExplainStmt(s, st)
 }
 
-// ExplainStmt renders the Section 5 rewriting of a parsed statement.
+// ExplainStmt renders the Section 5 rewriting of a parsed statement. A
+// parameterized statement explains fine — the plan shape never depends on a
+// parameter — with the placeholders rendered as 0 and a header note.
 func ExplainStmt(s *engine.Store, st *Stmt) (string, error) {
-	plan, err := PlanEngine(st, s, "P")
+	tpl, err := CompileEngine(st, s)
+	if err != nil {
+		return "", err
+	}
+	var args []relation.Value
+	if st.NumParams > 0 {
+		args = make([]relation.Value, st.NumParams)
+		for i := range args {
+			args[i] = relation.Int(0)
+		}
+	}
+	plan, err := tpl.Bind("P", args)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "-- EXPLAIN %s\n", st.Query)
+	if st.NumParams > 0 {
+		fmt.Fprintf(&b, "-- %d bind parameter(s) rendered as the constant 0; the plan shape is identical for every binding\n", st.NumParams)
+	}
 	if st.Mode != ModePlain {
 		fmt.Fprintf(&b, "-- %s applies across worlds (Section 6) to the result below, via internal/confidence\n", st.Mode)
 	}

@@ -26,6 +26,7 @@ const (
 	tkRParen
 	tkSemi
 	tkMinus
+	tkParam // the ? parameter placeholder
 )
 
 // token is one lexeme with its byte offset (for error messages).
@@ -70,6 +71,9 @@ func lex(input string) ([]token, error) {
 			i++
 		case c == ';':
 			toks = append(toks, token{kind: tkSemi, text: ";", off: i})
+			i++
+		case c == '?':
+			toks = append(toks, token{kind: tkParam, text: "?", off: i})
 			i++
 		case c == '-':
 			toks = append(toks, token{kind: tkMinus, text: "-", off: i})

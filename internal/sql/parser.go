@@ -25,12 +25,16 @@ func Parse(input string) (*Stmt, error) {
 	if t := p.peek(); t.kind != tkEOF {
 		return nil, p.errorf(t, "expected end of statement, found %q", t.text)
 	}
+	st.NumParams = p.params
 	return st, nil
 }
 
 type parser struct {
 	toks []token
 	pos  int
+	// params counts the ? placeholders seen so far; ordinals are assigned
+	// in order of appearance.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -157,7 +161,19 @@ func (p *parser) itemList(sel *SelectNode) error {
 		if err != nil {
 			return err
 		}
-		sel.Items = append(sel.Items, c)
+		item := SelectItem{Col: c}
+		if a := p.peek(); a.kind == tkKeyword && a.text == "AS" {
+			p.next()
+			al := p.next()
+			if al.kind != tkIdent {
+				return p.errorf(al, "expected alias after AS, found %q", al.text)
+			}
+			item.Alias = al.text
+		} else if a.kind == tkIdent {
+			p.next()
+			item.Alias = a.text
+		}
+		sel.Items = append(sel.Items, item)
 		if p.peek().kind != tkComma {
 			return nil
 		}
@@ -309,7 +325,11 @@ func (p *parser) operand() (Operand, error) {
 	case tkString:
 		p.next()
 		return Operand{Val: relation.String(t.text)}, nil
+	case tkParam:
+		p.next()
+		p.params++
+		return Operand{Param: p.params}, nil
 	default:
-		return Operand{}, p.errorf(t, "expected column, number or string, found %q", t.text)
+		return Operand{}, p.errorf(t, "expected column, number, string or ?, found %q", t.text)
 	}
 }

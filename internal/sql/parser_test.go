@@ -24,6 +24,10 @@ func TestParseShapes(t *testing.T) {
 		{"SELECT A FROM R EXCEPT SELECT A FROM S", "SELECT A FROM R EXCEPT SELECT A FROM S"},
 		{"SELECT * FROM R WHERE 1 < A", "SELECT * FROM R WHERE 1 < A"},
 		{"SELECT Größe FROM Maße", "SELECT Größe FROM Maße"},
+		{"SELECT A AS x, B y FROM R", "SELECT A AS x, B AS y FROM R"},
+		{"SELECT a.X AS v FROM R AS a", "SELECT a.X AS v FROM R AS a"},
+		{"SELECT * FROM R WHERE A = ? AND ? < B", "SELECT * FROM R WHERE A = ? AND ? < B"},
+		{"SELECT POSSIBLE A AS x FROM R WHERE B = ?", "SELECT POSSIBLE A AS x FROM R WHERE B = ?"},
 	}
 	for _, c := range cases {
 		st, err := Parse(c.in)
@@ -62,9 +66,9 @@ func TestParseErrors(t *testing.T) {
 		{"", "expected SELECT"},
 		{"SELECT", "expected column name"},
 		{"SELECT * FROM", "expected relation name"},
-		{"SELECT * FROM R WHERE", "expected column, number or string"},
+		{"SELECT * FROM R WHERE", "expected column, number, string or ?"},
 		{"SELECT * FROM R WHERE A", "expected comparison operator"},
-		{"SELECT * FROM R WHERE A = ", "expected column, number or string"},
+		{"SELECT * FROM R WHERE A = ", "expected column, number, string or ?"},
 		{"SELECT * FROM R WHERE A = 'x", "unterminated string literal"},
 		{"SELECT * FROM R WHERE 'a' = 'b'", "at least one column"},
 		{"SELECT * FROM R WHERE A = 1 garbage", "expected end of statement"},
@@ -88,6 +92,43 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.wantSub) {
 			t.Errorf("Parse(%q) error %q, want substring %q", c.in, err, c.wantSub)
 		}
+	}
+}
+
+func TestParseParamOrdinals(t *testing.T) {
+	st, err := Parse("SELECT A FROM R WHERE A = ? OR (B > ? AND B < ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", st.NumParams)
+	}
+	var ords []int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case AndExpr:
+			for _, c := range e {
+				walk(c)
+			}
+		case OrExpr:
+			for _, c := range e {
+				walk(c)
+			}
+		case CmpExpr:
+			for _, o := range []Operand{e.L, e.R} {
+				if o.IsParam() {
+					ords = append(ords, o.Param)
+				}
+			}
+		}
+	}
+	walk(st.Query.(*SelectNode).Where)
+	if len(ords) != 3 || ords[0] != 1 || ords[1] != 2 || ords[2] != 3 {
+		t.Fatalf("parameter ordinals = %v, want [1 2 3]", ords)
+	}
+	if _, err := Parse("SELECT * FROM R WHERE ? = ?"); err == nil || !strings.Contains(err.Error(), "at least one column") {
+		t.Fatalf("? = ? error = %v, want at least one column", err)
 	}
 }
 

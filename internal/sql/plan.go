@@ -3,6 +3,8 @@ package sql
 import (
 	"fmt"
 	"math"
+	"strings"
+	"sync/atomic"
 
 	"maybms/internal/engine"
 	"maybms/internal/relation"
@@ -17,6 +19,12 @@ import (
 // becomes an equi-join. This keeps the engine's component compositions —
 // and hence the representation statistics of Figure 27 — identical to the
 // hand-built plans.
+//
+// Compilation and execution are split: CompileEngine resolves names and
+// fixes the plan shape once, producing a parameter-templated plan whose
+// relation names are symbolic; Bind substitutes the argument values and a
+// concrete result name, so one compiled plan serves many executions —
+// the prepared-statement path of the session API.
 
 // catalog resolves relation names to attribute lists.
 type catalog interface {
@@ -262,8 +270,12 @@ type EngineOp struct {
 	// Res is the relation the step materializes; Src (and Src2 for binary
 	// operators) are its inputs.
 	Res, Src, Src2 string
-	// Pred is the selection condition (OpSelect).
+	// Pred is the selection condition (OpSelect). On a templated plan it is
+	// nil until Bind instantiates it from the predicate template.
 	Pred engine.Pred
+	// bind instantiates Pred from the bound parameter values (OpSelect on
+	// templated plans).
+	bind predBinder
 	// Attrs is the projection list (OpProject).
 	Attrs []string
 	// Renames maps old to new attribute names (OpRename).
@@ -272,8 +284,18 @@ type EngineOp struct {
 	OnL, OnR string
 }
 
+// predBinder produces the concrete selection condition of one plan step
+// once parameters are bound.
+type predBinder func(args []relation.Value) (engine.Pred, error)
+
+// resToken is the symbolic result name of a templated plan; every temp name
+// is derived from it, and Bind substitutes the concrete result name. The
+// NUL byte keeps symbolic names out of the user's namespace.
+const resToken = "\x00res"
+
 // EnginePlan is a compiled statement: a sequence of native operators whose
-// last step materializes Result.
+// last step materializes Result. CompileEngine produces a templated plan
+// (symbolic names, unbound parameters); Bind instantiates it.
 type EnginePlan struct {
 	Mode Mode
 	Ops  []EngineOp
@@ -284,11 +306,87 @@ type EnginePlan struct {
 	Temps []string
 	// OutAttrs are the output attribute names.
 	OutAttrs []string
+	// NumParams counts the ? placeholders the plan binds at execute time.
+	NumParams int
+	// template marks a plan whose names are symbolic and whose selection
+	// conditions await binding; Run rejects it.
+	template bool
+	// bases records the base relations the plan was resolved against and
+	// their attribute lists at compile time; CatalogValid compares them to
+	// the live catalog so stale cached plans recompile instead of running
+	// against a changed schema.
+	bases []boundBase
+}
+
+type boundBase struct {
+	name  string
+	attrs []string
+}
+
+// CatalogValid reports whether every base relation the plan resolved
+// against still exists in the store with an identical attribute list.
+func (p *EnginePlan) CatalogValid(s *engine.Store) bool {
+	for _, b := range p.bases {
+		r := s.Rel(b.name)
+		if r == nil || !sameAttrs(r.Attrs, b.attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// enginePlansCompiled counts plan compilations process-wide; the session
+// tests assert that a prepared statement executed repeatedly re-plans zero
+// times.
+var enginePlansCompiled atomic.Uint64
+
+// EnginePlansCompiled reports how many engine plans have been compiled by
+// this process. It is an instrumentation hook for tests and benchmarks.
+func EnginePlansCompiled() uint64 { return enginePlansCompiled.Load() }
+
+// Bind instantiates a templated plan: the symbolic result name becomes res
+// (temps are renamed along with it) and the ? parameters are substituted
+// into the selection conditions. The template is not consumed — it can be
+// bound again, concurrently, with other arguments.
+func (p *EnginePlan) Bind(res string, args []relation.Value) (*EnginePlan, error) {
+	if !p.template {
+		return nil, fmt.Errorf("sql: plan is already bound")
+	}
+	if err := checkArgs(p.NumParams, args); err != nil {
+		return nil, err
+	}
+	sub := func(name string) string {
+		if strings.HasPrefix(name, resToken) {
+			return res + name[len(resToken):]
+		}
+		return name
+	}
+	out := &EnginePlan{Mode: p.Mode, Result: res, OutAttrs: p.OutAttrs, NumParams: p.NumParams}
+	out.Ops = make([]EngineOp, len(p.Ops))
+	for i, op := range p.Ops {
+		op.Res, op.Src, op.Src2 = sub(op.Res), sub(op.Src), sub(op.Src2)
+		if op.bind != nil {
+			pred, err := op.bind(args)
+			if err != nil {
+				return nil, err
+			}
+			op.Pred = pred
+			op.bind = nil
+		}
+		out.Ops[i] = op
+	}
+	for _, op := range out.Ops[:len(out.Ops)-1] {
+		out.Temps = append(out.Temps, op.Res)
+	}
+	return out, nil
 }
 
 // Run executes the plan's operators against the store. On error every
 // relation already created by the plan is dropped.
 func (p *EnginePlan) Run(s *engine.Store) error {
+	if p.template {
+		return fmt.Errorf("sql: plan is a template; Bind it first")
+	}
 	var created []string
 	fail := func(err error) error {
 		for i := len(created) - 1; i >= 0; i-- {
@@ -329,39 +427,57 @@ func (p *EnginePlan) DropTemps(s *engine.Store) {
 	}
 }
 
-// PlanEngine compiles a statement into native operators materializing res on
-// store s. EXCEPT has no engine operator and is rejected here; the across-
-// world modes are recorded on the plan and handled by Exec.
-func PlanEngine(st *Stmt, s *engine.Store, res string) (*EnginePlan, error) {
-	pl := &eplanner{cat: storeCatalog{s}, res: res}
+// CompileEngine compiles a statement into a templated engine plan: names
+// are resolved against the store's catalog and the operator shape is fixed,
+// but relation names stay symbolic and ? parameters unbound. EXCEPT has no
+// engine operator and is rejected here; the across-world modes are recorded
+// on the plan and handled by the executor.
+func CompileEngine(st *Stmt, s *engine.Store) (*EnginePlan, error) {
+	return compileEngine(st, storeCatalog{s})
+}
+
+func compileEngine(st *Stmt, cat catalog) (*EnginePlan, error) {
+	enginePlansCompiled.Add(1)
+	pl := &eplanner{cat: cat}
 	rel, attrs, err := pl.node(st.Query)
 	if err != nil {
 		return nil, err
 	}
-	plan := &EnginePlan{Mode: st.Mode, Ops: pl.ops, Result: res, OutAttrs: attrs}
+	plan := &EnginePlan{
+		Mode: st.Mode, Ops: pl.ops, Result: resToken, OutAttrs: attrs,
+		NumParams: st.NumParams, template: true, bases: pl.bases,
+	}
 	if n := len(plan.Ops); n > 0 && plan.Ops[n-1].Res == rel {
-		plan.Ops[n-1].Res = res
+		plan.Ops[n-1].Res = resToken
 	} else {
 		// The query reduced to a bare base relation: materialize a copy so
-		// the result is always a fresh relation named res.
-		plan.Ops = append(plan.Ops, EngineOp{Kind: OpRename, Res: res, Src: rel, Renames: map[string]string{}})
-	}
-	for _, op := range plan.Ops[:len(plan.Ops)-1] {
-		plan.Temps = append(plan.Temps, op.Res)
+		// the result is always a fresh relation.
+		plan.Ops = append(plan.Ops, EngineOp{Kind: OpRename, Res: resToken, Src: rel, Renames: map[string]string{}})
 	}
 	return plan, nil
 }
 
+// PlanEngine compiles a statement and binds it to the result name res in one
+// step, the one-shot path. Statements with parameters must go through
+// CompileEngine + Bind (or the session API) instead.
+func PlanEngine(st *Stmt, s *engine.Store, res string) (*EnginePlan, error) {
+	tpl, err := CompileEngine(st, s)
+	if err != nil {
+		return nil, err
+	}
+	return tpl.Bind(res, nil)
+}
+
 type eplanner struct {
-	cat  catalog
-	res  string
-	ops  []EngineOp
-	tmpN int
+	cat   catalog
+	ops   []EngineOp
+	tmpN  int
+	bases []boundBase
 }
 
 func (p *eplanner) tmp() string {
 	p.tmpN++
-	return fmt.Sprintf("%s\x00s%d", p.res, p.tmpN)
+	return fmt.Sprintf("%s\x00s%d", resToken, p.tmpN)
 }
 
 func (p *eplanner) add(op EngineOp) string {
@@ -400,6 +516,9 @@ func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	for _, t := range b.tables {
+		p.bases = append(p.bases, boundBase{name: t.ref.Name, attrs: append([]string(nil), t.attrs...)})
+	}
 	conjs := flattenConjuncts(sel.Where)
 	type conjInfo struct {
 		e      Expr
@@ -434,6 +553,22 @@ func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
 		}
 		return b.internalName(ti, attr), nil
 	}
+	// selBinder defers predicate construction to bind time: the conjuncts
+	// may hold ? parameters, so only the bound copy yields engine values.
+	selBinder := func(exprs []Expr, name func(ColumnRef) (string, error)) predBinder {
+		exprs = append([]Expr(nil), exprs...)
+		return func(args []relation.Value) (engine.Pred, error) {
+			ps := make([]engine.Pred, len(exprs))
+			for i, e := range exprs {
+				pred, err := exprToEnginePred(bindExpr(e, args), name)
+				if err != nil {
+					return nil, err
+				}
+				ps[i] = pred
+			}
+			return andOfEngine(ps), nil
+		}
+	}
 
 	// Per table: push down its local conditions (constant-style conjuncts
 	// as one selection, each same-tuple attribute comparison its own), then
@@ -441,29 +576,25 @@ func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
 	planned := make([]string, len(b.tables))
 	for ti, t := range b.tables {
 		cur := t.ref.Name
-		var group []engine.Pred
-		var atoms []engine.Pred
+		var group []Expr
+		var atoms []Expr
 		for i := range infos {
 			in := &infos[i]
 			if in.used || len(in.tables) != 1 || !in.tables[ti] {
 				continue
 			}
-			pred, err := exprToEnginePred(in.e, bareNamer(ti))
-			if err != nil {
-				return "", nil, err
-			}
 			if isAttrAttr(in.e) {
-				atoms = append(atoms, pred)
+				atoms = append(atoms, in.e)
 			} else {
-				group = append(group, pred)
+				group = append(group, in.e)
 			}
 			in.used = true
 		}
 		if len(group) > 0 {
-			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, Pred: andOfEngine(group)})
+			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, bind: selBinder(group, bareNamer(ti))})
 		}
 		for _, a := range atoms {
-			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, Pred: a})
+			cur = p.add(EngineOp{Kind: OpSelect, Src: cur, bind: selBinder([]Expr{a}, bareNamer(ti))})
 		}
 		if b.multi {
 			renames := make(map[string]string, len(t.attrs))
@@ -522,19 +653,14 @@ func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
 
 	// Remaining conditions (extra equalities, non-equality cross-table
 	// comparisons, conditions over three or more tables) run on the join.
-	var rest []engine.Pred
+	var rest []Expr
 	for i := range infos {
-		if infos[i].used {
-			continue
+		if !infos[i].used {
+			rest = append(rest, infos[i].e)
 		}
-		pred, err := exprToEnginePred(infos[i].e, qualNamer)
-		if err != nil {
-			return "", nil, err
-		}
-		rest = append(rest, pred)
 	}
 	if len(rest) > 0 {
-		acc = p.add(EngineOp{Kind: OpSelect, Src: acc, Pred: andOfEngine(rest)})
+		acc = p.add(EngineOp{Kind: OpSelect, Src: acc, bind: selBinder(rest, qualNamer)})
 	}
 
 	// Projection. SELECT * keeps the join result as is.
@@ -547,21 +673,52 @@ func (p *eplanner) selectNode(sel *SelectNode) (string, []string, error) {
 		}
 		return acc, out, nil
 	}
-	out := make([]string, len(sel.Items))
-	seen := make(map[string]bool, len(sel.Items))
-	for i, c := range sel.Items {
-		ti, attr, err := b.resolveColumn(c)
-		if err != nil {
-			return "", nil, err
-		}
-		out[i] = b.internalName(ti, attr)
-		if seen[out[i]] {
-			return "", nil, fmt.Errorf("sql: offset %d: duplicate column %s in SELECT list", c.off, c)
-		}
-		seen[out[i]] = true
+	internal, final, err := resolveItems(sel, b)
+	if err != nil {
+		return "", nil, err
 	}
-	acc = p.add(EngineOp{Kind: OpProject, Src: acc, Attrs: out})
-	return acc, out, nil
+	acc = p.add(EngineOp{Kind: OpProject, Src: acc, Attrs: internal})
+	renames := make(map[string]string)
+	for i := range internal {
+		if final[i] != internal[i] {
+			renames[internal[i]] = final[i]
+		}
+	}
+	if len(renames) > 0 {
+		acc = p.add(EngineOp{Kind: OpRename, Src: acc, Renames: renames})
+	}
+	return acc, final, nil
+}
+
+// resolveItems maps a SELECT list to the attribute names carried by the join
+// result (internal) and the output names after AS aliases (final). Both must
+// be duplicate-free: the engine projects by source attribute, and the output
+// schema must name columns unambiguously.
+func resolveItems(sel *SelectNode, b *binding) (internal, final []string, err error) {
+	internal = make([]string, len(sel.Items))
+	final = make([]string, len(sel.Items))
+	seenIn := make(map[string]bool, len(sel.Items))
+	seenOut := make(map[string]bool, len(sel.Items))
+	for i, it := range sel.Items {
+		ti, attr, err := b.resolveColumn(it.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		internal[i] = b.internalName(ti, attr)
+		if seenIn[internal[i]] {
+			return nil, nil, fmt.Errorf("sql: offset %d: duplicate column %s in SELECT list", it.Col.off, it.Col)
+		}
+		seenIn[internal[i]] = true
+		final[i] = internal[i]
+		if it.Alias != "" {
+			final[i] = it.Alias
+		}
+		if seenOut[final[i]] {
+			return nil, nil, fmt.Errorf("sql: offset %d: duplicate output column %q in SELECT list (alias one of them)", it.Col.off, final[i])
+		}
+		seenOut[final[i]] = true
+	}
+	return internal, final, nil
 }
 
 func sameAttrs(a, b []string) bool {

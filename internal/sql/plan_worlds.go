@@ -191,18 +191,26 @@ func planWorldsSelect(sel *SelectNode, cat catalog) (worlds.Query, error) {
 	if sel.Star {
 		return q, nil
 	}
-	out := make([]string, len(sel.Items))
-	seen := make(map[string]bool, len(sel.Items))
-	for i, c := range sel.Items {
-		ti, attr, err := b.resolveColumn(c)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = b.internalName(ti, attr)
-		if seen[out[i]] {
-			return nil, fmt.Errorf("sql: offset %d: duplicate column %s in SELECT list", c.off, c)
-		}
-		seen[out[i]] = true
+	internal, final, err := resolveItems(sel, b)
+	if err != nil {
+		return nil, err
 	}
-	return worlds.Project{Q: q, Attrs: out}, nil
+	q = worlds.Project{Q: q, Attrs: internal}
+	// AS aliases become renames. They apply simultaneously on the engine
+	// path, so route through unique temporaries here: a pairwise chain
+	// would corrupt swaps like SELECT A AS B, B AS A.
+	type rn struct{ old, new string }
+	var changed []rn
+	for i := range internal {
+		if final[i] != internal[i] {
+			changed = append(changed, rn{internal[i], final[i]})
+		}
+	}
+	for i, r := range changed {
+		q = worlds.Rename{Q: q, Old: r.old, New: fmt.Sprintf("\x00a%d", i)}
+	}
+	for i, r := range changed {
+		q = worlds.Rename{Q: q, Old: fmt.Sprintf("\x00a%d", i), New: r.new}
+	}
+	return q, nil
 }

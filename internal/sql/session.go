@@ -1,0 +1,521 @@
+package sql
+
+import (
+	"fmt"
+	"sync"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// The session API: a database/sql-shaped surface over the engine store.
+// Open wraps a store in a DB; Prepare compiles a statement once (plans are
+// cached per DB, keyed by statement text); Query binds ? parameters and
+// returns a Rows pull iterator. Every result relation and planner
+// intermediate lives under a session-scoped scratch name, and Rows.Close
+// drops it — a long-lived store serving many queries never accumulates
+// query debris, and result names can never collide with user relations.
+
+// DB is a session over one engine store. All statement execution holds the
+// write lock (engine operators extend the shared component store even for
+// pure selections); catalog inspection holds the read lock. A DB is safe
+// for concurrent use by multiple goroutines.
+type DB struct {
+	mu     sync.RWMutex
+	store  *engine.Store
+	plans  map[string]*EnginePlan // statement text → compiled template
+	closed bool
+}
+
+// Open wraps an engine store in a session. The caller keeps ownership of
+// the store; Close detaches without destroying it.
+func Open(store *engine.Store) *DB {
+	return &DB{store: store, plans: make(map[string]*EnginePlan)}
+}
+
+// Close detaches the session. Prepared statements stop working; the
+// underlying store is untouched.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	db.plans = nil
+	return nil
+}
+
+func (db *DB) check() error {
+	if db == nil {
+		return fmt.Errorf("sql: nil DB")
+	}
+	if db.closed {
+		return fmt.Errorf("sql: DB is closed")
+	}
+	return nil
+}
+
+// maxCachedPlans bounds the DB's plan cache. Ad-hoc queries with inline
+// literals each cache under their own text; past the bound an arbitrary
+// entry is evicted (statements held by a live Prepared keep their plan
+// regardless — eviction only costs a recompile on the next Prepare).
+const maxCachedPlans = 512
+
+// Prepare parses and compiles a statement once. The compiled plan is cached
+// on the DB keyed by statement text, so preparing the same text twice — or
+// executing the returned statement any number of times, with any bound
+// parameters — re-plans zero times. EXPLAIN statements are rejected; use
+// DB.Explain.
+func (db *DB) Prepare(query string) (*Prepared, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return nil, fmt.Errorf("sql: statement is EXPLAIN; use DB.Explain to render the rewriting")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	tpl, ok := db.plans[query]
+	if !ok || !tpl.CatalogValid(db.store) {
+		tpl, err = compileEngine(st, storeCatalog{db.store})
+		if err != nil {
+			return nil, err
+		}
+		if len(db.plans) >= maxCachedPlans {
+			for k := range db.plans {
+				delete(db.plans, k)
+				break
+			}
+		}
+		db.plans[query] = tpl
+	}
+	return &Prepared{exec: &engineExec{db: db, st: st, text: query, tpl: tpl}, text: query}, nil
+}
+
+// Query prepares (or reuses the cached plan of) the statement and executes
+// it with the given arguments. Iterate the returned Rows and Close it.
+func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query(args...)
+}
+
+// Materialize executes a plain statement and installs its result relation
+// under res in the store's user namespace, for workloads that feed one
+// query's result into the FROM clause of the next. The caller owns dropping
+// res. A clear error is returned if res already exists.
+func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
+	stmt, err := db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	ee, ok := stmt.exec.(*engineExec)
+	if !ok || ee.st.Mode != ModePlain {
+		return nil, fmt.Errorf("sql: Materialize requires a plain query (no CONF()/POSSIBLE/CERTAIN)")
+	}
+	vals, err := valuesOf(args)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	if db.store.Rel(res) != nil {
+		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
+	}
+	tpl, err := ee.template()
+	if err != nil {
+		return nil, err
+	}
+	return runEngine(db.store, tpl, vals, res)
+}
+
+// Explain renders the Section 5 SQL rewriting of the statement's engine
+// plan (the EXPLAIN keyword is optional).
+func (db *DB) Explain(query string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if err := db.check(); err != nil {
+		return "", err
+	}
+	return Explain(db.store, query)
+}
+
+// Relations lists the store's live user relations (scratch intermediates of
+// open sessions are hidden).
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for _, name := range db.store.Relations() {
+		if len(name) > 0 && name[0] != '\x00' {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Stats returns the representation statistics of a relation.
+func (db *DB) Stats(rel string) engine.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Stats(rel)
+}
+
+// Schema returns the attribute names of a relation, or nil if it does not
+// exist.
+func (db *DB) Schema(rel string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r := db.store.Rel(rel)
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.Attrs...)
+}
+
+// Placeholders returns the number of uncertain fields of a relation.
+func (db *DB) Placeholders(rel string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.TotalPlaceholders(rel)
+}
+
+// DropRelation removes a user relation from the store.
+func (db *DB) DropRelation(rel string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.store.DropRelation(rel)
+}
+
+// Prepared is a statement compiled once and executable many times with
+// different bound parameters. It is safe for concurrent use.
+type Prepared struct {
+	exec Executor
+	text string
+}
+
+// PrepareWorlds compiles a statement against a world-set under the
+// per-world reference semantics. The returned statement shares the Prepared
+// surface with the engine path; its plain-mode Rows carry no template rows
+// but expose the evaluated world-set through Rows.Result.
+func PrepareWorlds(ws *worlds.WorldSet, query string) (*Prepared, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return nil, fmt.Errorf("sql: statement is EXPLAIN; use Explain to render the rewriting")
+	}
+	// Plan once: the output schema never depends on parameter values, and a
+	// parameter-free plan is reused verbatim by every execution.
+	q, err := PlanWorlds(st, ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := q.OutSchema(ws.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{exec: &worldsExec{st: st, ws: ws, cols: outSchema.Attrs(), plan: q}, text: query}, nil
+}
+
+// Text returns the statement's SQL text.
+func (p *Prepared) Text() string { return p.text }
+
+// Columns returns the output attribute names.
+func (p *Prepared) Columns() []string { return p.exec.Columns() }
+
+// NumParams returns the number of ? placeholders the statement binds.
+func (p *Prepared) NumParams() int { return p.exec.NumParams() }
+
+// Close releases the statement. The DB's plan cache keeps the compiled
+// plan, so closing and re-preparing stays cheap.
+func (p *Prepared) Close() error { return nil }
+
+// Query executes the statement with the given arguments (int and string
+// forms, or relation.Value). The result streams through a Rows iterator;
+// always Close it — that is what releases the session-scoped result
+// relation on the engine path.
+func (p *Prepared) Query(args ...any) (*Rows, error) {
+	vals, err := valuesOf(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.exec.Query(vals)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rows{result: res, cols: res.Attrs, idx: -1}
+	if ee, ok := p.exec.(*engineExec); ok {
+		r.db = ee.db
+		if res.Relation != "" {
+			ee.db.mu.RLock()
+			r.rel = ee.db.store.Rel(res.Relation)
+			ee.db.mu.RUnlock()
+		}
+	}
+	if res.Mode != ModePlain {
+		r.tuples = make([]relation.Tuple, len(res.Tuples))
+		r.confs = make([]float64, len(res.Tuples))
+		for i, tc := range res.Tuples {
+			r.tuples[i] = tc.Tuple
+			r.confs[i] = tc.Conf
+		}
+	}
+	return r, nil
+}
+
+// engineExec runs a compiled template on the session's store under the
+// write lock.
+type engineExec struct {
+	db   *DB
+	st   *Stmt
+	text string
+	tpl  *EnginePlan
+}
+
+func (e *engineExec) Columns() []string {
+	e.db.mu.RLock()
+	defer e.db.mu.RUnlock()
+	return e.tpl.OutAttrs
+}
+
+func (e *engineExec) NumParams() int { return e.st.NumParams }
+
+// template returns the plan to execute, re-preparing it first if a base
+// relation was dropped or re-created with a different schema since compile
+// time — running a stale plan would return wrongly-labeled data. Callers
+// hold the write lock.
+func (e *engineExec) template() (*EnginePlan, error) {
+	if e.tpl.CatalogValid(e.db.store) {
+		return e.tpl, nil
+	}
+	tpl, err := compileEngine(e.st, storeCatalog{e.db.store})
+	if err != nil {
+		return nil, fmt.Errorf("sql: re-preparing after catalog change: %w", err)
+	}
+	e.tpl = tpl
+	if e.db.plans != nil {
+		e.db.plans[e.text] = tpl
+	}
+	return tpl, nil
+}
+
+func (e *engineExec) Query(args []relation.Value) (*Result, error) {
+	e.db.mu.Lock()
+	defer e.db.mu.Unlock()
+	if err := e.db.check(); err != nil {
+		return nil, err
+	}
+	tpl, err := e.template()
+	if err != nil {
+		return nil, err
+	}
+	return runEngine(e.db.store, tpl, args, "")
+}
+
+// worldsExec evaluates the statement per world, the reference semantics.
+type worldsExec struct {
+	st   *Stmt
+	ws   *worlds.WorldSet
+	cols []string
+	// plan is the compiled algebra, evaluated directly by parameter-free
+	// statements. With parameters each execution re-plans from the bound
+	// statement (worlds.Query embeds concrete constants, so the bound tree
+	// must be rebuilt) — acceptable on the naive reference path, whose
+	// evaluation dwarfs planning.
+	plan worlds.Query
+}
+
+func (e *worldsExec) Columns() []string { return e.cols }
+
+func (e *worldsExec) NumParams() int { return e.st.NumParams }
+
+func (e *worldsExec) Query(args []relation.Value) (*Result, error) {
+	if e.st.NumParams == 0 {
+		if err := checkArgs(0, args); err != nil {
+			return nil, err
+		}
+		return evalWorlds(e.st.Mode, e.plan, e.ws, "\x00result")
+	}
+	return execWorldsBound(e.st, e.ws, "\x00result", args)
+}
+
+// Rows is the pull iterator over one execution's result, in the shape of
+// database/sql: Next advances, Scan reads the current row, Close releases
+// the session-scoped result relation. On the engine path, plain-query rows
+// are the result's template tuples, read lazily from the columnar store —
+// no decoding happens for rows never scanned — with uncertain fields
+// scanning as '?' placeholders into *relation.Value. CONF()/POSSIBLE/
+// CERTAIN rows are the across-world answers with Conf exposing the current
+// confidence.
+type Rows struct {
+	db     *DB // nil on the per-world path
+	result *Result
+	cols   []string
+	// rel is the scratch result relation of a plain engine query. The
+	// relation is invisible to every other statement (scratch names are
+	// unreachable from SQL) and dropped only by our own Close, so reading
+	// its columns outside the DB lock is race-free.
+	rel    *engine.Relation
+	tuples []relation.Tuple // across-world answers (mode queries)
+	confs  []float64
+	idx    int
+	closed bool
+}
+
+// Columns returns the output attribute names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Len returns the number of rows the iterator yields in total.
+func (r *Rows) Len() int {
+	if r.rel != nil {
+		return r.rel.NumRows()
+	}
+	return len(r.tuples)
+}
+
+// Next advances to the next row; it returns false when the rows are
+// exhausted or closed.
+func (r *Rows) Next() bool {
+	if r.closed || r.idx+1 >= r.Len() {
+		return false
+	}
+	r.idx++
+	return true
+}
+
+// Err returns the error that terminated iteration, if any. The result is
+// fully materialized and validated when Query returns, so iteration itself
+// cannot fail and Err is always nil today; it exists for the database/sql
+// idiom, and so a future streaming executor can surface errors through it.
+func (r *Rows) Err() error { return nil }
+
+// Conf returns the confidence of the current row (CONF() and CERTAIN
+// answers; 0 for POSSIBLE over non-probabilistic data and plain rows).
+func (r *Rows) Conf() float64 {
+	if r.confs == nil || r.idx < 0 || r.idx >= len(r.confs) {
+		return 0
+	}
+	return r.confs[r.idx]
+}
+
+// Result exposes the underlying execution result: representation
+// statistics, the across-world tuple list, or the per-world world-set.
+func (r *Rows) Result() *Result { return r.result }
+
+// Stats returns the representation statistics of the result relation
+// (plain engine-path queries).
+func (r *Rows) Stats() engine.Stats { return r.result.Stats }
+
+// Scan copies the current row into dest: *int, *int32, *int64, *string or
+// *relation.Value per column. An uncertain template field scans only into a
+// *relation.Value (as the '?' placeholder); ask for POSSIBLE or CONF() to
+// decode it into concrete values.
+func (r *Rows) Scan(dest ...any) error {
+	if r.idx < 0 {
+		return fmt.Errorf("sql: Scan called before Next")
+	}
+	if r.idx >= r.Len() {
+		return fmt.Errorf("sql: Scan called after the last row")
+	}
+	if len(dest) != len(r.cols) {
+		return fmt.Errorf("sql: Scan got %d destinations for %d columns", len(dest), len(r.cols))
+	}
+	for i, d := range dest {
+		v := r.value(i)
+		if pv, ok := d.(*relation.Value); ok {
+			*pv = v
+			continue
+		}
+		if v.IsPlaceholder() {
+			return fmt.Errorf("sql: column %s is uncertain in the template; scan into *relation.Value or query with POSSIBLE/CONF()", r.cols[i])
+		}
+		switch d := d.(type) {
+		case *int64, *int, *int32:
+			if v.Kind() != relation.KindInt {
+				return fmt.Errorf("sql: column %s holds %s, not an integer; scan into *string or *relation.Value", r.cols[i], v)
+			}
+			switch d := d.(type) {
+			case *int64:
+				*d = v.AsInt()
+			case *int:
+				*d = int(v.AsInt())
+			case *int32:
+				*d = int32(v.AsInt())
+			}
+		case *string:
+			if v.Kind() == relation.KindString {
+				*d = v.AsString()
+			} else {
+				*d = v.String()
+			}
+		default:
+			return fmt.Errorf("sql: unsupported Scan destination %T for column %s", d, r.cols[i])
+		}
+	}
+	return nil
+}
+
+// value reads column i of the current row: lazily from the result template
+// (plain engine path) or from the across-world answer list.
+func (r *Rows) value(i int) relation.Value {
+	if r.rel != nil {
+		if v := r.rel.Cols[i][r.idx]; v != engine.Placeholder {
+			return relation.Int(int64(v))
+		}
+		return relation.Placeholder()
+	}
+	return r.tuples[r.idx][i]
+}
+
+// Close releases the result. On the engine path it drops the
+// session-scoped result relation, restoring the store's relation catalog to
+// its pre-query state. Close is idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.db != nil && r.result.Relation != "" {
+		r.db.mu.Lock()
+		r.db.store.DropRelation(r.result.Relation)
+		r.db.mu.Unlock()
+		r.result.Relation = ""
+		r.rel = nil
+	}
+	return nil
+}
+
+// valuesOf converts Go argument values to relation values.
+func valuesOf(args []any) ([]relation.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]relation.Value, len(args))
+	for i, a := range args {
+		switch a := a.(type) {
+		case int:
+			out[i] = relation.Int(int64(a))
+		case int32:
+			out[i] = relation.Int(int64(a))
+		case int64:
+			out[i] = relation.Int(a)
+		case string:
+			out[i] = relation.String(a)
+		case relation.Value:
+			out[i] = a
+		default:
+			return nil, fmt.Errorf("sql: cannot bind argument %d of type %T (want int, string or relation.Value)", i+1, a)
+		}
+	}
+	return out, nil
+}

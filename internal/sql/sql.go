@@ -1,12 +1,24 @@
 // Package sql is the SQL frontend over UWSDTs: a lexer, a recursive-descent
-// parser and two planners for the query language the MayBMS prototype grew
-// around the Section 5 machinery. A statement is compiled two ways — into a
-// worlds.Query evaluated naively per world (the reference semantics), and
-// into a sequence of native operators on the scalable columnar engine
-// (internal/engine) whose shapes mirror the hand-built Figure 29 plans. The
+// parser, two planners, and a database/sql-shaped session API for the query
+// language the MayBMS prototype grew around the Section 5 machinery. A
+// statement is compiled two ways — into a worlds.Query evaluated naively
+// per world (the reference semantics), and into a sequence of native
+// operators on the scalable columnar engine (internal/engine) whose shapes
+// mirror the hand-built Figure 29 plans. Both compilations sit behind the
+// Executor interface, so either backend serves the same Query call. The
 // across-world constructs CONF(), POSSIBLE and CERTAIN route engine results
-// through internal/confidence; EXPLAIN emits the exact Section 5 SQL
-// rewriting of every plan step via internal/sqlrewrite.
+// through internal/confidence (over the scoped WSD bridge, converting only
+// the components reachable from the result); EXPLAIN emits the exact
+// Section 5 SQL rewriting of every plan step via internal/sqlrewrite.
+//
+// The session API is the intended entry point: Open wraps a store in a DB,
+// DB.Prepare compiles a statement once (plans are parameter-templated and
+// cached per DB), Prepared.Query binds the ? placeholders and returns a
+// Rows pull iterator with Next/Scan/Columns/Err/Close. Result relations and
+// planner intermediates carry session-scoped scratch names and are dropped
+// on Rows.Close, so a long-lived store does not grow under repeated
+// queries. The one-shot Exec/ExecWorlds functions remain as deprecated
+// wrappers.
 //
 // The accepted subset, in EBNF (keywords are case-insensitive; identifiers
 // are case-sensitive):
@@ -15,7 +27,8 @@
 //	query       = select { ( "UNION" | "EXCEPT" ) select } .
 //	select      = "SELECT" head "FROM" tables [ "WHERE" disjunction ] .
 //	head        = "CONF" "(" ")" | [ "POSSIBLE" | "CERTAIN" ] items .
-//	items       = "*" | column { "," column } .
+//	items       = "*" | item { "," item } .
+//	item        = column [ [ "AS" ] ident ] .
 //	tables      = table { "," table } .
 //	table       = ident [ [ "AS" ] ident ] .
 //	column      = ident [ "." ident ] .
@@ -24,7 +37,7 @@
 //	primary     = "(" disjunction ")" | comparison .
 //	comparison  = operand op operand .
 //	op          = "=" | "<>" | "!=" | "<" | "<=" | ">" | ">=" .
-//	operand     = column | [ "-" ] number | string .
+//	operand     = column | "?" | [ "-" ] number | string .
 //
 // Multiple FROM tables form a cross join; equality comparisons between two
 // tables become equi-joins on the engine path. CONF(), POSSIBLE and CERTAIN
@@ -33,15 +46,19 @@
 // by the per-world evaluator but rejected by the engine planner, whose
 // columnar store holds integer codes only.
 //
+// A ? is a positional bind parameter, accepted wherever the grammar takes a
+// constant; parameters are numbered left to right and bound at execute
+// time, and never affect the plan shape — one prepared plan serves every
+// binding.
+//
 // Join queries qualify every output attribute as alias.attr; single-table
-// queries keep bare names. UNION and EXCEPT arms must therefore produce
-// identically named columns — until the grammar grows column aliases, a
-// single-table arm cannot union with a join arm.
+// queries keep bare names. UNION and EXCEPT arms must produce identically
+// named columns; AS aliases rename output columns, so a join arm can union
+// with a single-table arm by aliasing its columns to bare names.
 //
 // Not yet covered (see ROADMAP "Open items"): aggregates beyond CONF(),
-// GROUP BY, subqueries, column aliases, EXCEPT on the engine path (the
-// columnar store has no difference operator), and a REPAIR BY syntax for
-// the chase.
+// GROUP BY, subqueries, EXCEPT on the engine path (the columnar store has
+// no difference operator), and a REPAIR BY syntax for the chase.
 package sql
 
 import (

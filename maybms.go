@@ -20,10 +20,11 @@
 //   - Normalize, DecomposeRelation — normalization (Section 7, Figure 20).
 //   - Store — the scalable columnar UWSDT engine behind the Section 9
 //     census experiments, with the workload generator in internal/census.
-//   - ParseSQL / PlanSQL / ExecSQL / Explain — the SQL frontend: the MayBMS
-//     query subset with CONF(), POSSIBLE and CERTAIN, compiled onto the
-//     engine (and, per world, onto the reference semantics), with EXPLAIN
-//     emitting the Section 5 rewritings.
+//   - Open / DB / Stmt / Rows — the SQL session API: prepared statements
+//     with ? parameters over the MayBMS query subset (CONF(), POSSIBLE,
+//     CERTAIN), plans compiled once and cached, results streamed through a
+//     pull iterator whose Close releases every session-scoped relation.
+//     EXPLAIN emits the Section 5 rewritings.
 package maybms
 
 import (
@@ -280,6 +281,34 @@ type (
 	SQLMode = sql.Mode
 )
 
+// Session API: Open wraps a Store in a DB; DB.Prepare compiles a statement
+// once (? placeholders become bind parameters, plans are cached per DB);
+// Stmt.Query executes it with bound arguments and returns a Rows pull
+// iterator (Next/Scan/Columns/Err/Close). Result relations and planner
+// intermediates live under session-scoped scratch names and are dropped on
+// Rows.Close, so a long-lived store never accumulates query debris. A DB is
+// safe for concurrent use.
+type (
+	// DB is a SQL session over an engine store.
+	DB = sql.DB
+	// Stmt is a prepared statement: plan compiled once, executed many
+	// times with different bound parameters.
+	Stmt = sql.Prepared
+	// Rows is the pull iterator over one execution's result.
+	Rows = sql.Rows
+	// SQLExecutor is the execution backend contract shared by the engine
+	// path and the per-world reference path.
+	SQLExecutor = sql.Executor
+)
+
+// Open opens a session over an engine store; PrepareSQLPerWorld compiles a
+// statement against an explicit world-set under the reference semantics,
+// behind the same Stmt/Rows surface.
+var (
+	Open               = sql.Open
+	PrepareSQLPerWorld = sql.PrepareWorlds
+)
+
 // SQL execution modes.
 const (
 	SQLPlain    = sql.ModePlain
@@ -289,13 +318,22 @@ const (
 )
 
 // ParseSQL parses one statement; PlanSQL compiles it into engine operators;
-// ExecSQL parses and executes against an engine store, materializing res;
-// ExecSQLPerWorld evaluates under the per-world reference semantics;
 // Explain renders the Section 5 SQL rewriting of the plan.
 var (
-	ParseSQL        = sql.Parse
-	PlanSQL         = sql.PlanEngine
+	ParseSQL = sql.Parse
+	PlanSQL  = sql.PlanEngine
+	Explain  = sql.Explain
+)
+
+// One-shot execution facade.
+//
+// Deprecated: ExecSQL re-lexes, re-parses and re-plans on every call,
+// materializes under a caller-managed result name, and ExecSQLPerWorld
+// cannot bind parameters. Use Open (engine path) or PrepareSQLPerWorld
+// (reference path): plans compile once, ? parameters bind per execution,
+// and result relations are scoped to the session. These wrappers remain for
+// compatibility and delegate to the same executors.
+var (
 	ExecSQL         = sql.Exec
 	ExecSQLPerWorld = sql.ExecWorlds
-	Explain         = sql.Explain
 )

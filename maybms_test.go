@@ -258,3 +258,62 @@ func TestFacadeSQLFrontend(t *testing.T) {
 		t.Fatalf("EXPLAIN output missing the Figure 16 rewriting:\n%s", planText)
 	}
 }
+
+func TestFacadeSessionAPI(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "B", []int32{3, 9}, []float64{0.4, 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(s)
+	defer db.Close()
+	stmt, err := db.Prepare("SELECT CONF() FROM R WHERE B = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bind, wantConf := range map[int]float64{9: 0.6, 3: 0.4} {
+		rows, err := stmt.Query(bind)
+		if err != nil {
+			t.Fatalf("bind %d: %v", bind, err)
+		}
+		n := 0
+		for rows.Next() {
+			if math.Abs(rows.Conf()-wantConf) > 1e-9 {
+				t.Fatalf("bind %d: conf %g, want %g", bind, rows.Conf(), wantConf)
+			}
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("bind %d: %d tuples, want 1", bind, n)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plain query with an alias, scanned through the Rows iterator; Close
+	// restores the catalog.
+	rows, err := db.Query("SELECT A AS id FROM R WHERE B = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.Columns(); len(got) != 1 || got[0] != "id" {
+		t.Fatalf("columns = %v, want [id]", got)
+	}
+	var id int
+	for rows.Next() {
+		if err := rows.Scan(&id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if id != 2 {
+		t.Fatalf("id = %d, want 2", id)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Relations(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("relations after Close = %v, want [R]", got)
+	}
+}
