@@ -1,0 +1,161 @@
+// Command benchdiff compares two census-experiment result files
+// (BENCH_results.json) and fails when a gated series regressed beyond the
+// threshold — the CI bench-regression step.
+//
+// Gated series and their metrics:
+//
+//	prepared         mean_run_ns per query (lower is better)
+//	conf_bridge      scoped_ns per size (lower is better)
+//	conf_single_pass single_pass_ns per size (lower is better)
+//	parallel         qps per (workers, mode) point (higher is better)
+//
+// Entries present in only one file are reported but never fail the run
+// (series appear and disappear as figures are added), and machine-noise is
+// tolerated through the threshold (default: fail only on >25% slowdown).
+//
+// Usage:
+//
+//	benchdiff -old baseline.json -new BENCH_results.json [-threshold 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type results struct {
+	Prepared []struct {
+		Query   string  `json:"query"`
+		Rows    int     `json:"rows"`
+		Density float64 `json:"density"`
+		MeanNS  int64   `json:"mean_run_ns"`
+	} `json:"prepared"`
+	Conf []struct {
+		Rows     int     `json:"rows"`
+		Density  float64 `json:"density"`
+		ScopedNS int64   `json:"scoped_ns"`
+	} `json:"conf_bridge"`
+	ConfPass []struct {
+		Rows         int     `json:"rows"`
+		Density      float64 `json:"density"`
+		SinglePassNS int64   `json:"single_pass_ns"`
+	} `json:"conf_single_pass"`
+	Parallel []struct {
+		Workers int     `json:"workers"`
+		Mode    string  `json:"mode"`
+		Rows    int     `json:"rows"`
+		Density float64 `json:"density"`
+		QPS     float64 `json:"qps"`
+	} `json:"parallel"`
+}
+
+// cfg renders the workload parameters of a point; it is part of every
+// comparison key, so a baseline measured under a different configuration
+// (size or density) reports "(no baseline)" instead of producing a bogus
+// ratio.
+func cfg(rows int, density float64) string {
+	return fmt.Sprintf("%d@%.4g%%", rows, density*100)
+}
+
+func load(path string) (*results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline results file")
+	newPath := flag.String("new", "BENCH_results.json", "candidate results file")
+	threshold := flag.Float64("threshold", 0.25, "maximum tolerated slowdown (0.25 = 25%)")
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
+		os.Exit(2)
+	}
+	oldR, err := load(*oldPath)
+	fail(err)
+	newR, err := load(*newPath)
+	fail(err)
+
+	regressed := 0
+	// check compares one point; ratio > 1 means the candidate is slower.
+	check := func(series, key string, ratio float64) {
+		verdict := "ok"
+		if ratio > 1+*threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-18s %-28s %+7.1f%%  %s\n", series, key, (ratio-1)*100, verdict)
+	}
+
+	oldPrepared := make(map[string]int64)
+	for _, p := range oldR.Prepared {
+		oldPrepared[p.Query+" "+cfg(p.Rows, p.Density)] = p.MeanNS
+	}
+	for _, p := range newR.Prepared {
+		key := p.Query + " " + cfg(p.Rows, p.Density)
+		if base, ok := oldPrepared[key]; ok && base > 0 {
+			check("prepared", key, float64(p.MeanNS)/float64(base))
+		} else {
+			fmt.Printf("%-18s %-28s (no baseline)\n", "prepared", key)
+		}
+	}
+	oldConf := make(map[string]int64)
+	for _, p := range oldR.Conf {
+		oldConf[cfg(p.Rows, p.Density)] = p.ScopedNS
+	}
+	for _, p := range newR.Conf {
+		key := cfg(p.Rows, p.Density)
+		if base, ok := oldConf[key]; ok && base > 0 {
+			check("conf_bridge", key, float64(p.ScopedNS)/float64(base))
+		} else {
+			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_bridge", key)
+		}
+	}
+	oldPass := make(map[string]int64)
+	for _, p := range oldR.ConfPass {
+		oldPass[cfg(p.Rows, p.Density)] = p.SinglePassNS
+	}
+	for _, p := range newR.ConfPass {
+		key := cfg(p.Rows, p.Density)
+		if base, ok := oldPass[key]; ok && base > 0 {
+			check("conf_single_pass", key, float64(p.SinglePassNS)/float64(base))
+		} else {
+			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_single_pass", key)
+		}
+	}
+	oldPar := make(map[string]float64)
+	for _, p := range oldR.Parallel {
+		oldPar[fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))] = p.QPS
+	}
+	for _, p := range newR.Parallel {
+		key := fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))
+		if base, ok := oldPar[key]; ok && p.QPS > 0 {
+			// Throughput: slower means lower qps, so invert the ratio.
+			check("parallel", key, base/p.QPS)
+		} else {
+			fmt.Printf("%-18s %-28s (no baseline)\n", "parallel", key)
+		}
+	}
+
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d series regressed more than %.0f%%\n", regressed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regression beyond threshold")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

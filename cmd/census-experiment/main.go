@@ -4,9 +4,12 @@
 // (query evaluation times, with the 0% one-world baseline). Two extra
 // figures measure the session API: "prepared" runs the Figure 29 queries as
 // prepared statements through DB/Stmt/Rows (plan once, run many, including
-// a parameterized plan bound with different values per run), and "conf"
+// a parameterized plan bound with different values per run), "conf"
 // compares the scoped CONF() bridge (only components reachable from the
-// result) against converting the whole store.
+// result) against converting the whole store and the single-pass confidence
+// computation against the per-tuple rescan it replaced, and "parallel"
+// measures concurrent SELECT throughput of the snapshot/arena engine
+// against PR 2's lock-serialized execution model at 1, 2 and 4 workers.
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	census-experiment -fig 30 -json results.json
 //	census-experiment -fig prepared -reps 10
 //	census-experiment -fig conf
+//	census-experiment -fig prepared,conf,parallel -queries 400
 //
 // Densities are fractions (0.001 = 0.1%). The paper's sweep is 0.1M–12.5M
 // tuples at densities 0.005%–0.1%; defaults here are laptop-scale.
@@ -49,6 +53,28 @@ type benchJSON struct {
 	Queries   []queryJSON      `json:"queries,omitempty"`    // Figure 30
 	Prepared  []preparedJSON   `json:"prepared,omitempty"`   // session API, plan once / run many
 	Conf      []confBridgeJSON `json:"conf_bridge,omitempty"`
+	ConfPass  []confPassJSON   `json:"conf_single_pass,omitempty"`
+	Parallel  []parallelJSON   `json:"parallel,omitempty"` // concurrent SELECT throughput
+}
+
+type parallelJSON struct {
+	Workers   int     `json:"workers"`
+	Mode      string  `json:"mode"` // "parallel" (snapshot/arena) or "serialized" (PR 2 model)
+	Rows      int     `json:"rows"`
+	Density   float64 `json:"density"`
+	Queries   int     `json:"queries"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	QPS       float64 `json:"qps"`
+}
+
+type confPassJSON struct {
+	Rows         int     `json:"rows"`
+	Density      float64 `json:"density"`
+	ResultRows   int     `json:"result_rows"`
+	Tuples       int     `json:"tuples"`
+	SinglePassNS int64   `json:"single_pass_ns"`
+	PerTupleNS   int64   `json:"per_tuple_ns"`
+	Speedup      float64 `json:"speedup"`
 }
 
 type preparedJSON struct {
@@ -103,11 +129,12 @@ type queryJSON struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 26, 27, 28, 30, prepared, conf or all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
 	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 5, "executions per prepared statement (-fig prepared)")
+	queries := flag.Int("queries", 200, "executions per throughput measurement (-fig parallel)")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty disables)")
 	flag.Parse()
 
@@ -125,7 +152,17 @@ func main() {
 	}
 
 	out := benchJSON{Seed: *seed, Sizes: sizes, Densities: densities}
-	run := func(name string) bool { return *fig == "all" || *fig == name }
+	wanted := make(map[string]bool)
+	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true}
+	for _, f := range strings.Split(*fig, ",") {
+		f = strings.TrimSpace(f)
+		if !known[f] {
+			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel or all)\n", f)
+			os.Exit(2)
+		}
+		wanted[f] = true
+	}
+	run := func(name string) bool { return wanted["all"] || wanted[name] }
 	if run("26") {
 		points, err := bench.Fig26Chase(sizes, densities, *seed)
 		fail(err)
@@ -202,10 +239,41 @@ func main() {
 				Speedup: float64(p.Full) / float64(p.Scoped),
 			})
 		}
+		// The single-pass confidence computation scales to larger results
+		// than the bridge comparison (no whole-store baseline involved).
+		var passPoints []bench.ConfPassPoint
+		for _, n := range []int{2000, 5000, 10000} {
+			p, err := bench.ConfSinglePass(n, densities[len(densities)-1], *seed)
+			fail(err)
+			passPoints = append(passPoints, p)
+		}
+		bench.PrintConfSinglePass(os.Stdout, passPoints)
+		fmt.Println()
+		for _, p := range passPoints {
+			out.ConfPass = append(out.ConfPass, confPassJSON{
+				Rows: p.Rows, Density: p.Density, ResultRows: p.ResultRows, Tuples: p.Tuples,
+				SinglePassNS: p.SinglePass.Nanoseconds(), PerTupleNS: p.PerTuple.Nanoseconds(),
+				Speedup: float64(p.PerTuple) / float64(p.SinglePass),
+			})
+		}
 	}
-	if !run("26") && !run("27") && !run("28") && !run("30") && !run("prepared") && !run("conf") {
-		fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf or all)\n", *fig)
-		os.Exit(2)
+	if run("parallel") {
+		// Throughput runs at the first configured size and highest density:
+		// the point is the scaling across workers, not another size sweep.
+		points, err := bench.ParallelQueries(sizes[0], densities[len(densities)-1], *seed, *queries, []int{1, 2, 4})
+		fail(err)
+		bench.PrintParallel(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			mode := "parallel"
+			if p.Serialized {
+				mode = "serialized"
+			}
+			out.Parallel = append(out.Parallel, parallelJSON{
+				Workers: p.Workers, Mode: mode, Rows: p.Rows, Density: p.Density,
+				Queries: p.Queries, ElapsedNS: p.Elapsed.Nanoseconds(), QPS: p.QPS,
+			})
+		}
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")

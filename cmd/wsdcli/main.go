@@ -86,13 +86,15 @@ func main() {
 		if q == "" {
 			continue
 		}
+		// Each query runs on a private arena over a snapshot — the store is
+		// never written, and dropping the result is dropping the arena.
 		res := "res" + q
 		start = time.Now()
-		err = census.Run(p.Store, q, "R", res)
+		ar := engine.NewArena(p.Store.Snapshot())
+		err = census.Run(ar, q, "R", res)
 		fail(err)
 		fmt.Printf("%s evaluated in %s\n", q, time.Since(start).Round(time.Microsecond))
-		printStats(p.Store.Stats(res), res, "result")
-		p.Store.DropRelation(res)
+		printStats(ar.Stats(res), res, "result")
 	}
 }
 

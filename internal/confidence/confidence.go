@@ -81,18 +81,67 @@ func Possible(w *core.WSD, rel string) (*relation.Relation, error) {
 
 // PossibleP computes the possible tuples of rel together with their
 // confidences (Figure 19), sorted canonically.
+//
+// Unlike Possible + Conf per tuple — which re-clones the WSD and re-scans
+// every component for every answer — PossibleP normalizes to the
+// tuple-level view once and scores all tuples in a single pass over it: per
+// component it accumulates, for each tuple, the probability mass of the
+// local worlds containing it in some slot, then combines the per-component
+// masses as independent events. One O(comps × rows × slots) sweep replaces
+// an O(tuples) repetition of it.
 func PossibleP(w *core.WSD, rel string) ([]TupleConf, error) {
-	poss, err := Possible(w, rel)
-	if err != nil {
-		return nil, err
+	if !w.Probabilistic() {
+		return nil, fmt.Errorf("confidence: WSD carries no probabilities")
+	}
+	attrs, ok := w.RelAttrs(rel)
+	if !ok {
+		return nil, fmt.Errorf("confidence: unknown relation %q", rel)
+	}
+	work := tupleLevel(w, rel, attrs)
+	poss := relation.New("possible("+rel+")", relation.NewSchema(attrs...))
+	conf := make(map[string]float64)
+	for _, comp := range work.Comps {
+		var slots []int
+		for slot := 1; slot <= work.MaxCard[rel]; slot++ {
+			if slotInComp(comp, rel, slot, attrs) {
+				slots = append(slots, slot)
+			}
+		}
+		if len(slots) == 0 {
+			continue
+		}
+		// matched accumulates, per tuple, the mass of this component's local
+		// worlds in which the tuple occupies at least one slot (counted once
+		// per local world, however many slots repeat it).
+		matched := make(map[string]float64)
+		var seen map[string]bool
+		for _, r := range comp.Rows {
+			seen = nil
+			for _, slot := range slots {
+				tup, present := slotTuple(comp, r, rel, slot, attrs)
+				if !present {
+					continue
+				}
+				k := tup.Key()
+				if seen == nil {
+					seen = make(map[string]bool, len(slots))
+				}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				matched[k] += r.P
+				poss.Insert(tup)
+			}
+		}
+		// Matches in distinct components are independent events.
+		for k, m := range matched {
+			conf[k] = 1 - (1-conf[k])*(1-m)
+		}
 	}
 	out := make([]TupleConf, 0, poss.Size())
 	for _, t := range poss.SortedTuples() {
-		c, err := Conf(w, rel, t)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TupleConf{Tuple: t, Conf: c})
+		out = append(out, TupleConf{Tuple: t, Conf: conf[t.Key()]})
 	}
 	return out, nil
 }

@@ -261,3 +261,47 @@ func TestPossiblePSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestPossiblePMatchesPerTupleConf is the regression test for the
+// single-pass PossibleP: on random probabilistic WSDs it must return
+// exactly the tuples of Possible, each with exactly the confidence the
+// per-tuple Conf scan computes (the pre-optimization composition).
+func TestPossiblePMatchesPerTupleConf(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		w := randWSD(rng, true)
+		got, err := PossibleP(w, "R")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		poss, err := Possible(w, "R")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := poss.SortedTuples()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d tuples, Possible has %d", trial, len(got), len(want))
+		}
+		for i, tc := range got {
+			if tc.Tuple.Key() != want[i].Key() {
+				t.Fatalf("trial %d: tuple %d = %v, want %v", trial, i, tc.Tuple, want[i])
+			}
+			c, err := Conf(w, "R", tc.Tuple)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if math.Abs(tc.Conf-c) > 1e-9 {
+				t.Fatalf("trial %d: conf(%v) = %g, per-tuple Conf = %g", trial, tc.Tuple, tc.Conf, c)
+			}
+		}
+	}
+}
+
+// TestPossiblePNonProbabilistic pins the error contract: like the per-tuple
+// Conf path it replaces, the single-pass PossibleP needs probabilities.
+func TestPossiblePNonProbabilistic(t *testing.T) {
+	w := randWSD(rand.New(rand.NewSource(7)), false)
+	if _, err := PossibleP(w, "R"); err == nil {
+		t.Fatal("PossibleP on a non-probabilistic WSD must fail")
+	}
+}

@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arena is the write side of a query: a private overlay over one Snapshot
+// that holds the session's result relations and its copies of the
+// components they extend. Operators (Select, Project, Rename, Join,
+// Product, Union) run as Arena methods: they read base data from the
+// snapshot and materialize results — template relations and extended or
+// composed component rows — into the arena, never touching the shared
+// store. Dropping the arena (letting it go out of scope) releases every
+// result at once; Commit installs the arena's relations into the parent
+// store for workloads that feed one query's result into the next.
+//
+// Arena relations carry negative ids and arena components negative
+// component ids, so they can never collide with snapshot state. When an
+// operator needs a component of the snapshot — to read presence masks, to
+// compose it with another, or to extend it with result-field copies — the
+// arena first adopts it: deep-copies it under a fresh negative id and
+// remaps all its fields. Adoption keeps component pointers stable for the
+// rest of the arena's life, which the operators' phase structure relies on.
+//
+// An Arena is single-goroutine state: one per session/query. Concurrency
+// comes from many arenas over shared snapshots.
+type Arena struct {
+	snap *Snapshot
+	// rels holds the arena's relations; index i has id -(i+1).
+	rels  []*Relation
+	relID map[string]int32
+	// comps holds adopted copies, compositions and their extensions, under
+	// negative ids.
+	comps   map[int32]*Component
+	nextCID int32
+	// fieldComp overlays the snapshot's field→component index: fields of
+	// adopted components (including their base-relation fields) and of
+	// arena relations resolve here first.
+	fieldComp map[FieldID]int32
+	// origins maps each arena component to the snapshot component ids it
+	// covers (one for an adoption, several after compositions); shadowed is
+	// their union, hiding them from eachComp.
+	origins  map[int32][]int32
+	shadowed map[int32]bool
+	// dirty marks arena components that diverged from their origins
+	// (extended, composed, or trimmed); Commit installs only these.
+	dirty      map[int32]bool
+	scratchSeq int64
+}
+
+// NewArena creates an empty arena over a snapshot.
+func NewArena(snap *Snapshot) *Arena {
+	return &Arena{
+		snap:      snap,
+		relID:     make(map[string]int32),
+		comps:     make(map[int32]*Component),
+		fieldComp: make(map[FieldID]int32),
+		origins:   make(map[int32][]int32),
+		shadowed:  make(map[int32]bool),
+		dirty:     make(map[int32]bool),
+	}
+}
+
+// Rel returns the named relation — the arena's own first, then the
+// snapshot's — or nil.
+func (a *Arena) Rel(name string) *Relation {
+	if id, ok := a.relID[name]; ok {
+		return a.rels[-id-1]
+	}
+	return a.snap.Rel(name)
+}
+
+// relByID resolves a relation id: negative ids are arena relations.
+func (a *Arena) relByID(id int32) *Relation {
+	if id < 0 {
+		i := int(-id - 1)
+		if i >= len(a.rels) {
+			return nil
+		}
+		return a.rels[i]
+	}
+	return a.snap.relByID(id)
+}
+
+// Relations returns the names of the snapshot's relations plus the arena's
+// own results.
+func (a *Arena) Relations() []string {
+	out := a.snap.Relations()
+	for _, r := range a.rels {
+		if r != nil {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// NewScratch returns a fresh arena-scoped relation name for query results
+// and intermediates. Scratch names carry a NUL byte, which no SQL
+// identifier can contain, so they never collide with user relations.
+func (a *Arena) NewScratch() string {
+	a.scratchSeq++
+	return fmt.Sprintf("\x00q%d", a.scratchSeq)
+}
+
+// Stats computes the representation statistics of one relation as seen
+// through the arena (arena results and snapshot relations alike).
+func (a *Arena) Stats(rel string) Stats { return statsOf(a, rel) }
+
+// addRelation registers a new arena relation (the operators' result
+// namespace); mirrors Store.AddRelation.
+func (a *Arena) addRelation(name string, attrs []string, cols [][]int32) (*Relation, error) {
+	if a.Rel(name) != nil {
+		return nil, fmt.Errorf("engine: relation %q already exists", name)
+	}
+	if len(cols) != len(attrs) {
+		return nil, fmt.Errorf("engine: %d columns for %d attributes", len(cols), len(attrs))
+	}
+	n := -1
+	for i, c := range cols {
+		if n < 0 {
+			n = len(c)
+		}
+		if len(c) != n {
+			return nil, fmt.Errorf("engine: column %s has %d rows, want %d", attrs[i], len(c), n)
+		}
+	}
+	r := &Relation{
+		id:        int32(-len(a.rels) - 1),
+		Name:      name,
+		Attrs:     append([]string(nil), attrs...),
+		Cols:      cols,
+		uncertain: make(map[int32][]uint16),
+	}
+	a.rels = append(a.rels, r)
+	a.relID[name] = r.id
+	return r, nil
+}
+
+// RenameRelation renames an arena relation (snapshot relations are
+// read-only through an arena).
+func (a *Arena) RenameRelation(old, new string) error {
+	id, ok := a.relID[old]
+	if !ok {
+		if a.snap.Rel(old) != nil {
+			return fmt.Errorf("engine: relation %q is read-only through this arena", old)
+		}
+		return fmt.Errorf("engine: unknown relation %q", old)
+	}
+	if a.Rel(new) != nil {
+		return fmt.Errorf("engine: relation %q already exists", new)
+	}
+	delete(a.relID, old)
+	a.relID[new] = id
+	a.rels[-id-1].Name = new
+	return nil
+}
+
+// DropRelation removes an arena relation and projects its fields away from
+// the arena's components. Snapshot relations are untouched (they are not
+// the arena's to drop).
+func (a *Arena) DropRelation(name string) {
+	id, ok := a.relID[name]
+	if !ok {
+		return
+	}
+	r := a.rels[-id-1]
+	for row, attrs := range r.uncertain {
+		for _, at := range attrs {
+			f := FieldID{Rel: id, Row: row, Attr: at}
+			cid, ok := a.fieldComp[f]
+			if !ok {
+				continue
+			}
+			delete(a.fieldComp, f)
+			c := a.comps[cid]
+			dropFieldFromComp(c, f)
+			a.dirty[cid] = true
+			if len(c.Fields) == 0 {
+				// Only possible for components covering no snapshot fields
+				// (origins empty): base-relation fields are never dropped
+				// through an arena.
+				delete(a.comps, cid)
+				delete(a.dirty, cid)
+				delete(a.origins, cid)
+			}
+		}
+	}
+	a.rels[-id-1] = nil
+	delete(a.relID, name)
+}
+
+// compFor resolves the component defining field f for operator use,
+// adopting it into the arena first if it still lives in the snapshot. The
+// returned pointer is stable for the arena's lifetime.
+func (a *Arena) compFor(f FieldID) *Component {
+	if cid, ok := a.fieldComp[f]; ok {
+		return a.comps[cid]
+	}
+	c := a.snap.compOf(f)
+	if c == nil {
+		return nil
+	}
+	return a.adopt(c)
+}
+
+// adopt copies a snapshot component into the arena, remapping its fields.
+func (a *Arena) adopt(c *Component) *Component {
+	a.nextCID--
+	nc := cloneComponent(c)
+	nc.ID = a.nextCID
+	a.comps[nc.ID] = nc
+	a.origins[nc.ID] = []int32{c.ID}
+	a.shadowed[c.ID] = true
+	for _, f := range nc.Fields {
+		a.fieldComp[f] = nc.ID
+	}
+	return nc
+}
+
+// compOf returns the component defining f without adopting it (the
+// read-only view used by Stats and the WSD bridge).
+func (a *Arena) compOf(f FieldID) *Component {
+	if cid, ok := a.fieldComp[f]; ok {
+		return a.comps[cid]
+	}
+	return a.snap.compOf(f)
+}
+
+// eachComp visits the arena's components plus the snapshot components not
+// shadowed by adoptions.
+func (a *Arena) eachComp(fn func(*Component)) {
+	for _, c := range a.comps {
+		fn(c)
+	}
+	a.snap.eachComp(func(c *Component) {
+		if !a.shadowed[c.ID] {
+			fn(c)
+		}
+	})
+}
+
+// mergeComps composes the distinct components of the given fields into one
+// arena component and returns it; the arena analogue of Store.mergeComps.
+func (a *Arena) mergeComps(fields ...FieldID) (*Component, error) {
+	seen := make(map[int32]bool)
+	var cs []*Component
+	for _, f := range fields {
+		c := a.compFor(f)
+		if c == nil {
+			return nil, fmt.Errorf("engine: field %v has no component", f)
+		}
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 1 {
+		return cs[0], nil
+	}
+	total := 0
+	for _, c := range cs {
+		total += len(c.Fields)
+	}
+	if total > MaxCompFields {
+		return nil, fmt.Errorf("engine: composing %d fields exceeds limit %d", total, MaxCompFields)
+	}
+	merged := cs[0]
+	for _, c := range cs[1:] {
+		if len(merged.Rows)*len(c.Rows) > MaxCompRows {
+			return nil, fmt.Errorf("engine: composing components would exceed %d local worlds (the exponential join blow-up of Section 4); rewrite the query or lower the density", MaxCompRows)
+		}
+		merged = composeComponents(merged, c)
+		compressComponent(merged)
+	}
+	a.nextCID--
+	merged.ID = a.nextCID
+	a.comps[merged.ID] = merged
+	a.dirty[merged.ID] = true
+	var origs []int32
+	for _, c := range cs {
+		delete(a.comps, c.ID)
+		delete(a.dirty, c.ID)
+		origs = append(origs, a.origins[c.ID]...)
+		delete(a.origins, c.ID)
+	}
+	a.origins[merged.ID] = origs
+	for _, f := range merged.Fields {
+		a.fieldComp[f] = merged.ID
+	}
+	return merged, nil
+}
+
+// addField appends a new field column to arena component c; the arena
+// analogue of Store.addField. c must have been obtained through compFor or
+// mergeComps (arena components only).
+func (a *Arena) addField(c *Component, f FieldID, vals []int32, absent []bool) error {
+	if c.ID >= 0 {
+		return fmt.Errorf("engine: addField on non-arena component %d", c.ID)
+	}
+	if len(c.Fields) >= MaxCompFields {
+		return fmt.Errorf("engine: component %d is full", c.ID)
+	}
+	if len(vals) != len(c.Rows) || len(absent) != len(c.Rows) {
+		return fmt.Errorf("engine: addField: %d values for %d rows", len(vals), len(c.Rows))
+	}
+	col := len(c.Fields)
+	c.Fields = append(c.Fields, f)
+	c.pos[f] = col
+	for i := range c.Rows {
+		c.Rows[i].Vals = append(c.Rows[i].Vals, vals[i])
+		if absent[i] {
+			c.Rows[i].Absent = c.Rows[i].Absent.Set(col)
+		}
+	}
+	a.fieldComp[f] = c.ID
+	a.dirty[c.ID] = true
+	return nil
+}
+
+// Commit installs the arena's relations and modified components into the
+// parent store: relations get fresh store ids, dirty components replace
+// the snapshot components they cover, and the store's indexes are rewritten
+// under the store's copy-on-write discipline — live snapshots keep reading
+// their frozen view. Commit fails, leaving the store untouched, if a
+// relation name is taken or the involved catalog entries changed since the
+// snapshot was taken. The arena must not be used after Commit.
+func (a *Arena) Commit() error {
+	s := a.snap.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range a.rels {
+		if r == nil {
+			continue
+		}
+		if _, dup := s.relID[r.Name]; dup {
+			return fmt.Errorf("engine: relation %q already exists", r.Name)
+		}
+	}
+	dirty := make([]int32, 0, len(a.dirty))
+	for cid := range a.dirty {
+		dirty = append(dirty, cid)
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] > dirty[j] }) // creation order: -1, -2, ...
+	for _, cid := range dirty {
+		for _, orig := range a.origins[cid] {
+			if s.comps[orig] != a.snap.comps[orig] {
+				return fmt.Errorf("engine: commit conflicts with a concurrent change to component %d", orig)
+			}
+		}
+		for _, f := range a.comps[cid].Fields {
+			if f.Rel >= 0 && (int(f.Rel) >= len(s.rels) || s.rels[f.Rel] == nil || s.rels[f.Rel] != a.snap.relByID(f.Rel)) {
+				return fmt.Errorf("engine: commit conflicts with a concurrent change to relation %d", f.Rel)
+			}
+		}
+	}
+	s.detachLocked()
+	relMap := make(map[int32]int32, len(a.rels))
+	for i, r := range a.rels {
+		if r == nil {
+			continue
+		}
+		nid := int32(len(s.rels))
+		relMap[int32(-i-1)] = nid
+		r.id = nid
+		s.rels = append(s.rels, r)
+		s.relID[r.Name] = nid
+	}
+	for _, cid := range dirty {
+		c := a.comps[cid]
+		for _, orig := range a.origins[cid] {
+			delete(s.comps, orig)
+		}
+		s.nextCID++
+		c.ID = s.nextCID
+		for i, f := range c.Fields {
+			if f.Rel < 0 {
+				f.Rel = relMap[f.Rel]
+				c.Fields[i] = f
+			}
+		}
+		c.pos = make(map[FieldID]int, len(c.Fields))
+		for i, f := range c.Fields {
+			c.pos[f] = i
+		}
+		s.comps[c.ID] = c
+		for _, f := range c.Fields {
+			s.fieldComp[f] = c.ID
+		}
+	}
+	a.snap = nil // poison: the arena is spent
+	return nil
+}
+
+// Space is the operator surface a compiled plan executes against: a
+// per-session Arena (the concurrent read path) or, through the deprecated
+// one-shot wrappers, the Store itself (which commits each operator's result
+// in place).
+type Space interface {
+	Select(res, src string, p Pred) (*Relation, error)
+	Project(res, src string, attrs ...string) (*Relation, error)
+	Rename(res, src string, oldNew map[string]string) (*Relation, error)
+	Join(res, l, r, onL, onR string) (*Relation, error)
+	Product(res, l, r string) (*Relation, error)
+	Union(res, l, r string) (*Relation, error)
+	DropRelation(name string)
+	Rel(name string) *Relation
+	Stats(rel string) Stats
+}
+
+var (
+	_ Space = (*Arena)(nil)
+	_ Space = (*Store)(nil)
+)

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// arenaStore builds a small store with composed-component potential: two
+// relations, or-set fields with absence-free and probability-weighted
+// local worlds.
+func arenaStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2, 3}, {10, 20, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 0, "A", []int32{1, 2}, []float64{0.25, 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("R", 2, "B", []int32{30, 40, 50}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRelation("S", []string{"C", "D"}, [][]int32{{1, 2}, {7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUncertain("S", 1, "C", []int32{2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// storeFingerprint captures everything queries must not change: catalog,
+// per-relation stats, and the component count.
+func storeFingerprint(s *Store) string {
+	out := ""
+	for _, name := range s.Relations() {
+		out += fmt.Sprintf("%s:%+v;", name, s.Stats(name))
+	}
+	return fmt.Sprintf("%s comps=%d", out, s.NumComponents())
+}
+
+// TestArenaLeavesStoreUntouched runs every operator on an arena — including
+// ones that force component adoption and composition — and checks the store
+// is bit-for-bit unaffected, while the arena sees its own results.
+func TestArenaLeavesStoreUntouched(t *testing.T) {
+	s := arenaStore(t)
+	before := storeFingerprint(s)
+	a := NewArena(s.Snapshot())
+	if _, err := a.Select("sel", "R", And{Gt("A", 1), Gt("B", 5)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Project("proj", "sel", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Rename("ren", "S", map[string]string{"C": "A2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Join("join", "proj", "ren", "B", "D"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Union("uni", "proj", "proj"); err != nil {
+		t.Fatal(err)
+	}
+	if got := storeFingerprint(s); got != before {
+		t.Fatalf("arena operators changed the store:\n pre %s\npost %s", before, got)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rel("sel") == nil || a.Rel("join") == nil {
+		t.Fatal("arena lost its results")
+	}
+	// The arena sees snapshot relations too.
+	if a.Rel("R") == nil {
+		t.Fatal("arena cannot see snapshot relation R")
+	}
+}
+
+// TestArenaMatchesOneShot checks the two surfaces agree: the same operator
+// chain run on an arena and through the deprecated Store wrappers yields
+// identical world-sets and statistics.
+func TestArenaMatchesOneShot(t *testing.T) {
+	mkChain := func(sp Space) error {
+		if _, err := sp.Select("sel", "R", Or{Eq("A", 2), Gt("B", 25)}); err != nil {
+			return err
+		}
+		if _, err := sp.Project("res", "sel", "B"); err != nil {
+			return err
+		}
+		return nil
+	}
+	sArena := arenaStore(t)
+	a := NewArena(sArena.Snapshot())
+	if err := mkChain(a); err != nil {
+		t.Fatal(err)
+	}
+	sOne := arenaStore(t)
+	if err := mkChain(sOne); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Stats("res"), sOne.Stats("res"); got != want {
+		t.Fatalf("stats diverge: arena %+v, one-shot %+v", got, want)
+	}
+	wa, err := a.RepRelation("res", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := sOne.RepRelation("res", 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wa.Equal(wo, 1e-9) {
+		t.Fatal("arena and one-shot world-sets diverge")
+	}
+	if err := sOne.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaCommitInstallsResult checks Commit: the arena relation lands in
+// the store under a fresh id, its components replace the shadowed ones, and
+// the store validates; committing a taken name fails without side effects.
+func TestArenaCommitInstallsResult(t *testing.T) {
+	s := arenaStore(t)
+	a := NewArena(s.Snapshot())
+	if _, err := a.Select("res", "R", Gt("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rel("res") == nil {
+		t.Fatal("commit did not install res")
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatalf("store invalid after commit: %v", err)
+	}
+	// The result's uncertain fields resolve in the store's component space.
+	if s.Stats("res").NumComp == 0 {
+		t.Fatal("committed result has no components")
+	}
+
+	b := NewArena(s.Snapshot())
+	if _, err := b.Select("res", "R", Gt("A", 0)); err == nil {
+		t.Fatal("arena Select under a taken snapshot name must fail")
+	}
+	c := NewArena(s.Snapshot())
+	if _, err := c.Select("res2", "R", Gt("A", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenameRelation("res2", "res"); err == nil {
+		t.Fatal("renaming onto a taken name must fail")
+	}
+	s.DropRelation("res")
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotFrozenAcrossWrites checks the copy-on-write contract: a
+// snapshot keeps resolving its frozen catalog while the store commits new
+// results, drops and renames relations.
+func TestSnapshotFrozenAcrossWrites(t *testing.T) {
+	s := arenaStore(t)
+	snap := s.Snapshot()
+	statsBefore := snap.Stats("R")
+
+	// Writer: commit a result, drop it, rename a base relation.
+	a := NewArena(s.Snapshot())
+	if _, err := a.Select("res", "R", Gt("B", 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.DropRelation("res")
+	if err := s.RenameRelation("S", "S2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot still sees the original catalog.
+	if snap.Rel("S") == nil || snap.Rel("S").Name != "S" {
+		t.Fatal("snapshot lost relation S after rename")
+	}
+	if snap.Rel("res") != nil {
+		t.Fatal("snapshot sees a relation committed after it was taken")
+	}
+	if got := snap.Stats("R"); got != statsBefore {
+		t.Fatalf("snapshot stats drifted: %+v, want %+v", got, statsBefore)
+	}
+	// A query over the old snapshot still runs.
+	b := NewArena(snap)
+	if _, err := b.Join("j", "R", "S", "A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentArenasOverOneSnapshot runs many goroutines, each with its
+// own arena over one shared snapshot, with operators that adopt and compose
+// the same shared components; under -race this verifies the read path is
+// lock- and write-free.
+func TestConcurrentArenasOverOneSnapshot(t *testing.T) {
+	s := arenaStore(t)
+	snap := s.Snapshot()
+	want := storeFingerprint(s)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				a := NewArena(snap)
+				if _, err := a.Select("sel", "R", Gt("A", 1)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := a.Join("j", "sel", "S", "A", "C"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := storeFingerprint(s); got != want {
+		t.Fatalf("concurrent arenas changed the store:\n pre %s\npost %s", want, got)
+	}
+}

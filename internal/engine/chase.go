@@ -92,9 +92,32 @@ type ChaseOptions struct {
 	AssumeClean bool
 }
 
-// ChaseEGDsOpt is ChaseEGDs with explicit options.
+// ChaseEGDsOpt is ChaseEGDs with explicit options. The chase rewrites
+// components in place; like SetUncertain it is a load-time operation and
+// must not run while snapshots of this store are live.
 func (s *Store) ChaseEGDsOpt(rel string, deps []EGD, opt ChaseOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
 	return s.chaseEGDs(rel, deps, opt)
+}
+
+// fieldHasAbsence reports whether field f is absent in some local world.
+func (s *Store) fieldHasAbsence(f FieldID) bool {
+	c := s.ComponentOf(f)
+	if c == nil {
+		return false
+	}
+	return compFieldHasAbsence(c, f)
+}
+
+// fieldValues returns the present values of an uncertain field.
+func (s *Store) fieldValues(f FieldID) []int32 {
+	c := s.ComponentOf(f)
+	if c == nil {
+		return nil
+	}
+	return compFieldValues(c, f)
 }
 
 func (s *Store) chaseEGDs(rel string, deps []EGD, opt ChaseOptions) error {

@@ -7,18 +7,18 @@ import "fmt"
 // hash join; pairs with an uncertain join field compose the components of
 // the two fields and keep one presence bit per local world (present and
 // values equal). The attribute sets must be disjoint (rename first).
-func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
-	lr, rr := s.Rel(l), s.Rel(r)
+func (a *Arena) Join(res, l, r, onL, onR string) (*Relation, error) {
+	lr, rr := a.Rel(l), a.Rel(r)
 	if lr == nil || rr == nil {
 		return nil, fmt.Errorf("engine: unknown relation in join (%q, %q)", l, r)
 	}
-	if s.Rel(res) != nil {
+	if a.Rel(res) != nil {
 		return nil, fmt.Errorf("engine: relation %q already exists", res)
 	}
-	for _, a := range lr.Attrs {
-		for _, b := range rr.Attrs {
-			if a == b {
-				return nil, fmt.Errorf("engine: join: attribute %q on both sides", a)
+	for _, x := range lr.Attrs {
+		for _, y := range rr.Attrs {
+			if x == y {
+				return nil, fmt.Errorf("engine: join: attribute %q on both sides", x)
 			}
 		}
 	}
@@ -63,21 +63,21 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 				addPair(li, rj)
 			}
 			for _, rj := range uncR {
-				if s.fieldCanTake(FieldID{Rel: rr.id, Row: rj, Attr: ra}, v) {
+				if a.fieldCanTake(FieldID{Rel: rr.id, Row: rj, Attr: ra}, v) {
 					addPair(li, rj)
 				}
 			}
 			continue
 		}
 		lf := FieldID{Rel: lr.id, Row: li, Attr: la}
-		for _, pv := range s.fieldValues(lf) {
+		for _, pv := range a.fieldValues(lf) {
 			for _, rj := range bucket[pv] {
 				addPair(li, rj)
 			}
 		}
 		for _, rj := range uncR {
 			rf := FieldID{Rel: rr.id, Row: rj, Attr: ra}
-			if s.fieldsIntersect(lf, rf) {
+			if a.fieldsIntersect(lf, rf) {
 				addPair(li, rj)
 			}
 		}
@@ -91,7 +91,7 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 			fields = append(fields, FieldID{Rel: rr.id, Row: p.rj, Attr: ra})
 		}
 		if len(fields) > 1 {
-			if _, err := s.mergeComps(fields...); err != nil {
+			if _, err := a.mergeComps(fields...); err != nil {
 				return nil, err
 			}
 		}
@@ -115,9 +115,9 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 		lf := FieldID{Rel: lr.id, Row: p.li, Attr: la}
 		rf := FieldID{Rel: rr.id, Row: p.rj, Attr: ra}
 		if lUnc {
-			comp = s.ComponentOf(lf)
+			comp = a.compFor(lf)
 		} else {
-			comp = s.ComponentOf(rf)
+			comp = a.compFor(rf)
 		}
 		pass := make([]bool, len(comp.Rows))
 		any := false
@@ -158,14 +158,14 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 			cols[off+i][j] = rr.Cols[i][pp.rj]
 		}
 	}
-	out, err := s.AddRelation(res, attrs, cols)
+	out, err := a.addRelation(res, attrs, cols)
 	if err != nil {
 		return nil, err
 	}
 	ext := func(srcRel *Relation, srcRow int32, attrOffset, dstRow int, pp plannedPair) error {
-		for _, a := range srcRel.uncertain[srcRow] {
-			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: a}
-			comp := s.ComponentOf(srcF)
+		for _, at := range srcRel.uncertain[srcRow] {
+			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: at}
+			comp := a.compFor(srcF)
 			col := comp.Pos(srcF)
 			vals := make([]int32, len(comp.Rows))
 			absent := make([]bool, len(comp.Rows))
@@ -176,9 +176,9 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 					absent[w] = true
 				}
 			}
-			di := attrOffset + int(a)
+			di := attrOffset + int(at)
 			dstF := FieldID{Rel: out.id, Row: int32(dstRow), Attr: uint16(di)}
-			if err := s.addField(comp, dstF, vals, absent); err != nil {
+			if err := a.addField(comp, dstF, vals, absent); err != nil {
 				return err
 			}
 			out.Cols[di][dstRow] = Placeholder
@@ -200,12 +200,18 @@ func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
 	return out, nil
 }
 
-// fieldValues returns the present values of an uncertain field.
-func (s *Store) fieldValues(f FieldID) []int32 {
-	c := s.ComponentOf(f)
+// fieldValues returns the present values of an uncertain field. It reads
+// through compOf — no adoption: probe-phase rows that never join should not
+// pay for a component copy.
+func (a *Arena) fieldValues(f FieldID) []int32 {
+	c := a.compOf(f)
 	if c == nil {
 		return nil
 	}
+	return compFieldValues(c, f)
+}
+
+func compFieldValues(c *Component, f FieldID) []int32 {
 	col := c.Pos(f)
 	seen := make(map[int32]bool)
 	var out []int32
@@ -218,9 +224,10 @@ func (s *Store) fieldValues(f FieldID) []int32 {
 	return out
 }
 
-// fieldCanTake reports whether an uncertain field can take value v.
-func (s *Store) fieldCanTake(f FieldID, v int32) bool {
-	c := s.ComponentOf(f)
+// fieldCanTake reports whether an uncertain field can take value v
+// (read-only, no adoption).
+func (a *Arena) fieldCanTake(f FieldID, v int32) bool {
+	c := a.compOf(f)
 	if c == nil {
 		return false
 	}
@@ -235,9 +242,11 @@ func (s *Store) fieldCanTake(f FieldID, v int32) bool {
 
 // fieldsIntersect reports whether two uncertain fields can take a common
 // value in some world. When the fields share a component the check is exact
-// (joint rows); otherwise the value sets are intersected.
-func (s *Store) fieldsIntersect(f, g FieldID) bool {
-	cf, cg := s.ComponentOf(f), s.ComponentOf(g)
+// (joint rows); otherwise the value sets are intersected. Reads through
+// compOf — adoption remaps every field of a component at once, so pointer
+// equality between the resolved components stays exact.
+func (a *Arena) fieldsIntersect(f, g FieldID) bool {
+	cf, cg := a.compOf(f), a.compOf(g)
 	if cf == nil || cg == nil {
 		return false
 	}
@@ -251,10 +260,10 @@ func (s *Store) fieldsIntersect(f, g FieldID) bool {
 		return false
 	}
 	vals := make(map[int32]bool)
-	for _, v := range s.fieldValues(f) {
+	for _, v := range a.fieldValues(f) {
 		vals[v] = true
 	}
-	for _, v := range s.fieldValues(g) {
+	for _, v := range a.fieldValues(g) {
 		if vals[v] {
 			return true
 		}

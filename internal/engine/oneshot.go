@@ -1,0 +1,63 @@
+package engine
+
+// The deprecated one-shot operator surface: each Store method takes a
+// snapshot, runs the Arena operator of the same name, and commits the
+// result back into the store — reproducing the pre-snapshot behavior
+// (results and composed components land in the shared catalog) at the cost
+// of one copy-on-write detach per call. Single-query tools and tests keep
+// working unchanged; anything long-lived or concurrent should hold a
+// Snapshot and run operators on a per-session Arena instead.
+
+func (s *Store) oneShot(res string, op func(*Arena) error) (*Relation, error) {
+	a := NewArena(s.Snapshot())
+	if err := op(a); err != nil {
+		return nil, err
+	}
+	if err := a.Commit(); err != nil {
+		return nil, err
+	}
+	return s.Rel(res), nil
+}
+
+// Select computes res := σ_p(src) and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Select; the one-shot wrapper
+// pays a snapshot detach per call and serializes with every writer.
+func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Select(res, src, p); return err })
+}
+
+// Project computes res := π_attrs(src) and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Project (see Select).
+func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Project(res, src, attrs...); return err })
+}
+
+// Rename computes res := δ(src) and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Rename (see Select).
+func (s *Store) Rename(res, src string, oldNew map[string]string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Rename(res, src, oldNew); return err })
+}
+
+// Join computes res := l ⋈ r and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Join (see Select).
+func (s *Store) Join(res, l, r, onL, onR string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Join(res, l, r, onL, onR); return err })
+}
+
+// Product computes res := l × r and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Product (see Select).
+func (s *Store) Product(res, l, r string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Product(res, l, r); return err })
+}
+
+// Union computes res := l ∪ r and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Union (see Select).
+func (s *Store) Union(res, l, r string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Union(res, l, r); return err })
+}

@@ -6,9 +6,15 @@ import "fmt"
 // store: selection (with arbitrary predicates over one tuple), projection,
 // renaming, and equi-join (in join.go). The rewritten operators follow
 // Section 5: results are new template relations whose placeholders share
-// the component store with their inputs, and tuple absence is tracked by
+// the component space with their inputs, and tuple absence is tracked by
 // per-(field, local world) presence — the uniform encoding of worlds of
 // different sizes.
+//
+// Operators are Arena methods: they read base data through the arena's
+// snapshot and write result templates and extended component rows into the
+// arena, leaving the shared store untouched — which is what lets many
+// sessions run SELECTs concurrently. The Store methods of the same names
+// are deprecated one-shot wrappers that commit the arena back.
 
 type rowPlan struct {
 	src  int32
@@ -20,12 +26,12 @@ type rowPlan struct {
 // are filtered directly on the template; rows with uncertain referenced
 // fields keep one presence bit per local world of the (possibly composed)
 // component holding those fields.
-func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
-	r := s.Rel(src)
+func (a *Arena) Select(res, src string, p Pred) (*Relation, error) {
+	r := a.Rel(src)
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", src)
 	}
-	if s.Rel(res) != nil {
+	if a.Rel(res) != nil {
 		return nil, fmt.Errorf("engine: relation %q already exists", res)
 	}
 	cp, err := p.Compile(r)
@@ -40,13 +46,13 @@ func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
 	// indexes stay stable.
 	for row, uattrs := range r.uncertain {
 		var fields []FieldID
-		for _, a := range predAttrs {
-			if containsAttr(uattrs, a) {
-				fields = append(fields, FieldID{Rel: r.id, Row: row, Attr: a})
+		for _, at := range predAttrs {
+			if containsAttr(uattrs, at) {
+				fields = append(fields, FieldID{Rel: r.id, Row: row, Attr: at})
 			}
 		}
 		if len(fields) > 1 {
-			if _, err := s.mergeComps(fields...); err != nil {
+			if _, err := a.mergeComps(fields...); err != nil {
 				return nil, err
 			}
 		}
@@ -60,9 +66,9 @@ func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
 		row := int32(i)
 		uattrs := r.uncertain[row]
 		var refUnc []uint16
-		for _, a := range predAttrs {
-			if containsAttr(uattrs, a) {
-				refUnc = append(refUnc, a)
+		for _, at := range predAttrs {
+			if containsAttr(uattrs, at) {
+				refUnc = append(refUnc, at)
 			}
 		}
 		if len(refUnc) == 0 {
@@ -71,18 +77,18 @@ func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
 			}
 			continue
 		}
-		comp := s.ComponentOf(FieldID{Rel: r.id, Row: row, Attr: refUnc[0]})
+		comp := a.compFor(FieldID{Rel: r.id, Row: row, Attr: refUnc[0]})
 		cols := make(map[uint16]int, len(refUnc))
-		for _, a := range refUnc {
-			cols[a] = comp.Pos(FieldID{Rel: r.id, Row: row, Attr: a})
+		for _, at := range refUnc {
+			cols[at] = comp.Pos(FieldID{Rel: r.id, Row: row, Attr: at})
 		}
 		pass := make([]bool, len(comp.Rows))
 		any := false
 		for w := range comp.Rows {
 			crow := &comp.Rows[w]
 			absent := false
-			for _, a := range refUnc {
-				if crow.IsAbsent(cols[a]) {
+			for _, at := range refUnc {
+				if crow.IsAbsent(cols[at]) {
 					absent = true
 					break
 				}
@@ -105,15 +111,15 @@ func (s *Store) Select(res, src string, p Pred) (*Relation, error) {
 			plans = append(plans, rowPlan{src: row, pass: pass, comp: comp})
 		}
 	}
-	return s.materialize(res, r, nil, plans)
+	return a.materialize(res, r, nil, plans)
 }
 
 // materialize builds the result template from the planned source rows and
-// extends the components with the result fields. attrOrder selects and
-// orders the source attributes (nil = all, source order). For plans with a
-// presence mask, the copies of the row's uncertain fields living in the
-// plan's component are marked absent at failing local worlds.
-func (s *Store) materialize(res string, r *Relation, attrOrder []uint16, plans []rowPlan) (*Relation, error) {
+// extends the arena's components with the result fields. attrOrder selects
+// and orders the source attributes (nil = all, source order). For plans
+// with a presence mask, the copies of the row's uncertain fields living in
+// the plan's component are marked absent at failing local worlds.
+func (a *Arena) materialize(res string, r *Relation, attrOrder []uint16, plans []rowPlan) (*Relation, error) {
 	if attrOrder == nil {
 		attrOrder = make([]uint16, len(r.Attrs))
 		for i := range attrOrder {
@@ -121,19 +127,19 @@ func (s *Store) materialize(res string, r *Relation, attrOrder []uint16, plans [
 		}
 	}
 	attrs := make([]string, len(attrOrder))
-	for i, a := range attrOrder {
-		attrs[i] = r.Attrs[a]
+	for i, at := range attrOrder {
+		attrs[i] = r.Attrs[at]
 	}
 	cols := make([][]int32, len(attrOrder))
 	for i := range cols {
 		cols[i] = make([]int32, len(plans))
 	}
 	for j, pl := range plans {
-		for i, a := range attrOrder {
-			cols[i][j] = r.Cols[a][pl.src]
+		for i, at := range attrOrder {
+			cols[i][j] = r.Cols[at][pl.src]
 		}
 	}
-	out, err := s.AddRelation(res, attrs, cols)
+	out, err := a.addRelation(res, attrs, cols)
 	if err != nil {
 		return nil, err
 	}
@@ -142,17 +148,17 @@ func (s *Store) materialize(res string, r *Relation, attrOrder []uint16, plans [
 	for i := range dstOf {
 		dstOf[i] = -1
 	}
-	for i, a := range attrOrder {
-		dstOf[a] = i
+	for i, at := range attrOrder {
+		dstOf[at] = i
 	}
 	for j, pl := range plans {
-		for _, a := range r.uncertain[pl.src] {
-			di := dstOf[a]
+		for _, at := range r.uncertain[pl.src] {
+			di := dstOf[at]
 			if di < 0 {
 				continue // dropped attribute; Project handles ⊥ propagation
 			}
-			srcF := FieldID{Rel: r.id, Row: pl.src, Attr: a}
-			comp := s.ComponentOf(srcF)
+			srcF := FieldID{Rel: r.id, Row: pl.src, Attr: at}
+			comp := a.compFor(srcF)
 			col := comp.Pos(srcF)
 			vals := make([]int32, len(comp.Rows))
 			absent := make([]bool, len(comp.Rows))
@@ -164,7 +170,7 @@ func (s *Store) materialize(res string, r *Relation, attrOrder []uint16, plans [
 				}
 			}
 			dstF := FieldID{Rel: out.id, Row: int32(j), Attr: uint16(di)}
-			if err := s.addField(comp, dstF, vals, absent); err != nil {
+			if err := a.addField(comp, dstF, vals, absent); err != nil {
 				return nil, err
 			}
 			out.Cols[di][j] = Placeholder
@@ -179,23 +185,23 @@ func (s *Store) materialize(res string, r *Relation, attrOrder []uint16, plans [
 // uncertain field records tuple absence, that absence is propagated into
 // the kept fields — composing components when necessary — so deleted tuples
 // are not resurrected (the ⊥-propagation of Figure 9 in uniform encoding).
-func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
-	r := s.Rel(src)
+func (a *Arena) Project(res, src string, attrs ...string) (*Relation, error) {
+	r := a.Rel(src)
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", src)
 	}
-	if s.Rel(res) != nil {
+	if a.Rel(res) != nil {
 		return nil, fmt.Errorf("engine: relation %q already exists", res)
 	}
 	order := make([]uint16, len(attrs))
 	keep := make(map[uint16]bool, len(attrs))
-	for i, a := range attrs {
-		ai, err := r.AttrIndex(a)
+	for i, at := range attrs {
+		ai, err := r.AttrIndex(at)
 		if err != nil {
 			return nil, err
 		}
 		if keep[ai] {
-			return nil, fmt.Errorf("engine: duplicate projection attribute %q", a)
+			return nil, fmt.Errorf("engine: duplicate projection attribute %q", at)
 		}
 		order[i] = ai
 		keep[ai] = true
@@ -213,20 +219,20 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 	for row, uattrs := range r.uncertain {
 		var pr propagate
 		pr.row = row
-		for _, a := range uattrs {
-			f := FieldID{Rel: r.id, Row: row, Attr: a}
-			if keep[a] {
+		for _, at := range uattrs {
+			f := FieldID{Rel: r.id, Row: row, Attr: at}
+			if keep[at] {
 				pr.kept = append(pr.kept, f)
 				continue
 			}
-			if s.fieldHasAbsence(f) {
+			if a.fieldHasAbsence(f) {
 				pr.dropped = append(pr.dropped, f)
 			}
 		}
 		if len(pr.dropped) == 0 {
 			continue
 		}
-		if _, err := s.mergeComps(append(append([]FieldID{}, pr.dropped...), pr.kept...)...); err != nil {
+		if _, err := a.mergeComps(append(append([]FieldID{}, pr.dropped...), pr.kept...)...); err != nil {
 			return nil, err
 		}
 		props = append(props, pr)
@@ -244,7 +250,7 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 		planOf[plans[i].src] = &plans[i]
 	}
 	for _, pr := range props {
-		comp := s.ComponentOf(pr.dropped[0])
+		comp := a.compFor(pr.dropped[0])
 		pass := make([]bool, len(comp.Rows))
 		for w := range comp.Rows {
 			ok := true
@@ -260,7 +266,7 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 		pl.pass = pass
 		pl.comp = comp
 	}
-	out, err := s.materialize(res, r, order, plans)
+	out, err := a.materialize(res, r, order, plans)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +278,7 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 			continue
 		}
 		j := pr.row // materialize keeps all rows in order for Project
-		comp := s.ComponentOf(pr.dropped[0])
+		comp := a.compFor(pr.dropped[0])
 		pass := planOf[pr.row].pass
 		vals := make([]int32, len(comp.Rows))
 		absent := make([]bool, len(comp.Rows))
@@ -282,7 +288,7 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 			absent[w] = !pass[w]
 		}
 		dstF := FieldID{Rel: out.id, Row: j, Attr: 0}
-		if err := s.addField(comp, dstF, vals, absent); err != nil {
+		if err := a.addField(comp, dstF, vals, absent); err != nil {
 			return nil, err
 		}
 		out.Cols[0][j] = Placeholder
@@ -292,11 +298,15 @@ func (s *Store) Project(res, src string, attrs ...string) (*Relation, error) {
 }
 
 // fieldHasAbsence reports whether field f is absent in some local world.
-func (s *Store) fieldHasAbsence(f FieldID) bool {
-	c := s.ComponentOf(f)
+func (a *Arena) fieldHasAbsence(f FieldID) bool {
+	c := a.compOf(f)
 	if c == nil {
 		return false
 	}
+	return compFieldHasAbsence(c, f)
+}
+
+func compFieldHasAbsence(c *Component, f FieldID) bool {
 	col := c.Pos(f)
 	for _, r := range c.Rows {
 		if r.IsAbsent(col) {
@@ -308,8 +318,8 @@ func (s *Store) fieldHasAbsence(f FieldID) bool {
 
 // Rename computes res := δ(src) with the attribute renamings given as
 // old → new pairs; the data is copied like an all-attribute projection.
-func (s *Store) Rename(res, src string, oldNew map[string]string) (*Relation, error) {
-	r := s.Rel(src)
+func (a *Arena) Rename(res, src string, oldNew map[string]string) (*Relation, error) {
+	r := a.Rel(src)
 	if r == nil {
 		return nil, fmt.Errorf("engine: unknown relation %q", src)
 	}
@@ -318,21 +328,21 @@ func (s *Store) Rename(res, src string, oldNew map[string]string) (*Relation, er
 			return nil, err
 		}
 	}
-	out, err := s.Project(res, src, r.Attrs...)
+	out, err := a.Project(res, src, r.Attrs...)
 	if err != nil {
 		return nil, err
 	}
-	for i, a := range out.Attrs {
-		if n, ok := oldNew[a]; ok {
+	for i, at := range out.Attrs {
+		if n, ok := oldNew[at]; ok {
 			out.Attrs[i] = n
 		}
 	}
 	seen := map[string]bool{}
-	for _, a := range out.Attrs {
-		if seen[a] {
-			return nil, fmt.Errorf("engine: rename produces duplicate attribute %q", a)
+	for _, at := range out.Attrs {
+		if seen[at] {
+			return nil, fmt.Errorf("engine: rename produces duplicate attribute %q", at)
 		}
-		seen[a] = true
+		seen[at] = true
 	}
 	return out, nil
 }

@@ -18,19 +18,33 @@ func (s *Store) ToWSD() (*core.WSD, error) {
 }
 
 // ToWSDOf converts only the named relations — and the components reachable
-// from them — into a WSD. Components spanning both named and unnamed
-// relations are marginalized: the fields of unnamed relations are projected
-// away and local worlds that become indistinguishable merge, summing their
-// probabilities. The result carries the exact distribution of the named
-// relations, at a size independent of everything else in the store, which is
-// what makes confidence computation on query results scale: CONF() over a
-// small result no longer pays for base relations the query never touched.
+// from them — into a WSD (see Arena.ToWSDOf for the semantics; on a Store
+// it reads the live catalog).
 func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
+	return wsdOf(s, names...)
+}
+
+// ToWSDOf converts only the named relations — and the components reachable
+// from them, in the arena's view (arena results shadowing shared
+// components they extended) — into a WSD. Components spanning both named
+// and unnamed relations are marginalized: the fields of unnamed relations
+// are projected away and local worlds that become indistinguishable merge,
+// summing their probabilities. The result carries the exact distribution of
+// the named relations, at a size independent of everything else in the
+// store, which is what makes confidence computation on query results scale:
+// CONF() over a small result no longer pays for base relations the query
+// never touched.
+func (a *Arena) ToWSDOf(names ...string) (*core.WSD, error) {
+	return wsdOf(a, names...)
+}
+
+func wsdOf(v catView, names ...string) (*core.WSD, error) {
 	include := make(map[int32]bool, len(names))
 	var rels []worlds.RelSchema
+	var included []*Relation
 	maxCard := make(map[string]int)
 	for _, name := range names {
-		r := s.Rel(name)
+		r := v.Rel(name)
 		if r == nil {
 			return nil, fmt.Errorf("engine: unknown relation %q", name)
 		}
@@ -38,6 +52,7 @@ func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
 			return nil, fmt.Errorf("engine: relation %q named twice", name)
 		}
 		include[r.id] = true
+		included = append(included, r)
 		rels = append(rels, worlds.RelSchema{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)})
 		maxCard[r.Name] = r.NumRows()
 	}
@@ -45,7 +60,11 @@ func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
 
 	// Uncertain fields: one core component per reachable engine component,
 	// restricted to the fields of the named relations.
-	for _, c := range s.comps {
+	var compErr error
+	v.eachComp(func(c *Component) {
+		if compErr != nil {
+			return
+		}
 		var keep []int // column indexes of fields in named relations
 		for i, f := range c.Fields {
 			if include[f.Rel] {
@@ -53,14 +72,15 @@ func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
 			}
 		}
 		if len(keep) == 0 {
-			continue
+			return
 		}
 		fields := make([]core.FieldRef, len(keep))
 		for i, col := range keep {
 			f := c.Fields[col]
-			r := s.rels[f.Rel]
+			r := v.relByID(f.Rel)
 			if r == nil {
-				return nil, fmt.Errorf("engine: component %d references dropped relation", c.ID)
+				compErr = fmt.Errorf("engine: component %d references dropped relation", c.ID)
+				return
 			}
 			fields[i] = core.FieldRef{Rel: r.Name, Tuple: int(f.Row) + 1, Attr: r.Attrs[f.Attr]}
 		}
@@ -94,24 +114,24 @@ func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
 			cc.AddRow(row)
 		}
 		if err := w.AddComponent(cc); err != nil {
-			return nil, err
+			compErr = err
 		}
+	})
+	if compErr != nil {
+		return nil, compErr
 	}
 
 	// Certain fields: single-row components with probability 1.
-	for _, r := range s.rels {
-		if r == nil || !include[r.id] {
-			continue
-		}
+	for _, r := range included {
 		for i := 0; i < r.NumRows(); i++ {
 			for ai, a := range r.Attrs {
-				v := r.Cols[ai][i]
-				if v == Placeholder {
+				val := r.Cols[ai][i]
+				if val == Placeholder {
 					continue
 				}
 				f := core.FieldRef{Rel: r.Name, Tuple: i + 1, Attr: a}
 				cc := core.NewComponent([]core.FieldRef{f},
-					core.Row{Values: []relation.Value{relation.Int(int64(v))}, P: 1})
+					core.Row{Values: []relation.Value{relation.Int(int64(val))}, P: 1})
 				if err := w.AddComponent(cc); err != nil {
 					return nil, err
 				}
@@ -126,6 +146,16 @@ func (s *Store) ToWSDOf(names ...string) (*core.WSD, error) {
 // relation rather than the whole store.
 func (s *Store) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error) {
 	w, err := s.ToWSDOf(rel)
+	if err != nil {
+		return nil, err
+	}
+	return w.RepRelation(rel, maxWorlds)
+}
+
+// RepRelation enumerates the world-set of one relation as seen through the
+// arena; testing only.
+func (a *Arena) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error) {
+	w, err := a.ToWSDOf(rel)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +179,7 @@ func (s *Store) Validate(eps float64) error {
 			if s.fieldComp[f] != cid {
 				return fmt.Errorf("engine: field %v maps to wrong component", f)
 			}
-			r := s.rels[f.Rel]
+			r := s.relByID(f.Rel)
 			if r == nil {
 				return fmt.Errorf("engine: component %d references dropped relation", cid)
 			}

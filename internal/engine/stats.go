@@ -12,23 +12,56 @@ type Stats struct {
 	RSize      int // |R|: template rows
 }
 
+// catView is the minimal read surface Stats and the WSD bridge share; it is
+// implemented by Store, Snapshot and Arena, so representation statistics
+// and across-world conversion work identically on the live store, a frozen
+// snapshot, and a session's arena results.
+type catView interface {
+	Rel(name string) *Relation
+	relByID(id int32) *Relation
+	compOf(f FieldID) *Component
+	eachComp(fn func(*Component))
+}
+
+var (
+	_ catView = (*Store)(nil)
+	_ catView = (*Snapshot)(nil)
+	_ catView = (*Arena)(nil)
+)
+
+func (s *Store) relByID(id int32) *Relation {
+	if id < 0 || int(id) >= len(s.rels) {
+		return nil
+	}
+	return s.rels[id]
+}
+
+func (s *Store) compOf(f FieldID) *Component { return s.ComponentOf(f) }
+
+func (s *Store) eachComp(fn func(*Component)) {
+	for _, c := range s.comps {
+		fn(c)
+	}
+}
+
 // Stats computes the representation statistics of one relation.
-func (s *Store) Stats(rel string) Stats {
-	r := s.Rel(rel)
+func (s *Store) Stats(rel string) Stats { return statsOf(s, rel) }
+
+func statsOf(v catView, rel string) Stats {
+	r := v.Rel(rel)
 	if r == nil {
 		return Stats{}
 	}
 	st := Stats{RSize: r.NumRows()}
-	fieldsPerComp := make(map[int32]int)
+	fieldsPerComp := make(map[*Component]int)
 	for row, attrs := range r.uncertain {
 		for _, a := range attrs {
 			f := FieldID{Rel: r.id, Row: row, Attr: a}
-			cid, ok := s.fieldComp[f]
-			if !ok {
+			c := v.compOf(f)
+			if c == nil {
 				continue
 			}
-			fieldsPerComp[cid]++
-			c := s.comps[cid]
+			fieldsPerComp[c]++
 			col := c.Pos(f)
 			for _, crow := range c.Rows {
 				if !crow.IsAbsent(col) {
@@ -80,8 +113,10 @@ func HistogramSizes(h map[int]int) []int {
 }
 
 // TotalPlaceholders returns the number of uncertain fields of a relation.
-func (s *Store) TotalPlaceholders(rel string) int {
-	r := s.Rel(rel)
+func (s *Store) TotalPlaceholders(rel string) int { return totalPlaceholders(s, rel) }
+
+func totalPlaceholders(v catView, rel string) int {
+	r := v.Rel(rel)
 	if r == nil {
 		return 0
 	}

@@ -15,6 +15,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Placeholder is the template sentinel for an uncertain field. All real
@@ -111,8 +112,19 @@ func (r *Relation) AttrIndex(name string) (uint16, error) {
 // UncertainRows returns the number of rows with at least one placeholder.
 func (r *Relation) UncertainRows() int { return len(r.uncertain) }
 
-// Store holds the template relations and the shared component store.
+// Store holds the template relations and the shared component store. Reads
+// that must be safe against concurrent catalog writers go through Snapshot
+// (see snapshot.go); writers serialize externally (the session API holds
+// one writer at a time) and the store's own mutex only coordinates snapshot
+// acquisition with the copy-on-write detach.
 type Store struct {
+	// mu guards cowShared and the container pointers during Snapshot,
+	// detachLocked and Commit. It is not a general read/write lock: direct
+	// reads of a store that is being written concurrently are the caller's
+	// responsibility (use snapshots).
+	mu        sync.Mutex
+	cowShared bool
+
 	rels    []*Relation
 	relID   map[string]int32
 	comps   map[int32]*Component
@@ -136,6 +148,9 @@ func NewStore() *Store {
 // all columns must have equal length and non-negative values). The store
 // takes ownership of cols.
 func (s *Store) AddRelation(name string, attrs []string, cols [][]int32) (*Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
 	if _, dup := s.relID[name]; dup {
 		return nil, fmt.Errorf("engine: relation %q already exists", name)
 	}
@@ -169,13 +184,20 @@ func (s *Store) AddRelation(name string, attrs []string, cols [][]int32) (*Relat
 // collide with user relations — or with each other, thanks to the sequence
 // number.
 func (s *Store) NewScratch() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.scratchSeq++
 	return fmt.Sprintf("\x00q%d", s.scratchSeq)
 }
 
 // RenameRelation renames a relation in the catalog. Components and field
-// references are untouched: they key relations by id, not by name.
+// references are untouched: they key relations by id, not by name. The
+// relation object is replaced, not edited, so live snapshots keep the old
+// name.
 func (s *Store) RenameRelation(old, new string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
 	id, ok := s.relID[old]
 	if !ok {
 		return fmt.Errorf("engine: unknown relation %q", old)
@@ -185,7 +207,9 @@ func (s *Store) RenameRelation(old, new string) error {
 	}
 	delete(s.relID, old)
 	s.relID[new] = id
-	s.rels[id].Name = new
+	nr := *s.rels[id]
+	nr.Name = new
+	s.rels[id] = &nr
 	return nil
 }
 
@@ -228,6 +252,9 @@ func (s *Store) NumComponents() int { return len(s.comps) }
 // with probabilities (nil probs means uniform), creating a fresh component.
 // The field must currently be certain.
 func (s *Store) SetUncertain(rel string, row int, attr string, values []int32, probs []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
 	r := s.Rel(rel)
 	if r == nil {
 		return fmt.Errorf("engine: unknown relation %q", rel)
@@ -473,13 +500,19 @@ func (s *Store) Clone() *Store {
 }
 
 // DropRelation removes a relation and projects its fields away from the
-// component store (components left with no fields are deleted).
+// component store (components left with no fields are deleted). Affected
+// components are replaced by trimmed copies rather than edited in place, so
+// live snapshots keep their frozen view.
 func (s *Store) DropRelation(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
 	id, ok := s.relID[name]
 	if !ok {
 		return
 	}
 	r := s.rels[id]
+	cloned := make(map[int32]bool)
 	for row, attrs := range r.uncertain {
 		for _, a := range attrs {
 			f := FieldID{Rel: id, Row: row, Attr: a}
@@ -489,7 +522,12 @@ func (s *Store) DropRelation(name string) {
 			}
 			delete(s.fieldComp, f)
 			c := s.comps[cid]
-			s.dropFieldFromComp(c, f)
+			if !cloned[cid] {
+				cloned[cid] = true
+				c = cloneComponent(c)
+				s.comps[cid] = c
+			}
+			dropFieldFromComp(c, f)
 			if len(c.Fields) == 0 {
 				delete(s.comps, cid)
 			}
@@ -499,7 +537,7 @@ func (s *Store) DropRelation(name string) {
 	delete(s.relID, name)
 }
 
-func (s *Store) dropFieldFromComp(c *Component, f FieldID) {
+func dropFieldFromComp(c *Component, f FieldID) {
 	i, ok := c.pos[f]
 	if !ok {
 		return

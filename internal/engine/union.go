@@ -5,12 +5,12 @@ import "fmt"
 // Union computes res := l ∪ r for two relations with identical schemas.
 // Like the WSD union of Figure 9, the result holds one tuple slot per input
 // slot; duplicate tuples coincide when worlds are decoded (set semantics).
-func (s *Store) Union(res, l, r string) (*Relation, error) {
-	lr, rr := s.Rel(l), s.Rel(r)
+func (a *Arena) Union(res, l, r string) (*Relation, error) {
+	lr, rr := a.Rel(l), a.Rel(r)
 	if lr == nil || rr == nil {
 		return nil, fmt.Errorf("engine: unknown relation in union (%q, %q)", l, r)
 	}
-	if s.Rel(res) != nil {
+	if a.Rel(res) != nil {
 		return nil, fmt.Errorf("engine: relation %q already exists", res)
 	}
 	if len(lr.Attrs) != len(rr.Attrs) {
@@ -28,15 +28,15 @@ func (s *Store) Union(res, l, r string) (*Relation, error) {
 		copy(cols[i], lr.Cols[i])
 		copy(cols[i][ln:], rr.Cols[i])
 	}
-	out, err := s.AddRelation(res, lr.Attrs, cols)
+	out, err := a.addRelation(res, lr.Attrs, cols)
 	if err != nil {
 		return nil, err
 	}
 	ext := func(src *Relation, offset int) error {
 		for row, attrs := range src.uncertain {
-			for _, a := range attrs {
-				srcF := FieldID{Rel: src.id, Row: row, Attr: a}
-				comp := s.ComponentOf(srcF)
+			for _, at := range attrs {
+				srcF := FieldID{Rel: src.id, Row: row, Attr: at}
+				comp := a.compFor(srcF)
 				col := comp.Pos(srcF)
 				vals := make([]int32, len(comp.Rows))
 				absent := make([]bool, len(comp.Rows))
@@ -45,12 +45,12 @@ func (s *Store) Union(res, l, r string) (*Relation, error) {
 					absent[w] = comp.Rows[w].IsAbsent(col)
 				}
 				dstRow := int32(offset) + row
-				dstF := FieldID{Rel: out.id, Row: dstRow, Attr: a}
-				if err := s.addField(comp, dstF, vals, absent); err != nil {
+				dstF := FieldID{Rel: out.id, Row: dstRow, Attr: at}
+				if err := a.addField(comp, dstF, vals, absent); err != nil {
 					return err
 				}
-				out.Cols[a][dstRow] = Placeholder
-				out.uncertain[dstRow] = append(out.uncertain[dstRow], a)
+				out.Cols[at][dstRow] = Placeholder
+				out.uncertain[dstRow] = append(out.uncertain[dstRow], at)
 			}
 		}
 		return nil
@@ -68,18 +68,18 @@ func (s *Store) Union(res, l, r string) (*Relation, error) {
 // sets (the product of Figure 9 on the uniform encoding): one result slot
 // per pair of input slots, absent from a world whenever either input slot
 // is absent.
-func (s *Store) Product(res, l, r string) (*Relation, error) {
-	lr, rr := s.Rel(l), s.Rel(r)
+func (a *Arena) Product(res, l, r string) (*Relation, error) {
+	lr, rr := a.Rel(l), a.Rel(r)
 	if lr == nil || rr == nil {
 		return nil, fmt.Errorf("engine: unknown relation in product (%q, %q)", l, r)
 	}
-	if s.Rel(res) != nil {
+	if a.Rel(res) != nil {
 		return nil, fmt.Errorf("engine: relation %q already exists", res)
 	}
-	for _, a := range lr.Attrs {
-		for _, b := range rr.Attrs {
-			if a == b {
-				return nil, fmt.Errorf("engine: product: attribute %q on both sides", a)
+	for _, x := range lr.Attrs {
+		for _, y := range rr.Attrs {
+			if x == y {
+				return nil, fmt.Errorf("engine: product: attribute %q on both sides", x)
 			}
 		}
 	}
@@ -93,22 +93,22 @@ func (s *Store) Product(res, l, r string) (*Relation, error) {
 	for i := 0; i < ln; i++ {
 		for j := 0; j < rn; j++ {
 			k := slot(i, j)
-			for a := range lr.Attrs {
-				cols[a][k] = lr.Cols[a][i]
+			for at := range lr.Attrs {
+				cols[at][k] = lr.Cols[at][i]
 			}
 			for b := range rr.Attrs {
 				cols[len(lr.Attrs)+b][k] = rr.Cols[b][j]
 			}
 		}
 	}
-	out, err := s.AddRelation(res, attrs, cols)
+	out, err := a.addRelation(res, attrs, cols)
 	if err != nil {
 		return nil, err
 	}
 	ext := func(srcRel *Relation, srcRow int32, attrOffset uint16, dstRow int) error {
-		for _, a := range srcRel.uncertain[srcRow] {
-			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: a}
-			comp := s.ComponentOf(srcF)
+		for _, at := range srcRel.uncertain[srcRow] {
+			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: at}
+			comp := a.compFor(srcF)
 			col := comp.Pos(srcF)
 			vals := make([]int32, len(comp.Rows))
 			absent := make([]bool, len(comp.Rows))
@@ -116,9 +116,9 @@ func (s *Store) Product(res, l, r string) (*Relation, error) {
 				vals[w] = comp.Rows[w].Vals[col]
 				absent[w] = comp.Rows[w].IsAbsent(col)
 			}
-			di := attrOffset + a
+			di := attrOffset + at
 			dstF := FieldID{Rel: out.id, Row: int32(dstRow), Attr: di}
-			if err := s.addField(comp, dstF, vals, absent); err != nil {
+			if err := a.addField(comp, dstF, vals, absent); err != nil {
 				return err
 			}
 			out.Cols[di][dstRow] = Placeholder

@@ -27,39 +27,47 @@ type Executor interface {
 	Query(args []relation.Value) (*Result, error)
 }
 
-// runEngine binds a compiled template to a fresh scratch relation and
-// executes it. Plain results are left under the scratch name — the caller
-// owns dropping it — unless install is non-empty, in which case the result
-// is renamed into the user's namespace. Across-world modes materialize
-// nothing: the scratch result is handed to internal/confidence through the
-// scoped WSD bridge (only the components reachable from the result are
-// converted) and dropped.
-func runEngine(s *engine.Store, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
-	scratch := s.NewScratch()
+// runEngine binds a compiled template to a fresh scratch relation in a
+// private arena over the given snapshot and executes it there — the shared
+// store is never written, which is what lets many sessions run this
+// concurrently. Plain results stay in the arena under the scratch name (the
+// returned Result owns the arena; Rows.Close releases it) — unless install
+// is non-empty, in which case the arena is committed into the store with
+// the result renamed into the user's namespace. Across-world modes
+// materialize nothing: the scratch result is handed to internal/confidence
+// through the arena's scoped WSD bridge (only the components reachable from
+// the result are converted) and the arena is discarded.
+func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
+	ar := engine.NewArena(snap)
+	scratch := ar.NewScratch()
 	plan, err := tpl.Bind(scratch, args)
 	if err != nil {
 		return nil, err
 	}
-	if err := plan.Run(s); err != nil {
+	if err := plan.Run(ar); err != nil {
 		return nil, err
 	}
-	plan.DropTemps(s)
+	plan.DropTemps(ar)
 	out := &Result{Mode: tpl.Mode, Attrs: plan.OutAttrs}
 	if tpl.Mode == ModePlain {
-		name := scratch
 		if install != "" {
-			if err := s.RenameRelation(scratch, install); err != nil {
-				s.DropRelation(scratch)
+			if err := ar.RenameRelation(scratch, install); err != nil {
 				return nil, fmt.Errorf("sql: installing result: %w", err)
 			}
-			name = install
+			out.Relation = install
+			out.Stats = ar.Stats(install)
+			if err := ar.Commit(); err != nil {
+				return nil, fmt.Errorf("sql: installing result: %w", err)
+			}
+			return out, nil
 		}
-		out.Relation = name
-		out.Stats = s.Stats(name)
+		out.Relation = scratch
+		out.Stats = ar.Stats(scratch)
+		out.arena = ar
+		out.rel = ar.Rel(scratch)
 		return out, nil
 	}
-	defer s.DropRelation(scratch)
-	w, err := s.ToWSDOf(scratch)
+	w, err := ar.ToWSDOf(scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +96,9 @@ func runEngine(s *engine.Store, tpl *EnginePlan, args []relation.Value, install 
 // Deprecated: Exec re-lexes, re-parses and re-plans on every call and
 // needs a caller-managed result name. Use Open and DB.Prepare/DB.Query,
 // which reuse compiled plans, bind ? parameters, and scope result relations
-// to the session.
+// to the session's arena. Exec is now a thin wrapper over a one-shot
+// snapshot + arena: execution never touches the store, and only a plain
+// query's final commit does.
 func Exec(s *engine.Store, input, res string) (*Result, error) {
 	st, err := Parse(input)
 	if err != nil {
@@ -108,10 +118,11 @@ func Exec(s *engine.Store, input, res string) (*Result, error) {
 //
 // Deprecated: use Open and DB.Prepare/DB.Query (see Exec).
 func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
-	if st.Mode == ModePlain && s.Rel(res) != nil {
+	snap := s.Snapshot()
+	if st.Mode == ModePlain && snap.Rel(res) != nil {
 		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
 	}
-	tpl, err := compileEngine(st, storeCatalog{s})
+	tpl, err := compileEngine(st, catalogView{snap})
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +130,7 @@ func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
 	if st.Mode != ModePlain {
 		install = ""
 	}
-	return runEngine(s, tpl, nil, install)
+	return runEngine(snap, tpl, nil, install)
 }
 
 // ExecWorlds executes a parsed statement under the per-world reference

@@ -15,20 +15,21 @@ import (
 // Section 5 SQL rewriting internal/sqlrewrite generates for that algebra
 // operation: Figure 16 for constant selections, the ext-based product and
 // union scripts, and the recursive-PL/SQL notes for π, σ(AθB) and
-// non-atomic conditions. The result relation is named P.
-func Explain(s *engine.Store, input string) (string, error) {
+// non-atomic conditions. The result relation is named P. The catalog may be
+// a Store or a Snapshot (the session API explains against snapshots).
+func Explain(cat Catalog, input string) (string, error) {
 	st, err := Parse(input)
 	if err != nil {
 		return "", err
 	}
-	return ExplainStmt(s, st)
+	return ExplainStmt(cat, st)
 }
 
 // ExplainStmt renders the Section 5 rewriting of a parsed statement. A
 // parameterized statement explains fine — the plan shape never depends on a
 // parameter — with the placeholders rendered as 0 and a header note.
-func ExplainStmt(s *engine.Store, st *Stmt) (string, error) {
-	tpl, err := CompileEngine(st, s)
+func ExplainStmt(cat Catalog, st *Stmt) (string, error) {
+	tpl, err := CompileEngine(st, cat)
 	if err != nil {
 		return "", err
 	}
@@ -58,7 +59,7 @@ func ExplainStmt(s *engine.Store, st *Stmt) (string, error) {
 		if n, ok := maxRows[rel]; ok {
 			return n
 		}
-		if r := s.Rel(rel); r != nil {
+		if r := cat.Rel(rel); r != nil {
 			return r.NumRows()
 		}
 		return 0
@@ -69,7 +70,7 @@ func ExplainStmt(s *engine.Store, st *Stmt) (string, error) {
 		if a, ok := attrs[rel]; ok {
 			return a
 		}
-		if r := s.Rel(rel); r != nil {
+		if r := cat.Rel(rel); r != nil {
 			return r.Attrs
 		}
 		return nil

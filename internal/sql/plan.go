@@ -26,15 +26,22 @@ import (
 // concrete result name, so one compiled plan serves many executions —
 // the prepared-statement path of the session API.
 
+// Catalog is the read surface plans resolve names against and validate
+// cached plans with: a live engine Store (single-threaded callers) or a
+// Snapshot (the session API, so planning never races with writers).
+type Catalog interface {
+	Rel(name string) *engine.Relation
+}
+
 // catalog resolves relation names to attribute lists.
 type catalog interface {
 	relAttrs(name string) ([]string, bool)
 }
 
-type storeCatalog struct{ s *engine.Store }
+type catalogView struct{ c Catalog }
 
-func (c storeCatalog) relAttrs(name string) ([]string, bool) {
-	r := c.s.Rel(name)
+func (v catalogView) relAttrs(name string) ([]string, bool) {
+	r := v.c.Rel(name)
 	if r == nil {
 		return nil, false
 	}
@@ -324,10 +331,10 @@ type boundBase struct {
 }
 
 // CatalogValid reports whether every base relation the plan resolved
-// against still exists in the store with an identical attribute list.
-func (p *EnginePlan) CatalogValid(s *engine.Store) bool {
+// against still exists in the catalog with an identical attribute list.
+func (p *EnginePlan) CatalogValid(cat Catalog) bool {
 	for _, b := range p.bases {
-		r := s.Rel(b.name)
+		r := cat.Rel(b.name)
 		if r == nil || !sameAttrs(r.Attrs, b.attrs) {
 			return false
 		}
@@ -381,9 +388,11 @@ func (p *EnginePlan) Bind(res string, args []relation.Value) (*EnginePlan, error
 	return out, nil
 }
 
-// Run executes the plan's operators against the store. On error every
-// relation already created by the plan is dropped.
-func (p *EnginePlan) Run(s *engine.Store) error {
+// Run executes the plan's operators against a Space: a per-session Arena
+// (the concurrent SELECT path — results never touch the shared store) or,
+// through the deprecated one-shot entry points, the Store itself. On error
+// every relation already created by the plan is dropped.
+func (p *EnginePlan) Run(s engine.Space) error {
 	if p.template {
 		return fmt.Errorf("sql: plan is a template; Bind it first")
 	}
@@ -421,19 +430,19 @@ func (p *EnginePlan) Run(s *engine.Store) error {
 }
 
 // DropTemps drops the plan's intermediate relations, newest first.
-func (p *EnginePlan) DropTemps(s *engine.Store) {
+func (p *EnginePlan) DropTemps(s engine.Space) {
 	for i := len(p.Temps) - 1; i >= 0; i-- {
 		s.DropRelation(p.Temps[i])
 	}
 }
 
 // CompileEngine compiles a statement into a templated engine plan: names
-// are resolved against the store's catalog and the operator shape is fixed,
-// but relation names stay symbolic and ? parameters unbound. EXCEPT has no
-// engine operator and is rejected here; the across-world modes are recorded
-// on the plan and handled by the executor.
-func CompileEngine(st *Stmt, s *engine.Store) (*EnginePlan, error) {
-	return compileEngine(st, storeCatalog{s})
+// are resolved against the catalog (a Store or Snapshot) and the operator
+// shape is fixed, but relation names stay symbolic and ? parameters
+// unbound. EXCEPT has no engine operator and is rejected here; the
+// across-world modes are recorded on the plan and handled by the executor.
+func CompileEngine(st *Stmt, cat Catalog) (*EnginePlan, error) {
+	return compileEngine(st, catalogView{cat})
 }
 
 func compileEngine(st *Stmt, cat catalog) (*EnginePlan, error) {
@@ -460,8 +469,8 @@ func compileEngine(st *Stmt, cat catalog) (*EnginePlan, error) {
 // PlanEngine compiles a statement and binds it to the result name res in one
 // step, the one-shot path. Statements with parameters must go through
 // CompileEngine + Bind (or the session API) instead.
-func PlanEngine(st *Stmt, s *engine.Store, res string) (*EnginePlan, error) {
-	tpl, err := CompileEngine(st, s)
+func PlanEngine(st *Stmt, cat Catalog, res string) (*EnginePlan, error) {
+	tpl, err := CompileEngine(st, cat)
 	if err != nil {
 		return nil, err
 	}

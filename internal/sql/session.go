@@ -12,19 +12,28 @@ import (
 // The session API: a database/sql-shaped surface over the engine store.
 // Open wraps a store in a DB; Prepare compiles a statement once (plans are
 // cached per DB, keyed by statement text); Query binds ? parameters and
-// returns a Rows pull iterator. Every result relation and planner
-// intermediate lives under a session-scoped scratch name, and Rows.Close
-// drops it — a long-lived store serving many queries never accumulates
-// query debris, and result names can never collide with user relations.
+// returns a Rows pull iterator.
+//
+// Execution is snapshot/arena structured: Stmt.Query acquires an O(1)
+// copy-on-write Snapshot of the store, runs the plan's operators on a
+// private Arena, and hands the arena to the Rows iterator — so any number
+// of SELECTs run truly in parallel, sharing nothing but immutable state,
+// and Rows.Close releases the whole result by dropping the arena. Catalog
+// writers (Materialize, DropRelation) serialize on the DB's writer lock and
+// commit copy-on-write, so they are safe to run while readers stream.
 
-// DB is a session over one engine store. All statement execution holds the
-// write lock (engine operators extend the shared component store even for
-// pure selections); catalog inspection holds the read lock. A DB is safe
+// DB is a session over one engine store. Statement execution takes no lock:
+// each Query runs on a snapshot + arena of its own. A small mutex guards
+// the plan cache; a writer mutex serializes catalog mutations. A DB is safe
 // for concurrent use by multiple goroutines.
 type DB struct {
-	mu     sync.RWMutex
-	store  *engine.Store
-	plans  map[string]*EnginePlan // statement text → compiled template
+	store *engine.Store
+	// mu guards plans and closed.
+	mu    sync.Mutex
+	plans map[string]*EnginePlan // statement text → compiled template
+	// writer serializes catalog writers (Materialize, DropRelation); the
+	// store's copy-on-write commit keeps concurrent snapshot readers safe.
+	writer sync.Mutex
 	closed bool
 }
 
@@ -44,6 +53,7 @@ func (db *DB) Close() error {
 	return nil
 }
 
+// check reports a nil or closed DB; callers hold db.mu.
 func (db *DB) check() error {
 	if db == nil {
 		return fmt.Errorf("sql: nil DB")
@@ -63,8 +73,9 @@ const maxCachedPlans = 512
 // Prepare parses and compiles a statement once. The compiled plan is cached
 // on the DB keyed by statement text, so preparing the same text twice — or
 // executing the returned statement any number of times, with any bound
-// parameters — re-plans zero times. EXPLAIN statements are rejected; use
-// DB.Explain.
+// parameters — re-plans zero times. Names resolve against a snapshot, so
+// preparing never races with catalog writers. EXPLAIN statements are
+// rejected; use DB.Explain.
 func (db *DB) Prepare(query string) (*Prepared, error) {
 	st, err := Parse(query)
 	if err != nil {
@@ -73,14 +84,15 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 	if st.Explain {
 		return nil, fmt.Errorf("sql: statement is EXPLAIN; use DB.Explain to render the rewriting")
 	}
+	snap := db.store.Snapshot()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.check(); err != nil {
 		return nil, err
 	}
 	tpl, ok := db.plans[query]
-	if !ok || !tpl.CatalogValid(db.store) {
-		tpl, err = compileEngine(st, storeCatalog{db.store})
+	if !ok || !tpl.CatalogValid(snap) {
+		tpl, err = compileEngine(st, catalogView{snap})
 		if err != nil {
 			return nil, err
 		}
@@ -107,8 +119,11 @@ func (db *DB) Query(query string, args ...any) (*Rows, error) {
 
 // Materialize executes a plain statement and installs its result relation
 // under res in the store's user namespace, for workloads that feed one
-// query's result into the FROM clause of the next. The caller owns dropping
-// res. A clear error is returned if res already exists.
+// query's result into the FROM clause of the next. The query itself runs on
+// a snapshot + arena like any other; only the final commit writes the store
+// (copy-on-write, so concurrent readers on older snapshots are unaffected).
+// The caller owns dropping res. A clear error is returned if res already
+// exists.
 func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
 	stmt, err := db.Prepare(query)
 	if err != nil {
@@ -122,39 +137,36 @@ func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.check(); err != nil {
-		return nil, err
-	}
-	if db.store.Rel(res) != nil {
-		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
-	}
-	tpl, err := ee.template()
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	snap, tpl, err := db.templateFor(ee)
 	if err != nil {
 		return nil, err
 	}
-	return runEngine(db.store, tpl, vals, res)
+	if snap.Rel(res) != nil {
+		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
+	}
+	return runEngine(snap, tpl, vals, res)
 }
 
 // Explain renders the Section 5 SQL rewriting of the statement's engine
 // plan (the EXPLAIN keyword is optional).
 func (db *DB) Explain(query string) (string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if err := db.check(); err != nil {
+	snap := db.store.Snapshot()
+	db.mu.Lock()
+	err := db.check()
+	db.mu.Unlock()
+	if err != nil {
 		return "", err
 	}
-	return Explain(db.store, query)
+	return Explain(snap, query)
 }
 
-// Relations lists the store's live user relations (scratch intermediates of
-// open sessions are hidden).
+// Relations lists the store's live user relations.
 func (db *DB) Relations() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	snap := db.store.Snapshot()
 	var out []string
-	for _, name := range db.store.Relations() {
+	for _, name := range snap.Relations() {
 		if len(name) > 0 && name[0] != '\x00' {
 			out = append(out, name)
 		}
@@ -164,17 +176,13 @@ func (db *DB) Relations() []string {
 
 // Stats returns the representation statistics of a relation.
 func (db *DB) Stats(rel string) engine.Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.store.Stats(rel)
+	return db.store.Snapshot().Stats(rel)
 }
 
 // Schema returns the attribute names of a relation, or nil if it does not
 // exist.
 func (db *DB) Schema(rel string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	r := db.store.Rel(rel)
+	r := db.store.Snapshot().Rel(rel)
 	if r == nil {
 		return nil
 	}
@@ -183,16 +191,41 @@ func (db *DB) Schema(rel string) []string {
 
 // Placeholders returns the number of uncertain fields of a relation.
 func (db *DB) Placeholders(rel string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.store.TotalPlaceholders(rel)
+	return db.store.Snapshot().TotalPlaceholders(rel)
 }
 
-// DropRelation removes a user relation from the store.
+// DropRelation removes a user relation from the store. Components are
+// trimmed copy-on-write, so queries running on older snapshots are
+// unaffected.
 func (db *DB) DropRelation(rel string) {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	db.store.DropRelation(rel)
+}
+
+// templateFor takes a fresh snapshot and returns the statement's compiled
+// plan, re-preparing it against the snapshot first if a base relation was
+// dropped or re-created with a different schema since compile time —
+// running a stale plan would return wrongly-labeled data.
+func (db *DB) templateFor(e *engineExec) (*engine.Snapshot, *EnginePlan, error) {
+	snap := db.store.Snapshot()
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.store.DropRelation(rel)
+	if err := db.check(); err != nil {
+		return nil, nil, err
+	}
+	if e.tpl.CatalogValid(snap) {
+		return snap, e.tpl, nil
+	}
+	tpl, err := compileEngine(e.st, catalogView{snap})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sql: re-preparing after catalog change: %w", err)
+	}
+	e.tpl = tpl
+	if db.plans != nil {
+		db.plans[e.text] = tpl
+	}
+	return snap, tpl, nil
 }
 
 // Prepared is a statement compiled once and executable many times with
@@ -242,8 +275,8 @@ func (p *Prepared) Close() error { return nil }
 
 // Query executes the statement with the given arguments (int and string
 // forms, or relation.Value). The result streams through a Rows iterator;
-// always Close it — that is what releases the session-scoped result
-// relation on the engine path.
+// always Close it — that is what releases the session's result arena on the
+// engine path.
 func (p *Prepared) Query(args ...any) (*Rows, error) {
 	vals, err := valuesOf(args)
 	if err != nil {
@@ -253,15 +286,7 @@ func (p *Prepared) Query(args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Rows{result: res, cols: res.Attrs, idx: -1}
-	if ee, ok := p.exec.(*engineExec); ok {
-		r.db = ee.db
-		if res.Relation != "" {
-			ee.db.mu.RLock()
-			r.rel = ee.db.store.Rel(res.Relation)
-			ee.db.mu.RUnlock()
-		}
-	}
+	r := &Rows{result: res, cols: res.Attrs, arena: res.arena, rel: res.rel, idx: -1}
 	if res.Mode != ModePlain {
 		r.tuples = make([]relation.Tuple, len(res.Tuples))
 		r.confs = make([]float64, len(res.Tuples))
@@ -273,8 +298,8 @@ func (p *Prepared) Query(args ...any) (*Rows, error) {
 	return r, nil
 }
 
-// engineExec runs a compiled template on the session's store under the
-// write lock.
+// engineExec runs a compiled template on a snapshot of the session's store,
+// materializing into a private arena — it never takes store write access.
 type engineExec struct {
 	db   *DB
 	st   *Stmt
@@ -283,43 +308,19 @@ type engineExec struct {
 }
 
 func (e *engineExec) Columns() []string {
-	e.db.mu.RLock()
-	defer e.db.mu.RUnlock()
+	e.db.mu.Lock()
+	defer e.db.mu.Unlock()
 	return e.tpl.OutAttrs
 }
 
 func (e *engineExec) NumParams() int { return e.st.NumParams }
 
-// template returns the plan to execute, re-preparing it first if a base
-// relation was dropped or re-created with a different schema since compile
-// time — running a stale plan would return wrongly-labeled data. Callers
-// hold the write lock.
-func (e *engineExec) template() (*EnginePlan, error) {
-	if e.tpl.CatalogValid(e.db.store) {
-		return e.tpl, nil
-	}
-	tpl, err := compileEngine(e.st, storeCatalog{e.db.store})
-	if err != nil {
-		return nil, fmt.Errorf("sql: re-preparing after catalog change: %w", err)
-	}
-	e.tpl = tpl
-	if e.db.plans != nil {
-		e.db.plans[e.text] = tpl
-	}
-	return tpl, nil
-}
-
 func (e *engineExec) Query(args []relation.Value) (*Result, error) {
-	e.db.mu.Lock()
-	defer e.db.mu.Unlock()
-	if err := e.db.check(); err != nil {
-		return nil, err
-	}
-	tpl, err := e.template()
+	snap, tpl, err := e.db.templateFor(e)
 	if err != nil {
 		return nil, err
 	}
-	return runEngine(e.db.store, tpl, args, "")
+	return runEngine(snap, tpl, args, "")
 }
 
 // worldsExec evaluates the statement per world, the reference semantics.
@@ -351,20 +352,20 @@ func (e *worldsExec) Query(args []relation.Value) (*Result, error) {
 
 // Rows is the pull iterator over one execution's result, in the shape of
 // database/sql: Next advances, Scan reads the current row, Close releases
-// the session-scoped result relation. On the engine path, plain-query rows
-// are the result's template tuples, read lazily from the columnar store —
-// no decoding happens for rows never scanned — with uncertain fields
-// scanning as '?' placeholders into *relation.Value. CONF()/POSSIBLE/
-// CERTAIN rows are the across-world answers with Conf exposing the current
-// confidence.
+// the execution's result arena. On the engine path, plain-query rows are
+// the result's template tuples, read lazily from the arena's columnar
+// relation — no decoding happens for rows never scanned — with uncertain
+// fields scanning as '?' placeholders into *relation.Value. CONF()/
+// POSSIBLE/CERTAIN rows are the across-world answers with Conf exposing the
+// current confidence.
 type Rows struct {
-	db     *DB // nil on the per-world path
 	result *Result
 	cols   []string
-	// rel is the scratch result relation of a plain engine query. The
-	// relation is invisible to every other statement (scratch names are
-	// unreachable from SQL) and dropped only by our own Close, so reading
-	// its columns outside the DB lock is race-free.
+	// arena owns the result relation rel of a plain engine query; both are
+	// private to this execution, so reading them needs no locks, and Close
+	// frees the result by dropping the arena (the shared store was never
+	// touched).
+	arena  *engine.Arena
 	rel    *engine.Relation
 	tuples []relation.Tuple // across-world answers (mode queries)
 	confs  []float64
@@ -375,8 +376,12 @@ type Rows struct {
 // Columns returns the output attribute names.
 func (r *Rows) Columns() []string { return r.cols }
 
-// Len returns the number of rows the iterator yields in total.
+// Len returns the number of rows the iterator yields in total (0 after
+// Close).
 func (r *Rows) Len() int {
+	if r.closed {
+		return 0
+	}
 	if r.rel != nil {
 		return r.rel.NumRows()
 	}
@@ -419,8 +424,12 @@ func (r *Rows) Stats() engine.Stats { return r.result.Stats }
 // Scan copies the current row into dest: *int, *int32, *int64, *string or
 // *relation.Value per column. An uncertain template field scans only into a
 // *relation.Value (as the '?' placeholder); ask for POSSIBLE or CONF() to
-// decode it into concrete values.
+// decode it. Scan fails cleanly after Close: the rows' arena is released
+// and there is nothing left to read.
 func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fmt.Errorf("sql: Scan called after Close (the result arena is released)")
+	}
 	if r.idx < 0 {
 		return fmt.Errorf("sql: Scan called before Next")
 	}
@@ -477,20 +486,21 @@ func (r *Rows) value(i int) relation.Value {
 	return r.tuples[r.idx][i]
 }
 
-// Close releases the result. On the engine path it drops the
-// session-scoped result relation, restoring the store's relation catalog to
-// its pre-query state. Close is idempotent.
+// Close releases the result by dropping its arena — an O(1) detach, with no
+// writes to the shared store (whose catalog was never touched by the
+// query). Close is idempotent; Scan and Next fail/stop after it.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	if r.db != nil && r.result.Relation != "" {
-		r.db.mu.Lock()
-		r.db.store.DropRelation(r.result.Relation)
-		r.db.mu.Unlock()
-		r.result.Relation = ""
-		r.rel = nil
+	r.arena = nil
+	r.rel = nil
+	r.tuples = nil
+	r.confs = nil
+	if r.result != nil {
+		r.result.arena = nil
+		r.result.rel = nil
 	}
 	return nil
 }

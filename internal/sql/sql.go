@@ -114,4 +114,10 @@ type Result struct {
 	Tuples []confidence.TupleConf
 	// WorldSet is the per-world result (ModePlain on the per-world path).
 	WorldSet *worlds.WorldSet
+
+	// arena owns the result relation of a plain engine-path execution (no
+	// install); rel is that relation. Rows.Close releases both — the
+	// session-arena lifecycle replacing PR 2's drop-from-shared-catalog.
+	arena *engine.Arena
+	rel   *engine.Relation
 }

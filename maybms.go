@@ -240,10 +240,26 @@ var (
 	NewTupleIndTable = tupleind.NewTable
 )
 
-// Scalable engine (internal/engine).
+// Scalable engine (internal/engine). The engine API is snapshot/arena
+// structured: Store.Snapshot returns an O(1) copy-on-write, read-only view
+// of the catalog and component space; NewArena opens a private result space
+// over it, and the relational operators (Select, Project, Rename, Join,
+// Product, Union) plus the scoped WSD bridge ToWSDOf run as Arena methods —
+// reading shared state, writing only the arena. Any number of arenas
+// evaluate concurrently over one store; dropping an arena releases its
+// results, Arena.Commit installs them. The operator methods on Store itself
+// are deprecated one-shot wrappers (snapshot + arena + commit per call).
 type (
 	// Store is the columnar UWSDT engine.
 	Store = engine.Store
+	// StoreSnapshot is a read-only, point-in-time view of a store.
+	StoreSnapshot = engine.Snapshot
+	// StoreArena is a private result space over one snapshot; the engine
+	// operators run as its methods.
+	StoreArena = engine.Arena
+	// EngineSpace is the operator surface shared by Arena and the
+	// deprecated one-shot Store wrappers.
+	EngineSpace = engine.Space
 	// StoreStats are per-relation representation statistics.
 	StoreStats = engine.Stats
 	// EnginePred is a predicate over template rows.
@@ -257,6 +273,7 @@ type (
 // Engine predicate constructors and options.
 var (
 	NewStore     = engine.NewStore
+	NewArena     = engine.NewArena
 	EngineEq     = engine.Eq
 	EngineNe     = engine.Ne
 	EngineGt     = engine.Gt
@@ -284,10 +301,13 @@ type (
 // Session API: Open wraps a Store in a DB; DB.Prepare compiles a statement
 // once (? placeholders become bind parameters, plans are cached per DB);
 // Stmt.Query executes it with bound arguments and returns a Rows pull
-// iterator (Next/Scan/Columns/Err/Close). Result relations and planner
-// intermediates live under session-scoped scratch names and are dropped on
-// Rows.Close, so a long-lived store never accumulates query debris. A DB is
-// safe for concurrent use.
+// iterator (Next/Scan/Columns/Err/Close). Each execution acquires a store
+// Snapshot and materializes into a private Arena, so independent queries
+// run truly in parallel — no store lock is held during execution — and
+// Rows.Close releases the whole result by dropping the arena. Catalog
+// writers (Materialize, DropRelation) serialize and commit copy-on-write,
+// leaving concurrent readers on their frozen snapshots. A DB is safe for
+// concurrent use.
 type (
 	// DB is a SQL session over an engine store.
 	DB = sql.DB
@@ -331,8 +351,9 @@ var (
 // materializes under a caller-managed result name, and ExecSQLPerWorld
 // cannot bind parameters. Use Open (engine path) or PrepareSQLPerWorld
 // (reference path): plans compile once, ? parameters bind per execution,
-// and result relations are scoped to the session. These wrappers remain for
-// compatibility and delegate to the same executors.
+// and results live in session arenas released on Rows.Close. ExecSQL is now
+// itself a thin wrapper over a one-shot snapshot + arena — execution never
+// locks the store; only a plain query's final install commits.
 var (
 	ExecSQL         = sql.Exec
 	ExecSQLPerWorld = sql.ExecWorlds
