@@ -7,15 +7,22 @@
 //	prepared         mean_run_ns per query (lower is better)
 //	conf_bridge      scoped_ns per size (lower is better)
 //	conf_single_pass single_pass_ns per size (lower is better)
+//	conf_native      native_ns per size (lower is better)
 //	parallel         qps per (workers, mode) point (higher is better)
 //
 // Entries present in only one file are reported but never fail the run
 // (series appear and disappear as figures are added), and machine-noise is
 // tolerated through the threshold (default: fail only on >25% slowdown).
+// The parallel series only measures real scaling on multi-core hosts; each
+// point records the core count of the host that measured it, and a point is
+// gated only when both baseline and candidate were measured on at least
+// -mincores cores (default 2) — otherwise it is reported but skipped, so a
+// starved host cannot fail the job on scheduler noise (files from before
+// the cores field fall back to the diffing host's count).
 //
 // Usage:
 //
-//	benchdiff -old baseline.json -new BENCH_results.json [-threshold 0.25]
+//	benchdiff -old baseline.json -new BENCH_results.json [-threshold 0.25] [-mincores 2]
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 type results struct {
@@ -42,12 +50,18 @@ type results struct {
 		Density      float64 `json:"density"`
 		SinglePassNS int64   `json:"single_pass_ns"`
 	} `json:"conf_single_pass"`
+	ConfNative []struct {
+		Rows     int     `json:"rows"`
+		Density  float64 `json:"density"`
+		NativeNS int64   `json:"native_ns"`
+	} `json:"conf_native"`
 	Parallel []struct {
 		Workers int     `json:"workers"`
 		Mode    string  `json:"mode"`
 		Rows    int     `json:"rows"`
 		Density float64 `json:"density"`
 		QPS     float64 `json:"qps"`
+		Cores   int     `json:"cores"`
 	} `json:"parallel"`
 }
 
@@ -75,6 +89,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline results file")
 	newPath := flag.String("new", "BENCH_results.json", "candidate results file")
 	threshold := flag.Float64("threshold", 0.25, "maximum tolerated slowdown (0.25 = 25%)")
+	minCores := flag.Int("mincores", 2, "minimum CPU cores for gating the parallel series (below: report, never fail)")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old is required")
@@ -132,17 +147,48 @@ func main() {
 			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_single_pass", key)
 		}
 	}
-	oldPar := make(map[string]float64)
+	oldNative := make(map[string]int64)
+	for _, p := range oldR.ConfNative {
+		oldNative[cfg(p.Rows, p.Density)] = p.NativeNS
+	}
+	for _, p := range newR.ConfNative {
+		key := cfg(p.Rows, p.Density)
+		if base, ok := oldNative[key]; ok && base > 0 {
+			check("conf_native", key, float64(p.NativeNS)/float64(base))
+		} else {
+			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_native", key)
+		}
+	}
+	// Minimum-core guard: parallel throughput measured on a starved host
+	// reflects the scheduler, not the engine. Each point records the core
+	// count of the host that measured it (files from before the field fall
+	// back to this host's count); a point is gated only when both sides
+	// were measured on at least -mincores cores, and reported otherwise.
+	cores := func(recorded int) int {
+		if recorded > 0 {
+			return recorded
+		}
+		return runtime.NumCPU()
+	}
+	type parBase struct {
+		qps   float64
+		cores int
+	}
+	oldPar := make(map[string]parBase)
 	for _, p := range oldR.Parallel {
-		oldPar[fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))] = p.QPS
+		oldPar[fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))] = parBase{p.QPS, cores(p.Cores)}
 	}
 	for _, p := range newR.Parallel {
 		key := fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))
-		if base, ok := oldPar[key]; ok && p.QPS > 0 {
-			// Throughput: slower means lower qps, so invert the ratio.
-			check("parallel", key, base/p.QPS)
-		} else {
+		base, ok := oldPar[key]
+		switch {
+		case !ok || p.QPS <= 0:
 			fmt.Printf("%-18s %-28s (no baseline)\n", "parallel", key)
+		case cores(p.Cores) < *minCores || base.cores < *minCores:
+			fmt.Printf("%-18s %-28s (skipped: measured below %d cores)\n", "parallel", key, *minCores)
+		default:
+			// Throughput: slower means lower qps, so invert the ratio.
+			check("parallel", key, base.qps/p.QPS)
 		}
 	}
 

@@ -6,8 +6,10 @@
 // prepared statements through DB/Stmt/Rows (plan once, run many, including
 // a parameterized plan bound with different values per run), "conf"
 // compares the scoped CONF() bridge (only components reachable from the
-// result) against converting the whole store and the single-pass confidence
-// computation against the per-tuple rescan it replaced, and "parallel"
+// result) against converting the whole store, the single-pass confidence
+// computation against the per-tuple rescan it replaced, and the native
+// columnar confidence path (conf_native, no WSD at all) against the scoped
+// bridge, and "parallel"
 // measures concurrent SELECT throughput of the snapshot/arena engine
 // against PR 2's lock-serialized execution model at 1, 2 and 4 workers.
 //
@@ -54,7 +56,10 @@ type benchJSON struct {
 	Prepared  []preparedJSON   `json:"prepared,omitempty"`   // session API, plan once / run many
 	Conf      []confBridgeJSON `json:"conf_bridge,omitempty"`
 	ConfPass  []confPassJSON   `json:"conf_single_pass,omitempty"`
-	Parallel  []parallelJSON   `json:"parallel,omitempty"` // concurrent SELECT throughput
+	// ConfNative is the PR 4 series: confidence computed natively on the
+	// columnar engine vs the WSD bridge, on the same materialized result.
+	ConfNative []confNativeJSON `json:"conf_native,omitempty"`
+	Parallel   []parallelJSON   `json:"parallel,omitempty"` // concurrent SELECT throughput
 }
 
 type parallelJSON struct {
@@ -65,6 +70,20 @@ type parallelJSON struct {
 	Queries   int     `json:"queries"`
 	ElapsedNS int64   `json:"elapsed_ns"`
 	QPS       float64 `json:"qps"`
+	// Cores is runtime.NumCPU on the measuring host; benchdiff skips
+	// gating points measured below its -mincores threshold.
+	Cores int `json:"cores"`
+}
+
+type confNativeJSON struct {
+	Rows       int     `json:"rows"`
+	Density    float64 `json:"density"`
+	ResultRows int     `json:"result_rows"`
+	Tuples     int     `json:"tuples"`
+	NativeNS   int64   `json:"native_ns"`
+	BridgeNS   int64   `json:"bridge_ns"`
+	EndToEndNS int64   `json:"end_to_end_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 type confPassJSON struct {
@@ -256,6 +275,26 @@ func main() {
 				Speedup: float64(p.PerTuple) / float64(p.SinglePass),
 			})
 		}
+		// The native columnar path (PR 4) is measured at the conf_bridge
+		// sizes so the series are directly comparable point by point: the
+		// speedup of conf_native over the conf_bridge scoped numbers is
+		// the headline of the PR.
+		var nativePoints []bench.ConfNativePoint
+		for _, n := range []int{500, 1000, 2000} {
+			p, err := bench.ConfNative(n, densities[len(densities)-1], *seed)
+			fail(err)
+			nativePoints = append(nativePoints, p)
+		}
+		bench.PrintConfNative(os.Stdout, nativePoints)
+		fmt.Println()
+		for _, p := range nativePoints {
+			out.ConfNative = append(out.ConfNative, confNativeJSON{
+				Rows: p.Rows, Density: p.Density, ResultRows: p.ResultRows, Tuples: p.Tuples,
+				NativeNS: p.Native.Nanoseconds(), BridgeNS: p.Bridge.Nanoseconds(),
+				EndToEndNS: p.EndToEnd.Nanoseconds(),
+				Speedup:    float64(p.Bridge) / float64(p.Native),
+			})
+		}
 	}
 	if run("parallel") {
 		// Throughput runs at the first configured size and highest density:
@@ -272,6 +311,7 @@ func main() {
 			out.Parallel = append(out.Parallel, parallelJSON{
 				Workers: p.Workers, Mode: mode, Rows: p.Rows, Density: p.Density,
 				Queries: p.Queries, ElapsedNS: p.Elapsed.Nanoseconds(), QPS: p.QPS,
+				Cores: p.Cores,
 			})
 		}
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,6 +199,10 @@ type ParallelPoint struct {
 	Queries    int
 	Elapsed    time.Duration
 	QPS        float64
+	// Cores records runtime.NumCPU at measurement time: throughput from a
+	// starved host measures the scheduler, and regression gating
+	// (cmd/benchdiff -mincores) skips points measured below its threshold.
+	Cores int
 }
 
 // ParallelQueries measures SELECT throughput at each worker count, with and
@@ -236,7 +241,8 @@ func ParallelQueries(rows int, density float64, seed int64, queries int, workerC
 			out = append(out, ParallelPoint{
 				Workers: w, Serialized: serialized, Rows: rows, Density: density,
 				Queries: queries, Elapsed: elapsed,
-				QPS: float64(queries) / elapsed.Seconds(),
+				QPS:   float64(queries) / elapsed.Seconds(),
+				Cores: runtime.NumCPU(),
 			})
 		}
 	}
@@ -391,5 +397,97 @@ func PrintConfSinglePass(w io.Writer, points []ConfPassPoint) {
 		fmt.Fprintf(w, "%12d %9.3f%% %12d %8d %12s %12s %9.1fx\n",
 			p.Rows, p.Density*100, p.ResultRows, p.Tuples,
 			p.SinglePass.Round(time.Microsecond), p.PerTuple.Round(time.Microsecond), speedup)
+	}
+}
+
+// ConfNativePoint compares the native columnar confidence computation (PR 4)
+// against the WSD-bridge path it replaced, on the same materialized query
+// result: Native is engine PossibleP on the snapshot (tuple-level view and
+// single sweep entirely in FieldID/component structures), Bridge is the
+// scoped ToWSDOf conversion plus confidence.PossibleP (the committed
+// conf_bridge baseline). EndToEnd measures census.ConfQuery — operators plus
+// native confidence through one pooled arena — the full CONF() query shape.
+type ConfNativePoint struct {
+	Rows       int
+	Density    float64
+	ResultRows int
+	Tuples     int
+	Native     time.Duration
+	Bridge     time.Duration
+	EndToEnd   time.Duration
+}
+
+// ConfNative measures both confidence strategies for Q1's result over a
+// chased census store and checks they agree tuple for tuple.
+func ConfNative(rows int, density float64, seed int64) (ConfNativePoint, error) {
+	p, err := Prepare(rows, density, seed)
+	if err != nil {
+		return ConfNativePoint{}, err
+	}
+	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+		return ConfNativePoint{}, err
+	}
+	db := sql.Open(p.Store)
+	defer db.Close()
+	res, err := db.Materialize("confres", census.SQL["Q1"])
+	if err != nil {
+		return ConfNativePoint{}, err
+	}
+	defer db.DropRelation("confres")
+	pt := ConfNativePoint{Rows: rows, Density: density, ResultRows: res.Stats.RSize}
+	snap := p.Store.Snapshot()
+
+	start := time.Now()
+	native, err := snap.PossibleP("confres")
+	if err != nil {
+		return ConfNativePoint{}, err
+	}
+	pt.Native = time.Since(start)
+	pt.Tuples = len(native)
+
+	start = time.Now()
+	w, err := p.Store.ToWSDOf("confres")
+	if err != nil {
+		return ConfNativePoint{}, err
+	}
+	bridge, err := confidence.PossibleP(w, "confres")
+	if err != nil {
+		return ConfNativePoint{}, err
+	}
+	pt.Bridge = time.Since(start)
+
+	if len(native) != len(bridge) {
+		return ConfNativePoint{}, fmt.Errorf("bench: confidence paths disagree: native %d tuples, bridge %d", len(native), len(bridge))
+	}
+	for i := range native {
+		for j, v := range native[i].Tuple {
+			if bv := bridge[i].Tuple[j]; bv.IsBottom() || bv.AsInt() != int64(v) {
+				return ConfNativePoint{}, fmt.Errorf("bench: confidence paths disagree at row %d: native tuple %v, bridge %v", i, native[i].Tuple, bridge[i].Tuple)
+			}
+		}
+		if d := native[i].Conf - bridge[i].Conf; d > 1e-9 || d < -1e-9 {
+			return ConfNativePoint{}, fmt.Errorf("bench: confidence paths disagree on %v: native %g, bridge %g", native[i].Tuple, native[i].Conf, bridge[i].Conf)
+		}
+	}
+
+	start = time.Now()
+	if _, err := census.ConfQuery(p.Store, "Q1", "R"); err != nil {
+		return ConfNativePoint{}, err
+	}
+	pt.EndToEnd = time.Since(start)
+	return pt, nil
+}
+
+// PrintConfNative renders the native-vs-bridge confidence comparison.
+func PrintConfNative(w io.Writer, points []ConfNativePoint) {
+	fmt.Fprintln(w, "CONF() native columnar computation vs WSD bridge (same materialized result)")
+	fmt.Fprintf(w, "%12s %10s %12s %8s %12s %12s %10s %12s\n",
+		"tuples", "density", "|result|", "answers", "native", "bridge", "speedup", "query+conf")
+	for _, p := range points {
+		speedup := float64(p.Bridge) / float64(p.Native)
+		fmt.Fprintf(w, "%12d %9.3f%% %12d %8d %12s %12s %9.1fx %12s\n",
+			p.Rows, p.Density*100, p.ResultRows, p.Tuples,
+			p.Native.Round(time.Microsecond), p.Bridge.Round(time.Microsecond),
+			speedup, p.EndToEnd.Round(time.Microsecond))
 	}
 }

@@ -121,6 +121,21 @@ func Q6(s engine.Space, src, res string) error {
 	return err
 }
 
+// ConfQuery runs the named Figure 29 query on a pooled private arena over a
+// snapshot of s and returns the confidence table of its result (Figure 19),
+// computed natively on the columnar engine — no core.WSD is materialized.
+// This is the across-world form of the Section 9 workload: the cost is
+// driven by the result's own components, not by the base relation.
+func ConfQuery(s *engine.Store, name, src string) ([]engine.TupleConf, error) {
+	ar := engine.AcquireArena(s.Snapshot())
+	defer engine.ReleaseArena(ar)
+	res := ar.NewScratch()
+	if err := Run(ar, name, src, res); err != nil {
+		return nil, err
+	}
+	return ar.PossibleP(res)
+}
+
 // Run evaluates the named query (Q1..Q6) of Figure 29 against src,
 // materializing the result as res. Q5 computes its Q2 and Q3 inputs first
 // and drops them afterwards.

@@ -7,6 +7,13 @@
 // exponentially in the worst case — unavoidable, since deciding tuple
 // certainty on WSDs is NP-hard [9] — but only the components actually
 // touching the relation's slots are composed.
+//
+// This package operates on generic core.WSDs. The query engine computes the
+// same operators natively on its columnar representation
+// (internal/engine's Conf/PossibleP/Possible/Certain) without crossing the
+// WSD bridge; this package is the reference oracle that native path is
+// differential-tested against, and the implementation of choice only for
+// world-sets that do not live in an engine store.
 package confidence
 
 import (
@@ -243,13 +250,14 @@ func slotTuple(comp *core.Component, r core.Row, rel string, slot int, attrs []s
 }
 
 // Sort orders tuple-confidence pairs by descending confidence, then by the
-// canonical tuple order: the ranked retrieval presentation of probabilistic
-// query answers.
+// canonical full-tuple order: the ranked retrieval presentation of
+// probabilistic query answers. The tie-break compares whole tuples, so
+// equal-confidence tuples agreeing on a prefix still sort deterministically.
 func Sort(tcs []TupleConf) {
 	sort.Slice(tcs, func(i, j int) bool {
 		if tcs[i].Conf != tcs[j].Conf {
 			return tcs[i].Conf > tcs[j].Conf
 		}
-		return relation.Compare(tcs[i].Tuple[0], tcs[j].Tuple[0]) < 0
+		return relation.CompareTuples(tcs[i].Tuple, tcs[j].Tuple) < 0
 	})
 }

@@ -305,3 +305,39 @@ func TestPossiblePNonProbabilistic(t *testing.T) {
 		t.Fatal("PossibleP on a non-probabilistic WSD must fail")
 	}
 }
+
+// TestSortFullTupleTieBreak is the regression test for the Sort tie-break:
+// it used to compare only Tuple[0], so equal-confidence tuples agreeing on
+// the first attribute sorted nondeterministically. The tie-break now
+// compares whole tuples lexicographically.
+func TestSortFullTupleTieBreak(t *testing.T) {
+	tup := func(vs ...int64) relation.Tuple {
+		out := make(relation.Tuple, len(vs))
+		for i, v := range vs {
+			out[i] = relation.Int(v)
+		}
+		return out
+	}
+	tcs := []TupleConf{
+		{Tuple: tup(1, 3, 1), Conf: 0.5},
+		{Tuple: tup(1, 2, 9), Conf: 0.5},
+		{Tuple: tup(1, 2, 4), Conf: 0.5},
+		{Tuple: tup(2, 0, 0), Conf: 0.9},
+		{Tuple: tup(1, 3, 0), Conf: 0.5},
+	}
+	// Run from several initial permutations: with the broken tie-break the
+	// result depended on sort.Slice's unstable input order.
+	for rot := 0; rot < len(tcs); rot++ {
+		in := append(append([]TupleConf(nil), tcs[rot:]...), tcs[:rot]...)
+		Sort(in)
+		want := []relation.Tuple{
+			tup(2, 0, 0), // highest confidence first
+			tup(1, 2, 4), tup(1, 2, 9), tup(1, 3, 0), tup(1, 3, 1),
+		}
+		for i, w := range want {
+			if relation.CompareTuples(in[i].Tuple, w) != 0 {
+				t.Fatalf("rotation %d: position %d = %v, want %v", rot, i, in[i].Tuple, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file computes the across-world operators of Section 6 — the
+// confidence of a tuple (Figure 17), the possible tuples of a relation
+// (Figure 18) and both combined (Figure 19) — natively on the columnar
+// representation. The WSD bridge (rep.go) plus internal/confidence remain as
+// the reference oracle these implementations are differential-tested
+// against; the query path goes through here and never materializes a
+// core.WSD.
+//
+// The cost model is the point: building the tuple-level view touches only
+// the components reachable from the relation's own placeholders
+// (tuplelevel.go), and the sweep below scores all tuples in one pass with
+// slice-indexed accumulators, so CONF() over a query result is priced by the
+// result — not by the base relations the query never touched, and not by a
+// per-tuple rescan.
+
+// TupleConf pairs a possible tuple — in the engine's native int32 encoding —
+// with its confidence.
+type TupleConf struct {
+	Tuple []int32
+	Conf  float64
+}
+
+// CompareTuples orders two native tuples lexicographically; it matches the
+// canonical order of relation.CompareTuples on all-integer tuples, so native
+// and bridge answer lists sort identically.
+func CompareTuples(a, b []int32) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}
+
+// tupleAccum interns tuples and accumulates per-tuple probability masses
+// with slice indexes: the byte key (appendFieldKey per attribute) resolves a
+// tuple to a dense index once, and the per-group sweep then works entirely
+// in slices — mass, a last-counted stamp, a touched list — instead of
+// map[string]float64 per component.
+type tupleAccum struct {
+	idx     map[string]int
+	tuples  [][]int32
+	conf    []float64
+	mass    []float64
+	stamp   []int // last (group, local world) epoch that counted the tuple
+	touched []int
+	keyBuf  []byte
+}
+
+func newTupleAccum() *tupleAccum {
+	return &tupleAccum{idx: make(map[string]int)}
+}
+
+// intern returns the dense index of tuple t, adding it on first sight. The
+// returned index is stable; t is copied only when new.
+func (ac *tupleAccum) intern(t []int32) int {
+	ac.keyBuf = ac.keyBuf[:0]
+	for _, v := range t {
+		ac.keyBuf = appendFieldKey(ac.keyBuf, v, false)
+	}
+	if i, ok := ac.idx[string(ac.keyBuf)]; ok {
+		return i
+	}
+	i := len(ac.tuples)
+	ac.idx[string(ac.keyBuf)] = i
+	ac.tuples = append(ac.tuples, append([]int32(nil), t...))
+	ac.conf = append(ac.conf, 0)
+	ac.mass = append(ac.mass, 0)
+	ac.stamp = append(ac.stamp, -1)
+	return i
+}
+
+// add counts mass p for tuple index i at epoch e, at most once per epoch
+// (a local world listing a tuple in several slots counts it once).
+func (ac *tupleAccum) add(i, e int, p float64) {
+	if ac.stamp[i] == e {
+		return
+	}
+	ac.stamp[i] = e
+	if ac.mass[i] == 0 {
+		ac.touched = append(ac.touched, i)
+	}
+	ac.mass[i] += p
+}
+
+// fold combines the accumulated group masses into the running confidences —
+// matches in distinct groups are independent events — and resets the masses
+// for the next group.
+func (ac *tupleAccum) fold() {
+	for _, i := range ac.touched {
+		ac.conf[i] = 1 - (1-ac.conf[i])*(1-ac.mass[i])
+		ac.mass[i] = 0
+	}
+	ac.touched = ac.touched[:0]
+}
+
+// sorted returns the interned tuples with their confidences in canonical
+// order.
+func (ac *tupleAccum) sorted() []TupleConf {
+	out := make([]TupleConf, len(ac.tuples))
+	for i := range ac.tuples {
+		out[i] = TupleConf{Tuple: ac.tuples[i], Conf: ac.conf[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].Tuple, out[j].Tuple) < 0 })
+	return out
+}
+
+// groupTuple materializes the tuple of row tr at local world w of its
+// group's component into buf; ok is false when the tuple is absent there
+// (some field has no value — the encoding of worlds of different sizes).
+func groupTuple(r *Relation, g *tlGroup, tr tlRow, w int, buf []int32) (_ []int32, ok bool) {
+	crow := &g.comp.Rows[w]
+	buf = buf[:0]
+	for a, col := range tr.cols {
+		if col < 0 {
+			buf = append(buf, r.Cols[a][tr.row])
+			continue
+		}
+		if crow.IsAbsent(col) {
+			return buf, false
+		}
+		buf = append(buf, crow.Vals[col])
+	}
+	return buf, true
+}
+
+// possiblePOf computes the Figure 19 confidence table of rel natively: the
+// tuple-level view is built once and every tuple is scored in a single
+// sweep over it.
+func possiblePOf(v catView, rel string) ([]TupleConf, error) {
+	tv, err := tupleLevelView(v, rel)
+	if err != nil {
+		return nil, err
+	}
+	r := tv.rel
+	ac := newTupleAccum()
+	// Certain rows are present in every world: confidence 1, whatever the
+	// uncertain rows add.
+	tbuf := make([]int32, 0, len(r.Attrs))
+	for _, row := range tv.certain {
+		tbuf = tbuf[:0]
+		for a := range r.Attrs {
+			tbuf = append(tbuf, r.Cols[a][row])
+		}
+		i := ac.intern(tbuf)
+		ac.conf[i] = 1
+	}
+	epoch := 0
+	for _, g := range tv.groups {
+		for w := range g.comp.Rows {
+			p := g.comp.Rows[w].P
+			for _, tr := range g.rows {
+				t, ok := groupTuple(r, g, tr, w, tbuf)
+				tbuf = t[:0]
+				if !ok {
+					continue
+				}
+				ac.add(ac.intern(t), epoch, p)
+			}
+			epoch++
+		}
+		ac.fold()
+	}
+	return ac.sorted(), nil
+}
+
+// confOf computes the Figure 17 confidence of one tuple of rel natively.
+func confOf(v catView, rel string, t []int32) (float64, error) {
+	tv, err := tupleLevelView(v, rel)
+	if err != nil {
+		return 0, err
+	}
+	r := tv.rel
+	if len(t) != len(r.Attrs) {
+		return 0, fmt.Errorf("engine: tuple arity %d, want %d", len(t), len(r.Attrs))
+	}
+	for _, x := range t {
+		if x < 0 {
+			return 0, fmt.Errorf("engine: negative value %d in tuple", x)
+		}
+	}
+	for _, row := range tv.certain {
+		match := true
+		for a := range r.Attrs {
+			if r.Cols[a][row] != t[a] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return 1, nil
+		}
+	}
+	c := 0.0
+	buf := make([]int32, 0, len(t))
+	for _, g := range tv.groups {
+		mass := 0.0
+		for w := range g.comp.Rows {
+			for _, tr := range g.rows {
+				tup, ok := groupTuple(r, g, tr, w, buf)
+				buf = tup[:0]
+				if ok && CompareTuples(tup, t) == 0 {
+					mass += g.comp.Rows[w].P
+					break
+				}
+			}
+		}
+		c = 1 - (1-c)*(1-mass)
+	}
+	return c, nil
+}
+
+// possibleOf computes the Figure 18 possible tuples of rel natively, in
+// canonical order.
+func possibleOf(v catView, rel string) ([][]int32, error) {
+	tcs, err := possiblePOf(v, rel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int32, len(tcs))
+	for i, tc := range tcs {
+		out[i] = tc.Tuple
+	}
+	return out, nil
+}
+
+// certainOf reports whether tuple t occurs in every world of rel: its
+// confidence is 1 within eps. Engine components always carry probabilities,
+// so — unlike the generic confidence package — there is no separate
+// non-probabilistic path.
+func certainOf(v catView, rel string, t []int32, eps float64) (bool, error) {
+	c, err := confOf(v, rel, t)
+	if err != nil {
+		return false, err
+	}
+	return c >= 1-eps, nil
+}
+
+// Conf computes the confidence of tuple t in relation rel (Figure 17)
+// natively on the arena's view: the sum of the probabilities of the worlds
+// whose rel contains t.
+func (a *Arena) Conf(rel string, t []int32) (float64, error) { return confOf(a, rel, t) }
+
+// PossibleP computes the possible tuples of rel with their confidences
+// (Figure 19) natively on the arena's view, sorted canonically. This is the
+// CONF() execution path: the arena's result relations and the components
+// they extend are read in place, with no WSD materialization.
+func (a *Arena) PossibleP(rel string) ([]TupleConf, error) { return possiblePOf(a, rel) }
+
+// Possible computes the tuples of rel appearing in at least one world
+// (Figure 18) natively on the arena's view, sorted canonically.
+func (a *Arena) Possible(rel string) ([][]int32, error) { return possibleOf(a, rel) }
+
+// Certain reports whether tuple t occurs in every world of rel — confidence
+// 1 within eps — natively on the arena's view.
+func (a *Arena) Certain(rel string, t []int32, eps float64) (bool, error) {
+	return certainOf(a, rel, t, eps)
+}
+
+// Conf computes the confidence of tuple t in relation rel natively on the
+// snapshot.
+func (sn *Snapshot) Conf(rel string, t []int32) (float64, error) { return confOf(sn, rel, t) }
+
+// PossibleP computes the confidence table of rel natively on the snapshot.
+func (sn *Snapshot) PossibleP(rel string) ([]TupleConf, error) { return possiblePOf(sn, rel) }
+
+// Possible computes the possible tuples of rel natively on the snapshot.
+func (sn *Snapshot) Possible(rel string) ([][]int32, error) { return possibleOf(sn, rel) }
+
+// Certain reports whether tuple t occurs in every world of rel natively on
+// the snapshot.
+func (sn *Snapshot) Certain(rel string, t []int32, eps float64) (bool, error) {
+	return certainOf(sn, rel, t, eps)
+}
+
+// Conf computes the confidence of tuple t in relation rel natively on the
+// live store; concurrent readers should go through Snapshot.
+func (s *Store) Conf(rel string, t []int32) (float64, error) { return confOf(s, rel, t) }
+
+// PossibleP computes the confidence table of rel natively on the live store.
+func (s *Store) PossibleP(rel string) ([]TupleConf, error) { return possiblePOf(s, rel) }
+
+// Possible computes the possible tuples of rel natively on the live store.
+func (s *Store) Possible(rel string) ([][]int32, error) { return possibleOf(s, rel) }
+
+// Certain reports whether tuple t occurs in every world of rel natively on
+// the live store.
+func (s *Store) Certain(rel string, t []int32, eps float64) (bool, error) {
+	return certainOf(s, rel, t, eps)
+}

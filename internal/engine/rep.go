@@ -2,17 +2,34 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"maybms/internal/core"
 	"maybms/internal/relation"
 	"maybms/internal/worlds"
 )
 
+// bridgeConversions counts WSD bridge crossings (wsdOf calls). The query
+// path computes confidence natively (conf.go) and must never cross; tests
+// assert the counter stays flat across CONF()/POSSIBLE/CERTAIN executions.
+var bridgeConversions atomic.Int64
+
+// BridgeConversions returns the number of WSD bridge conversions performed
+// since process start; a testing aid for asserting bridge-free paths.
+func BridgeConversions() int64 { return bridgeConversions.Load() }
+
 // ToWSD converts the store into a generic WSD over all live relations. This
 // bridge exists for testing and for small data: the engine's operators are
 // property-tested against per-world evaluation through it, and examples use
 // it to hand engine results to the confidence and normalization packages.
 // Values become relation.Int; absent fields become ⊥.
+//
+// Deprecated as a query path: confidence is computed natively on the
+// columnar representation (Conf, PossibleP, Possible, Certain on Arena,
+// Snapshot and Store — see conf.go), with no WSD materialization. The
+// bridge plus internal/confidence survive as the reference oracle the
+// native path is differential-tested against; new code should not route
+// query answers through them.
 func (s *Store) ToWSD() (*core.WSD, error) {
 	return s.ToWSDOf(s.Relations()...)
 }
@@ -39,6 +56,7 @@ func (a *Arena) ToWSDOf(names ...string) (*core.WSD, error) {
 }
 
 func wsdOf(v catView, names ...string) (*core.WSD, error) {
+	bridgeConversions.Add(1)
 	include := make(map[int32]bool, len(names))
 	var rels []worlds.RelSchema
 	var included []*Relation

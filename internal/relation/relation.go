@@ -109,16 +109,25 @@ func (r *Relation) SortedTuples() []Tuple {
 	return out
 }
 
-func lessTuple(a, b Tuple) bool {
+func lessTuple(a, b Tuple) bool { return CompareTuples(a, b) < 0 }
+
+// CompareTuples orders two tuples lexicographically by element-wise value
+// comparison, with a shorter tuple ordering before its extensions: the
+// canonical total order used for sorted output, ranked-retrieval
+// tie-breaking and cross-system comparison.
+func CompareTuples(a, b Tuple) int {
 	for i := range a {
 		if i >= len(b) {
-			return false
+			return 1
 		}
 		if c := Compare(a[i], b[i]); c != 0 {
-			return c < 0
+			return c
 		}
 	}
-	return len(a) < len(b)
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
 }
 
 // Fingerprint returns a canonical string identifying the relation's contents

@@ -30,15 +30,23 @@ type Executor interface {
 // runEngine binds a compiled template to a fresh scratch relation in a
 // private arena over the given snapshot and executes it there — the shared
 // store is never written, which is what lets many sessions run this
-// concurrently. Plain results stay in the arena under the scratch name (the
-// returned Result owns the arena; Rows.Close releases it) — unless install
-// is non-empty, in which case the arena is committed into the store with
-// the result renamed into the user's namespace. Across-world modes
-// materialize nothing: the scratch result is handed to internal/confidence
-// through the arena's scoped WSD bridge (only the components reachable from
-// the result are converted) and the arena is discarded.
+// concurrently. Arenas come from the engine's pool (high-QPS prepared
+// queries reuse arena scratch instead of reallocating it). Plain results
+// stay in the arena under the scratch name (the returned Result owns the
+// arena; Rows.Close releases it back to the pool) — unless install is
+// non-empty, in which case the arena is committed into the store with the
+// result renamed into the user's namespace. Across-world modes materialize
+// nothing: the confidence table of the scratch result is computed natively
+// on the arena (engine.Arena.PossibleP — FieldID/component structures read
+// in place, no core.WSD construction) and the arena is released.
 func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
-	ar := engine.NewArena(snap)
+	ar := engine.AcquireArena(snap)
+	keep := false
+	defer func() {
+		if !keep {
+			engine.ReleaseArena(ar)
+		}
+	}()
 	scratch := ar.NewScratch()
 	plan, err := tpl.Bind(scratch, args)
 	if err != nil {
@@ -65,24 +73,23 @@ func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, in
 		out.Stats = ar.Stats(scratch)
 		out.arena = ar
 		out.rel = ar.Rel(scratch)
+		keep = true
 		return out, nil
 	}
-	w, err := ar.ToWSDOf(scratch)
+	native, err := ar.PossibleP(scratch)
 	if err != nil {
 		return nil, err
 	}
-	tcs, err := confidence.PossibleP(w, scratch)
-	if err != nil {
-		return nil, err
-	}
-	if tpl.Mode == ModeCertain {
-		kept := tcs[:0]
-		for _, tc := range tcs {
-			if tc.Conf >= 1-certainEps {
-				kept = append(kept, tc)
-			}
+	tcs := make([]confidence.TupleConf, 0, len(native))
+	for _, tc := range native {
+		if tpl.Mode == ModeCertain && tc.Conf < 1-certainEps {
+			continue
 		}
-		tcs = kept
+		t := make(relation.Tuple, len(tc.Tuple))
+		for i, v := range tc.Tuple {
+			t[i] = relation.Int(int64(v))
+		}
+		tcs = append(tcs, confidence.TupleConf{Tuple: t, Conf: tc.Conf})
 	}
 	out.Tuples = tcs
 	return out, nil
@@ -212,22 +219,8 @@ func evalWorlds(mode Mode, q worlds.Query, ws *worlds.WorldSet, result string) (
 		tcs = append(tcs, confidence.TupleConf{Tuple: a.tuple, Conf: a.conf})
 	}
 	sort.Slice(tcs, func(i, j int) bool {
-		return lessTuple(tcs[i].Tuple, tcs[j].Tuple)
+		return relation.CompareTuples(tcs[i].Tuple, tcs[j].Tuple) < 0
 	})
 	out.Tuples = tcs
 	return out, nil
-}
-
-// lessTuple orders tuples by element-wise value comparison, the canonical
-// order confidence.PossibleP sorts by.
-func lessTuple(a, b relation.Tuple) bool {
-	for i := range a {
-		if i >= len(b) {
-			return false
-		}
-		if c := relation.Compare(a[i], b[i]); c != 0 {
-			return c < 0
-		}
-	}
-	return len(a) < len(b)
 }

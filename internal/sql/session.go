@@ -486,14 +486,16 @@ func (r *Rows) value(i int) relation.Value {
 	return r.tuples[r.idx][i]
 }
 
-// Close releases the result by dropping its arena — an O(1) detach, with no
-// writes to the shared store (whose catalog was never touched by the
-// query). Close is idempotent; Scan and Next fail/stop after it.
+// Close releases the result by returning its arena to the engine's pool —
+// an O(1) detach, with no writes to the shared store (whose catalog was
+// never touched by the query). Close is idempotent; Scan and Next fail/stop
+// after it.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	engine.ReleaseArena(r.arena)
 	r.arena = nil
 	r.rel = nil
 	r.tuples = nil

@@ -6,10 +6,11 @@
 // operators on the scalable columnar engine (internal/engine) whose shapes
 // mirror the hand-built Figure 29 plans. Both compilations sit behind the
 // Executor interface, so either backend serves the same Query call. The
-// across-world constructs CONF(), POSSIBLE and CERTAIN route engine results
-// through internal/confidence (over the scoped WSD bridge, converting only
-// the components reachable from the result); EXPLAIN emits the exact
-// Section 5 SQL rewriting of every plan step via internal/sqlrewrite.
+// across-world constructs CONF(), POSSIBLE and CERTAIN are computed
+// natively on the columnar engine (engine.Arena.PossibleP over the result
+// relation — no core.WSD is constructed on the query path); EXPLAIN emits
+// the exact Section 5 SQL rewriting of every plan step via
+// internal/sqlrewrite.
 //
 // The session API is the intended entry point: Open wraps a store in a DB,
 // DB.Prepare compiles a statement once (plans are parameter-templated and

@@ -244,11 +244,14 @@ var (
 // structured: Store.Snapshot returns an O(1) copy-on-write, read-only view
 // of the catalog and component space; NewArena opens a private result space
 // over it, and the relational operators (Select, Project, Rename, Join,
-// Product, Union) plus the scoped WSD bridge ToWSDOf run as Arena methods —
-// reading shared state, writing only the arena. Any number of arenas
-// evaluate concurrently over one store; dropping an arena releases its
-// results, Arena.Commit installs them. The operator methods on Store itself
-// are deprecated one-shot wrappers (snapshot + arena + commit per call).
+// Product, Union) plus the native across-world operators (Conf, PossibleP,
+// Possible, Certain — computed directly on the columnar representation, no
+// WSD materialization) run as Arena methods — reading shared state, writing
+// only the arena. Any number of arenas evaluate concurrently over one
+// store; dropping an arena releases its results, Arena.Commit installs
+// them. The operator methods on Store itself are deprecated one-shot
+// wrappers (snapshot + arena + commit per call), and the WSD bridge
+// (ToWSD/ToWSDOf) is kept for testing and as the confidence oracle.
 type (
 	// Store is the columnar UWSDT engine.
 	Store = engine.Store
@@ -262,6 +265,11 @@ type (
 	EngineSpace = engine.Space
 	// StoreStats are per-relation representation statistics.
 	StoreStats = engine.Stats
+	// EngineTupleConf pairs a possible tuple (native int32 encoding) with
+	// its confidence: the answer rows of the engine-native across-world
+	// operators Conf/PossibleP/Possible/Certain on Arena, Snapshot and
+	// Store.
+	EngineTupleConf = engine.TupleConf
 	// EnginePred is a predicate over template rows.
 	EnginePred = engine.Pred
 	// EngineEGD is an engine-level cleaning dependency.
@@ -272,8 +280,13 @@ type (
 
 // Engine predicate constructors and options.
 var (
-	NewStore     = engine.NewStore
-	NewArena     = engine.NewArena
+	NewStore = engine.NewStore
+	NewArena = engine.NewArena
+	// AcquireArena / ReleaseArena are the pooled arena lifecycle for
+	// high-QPS serving: acquire over a snapshot, release when the results
+	// are dead; a reset arena is indistinguishable from a fresh one.
+	AcquireArena = engine.AcquireArena
+	ReleaseArena = engine.ReleaseArena
 	EngineEq     = engine.Eq
 	EngineNe     = engine.Ne
 	EngineGt     = engine.Gt
