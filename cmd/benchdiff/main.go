@@ -8,11 +8,15 @@
 //	conf_bridge      scoped_ns per size (lower is better)
 //	conf_single_pass single_pass_ns per size (lower is better)
 //	conf_native      native_ns per size (lower is better)
+//	except_native    native_ns per size (lower is better)
 //	parallel         qps per (workers, mode) point (higher is better)
 //
 // Entries present in only one file are reported but never fail the run
 // (series appear and disappear as figures are added), and machine-noise is
 // tolerated through the threshold (default: fail only on >25% slowdown).
+// A zero or negative measurement on either side of a gated point — a
+// malformed or truncated results file — is reported and skipped rather than
+// divided into a NaN/Inf ratio that would read as a spurious pass or fail.
 // The parallel series only measures real scaling on multi-core hosts; each
 // point records the core count of the host that measured it, and a point is
 // gated only when both baseline and candidate were measured on at least
@@ -55,6 +59,11 @@ type results struct {
 		Density  float64 `json:"density"`
 		NativeNS int64   `json:"native_ns"`
 	} `json:"conf_native"`
+	ExceptNative []struct {
+		Rows     int     `json:"rows"`
+		Density  float64 `json:"density"`
+		NativeNS int64   `json:"native_ns"`
+	} `json:"except_native"`
 	Parallel []struct {
 		Workers int     `json:"workers"`
 		Mode    string  `json:"mode"`
@@ -110,54 +119,58 @@ func main() {
 		}
 		fmt.Printf("%-18s %-28s %+7.1f%%  %s\n", series, key, (ratio-1)*100, verdict)
 	}
+	// checkNS gates one nanosecond-metric point against its baseline map. A
+	// missing baseline is reported and skipped (series and configurations
+	// appear and disappear across revisions); a zero or negative ns on
+	// either side is reported and skipped too — dividing by it would turn a
+	// broken results file into a 0/NaN/Inf ratio, i.e. a spurious pass or a
+	// spurious failure, instead of a visible data problem.
+	checkNS := func(series string, baseline map[string]int64, key string, newNS int64) {
+		base, ok := baseline[key]
+		switch {
+		case !ok:
+			fmt.Printf("%-18s %-28s (no baseline)\n", series, key)
+		case base <= 0 || newNS <= 0:
+			fmt.Printf("%-18s %-28s (skipped: non-positive ns — baseline %d, candidate %d)\n", series, key, base, newNS)
+		default:
+			check(series, key, float64(newNS)/float64(base))
+		}
+	}
 
 	oldPrepared := make(map[string]int64)
 	for _, p := range oldR.Prepared {
 		oldPrepared[p.Query+" "+cfg(p.Rows, p.Density)] = p.MeanNS
 	}
 	for _, p := range newR.Prepared {
-		key := p.Query + " " + cfg(p.Rows, p.Density)
-		if base, ok := oldPrepared[key]; ok && base > 0 {
-			check("prepared", key, float64(p.MeanNS)/float64(base))
-		} else {
-			fmt.Printf("%-18s %-28s (no baseline)\n", "prepared", key)
-		}
+		checkNS("prepared", oldPrepared, p.Query+" "+cfg(p.Rows, p.Density), p.MeanNS)
 	}
 	oldConf := make(map[string]int64)
 	for _, p := range oldR.Conf {
 		oldConf[cfg(p.Rows, p.Density)] = p.ScopedNS
 	}
 	for _, p := range newR.Conf {
-		key := cfg(p.Rows, p.Density)
-		if base, ok := oldConf[key]; ok && base > 0 {
-			check("conf_bridge", key, float64(p.ScopedNS)/float64(base))
-		} else {
-			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_bridge", key)
-		}
+		checkNS("conf_bridge", oldConf, cfg(p.Rows, p.Density), p.ScopedNS)
 	}
 	oldPass := make(map[string]int64)
 	for _, p := range oldR.ConfPass {
 		oldPass[cfg(p.Rows, p.Density)] = p.SinglePassNS
 	}
 	for _, p := range newR.ConfPass {
-		key := cfg(p.Rows, p.Density)
-		if base, ok := oldPass[key]; ok && base > 0 {
-			check("conf_single_pass", key, float64(p.SinglePassNS)/float64(base))
-		} else {
-			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_single_pass", key)
-		}
+		checkNS("conf_single_pass", oldPass, cfg(p.Rows, p.Density), p.SinglePassNS)
 	}
 	oldNative := make(map[string]int64)
 	for _, p := range oldR.ConfNative {
 		oldNative[cfg(p.Rows, p.Density)] = p.NativeNS
 	}
 	for _, p := range newR.ConfNative {
-		key := cfg(p.Rows, p.Density)
-		if base, ok := oldNative[key]; ok && base > 0 {
-			check("conf_native", key, float64(p.NativeNS)/float64(base))
-		} else {
-			fmt.Printf("%-18s %-28s (no baseline)\n", "conf_native", key)
-		}
+		checkNS("conf_native", oldNative, cfg(p.Rows, p.Density), p.NativeNS)
+	}
+	oldExcept := make(map[string]int64)
+	for _, p := range oldR.ExceptNative {
+		oldExcept[cfg(p.Rows, p.Density)] = p.NativeNS
+	}
+	for _, p := range newR.ExceptNative {
+		checkNS("except_native", oldExcept, cfg(p.Rows, p.Density), p.NativeNS)
 	}
 	// Minimum-core guard: parallel throughput measured on a starved host
 	// reflects the scheduler, not the engine. Each point records the core
@@ -182,8 +195,12 @@ func main() {
 		key := fmt.Sprintf("w=%d/%s %s", p.Workers, p.Mode, cfg(p.Rows, p.Density))
 		base, ok := oldPar[key]
 		switch {
-		case !ok || p.QPS <= 0:
+		case !ok:
 			fmt.Printf("%-18s %-28s (no baseline)\n", "parallel", key)
+		case base.qps <= 0 || p.QPS <= 0:
+			// A zero qps on either side is a broken measurement; inverting
+			// it would gate on a 0 or Inf ratio.
+			fmt.Printf("%-18s %-28s (skipped: non-positive qps — baseline %.1f, candidate %.1f)\n", "parallel", key, base.qps, p.QPS)
 		case cores(p.Cores) < *minCores || base.cores < *minCores:
 			fmt.Printf("%-18s %-28s (skipped: measured below %d cores)\n", "parallel", key, *minCores)
 		default:

@@ -9,9 +9,12 @@
 // result) against converting the whole store, the single-pass confidence
 // computation against the per-tuple rescan it replaced, and the native
 // columnar confidence path (conf_native, no WSD at all) against the scoped
-// bridge, and "parallel"
+// bridge, "parallel"
 // measures concurrent SELECT throughput of the snapshot/arena engine
-// against PR 2's lock-serialized execution model at 1, 2 and 4 workers.
+// against PR 2's lock-serialized execution model at 1, 2 and 4 workers, and
+// "except" compares the native difference operator (engine-path EXCEPT,
+// except_native) against per-world evaluation of the same statement over
+// enumerated world-sets.
 //
 // Usage:
 //
@@ -20,7 +23,7 @@
 //	census-experiment -fig 30 -json results.json
 //	census-experiment -fig prepared -reps 10
 //	census-experiment -fig conf
-//	census-experiment -fig prepared,conf,parallel -queries 400
+//	census-experiment -fig prepared,conf,parallel,except -queries 400
 //
 // Densities are fractions (0.001 = 0.1%). The paper's sweep is 0.1M–12.5M
 // tuples at densities 0.005%–0.1%; defaults here are laptop-scale.
@@ -60,6 +63,20 @@ type benchJSON struct {
 	// columnar engine vs the WSD bridge, on the same materialized result.
 	ConfNative []confNativeJSON `json:"conf_native,omitempty"`
 	Parallel   []parallelJSON   `json:"parallel,omitempty"` // concurrent SELECT throughput
+	// ExceptNative is the PR 5 series: EXCEPT run natively on the columnar
+	// engine (engine.Difference) vs the per-world evaluator it replaced.
+	ExceptNative []exceptJSON `json:"except_native,omitempty"`
+}
+
+type exceptJSON struct {
+	Rows       int     `json:"rows"`
+	Density    float64 `json:"density"`
+	OrSets     int     `json:"or_sets"`
+	Worlds     int     `json:"worlds"`
+	ResultRows int     `json:"result_rows"`
+	NativeNS   int64   `json:"native_ns"`
+	PerWorldNS int64   `json:"per_world_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 type parallelJSON struct {
@@ -148,7 +165,7 @@ type queryJSON struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel or all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel, except or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
 	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -172,11 +189,11 @@ func main() {
 
 	out := benchJSON{Seed: *seed, Sizes: sizes, Densities: densities}
 	wanted := make(map[string]bool)
-	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true}
+	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true}
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !known[f] {
-			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel or all)\n", f)
+			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except or all)\n", f)
 			os.Exit(2)
 		}
 		wanted[f] = true
@@ -312,6 +329,29 @@ func main() {
 				Workers: p.Workers, Mode: mode, Rows: p.Rows, Density: p.Density,
 				Queries: p.Queries, ElapsedNS: p.Elapsed.Nanoseconds(), QPS: p.QPS,
 				Cores: p.Cores,
+			})
+		}
+	}
+	if run("except") {
+		// EXCEPT runs at the conf_bridge sizes: small enough that the
+		// per-world baseline can enumerate its world-set, large enough that
+		// the native operator's candidate pruning is what is measured. The
+		// or-set count is fixed (not the density) because the world count is
+		// what the per-world side pays for.
+		var points []bench.ExceptPoint
+		for _, n := range []int{500, 1000, 2000} {
+			p, err := bench.ExceptNative(n, 3, *seed, *reps)
+			fail(err)
+			points = append(points, p)
+		}
+		bench.PrintExcept(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.ExceptNative = append(out.ExceptNative, exceptJSON{
+				Rows: p.Rows, Density: p.Density, OrSets: p.OrSets, Worlds: p.Worlds,
+				ResultRows: p.ResultRows,
+				NativeNS:   p.Native.Nanoseconds(), PerWorldNS: p.PerWorld.Nanoseconds(),
+				Speedup: float64(p.PerWorld) / float64(p.Native),
 			})
 		}
 	}

@@ -35,3 +35,20 @@ func TestConfBridgeShape(t *testing.T) {
 		t.Fatalf("scoped bridge (%s) slower than full conversion (%s)", p.Scoped, p.Full)
 	}
 }
+
+// TestExceptNativeShape checks the EXCEPT comparison: the per-world oracle
+// agrees with the engine path (asserted inside ExceptNative), the or-set
+// budget is honored, and the native operator does not lose to per-world
+// enumeration even at toy scale.
+func TestExceptNativeShape(t *testing.T) {
+	p, err := ExceptNative(300, 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OrSets != 3 || p.Worlds < 2 || p.Native <= 0 || p.PerWorld <= 0 {
+		t.Fatalf("degenerate measurement %+v", p)
+	}
+	if p.Native > p.PerWorld {
+		t.Fatalf("native EXCEPT (%s) slower than per-world evaluation (%s)", p.Native, p.PerWorld)
+	}
+}

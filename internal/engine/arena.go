@@ -8,7 +8,7 @@ import (
 // Arena is the write side of a query: a private overlay over one Snapshot
 // that holds the session's result relations and its copies of the
 // components they extend. Operators (Select, Project, Rename, Join,
-// Product, Union) run as Arena methods: they read base data from the
+// Product, Union, Difference) run as Arena methods: they read base data from the
 // snapshot and materialize results — template relations and extended or
 // composed component rows — into the arena, never touching the shared
 // store. Dropping the arena (letting it go out of scope) releases every
@@ -403,6 +403,7 @@ type Space interface {
 	Join(res, l, r, onL, onR string) (*Relation, error)
 	Product(res, l, r string) (*Relation, error)
 	Union(res, l, r string) (*Relation, error)
+	Difference(res, l, r string) (*Relation, error)
 	DropRelation(name string)
 	Rel(name string) *Relation
 	Stats(rel string) Stats

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/worlds"
+)
+
+// These tests differential-test the native difference operator (diff.go)
+// against the per-world reference: worlds.Difference evaluated over the
+// enumerated world-set, and relation.Difference applied world by world.
+// The generator deliberately produces the structures difference must reason
+// about at tuple level: duplicate templates across the two relations (so
+// certain-certain deletions fire), or-sets over a tiny domain (so uncertain
+// matches are common), multi-slot and cross-relation components (so the
+// composed presence masks ride on shared components), and absent fields.
+
+// randomDiffStore builds a seeded store with two same-schema relations L
+// and R whose tuples collide often.
+func randomDiffStore(t *testing.T, seed int64) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := NewStore()
+	attrs := []string{"A0", "A1"}
+	type field struct {
+		rel  string
+		row  int
+		attr string
+	}
+	var uncertain []field
+	nrows := map[string]int{}
+	for _, name := range []string{"L", "R"} {
+		n := 2 + rng.Intn(3)
+		nrows[name] = n
+		cols := make([][]int32, len(attrs))
+		for a := range cols {
+			cols[a] = make([]int32, n)
+			for i := range cols[a] {
+				cols[a][i] = int32(rng.Intn(3))
+			}
+		}
+		if _, err := s.AddRelation(name, attrs, cols); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Copy some L templates into R verbatim so exact duplicates exist.
+	lRel, rRel := s.Rel("L"), s.Rel("R")
+	for j := 0; j < nrows["R"]; j++ {
+		if rng.Float64() < 0.4 {
+			i := rng.Intn(nrows["L"])
+			for a := range attrs {
+				rRel.Cols[a][j] = lRel.Cols[a][i]
+			}
+		}
+	}
+	for _, name := range []string{"L", "R"} {
+		for i := 0; i < nrows[name]; i++ {
+			for _, at := range attrs {
+				if rng.Float64() >= 0.35 {
+					continue
+				}
+				k := 2 + rng.Intn(2)
+				vals := make([]int32, 0, k)
+				probs := make([]float64, 0, k)
+				seen := map[int32]bool{}
+				total := 0.0
+				for len(vals) < k {
+					v := int32(rng.Intn(3))
+					if seen[v] {
+						continue
+					}
+					seen[v] = true
+					vals = append(vals, v)
+					p := 0.1 + rng.Float64()
+					probs = append(probs, p)
+					total += p
+				}
+				for j := range probs {
+					probs[j] /= total
+				}
+				if err := s.SetUncertain(name, i, at, vals, probs); err != nil {
+					t.Fatal(err)
+				}
+				uncertain = append(uncertain, field{rel: name, row: i, attr: at})
+			}
+		}
+	}
+	// Merge random component pairs: same-relation pairs produce multi-slot
+	// components, cross-relation pairs correlate L with R — the case where
+	// marking a left slot ⊥ must respect the joint distribution.
+	fid := func(f field) FieldID {
+		r := s.Rel(f.rel)
+		ai, err := r.AttrIndex(f.attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FieldID{Rel: r.id, Row: int32(f.row), Attr: ai}
+	}
+	for m := 0; m < 2 && len(uncertain) >= 2; m++ {
+		a := uncertain[rng.Intn(len(uncertain))]
+		b := uncertain[rng.Intn(len(uncertain))]
+		if a == b {
+			continue
+		}
+		if _, err := s.mergeComps(fid(a), fid(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mark some fields absent in some local world (⊥: worlds of different
+	// sizes — an absent right tuple must not delete anything).
+	for _, f := range uncertain {
+		if rng.Float64() < 0.4 {
+			c := s.ComponentOf(fid(f))
+			col := c.Pos(fid(f))
+			w := rng.Intn(len(c.Rows))
+			c.Rows[w].Absent = c.Rows[w].Absent.Set(col)
+		}
+	}
+	if err := s.Validate(1e-9); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return s
+}
+
+// enumerate returns the full world-set of the store.
+func enumerate(t *testing.T, s *Store, label string) *worlds.WorldSet {
+	t.Helper()
+	w, err := s.ToWSD()
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	ws, err := w.Rep(0)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	return ws
+}
+
+func TestDifferenceMatchesWorldEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		s := randomDiffStore(t, seed)
+		label := fmt.Sprintf("seed %d", seed)
+		ws := enumerate(t, s, label)
+
+		// Reference 1: worlds.Difference evaluated in every world.
+		want, err := worlds.EvalWorldSet(worlds.Difference{L: worlds.Base{Rel: "L"}, R: worlds.Base{Rel: "R"}}, ws, "res")
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		// Reference 2: relation.Difference applied world by world agrees
+		// with the world-set evaluation (tuple for tuple).
+		for i, w := range ws.Worlds {
+			d, err := relation.Difference(w.Rel("L"), w.Rel("R"), "res")
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if !d.Equal(want.Worlds[i].Rel("res")) {
+				t.Fatalf("%s: world %d: worlds.Difference and relation.Difference disagree", label, i)
+			}
+		}
+
+		// Native path: Arena.Difference over a snapshot, enumerated scoped.
+		ar := NewArena(s.Snapshot())
+		if _, err := ar.Difference("res", "L", "R"); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got, err := ar.RepRelation("res", 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("%s: Arena.Difference diverges from per-world difference (%d vs %d distinct worlds)",
+				label, len(got.Canonical()), len(want.Canonical()))
+		}
+
+		// Confidence composes on top: the native confidence table of the
+		// difference matches tuple confidences counted over the enumeration.
+		conf := make(map[string]float64)
+		for i, w := range want.Worlds {
+			for _, tup := range w.Rel("res").Tuples() {
+				conf[tup.Key()] += want.Probs[i]
+			}
+		}
+		native, err := ar.PossibleP("res")
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(native) != len(conf) {
+			t.Fatalf("%s: native %d possible tuples, enumeration %d", label, len(native), len(conf))
+		}
+		for _, tc := range native {
+			want, ok := conf[nativeToRelation(tc.Tuple).Key()]
+			if !ok {
+				t.Fatalf("%s: native tuple %v in no enumerated world", label, tc.Tuple)
+			}
+			if d := tc.Conf - want; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s: tuple %v: native conf %g, enumeration %g", label, tc.Tuple, tc.Conf, want)
+			}
+		}
+	}
+}
+
+// TestDifferenceOnArenaResults checks the operator on the surface the query
+// engine uses: difference over selection results inside one arena, whose
+// components extend shared base components — the SQL EXCEPT shape.
+func TestDifferenceOnArenaResults(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		s := randomDiffStore(t, seed)
+		label := fmt.Sprintf("seed %d", seed)
+		ws := enumerate(t, s, label)
+		pred := Gt("A0", 0)
+		q := worlds.Difference{
+			L: worlds.Base{Rel: "L"},
+			R: worlds.Select{Q: worlds.Base{Rel: "R"}, Pred: relation.AttrConst{Attr: "A0", Theta: relation.GT, Const: relation.Int(0)}},
+		}
+		want, err := worlds.EvalWorldSet(q, ws, "res")
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		ar := NewArena(s.Snapshot())
+		if _, err := ar.Select("sel", "R", pred); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if _, err := ar.Difference("res", "L", "sel"); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		got, err := ar.RepRelation("res", 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("%s: difference over arena results diverges from per-world evaluation", label)
+		}
+	}
+}
+
+// TestDifferenceSelfEmpty checks R − R: empty in every world, whatever the
+// uncertainty structure.
+func TestDifferenceSelfEmpty(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		s := randomDiffStore(t, seed)
+		ar := NewArena(s.Snapshot())
+		if _, err := ar.Difference("res", "R", "R"); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := ar.RepRelation("res", 1<<20)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, w := range got.Worlds {
+			if n := w.Rel("res").Size(); n != 0 {
+				t.Fatalf("seed %d: world %d of R − R holds %d tuples, want 0", seed, i, n)
+			}
+		}
+	}
+}
+
+// TestDifferenceCommit checks the one-shot Store wrapper: the result commits
+// into the store and the store stays valid (composed components replaced
+// their origins consistently).
+func TestDifferenceCommit(t *testing.T) {
+	for seed := int64(300); seed < 310; seed++ {
+		s := randomDiffStore(t, seed)
+		want, err := worlds.EvalWorldSet(worlds.Difference{L: worlds.Base{Rel: "L"}, R: worlds.Base{Rel: "R"}},
+			enumerate(t, s, fmt.Sprintf("seed %d", seed)), "res")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := s.Difference("res", "L", "R"); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(1e-9); err != nil {
+			t.Fatalf("seed %d: store invalid after committed difference: %v", seed, err)
+		}
+		got, err := s.RepRelation("res", 1<<20)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.Equal(want, 1e-9) {
+			t.Fatalf("seed %d: committed difference diverges from per-world evaluation", seed)
+		}
+	}
+}
+
+// TestDifferenceSchemaErrors sweeps the argument checks.
+func TestDifferenceSchemaErrors(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AddRelation("L", []string{"A", "B"}, [][]int32{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRelation("W", []string{"A"}, [][]int32{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRelation("X", []string{"A", "C"}, [][]int32{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	ar := NewArena(s.Snapshot())
+	if _, err := ar.Difference("res", "L", "Nope"); err == nil {
+		t.Fatal("difference with unknown relation succeeded")
+	}
+	if _, err := ar.Difference("res", "L", "W"); err == nil {
+		t.Fatal("difference with arity mismatch succeeded")
+	}
+	if _, err := ar.Difference("res", "L", "X"); err == nil {
+		t.Fatal("difference with attribute mismatch succeeded")
+	}
+	if _, err := ar.Difference("L", "L", "L"); err == nil {
+		t.Fatal("difference onto an existing name succeeded")
+	}
+}

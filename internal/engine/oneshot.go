@@ -61,3 +61,10 @@ func (s *Store) Product(res, l, r string) (*Relation, error) {
 func (s *Store) Union(res, l, r string) (*Relation, error) {
 	return s.oneShot(res, func(a *Arena) error { _, err := a.Union(res, l, r); return err })
 }
+
+// Difference computes res := l − r and installs it in the store.
+//
+// Deprecated: use Snapshot/NewArena and Arena.Difference (see Select).
+func (s *Store) Difference(res, l, r string) (*Relation, error) {
+	return s.oneShot(res, func(a *Arena) error { _, err := a.Difference(res, l, r); return err })
+}

@@ -67,6 +67,14 @@ func TestEngineAgreesWithPerWorld(t *testing.T) {
 		"SELECT A AS B, B AS A FROM R",
 		"SELECT x.A AS a1, y.D AS d1 FROM R AS x, S AS y WHERE x.A = y.C",
 		"SELECT x.A AS A FROM R AS x, S AS y WHERE x.A = y.C UNION SELECT A FROM R WHERE A = 1",
+		"SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > 15",
+		"SELECT * FROM R EXCEPT SELECT * FROM R WHERE A = 2",
+		"SELECT * FROM R EXCEPT SELECT * FROM R",
+		"SELECT B FROM R WHERE B >= 30 EXCEPT SELECT B FROM R WHERE A = 2",
+		"SELECT A FROM R EXCEPT SELECT C AS A FROM S",
+		"SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > 15 EXCEPT SELECT A FROM R WHERE A = 1",
+		"SELECT A FROM R WHERE A = 1 UNION SELECT A FROM R WHERE A = 2 EXCEPT SELECT A FROM R WHERE B > 25",
+		"SELECT x.A AS A FROM R AS x, S AS y WHERE x.A = y.C EXCEPT SELECT A FROM R WHERE A = 1",
 	}
 	for _, q := range queries {
 		s := tinyStore(t)
@@ -101,25 +109,129 @@ func TestEngineAgreesWithPerWorld(t *testing.T) {
 	}
 }
 
-// TestExceptPerWorldOnly checks that EXCEPT evaluates per world and is
-// rejected with a clear error on the engine path.
-func TestExceptPerWorldOnly(t *testing.T) {
-	const q = "SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > 15"
+// TestExceptEngineNative is the regression test for the engine-path EXCEPT
+// gap: the planner used to reject EXCEPT ("not supported on the engine
+// path") and only the per-world evaluator ran it. It now compiles to the
+// native difference operator, executes through the session API with ? bind
+// parameters, matches the per-world result, and crosses the WSD bridge zero
+// times (engine.BridgeConversions stays flat).
+func TestExceptEngineNative(t *testing.T) {
+	const q = "SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > ?"
 	s := tinyStore(t)
 	ws := worldSetOf(t, s)
 	st, err := Parse(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ExecWorlds(st, ws, "P")
+	wstmt, err := PrepareWorlds(ws, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want.WorldSet.Size() == 0 {
-		t.Fatal("per-world EXCEPT evaluated to no worlds")
+
+	db := Open(s)
+	defer db.Close()
+	stmt, err := db.Prepare(q)
+	if err != nil {
+		t.Fatalf("engine EXCEPT failed to prepare: %v", err)
 	}
-	if _, err := Exec(s, q, "P"); err == nil || !strings.Contains(err.Error(), "EXCEPT") {
-		t.Fatalf("engine EXCEPT error = %v, want unsupported", err)
+	if st.NumParams != 1 || stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d/%d, want 1", st.NumParams, stmt.NumParams())
+	}
+	before := engine.BridgeConversions()
+	for _, arg := range []int{15, 25, 45} {
+		rows, err := stmt.Query(arg)
+		if err != nil {
+			t.Fatalf("B > %d: engine: %v", arg, err)
+		}
+		res := rows.Result()
+		// The per-world executor names its result \x00result; rename the
+		// engine result to match so the world-set fingerprints compare.
+		if err := res.arena.RenameRelation(res.Relation, "\x00result"); err != nil {
+			t.Fatalf("B > %d: %v", arg, err)
+		}
+		got, err := res.arena.RepRelation("\x00result", 1<<20)
+		if err != nil {
+			t.Fatalf("B > %d: %v", arg, err)
+		}
+		wrows, err := wstmt.Query(arg)
+		if err != nil {
+			t.Fatalf("B > %d: per-world: %v", arg, err)
+		}
+		if !got.Equal(wrows.Result().WorldSet, 1e-9) {
+			t.Fatalf("B > %d: engine EXCEPT diverges from per-world evaluation", arg)
+		}
+		wrows.Close()
+		if err := rows.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := engine.BridgeConversions() - before; after != 3 {
+		// The three RepRelation oracle calls above are the only sanctioned
+		// crossings; the query path itself must not add any.
+		t.Fatalf("EXCEPT execution crossed the WSD bridge %d times; want 3 (oracle only)", after)
+	}
+}
+
+// TestExceptSelfEmpty checks R EXCEPT R: empty in every world, on both
+// paths, including through prepared-statement execution.
+func TestExceptSelfEmpty(t *testing.T) {
+	s := tinyStore(t)
+	db := Open(s)
+	defer db.Close()
+	rows, err := db.Query("SELECT * FROM R EXCEPT SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	got, err := rows.Result().arena.RepRelation(rows.Result().Relation, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range got.Worlds {
+		if n := w.Rel(rows.Result().Relation).Size(); n != 0 {
+			t.Fatalf("R EXCEPT R has %d tuples in some world, want 0", n)
+		}
+	}
+}
+
+// TestSetOpSchemaErrorsAgree checks the unified set-operation schema
+// acceptance: an aliased arm accepted by one planner is accepted by the
+// other, and a mismatch produces the same error text on both paths.
+func TestSetOpSchemaErrorsAgree(t *testing.T) {
+	accepted := []string{
+		"SELECT x.A AS A FROM R AS x, S AS y WHERE x.A = y.C EXCEPT SELECT A FROM R",
+		"SELECT C AS A FROM S UNION SELECT A FROM R",
+	}
+	rejected := []string{
+		"SELECT A FROM R EXCEPT SELECT * FROM S",
+		"SELECT A FROM R UNION SELECT C, D FROM S",
+		"SELECT A, B FROM R EXCEPT SELECT C AS A, D FROM S",
+	}
+	for _, q := range accepted {
+		s := tinyStore(t)
+		ws := worldSetOf(t, s)
+		if _, err := Exec(s, q, "P"); err != nil {
+			t.Errorf("engine rejects %q: %v", q, err)
+		}
+		if _, err := PrepareWorlds(ws, q); err != nil {
+			t.Errorf("per-world rejects %q: %v", q, err)
+		}
+	}
+	for _, q := range rejected {
+		s := tinyStore(t)
+		ws := worldSetOf(t, s)
+		_, engineErr := Exec(s, q, "P")
+		_, worldsErr := PrepareWorlds(ws, q)
+		if engineErr == nil || worldsErr == nil {
+			t.Errorf("%q: engine err = %v, per-world err = %v, want both non-nil", q, engineErr, worldsErr)
+			continue
+		}
+		if engineErr.Error() != worldsErr.Error() {
+			t.Errorf("%q: error text diverges:\n  engine:    %v\n  per-world: %v", q, engineErr, worldsErr)
+		}
+		if !strings.Contains(engineErr.Error(), "schema mismatch") {
+			t.Errorf("%q: error %v, want schema mismatch", q, engineErr)
+		}
 	}
 }
 

@@ -126,6 +126,12 @@ func ExplainStmt(cat Catalog, st *Stmt) (string, error) {
 			b.WriteString(sqlrewrite.Union(op.Res, op.Src, op.Src2, relAttrs(op.Src), rows(op.Src)).String())
 			attrs[op.Res] = relAttrs(op.Src)
 			maxRows[op.Res] = rows(op.Src) + rows(op.Src2)
+		case OpDifference:
+			b.WriteString(sqlrewrite.Difference(op.Res, op.Src, op.Src2, relAttrs(op.Src)).String())
+			attrs[op.Res] = relAttrs(op.Src)
+			// The result keeps the left side's slots; matched slots are
+			// marked ⊥ rather than removed.
+			maxRows[op.Res] = rows(op.Src)
 		}
 	}
 	// Plan temporaries carry a NUL byte to avoid colliding with user

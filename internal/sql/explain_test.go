@@ -101,6 +101,30 @@ func TestExplainGoldenJoin(t *testing.T) {
 	}
 }
 
+// TestExplainGoldenDifference is the regression test for the EXPLAIN side of
+// the engine-path EXCEPT gap: EXPLAIN used to surface the engine planner's
+// "EXCEPT is not supported" compile error instead of a plan. It must now
+// render the Figure 9 difference rewriting for the top-level set operation.
+func TestExplainGoldenDifference(t *testing.T) {
+	s := tinyStore(t)
+	got, err := Explain(s, "EXPLAIN SELECT A FROM R EXCEPT SELECT A FROM R WHERE B > 15")
+	if err != nil {
+		t.Fatalf("EXPLAIN on EXCEPT failed: %v", err)
+	}
+	if strings.Contains(got, "not supported") {
+		t.Fatalf("EXPLAIN on EXCEPT still renders the pre-fix rejection:\n%s", got)
+	}
+	if !strings.Contains(got, " − ") || !strings.Contains(got, "wsd_difference") {
+		t.Fatalf("EXPLAIN missing the difference rewriting:\n%s", got)
+	}
+	// The rendered note names the result and both arms (scratch names are
+	// rendered with the NUL byte replaced by ~).
+	note := sqlrewrite.Difference("P", "P~s1", "P~s3", []string{"A"}).String()
+	if !strings.Contains(got, note) {
+		t.Fatalf("EXPLAIN difference note diverges from sqlrewrite.Difference.\n--- got ---\n%s\n--- want embedded ---\n%s", got, note)
+	}
+}
+
 // TestExplainMode notes the across-world construct above the plan.
 func TestExplainMode(t *testing.T) {
 	s := tinyStore(t)

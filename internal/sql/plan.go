@@ -269,6 +269,7 @@ const (
 	OpJoin
 	OpProduct
 	OpUnion
+	OpDifference
 )
 
 // EngineOp is one step of an engine plan.
@@ -418,6 +419,8 @@ func (p *EnginePlan) Run(s engine.Space) error {
 			_, err = s.Product(op.Res, op.Src, op.Src2)
 		case OpUnion:
 			_, err = s.Union(op.Res, op.Src, op.Src2)
+		case OpDifference:
+			_, err = s.Difference(op.Res, op.Src, op.Src2)
 		default:
 			err = fmt.Errorf("sql: unknown plan operator %d", op.Kind)
 		}
@@ -439,8 +442,9 @@ func (p *EnginePlan) DropTemps(s engine.Space) {
 // CompileEngine compiles a statement into a templated engine plan: names
 // are resolved against the catalog (a Store or Snapshot) and the operator
 // shape is fixed, but relation names stay symbolic and ? parameters
-// unbound. EXCEPT has no engine operator and is rejected here; the
-// across-world modes are recorded on the plan and handled by the executor.
+// unbound. UNION and EXCEPT compile to the native engine union and
+// difference; the across-world modes are recorded on the plan and handled
+// by the executor.
 func CompileEngine(st *Stmt, cat Catalog) (*EnginePlan, error) {
 	return compileEngine(st, catalogView{cat})
 }
@@ -500,9 +504,6 @@ func (p *eplanner) node(n Node) (string, []string, error) {
 	case *SelectNode:
 		return p.selectNode(n)
 	case SetNode:
-		if n.Op == SetExcept {
-			return "", nil, fmt.Errorf("sql: EXCEPT is not supported on the engine path (the columnar store has no difference operator yet); use the per-world evaluator")
-		}
 		lRel, lAttrs, err := p.node(n.L)
 		if err != nil {
 			return "", nil, err
@@ -511,10 +512,14 @@ func (p *eplanner) node(n Node) (string, []string, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		if !sameAttrs(lAttrs, rAttrs) {
-			return "", nil, fmt.Errorf("sql: UNION schema mismatch: %v vs %v", lAttrs, rAttrs)
+		if err := checkSetOpSchemas(n.Op, lAttrs, rAttrs); err != nil {
+			return "", nil, err
 		}
-		res := p.add(EngineOp{Kind: OpUnion, Src: lRel, Src2: rRel})
+		kind := OpUnion
+		if n.Op == SetExcept {
+			kind = OpDifference
+		}
+		res := p.add(EngineOp{Kind: kind, Src: lRel, Src2: rRel})
 		return res, lAttrs, nil
 	}
 	return "", nil, fmt.Errorf("sql: unknown query node %T", n)
@@ -728,6 +733,65 @@ func resolveItems(sel *SelectNode, b *binding) (internal, final []string, err er
 		seenOut[final[i]] = true
 	}
 	return internal, final, nil
+}
+
+// setOpName renders a set operation as its SQL keyword.
+func setOpName(op SetOpKind) string {
+	if op == SetExcept {
+		return "EXCEPT"
+	}
+	return "UNION"
+}
+
+// checkSetOpSchemas enforces the set-operation contract shared by both
+// planners: the arms must produce identically named columns, compared after
+// AS aliases apply. The engine and per-world planners both route through
+// here, so an aliased UNION/EXCEPT arm gets the same acceptance — and a
+// mismatch the same error text — on either path.
+func checkSetOpSchemas(op SetOpKind, l, r []string) error {
+	if !sameAttrs(l, r) {
+		return fmt.Errorf("sql: %s schema mismatch: %v vs %v", setOpName(op), l, r)
+	}
+	return nil
+}
+
+// nodeAttrs resolves the output attribute names of a query node — post-AS,
+// the names a set operation compares — checking every set operation on the
+// way. The worlds planner uses it to apply the same schema acceptance as the
+// engine planner (whose compilation computes the same lists itself).
+func nodeAttrs(n Node, cat catalog) ([]string, error) {
+	switch n := n.(type) {
+	case *SelectNode:
+		b, err := resolveFrom(n, cat)
+		if err != nil {
+			return nil, err
+		}
+		if n.Star {
+			var out []string
+			for ti, t := range b.tables {
+				for _, a := range t.attrs {
+					out = append(out, b.internalName(ti, a))
+				}
+			}
+			return out, nil
+		}
+		_, final, err := resolveItems(n, b)
+		return final, err
+	case SetNode:
+		l, err := nodeAttrs(n.L, cat)
+		if err != nil {
+			return nil, err
+		}
+		r, err := nodeAttrs(n.R, cat)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkSetOpSchemas(n.Op, l, r); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	return nil, fmt.Errorf("sql: unknown query node %T", n)
 }
 
 func sameAttrs(a, b []string) bool {

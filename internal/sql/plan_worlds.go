@@ -76,9 +76,20 @@ func andOfRel(ps []relation.Predicate) relation.Predicate {
 
 // PlanWorlds compiles the statement's algebra into a worlds.Query. The
 // across-world mode is not part of the algebra; ExecWorlds applies it to the
-// evaluated world-set.
+// evaluated world-set. Set-operation schemas are checked here with the same
+// acceptance and error text as the engine planner (checkSetOpSchemas), so an
+// aliased UNION/EXCEPT arm behaves identically on both paths instead of
+// failing later inside worlds.Union.OutSchema with different wording.
 func PlanWorlds(st *Stmt, schema worlds.Schema) (worlds.Query, error) {
-	return planWorldsNode(st.Query, schemaCatalog{schema})
+	cat := schemaCatalog{schema}
+	// Statements without a set operation have nothing to check, and the
+	// extra resolution pass would only duplicate planWorldsNode's work.
+	if _, ok := st.Query.(SetNode); ok {
+		if _, err := nodeAttrs(st.Query, cat); err != nil {
+			return nil, err
+		}
+	}
+	return planWorldsNode(st.Query, cat)
 }
 
 func planWorldsNode(n Node, cat catalog) (worlds.Query, error) {

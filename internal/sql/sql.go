@@ -41,11 +41,15 @@
 //	operand     = column | "?" | [ "-" ] number | string .
 //
 // Multiple FROM tables form a cross join; equality comparisons between two
-// tables become equi-joins on the engine path. CONF(), POSSIBLE and CERTAIN
-// may only head the leftmost select of a statement and apply to the whole
-// query. Strings are single-quoted with ” as the escape; they are accepted
-// by the per-world evaluator but rejected by the engine planner, whose
-// columnar store holds integer codes only.
+// tables become equi-joins on the engine path. UNION compiles to the native
+// engine union and EXCEPT to the native difference operator
+// (engine.Difference, the Figure 9 − on the uniform encoding), so every
+// statement of the grammar runs on the columnar engine. CONF(), POSSIBLE
+// and CERTAIN may only head the leftmost select of a statement and apply to
+// the whole query — including over UNION/EXCEPT results. Strings are
+// single-quoted with ” as the escape; they are accepted by the per-world
+// evaluator but rejected by the engine planner, whose columnar store holds
+// integer codes only.
 //
 // A ? is a positional bind parameter, accepted wherever the grammar takes a
 // constant; parameters are numbered left to right and bound at execute
@@ -54,12 +58,12 @@
 //
 // Join queries qualify every output attribute as alias.attr; single-table
 // queries keep bare names. UNION and EXCEPT arms must produce identically
-// named columns; AS aliases rename output columns, so a join arm can union
+// named columns (checked identically, with identical error text, by both
+// planners); AS aliases rename output columns, so a join arm can combine
 // with a single-table arm by aliasing its columns to bare names.
 //
 // Not yet covered (see ROADMAP "Open items"): aggregates beyond CONF(),
-// GROUP BY, subqueries, EXCEPT on the engine path (the columnar store has
-// no difference operator), and a REPAIR BY syntax for the chase.
+// GROUP BY, subqueries in FROM, and a REPAIR BY syntax for the chase.
 package sql
 
 import (

@@ -199,6 +199,34 @@ func Rename(res, src string, attrs []string, old, new string) Rewriting {
 	}
 }
 
+// Difference generates the rewriting of T := R − S: a template copy of the
+// left side plus the Figure 9 difference step, which composes the components
+// of every (left slot, right slot) pair that can carry equal tuples and
+// marks the left slot ⊥ where they do. Like π and σ(AθB), the composition
+// loop is recursive PL/SQL in the Section 5 prototype; the in-memory engine
+// runs the same algorithm natively (engine.Difference), pruning pairs whose
+// templates and or-set domains can never coincide.
+func Difference(res, l, r string, attrs []string) Rewriting {
+	cols := strings.Join(attrs, ", ")
+	return Rewriting{
+		Op: fmt.Sprintf("T := %s − %s   (Figure 9)", l, r),
+		Statements: []Statement{
+			{
+				Comment: "template copy of the left side (slot ids preserved)",
+				SQL: fmt.Sprintf(
+					"CREATE TABLE %s0 AS SELECT tid, %s FROM %s0;\nINSERT INTO F SELECT '%s', tid, attr, cid FROM F WHERE rel = '%s';\nINSERT INTO C SELECT '%s', tid, attr, lwid, val FROM C WHERE rel = '%s';",
+					res, cols, l, res, l, res, l),
+			},
+			{
+				Comment: "Section 5: per (left slot, right slot) pair the components of both slots " +
+					"compose and equal tuples mark the left slot ⊥ — encoded as a recursive PL/SQL " +
+					"program; see engine.Difference for the native algorithm",
+				SQL: fmt.Sprintf("-- CALL wsd_difference('%s', '%s', '%s');", res, l, r),
+			},
+		},
+	}
+}
+
 // SelectAttrNote returns the explanatory rewriting stub for σ(AθB), the
 // same-tuple attribute comparison: like π, Section 5 implements its
 // component compositions as recursive PL/SQL rather than pure SQL; the

@@ -103,3 +103,17 @@ func TestSelectOrNote(t *testing.T) {
 		t.Fatalf("header missing:\n%s", r)
 	}
 }
+
+func TestDifferenceRewriting(t *testing.T) {
+	r := Difference("P", "R", "S", []string{"A", "B"})
+	s := r.String()
+	if !strings.Contains(s, "T := R − S") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "CREATE TABLE P0 AS SELECT tid, A, B FROM R0;") {
+		t.Fatalf("template copy missing:\n%s", s)
+	}
+	if !strings.Contains(s, "wsd_difference('P', 'R', 'S')") {
+		t.Fatalf("PL/SQL stub missing:\n%s", s)
+	}
+}

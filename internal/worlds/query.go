@@ -39,7 +39,10 @@ type Product struct{ L, R Query }
 // Union is Q1 ∪ Q2; schemas must match.
 type Union struct{ L, R Query }
 
-// Difference is Q1 − Q2; schemas must match.
+// Difference is Q1 − Q2; schemas must match. Evaluated here it is the
+// per-world reference the engine's native difference (engine.Difference,
+// the SQL EXCEPT path) is differential-tested against; queries should run
+// on the engine, not through per-world enumeration.
 type Difference struct{ L, R Query }
 
 // Rename is δ_{Old→New}(Q).

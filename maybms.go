@@ -244,7 +244,7 @@ var (
 // structured: Store.Snapshot returns an O(1) copy-on-write, read-only view
 // of the catalog and component space; NewArena opens a private result space
 // over it, and the relational operators (Select, Project, Rename, Join,
-// Product, Union) plus the native across-world operators (Conf, PossibleP,
+// Product, Union, Difference) plus the native across-world operators (Conf, PossibleP,
 // Possible, Certain — computed directly on the columnar representation, no
 // WSD materialization) run as Arena methods — reading shared state, writing
 // only the arena. Any number of arenas evaluate concurrently over one
