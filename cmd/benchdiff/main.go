@@ -10,6 +10,7 @@
 //	conf_native      native_ns per size (lower is better)
 //	except_native    native_ns per size (lower is better)
 //	parallel         qps per (workers, mode) point (higher is better)
+//	server_qps       qps per connection count (higher is better)
 //
 // Entries present in only one file are reported but never fail the run
 // (series appear and disappear as figures are added), and machine-noise is
@@ -72,6 +73,13 @@ type results struct {
 		QPS     float64 `json:"qps"`
 		Cores   int     `json:"cores"`
 	} `json:"parallel"`
+	ServerQPS []struct {
+		Conns   int     `json:"conns"`
+		Rows    int     `json:"rows"`
+		Density float64 `json:"density"`
+		QPS     float64 `json:"qps"`
+		Cores   int     `json:"cores"`
+	} `json:"server_qps"`
 }
 
 // cfg renders the workload parameters of a point; it is part of every
@@ -206,6 +214,28 @@ func main() {
 		default:
 			// Throughput: slower means lower qps, so invert the ratio.
 			check("parallel", key, base.qps/p.QPS)
+		}
+	}
+
+	// The server_qps series measures network throughput with concurrent
+	// clients; like parallel it is only trustworthy on multi-core hosts, so
+	// it reuses the same -mincores guard and the inverted throughput ratio.
+	oldSrv := make(map[string]parBase)
+	for _, p := range oldR.ServerQPS {
+		oldSrv[fmt.Sprintf("c=%d %s", p.Conns, cfg(p.Rows, p.Density))] = parBase{p.QPS, cores(p.Cores)}
+	}
+	for _, p := range newR.ServerQPS {
+		key := fmt.Sprintf("c=%d %s", p.Conns, cfg(p.Rows, p.Density))
+		base, ok := oldSrv[key]
+		switch {
+		case !ok:
+			fmt.Printf("%-18s %-28s (no baseline)\n", "server_qps", key)
+		case base.qps <= 0 || p.QPS <= 0:
+			fmt.Printf("%-18s %-28s (skipped: non-positive qps — baseline %.1f, candidate %.1f)\n", "server_qps", key, base.qps, p.QPS)
+		case cores(p.Cores) < *minCores || base.cores < *minCores:
+			fmt.Printf("%-18s %-28s (skipped: measured below %d cores)\n", "server_qps", key, *minCores)
+		default:
+			check("server_qps", key, base.qps/p.QPS)
 		}
 	}
 

@@ -14,7 +14,9 @@
 // against PR 2's lock-serialized execution model at 1, 2 and 4 workers, and
 // "except" compares the native difference operator (engine-path EXCEPT,
 // except_native) against per-world evaluation of the same statement over
-// enumerated world-sets.
+// enumerated world-sets, and "server" pushes the same prepared Q1 through
+// maybmsd's wire protocol (internal/server) at 1–8 client connections —
+// end-to-end network throughput against the in-process parallel ceiling.
 //
 // Usage:
 //
@@ -66,6 +68,22 @@ type benchJSON struct {
 	// ExceptNative is the PR 5 series: EXCEPT run natively on the columnar
 	// engine (engine.Difference) vs the per-world evaluator it replaced.
 	ExceptNative []exceptJSON `json:"except_native,omitempty"`
+	// ServerQPS is the PR 6 series: the same prepared Q1 as the parallel
+	// series, but through maybmsd's wire protocol — end-to-end network
+	// throughput at increasing client connection counts.
+	ServerQPS []serverJSON `json:"server_qps,omitempty"`
+}
+
+type serverJSON struct {
+	Conns     int     `json:"conns"`
+	Rows      int     `json:"rows"`
+	Density   float64 `json:"density"`
+	Queries   int     `json:"queries"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	QPS       float64 `json:"qps"`
+	// Cores is runtime.NumCPU on the measuring host; benchdiff skips
+	// gating points measured below its -mincores threshold.
+	Cores int `json:"cores"`
 }
 
 type exceptJSON struct {
@@ -189,11 +207,11 @@ func main() {
 
 	out := benchJSON{Seed: *seed, Sizes: sizes, Densities: densities}
 	wanted := make(map[string]bool)
-	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true}
+	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true, "server": true}
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !known[f] {
-			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except or all)\n", f)
+			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except, server or all)\n", f)
 			os.Exit(2)
 		}
 		wanted[f] = true
@@ -352,6 +370,22 @@ func main() {
 				ResultRows: p.ResultRows,
 				NativeNS:   p.Native.Nanoseconds(), PerWorldNS: p.PerWorld.Nanoseconds(),
 				Speedup: float64(p.PerWorld) / float64(p.Native),
+			})
+		}
+	}
+	if run("server") {
+		// Server throughput runs at the parallel series' configuration so
+		// the in-process qps is directly comparable: the gap between the
+		// two series is the cost of the wire protocol.
+		points, err := bench.ServerQueries(sizes[0], densities[len(densities)-1], *seed, *queries, []int{1, 2, 4, 8})
+		fail(err)
+		bench.PrintServer(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.ServerQPS = append(out.ServerQPS, serverJSON{
+				Conns: p.Conns, Rows: p.Rows, Density: p.Density,
+				Queries: p.Queries, ElapsedNS: p.Elapsed.Nanoseconds(), QPS: p.QPS,
+				Cores: p.Cores,
 			})
 		}
 	}

@@ -1,0 +1,168 @@
+// Command maybmsd-load drives a running maybmsd with concurrent client
+// connections and reports throughput — the load generator behind the
+// server_qps benchmark series and the CI boot smoke test.
+//
+// Usage:
+//
+//	maybmsd-load -addr 127.0.0.1:5439 [-conns 8] [-duration 3s] [-n 0]
+//	             [-query "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"]
+//	             [-wait 10s] [-json]
+//
+// Each connection prepares -query once and runs it in a closed loop, reading
+// every row of every result (so FETCH batching and arena release are on the
+// measured path). -duration bounds the run in time; -n instead bounds it at
+// n requests per connection. -wait retries the initial dial until the server
+// answers its handshake, so a freshly booted maybmsd can be driven from a
+// script without sleep guesses. Any request error fails the run with a
+// non-zero exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maybms/internal/relation"
+	"maybms/internal/server/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5439", "maybmsd address")
+	conns := flag.Int("conns", 8, "concurrent client connections")
+	duration := flag.Duration("duration", 3*time.Second, "run length (ignored when -n > 0)")
+	n := flag.Int("n", 0, "requests per connection (0 = run for -duration)")
+	query := flag.String("query", "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0", "query each connection loops")
+	wait := flag.Duration("wait", 10*time.Second, "keep retrying the first dial for this long (0 = one attempt)")
+	jsonOut := flag.Bool("json", false, "print the result as JSON")
+	flag.Parse()
+
+	if *conns < 1 {
+		fail(fmt.Errorf("need at least one connection (-conns %d)", *conns))
+	}
+
+	// One probe connection under the -wait retry loop proves the server is
+	// up before the fleet dials; workers then connect without retries.
+	probe, err := dialWait(*addr, *wait)
+	fail(err)
+	probe.Close()
+
+	clients := make([]*client.Conn, *conns)
+	for i := range clients {
+		c, err := client.Dial(*addr)
+		fail(err)
+		clients[i] = c
+		defer c.Close()
+	}
+
+	var requests, tuples atomic.Int64
+	var firstErr atomic.Value
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client.Conn) {
+			defer wg.Done()
+			st, err := c.Prepare(*query)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			vals := make([]relation.Value, len(st.Columns()))
+			dests := make([]any, len(vals))
+			for i := range vals {
+				dests[i] = &vals[i]
+			}
+			for req := 0; ; req++ {
+				if *n > 0 && req >= *n {
+					return
+				}
+				if *n == 0 && !time.Now().Before(deadline) {
+					return
+				}
+				rows, err := st.Query()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				read := 0
+				for rows.Next() {
+					if err := rows.Scan(dests...); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						rows.Close()
+						return
+					}
+					read++
+				}
+				if err := rows.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				rows.Close()
+				requests.Add(1)
+				tuples.Add(int64(read))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		fail(fmt.Errorf("request failed: %w", err))
+	}
+
+	out := result{
+		Addr:     *addr,
+		Conns:    *conns,
+		Query:    *query,
+		Requests: requests.Load(),
+		Tuples:   tuples.Load(),
+		Seconds:  elapsed.Seconds(),
+		QPS:      float64(requests.Load()) / elapsed.Seconds(),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(out))
+		return
+	}
+	fmt.Printf("maybmsd-load: %d conns × %q\n", out.Conns, out.Query)
+	fmt.Printf("  %d requests (%d tuples) in %s — %.1f qps\n",
+		out.Requests, out.Tuples, elapsed.Round(time.Millisecond), out.QPS)
+}
+
+type result struct {
+	Addr     string  `json:"addr"`
+	Conns    int     `json:"conns"`
+	Query    string  `json:"query"`
+	Requests int64   `json:"requests"`
+	Tuples   int64   `json:"tuples"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+}
+
+// dialWait retries Dial until the handshake answers or the wait runs out —
+// the boot-synchronization hook for scripts that just started maybmsd.
+func dialWait(addr string, wait time.Duration) (*client.Conn, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		c, err := client.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("maybmsd-load: no server at %s after %s: %w", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maybmsd-load:", err)
+		os.Exit(1)
+	}
+}

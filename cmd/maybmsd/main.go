@@ -1,0 +1,265 @@
+// Command maybmsd serves a world-set-decomposition store over TCP: the
+// probabilistic database as a service. It builds (or ingests) a store, wraps
+// it in the internal/sql session API, and speaks the maybmsd wire protocol
+// (docs/wire-protocol.md) to any number of concurrent clients — each
+// connection its own session with prepared statements, cursors and a pooled
+// result arena, all reading the same store through O(1) snapshots.
+//
+// Usage:
+//
+//	maybmsd [-listen 127.0.0.1:5439] [-rows 100000] [-density 0.0001] [-seed 42]
+//	maybmsd -store data.csv [-rel R] [-skip-chase]
+//
+// Without -store the server generates the Section 9 census relation R (with
+// noise and the Figure 25 cleaning chase, as wsdcli does). With -store it
+// ingests a CSV file: the header row names the attributes, fields are
+// non-negative integers, and a field of the form "a|b|c" becomes an or-set
+// (a local world per alternative, uniform probabilities). When the CSV
+// header matches the census schema the cleaning chase runs after ingest
+// unless -skip-chase is given.
+//
+// SIGTERM and SIGINT drain gracefully: the listener closes, in-flight
+// requests finish, idle clients get a shutting-down error frame, and the
+// process exits once every session has released its arenas (or after
+// -drain-timeout, forcibly).
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"maybms/internal/bench"
+	"maybms/internal/census"
+	"maybms/internal/engine"
+	"maybms/internal/server"
+	"maybms/internal/sql"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5439", "address to listen on")
+	rows := flag.Int("rows", 100000, "generated census relation size (ignored with -store)")
+	density := flag.Float64("density", 0.0001, "placeholder density of the generated relation")
+	seed := flag.Int64("seed", 42, "random seed of the generated relation")
+	store := flag.String("store", "", "ingest this CSV file instead of generating census data")
+	rel := flag.String("rel", "R", "relation name for the ingested CSV")
+	skipChase := flag.Bool("skip-chase", false, "skip the data-cleaning chase")
+	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
+	sessionBudget := flag.Int64("session-budget", 256<<20, "per-session result-memory budget in bytes")
+	globalBudget := flag.Int64("global-budget", 1<<30, "server-wide result-memory budget in bytes")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (also bounds budget queueing)")
+	fetchBatch := flag.Int("fetch-batch", 4096, "maximum tuples per FETCH response frame")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for shutdown before connections are cut")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("maybmsd: ")
+
+	st, err := buildStore(*store, *rel, *rows, *density, *seed, *skipChase)
+	if err != nil {
+		log.SetFlags(0)
+		log.SetPrefix("") // the error already carries the maybmsd: prefix
+		log.Fatal(err)    // exit code 1 with the actionable message
+	}
+
+	db := sql.Open(st)
+	defer db.Close()
+	srv := server.New(db, server.Config{
+		MaxConns:       *maxConns,
+		SessionBudget:  *sessionBudget,
+		GlobalBudget:   *globalBudget,
+		RequestTimeout: *timeout,
+		FetchBatch:     *fetchBatch,
+		Logf:           log.Printf,
+	})
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	log.Printf("serving on %s (max-conns=%d session-budget=%d global-budget=%d)",
+		addr, *maxConns, *sessionBudget, *globalBudget)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	log.Printf("%s: draining (in-flight requests finish, new work is refused)", sig)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain timed out, connections cut: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// buildStore prepares the served store: census generation (the wsdcli
+// pipeline) or CSV ingest. Every failure returns an error naming what to fix.
+func buildStore(path, rel string, rows int, density float64, seed int64, skipChase bool) (*engine.Store, error) {
+	if path != "" {
+		return loadCSVStore(path, rel, skipChase)
+	}
+	log.Printf("generating census relation: %d tuples × %d attributes, density %.3f%%",
+		rows, len(census.Attrs), density*100)
+	p, err := bench.Prepare(rows, density, seed)
+	if err != nil {
+		return nil, fmt.Errorf("maybmsd: generating census data: %w", err)
+	}
+	if !skipChase {
+		start := time.Now()
+		if err := p.Store.ChaseEGDsOpt("R", census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+			return nil, fmt.Errorf("maybmsd: cleaning chase failed: %w (rerun with -skip-chase to serve the uncleaned data)", err)
+		}
+		log.Printf("chased %d dependencies in %s", len(census.Dependencies()), time.Since(start).Round(time.Millisecond))
+	}
+	logStats(p.Store, "R")
+	return p.Store, nil
+}
+
+// loadCSVStore ingests a CSV file into a fresh store: header row = attribute
+// names, integer fields = certain values, "a|b|c" fields = or-sets. The
+// census cleaning chase runs when the header matches the census schema.
+func loadCSVStore(path, rel string, skipChase bool) (*engine.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("maybmsd: opening -store file: %v (give the path of a CSV whose header row names the attributes)", err)
+	}
+	defer f.Close()
+
+	attrs, cols, orsets, err := parseCSV(f, path)
+	if err != nil {
+		return nil, err
+	}
+	st := engine.NewStore()
+	if _, err := st.AddRelation(rel, attrs, cols); err != nil {
+		return nil, fmt.Errorf("maybmsd: installing %s from %s: %w", rel, path, err)
+	}
+	for _, o := range orsets {
+		if err := st.SetUncertain(rel, o.row, attrs[o.col], o.vals, nil); err != nil {
+			return nil, fmt.Errorf("maybmsd: %s row %d, column %s: or-set {%s}: %w",
+				path, o.row+2, attrs[o.col], joinInts(o.vals), err)
+		}
+	}
+	log.Printf("ingested %s: %d tuples × %d attributes, %d or-sets", path, len(cols[0]), len(attrs), len(orsets))
+
+	if !skipChase && isCensusSchema(attrs) {
+		start := time.Now()
+		if err := st.ChaseEGDsOpt(rel, census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+			return nil, fmt.Errorf("maybmsd: cleaning chase over %s failed: %w (the data contradicts the census dependencies; rerun with -skip-chase to serve it as-is)", rel, err)
+		}
+		log.Printf("census schema detected: chased %d dependencies in %s",
+			len(census.Dependencies()), time.Since(start).Round(time.Millisecond))
+	}
+	logStats(st, rel)
+	return st, nil
+}
+
+// orset is one uncertain field of the ingested CSV.
+type orset struct {
+	row, col int
+	vals     []int32
+}
+
+// parseCSV reads the -store file into column-major int32 data plus the
+// or-set fields. Errors name the 1-based CSV line and the column.
+func parseCSV(f *os.File, path string) ([]string, [][]int32, []orset, error) {
+	r := csv.NewReader(f)
+	attrs, err := r.Read()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("maybmsd: %s: reading header row: %v (is this a CSV file?)", path, err)
+	}
+	for i, a := range attrs {
+		if strings.TrimSpace(a) == "" {
+			return nil, nil, nil, fmt.Errorf("maybmsd: %s: header column %d is empty (every column needs an attribute name)", path, i+1)
+		}
+		attrs[i] = strings.TrimSpace(a)
+	}
+	cols := make([][]int32, len(attrs))
+	var orsets []orset
+	row := 0
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("maybmsd: %s line %d: %v", path, row+2, err)
+		}
+		for i, field := range rec {
+			vals, err := parseField(field)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("maybmsd: %s line %d, column %s: %v", path, row+2, attrs[i], err)
+			}
+			cols[i] = append(cols[i], vals[0])
+			if len(vals) > 1 {
+				orsets = append(orsets, orset{row: row, col: i, vals: vals})
+			}
+		}
+		row++
+	}
+	if row == 0 {
+		return nil, nil, nil, fmt.Errorf("maybmsd: %s holds a header but no data rows", path)
+	}
+	return attrs, cols, orsets, nil
+}
+
+// parseField parses one CSV field: a non-negative integer, or "a|b|c" as an
+// or-set of at least two distinct alternatives.
+func parseField(field string) ([]int32, error) {
+	parts := strings.Split(field, "|")
+	vals := make([]int32, 0, len(parts))
+	seen := make(map[int32]bool, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		n, err := strconv.ParseInt(p, 10, 32)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("field %q is not a non-negative integer (the engine stores int32 codes; encode or-sets as a|b|c)", field)
+		}
+		if seen[int32(n)] {
+			return nil, fmt.Errorf("or-set %q repeats value %d", field, n)
+		}
+		seen[int32(n)] = true
+		vals = append(vals, int32(n))
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("field is empty (the engine has no NULL; give a value or an or-set)")
+	}
+	return vals, nil
+}
+
+// isCensusSchema reports whether attrs is exactly the census schema, in
+// order — the condition for running the Figure 25 cleaning dependencies.
+func isCensusSchema(attrs []string) bool {
+	want := census.AttrNames()
+	if len(attrs) != len(want) {
+		return false
+	}
+	for i := range attrs {
+		if attrs[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinInts(vals []int32) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(int(v))
+	}
+	return strings.Join(parts, "|")
+}
+
+func logStats(st *engine.Store, rel string) {
+	s := st.Stats(rel)
+	log.Printf("%s: #comp=%d #comp>1=%d |C|=%d |R|=%d", rel, s.NumComp, s.NumCompGT1, s.CSize, s.RSize)
+}

@@ -8,10 +8,14 @@
 //	wsdcli [-rows 100000] [-density 0.0001] [-seed 42] [-queries Q1,Q3] [-skip-chase]
 //	wsdcli -sql [-rows 10000] [-density 0.0001]          # interactive SQL REPL
 //	wsdcli -exec "SELECT CONF() FROM R WHERE YEARSCH = 17"
+//	wsdcli -connect 127.0.0.1:5439 [-sql | -exec ...]    # same REPL over a maybmsd server
 //
 // With -sql the binary prepares (and optionally chases) the census relation
 // R, opens a SQL session over the store, and reads semicolon-terminated
 // statements from stdin; with -exec it runs the given statements and exits.
+// With -connect the session runs over the wire instead: the REPL speaks the
+// maybmsd protocol (docs/wire-protocol.md) through internal/server/client,
+// and all data stays on the server — the same commands work unchanged.
 // The accepted SQL subset — including ? parameters, AS aliases, CONF(),
 // POSSIBLE, CERTAIN and EXPLAIN — is documented on internal/sql. REPL meta
 // commands:
@@ -39,6 +43,7 @@ import (
 	"maybms/internal/census"
 	"maybms/internal/engine"
 	"maybms/internal/relation"
+	"maybms/internal/server/client"
 	"maybms/internal/sql"
 )
 
@@ -50,8 +55,25 @@ func main() {
 	skipChase := flag.Bool("skip-chase", false, "skip the data-cleaning chase")
 	sqlMode := flag.Bool("sql", false, "start an interactive SQL REPL over the census relation R")
 	exec := flag.String("exec", "", "execute the given semicolon-separated SQL statements and exit")
+	connect := flag.String("connect", "", "run the SQL session against a maybmsd server at this address")
 	limit := flag.Int("limit", 20, "maximum tuples to decode and print per SQL result")
 	flag.Parse()
+
+	if *connect != "" {
+		// Remote session: no local data at all — the server owns the store.
+		conn, err := client.Dial(*connect)
+		fail(err)
+		defer conn.Close()
+		fmt.Printf("connected to %s (%s)\n", *connect, conn.Banner())
+		repl := newREPL(remoteBackend{conn}, *limit)
+		if *exec != "" {
+			repl.run(strings.NewReader(*exec), false)
+			return
+		}
+		fmt.Println("remote SQL REPL — end statements with ';', \\q quits")
+		repl.run(os.Stdin, true)
+		return
+	}
 
 	fmt.Printf("generating census relation: %d tuples × %d attributes, density %.3f%%\n",
 		*rows, len(census.Attrs), *density*100)
@@ -70,13 +92,13 @@ func main() {
 	}
 
 	if *exec != "" {
-		repl := newREPL(p.Store, *limit)
+		repl := newREPL(localBackend{sql.Open(p.Store)}, *limit)
 		repl.run(strings.NewReader(*exec), false)
 		return
 	}
 	if *sqlMode {
 		fmt.Println("SQL REPL over relation R — end statements with ';', \\q quits")
-		repl := newREPL(p.Store, *limit)
+		repl := newREPL(localBackend{sql.Open(p.Store)}, *limit)
 		repl.run(os.Stdin, true)
 		return
 	}
@@ -98,16 +120,125 @@ func main() {
 	}
 }
 
-// repl is the interactive SQL session: one DB over the store plus the named
-// statements \prepare compiled.
-type repl struct {
-	db    *sql.DB
-	limit int
-	stmts map[string]*sql.Prepared
+// backend is what the REPL needs from a SQL session; localBackend serves it
+// from an in-process store, remoteBackend from a maybmsd server. The shapes
+// are deliberately those of internal/sql and internal/server/client, so the
+// adapters below are one line each.
+type backend interface {
+	Prepare(text string) (stmt, error)
+	Query(text string, args ...any) (resultRows, error)
+	Explain(text string) (string, error)
+	Catalog() ([]client.RelInfo, error)
 }
 
-func newREPL(s *engine.Store, limit int) *repl {
-	return &repl{db: sql.Open(s), limit: limit, stmts: make(map[string]*sql.Prepared)}
+type stmt interface {
+	Text() string
+	Columns() []string
+	NumParams() int
+	Query(args ...any) (resultRows, error)
+}
+
+// resultRows is the intersection of *sql.Rows and *client.Rows the printer
+// uses.
+type resultRows interface {
+	Columns() []string
+	Mode() sql.Mode
+	Stats() engine.Stats
+	Len() int
+	Next() bool
+	Scan(dest ...any) error
+	Conf() float64
+	Err() error
+	Close() error
+}
+
+// localBackend runs the session in-process over an engine store.
+type localBackend struct{ db *sql.DB }
+
+type localStmt struct{ *sql.Prepared }
+
+func (s localStmt) Query(args ...any) (resultRows, error) {
+	rows, err := s.Prepared.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (b localBackend) Prepare(text string) (stmt, error) {
+	st, err := b.db.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return localStmt{st}, nil
+}
+
+func (b localBackend) Query(text string, args ...any) (resultRows, error) {
+	rows, err := b.db.Query(text, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (b localBackend) Explain(text string) (string, error) { return b.db.Explain(text) }
+
+func (b localBackend) Catalog() ([]client.RelInfo, error) {
+	out := make([]client.RelInfo, 0)
+	for _, name := range b.db.Relations() {
+		out = append(out, client.RelInfo{
+			Name:         name,
+			Attrs:        b.db.Schema(name),
+			Stats:        b.db.Stats(name),
+			Placeholders: b.db.Placeholders(name),
+		})
+	}
+	return out, nil
+}
+
+// remoteBackend runs the session over the wire.
+type remoteBackend struct{ c *client.Conn }
+
+type remoteStmt struct{ *client.Stmt }
+
+func (s remoteStmt) Query(args ...any) (resultRows, error) {
+	rows, err := s.Stmt.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (b remoteBackend) Prepare(text string) (stmt, error) {
+	st, err := b.c.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return remoteStmt{st}, nil
+}
+
+func (b remoteBackend) Query(text string, args ...any) (resultRows, error) {
+	rows, err := b.c.Query(text, args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (b remoteBackend) Explain(text string) (string, error) { return b.c.Explain(text) }
+
+func (b remoteBackend) Catalog() ([]client.RelInfo, error) { return b.c.Catalog() }
+
+// repl is the interactive SQL session: one backend plus the named statements
+// \prepare compiled.
+type repl struct {
+	db    backend
+	limit int
+	stmts map[string]stmt
+}
+
+func newREPL(b backend, limit int) *repl {
+	return &repl{db: b, limit: limit, stmts: make(map[string]stmt)}
 }
 
 // run reads semicolon-terminated statements (and backslash meta commands)
@@ -190,21 +321,35 @@ func (r *repl) meta(cmd string) bool {
 	case "\\q", "\\quit":
 		return false
 	case "\\d":
-		for _, name := range r.db.Relations() {
-			st := r.db.Stats(name)
+		rels, err := r.db.Catalog()
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		for _, ri := range rels {
 			fmt.Printf("  %s(%s)  |R|=%d placeholders=%d\n",
-				name, strings.Join(r.db.Schema(name), ", "), st.RSize, r.db.Placeholders(name))
+				ri.Name, strings.Join(ri.Attrs, ", "), ri.Stats.RSize, ri.Placeholders)
 		}
 	case "\\stats":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\stats REL")
 			break
 		}
-		if r.db.Schema(fields[1]) == nil {
-			fmt.Printf("unknown relation %q\n", fields[1])
+		rels, err := r.db.Catalog()
+		if err != nil {
+			fmt.Println(err)
 			break
 		}
-		printStats(r.db.Stats(fields[1]), fields[1], "stats")
+		found := false
+		for _, ri := range rels {
+			if ri.Name == fields[1] {
+				printStats(ri.Stats, ri.Name, "stats")
+				found = true
+			}
+		}
+		if !found {
+			fmt.Printf("unknown relation %q\n", fields[1])
+		}
 	case "\\prepare":
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
 		name, text, ok := strings.Cut(rest, " ")
@@ -288,24 +433,48 @@ func (r *repl) runOne(text string) {
 // printRows renders a result: across-world answers as tuples with
 // confidences, plain results as representation statistics plus up to limit
 // decoded template rows ('?' marks uncertain fields).
-func (r *repl) printRows(rows *sql.Rows, elapsed time.Duration) {
+func (r *repl) printRows(rows resultRows, elapsed time.Duration) {
 	defer rows.Close()
-	res := rows.Result()
-	if res.Mode != sql.ModePlain {
-		fmt.Printf("%s: %d tuples in %s\n", res.Mode, len(res.Tuples), elapsed.Round(time.Microsecond))
+	vals := make([]relation.Value, len(rows.Columns()))
+	dests := make([]any, len(vals))
+	for i := range vals {
+		dests[i] = &vals[i]
+	}
+	render := func() (string, bool) {
+		parts := make([]string, len(vals))
+		uncertain := false
+		for i, v := range vals {
+			parts[i] = v.String()
+			if v.IsPlaceholder() {
+				uncertain = true
+			}
+		}
+		return strings.Join(parts, ", "), uncertain
+	}
+	if mode := rows.Mode(); mode != sql.ModePlain {
+		total := rows.Len()
+		fmt.Printf("%s: %d tuples in %s\n", mode, total, elapsed.Round(time.Microsecond))
 		fmt.Printf("  (%s)\n", strings.Join(rows.Columns(), ", "))
 		n := 0
 		for rows.Next() {
 			if n >= r.limit {
-				fmt.Printf("  ... %d more\n", len(res.Tuples)-r.limit)
+				fmt.Printf("  ... %d more\n", total-r.limit)
 				break
 			}
-			if res.Mode == sql.ModeConf {
-				fmt.Printf("  %s  conf=%.6g\n", res.Tuples[n].Tuple, rows.Conf())
+			if err := rows.Scan(dests...); err != nil {
+				fmt.Println(err)
+				return
+			}
+			line, _ := render()
+			if mode == sql.ModeConf {
+				fmt.Printf("  (%s)  conf=%.6g\n", line, rows.Conf())
 			} else {
-				fmt.Printf("  %s\n", res.Tuples[n].Tuple)
+				fmt.Printf("  (%s)\n", line)
 			}
 			n++
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Println(err)
 		}
 		return
 	}
@@ -316,24 +485,17 @@ func (r *repl) printRows(rows *sql.Rows, elapsed time.Duration) {
 	}
 	fmt.Printf("  (%s)\n", strings.Join(rows.Columns(), ", "))
 	uncertain := false
-	vals := make([]relation.Value, len(rows.Columns()))
-	dests := make([]any, len(vals))
-	for i := range vals {
-		dests[i] = &vals[i]
-	}
 	for rows.Next() {
 		if err := rows.Scan(dests...); err != nil {
 			fmt.Println(err)
 			return
 		}
-		parts := make([]string, len(vals))
-		for i, v := range vals {
-			parts[i] = v.String()
-			if v.IsPlaceholder() {
-				uncertain = true
-			}
-		}
-		fmt.Printf("  (%s)\n", strings.Join(parts, ", "))
+		line, unc := render()
+		uncertain = uncertain || unc
+		fmt.Printf("  (%s)\n", line)
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println(err)
 	}
 	if uncertain {
 		fmt.Println("  ('?' fields are uncertain; use SELECT POSSIBLE or SELECT CONF() to decode)")

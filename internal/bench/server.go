@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maybms/internal/census"
+	"maybms/internal/relation"
+	"maybms/internal/server"
+	"maybms/internal/server/client"
+	"maybms/internal/sql"
+)
+
+// This file measures the serving layer (internal/server + its client): the
+// same prepared Figure 29 Q1 that the parallel series runs in-process is
+// pushed through the full network path — wire protocol, per-session cursors,
+// FETCH batching, memory admission — at increasing connection counts. The
+// in-process qps of the parallel series is the ceiling; the gap between the
+// two is the protocol's cost.
+
+// ServerPoint is one throughput measurement of a maybmsd server under load
+// from conns concurrent client connections.
+type ServerPoint struct {
+	Conns   int
+	Rows    int
+	Density float64
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+	// Cores records runtime.NumCPU at measurement time; like the parallel
+	// series, server throughput measured on a starved host reflects the
+	// scheduler, and benchdiff's -mincores guard skips gating such points.
+	Cores int
+}
+
+// ServerQueries boots an in-process server over a chased census store and
+// measures end-to-end query throughput at each connection count. Every
+// request runs the prepared Q1 through the wire protocol and drains the full
+// result (so FETCH streaming and arena release are on the measured path).
+func ServerQueries(rows int, density float64, seed int64, queries int, connCounts []int) ([]ServerPoint, error) {
+	p, err := Prepare(rows, density, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store.ChaseEGDs("R", census.Dependencies()); err != nil {
+		return nil, err
+	}
+	db := sql.Open(p.Store)
+	defer db.Close()
+	srv := server.New(db, server.Config{Logf: func(string, ...any) {}})
+	defer srv.Close()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ServerPoint
+	for _, conns := range connCounts {
+		elapsed, err := runServerBatch(addr.String(), queries, conns)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ServerPoint{
+			Conns: conns, Rows: rows, Density: density,
+			Queries: queries, Elapsed: elapsed,
+			QPS:   float64(queries) / elapsed.Seconds(),
+			Cores: runtime.NumCPU(),
+		})
+	}
+	return out, nil
+}
+
+// runServerBatch spreads n requests over the given number of connections,
+// each with its own prepared statement (the server session caches the plan).
+func runServerBatch(addr string, n, conns int) (time.Duration, error) {
+	clients := make([]*client.Conn, conns)
+	stmts := make([]*client.Stmt, conns)
+	for i := range clients {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		clients[i] = c
+		st, err := c.Prepare(census.SQL["Q1"])
+		if err != nil {
+			return 0, err
+		}
+		stmts[i] = st
+	}
+	// Warm up each session once outside the measurement.
+	for _, st := range stmts {
+		if err := drainOne(st); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	errs := make(chan error, conns)
+	start := time.Now()
+	for _, st := range stmts {
+		wg.Add(1)
+		go func(st *client.Stmt) {
+			defer wg.Done()
+			for next.Add(1) <= int64(n) {
+				if err := drainOne(st); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// drainOne executes the statement and reads every row of the result.
+func drainOne(st *client.Stmt) error {
+	rows, err := st.Query()
+	if err != nil {
+		return err
+	}
+	vals := make([]relation.Value, len(rows.Columns()))
+	dests := make([]any, len(vals))
+	for i := range vals {
+		dests[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(dests...); err != nil {
+			rows.Close() //nolint:errcheck // surfacing the scan error
+			return err
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	return rows.Close()
+}
+
+// PrintServer renders the server-throughput table.
+func PrintServer(w io.Writer, points []ServerPoint) {
+	fmt.Fprintln(w, "maybmsd throughput — end-to-end wire protocol (prepared Q1, full result drained)")
+	fmt.Fprintf(w, "%8s %12s %10s %8s %12s %12s %6s\n",
+		"conns", "tuples", "density", "queries", "elapsed", "qps", "cores")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %12d %9.3f%% %8d %12s %12.1f %6d\n",
+			p.Conns, p.Rows, p.Density*100, p.Queries,
+			p.Elapsed.Round(time.Microsecond), p.QPS, p.Cores)
+	}
+}

@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Arena pooling: high-QPS prepared queries execute one arena per call, and
 // the arena's maps and slices are exactly the kind of allocation a pool
@@ -11,6 +14,15 @@ import "sync"
 // assert under -race.
 
 var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// arenaReleases counts non-nil ReleaseArena calls process-wide. It is an
+// instrumentation hook like BridgeConversions: the serving-layer tests assert
+// that closing a cursor mid-fetch actually returns the pooled arena.
+var arenaReleases atomic.Uint64
+
+// ArenaReleases reports how many arenas this process has returned to the
+// pool.
+func ArenaReleases() uint64 { return arenaReleases.Load() }
 
 // AcquireArena returns a pooled arena reset over snap; pair it with
 // ReleaseArena when the arena's results are no longer referenced.
@@ -30,6 +42,7 @@ func ReleaseArena(a *Arena) {
 	}
 	a.Reset(nil)
 	arenaPool.Put(a)
+	arenaReleases.Add(1)
 }
 
 // Reset re-points the arena at snap and clears all session state, keeping

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Memory budgeting. Every admitted result charges its estimated retained
+// bytes (sql.Rows.MemUsage) against two ledgers: the session's own budget —
+// exceeded means immediate rejection with ErrMemBudget, the client is
+// holding too many open cursors — and the server-wide ledger below, where
+// over-budget requests queue: other sessions' cursors close continuously
+// under real traffic, so a short wait usually admits the result. The wait is
+// bounded by the request deadline; expiry rejects with ErrTimeout and the
+// result arena is released, so a burst cannot pile up unbounded memory.
+
+// ledger is the global memory accountant: acquire blocks until the bytes fit
+// under the limit or the deadline passes; release wakes the queue.
+type ledger struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int64
+	used  int64
+}
+
+func newLedger(limit int64) *ledger {
+	l := &ledger{limit: limit}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// errOverBudget marks a request that can never be admitted: it is larger
+// than the whole global budget, so queueing would block forever.
+var errOverBudget = fmt.Errorf("result exceeds the global memory budget")
+
+// errQueueTimeout marks a request that waited for memory until its deadline.
+var errQueueTimeout = fmt.Errorf("timed out queueing for memory")
+
+// acquire charges n bytes, queueing until they fit or deadline passes. A
+// zero deadline means no queueing: reject immediately when over.
+func (l *ledger) acquire(n int64, deadline time.Time) error {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.limit {
+		return errOverBudget
+	}
+	for l.used+n > l.limit {
+		if deadline.IsZero() || !time.Now().Before(deadline) {
+			return errQueueTimeout
+		}
+		// sync.Cond has no timed wait: a timer broadcast unparks us at the
+		// deadline so the loop re-checks and gives up.
+		t := time.AfterFunc(time.Until(deadline), l.cond.Broadcast)
+		l.cond.Wait()
+		t.Stop()
+	}
+	l.used += n
+	return nil
+}
+
+// release returns n bytes to the ledger and wakes queued acquirers.
+func (l *ledger) release(n int64) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.used -= n
+	if l.used < 0 {
+		l.used = 0
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Used reports the currently charged bytes (for stats and tests).
+func (l *ledger) Used() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}

@@ -1,0 +1,356 @@
+// Package client is the Go client of the maybmsd wire protocol
+// (internal/server, docs/wire-protocol.md). It mirrors the session API shape
+// of internal/sql — Dial → Conn, Prepare → Stmt, Query → Rows — so code
+// written against a local DB ports to a remote server by swapping the
+// constructor; wsdcli's -connect mode and the load generator run on it.
+//
+// A Conn is one server session. The protocol is synchronous per connection,
+// and the Conn serializes its requests with a mutex, so a Conn is safe for
+// concurrent goroutines but offers no pipelining — open more connections for
+// parallelism (that is what makes the server scale, each connection being an
+// independent snapshot/arena session).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/server"
+	"maybms/internal/sql"
+)
+
+// DefaultFetch is the default FETCH batch size: how many tuples Rows.Next
+// pulls per round trip.
+const DefaultFetch = 1024
+
+// Conn is one connection to a maybmsd server.
+type Conn struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	fetch  int
+	closed bool
+	banner string
+}
+
+// Option tunes Dial.
+type Option func(*Conn)
+
+// WithFetchBatch sets the tuples requested per FETCH round trip.
+func WithFetchBatch(n int) Option {
+	return func(c *Conn) {
+		if n > 0 {
+			c.fetch = n
+		}
+	}
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string, opts ...Option) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	c := &Conn{
+		conn:  nc,
+		br:    bufio.NewReaderSize(nc, 32<<10),
+		bw:    bufio.NewWriterSize(nc, 32<<10),
+		fetch: DefaultFetch,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	var w wb
+	w.b = append(w.b, server.Magic...)
+	w.u16(server.ProtoVersion)
+	payload, err := c.round(server.OpHello, w.b, server.OpHelloOK)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := rb{b: payload}
+	if v := r.u16(); v != server.ProtoVersion {
+		nc.Close()
+		return nil, fmt.Errorf("client: server speaks protocol version %d, want %d", v, server.ProtoVersion)
+	}
+	c.banner = r.str()
+	return c, nil
+}
+
+// Banner returns the server identification string from the handshake.
+func (c *Conn) Banner() string { return c.banner }
+
+// Close closes the connection. Open cursors and statements die with the
+// session server-side (their arenas are released there).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// round sends one request frame and reads the response, translating OpErr
+// into *server.WireError. Callers pass the expected response opcode.
+func (c *Conn) round(op byte, payload []byte, want byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundLocked(op, payload, want)
+}
+
+func (c *Conn) roundLocked(op byte, payload []byte, want byte) ([]byte, error) {
+	if c.closed {
+		return nil, fmt.Errorf("client: connection is closed")
+	}
+	if err := server.WriteFrame(c.bw, op, payload); err != nil {
+		return nil, fmt.Errorf("client: writing request: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("client: writing request: %w", err)
+	}
+	rop, rpayload, err := server.ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading response: %w", err)
+	}
+	if rop == server.OpErr {
+		r := rb{b: rpayload}
+		code := r.u16()
+		msg := r.str()
+		return nil, &server.WireError{Code: code, Msg: msg}
+	}
+	if rop != want {
+		return nil, fmt.Errorf("client: unexpected response opcode 0x%02x (want 0x%02x)", rop, want)
+	}
+	return rpayload, nil
+}
+
+// Ping round-trips an empty request.
+func (c *Conn) Ping() error {
+	_, err := c.round(server.OpPing, nil, server.OpOK)
+	return err
+}
+
+// Stmt is a statement prepared on the server.
+type Stmt struct {
+	c        *Conn
+	id       uint32
+	text     string
+	cols     []string
+	nparams  int
+	closed   bool
+	autoDrop bool // close the server statement when its one-shot Rows closes
+}
+
+// Prepare compiles a statement on the server; the plan caches server-side,
+// and the returned Stmt executes it any number of times with bound args.
+func (c *Conn) Prepare(text string) (*Stmt, error) {
+	var w wb
+	w.str(text)
+	payload, err := c.round(server.OpPrepare, w.b, server.OpPrepared)
+	if err != nil {
+		return nil, err
+	}
+	r := rb{b: payload}
+	st := &Stmt{c: c, id: r.u32(), text: text}
+	st.nparams = int(r.u16())
+	ncols := int(r.u16())
+	for i := 0; i < ncols; i++ {
+		st.cols = append(st.cols, r.str())
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("client: malformed PREPARED response: %w", r.err)
+	}
+	return st, nil
+}
+
+// Text returns the statement's SQL text.
+func (s *Stmt) Text() string { return s.text }
+
+// Columns returns the output attribute names.
+func (s *Stmt) Columns() []string { return s.cols }
+
+// NumParams returns the number of ? placeholders the statement binds.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// Close releases the server-side statement.
+func (s *Stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var w wb
+	w.u32(s.id)
+	_, err := s.c.round(server.OpCloseStmt, w.b, server.OpOK)
+	return err
+}
+
+// Query executes the statement with the given arguments (int and string
+// forms, or relation.Value). The result streams through the returned Rows in
+// FETCH batches; always Close it — that is what releases the server-side
+// result arena early (exhausting the rows releases it too).
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	if s.closed {
+		return nil, fmt.Errorf("client: statement is closed")
+	}
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	var w wb
+	w.u32(s.id)
+	w.u16(uint16(len(vals)))
+	for _, v := range vals {
+		w.value(v)
+	}
+	payload, err := s.c.round(server.OpExec, w.b, server.OpExecOK)
+	if err != nil {
+		return nil, err
+	}
+	r := rb{b: payload}
+	rows := &Rows{c: s.c, stmt: s}
+	rows.id = r.u32()
+	rows.mode = sql.Mode(r.u8())
+	rows.total = int(r.u32())
+	rows.stats = r.stats()
+	ncols := int(r.u16())
+	for i := 0; i < ncols; i++ {
+		rows.cols = append(rows.cols, r.str())
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("client: malformed EXECOK response: %w", r.err)
+	}
+	return rows, nil
+}
+
+// Query prepares and executes a statement in one call; the server-side
+// statement is released when the returned Rows closes.
+func (c *Conn) Query(text string, args ...any) (*Rows, error) {
+	st, err := c.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := st.Query(args...)
+	if err != nil {
+		st.Close() //nolint:errcheck // best-effort release of the one-shot stmt
+		return nil, err
+	}
+	st.autoDrop = true
+	return rows, nil
+}
+
+// Explain renders the server's Section 5 SQL rewriting of the statement.
+func (c *Conn) Explain(text string) (string, error) {
+	var w wb
+	w.str(text)
+	payload, err := c.round(server.OpExplain, w.b, server.OpExplained)
+	if err != nil {
+		return "", err
+	}
+	r := rb{b: payload}
+	out := r.str()
+	if r.err != nil {
+		return "", fmt.Errorf("client: malformed EXPLAINED response: %w", r.err)
+	}
+	return out, nil
+}
+
+// Materialize executes a plain statement on the server and installs its
+// result relation under res (the remote DB.Materialize; the write serializes
+// through the server's writer path). It returns the result's representation
+// statistics.
+func (c *Conn) Materialize(res, text string, args ...any) (engine.Stats, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	var w wb
+	w.str(res)
+	w.str(text)
+	w.u16(uint16(len(vals)))
+	for _, v := range vals {
+		w.value(v)
+	}
+	payload, err := c.round(server.OpMaterialize, w.b, server.OpMaterialized)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	r := rb{b: payload}
+	st := r.stats()
+	if r.err != nil {
+		return engine.Stats{}, fmt.Errorf("client: malformed MATERIALIZED response: %w", r.err)
+	}
+	return st, nil
+}
+
+// DropRelation removes a user relation from the server's store.
+func (c *Conn) DropRelation(rel string) error {
+	var w wb
+	w.str(rel)
+	_, err := c.round(server.OpDrop, w.b, server.OpOK)
+	return err
+}
+
+// RelInfo describes one relation of the server's catalog.
+type RelInfo struct {
+	Name         string
+	Attrs        []string
+	Stats        engine.Stats
+	Placeholders int
+}
+
+// Catalog lists the server's user relations with schema and representation
+// statistics.
+func (c *Conn) Catalog() ([]RelInfo, error) {
+	payload, err := c.round(server.OpCatalog, nil, server.OpCatalogR)
+	if err != nil {
+		return nil, err
+	}
+	r := rb{b: payload}
+	n := int(r.u32())
+	out := make([]RelInfo, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		ri := RelInfo{Name: r.str()}
+		nattrs := int(r.u16())
+		for j := 0; j < nattrs; j++ {
+			ri.Attrs = append(ri.Attrs, r.str())
+		}
+		ri.Stats = r.stats()
+		ri.Placeholders = int(r.u32())
+		out = append(out, ri)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("client: malformed CATALOG response: %w", r.err)
+	}
+	return out, nil
+}
+
+// toValues converts Go arguments to wire values (the client-side mirror of
+// the session API's argument conversion).
+func toValues(args []any) ([]relation.Value, error) {
+	out := make([]relation.Value, len(args))
+	for i, a := range args {
+		switch a := a.(type) {
+		case int:
+			out[i] = relation.Int(int64(a))
+		case int32:
+			out[i] = relation.Int(int64(a))
+		case int64:
+			out[i] = relation.Int(a)
+		case string:
+			out[i] = relation.String(a)
+		case relation.Value:
+			out[i] = a
+		default:
+			return nil, fmt.Errorf("client: cannot bind argument %d of type %T (want int, string or relation.Value)", i+1, a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// The client-side payload codec. It is the mirror image of the server's
+// (internal/server wbuf/rbuf); both implement the field encodings pinned down
+// in docs/wire-protocol.md, and the e2e tests cross-check them by comparing
+// remote results byte-for-byte against in-process queries.
+
+// Value tags (wire-protocol.md "Values").
+const (
+	tagBottom      byte = 0
+	tagInt         byte = 1
+	tagString      byte = 2
+	tagPlaceholder byte = 3
+)
+
+// wb builds a request payload.
+type wb struct{ b []byte }
+
+func (w *wb) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wb) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wb) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wb) i64(v int64)  { w.b = binary.BigEndian.AppendUint64(w.b, uint64(v)) }
+func (w *wb) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *wb) value(v relation.Value) {
+	switch v.Kind() {
+	case relation.KindInt:
+		w.u8(tagInt)
+		w.i64(v.AsInt())
+	case relation.KindString:
+		w.u8(tagString)
+		w.str(v.AsString())
+	case relation.KindPlaceholder:
+		w.u8(tagPlaceholder)
+	default:
+		w.u8(tagBottom)
+	}
+}
+
+// rb decodes a response payload with the same sticky-error discipline as the
+// server: the first underflow poisons the reader, checked once at the end.
+type rb struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rb) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("payload truncated at byte %d", r.off)
+	}
+}
+
+func (r *rb) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *rb) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rb) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *rb) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *rb) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *rb) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func (r *rb) str() string {
+	n := int(r.u32())
+	if r.err == nil && n > len(r.b)-r.off {
+		r.fail()
+		return ""
+	}
+	return string(r.take(n))
+}
+
+func (r *rb) value() relation.Value {
+	switch tag := r.u8(); tag {
+	case tagInt:
+		return relation.Int(r.i64())
+	case tagString:
+		return relation.String(r.str())
+	case tagPlaceholder:
+		return relation.Placeholder()
+	case tagBottom:
+		return relation.Bottom()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("unknown value tag %d at byte %d", tag, r.off-1)
+		}
+		return relation.Bottom()
+	}
+}
+
+func (r *rb) stats() engine.Stats {
+	return engine.Stats{
+		NumComp:    int(r.i64()),
+		NumCompGT1: int(r.i64()),
+		CSize:      int(r.i64()),
+		RSize:      int(r.i64()),
+	}
+}

@@ -1,0 +1,600 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maybms/internal/bench"
+	"maybms/internal/census"
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/server"
+	"maybms/internal/server/client"
+	"maybms/internal/sql"
+)
+
+// testStore builds a small chased census store (the wsdcli pipeline in
+// miniature).
+func testStore(t testing.TB, rows int) *engine.Store {
+	t.Helper()
+	p, err := bench.Prepare(rows, 0.01, 7)
+	if err != nil {
+		t.Fatalf("preparing store: %v", err)
+	}
+	if err := p.Store.ChaseEGDsOpt("R", census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	return p.Store
+}
+
+// startServer boots an in-process server on a loopback port and tears it
+// down with the test.
+func startServer(t testing.TB, db *sql.DB, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	srv := server.New(db, cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+// scanner is the row surface shared by *sql.Rows and *client.Rows; renderAll
+// drains either into one canonical string, so remote results can be compared
+// byte-for-byte with in-process ones.
+type scanner interface {
+	Columns() []string
+	Next() bool
+	Scan(dest ...any) error
+	Conf() float64
+	Close() error
+}
+
+func renderAll(rows scanner, hasConf bool) (string, error) {
+	defer rows.Close()
+	var sb strings.Builder
+	sb.WriteString(strings.Join(rows.Columns(), ","))
+	sb.WriteByte('\n')
+	vals := make([]relation.Value, len(rows.Columns()))
+	dests := make([]any, len(vals))
+	for i := range vals {
+		dests[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(dests...); err != nil {
+			return "", err
+		}
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(v.String())
+		}
+		if hasConf {
+			fmt.Fprintf(&sb, " @%.12g", rows.Conf())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), nil
+}
+
+// The e2e queries cover the three result shapes: a plain template result
+// (arena-backed, streamed lazily), an across-world CONF() answer, and a
+// POSSIBLE decode.
+var e2eQueries = []struct {
+	text    string
+	hasConf bool
+}{
+	{"SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0", false},
+	{"SELECT CONF() FROM R WHERE YEARSCH = 17", true},
+	{"SELECT POSSIBLE YEARSCH, CITIZEN FROM R WHERE YEARSCH = 17", false},
+}
+
+// TestConcurrentClientsByteIdentical runs 8 concurrent client connections
+// and checks every remote result is byte-identical to the same statement run
+// in-process — across plain, CONF() and POSSIBLE results, and across small
+// FETCH batches that force multi-frame streaming.
+func TestConcurrentClientsByteIdentical(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+
+	// The in-process reference, computed once per query.
+	want := make([]string, len(e2eQueries))
+	for i, q := range e2eQueries {
+		rows, err := db.Query(q.text)
+		if err != nil {
+			t.Fatalf("local %s: %v", q.text, err)
+		}
+		want[i], err = renderAll(rows, q.hasConf)
+		if err != nil {
+			t.Fatalf("local render %s: %v", q.text, err)
+		}
+	}
+
+	const conns = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, conns)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Odd workers use a tiny FETCH batch so results cross the wire in
+			// many frames; even workers use the default single-frame path.
+			opts := []client.Option{}
+			if w%2 == 1 {
+				opts = append(opts, client.WithFetchBatch(3))
+			}
+			c, err := client.Dial(addr, opts...)
+			if err != nil {
+				errc <- fmt.Errorf("worker %d: dial: %w", w, err)
+				return
+			}
+			defer c.Close()
+			for rep := 0; rep < 3; rep++ {
+				for i, q := range e2eQueries {
+					rows, err := c.Query(q.text)
+					if err != nil {
+						errc <- fmt.Errorf("worker %d: %s: %w", w, q.text, err)
+						return
+					}
+					got, err := renderAll(rows, q.hasConf)
+					if err != nil {
+						errc <- fmt.Errorf("worker %d: render %s: %w", w, q.text, err)
+						return
+					}
+					if got != want[i] {
+						errc <- fmt.Errorf("worker %d: %s: remote result differs from in-process:\nremote:\n%s\nlocal:\n%s",
+							w, q.text, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPreparedStatementRemote exercises prepare-once/bind-many over the wire.
+func TestPreparedStatementRemote(t *testing.T) {
+	db := sql.Open(testStore(t, 1000))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	st, err := c.Prepare("SELECT * FROM R WHERE YEARSCH = ? AND CITIZEN = 0")
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	if st.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", st.NumParams())
+	}
+	local, err := db.Prepare("SELECT * FROM R WHERE YEARSCH = ? AND CITIZEN = 0")
+	if err != nil {
+		t.Fatalf("local prepare: %v", err)
+	}
+	for _, year := range []int{10, 13, 17} {
+		lrows, err := local.Query(year)
+		if err != nil {
+			t.Fatalf("local query(%d): %v", year, err)
+		}
+		want, err := renderAll(lrows, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrows, err := st.Query(year)
+		if err != nil {
+			t.Fatalf("remote query(%d): %v", year, err)
+		}
+		got, err := renderAll(rrows, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("year %d: remote differs from local\nremote:\n%s\nlocal:\n%s", year, got, want)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("stmt close: %v", err)
+	}
+	if _, err := st.Query(17); err == nil {
+		t.Fatal("Query on a closed Stmt succeeded")
+	}
+}
+
+// TestRemoteCatalogExplainMaterialize covers the management opcodes against
+// their in-process equivalents.
+func TestRemoteCatalogExplainMaterialize(t *testing.T) {
+	db := sql.Open(testStore(t, 500))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	rels, err := c.Catalog()
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	if len(rels) != 1 || rels[0].Name != "R" {
+		t.Fatalf("catalog = %+v, want one relation R", rels)
+	}
+	if got, want := len(rels[0].Attrs), len(census.AttrNames()); got != want {
+		t.Fatalf("catalog lists %d attributes, want %d", got, want)
+	}
+	if rels[0].Stats != db.Stats("R") {
+		t.Fatalf("catalog stats %+v != local %+v", rels[0].Stats, db.Stats("R"))
+	}
+
+	text := "SELECT CONF() FROM R WHERE YEARSCH = 17"
+	remoteExpl, err := c.Explain("EXPLAIN " + text)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	localExpl, err := db.Explain("EXPLAIN " + text)
+	if err != nil {
+		t.Fatalf("local explain: %v", err)
+	}
+	if remoteExpl != localExpl {
+		t.Fatalf("remote EXPLAIN differs:\n%s\nvs local:\n%s", remoteExpl, localExpl)
+	}
+
+	st, err := c.Materialize("q1", "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0")
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if st.RSize == 0 {
+		t.Fatalf("materialized stats %+v, want nonzero |R|", st)
+	}
+	rels, err = c.Catalog()
+	if err != nil {
+		t.Fatalf("catalog after materialize: %v", err)
+	}
+	if len(rels) != 2 {
+		t.Fatalf("catalog lists %d relations after materialize, want 2", len(rels))
+	}
+	if err := c.DropRelation("q1"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	var werr *server.WireError
+	if err := c.DropRelation("q1"); !errors.As(err, &werr) || werr.Code != server.ErrSQL {
+		t.Fatalf("second drop: got %v, want ErrSQL wire error", err)
+	}
+}
+
+// TestSessionBudgetReject checks the per-session budget: a result larger
+// than the budget answers a typed ErrMemBudget frame, the rejected result's
+// arena is released, and the session keeps serving smaller queries.
+func TestSessionBudgetReject(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+
+	// Measure both results in-process and put the session budget between
+	// them: the big one must be rejected, the small one admitted.
+	mem := func(text string) int64 {
+		rows, err := db.Query(text)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		defer rows.Close()
+		return rows.MemUsage()
+	}
+	const small = "SELECT CONF() FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"
+	big, smallNeed := mem("SELECT * FROM R"), mem(small)
+	if smallNeed >= big {
+		t.Fatalf("probe: small result (%d bytes) not smaller than big (%d)", smallNeed, big)
+	}
+	srv, addr := startServer(t, db, server.Config{SessionBudget: smallNeed + (big-smallNeed)/2})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	releases := engine.ArenaReleases()
+	_, err = c.Query("SELECT * FROM R")
+	var werr *server.WireError
+	if !errors.As(err, &werr) || werr.Code != server.ErrMemBudget {
+		t.Fatalf("oversized query: got %v, want ErrMemBudget wire error", err)
+	}
+	if !strings.Contains(werr.Msg, "budget") {
+		t.Fatalf("error message %q does not mention the budget", werr.Msg)
+	}
+	if engine.ArenaReleases() == releases {
+		t.Fatal("rejected result did not release its arena")
+	}
+	if used := srv.GlobalUsed(); used != 0 {
+		t.Fatalf("global ledger holds %d bytes after a rejected result", used)
+	}
+
+	// The session survives the rejection: the small query still works.
+	rows, err := c.Query(small)
+	if err != nil {
+		t.Fatalf("small query after rejection: %v", err)
+	}
+	if _, err := renderAll(rows, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalBudgetQueue checks the server-wide ledger: a result that does
+// not fit queues until another session releases memory, and times out with a
+// typed ErrTimeout frame when nothing frees up in time.
+func TestGlobalBudgetQueue(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+
+	// Measure the footprint of the big query once, in-process.
+	probe, err := db.Query("SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := probe.MemUsage()
+	probe.Close()
+	if need <= 0 {
+		t.Fatalf("MemUsage = %d, want > 0", need)
+	}
+
+	// Global budget fits one big result but not two.
+	srv, addr := startServer(t, db, server.Config{
+		GlobalBudget:   need + need/2,
+		RequestTimeout: 5 * time.Second,
+	})
+
+	holder, err := client.Dial(addr, client.WithFetchBatch(1))
+	if err != nil {
+		t.Fatalf("dial holder: %v", err)
+	}
+	defer holder.Close()
+	held, err := holder.Query("SELECT * FROM R")
+	if err != nil {
+		t.Fatalf("holder query: %v", err)
+	}
+	if !held.Next() { // fetch one row; the cursor (and its memory) stays open
+		t.Fatal("held cursor has no rows")
+	}
+	if used := srv.GlobalUsed(); used != need {
+		t.Fatalf("global ledger holds %d bytes, want %d", used, need)
+	}
+
+	waiter, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial waiter: %v", err)
+	}
+	defer waiter.Close()
+	type res struct {
+		rows *client.Rows
+		err  error
+	}
+	done := make(chan res, 1)
+	go func() {
+		rows, err := waiter.Query("SELECT * FROM R")
+		done <- res{rows, err}
+	}()
+
+	// The waiter must be queued, not answered.
+	select {
+	case r := <-done:
+		t.Fatalf("second big query was not queued: rows=%v err=%v", r.rows, r.err)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Releasing the held cursor admits the queued request.
+	if err := held.Close(); err != nil {
+		t.Fatalf("closing held cursor: %v", err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("queued query failed after memory freed: %v", r.err)
+		}
+		r.rows.Close()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued query still blocked after the held cursor closed")
+	}
+}
+
+// TestGlobalBudgetTimeout is the starvation side: nothing frees memory, so
+// the queued request must come back as ErrTimeout within its deadline.
+func TestGlobalBudgetTimeout(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	probe, err := db.Query("SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := probe.MemUsage()
+	probe.Close()
+
+	_, addr := startServer(t, db, server.Config{
+		GlobalBudget:   need + need/2,
+		RequestTimeout: 400 * time.Millisecond,
+	})
+
+	holder, err := client.Dial(addr, client.WithFetchBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	held, err := holder.Query("SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer held.Close()
+	held.Next()
+
+	waiter, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	start := time.Now()
+	_, err = waiter.Query("SELECT * FROM R")
+	var werr *server.WireError
+	if !errors.As(err, &werr) || werr.Code != server.ErrTimeout {
+		t.Fatalf("starved query: got %v, want ErrTimeout wire error", err)
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond || elapsed > 3*time.Second {
+		t.Fatalf("timeout after %v, want roughly the 400ms request deadline", elapsed)
+	}
+
+	// An oversized single result (larger than the whole global budget) is
+	// rejected immediately as ErrMemBudget — queueing could never admit it.
+	_, addr2 := startServer(t, db, server.Config{GlobalBudget: need / 2, RequestTimeout: 5 * time.Second})
+	c2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	start = time.Now()
+	_, err = c2.Query("SELECT * FROM R")
+	if !errors.As(err, &werr) || werr.Code != server.ErrMemBudget {
+		t.Fatalf("over-global-budget query: got %v, want ErrMemBudget", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("over-global-budget rejection queued instead of failing fast")
+	}
+}
+
+// TestCloseMidFetchReleasesArena is the cursor-lifecycle regression test:
+// closing a cursor halfway through its FETCH stream must return the pooled
+// result arena and the budgeted bytes at once.
+func TestCloseMidFetchReleasesArena(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Config{})
+
+	c, err := client.Dial(addr, client.WithFetchBatch(5))
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	rows, err := c.Query("SELECT * FROM R WHERE CITIZEN = 0")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if rows.Len() <= 10 {
+		t.Fatalf("result has %d rows; need more than two 5-row batches", rows.Len())
+	}
+	for i := 0; i < 7; i++ { // partway into the second batch
+		if !rows.Next() {
+			t.Fatalf("rows ended at %d of %d", i, rows.Len())
+		}
+	}
+	if used := srv.GlobalUsed(); used == 0 {
+		t.Fatal("open cursor holds no budgeted bytes")
+	}
+	releases := engine.ArenaReleases()
+	if err := rows.Close(); err != nil {
+		t.Fatalf("close mid-fetch: %v", err)
+	}
+	if engine.ArenaReleases() == releases {
+		t.Fatal("closing the cursor mid-fetch did not release the pooled arena")
+	}
+	if used := srv.GlobalUsed(); used != 0 {
+		t.Fatalf("global ledger holds %d bytes after the cursor closed", used)
+	}
+
+	// Exhausting a cursor releases implicitly (the server auto-closes): the
+	// explicit CLOSE_CURSOR after that must answer ErrUnknownCursor, which
+	// the client never sends — Close is a no-op on a drained cursor.
+	rows, err = c.Query("SELECT * FROM R WHERE CITIZEN = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	releases = engine.ArenaReleases()
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if engine.ArenaReleases() == releases {
+		t.Fatal("exhausting the cursor did not release the arena")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close after exhaustion: %v", err)
+	}
+	if used := srv.GlobalUsed(); used != 0 {
+		t.Fatalf("global ledger holds %d bytes after exhaustion", used)
+	}
+}
+
+// TestGracefulDrain checks Shutdown: idle sessions get a shutting-down frame
+// and disconnect, the listener refuses new connections with the same typed
+// error, and Shutdown returns once every arena is back.
+func TestGracefulDrain(t *testing.T) {
+	db := sql.Open(testStore(t, 500))
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Config{})
+
+	idle, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer idle.Close()
+	if err := idle.Ping(); err != nil {
+		t.Fatalf("ping before drain: %v", err)
+	}
+
+	// Hold an open cursor through the drain: Shutdown must still release it.
+	cursorConn, err := client.Dial(addr, client.WithFetchBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cursorConn.Close()
+	held, err := cursorConn.Query("SELECT * FROM R WHERE CITIZEN = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	held.Next()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if used := srv.GlobalUsed(); used != 0 {
+		t.Fatalf("global ledger holds %d bytes after drain", used)
+	}
+
+	// The drained session answered ErrShutdown (or the connection is gone).
+	err = idle.Ping()
+	if err == nil {
+		t.Fatal("ping succeeded after drain")
+	}
+	var werr *server.WireError
+	if errors.As(err, &werr) && werr.Code != server.ErrShutdown {
+		t.Fatalf("post-drain ping: wire error %v, want ErrShutdown", werr)
+	}
+
+	// New connections are refused.
+	if c, err := client.Dial(addr); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}

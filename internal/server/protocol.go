@@ -1,0 +1,301 @@
+// Package server is the serving layer of the world-set engine: a TCP server
+// speaking a small length-prefixed wire protocol over the session API of
+// internal/sql (DB → Prepared → Rows), so the probabilistic database runs as
+// a network service. Each connection is one session — its own prepared
+// statements, its own cursors, its own pooled-arena results — while every
+// session reads the same store through O(1) snapshots; writes (MATERIALIZE,
+// DROP) serialize through the DB's writer path. The frame format is
+// specified in docs/wire-protocol.md; internal/server/client is the matching
+// Go client.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// Magic opens every connection (the OpHello payload) and ProtoVersion is the
+// frame-format version negotiated by the handshake. A server refuses
+// versions above its own; additions to the protocol bump the version.
+const (
+	Magic        = "MYBM"
+	ProtoVersion = 1
+)
+
+// MaxFrame bounds a frame's declared payload length. A length above it is a
+// protocol error answered with a clean error frame — never an allocation:
+// oversized lengths are exactly how a malicious or corrupted peer would
+// drive the server out of memory.
+const MaxFrame = 16 << 20
+
+// Opcodes. Requests run below 0x80, responses at or above it; OpErr is the
+// error response to any request.
+const (
+	OpHello       byte = 0x01 // magic + u16 version
+	OpPrepare     byte = 0x02 // str sql
+	OpExec        byte = 0x03 // u32 stmt, u16 nargs, values
+	OpFetch       byte = 0x04 // u32 cursor, u32 maxRows
+	OpCloseCursor byte = 0x05 // u32 cursor
+	OpCloseStmt   byte = 0x06 // u32 stmt
+	OpExplain     byte = 0x07 // str sql
+	OpMaterialize byte = 0x08 // str res, str sql, u16 nargs, values
+	OpDrop        byte = 0x09 // str rel
+	OpCatalog     byte = 0x0A // empty
+	OpPing        byte = 0x0B // empty
+
+	OpOK           byte = 0x80 // empty
+	OpHelloOK      byte = 0x81 // u16 version, str banner
+	OpPrepared     byte = 0x82 // u32 stmt, u16 nparams, u16 ncols, cols
+	OpExecOK       byte = 0x83 // u32 cursor, u8 mode, u32 nrows, stats, u16 ncols, cols
+	OpRows         byte = 0x84 // u8 done, u8 hasConf, u32 n, rows
+	OpExplained    byte = 0x87 // str text
+	OpMaterialized byte = 0x88 // stats
+	OpCatalogR     byte = 0x8A // u32 nrels, per rel: str name, u16 nattrs, attrs, stats, u32 placeholders
+	OpErr          byte = 0xFF // u16 code, str message
+)
+
+// Error codes carried by OpErr frames. They are part of the wire contract:
+// clients branch on the code (a memory-budget rejection is retryable, a
+// protocol error is not), so codes are stable across releases — new ones are
+// appended, never renumbered.
+const (
+	ErrProtocol      uint16 = 1 // malformed frame, bad handshake, unknown opcode
+	ErrSQL           uint16 = 2 // parse/plan/execution error (message has detail)
+	ErrUnknownStmt   uint16 = 3 // EXEC/CLOSE of a statement id this session never prepared
+	ErrUnknownCursor uint16 = 4 // FETCH/CLOSE of a cursor id not open on this session
+	ErrMemBudget     uint16 = 5 // result rejected: per-session or global memory budget
+	ErrTooManyConns  uint16 = 6 // connection limit reached; retry later
+	ErrShutdown      uint16 = 7 // server draining; reconnect elsewhere
+	ErrTimeout       uint16 = 8 // request deadline exceeded (includes budget-queue waits)
+	ErrInternal      uint16 = 9
+)
+
+// errName renders an error code for messages and logs.
+func errName(code uint16) string {
+	switch code {
+	case ErrProtocol:
+		return "protocol"
+	case ErrSQL:
+		return "sql"
+	case ErrUnknownStmt:
+		return "unknown-statement"
+	case ErrUnknownCursor:
+		return "unknown-cursor"
+	case ErrMemBudget:
+		return "memory-budget"
+	case ErrTooManyConns:
+		return "too-many-connections"
+	case ErrShutdown:
+		return "shutting-down"
+	case ErrTimeout:
+		return "timeout"
+	}
+	return "internal"
+}
+
+// WireError is a typed error frame as seen by the client side.
+type WireError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *WireError) Error() string {
+	return fmt.Sprintf("maybmsd: %s: %s", errName(e.Code), e.Msg)
+}
+
+// Value tags encode relation.Value kinds on the wire.
+const (
+	tagBottom      byte = 0
+	tagInt         byte = 1
+	tagString      byte = 2
+	tagPlaceholder byte = 3
+)
+
+// WriteFrame writes one frame: u32 big-endian length (opcode + payload),
+// the opcode byte, the payload.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. A declared length of zero (no opcode) or above
+// MaxFrame is returned as an error before anything is allocated or read.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("frame length 0 (missing opcode)")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("frame length %d exceeds the %d-byte limit", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("truncated frame: %w", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// wbuf builds a frame payload.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)     { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) i64(v int64)   { w.b = binary.BigEndian.AppendUint64(w.b, uint64(v)) }
+func (w *wbuf) f64(v float64) { w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v)) }
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *wbuf) value(v relation.Value) {
+	switch v.Kind() {
+	case relation.KindInt:
+		w.u8(tagInt)
+		w.i64(v.AsInt())
+	case relation.KindString:
+		w.u8(tagString)
+		w.str(v.AsString())
+	case relation.KindPlaceholder:
+		w.u8(tagPlaceholder)
+	default:
+		w.u8(tagBottom)
+	}
+}
+
+func (w *wbuf) stats(st engine.Stats) {
+	w.i64(int64(st.NumComp))
+	w.i64(int64(st.NumCompGT1))
+	w.i64(int64(st.CSize))
+	w.i64(int64(st.RSize))
+}
+
+// rbuf decodes a frame payload. Errors are sticky: the first underflow or
+// malformed field poisons the reader, and callers check err once at the end —
+// a truncated payload can never read out of bounds or be half-applied.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("payload truncated at byte %d", r.off)
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *rbuf) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rbuf) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *rbuf) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *rbuf) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *rbuf) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if r.err == nil && n > len(r.b)-r.off {
+		// Declared string length beyond the payload: poison instead of
+		// allocating on attacker-controlled sizes.
+		r.fail()
+		return ""
+	}
+	return string(r.take(n))
+}
+
+func (r *rbuf) value() relation.Value {
+	switch tag := r.u8(); tag {
+	case tagInt:
+		return relation.Int(r.i64())
+	case tagString:
+		return relation.String(r.str())
+	case tagPlaceholder:
+		return relation.Placeholder()
+	case tagBottom:
+		return relation.Bottom()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("unknown value tag %d at byte %d", tag, r.off-1)
+		}
+		return relation.Bottom()
+	}
+}
+
+func (r *rbuf) stats() engine.Stats {
+	return engine.Stats{
+		NumComp:    int(r.i64()),
+		NumCompGT1: int(r.i64()),
+		CSize:      int(r.i64()),
+		RSize:      int(r.i64()),
+	}
+}
+
+// done reports leftover bytes as an error: every request payload must be
+// consumed exactly, so garbage appended to a well-formed request is caught.
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%d trailing bytes after payload", len(r.b)-r.off)
+	}
+	return nil
+}

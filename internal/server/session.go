@@ -1,0 +1,433 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"maybms/internal/relation"
+	"maybms/internal/sql"
+)
+
+// session is one connection: its own prepared-statement table, its own open
+// cursors (each owning a pooled result arena via sql.Rows), its own memory
+// ledger. The protocol is synchronous per connection — one request, one
+// response — so all session state is touched by a single goroutine and needs
+// no locks; concurrency comes from many connections, which is exactly the
+// shape the snapshot/arena engine was built for.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	stmts      map[uint32]*sql.Prepared
+	cursors    map[uint32]*cursor
+	nextStmt   uint32
+	nextCursor uint32
+	mem        int64 // bytes charged by open cursors (session budget)
+}
+
+// cursor is one executing statement's result, streamed out in FETCH batches.
+type cursor struct {
+	rows    *sql.Rows
+	cols    []string
+	hasConf bool
+	fetched int
+	total   int
+	mem     int64
+	// dests is the Scan scratch, one *relation.Value per column.
+	vals  []relation.Value
+	dests []any
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:     srv,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 32<<10),
+		bw:      bufio.NewWriterSize(conn, 32<<10),
+		stmts:   make(map[uint32]*sql.Prepared),
+		cursors: make(map[uint32]*cursor),
+	}
+}
+
+// drain unparks a session blocked reading its next request so the serve loop
+// can answer ErrShutdown and exit; a request already executing finishes and
+// its response is written first (the deadline only poisons reads).
+func (s *session) drain() {
+	s.conn.SetReadDeadline(time.Now()) //nolint:errcheck // closing anyway on failure
+}
+
+// protoErr is a request failure: a typed error frame, optionally fatal to
+// the connection (framing no longer trustworthy).
+type protoErr struct {
+	code  uint16
+	msg   string
+	fatal bool
+}
+
+func perr(code uint16, format string, args ...any) *protoErr {
+	return &protoErr{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *protoErr) asFatal() *protoErr { e.fatal = true; return e }
+
+// serve runs the session to completion: handshake, then one frame in, one
+// frame out, until the peer disconnects, a fatal protocol error poisons the
+// stream, or the server drains.
+func (s *session) serve() {
+	defer s.cleanup()
+	if err := s.handshake(); err != nil {
+		s.reply(OpErr, errPayload(err.code, err.msg))
+		return
+	}
+	for {
+		op, payload, err := ReadFrame(s.br)
+		if err != nil {
+			if s.srv.draining.Load() {
+				// Drain unparked the read (or the peer was mid-frame): tell
+				// the client why the connection is going away.
+				s.reply(OpErr, errPayload(ErrShutdown, "server is draining"))
+				return
+			}
+			if !errors.Is(err, io.EOF) {
+				s.reply(OpErr, errPayload(ErrProtocol, err.Error()))
+			}
+			return
+		}
+		rop, rpayload, perr := s.dispatch(op, payload)
+		if perr != nil {
+			rop, rpayload = OpErr, errPayload(perr.code, perr.msg)
+		}
+		if !s.reply(rop, rpayload) {
+			return
+		}
+		if perr != nil && perr.fatal {
+			return
+		}
+	}
+}
+
+// reply writes one response frame under the request write deadline; false
+// means the connection is dead.
+func (s *session) reply(op byte, payload []byte) bool {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.RequestTimeout)) //nolint:errcheck
+	if err := WriteFrame(s.bw, op, payload); err != nil {
+		return false
+	}
+	return s.bw.Flush() == nil
+}
+
+// handshake expects the OpHello frame: magic + requested version.
+func (s *session) handshake() *protoErr {
+	s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.RequestTimeout)) //nolint:errcheck
+	op, payload, err := ReadFrame(s.br)
+	s.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if err != nil {
+		return perr(ErrProtocol, "reading handshake: %v", err)
+	}
+	if op != OpHello {
+		return perr(ErrProtocol, "expected HELLO, got opcode 0x%02x", op)
+	}
+	r := rbuf{b: payload}
+	magic := string(r.take(len(Magic)))
+	version := r.u16()
+	if err := r.done(); err != nil || magic != Magic {
+		return perr(ErrProtocol, "bad handshake (not a %s client?)", Magic)
+	}
+	if version > ProtoVersion {
+		return perr(ErrProtocol, "protocol version %d not supported (server speaks %d)", version, ProtoVersion)
+	}
+	var w wbuf
+	w.u16(ProtoVersion)
+	w.str("maybmsd")
+	if !s.reply(OpHelloOK, w.b) {
+		return perr(ErrProtocol, "handshake reply failed").asFatal()
+	}
+	return nil
+}
+
+// dispatch routes one request. Malformed payloads inside a well-delimited
+// frame answer a typed error and keep the connection: framing is intact, so
+// the next frame is readable. Only stream-level corruption is fatal.
+func (s *session) dispatch(op byte, payload []byte) (byte, []byte, *protoErr) {
+	if s.srv.draining.Load() {
+		return 0, nil, perr(ErrShutdown, "server is draining").asFatal()
+	}
+	r := rbuf{b: payload}
+	switch op {
+	case OpPing:
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "PING: %v", err)
+		}
+		return OpOK, nil, nil
+	case OpPrepare:
+		return s.prepare(&r)
+	case OpExec:
+		return s.exec(&r)
+	case OpFetch:
+		return s.fetch(&r)
+	case OpCloseCursor:
+		id := r.u32()
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "CLOSE_CURSOR: %v", err)
+		}
+		c, ok := s.cursors[id]
+		if !ok {
+			return 0, nil, perr(ErrUnknownCursor, "no open cursor %d", id)
+		}
+		s.closeCursor(id, c)
+		return OpOK, nil, nil
+	case OpCloseStmt:
+		id := r.u32()
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "CLOSE_STMT: %v", err)
+		}
+		st, ok := s.stmts[id]
+		if !ok {
+			return 0, nil, perr(ErrUnknownStmt, "no prepared statement %d", id)
+		}
+		st.Close() //nolint:errcheck // always nil; the DB keeps the plan cached
+		delete(s.stmts, id)
+		return OpOK, nil, nil
+	case OpExplain:
+		text := r.str()
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "EXPLAIN: %v", err)
+		}
+		out, err := s.srv.db.Explain(text)
+		if err != nil {
+			return 0, nil, perr(ErrSQL, "%v", err)
+		}
+		var w wbuf
+		w.str(out)
+		return OpExplained, w.b, nil
+	case OpMaterialize:
+		return s.materialize(&r)
+	case OpDrop:
+		rel := r.str()
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "DROP: %v", err)
+		}
+		if s.srv.db.Schema(rel) == nil {
+			return 0, nil, perr(ErrSQL, "unknown relation %q", rel)
+		}
+		s.srv.db.DropRelation(rel)
+		return OpOK, nil, nil
+	case OpCatalog:
+		if err := r.done(); err != nil {
+			return 0, nil, perr(ErrProtocol, "CATALOG: %v", err)
+		}
+		return s.catalog()
+	}
+	return 0, nil, perr(ErrProtocol, "unknown opcode 0x%02x", op)
+}
+
+func (s *session) prepare(r *rbuf) (byte, []byte, *protoErr) {
+	text := r.str()
+	if err := r.done(); err != nil {
+		return 0, nil, perr(ErrProtocol, "PREPARE: %v", err)
+	}
+	st, err := s.srv.db.Prepare(text)
+	if err != nil {
+		return 0, nil, perr(ErrSQL, "%v", err)
+	}
+	s.nextStmt++
+	id := s.nextStmt
+	s.stmts[id] = st
+	var w wbuf
+	w.u32(id)
+	w.u16(uint16(st.NumParams()))
+	cols := st.Columns()
+	w.u16(uint16(len(cols)))
+	for _, c := range cols {
+		w.str(c)
+	}
+	return OpPrepared, w.b, nil
+}
+
+func (s *session) exec(r *rbuf) (byte, []byte, *protoErr) {
+	id := r.u32()
+	nargs := int(r.u16())
+	args := make([]any, 0, nargs)
+	for i := 0; i < nargs && r.err == nil; i++ {
+		args = append(args, r.value())
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, perr(ErrProtocol, "EXEC: %v", err)
+	}
+	st, ok := s.stmts[id]
+	if !ok {
+		return 0, nil, perr(ErrUnknownStmt, "no prepared statement %d", id)
+	}
+	deadline := time.Now().Add(s.srv.cfg.RequestTimeout)
+	rows, err := st.Query(args...)
+	if err != nil {
+		return 0, nil, perr(ErrSQL, "%v", err)
+	}
+	// Admission: the result is measured, then charged against the session
+	// budget (reject — the session holds too much) and the global ledger
+	// (queue until other sessions free memory, bounded by the deadline).
+	mem := rows.MemUsage()
+	if s.mem+mem > s.srv.cfg.SessionBudget {
+		rows.Close() //nolint:errcheck // releasing the rejected result
+		return 0, nil, perr(ErrMemBudget,
+			"result needs %d bytes; session holds %d of its %d-byte budget (close cursors or narrow the query)",
+			mem, s.mem, s.srv.cfg.SessionBudget)
+	}
+	if err := s.srv.global.acquire(mem, deadline); err != nil {
+		rows.Close() //nolint:errcheck // releasing the rejected result
+		code := ErrMemBudget
+		if errors.Is(err, errQueueTimeout) {
+			code = ErrTimeout
+		}
+		return 0, nil, perr(code, "%v (global budget %d bytes, %d in use)",
+			err, s.srv.cfg.GlobalBudget, s.srv.global.Used())
+	}
+	s.mem += mem
+
+	res := rows.Result()
+	cols := rows.Columns()
+	c := &cursor{
+		rows: rows, cols: cols, hasConf: res.Mode != sql.ModePlain,
+		total: rows.Len(), mem: mem,
+		vals: make([]relation.Value, len(cols)),
+	}
+	c.dests = make([]any, len(cols))
+	for i := range c.vals {
+		c.dests[i] = &c.vals[i]
+	}
+	s.nextCursor++
+	cid := s.nextCursor
+	s.cursors[cid] = c
+
+	var w wbuf
+	w.u32(cid)
+	w.u8(byte(res.Mode))
+	w.u32(uint32(c.total))
+	w.stats(res.Stats)
+	w.u16(uint16(len(cols)))
+	for _, col := range cols {
+		w.str(col)
+	}
+	return OpExecOK, w.b, nil
+}
+
+// fetch streams the next batch of a cursor: at most min(asked, FetchBatch)
+// tuples per frame, so a huge result crosses the wire in bounded frames and
+// is never rendered into one response buffer. An exhausted cursor reports
+// done and is closed server-side (its arena returns to the pool at once);
+// the client treats done as an implicit CLOSE_CURSOR.
+func (s *session) fetch(r *rbuf) (byte, []byte, *protoErr) {
+	id := r.u32()
+	asked := int(r.u32())
+	if err := r.done(); err != nil {
+		return 0, nil, perr(ErrProtocol, "FETCH: %v", err)
+	}
+	c, ok := s.cursors[id]
+	if !ok {
+		return 0, nil, perr(ErrUnknownCursor, "no open cursor %d", id)
+	}
+	if asked <= 0 || asked > s.srv.cfg.FetchBatch {
+		asked = s.srv.cfg.FetchBatch
+	}
+	var w wbuf
+	w.u8(0) // done flag, patched below
+	if c.hasConf {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	countAt := len(w.b)
+	w.u32(0) // row count, patched below
+	n := 0
+	for n < asked && c.rows.Next() {
+		if err := c.rows.Scan(c.dests...); err != nil {
+			// Unreachable on the engine path (every template value scans into
+			// *relation.Value), but a future backend may fail mid-row.
+			return 0, nil, perr(ErrInternal, "scanning row %d: %v", c.fetched+n, err)
+		}
+		for _, v := range c.vals {
+			w.value(v)
+		}
+		if c.hasConf {
+			w.f64(c.rows.Conf())
+		}
+		n++
+	}
+	c.fetched += n
+	putU32(w.b[countAt:], uint32(n))
+	if c.fetched >= c.total {
+		w.b[0] = 1
+		s.closeCursor(id, c)
+	}
+	return OpRows, w.b, nil
+}
+
+func (s *session) materialize(r *rbuf) (byte, []byte, *protoErr) {
+	res := r.str()
+	text := r.str()
+	nargs := int(r.u16())
+	args := make([]any, 0, nargs)
+	for i := 0; i < nargs && r.err == nil; i++ {
+		args = append(args, r.value())
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, perr(ErrProtocol, "MATERIALIZE: %v", err)
+	}
+	result, err := s.srv.db.Materialize(res, text, args...)
+	if err != nil {
+		return 0, nil, perr(ErrSQL, "%v", err)
+	}
+	var w wbuf
+	w.stats(result.Stats)
+	return OpMaterialized, w.b, nil
+}
+
+func (s *session) catalog() (byte, []byte, *protoErr) {
+	db := s.srv.db
+	rels := db.Relations()
+	var w wbuf
+	w.u32(uint32(len(rels)))
+	for _, name := range rels {
+		w.str(name)
+		attrs := db.Schema(name)
+		w.u16(uint16(len(attrs)))
+		for _, a := range attrs {
+			w.str(a)
+		}
+		w.stats(db.Stats(name))
+		w.u32(uint32(db.Placeholders(name)))
+	}
+	return OpCatalogR, w.b, nil
+}
+
+// closeCursor releases one cursor: the Rows close returns the pooled arena,
+// and the bytes go back to both ledgers (waking globally queued requests).
+func (s *session) closeCursor(id uint32, c *cursor) {
+	c.rows.Close() //nolint:errcheck // Close is idempotent and infallible here
+	s.mem -= c.mem
+	s.srv.global.release(c.mem)
+	delete(s.cursors, id)
+}
+
+// cleanup releases everything the session holds; it runs however the
+// session ends, so a dropped connection can never leak arenas or budget.
+func (s *session) cleanup() {
+	for id, c := range s.cursors {
+		s.closeCursor(id, c)
+	}
+	s.conn.Close()
+}
+
+// putU32 patches a big-endian u32 in place (reserved payload slots).
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}

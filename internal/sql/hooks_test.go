@@ -1,0 +1,76 @@
+package sql
+
+import (
+	"testing"
+
+	"maybms/internal/engine"
+)
+
+// The serving layer (internal/server) budgets result memory and reports
+// plan-cache behavior through two small session hooks: Rows.MemUsage and
+// DB.CacheStats. These tests pin their contracts.
+
+func TestRowsMemUsage(t *testing.T) {
+	s := engine.NewStore()
+	if _, err := s.AddRelation("R", []string{"A", "B"}, [][]int32{{1, 2, 3}, {4, 5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(s)
+	defer db.Close()
+
+	rows, err := db.Query("SELECT * FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rows.MemUsage()
+	if m <= 0 {
+		t.Fatalf("open plain result reports %d bytes, want > 0", m)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rows.MemUsage(); got != 0 {
+		t.Fatalf("closed result reports %d bytes, want 0", got)
+	}
+
+	// Mode queries hold their answer list instead of an arena; it is
+	// accounted too.
+	rows, err = db.Query("SELECT POSSIBLE A FROM R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if m := rows.MemUsage(); m <= 0 {
+		t.Fatalf("open mode result reports %d bytes, want > 0", m)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	s := engine.NewStore()
+	if _, err := s.AddRelation("R", []string{"A"}, [][]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(s)
+	defer db.Close()
+
+	base := db.CacheStats()
+	for i := 0; i < 3; i++ {
+		rows, err := db.Query("SELECT A FROM R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+	}
+	st := db.CacheStats()
+	if st.Size != base.Size+1 {
+		t.Fatalf("cache size %d after one distinct statement, want %d", st.Size, base.Size+1)
+	}
+	if miss := st.Misses - base.Misses; miss != 1 {
+		t.Fatalf("%d misses for one distinct statement, want 1", miss)
+	}
+	// Each Query both prepares (hit after the first) and executes via
+	// templateFor (hit every time): 2 hits from Prepare, 3 from execution.
+	if hits := st.Hits - base.Hits; hits != 5 {
+		t.Fatalf("%d hits for three executions of a cached plan, want 5", hits)
+	}
+}

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"maybms/internal/engine"
 	"maybms/internal/relation"
@@ -35,6 +36,27 @@ type DB struct {
 	// store's copy-on-write commit keeps concurrent snapshot readers safe.
 	writer sync.Mutex
 	closed bool
+	// cacheHits/cacheMisses count plan-cache lookups across the DB's
+	// lifetime; the serving layer reports them per session (CacheStats).
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}
+
+// CacheStats reports the DB's plan cache: resident compiled plans plus the
+// lifetime hit/miss counts of Prepare (a miss is a compile — including
+// recompiles forced by catalog changes).
+type CacheStats struct {
+	Size   int
+	Hits   uint64
+	Misses uint64
+}
+
+// CacheStats returns the DB's plan-cache statistics.
+func (db *DB) CacheStats() CacheStats {
+	db.mu.Lock()
+	size := len(db.plans)
+	db.mu.Unlock()
+	return CacheStats{Size: size, Hits: db.cacheHits.Load(), Misses: db.cacheMisses.Load()}
 }
 
 // Open wraps an engine store in a session. The caller keeps ownership of
@@ -91,7 +113,10 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 		return nil, err
 	}
 	tpl, ok := db.plans[query]
-	if !ok || !tpl.CatalogValid(snap) {
+	if ok && tpl.CatalogValid(snap) {
+		db.cacheHits.Add(1)
+	} else {
+		db.cacheMisses.Add(1)
 		tpl, err = compileEngine(st, catalogView{snap})
 		if err != nil {
 			return nil, err
@@ -215,8 +240,10 @@ func (db *DB) templateFor(e *engineExec) (*engine.Snapshot, *EnginePlan, error) 
 		return nil, nil, err
 	}
 	if e.tpl.CatalogValid(snap) {
+		db.cacheHits.Add(1)
 		return snap, e.tpl, nil
 	}
+	db.cacheMisses.Add(1)
 	tpl, err := compileEngine(e.st, catalogView{snap})
 	if err != nil {
 		return nil, nil, fmt.Errorf("sql: re-preparing after catalog change: %w", err)
@@ -416,6 +443,29 @@ func (r *Rows) Conf() float64 {
 // Result exposes the underlying execution result: representation
 // statistics, the across-world tuple list, or the per-world world-set.
 func (r *Rows) Result() *Result { return r.result }
+
+// Mode reports what the rows mean: plain template tuples, CONF() answers,
+// POSSIBLE or CERTAIN tuples.
+func (r *Rows) Mode() Mode { return r.result.Mode }
+
+// MemUsage estimates the bytes this result retains until Close: the result
+// arena of a plain engine query (templates plus adopted components), or the
+// across-world answer list of a mode query. The serving layer charges this
+// against per-session and global memory budgets; 0 after Close.
+func (r *Rows) MemUsage() int64 {
+	if r.closed {
+		return 0
+	}
+	if r.arena != nil {
+		return r.arena.MemUsage()
+	}
+	var n int64
+	for _, t := range r.tuples {
+		n += int64(len(t))*48 + 24 // relation.Value is 4 words; slice header
+	}
+	n += int64(len(r.confs)) * 8
+	return n
+}
 
 // Stats returns the representation statistics of the result relation
 // (plain engine-path queries).
