@@ -11,9 +11,13 @@
 //	except_native    native_ns per size (lower is better)
 //	parallel         qps per (workers, mode) point (higher is better)
 //	server_qps       qps per connection count (higher is better)
+//	bulk_load        ingest rows/s per size (higher is better)
+//	snapshot_restore restore_ns per size (lower is better)
 //
 // Entries present in only one file are reported but never fail the run
-// (series appear and disappear as figures are added), and machine-noise is
+// (series appear and disappear as figures are added) — each skipped point
+// and the end-of-run summary name the series that had no baseline, so a
+// baseline file predating a series is visible at a glance. Machine-noise is
 // tolerated through the threshold (default: fail only on >25% slowdown).
 // A zero or negative measurement on either side of a gated point — a
 // malformed or truncated results file — is reported and skipped rather than
@@ -80,6 +84,16 @@ type results struct {
 		QPS     float64 `json:"qps"`
 		Cores   int     `json:"cores"`
 	} `json:"server_qps"`
+	BulkLoad []struct {
+		Rows       int     `json:"rows"`
+		Density    float64 `json:"density"`
+		RowsPerSec float64 `json:"rows_per_sec"`
+	} `json:"bulk_load"`
+	SnapshotRestore []struct {
+		Rows      int     `json:"rows"`
+		Density   float64 `json:"density"`
+		RestoreNS int64   `json:"restore_ns"`
+	} `json:"snapshot_restore"`
 }
 
 // cfg renders the workload parameters of a point; it is part of every
@@ -127,6 +141,17 @@ func main() {
 		}
 		fmt.Printf("%-18s %-28s %+7.1f%%  %s\n", series, key, (ratio-1)*100, verdict)
 	}
+	// noBaseline reports a point the baseline file lacks, naming the series
+	// both on the point's line and in the end-of-run summary.
+	missing := make(map[string]int)
+	var missingOrder []string
+	noBaseline := func(series, key string) {
+		if missing[series] == 0 {
+			missingOrder = append(missingOrder, series)
+		}
+		missing[series]++
+		fmt.Printf("%-18s %-28s (no baseline for this %s point)\n", series, key, series)
+	}
 	// checkNS gates one nanosecond-metric point against its baseline map. A
 	// missing baseline is reported and skipped (series and configurations
 	// appear and disappear across revisions); a zero or negative ns on
@@ -137,7 +162,7 @@ func main() {
 		base, ok := baseline[key]
 		switch {
 		case !ok:
-			fmt.Printf("%-18s %-28s (no baseline)\n", series, key)
+			noBaseline(series, key)
 		case base <= 0 || newNS <= 0:
 			fmt.Printf("%-18s %-28s (skipped: non-positive ns — baseline %d, candidate %d)\n", series, key, base, newNS)
 		default:
@@ -204,7 +229,7 @@ func main() {
 		base, ok := oldPar[key]
 		switch {
 		case !ok:
-			fmt.Printf("%-18s %-28s (no baseline)\n", "parallel", key)
+			noBaseline("parallel", key)
 		case base.qps <= 0 || p.QPS <= 0:
 			// A zero qps on either side is a broken measurement; inverting
 			// it would gate on a 0 or Inf ratio.
@@ -229,7 +254,7 @@ func main() {
 		base, ok := oldSrv[key]
 		switch {
 		case !ok:
-			fmt.Printf("%-18s %-28s (no baseline)\n", "server_qps", key)
+			noBaseline("server_qps", key)
 		case base.qps <= 0 || p.QPS <= 0:
 			fmt.Printf("%-18s %-28s (skipped: non-positive qps — baseline %.1f, candidate %.1f)\n", "server_qps", key, base.qps, p.QPS)
 		case cores(p.Cores) < *minCores || base.cores < *minCores:
@@ -239,6 +264,36 @@ func main() {
 		}
 	}
 
+	// The bulk_load series is a throughput (rows/s): like qps, slower means a
+	// lower rate, so the gating ratio is inverted.
+	oldBulk := make(map[string]float64)
+	for _, p := range oldR.BulkLoad {
+		oldBulk[cfg(p.Rows, p.Density)] = p.RowsPerSec
+	}
+	for _, p := range newR.BulkLoad {
+		key := cfg(p.Rows, p.Density)
+		base, ok := oldBulk[key]
+		switch {
+		case !ok:
+			noBaseline("bulk_load", key)
+		case base <= 0 || p.RowsPerSec <= 0:
+			fmt.Printf("%-18s %-28s (skipped: non-positive rows/s — baseline %.0f, candidate %.0f)\n", "bulk_load", key, base, p.RowsPerSec)
+		default:
+			check("bulk_load", key, base/p.RowsPerSec)
+		}
+	}
+	// The snapshot_restore series is a latency, gated like the ns series.
+	oldRestore := make(map[string]int64)
+	for _, p := range oldR.SnapshotRestore {
+		oldRestore[cfg(p.Rows, p.Density)] = p.RestoreNS
+	}
+	for _, p := range newR.SnapshotRestore {
+		checkNS("snapshot_restore", oldRestore, cfg(p.Rows, p.Density), p.RestoreNS)
+	}
+
+	for _, series := range missingOrder {
+		fmt.Printf("benchdiff: series %s: %d point(s) had no baseline in %s (skipped, not gated)\n", series, missing[series], *oldPath)
+	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d series regressed more than %.0f%%\n", regressed, *threshold*100)
 		os.Exit(1)

@@ -17,6 +17,9 @@
 // enumerated world-sets, and "server" pushes the same prepared Q1 through
 // maybmsd's wire protocol (internal/server) at 1–8 client connections —
 // end-to-end network throughput against the in-process parallel ceiling.
+// "load" measures bulk ingest (internal/storage's BulkLoader against the
+// row-at-a-time path it replaced) and "restore" measures loading a binary
+// snapshot against re-ingesting and re-chasing the same store.
 //
 // Usage:
 //
@@ -72,6 +75,32 @@ type benchJSON struct {
 	// series, but through maybmsd's wire protocol — end-to-end network
 	// throughput at increasing client connection counts.
 	ServerQPS []serverJSON `json:"server_qps,omitempty"`
+	// BulkLoad and SnapshotRestore are the PR 7 durability series: the bulk
+	// loader against the row-at-a-time ingest it replaced, and a snapshot
+	// restore against re-ingest + re-chase.
+	BulkLoad        []bulkLoadJSON `json:"bulk_load,omitempty"`
+	SnapshotRestore []restoreJSON  `json:"snapshot_restore,omitempty"`
+}
+
+type bulkLoadJSON struct {
+	Rows       int     `json:"rows"`
+	Density    float64 `json:"density"`
+	OrSets     int     `json:"or_sets"`
+	BulkNS     int64   `json:"bulk_ns"`
+	PerRowNS   int64   `json:"per_row_ns"`
+	Speedup    float64 `json:"speedup"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+type restoreJSON struct {
+	Rows       int     `json:"rows"`
+	Density    float64 `json:"density"`
+	OrSets     int     `json:"or_sets"`
+	Bytes      int     `json:"bytes"`
+	RestoreNS  int64   `json:"restore_ns"`
+	RestoreMS  float64 `json:"restore_ms"`
+	ReingestNS int64   `json:"reingest_ns"`
+	Speedup    float64 `json:"speedup"`
 }
 
 type serverJSON struct {
@@ -183,7 +212,7 @@ type queryJSON struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel, except or all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
 	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -207,11 +236,11 @@ func main() {
 
 	out := benchJSON{Seed: *seed, Sizes: sizes, Densities: densities}
 	wanted := make(map[string]bool)
-	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true, "server": true}
+	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true, "server": true, "load": true, "restore": true}
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !known[f] {
-			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except, server or all)\n", f)
+			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore or all)\n", f)
 			os.Exit(2)
 		}
 		wanted[f] = true
@@ -386,6 +415,32 @@ func main() {
 				Conns: p.Conns, Rows: p.Rows, Density: p.Density,
 				Queries: p.Queries, ElapsedNS: p.Elapsed.Nanoseconds(), QPS: p.QPS,
 				Cores: p.Cores,
+			})
+		}
+	}
+	if run("load") {
+		points, err := bench.BulkIngest(sizes, densities, *seed)
+		fail(err)
+		bench.PrintBulkLoad(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.BulkLoad = append(out.BulkLoad, bulkLoadJSON{
+				Rows: p.Rows, Density: p.Density, OrSets: p.OrSets,
+				BulkNS: p.Bulk.Nanoseconds(), PerRowNS: p.PerRow.Nanoseconds(),
+				Speedup: p.Speedup, RowsPerSec: p.RowsPerSec,
+			})
+		}
+	}
+	if run("restore") {
+		points, err := bench.SnapshotRestore(sizes, densities, *seed)
+		fail(err)
+		bench.PrintRestore(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.SnapshotRestore = append(out.SnapshotRestore, restoreJSON{
+				Rows: p.Rows, Density: p.Density, OrSets: p.OrSets, Bytes: p.Bytes,
+				RestoreNS: p.Restore.Nanoseconds(), RestoreMS: ms(p.Restore),
+				ReingestNS: p.Reingest.Nanoseconds(), Speedup: p.Speedup,
 			})
 		}
 	}

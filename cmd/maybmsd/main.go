@@ -9,33 +9,38 @@
 //
 //	maybmsd [-listen 127.0.0.1:5439] [-rows 100000] [-density 0.0001] [-seed 42]
 //	maybmsd -store data.csv [-rel R] [-skip-chase]
+//	maybmsd -data ./dbdir [...]
 //
 // Without -store the server generates the Section 9 census relation R (with
 // noise and the Figure 25 cleaning chase, as wsdcli does). With -store it
-// ingests a CSV file: the header row names the attributes, fields are
-// non-negative integers, and a field of the form "a|b|c" becomes an or-set
-// (a local world per alternative, uniform probabilities). When the CSV
-// header matches the census schema the cleaning chase runs after ingest
-// unless -skip-chase is given.
+// bulk-ingests a CSV file (storage.LoadCSV): the header row names the
+// attributes, fields are non-negative integers, and a field of the form
+// "a|b|c" becomes an or-set (a local world per alternative, uniform
+// probabilities). When the CSV header matches the census schema the
+// cleaning chase runs after ingest unless -skip-chase is given.
+//
+// With -data the store is durable (docs/snapshot-format.md): a directory
+// holding a snapshot is restored — newest snapshot plus write-ahead-log
+// replay, zero CSV re-ingest — and -store/-rows are ignored; a fresh
+// directory is initialized from the usual build path and every MATERIALIZE
+// or DROP commit is logged from then on.
 //
 // SIGTERM and SIGINT drain gracefully: the listener closes, in-flight
 // requests finish, idle clients get a shutting-down error frame, and the
 // process exits once every session has released its arenas (or after
-// -drain-timeout, forcibly).
+// -drain-timeout, forcibly). A durable store is checkpointed after a clean
+// drain, compacting the log into a fresh snapshot; a killed process simply
+// replays its log on the next start.
 package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +49,7 @@ import (
 	"maybms/internal/engine"
 	"maybms/internal/server"
 	"maybms/internal/sql"
+	"maybms/internal/storage"
 )
 
 func main() {
@@ -52,6 +58,7 @@ func main() {
 	density := flag.Float64("density", 0.0001, "placeholder density of the generated relation")
 	seed := flag.Int64("seed", 42, "random seed of the generated relation")
 	store := flag.String("store", "", "ingest this CSV file instead of generating census data")
+	data := flag.String("data", "", "durable store directory: restore (snapshot + WAL replay) or initialize, log commits, checkpoint on drain")
 	rel := flag.String("rel", "R", "relation name for the ingested CSV")
 	skipChase := flag.Bool("skip-chase", false, "skip the data-cleaning chase")
 	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
@@ -65,14 +72,12 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("maybmsd: ")
 
-	st, err := buildStore(*store, *rel, *rows, *density, *seed, *skipChase)
+	db, err := openDB(*data, *store, *rel, *rows, *density, *seed, *skipChase)
 	if err != nil {
 		log.SetFlags(0)
 		log.SetPrefix("") // the error already carries the maybmsd: prefix
 		log.Fatal(err)    // exit code 1 with the actionable message
 	}
-
-	db := sql.Open(st)
 	defer db.Close()
 	srv := server.New(db, server.Config{
 		MaxConns:       *maxConns,
@@ -100,6 +105,46 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("drained cleanly")
+	if db.DataDir() != "" {
+		if err := db.Checkpoint(); err != nil {
+			log.Printf("checkpoint failed: %v (the WAL still holds every commit; the next start replays it)", err)
+			os.Exit(1)
+		}
+		log.Printf("checkpointed %s (log compacted into a fresh snapshot)", db.DataDir())
+	}
+}
+
+// openDB builds the served session: a durable restore/initialize when -data
+// is given, an in-memory store otherwise.
+func openDB(dataDir, storePath, rel string, rows int, density float64, seed int64, skipChase bool) (*sql.DB, error) {
+	if dataDir == "" {
+		st, err := buildStore(storePath, rel, rows, density, seed, skipChase)
+		if err != nil {
+			return nil, err
+		}
+		return sql.Open(st), nil
+	}
+	db, replayed, err := sql.Restore(dataDir)
+	if err == nil {
+		log.Printf("restored %s: snapshot + %d WAL records, zero re-ingest", dataDir, replayed)
+		for _, name := range db.Relations() {
+			logStats(db, name)
+		}
+		return db, nil
+	}
+	if !errors.Is(err, storage.ErrNoSnapshot) {
+		return nil, fmt.Errorf("maybmsd: restoring -data %s: %w (move the damaged directory aside to re-initialize)", dataDir, err)
+	}
+	st, err := buildStore(storePath, rel, rows, density, seed, skipChase)
+	if err != nil {
+		return nil, err
+	}
+	db, err = sql.InitDir(dataDir, st)
+	if err != nil {
+		return nil, fmt.Errorf("maybmsd: initializing -data %s: %w", dataDir, err)
+	}
+	log.Printf("initialized %s: first snapshot written, commits logged from here on", dataDir)
+	return db, nil
 }
 
 // buildStore prepares the served store: census generation (the wsdcli
@@ -125,9 +170,10 @@ func buildStore(path, rel string, rows int, density float64, seed int64, skipCha
 	return p.Store, nil
 }
 
-// loadCSVStore ingests a CSV file into a fresh store: header row = attribute
-// names, integer fields = certain values, "a|b|c" fields = or-sets. The
-// census cleaning chase runs when the header matches the census schema.
+// loadCSVStore bulk-ingests a CSV file into a fresh store through
+// storage.LoadCSV: header row = attribute names, integer fields = certain
+// values, "a|b|c" fields = or-sets. The census cleaning chase runs when the
+// header matches the census schema.
 func loadCSVStore(path, rel string, skipChase bool) (*engine.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -135,23 +181,13 @@ func loadCSVStore(path, rel string, skipChase bool) (*engine.Store, error) {
 	}
 	defer f.Close()
 
-	attrs, cols, orsets, err := parseCSV(f, path)
+	st, info, err := storage.LoadCSV(f, path, rel)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("maybmsd: %v", err)
 	}
-	st := engine.NewStore()
-	if _, err := st.AddRelation(rel, attrs, cols); err != nil {
-		return nil, fmt.Errorf("maybmsd: installing %s from %s: %w", rel, path, err)
-	}
-	for _, o := range orsets {
-		if err := st.SetUncertain(rel, o.row, attrs[o.col], o.vals, nil); err != nil {
-			return nil, fmt.Errorf("maybmsd: %s row %d, column %s: or-set {%s}: %w",
-				path, o.row+2, attrs[o.col], joinInts(o.vals), err)
-		}
-	}
-	log.Printf("ingested %s: %d tuples × %d attributes, %d or-sets", path, len(cols[0]), len(attrs), len(orsets))
+	log.Printf("ingested %s: %d tuples × %d attributes, %d or-sets", path, info.Rows, info.Attrs, info.OrSets)
 
-	if !skipChase && isCensusSchema(attrs) {
+	if !skipChase && isCensusSchema(st.Rel(rel).Attrs) {
 		start := time.Now()
 		if err := st.ChaseEGDsOpt(rel, census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
 			return nil, fmt.Errorf("maybmsd: cleaning chase over %s failed: %w (the data contradicts the census dependencies; rerun with -skip-chase to serve it as-is)", rel, err)
@@ -161,79 +197,6 @@ func loadCSVStore(path, rel string, skipChase bool) (*engine.Store, error) {
 	}
 	logStats(st, rel)
 	return st, nil
-}
-
-// orset is one uncertain field of the ingested CSV.
-type orset struct {
-	row, col int
-	vals     []int32
-}
-
-// parseCSV reads the -store file into column-major int32 data plus the
-// or-set fields. Errors name the 1-based CSV line and the column.
-func parseCSV(f *os.File, path string) ([]string, [][]int32, []orset, error) {
-	r := csv.NewReader(f)
-	attrs, err := r.Read()
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("maybmsd: %s: reading header row: %v (is this a CSV file?)", path, err)
-	}
-	for i, a := range attrs {
-		if strings.TrimSpace(a) == "" {
-			return nil, nil, nil, fmt.Errorf("maybmsd: %s: header column %d is empty (every column needs an attribute name)", path, i+1)
-		}
-		attrs[i] = strings.TrimSpace(a)
-	}
-	cols := make([][]int32, len(attrs))
-	var orsets []orset
-	row := 0
-	for {
-		rec, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("maybmsd: %s line %d: %v", path, row+2, err)
-		}
-		for i, field := range rec {
-			vals, err := parseField(field)
-			if err != nil {
-				return nil, nil, nil, fmt.Errorf("maybmsd: %s line %d, column %s: %v", path, row+2, attrs[i], err)
-			}
-			cols[i] = append(cols[i], vals[0])
-			if len(vals) > 1 {
-				orsets = append(orsets, orset{row: row, col: i, vals: vals})
-			}
-		}
-		row++
-	}
-	if row == 0 {
-		return nil, nil, nil, fmt.Errorf("maybmsd: %s holds a header but no data rows", path)
-	}
-	return attrs, cols, orsets, nil
-}
-
-// parseField parses one CSV field: a non-negative integer, or "a|b|c" as an
-// or-set of at least two distinct alternatives.
-func parseField(field string) ([]int32, error) {
-	parts := strings.Split(field, "|")
-	vals := make([]int32, 0, len(parts))
-	seen := make(map[int32]bool, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		n, err := strconv.ParseInt(p, 10, 32)
-		if err != nil || n < 0 {
-			return nil, fmt.Errorf("field %q is not a non-negative integer (the engine stores int32 codes; encode or-sets as a|b|c)", field)
-		}
-		if seen[int32(n)] {
-			return nil, fmt.Errorf("or-set %q repeats value %d", field, n)
-		}
-		seen[int32(n)] = true
-		vals = append(vals, int32(n))
-	}
-	if len(vals) == 0 {
-		return nil, fmt.Errorf("field is empty (the engine has no NULL; give a value or an or-set)")
-	}
-	return vals, nil
 }
 
 // isCensusSchema reports whether attrs is exactly the census schema, in
@@ -251,15 +214,7 @@ func isCensusSchema(attrs []string) bool {
 	return true
 }
 
-func joinInts(vals []int32) string {
-	parts := make([]string, len(vals))
-	for i, v := range vals {
-		parts[i] = strconv.Itoa(int(v))
-	}
-	return strings.Join(parts, "|")
-}
-
-func logStats(st *engine.Store, rel string) {
+func logStats(st interface{ Stats(string) engine.Stats }, rel string) {
 	s := st.Stats(rel)
 	log.Printf("%s: #comp=%d #comp>1=%d |C|=%d |R|=%d", rel, s.NumComp, s.NumCompGT1, s.CSize, s.RSize)
 }

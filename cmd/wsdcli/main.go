@@ -25,6 +25,9 @@
 //	\prepare NAME SQL   compile a (parameterized) statement once
 //	\exec NAME [ARGS]   run a prepared statement with bound arguments
 //	\stmts              list prepared statements
+//	\materialize R SQL  run a plain query and install its result as R
+//	\save PATH          write the store as a binary snapshot (local sessions)
+//	\restore PATH       replace the store from a snapshot (local sessions)
 //	\q                  quit
 package main
 
@@ -45,6 +48,7 @@ import (
 	"maybms/internal/relation"
 	"maybms/internal/server/client"
 	"maybms/internal/sql"
+	"maybms/internal/storage"
 )
 
 func main() {
@@ -92,13 +96,13 @@ func main() {
 	}
 
 	if *exec != "" {
-		repl := newREPL(localBackend{sql.Open(p.Store)}, *limit)
+		repl := newREPL(&localBackend{db: sql.Open(p.Store)}, *limit)
 		repl.run(strings.NewReader(*exec), false)
 		return
 	}
 	if *sqlMode {
 		fmt.Println("SQL REPL over relation R — end statements with ';', \\q quits")
-		repl := newREPL(localBackend{sql.Open(p.Store)}, *limit)
+		repl := newREPL(&localBackend{db: sql.Open(p.Store)}, *limit)
 		repl.run(os.Stdin, true)
 		return
 	}
@@ -129,6 +133,12 @@ type backend interface {
 	Query(text string, args ...any) (resultRows, error)
 	Explain(text string) (string, error)
 	Catalog() ([]client.RelInfo, error)
+	// Materialize runs a plain query and installs its result relation.
+	Materialize(res, text string, args ...any) (engine.Stats, error)
+	// Save and Restore move the store through the binary snapshot format;
+	// remote sessions refuse them (the server owns the store).
+	Save(path string) error
+	Restore(path string) error
 }
 
 type stmt interface {
@@ -152,7 +162,9 @@ type resultRows interface {
 	Close() error
 }
 
-// localBackend runs the session in-process over an engine store.
+// localBackend runs the session in-process over an engine store. It is a
+// pointer type: \restore swaps the whole session for one opened over the
+// loaded store.
 type localBackend struct{ db *sql.DB }
 
 type localStmt struct{ *sql.Prepared }
@@ -165,7 +177,7 @@ func (s localStmt) Query(args ...any) (resultRows, error) {
 	return rows, nil
 }
 
-func (b localBackend) Prepare(text string) (stmt, error) {
+func (b *localBackend) Prepare(text string) (stmt, error) {
 	st, err := b.db.Prepare(text)
 	if err != nil {
 		return nil, err
@@ -173,7 +185,7 @@ func (b localBackend) Prepare(text string) (stmt, error) {
 	return localStmt{st}, nil
 }
 
-func (b localBackend) Query(text string, args ...any) (resultRows, error) {
+func (b *localBackend) Query(text string, args ...any) (resultRows, error) {
 	rows, err := b.db.Query(text, args...)
 	if err != nil {
 		return nil, err
@@ -181,9 +193,49 @@ func (b localBackend) Query(text string, args ...any) (resultRows, error) {
 	return rows, nil
 }
 
-func (b localBackend) Explain(text string) (string, error) { return b.db.Explain(text) }
+func (b *localBackend) Explain(text string) (string, error) { return b.db.Explain(text) }
 
-func (b localBackend) Catalog() ([]client.RelInfo, error) {
+func (b *localBackend) Materialize(res, text string, args ...any) (engine.Stats, error) {
+	out, err := b.db.Materialize(res, text, args...)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	return out.Stats, nil
+}
+
+// Save writes the session's store as a binary snapshot file.
+func (b *localBackend) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := storage.Save(b.db, f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// Restore replaces the session's store with one loaded from a snapshot
+// file. The old session is closed; its prepared statements die with it.
+func (b *localBackend) Restore(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := storage.Load(f)
+	if err != nil {
+		return err
+	}
+	old := b.db
+	b.db = sql.Open(st)
+	old.Close()
+	return nil
+}
+
+func (b *localBackend) Catalog() ([]client.RelInfo, error) {
 	out := make([]client.RelInfo, 0)
 	for _, name := range b.db.Relations() {
 		out = append(out, client.RelInfo{
@@ -226,6 +278,18 @@ func (b remoteBackend) Query(text string, args ...any) (resultRows, error) {
 }
 
 func (b remoteBackend) Explain(text string) (string, error) { return b.c.Explain(text) }
+
+func (b remoteBackend) Materialize(res, text string, args ...any) (engine.Stats, error) {
+	return b.c.Materialize(res, text, args...)
+}
+
+func (b remoteBackend) Save(string) error {
+	return fmt.Errorf("\\save is local-only; the server owns the store (run maybmsd -data for durability)")
+}
+
+func (b remoteBackend) Restore(string) error {
+	return fmt.Errorf("\\restore is local-only; the server owns the store (run maybmsd -data for durability)")
+}
 
 func (b remoteBackend) Catalog() ([]client.RelInfo, error) { return b.c.Catalog() }
 
@@ -399,8 +463,44 @@ func (r *repl) meta(cmd string) bool {
 		for _, name := range names {
 			fmt.Printf("  %s: %s\n", name, r.stmts[name].Text())
 		}
+	case "\\materialize":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
+		name, text, ok := strings.Cut(rest, " ")
+		if !ok || strings.TrimSpace(text) == "" {
+			fmt.Println("usage: \\materialize REL SELECT ...")
+			break
+		}
+		st, err := r.db.Materialize(name, strings.TrimSuffix(strings.TrimSpace(text), ";"))
+		if err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Printf("materialized %s\n", name)
+		printStats(st, name, "stored")
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save PATH")
+			break
+		}
+		if err := r.db.Save(fields[1]); err != nil {
+			fmt.Println(err)
+			break
+		}
+		fmt.Printf("saved snapshot to %s\n", fields[1])
+	case "\\restore":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\restore PATH")
+			break
+		}
+		if err := r.db.Restore(fields[1]); err != nil {
+			fmt.Println(err)
+			break
+		}
+		// The old session — and every statement prepared on it — is gone.
+		r.stmts = make(map[string]stmt)
+		fmt.Printf("restored store from %s\n", fields[1])
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\stats REL, \\prepare, \\exec, \\stmts, \\q)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\stats REL, \\prepare, \\exec, \\stmts, \\materialize, \\save, \\restore, \\q)\n", fields[0])
 	}
 	return true
 }

@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"maybms/internal/census"
+	"maybms/internal/engine"
+	"maybms/internal/storage"
+)
+
+// This file measures the durability layer (internal/storage): the bulk
+// loader against the row-at-a-time ingest it replaced, and a snapshot
+// restore against the re-ingest-and-re-chase it makes unnecessary. The two
+// series back the `load` and `restore` figures of census-experiment and the
+// bulk_load / snapshot_restore gates of benchdiff.
+
+// BulkLoadPoint is one measurement of CSV bulk ingest against the per-row
+// path.
+type BulkLoadPoint struct {
+	Rows    int
+	Density float64
+	OrSets  int
+	// Bulk is the wall time of storage.LoadCSV (batched appends, field
+	// interning, one validated install); PerRow is the wall time of the path
+	// it replaced: parse every field individually, AddRelation, then one
+	// SetUncertain per or-set. Both build byte-identical stores.
+	Bulk    time.Duration
+	PerRow  time.Duration
+	Speedup float64
+	// RowsPerSec is the bulk loader's ingest rate, the gated metric.
+	RowsPerSec float64
+}
+
+// genCSV renders a census relation with or-set noise as CSV bytes, the form
+// both load paths consume. The noise shape mirrors census.AddNoise.
+func genCSV(rows int, density float64, seed int64) ([]byte, int) {
+	cols := census.Generate(rows, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var buf bytes.Buffer
+	buf.WriteString(strings.Join(census.AttrNames(), ","))
+	buf.WriteByte('\n')
+	orsets := 0
+	for row := 0; row < rows; row++ {
+		for ai, a := range census.Attrs {
+			if ai > 0 {
+				buf.WriteByte(',')
+			}
+			truth := cols[ai][row]
+			if rng.Float64() >= density || a.Domain < 2 {
+				fmt.Fprintf(&buf, "%d", truth)
+				continue
+			}
+			max := a.Domain
+			if max > census.MaxOrSet {
+				max = census.MaxOrSet
+			}
+			k := 2
+			if max > 2 {
+				k += rng.Intn(int(max) - 1)
+			}
+			vals := []int32{truth}
+			seen := map[int32]bool{truth: true}
+			for len(vals) < k {
+				v := int32(rng.Intn(int(a.Domain)))
+				if !seen[v] {
+					seen[v] = true
+					vals = append(vals, v)
+				}
+			}
+			for i, v := range vals {
+				if i > 0 {
+					buf.WriteByte('|')
+				}
+				fmt.Fprintf(&buf, "%d", v)
+			}
+			orsets++
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), orsets
+}
+
+// perRowLoad is the CSV ingest path the bulk loader replaced: every field
+// parsed individually (no interning), columns grown row by row, AddRelation,
+// then one SetUncertain per or-set.
+func perRowLoad(data []byte) (*engine.Store, error) {
+	cr := csv.NewReader(bytes.NewReader(data))
+	attrs, err := cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]int32, len(attrs))
+	type orset struct {
+		row  int
+		col  int
+		vals []int32
+	}
+	var orsets []orset
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, field := range rec {
+			vals, err := storage.ParseField(field)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = append(cols[i], vals[0])
+			if len(vals) > 1 {
+				orsets = append(orsets, orset{row: row, col: i, vals: vals})
+			}
+		}
+		row++
+	}
+	s := engine.NewStore()
+	if _, err := s.AddRelation("R", attrs, cols); err != nil {
+		return nil, err
+	}
+	for _, o := range orsets {
+		if err := s.SetUncertain("R", o.row, attrs[o.col], o.vals, nil); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// BulkIngest measures both load paths over each (size, density) point.
+func BulkIngest(sizes []int, densities []float64, seed int64) ([]BulkLoadPoint, error) {
+	var out []BulkLoadPoint
+	for _, n := range sizes {
+		for _, d := range densities {
+			data, orsets := genCSV(n, d, seed)
+
+			// Settle the generator's garbage so neither timed section pays
+			// the other's GC debt.
+			runtime.GC()
+			start := time.Now()
+			bs, _, err := storage.LoadCSV(bytes.NewReader(data), "bench.csv", "R")
+			if err != nil {
+				return nil, err
+			}
+			bulk := time.Since(start)
+
+			runtime.GC()
+			start = time.Now()
+			ps, err := perRowLoad(data)
+			if err != nil {
+				return nil, err
+			}
+			perRow := time.Since(start)
+
+			// The two paths must agree, or the comparison is meaningless.
+			if bn, pn := bs.NumComponents(), ps.NumComponents(); bn != pn {
+				return nil, fmt.Errorf("bench: bulk load built %d components, per-row %d", bn, pn)
+			}
+			out = append(out, BulkLoadPoint{
+				Rows: n, Density: d, OrSets: orsets,
+				Bulk: bulk, PerRow: perRow,
+				Speedup:    float64(perRow) / float64(bulk),
+				RowsPerSec: float64(n) / bulk.Seconds(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintBulkLoad renders the bulk-ingest table.
+func PrintBulkLoad(w io.Writer, points []BulkLoadPoint) {
+	fmt.Fprintln(w, "bulk ingest — storage.LoadCSV vs row-at-a-time parse+AddRelation+SetUncertain")
+	fmt.Fprintf(w, "%12s %10s %10s %12s %12s %9s %14s\n",
+		"tuples", "density", "or-sets", "bulk", "per-row", "speedup", "rows/s")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12d %9.3f%% %10d %12s %12s %8.2fx %14.0f\n",
+			p.Rows, p.Density*100, p.OrSets,
+			p.Bulk.Round(time.Microsecond), p.PerRow.Round(time.Microsecond),
+			p.Speedup, p.RowsPerSec)
+	}
+}
+
+// RestorePoint is one measurement of a snapshot restore against the
+// re-ingest-and-re-chase a restart without snapshots would pay.
+type RestorePoint struct {
+	Rows    int
+	Density float64
+	OrSets  int
+	// Bytes is the snapshot size on disk.
+	Bytes int
+	// Restore is the wall time of storage.Load on the snapshot; Reingest is
+	// generating, loading and chasing the same store from scratch.
+	Restore  time.Duration
+	Reingest time.Duration
+	Speedup  float64
+}
+
+// SnapshotRestore snapshots a chased census store at each (size, density)
+// point and measures loading it back against rebuilding it.
+func SnapshotRestore(sizes []int, densities []float64, seed int64) ([]RestorePoint, error) {
+	deps := census.Dependencies()
+	var out []RestorePoint
+	for _, n := range sizes {
+		for _, d := range densities {
+			p, err := Prepare(n, d, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Store.ChaseEGDsOpt("R", deps, engine.ChaseOptions{AssumeClean: true}); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := storage.Save(p.Store, &buf); err != nil {
+				return nil, err
+			}
+
+			start := time.Now()
+			if _, err := storage.Load(bytes.NewReader(buf.Bytes())); err != nil {
+				return nil, err
+			}
+			restore := time.Since(start)
+
+			start = time.Now()
+			p2, err := Prepare(n, d, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := p2.Store.ChaseEGDsOpt("R", deps, engine.ChaseOptions{AssumeClean: true}); err != nil {
+				return nil, err
+			}
+			reingest := time.Since(start)
+
+			out = append(out, RestorePoint{
+				Rows: n, Density: d, OrSets: p.OrSets,
+				Bytes: buf.Len(), Restore: restore, Reingest: reingest,
+				Speedup: float64(reingest) / float64(restore),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintRestore renders the snapshot-restore table.
+func PrintRestore(w io.Writer, points []RestorePoint) {
+	fmt.Fprintln(w, "snapshot restore — storage.Load vs re-ingest + re-chase")
+	fmt.Fprintf(w, "%12s %10s %10s %12s %12s %12s %9s\n",
+		"tuples", "density", "or-sets", "bytes", "restore", "re-ingest", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12d %9.3f%% %10d %12d %12s %12s %8.2fx\n",
+			p.Rows, p.Density*100, p.OrSets, p.Bytes,
+			p.Restore.Round(time.Microsecond), p.Reingest.Round(time.Microsecond),
+			p.Speedup)
+	}
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the engine half of the persistence contract with
+// internal/storage: a flat, exported view of a store's state that a codec
+// can serialize without knowing the engine's invariants, and an importer
+// that rebuilds a live store from such a view, re-deriving every redundant
+// index (field→component map, per-component position maps, per-relation
+// uncertainty lists) and re-checking every invariant — a corrupt or
+// hand-crafted state errors out instead of producing a store that fails
+// later, deep inside an operator.
+
+// RelState is the flat form of one template relation: just the name, the
+// attribute names and the column-major template values (Placeholder marks
+// uncertain fields). Everything else about a relation is derived.
+type RelState struct {
+	Name  string
+	Attrs []string
+	Cols  [][]int32
+}
+
+// CompState is the flat form of one component: its id, field list and local
+// worlds. The field→column index is derived from the field order.
+type CompState struct {
+	ID     int32
+	Fields []FieldID
+	Rows   []CompRow
+}
+
+// StoreState is the flat, exported form of a store, the unit of
+// serialization. Rels is indexed by relation id — dropped relations leave
+// nil holes, which must be preserved because components reference relations
+// by id. Comps is sorted by component id, so serializations of the same
+// state are byte-identical.
+//
+// The slices of an exported state are shared with the live store; treat
+// them as read-only.
+type StoreState struct {
+	Rels       []*RelState
+	Comps      []*CompState
+	NextCID    int32
+	ScratchSeq int64
+}
+
+// ExportState flattens the snapshot into a StoreState. The returned state
+// shares the snapshot's column and row storage (read-only); it stays valid
+// as long as the snapshot does.
+func (sn *Snapshot) ExportState() *StoreState {
+	st := &StoreState{Rels: make([]*RelState, len(sn.rels))}
+	for i, r := range sn.rels {
+		if r == nil {
+			continue
+		}
+		st.Rels[i] = &RelState{Name: r.Name, Attrs: r.Attrs, Cols: r.Cols}
+	}
+	ids := make([]int32, 0, len(sn.comps))
+	for id := range sn.comps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st.Comps = make([]*CompState, 0, len(ids))
+	for _, id := range ids {
+		c := sn.comps[id]
+		st.Comps = append(st.Comps, &CompState{ID: c.ID, Fields: c.Fields, Rows: c.Rows})
+	}
+	// The component and scratch sequences live on the store, not the
+	// snapshot; both only ever grow, so reading the current value keeps the
+	// restored store's id space ahead of everything the snapshot contains.
+	sn.store.mu.Lock()
+	st.NextCID = sn.store.nextCID
+	st.ScratchSeq = sn.store.scratchSeq
+	sn.store.mu.Unlock()
+	return st
+}
+
+// ExportState flattens the store's current state (via a snapshot).
+func (s *Store) ExportState() *StoreState { return s.Snapshot().ExportState() }
+
+// ImportState rebuilds a live store from a flat state: relations and
+// components are installed, the derived indexes (field→component, position
+// maps, uncertainty lists) are reconstructed, and the full invariant set is
+// re-validated. The store takes ownership of the state's slices. Any
+// inconsistency — dangling field references, duplicate names or ids,
+// ragged columns, probabilities that do not sum to one — is an error, so a
+// corrupt serialization can never silently become a live store.
+func ImportState(st *StoreState) (*Store, error) {
+	s := NewStore()
+	if st.NextCID < 0 || st.ScratchSeq < 0 {
+		return nil, fmt.Errorf("engine: import: negative sequence counters")
+	}
+	s.nextCID = st.NextCID
+	s.scratchSeq = st.ScratchSeq
+	s.rels = make([]*Relation, len(st.Rels))
+	for i, rs := range st.Rels {
+		if rs == nil {
+			continue
+		}
+		if rs.Name == "" {
+			return nil, fmt.Errorf("engine: import: relation %d has an empty name", i)
+		}
+		if _, dup := s.relID[rs.Name]; dup {
+			return nil, fmt.Errorf("engine: import: duplicate relation name %q", rs.Name)
+		}
+		if len(rs.Cols) != len(rs.Attrs) {
+			return nil, fmt.Errorf("engine: import: relation %q has %d columns for %d attributes", rs.Name, len(rs.Cols), len(rs.Attrs))
+		}
+		seen := make(map[string]bool, len(rs.Attrs))
+		for _, a := range rs.Attrs {
+			if a == "" || seen[a] {
+				return nil, fmt.Errorf("engine: import: relation %q has an empty or duplicate attribute", rs.Name)
+			}
+			seen[a] = true
+		}
+		r := &Relation{
+			id:        int32(i),
+			Name:      rs.Name,
+			Attrs:     rs.Attrs,
+			Cols:      rs.Cols,
+			uncertain: make(map[int32][]uint16),
+		}
+		n := -1
+		for a, col := range rs.Cols {
+			if n < 0 {
+				n = len(col)
+			}
+			if len(col) != n {
+				return nil, fmt.Errorf("engine: import: relation %q column %s has %d rows, want %d", rs.Name, rs.Attrs[a], len(col), n)
+			}
+			for row, v := range col {
+				if v < Placeholder {
+					return nil, fmt.Errorf("engine: import: relation %q has invalid value %d", rs.Name, v)
+				}
+				if v == Placeholder {
+					r.uncertain[int32(row)] = append(r.uncertain[int32(row)], uint16(a))
+				}
+			}
+		}
+		s.relID[rs.Name] = r.id
+		s.rels[i] = r
+	}
+	for _, cs := range st.Comps {
+		if cs == nil {
+			return nil, fmt.Errorf("engine: import: nil component")
+		}
+		if cs.ID <= 0 || cs.ID > st.NextCID {
+			return nil, fmt.Errorf("engine: import: component id %d outside sequence bound %d", cs.ID, st.NextCID)
+		}
+		if _, dup := s.comps[cs.ID]; dup {
+			return nil, fmt.Errorf("engine: import: duplicate component id %d", cs.ID)
+		}
+		if len(cs.Fields) == 0 || len(cs.Fields) > MaxCompFields {
+			return nil, fmt.Errorf("engine: import: component %d has %d fields", cs.ID, len(cs.Fields))
+		}
+		if len(cs.Rows) == 0 {
+			return nil, fmt.Errorf("engine: import: component %d has no local worlds", cs.ID)
+		}
+		c := &Component{ID: cs.ID, Fields: cs.Fields, Rows: cs.Rows, pos: make(map[FieldID]int, len(cs.Fields))}
+		for i, f := range cs.Fields {
+			if _, dup := c.pos[f]; dup {
+				return nil, fmt.Errorf("engine: import: component %d lists field %v twice", cs.ID, f)
+			}
+			c.pos[f] = i
+			if _, dup := s.fieldComp[f]; dup {
+				return nil, fmt.Errorf("engine: import: field %v belongs to two components", f)
+			}
+			s.fieldComp[f] = cs.ID
+		}
+		s.comps[cs.ID] = c
+	}
+	// Validate re-checks the cross-structure invariants the loops above
+	// cannot see locally: every placeholder field backed by a component,
+	// every component field pointing at a placeholder cell of a live
+	// relation, row arities, probability mass. The tolerance is looser than
+	// the test-suite's 1e-9 because serialized probabilities are bit-exact
+	// copies of values that were themselves only renormalized to ~1.
+	if err := s.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("engine: import: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,166 @@
+package sql
+
+import (
+	"fmt"
+	"os"
+
+	"maybms/internal/engine"
+	"maybms/internal/storage"
+)
+
+// The durability hooks: a DB opened through Restore or InitDir is backed by
+// a storage.Dir — every catalog commit (Materialize, DropRelation,
+// RenameRelation, Chase) is appended to the directory's write-ahead log
+// before the commit returns, and Checkpoint compacts the log into a fresh
+// snapshot. A DB opened through plain Open has no directory and logs
+// nothing; the hooks are free for it.
+//
+// Replay goes through the same session methods that wrote the log: a
+// MATERIALIZE record re-prepares and re-runs its statement on the restored
+// store, which reproduces the original result because the engine's
+// operators are deterministic. The Dir is attached only after replay
+// finishes, so replayed commits are not logged again.
+
+// Restore opens the durable store in dir: the newest snapshot is loaded,
+// the write-ahead log is replayed over it through the session API, and the
+// returned DB logs every further commit to the directory. The second result
+// is the number of WAL records replayed. A directory with no snapshot
+// returns storage.ErrNoSnapshot (wrapped); build a store and call InitDir.
+func Restore(dir string) (*DB, int, error) {
+	d, err := storage.OpenDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := d.LoadLatest()
+	if err != nil {
+		d.Close()
+		return nil, 0, err
+	}
+	db := Open(st)
+	n, err := db.replayWAL(d)
+	if err != nil {
+		d.Close()
+		db.Close()
+		return nil, 0, err
+	}
+	db.dur = d
+	return db, n, nil
+}
+
+// InitDir makes st durable in dir: the store is written as the directory's
+// first snapshot and the returned DB logs every further commit there. Use
+// it when Restore reports storage.ErrNoSnapshot.
+func InitDir(dir string, st *engine.Store) (*DB, error) {
+	d, err := storage.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Checkpoint(st); err != nil {
+		d.Close()
+		return nil, err
+	}
+	db := Open(st)
+	db.dur = d
+	return db, nil
+}
+
+// Snapshot returns an O(1) copy-on-write snapshot of the session's store,
+// making a DB a storage.Snapshotable: storage.Save(db, w) serializes the
+// committed state without blocking readers or writers.
+func (db *DB) Snapshot() *engine.Snapshot { return db.store.Snapshot() }
+
+// DataDir returns the DB's durable directory path, or "" for an in-memory
+// session.
+func (db *DB) DataDir() string {
+	if db.dur == nil {
+		return ""
+	}
+	return db.dur.Path()
+}
+
+// Checkpoint writes the store's current state as a fresh snapshot and
+// truncates the write-ahead log (storage.Dir.Checkpoint). It serializes
+// with catalog writers, so the snapshot is a committed state.
+func (db *DB) Checkpoint() error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if db.dur == nil {
+		return fmt.Errorf("sql: Checkpoint on an in-memory DB (open with Restore or InitDir)")
+	}
+	if db.durErr != nil {
+		return fmt.Errorf("sql: store diverged from WAL (%v); refusing to checkpoint a log that is already short — fix the disk and restart", db.durErr)
+	}
+	return db.dur.Checkpoint(db.store)
+}
+
+// RenameRelation renames a relation in the store's catalog and logs the
+// commit.
+func (db *DB) RenameRelation(old, new string) error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if err := db.store.RenameRelation(old, new); err != nil {
+		return err
+	}
+	return db.logCommit(&storage.WALRecord{Type: storage.RecRename, Name: old, NewName: new})
+}
+
+// Chase runs the engine's chase over rel under the given dependencies and
+// logs the commit, so a restart replays the cleaning instead of losing it.
+func (db *DB) Chase(rel string, deps []engine.EGD, opts engine.ChaseOptions) error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if err := db.store.ChaseEGDsOpt(rel, deps, opts); err != nil {
+		return err
+	}
+	return db.logCommit(&storage.WALRecord{
+		Type:        storage.RecChase,
+		Rel:         rel,
+		Deps:        deps,
+		AssumeClean: opts.AssumeClean,
+		Refined:     opts.Refined,
+	})
+}
+
+// logCommit appends one record to the DB's log; callers hold db.writer. A
+// no-op without a durable directory.
+func (db *DB) logCommit(rec *storage.WALRecord) error {
+	if db.dur == nil {
+		return nil
+	}
+	return db.dur.WAL().Append(rec)
+}
+
+// replayWAL replays the directory's log through the session API. db.dur is
+// still nil here, so the replayed commits are not re-logged.
+func (db *DB) replayWAL(d *storage.Dir) (int, error) {
+	f, err := os.Open(d.WALPath())
+	if err != nil {
+		return 0, fmt.Errorf("sql: opening WAL for replay: %w", err)
+	}
+	defer f.Close()
+	return storage.ReplayWAL(f, db.applyWALRecord)
+}
+
+// applyWALRecord applies one replayed commit through the session methods.
+func (db *DB) applyWALRecord(rec *storage.WALRecord) error {
+	switch rec.Type {
+	case storage.RecMaterialize:
+		args := make([]any, len(rec.Args))
+		for i, v := range rec.Args {
+			args[i] = v
+		}
+		_, err := db.Materialize(rec.Res, rec.Query, args...)
+		return err
+	case storage.RecDrop:
+		db.DropRelation(rec.Name)
+		return nil
+	case storage.RecRename:
+		return db.RenameRelation(rec.Name, rec.NewName)
+	case storage.RecChase:
+		return db.Chase(rec.Rel, rec.Deps, engine.ChaseOptions{
+			AssumeClean: rec.AssumeClean,
+			Refined:     rec.Refined,
+		})
+	}
+	return fmt.Errorf("sql: unknown WAL record type %d", rec.Type)
+}

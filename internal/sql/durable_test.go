@@ -1,0 +1,215 @@
+package sql_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"maybms/internal/bench"
+	"maybms/internal/census"
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/sql"
+	"maybms/internal/storage"
+)
+
+func prepared(t *testing.T) *engine.Store {
+	t.Helper()
+	p, err := bench.Prepare(800, 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Store
+}
+
+// TestRestoreFreshDir: an empty directory reports ErrNoSnapshot, InitDir
+// initializes it, and a Restore finds the snapshot with nothing to replay.
+func TestRestoreFreshDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := sql.Restore(dir); !errors.Is(err, storage.ErrNoSnapshot) {
+		t.Fatalf("Restore on fresh dir: got %v, want ErrNoSnapshot", err)
+	}
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.DataDir() != dir {
+		t.Fatalf("DataDir = %q, want %q", db.DataDir(), dir)
+	}
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if replayed != 0 {
+		t.Fatalf("replayed %d records from a freshly initialized dir", replayed)
+	}
+	if got := db2.Stats("R").RSize; got != 800 {
+		t.Fatalf("restored relation holds %d rows, want 800", got)
+	}
+}
+
+// TestWALReplayAfterKill: commits made after the snapshot live only in the
+// log; closing without a checkpoint (a crash, as far as the directory is
+// concerned) and restoring must replay them.
+func TestWALReplayAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("HighSS", "SELECT AGE FROM R WHERE AGE > 10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("ByYear", "SELECT AGE FROM R WHERE YEARSCH = ?", 17); err != nil {
+		t.Fatal(err)
+	}
+	db.DropRelation("HighSS")
+	if err := db.RenameRelation("ByYear", "Kept"); err != nil {
+		t.Fatal(err)
+	}
+	wantStats := db.Stats("Kept")
+	// Close without Checkpoint: the snapshot predates every commit above.
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if replayed != 4 {
+		t.Fatalf("replayed %d WAL records, want 4", replayed)
+	}
+	if db2.Schema("HighSS") != nil {
+		t.Fatal("dropped relation came back after replay")
+	}
+	if got := db2.Stats("Kept"); got != wantStats {
+		t.Fatalf("replayed MATERIALIZE stats %+v, want %+v", got, wantStats)
+	}
+}
+
+// TestCheckpointCompacts: after a checkpoint the log is empty and a restore
+// replays nothing but still sees every commit.
+func TestCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Materialize("Q", "SELECT AGE FROM R WHERE AGE = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if replayed != 0 {
+		t.Fatalf("replayed %d records after checkpoint, want 0", replayed)
+	}
+	if db2.Schema("Q") == nil {
+		t.Fatal("checkpointed MATERIALIZE result missing after restore")
+	}
+}
+
+// TestChaseLogged: a chase on a durable DB is replayed on restore.
+func TestChaseLogged(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Chase("R", census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats("R")
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if replayed != 1 {
+		t.Fatalf("replayed %d records, want the 1 CHASE", replayed)
+	}
+	if got := db2.Stats("R"); got != want {
+		t.Fatalf("chase replay stats %+v, want %+v", got, want)
+	}
+}
+
+// TestInMemoryHooksAreFree: a plain Open-ed DB has no directory; Checkpoint
+// refuses, and commits work without logging.
+func TestInMemoryHooksAreFree(t *testing.T) {
+	db := sql.Open(prepared(t))
+	defer db.Close()
+	if db.DataDir() != "" {
+		t.Fatalf("in-memory DataDir = %q", db.DataDir())
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on an in-memory DB succeeded")
+	}
+	if _, err := db.Materialize("Q", "SELECT AGE FROM R WHERE AGE = 1"); err != nil {
+		t.Fatal(err)
+	}
+	db.DropRelation("Q")
+}
+
+// TestRestoreQueryEquivalence: the restored DB must answer queries exactly
+// like the one that wrote the directory.
+func TestRestoreQueryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT CONF() FROM R WHERE YEARSCH = 17"
+	want := confLines(t, db, q)
+	db.Close()
+
+	db2, _, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	got := confLines(t, db2, q)
+	if len(got) != len(want) {
+		t.Fatalf("%d result rows after restore, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %q after restore, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func confLines(t *testing.T, db *sql.DB, q string) []string {
+	t.Helper()
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	vals := make([]relation.Value, len(rows.Columns()))
+	ptrs := make([]any, len(vals))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	var out []string
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("%v conf=%.12g", vals, rows.Conf()))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"maybms/internal/engine"
 	"maybms/internal/relation"
+	"maybms/internal/storage"
 	"maybms/internal/worlds"
 )
 
@@ -40,6 +41,11 @@ type DB struct {
 	// lifetime; the serving layer reports them per session (CacheStats).
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+	// dur is the durable directory backing this DB, or nil for an in-memory
+	// session; durErr records a commit the log failed to capture (see
+	// durable.go). Both are guarded by writer.
+	dur    *storage.Dir
+	durErr error
 }
 
 // CacheStats reports the DB's plan cache: resident compiled plans plus the
@@ -65,14 +71,21 @@ func Open(store *engine.Store) *DB {
 	return &DB{store: store, plans: make(map[string]*EnginePlan)}
 }
 
-// Close detaches the session. Prepared statements stop working; the
-// underlying store is untouched.
+// Close detaches the session and closes the durable directory, if any. The
+// underlying store is untouched; prepared statements stop working.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.closed = true
 	db.plans = nil
-	return nil
+	db.mu.Unlock()
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if db.dur == nil {
+		return nil
+	}
+	err := db.dur.Close()
+	db.dur = nil
+	return err
 }
 
 // check reports a nil or closed DB; callers hold db.mu.
@@ -171,7 +184,17 @@ func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
 	if snap.Rel(res) != nil {
 		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
 	}
-	return runEngine(snap, tpl, vals, res)
+	out, err := runEngine(snap, tpl, vals, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.logCommit(&storage.WALRecord{Type: storage.RecMaterialize, Res: res, Query: query, Args: vals}); err != nil {
+		// The log could not capture the commit; undo it so the store never
+		// diverges from what a replay would rebuild.
+		db.store.DropRelation(res)
+		return nil, fmt.Errorf("sql: logging MATERIALIZE: %w", err)
+	}
+	return out, nil
 }
 
 // Explain renders the Section 5 SQL rewriting of the statement's engine
@@ -225,7 +248,16 @@ func (db *DB) Placeholders(rel string) int {
 func (db *DB) DropRelation(rel string) {
 	db.writer.Lock()
 	defer db.writer.Unlock()
+	existed := db.store.Snapshot().Rel(rel) != nil
 	db.store.DropRelation(rel)
+	if !existed {
+		return
+	}
+	if err := db.logCommit(&storage.WALRecord{Type: storage.RecDrop, Name: rel}); err != nil {
+		// The drop is already committed and cannot be undone; remember the
+		// divergence so Checkpoint refuses to compact a log that is short.
+		db.durErr = fmt.Errorf("logging DROP %s: %w", rel, err)
+	}
 }
 
 // templateFor takes a fresh snapshot and returns the statement's compiled

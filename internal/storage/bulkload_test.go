@@ -1,0 +1,131 @@
+package storage_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"maybms/internal/engine"
+	"maybms/internal/storage"
+)
+
+const bulkCSV = `A,B,C
+1,2,3
+4,5|6,7
+8,9,0|1|2
+1,2,3
+`
+
+// refStore builds the same store the row-at-a-time path used to build: one
+// AddRelation plus one SetUncertain per or-set, in row-major field order.
+func refStore(t *testing.T) *engine.Store {
+	t.Helper()
+	st := engine.NewStore()
+	cols := [][]int32{
+		{1, 4, 8, 1},
+		{2, 5, 9, 2},
+		{3, 7, 0, 3},
+	}
+	if _, err := st.AddRelation("R", []string{"A", "B", "C"}, cols); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetUncertain("R", 1, "B", []int32{5, 6}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetUncertain("R", 2, "C", []int32{0, 1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestLoadCSVMatchesRowAtATime: the bulk loader must build a store
+// byte-identical (under the canonical serialization) to the per-row path it
+// replaced.
+func TestLoadCSVMatchesRowAtATime(t *testing.T) {
+	st, info, err := storage.LoadCSV(strings.NewReader(bulkCSV), "test.csv", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 4 || info.Attrs != 3 || info.OrSets != 2 {
+		t.Fatalf("LoadInfo = %+v, want 4 rows, 3 attrs, 2 or-sets", info)
+	}
+	if err := st.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	got := saveBytes(t, st)
+	want := saveBytes(t, refStore(t))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("bulk-loaded store diverges from the row-at-a-time build (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestLoadCSVErrors pins the error messages the maybmsd CLI (and its CI
+// smoke greps) rely on.
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		want string
+	}{
+		{"empty header cell", "A,,C\n1,2,3\n", "header column 2 is empty"},
+		{"no data rows", "A,B\n", "holds a header but no data rows"},
+		{"bad field", "A,B\n1,x\n", `line 2, column B: field "x" is not a non-negative integer`},
+		{"negative field", "A,B\n-1,2\n", `line 2, column A: field "-1" is not a non-negative integer`},
+		{"repeated or-set value", "A,B\n1,2|2\n", `line 2, column B: or-set "2|2" repeats value 2`},
+		{"empty field", "A,B\n1,\n", `line 2, column B: field "" is not a non-negative integer`},
+		{"ragged row", "A,B\n1,2,3\n", "line 2:"},
+	}
+	for _, tc := range cases {
+		_, _, err := storage.LoadCSV(strings.NewReader(tc.csv), "data.csv", "R")
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+		if !strings.HasPrefix(err.Error(), "data.csv") {
+			t.Fatalf("%s: error %q does not lead with the file name", tc.name, err)
+		}
+	}
+}
+
+// TestLoadCSVInterning: repeated or-set fields must not share mutable
+// component state — each occurrence is its own component.
+func TestLoadCSVInterning(t *testing.T) {
+	csv := "A\n1|2\n1|2\n1|2\n"
+	st, info, err := storage.LoadCSV(strings.NewReader(csv), "t.csv", "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OrSets != 3 || st.NumComponents() != 3 {
+		t.Fatalf("3 repeated or-sets built %d components", st.NumComponents())
+	}
+	if err := st.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoaderRejects(t *testing.T) {
+	if _, err := storage.NewBulkLoader("", []string{"A"}); err == nil {
+		t.Fatal("empty relation name accepted")
+	}
+	if _, err := storage.NewBulkLoader("R", nil); err == nil {
+		t.Fatal("empty attribute list accepted")
+	}
+	b, err := storage.NewBulkLoader("R", []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([][]int32{{1}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := b.Append([][]int32{{1}, {}}); err == nil {
+		t.Fatal("empty alternative list accepted")
+	}
+	if err := b.Append([][]int32{{1}, {-3}}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with zero rows accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"maybms/internal/engine"
+)
+
+// Dir is the on-disk layout of one durable store: numbered snapshot files
+// plus one append-only WAL.
+//
+//	<dir>/snapshot-000001.mybs
+//	<dir>/snapshot-000002.mybs   (newest wins; older kept until checkpoint)
+//	<dir>/wal.log
+//
+// Opening loads the highest-numbered snapshot that parses and hands the WAL
+// to the caller for replay; Checkpoint writes the next-numbered snapshot
+// (temp file + fsync + rename, so a crash mid-write never damages the
+// current one), truncates the WAL, and removes the older snapshots.
+type Dir struct {
+	path string
+	// seq is the number of the newest snapshot on disk (0 if none).
+	seq uint64
+	// wal is the open log; nil until OpenWAL succeeds.
+	wal *WAL
+}
+
+const (
+	snapPrefix = "snapshot-"
+	snapSuffix = ".mybs"
+	walName    = "wal.log"
+)
+
+// OpenDir opens (creating if needed) a durable store directory and its WAL.
+// It does not load anything; call LoadLatest, then replay the WAL.
+func OpenDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating data directory: %w", err)
+	}
+	d := &Dir{path: path}
+	if _, err := d.snapshots(); err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(filepath.Join(path, walName))
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening WAL: %w", err)
+	}
+	d.wal = wal
+	return d, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// WAL returns the directory's open log.
+func (d *Dir) WAL() *WAL { return d.wal }
+
+// WALPath returns the path of the directory's log file.
+func (d *Dir) WALPath() string { return filepath.Join(d.path, walName) }
+
+// snapshots lists the snapshot sequence numbers present, ascending, and
+// records the highest in d.seq.
+func (d *Dir) snapshots() ([]uint64, error) {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading data directory: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		num := name[len(snapPrefix) : len(name)-len(snapSuffix)]
+		seq, err := strconv.ParseUint(num, 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	d.seq = 0
+	if len(seqs) > 0 {
+		d.seq = seqs[len(seqs)-1]
+	}
+	return seqs, nil
+}
+
+func (d *Dir) snapPath(seq uint64) string {
+	return filepath.Join(d.path, fmt.Sprintf("%s%06d%s", snapPrefix, seq, snapSuffix))
+}
+
+// LoadLatest loads the newest snapshot in the directory. ErrNoSnapshot
+// means the directory is fresh; a damaged newest snapshot is an error (the
+// operator must decide whether an older one is acceptable — silently
+// serving stale data is worse than refusing to start).
+func (d *Dir) LoadLatest() (*engine.Store, error) {
+	seqs, err := d.snapshots()
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	path := d.snapPath(d.seq)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("storage: loading %s: %w", filepath.Base(path), err)
+	}
+	return st, nil
+}
+
+// Checkpoint writes src's current state as the next snapshot (atomically:
+// temp file, fsync, rename), truncates the WAL, and removes the now
+// redundant older snapshots. The caller must hold whatever lock serializes
+// commits, so no WAL record can land between the snapshot and the
+// truncation.
+func (d *Dir) Checkpoint(src Snapshotable) error {
+	next := d.seq + 1
+	final := d.snapPath(next)
+	tmp, err := os.CreateTemp(d.path, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := Save(src, tmp); err != nil {
+		return fail(fmt.Errorf("storage: writing snapshot: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("storage: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("storage: closing snapshot temp file: %w", err))
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: installing snapshot: %w", err)
+	}
+	old := d.seq
+	d.seq = next
+	if err := d.wal.Truncate(); err != nil {
+		return fmt.Errorf("storage: truncating WAL after checkpoint: %w", err)
+	}
+	// The new snapshot is durable and the log is empty; the older snapshots
+	// are dead weight. Removal failures are ignored — they cost disk, not
+	// correctness.
+	for seq := old; seq > 0; seq-- {
+		p := d.snapPath(seq)
+		if _, err := os.Stat(p); err != nil {
+			break
+		}
+		os.Remove(p)
+	}
+	return nil
+}
+
+// Close closes the directory's WAL.
+func (d *Dir) Close() error {
+	if d.wal == nil {
+		return nil
+	}
+	err := d.wal.Close()
+	d.wal = nil
+	return err
+}

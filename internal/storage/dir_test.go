@@ -1,0 +1,123 @@
+package storage_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maybms/internal/storage"
+)
+
+func TestDirLifecycle(t *testing.T) {
+	path := t.TempDir()
+	d, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.LoadLatest(); !errors.Is(err, storage.ErrNoSnapshot) {
+		t.Fatalf("fresh directory: got %v, want ErrNoSnapshot", err)
+	}
+
+	s := mustImport(t, randomState(11))
+	if err := d.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := d.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := saveBytes(t, loaded), saveBytes(t, s); string(got) != string(want) {
+		t.Fatal("checkpointed store does not round-trip")
+	}
+
+	// A second checkpoint becomes the newest snapshot and removes the first.
+	s2 := mustImport(t, randomState(12))
+	if err := d.Checkpoint(s2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) == ".mybs" {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("%d snapshots on disk after second checkpoint, want 1", snaps)
+	}
+	loaded, err = d.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := saveBytes(t, loaded), saveBytes(t, s2); string(got) != string(want) {
+		t.Fatal("LoadLatest did not return the newest checkpoint")
+	}
+}
+
+// TestDirReopen: a new Dir over the same path sees the snapshots and the
+// log the previous one wrote.
+func TestDirReopen(t *testing.T) {
+	path := t.TempDir()
+	d, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustImport(t, randomState(21))
+	if err := d.Checkpoint(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WAL().Append(testRecords()[1]); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := d2.LoadLatest(); err != nil {
+		t.Fatalf("reopened directory lost its snapshot: %v", err)
+	}
+	f, err := os.Open(d2.WALPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := storage.ReplayWAL(f, func(*storage.WALRecord) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("reopened WAL replays %d records, err %v; want 1, nil", n, err)
+	}
+}
+
+// TestDirDamagedSnapshot: a corrupt newest snapshot must refuse to load
+// with a typed error instead of silently serving an older state.
+func TestDirDamagedSnapshot(t *testing.T) {
+	path := t.TempDir()
+	d, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Checkpoint(mustImport(t, randomState(31))); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(path, "snapshot-000001.mybs")
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.LoadLatest(); err == nil || !typedLoadErr(err) {
+		t.Fatalf("damaged snapshot: got %v, want a typed error", err)
+	}
+}

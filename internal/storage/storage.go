@@ -1,0 +1,178 @@
+// Package storage is the durability layer under the columnar engine: a
+// versioned, checksummed binary snapshot format for engine stores
+// (Save/Load, docs/snapshot-format.md), an append-only write-ahead log for
+// the session API's catalog commits (WAL, ReplayWAL), a directory layout
+// combining the two with checkpoint compaction (Dir), and a bulk CSV
+// loader that builds the store's columns directly (BulkLoader, LoadCSV).
+//
+// The snapshot layout is section-per-column: each template column and each
+// component is one independently checksummed section whose payload is the
+// raw little-endian memory of the column, so restore is a sequential bulk
+// read rather than a tuple-at-a-time rebuild. Every load path re-derives
+// the engine's redundant indexes and re-validates its invariants
+// (engine.ImportState); corrupt bytes surface as typed errors — ErrBadMagic,
+// ErrBadVersion, ErrChecksum, ErrTruncated, ErrCorrupt — never as a panic
+// or a silently wrong store.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Typed load errors. Every failure to read a snapshot or WAL wraps one of
+// these, so callers can distinguish "not a snapshot at all" (bad magic)
+// from "damaged in flight or on disk" (checksum, truncation) from
+// "well-formed bytes encoding an impossible store" (corrupt).
+var (
+	// ErrBadMagic marks a file that does not start with the snapshot or
+	// WAL magic — it is not ours.
+	ErrBadMagic = errors.New("storage: bad magic")
+	// ErrBadVersion marks a snapshot or WAL written by an unknown format
+	// version.
+	ErrBadVersion = errors.New("storage: unsupported format version")
+	// ErrChecksum marks a section or record whose CRC does not match its
+	// payload.
+	ErrChecksum = errors.New("storage: checksum mismatch")
+	// ErrTruncated marks a file that ends mid-structure.
+	ErrTruncated = errors.New("storage: truncated file")
+	// ErrCorrupt marks bytes that parse but encode an inconsistent store
+	// or log (impossible counts, dangling references, invariant failures).
+	ErrCorrupt = errors.New("storage: corrupt data")
+	// ErrNoSnapshot is returned by Dir.LoadLatest when the directory holds
+	// no snapshot yet.
+	ErrNoSnapshot = errors.New("storage: no snapshot in directory")
+)
+
+// truncated maps the io errors of a short read onto ErrTruncated.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
+}
+
+// readFull reads exactly n bytes, growing the buffer in bounded chunks so a
+// lying length field in a tiny corrupt file fails with ErrTruncated after
+// the real bytes run out instead of allocating the claimed size up front.
+func readFull(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min64(n, chunk))
+	for uint64(len(buf)) < n {
+		m := min64(n-uint64(len(buf)), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, truncated(err)
+		}
+	}
+	return buf, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dec is a bounds-checked cursor over one decoded payload. Every read
+// checks the remaining length first, so corrupt counts fail cleanly with
+// ErrCorrupt instead of slicing out of range.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) need(n uint64) ([]byte, error) {
+	if uint64(len(d.b)-d.off) < n {
+		return nil, fmt.Errorf("%w: payload needs %d more bytes, has %d", ErrCorrupt, n, len(d.b)-d.off)
+	}
+	out := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out, nil
+}
+
+func (d *dec) u8() (byte, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *dec) u16() (uint16, error) {
+	b, err := d.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return le16(b), nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return le32(b), nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return le64(b), nil
+}
+
+func (d *dec) i32() (int32, error) {
+	v, err := d.u32()
+	return int32(v), err
+}
+
+func (d *dec) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+// str reads a u32-length-prefixed string; the length is bounded by the
+// remaining payload.
+func (d *dec) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.need(uint64(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *dec) done() error {
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes in payload", ErrCorrupt, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// enc accumulates one payload.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+func (e *enc) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *enc) u64(v uint64) { e.u32(uint32(v)); e.u32(uint32(v >> 32)) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) reset()       { e.b = e.b[:0] }
+
+func le16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 { return uint64(le32(b)) | uint64(le32(b[4:]))<<32 }

@@ -1,0 +1,403 @@
+package storage
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// The write-ahead log records the session API's catalog commits between
+// checkpoints, logically: a MATERIALIZE is its statement text plus bound
+// arguments, a chase its dependency set. Replaying the log over the latest
+// snapshot re-executes the commits in order, which is deterministic because
+// the engine's operators are (docs/snapshot-format.md#wal).
+//
+//	walfile := "MYBW" u32 version record*
+//	record  := u32 payloadLen  u32 crc32(payload)  payload
+//	payload := u8 type  fields...
+//
+// Replay is strict: a bad CRC, a truncated record or an unknown type stops
+// the replay with a typed error rather than silently serving a store that
+// is missing commits. Appends are fsynced by default — the log is the
+// durability of every commit since the last checkpoint.
+
+const (
+	walMagic   = "MYBW"
+	walVersion = 1
+	// walHeaderLen is the byte length of the WAL file header.
+	walHeaderLen = 8
+	// maxWALRecord bounds one record (a statement text plus its arguments;
+	// far beyond any real commit).
+	maxWALRecord = 64 << 20
+)
+
+// WAL record types.
+const (
+	// RecMaterialize replays as DB.Materialize(Res, Query, Args...).
+	RecMaterialize = 1
+	// RecDrop replays as DB.DropRelation(Name).
+	RecDrop = 2
+	// RecRename replays as DB.RenameRelation(Name, NewName).
+	RecRename = 3
+	// RecChase replays as a chase of Deps over Rel.
+	RecChase = 4
+)
+
+// WALRecord is one logical commit. Type selects which fields are
+// meaningful.
+type WALRecord struct {
+	Type byte
+	// Res and Query with Args describe a MATERIALIZE commit.
+	Res   string
+	Query string
+	Args  []relation.Value
+	// Name names the relation of a DROP, or the old name of a RENAME.
+	Name string
+	// NewName is the new name of a RENAME.
+	NewName string
+	// Rel and Deps with the chase options describe a chase commit.
+	Rel         string
+	Deps        []engine.EGD
+	AssumeClean bool
+	Refined     bool
+}
+
+// WAL is an append-only log open for writing. Appends are serialized by the
+// caller (the session API's writer lock).
+type WAL struct {
+	f    *os.File
+	path string
+	// sync fsyncs after every append; disabled only by tests.
+	sync bool
+}
+
+// OpenWAL opens (creating if missing) the log at path for appending,
+// validating the header of an existing file.
+func OpenWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		var e enc
+		e.b = append(e.b, walMagic...)
+		e.u32(walVersion)
+		if _, err := f.Write(e.b); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		hdr := make([]byte, walHeaderLen)
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			f.Close()
+			return nil, truncated(err)
+		}
+		if string(hdr[:4]) != walMagic {
+			f.Close()
+			return nil, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, hdr[:4])
+		}
+		if v := le32(hdr[4:]); v != walVersion {
+			f.Close()
+			return nil, fmt.Errorf("%w: WAL version %d (supported: %d)", ErrBadVersion, v, walVersion)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, path: path, sync: true}, nil
+}
+
+// Append encodes and durably appends one record.
+func (w *WAL) Append(rec *WALRecord) error {
+	payload, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.u32(uint32(len(payload)))
+	e.u32(crc32.ChecksumIEEE(payload))
+	e.b = append(e.b, payload...)
+	if _, err := w.f.Write(e.b); err != nil {
+		return fmt.Errorf("storage: appending WAL record: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storage: syncing WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+// Truncate discards all records (after a checkpoint has made them
+// redundant), keeping the header.
+func (w *WAL) Truncate() error {
+	if err := w.f.Truncate(walHeaderLen); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// ReplayWAL reads a WAL stream, calling apply for each record in append
+// order, and returns the number of records applied. An empty stream (not
+// even a header) is a fresh log: zero records, no error. Any damage —
+// truncation, checksum mismatch, garbage — is a typed error; an apply
+// error stops the replay and is returned wrapped.
+func ReplayWAL(r io.Reader, apply func(*WALRecord) error) (int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, walHeaderLen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			return 0, nil
+		}
+		return 0, truncated(err)
+	}
+	if string(hdr[:4]) != walMagic {
+		return 0, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, hdr[:4])
+	}
+	if v := le32(hdr[4:]); v != walVersion {
+		return 0, fmt.Errorf("%w: WAL version %d (supported: %d)", ErrBadVersion, v, walVersion)
+	}
+	n := 0
+	for {
+		rh := make([]byte, 8)
+		if _, err := io.ReadFull(br, rh); err != nil {
+			if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+				return n, nil
+			}
+			return n, truncated(err)
+		}
+		plen := le32(rh)
+		want := le32(rh[4:])
+		if plen > maxWALRecord {
+			return n, fmt.Errorf("%w: WAL record %d claims %d bytes", ErrCorrupt, n, plen)
+		}
+		payload, err := readFull(br, uint64(plen))
+		if err != nil {
+			return n, err
+		}
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return n, fmt.Errorf("%w: WAL record %d crc %08x, want %08x", ErrChecksum, n, got, want)
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return n, err
+		}
+		if err := apply(rec); err != nil {
+			return n, fmt.Errorf("storage: replaying WAL record %d (%s): %w", n, recName(rec.Type), err)
+		}
+		n++
+	}
+}
+
+func recName(t byte) string {
+	switch t {
+	case RecMaterialize:
+		return "MATERIALIZE"
+	case RecDrop:
+		return "DROP"
+	case RecRename:
+		return "RENAME"
+	case RecChase:
+		return "CHASE"
+	}
+	return fmt.Sprintf("type %d", t)
+}
+
+func encodeWALRecord(rec *WALRecord) ([]byte, error) {
+	var e enc
+	e.u8(rec.Type)
+	switch rec.Type {
+	case RecMaterialize:
+		e.str(rec.Res)
+		e.str(rec.Query)
+		e.u16(uint16(len(rec.Args)))
+		for _, a := range rec.Args {
+			switch a.Kind() {
+			case relation.KindInt:
+				e.u8(0)
+				e.i64(a.AsInt())
+			case relation.KindString:
+				e.u8(1)
+				e.str(a.AsString())
+			default:
+				return nil, fmt.Errorf("storage: cannot log %s argument in WAL", a)
+			}
+		}
+	case RecDrop:
+		e.str(rec.Name)
+	case RecRename:
+		e.str(rec.Name)
+		e.str(rec.NewName)
+	case RecChase:
+		e.str(rec.Rel)
+		flags := byte(0)
+		if rec.AssumeClean {
+			flags |= 1
+		}
+		if rec.Refined {
+			flags |= 2
+		}
+		e.u8(flags)
+		e.u32(uint32(len(rec.Deps)))
+		atom := func(a engine.Atom) {
+			e.str(a.Attr)
+			e.u8(byte(a.Theta))
+			e.i32(a.C)
+		}
+		for _, d := range rec.Deps {
+			e.u32(uint32(len(d.Premise)))
+			for _, a := range d.Premise {
+				atom(a)
+			}
+			atom(d.Conclusion)
+		}
+	default:
+		return nil, fmt.Errorf("storage: unknown WAL record type %d", rec.Type)
+	}
+	return e.b, nil
+}
+
+func decodeWALRecord(payload []byte) (*WALRecord, error) {
+	d := &dec{b: payload}
+	t, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	rec := &WALRecord{Type: t}
+	switch t {
+	case RecMaterialize:
+		if rec.Res, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.Query, err = d.str(); err != nil {
+			return nil, err
+		}
+		nargs, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		if nargs > 0 {
+			rec.Args = make([]relation.Value, 0, nargs)
+		}
+		for i := 0; i < int(nargs); i++ {
+			kind, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case 0:
+				v, err := d.i64()
+				if err != nil {
+					return nil, err
+				}
+				rec.Args = append(rec.Args, relation.Int(v))
+			case 1:
+				s, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				rec.Args = append(rec.Args, relation.String(s))
+			default:
+				return nil, fmt.Errorf("%w: WAL argument kind %d", ErrCorrupt, kind)
+			}
+		}
+	case RecDrop:
+		if rec.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+	case RecRename:
+		if rec.Name, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.NewName, err = d.str(); err != nil {
+			return nil, err
+		}
+	case RecChase:
+		if rec.Rel, err = d.str(); err != nil {
+			return nil, err
+		}
+		flags, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		rec.AssumeClean = flags&1 != 0
+		rec.Refined = flags&2 != 0
+		ndeps, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(ndeps)*10 > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: CHASE record claims %d dependencies", ErrCorrupt, ndeps)
+		}
+		atom := func() (engine.Atom, error) {
+			var a engine.Atom
+			var err error
+			if a.Attr, err = d.str(); err != nil {
+				return a, err
+			}
+			op, err := d.u8()
+			if err != nil {
+				return a, err
+			}
+			a.Theta = relation.Op(op)
+			a.C, err = d.i32()
+			return a, err
+		}
+		rec.Deps = make([]engine.EGD, ndeps)
+		for i := range rec.Deps {
+			np, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if uint64(np)*9 > uint64(len(payload)) {
+				return nil, fmt.Errorf("%w: CHASE dependency claims %d premises", ErrCorrupt, np)
+			}
+			if np > 0 {
+				rec.Deps[i].Premise = make([]engine.Atom, np)
+			}
+			for j := range rec.Deps[i].Premise {
+				if rec.Deps[i].Premise[j], err = atom(); err != nil {
+					return nil, err
+				}
+			}
+			if rec.Deps[i].Conclusion, err = atom(); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown WAL record type %d", ErrCorrupt, t)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

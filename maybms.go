@@ -37,6 +37,7 @@ import (
 	"maybms/internal/orset"
 	"maybms/internal/relation"
 	"maybms/internal/sql"
+	"maybms/internal/storage"
 	"maybms/internal/tupleind"
 	"maybms/internal/uwsdt"
 	"maybms/internal/worlds"
@@ -340,6 +341,22 @@ type (
 var (
 	Open               = sql.Open
 	PrepareSQLPerWorld = sql.PrepareWorlds
+)
+
+// Durability (internal/storage, docs/snapshot-format.md): Restore opens a
+// durable data directory — newest snapshot loaded, write-ahead log replayed
+// — and returns a DB that logs every further catalog commit there;
+// InitDir makes an in-memory store durable by writing its first snapshot.
+// DB.Checkpoint compacts the log into a fresh snapshot. SaveSnapshot and
+// LoadSnapshot serialize a single store to and from a stream; LoadStoreCSV
+// bulk-ingests a CSV stream (fields "a|b|c" become or-sets) into a fresh
+// store. A DB opened through plain Open persists nothing.
+var (
+	Restore      = sql.Restore
+	InitDir      = sql.InitDir
+	SaveSnapshot = storage.Save
+	LoadSnapshot = storage.Load
+	LoadStoreCSV = storage.LoadCSV
 )
 
 // SQL execution modes.
