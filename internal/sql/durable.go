@@ -94,14 +94,24 @@ func (db *DB) Checkpoint() error {
 }
 
 // RenameRelation renames a relation in the store's catalog and logs the
-// commit.
+// commit. If the log cannot capture it, the rename is undone — like a
+// failed MATERIALIZE, the store never diverges from what a replay rebuilds.
 func (db *DB) RenameRelation(old, new string) error {
 	db.writer.Lock()
 	defer db.writer.Unlock()
 	if err := db.store.RenameRelation(old, new); err != nil {
 		return err
 	}
-	return db.logCommit(&storage.WALRecord{Type: storage.RecRename, Name: old, NewName: new})
+	if err := db.logCommit(&storage.WALRecord{Type: storage.RecRename, Name: old, NewName: new}); err != nil {
+		if rerr := db.store.RenameRelation(new, old); rerr != nil {
+			// Rename-back cannot really fail (the names just swapped), but
+			// if it does the commit stands unlogged: record the divergence
+			// so Checkpoint refuses to compact a log that is short.
+			db.durErr = fmt.Errorf("logging RENAME %s TO %s (rename-back also failed: %v): %w", old, new, rerr, err)
+		}
+		return fmt.Errorf("sql: logging RENAME: %w", err)
+	}
+	return nil
 }
 
 // Chase runs the engine's chase over rel under the given dependencies and
@@ -112,13 +122,19 @@ func (db *DB) Chase(rel string, deps []engine.EGD, opts engine.ChaseOptions) err
 	if err := db.store.ChaseEGDsOpt(rel, deps, opts); err != nil {
 		return err
 	}
-	return db.logCommit(&storage.WALRecord{
+	if err := db.logCommit(&storage.WALRecord{
 		Type:        storage.RecChase,
 		Rel:         rel,
 		Deps:        deps,
 		AssumeClean: opts.AssumeClean,
 		Refined:     opts.Refined,
-	})
+	}); err != nil {
+		// The chase is already committed and cannot be undone. Like a DROP
+		// whose logging fails, remember the divergence so Checkpoint (and
+		// whoever reads its error) sees that the log is missing a commit.
+		db.durErr = fmt.Errorf("logging CHASE %s: %w", rel, err)
+	}
+	return nil
 }
 
 // logCommit appends one record to the DB's log; callers hold db.writer. A

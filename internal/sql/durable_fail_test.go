@@ -1,0 +1,79 @@
+package sql
+
+import (
+	"testing"
+
+	"maybms/internal/engine"
+)
+
+// These tests are internal to the package so they can kill the log under a
+// live session (db.dur) and observe db.durErr. The contract under test:
+// when the WAL cannot capture a commit, either the store mutation is undone
+// (MATERIALIZE, RENAME — a replay rebuilds exactly the store the session
+// shows) or the divergence is recorded so Checkpoint refuses to compact a
+// log that is missing a commit (DROP, CHASE).
+
+func tinyDurableDB(t *testing.T) *DB {
+	t.Helper()
+	st := engine.NewStore()
+	if _, err := st.AddRelation("R", []string{"A"}, [][]int32{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := InitDir(t.TempDir(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// killLog closes the WAL underneath the session: every further append
+// fails, as it would on a dead disk.
+func killLog(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.dur.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameLogFailureRollsBack(t *testing.T) {
+	db := tinyDurableDB(t)
+	killLog(t, db)
+	if err := db.RenameRelation("R", "S"); err == nil {
+		t.Fatal("RenameRelation succeeded with a dead log")
+	}
+	if db.Schema("R") == nil || db.Schema("S") != nil {
+		t.Fatal("failed RENAME left the store renamed — a replay would rebuild a different catalog")
+	}
+	if db.durErr != nil {
+		t.Fatalf("clean rollback still recorded a divergence: %v", db.durErr)
+	}
+}
+
+func TestChaseLogFailureRecordsDivergence(t *testing.T) {
+	db := tinyDurableDB(t)
+	killLog(t, db)
+	if err := db.Chase("R", nil, engine.ChaseOptions{}); err != nil {
+		t.Fatalf("Chase itself failed: %v", err)
+	}
+	if db.durErr == nil {
+		t.Fatal("unlogged CHASE was not recorded as a divergence")
+	}
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint compacted a log that is missing a CHASE commit")
+	}
+}
+
+func TestMaterializeLogFailureUndoes(t *testing.T) {
+	db := tinyDurableDB(t)
+	killLog(t, db)
+	if _, err := db.Materialize("Q", "SELECT A FROM R"); err == nil {
+		t.Fatal("Materialize succeeded with a dead log")
+	}
+	if db.Schema("Q") != nil {
+		t.Fatal("failed MATERIALIZE left its result relation installed")
+	}
+	if db.durErr != nil {
+		t.Fatalf("undone MATERIALIZE still recorded a divergence: %v", db.durErr)
+	}
+}

@@ -12,32 +12,43 @@ import (
 )
 
 // Dir is the on-disk layout of one durable store: numbered snapshot files
-// plus one append-only WAL.
+// plus one append-only WAL per snapshot generation.
 //
 //	<dir>/snapshot-000001.mybs
 //	<dir>/snapshot-000002.mybs   (newest wins; older kept until checkpoint)
-//	<dir>/wal.log
+//	<dir>/wal-000002.log         (the log OF generation 2: commits made on
+//	                              top of snapshot 2; wal-000000.log before
+//	                              any snapshot exists)
 //
-// Opening loads the highest-numbered snapshot that parses and hands the WAL
-// to the caller for replay; Checkpoint writes the next-numbered snapshot
-// (temp file + fsync + rename, so a crash mid-write never damages the
-// current one), truncates the WAL, and removes the older snapshots.
+// Tying each log file to the snapshot generation it sits on top of is what
+// makes recovery idempotent: restore loads the highest-numbered snapshot
+// that parses and replays only that generation's log. Records of an older
+// generation are by construction contained in the newer snapshot (Checkpoint
+// writes the snapshot before rotating), so a crash anywhere inside
+// Checkpoint — even between installing the new snapshot and rotating the
+// log — never double-applies a commit: the old log simply stops being
+// consulted the moment the new snapshot is durable. A generation whose log
+// file is missing (crash in the rotation window) replays as empty, which is
+// exactly right.
 type Dir struct {
 	path string
-	// seq is the number of the newest snapshot on disk (0 if none).
+	// seq is the number of the newest snapshot on disk (0 if none); the
+	// current log generation.
 	seq uint64
-	// wal is the open log; nil until OpenWAL succeeds.
+	// wal is the open log of generation seq; nil until OpenWAL succeeds.
 	wal *WAL
 }
 
 const (
 	snapPrefix = "snapshot-"
 	snapSuffix = ".mybs"
-	walName    = "wal.log"
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
 )
 
-// OpenDir opens (creating if needed) a durable store directory and its WAL.
-// It does not load anything; call LoadLatest, then replay the WAL.
+// OpenDir opens (creating if needed) a durable store directory and the WAL
+// of its current snapshot generation. It does not load anything; call
+// LoadLatest, then replay the WAL.
 func OpenDir(path string) (*Dir, error) {
 	if err := os.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating data directory: %w", err)
@@ -46,11 +57,12 @@ func OpenDir(path string) (*Dir, error) {
 	if _, err := d.snapshots(); err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(filepath.Join(path, walName))
+	wal, err := OpenWAL(d.walPath(d.seq))
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening WAL: %w", err)
 	}
 	d.wal = wal
+	d.removeStaleWALs()
 	return d, nil
 }
 
@@ -60,8 +72,34 @@ func (d *Dir) Path() string { return d.path }
 // WAL returns the directory's open log.
 func (d *Dir) WAL() *WAL { return d.wal }
 
-// WALPath returns the path of the directory's log file.
-func (d *Dir) WALPath() string { return filepath.Join(d.path, walName) }
+// WALPath returns the path of the current generation's log file.
+func (d *Dir) WALPath() string { return d.walPath(d.seq) }
+
+func (d *Dir) walPath(seq uint64) string {
+	return filepath.Join(d.path, fmt.Sprintf("%s%06d%s", walPrefix, seq, walSuffix))
+}
+
+// removeStaleWALs deletes log files of generations older than the current
+// snapshot — leftovers of a checkpoint that crashed before its cleanup.
+// Every record in them is contained in the current snapshot, so removal is
+// cosmetic and best-effort.
+func (d *Dir) removeStaleWALs() {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len(walPrefix):len(name)-len(walSuffix)], 10, 64)
+		if err != nil || seq >= d.seq {
+			continue
+		}
+		os.Remove(filepath.Join(d.path, name))
+	}
+}
 
 // snapshots lists the snapshot sequence numbers present, ascending, and
 // records the highest in d.seq.
@@ -120,11 +158,24 @@ func (d *Dir) LoadLatest() (*engine.Store, error) {
 	return st, nil
 }
 
-// Checkpoint writes src's current state as the next snapshot (atomically:
-// temp file, fsync, rename), truncates the WAL, and removes the now
-// redundant older snapshots. The caller must hold whatever lock serializes
-// commits, so no WAL record can land between the snapshot and the
-// truncation.
+// Checkpoint writes src's current state as the next snapshot and rotates
+// the log to that snapshot's generation. The crash-safe order is:
+//
+//  1. temp file + fsync + rename + directory fsync — the new snapshot is
+//     durably installed (or, before the directory fsync completes, durably
+//     NOT installed: the old snapshot+log pair stays authoritative);
+//  2. create the new generation's empty log (fsynced by OpenWAL);
+//  3. remove the old generation's log and the older snapshots.
+//
+// A crash at any point recovers exactly. Before step 1 completes, restore
+// loads the old snapshot and replays the old log. After it, restore loads
+// the new snapshot and replays the new generation's log — empty, or
+// recreated empty if the crash hit before step 2 — so no old record is
+// ever applied twice and no commit is lost: every record of the old log is
+// contained in the new snapshot, written under the same lock that
+// serializes commits (which the caller must hold, so no record lands
+// mid-rotation). The directory fsync between steps 1 and 3 is what keeps a
+// power loss from persisting the old log's removal without the rename.
 func (d *Dir) Checkpoint(src Snapshotable) error {
 	next := d.seq + 1
 	final := d.snapPath(next)
@@ -151,14 +202,35 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: installing snapshot: %w", err)
 	}
+	if err := syncDir(d.path); err != nil {
+		// The rename may not be durable; withdraw the new snapshot so the
+		// old generation stays authoritative either way.
+		os.Remove(final)
+		return fmt.Errorf("storage: syncing data directory after snapshot install: %w", err)
+	}
+	nw, err := OpenWAL(d.walPath(next))
+	if err != nil {
+		// The new snapshot is already durable. Withdraw it to back out of
+		// the checkpoint; if even that fails, a restore could load it and
+		// ignore the old log, so the old log must refuse records past the
+		// state the new snapshot captured.
+		rerr := os.Remove(final)
+		if rerr == nil {
+			rerr = syncDir(d.path)
+		}
+		if rerr != nil {
+			d.wal.poison(fmt.Errorf("snapshot %d installed but its WAL could not be created: %v", next, err))
+		}
+		return fmt.Errorf("storage: creating WAL for snapshot %d: %w", next, err)
+	}
 	old := d.seq
 	d.seq = next
-	if err := d.wal.Truncate(); err != nil {
-		return fmt.Errorf("storage: truncating WAL after checkpoint: %w", err)
-	}
-	// The new snapshot is durable and the log is empty; the older snapshots
-	// are dead weight. Removal failures are ignored — they cost disk, not
-	// correctness.
+	d.wal.Close()
+	d.wal = nw
+	// The old generation's log and the older snapshots are dead weight now;
+	// removal failures cost disk, not correctness (OpenDir also sweeps
+	// stale logs).
+	os.Remove(d.walPath(old))
 	for seq := old; seq > 0; seq-- {
 		p := d.snapPath(seq)
 		if _, err := os.Stat(p); err != nil {
@@ -166,7 +238,25 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 		}
 		os.Remove(p)
 	}
+	syncDir(d.path)
 	return nil
+}
+
+// syncDir fsyncs a directory, making its entry operations (rename, create,
+// remove) durable. Checkpoint needs the barrier between installing a
+// snapshot and discarding the log records it covers: without it a power
+// loss could persist the log removal but not the rename, silently losing
+// every commit since the previous checkpoint.
+func syncDir(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close closes the directory's WAL.

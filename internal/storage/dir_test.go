@@ -42,14 +42,20 @@ func TestDirLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps := 0
+	snaps, wals := 0, 0
 	for _, ent := range entries {
-		if filepath.Ext(ent.Name()) == ".mybs" {
+		switch filepath.Ext(ent.Name()) {
+		case ".mybs":
 			snaps++
+		case ".log":
+			wals++
 		}
 	}
 	if snaps != 1 {
 		t.Fatalf("%d snapshots on disk after second checkpoint, want 1", snaps)
+	}
+	if wals != 1 {
+		t.Fatalf("%d WAL files on disk after second checkpoint, want just the current generation's", wals)
 	}
 	loaded, err = d.LoadLatest()
 	if err != nil {
@@ -93,6 +99,62 @@ func TestDirReopen(t *testing.T) {
 	n, err := storage.ReplayWAL(f, func(*storage.WALRecord) error { return nil })
 	if err != nil || n != 1 {
 		t.Fatalf("reopened WAL replays %d records, err %v; want 1, nil", n, err)
+	}
+}
+
+// TestCheckpointCrashBeforeRotation: the kill -9 window inside Checkpoint
+// between installing the new snapshot and rotating the log. Simulated by
+// installing the next snapshot by hand while the old generation's log still
+// holds every record — exactly what such a crash leaves on disk. Reopening
+// must serve the new snapshot and replay NOTHING: those records are already
+// contained in it, and double-applying them (a MATERIALIZE failing with
+// "already exists", a chase running twice) is the failure mode the
+// generation-keyed log layout exists to prevent.
+func TestCheckpointCrashBeforeRotation(t *testing.T) {
+	path := t.TempDir()
+	d, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(mustImport(t, randomState(41))); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range testRecords() {
+		if err := d.WAL().Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustImport(t, randomState(42))
+	f, err := os.Create(filepath.Join(path, "snapshot-000002.mybs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.Save(s2, f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d.Close() // the process dies here, wal-000001.log still full
+
+	d2, err := storage.OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	loaded, err := d2.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := saveBytes(t, loaded), saveBytes(t, s2); string(got) != string(want) {
+		t.Fatal("recovery did not serve the installed snapshot")
+	}
+	wf, err := os.Open(d2.WALPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wf.Close()
+	n, err := storage.ReplayWAL(wf, func(*storage.WALRecord) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("replayed %d records (err %v) over a snapshot that contains them; want 0, nil", n, err)
 	}
 }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -26,6 +27,17 @@ import (
 // the replay with a typed error rather than silently serving a store that
 // is missing commits. Appends are fsynced by default — the log is the
 // durability of every commit since the last checkpoint.
+//
+// The one place that strictness does not apply is the tail at open time: a
+// record that was being appended when the process died (kill -9, power
+// loss, disk full) is expected crash debris, not corruption. It was never
+// acknowledged — Append returns only after the full record is written and
+// synced — so OpenWAL discards it: the file is truncated back to the end of
+// the last complete, checksum-valid record. Append enforces the matching
+// invariant on the write side by truncating a failed write back to the
+// pre-write offset, so a later successful append never lands after garbage;
+// if even that cleanup fails, the WAL poisons itself and refuses further
+// appends rather than write past debris.
 
 const (
 	walMagic   = "MYBW"
@@ -75,56 +87,139 @@ type WAL struct {
 	path string
 	// sync fsyncs after every append; disabled only by tests.
 	sync bool
+	// off is the end offset of the last complete, acknowledged record.
+	// Append extends it on success and truncates a failed write back to it.
+	off int64
+	// broken, once set, fails every further Append: the file could not be
+	// restored to a clean tail, and writing after debris would make the
+	// whole suffix unreplayable.
+	broken error
 }
 
-// OpenWAL opens (creating if missing) the log at path for appending,
-// validating the header of an existing file.
+// walHeader returns the canonical 8-byte file header.
+func walHeader() []byte {
+	var e enc
+	e.b = append(e.b, walMagic...)
+	e.u32(walVersion)
+	return e.b
+}
+
+// OpenWAL opens (creating if missing) the log at path for appending. An
+// existing file is recovered, not just validated: a torn record at the tail
+// — debris of an append cut short by a crash, never acknowledged to any
+// caller — is discarded by truncating back to the last complete,
+// checksum-valid record, so a killed process replays cleanly on the next
+// start. A file that is not a WAL at all (wrong magic, unknown version)
+// stays a typed error.
 func OpenWAL(path string) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	info, err := f.Stat()
+	w, err := recoverWAL(f)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if info.Size() == 0 {
-		var e enc
-		e.b = append(e.b, walMagic...)
-		e.u32(walVersion)
-		if _, err := f.Write(e.b); err != nil {
-			f.Close()
+	w.path = path
+	return w, nil
+}
+
+// recoverWAL validates or (re)writes f's header and trims torn debris from
+// the tail, leaving f positioned for appending.
+func recoverWAL(f *os.File) (*WAL, error) {
+	hdr := walHeader()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size < walHeaderLen {
+		// Empty file, or a partial header: the only write that can be torn
+		// below 8 bytes is the very first open's own header (Append never
+		// touches it), so a strict prefix of the canonical header is crash
+		// debris of a log that never held a record — reinitialize it.
+		// Anything else is not ours.
+		got := make([]byte, size)
+		if _, err := io.ReadFull(f, got); err != nil {
+			return nil, err
+		}
+		if !bytes.HasPrefix(hdr, got) {
+			return nil, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, got)
+		}
+		if err := f.Truncate(0); err != nil {
+			return nil, err
+		}
+		if _, err := f.WriteAt(hdr, 0); err != nil {
 			return nil, err
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
 			return nil, err
 		}
+		size = walHeaderLen
 	} else {
-		hdr := make([]byte, walHeaderLen)
-		if _, err := io.ReadFull(f, hdr); err != nil {
-			f.Close()
+		got := make([]byte, walHeaderLen)
+		if _, err := f.ReadAt(got, 0); err != nil {
 			return nil, truncated(err)
 		}
-		if string(hdr[:4]) != walMagic {
-			f.Close()
-			return nil, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, hdr[:4])
+		if string(got[:4]) != walMagic {
+			return nil, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, got[:4])
 		}
-		if v := le32(hdr[4:]); v != walVersion {
-			f.Close()
+		if v := le32(got[4:]); v != walVersion {
 			return nil, fmt.Errorf("%w: WAL version %d (supported: %d)", ErrBadVersion, v, walVersion)
 		}
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+	end := scanWALEnd(f, size)
+	if end < size {
+		if err := f.Truncate(end); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
 		return nil, err
 	}
-	return &WAL{f: f, path: path, sync: true}, nil
+	return &WAL{f: f, off: end, sync: true}, nil
 }
 
-// Append encodes and durably appends one record.
+// scanWALEnd walks the record stream of a size-byte file with a valid
+// header and returns the offset just past the last record that is fully
+// framed and passes its checksum. Bytes beyond that offset are a torn tail.
+func scanWALEnd(f *os.File, size int64) int64 {
+	br := bufio.NewReaderSize(io.NewSectionReader(f, walHeaderLen, size-walHeaderLen), 1<<20)
+	end := int64(walHeaderLen)
+	rh := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(br, rh); err != nil {
+			return end
+		}
+		plen := le32(rh)
+		if plen > maxWALRecord {
+			return end
+		}
+		payload, err := readFull(br, uint64(plen))
+		if err != nil {
+			return end
+		}
+		if crc32.ChecksumIEEE(payload) != le32(rh[4:]) {
+			return end
+		}
+		end += 8 + int64(plen)
+	}
+}
+
+// Append encodes and durably appends one record. A failed append leaves the
+// log exactly as it was — the partial write is truncated away — so the next
+// append (or the next boot's replay) starts at a clean record boundary.
 func (w *WAL) Append(rec *WALRecord) error {
+	if w.f == nil {
+		return fmt.Errorf("storage: appending to a closed WAL")
+	}
+	if w.broken != nil {
+		return fmt.Errorf("storage: WAL unusable: %w", w.broken)
+	}
 	payload, err := encodeWALRecord(rec)
 	if err != nil {
 		return err
@@ -134,27 +229,37 @@ func (w *WAL) Append(rec *WALRecord) error {
 	e.u32(crc32.ChecksumIEEE(payload))
 	e.b = append(e.b, payload...)
 	if _, err := w.f.Write(e.b); err != nil {
+		w.rollback(err)
 		return fmt.Errorf("storage: appending WAL record: %w", err)
 	}
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
+			w.rollback(err)
 			return fmt.Errorf("storage: syncing WAL: %w", err)
 		}
 	}
+	w.off += int64(len(e.b))
 	return nil
 }
 
-// Truncate discards all records (after a checkpoint has made them
-// redundant), keeping the header.
-func (w *WAL) Truncate() error {
-	if err := w.f.Truncate(walHeaderLen); err != nil {
-		return err
+// rollback discards the debris of a failed append, restoring the file to
+// its last acknowledged length. If the file cannot be restored, the WAL is
+// poisoned: appending after garbage would strand every later record behind
+// an unreplayable prefix, which is worse than refusing.
+func (w *WAL) rollback(cause error) {
+	if w.f.Truncate(w.off) == nil && w.f.Sync() == nil {
+		if _, err := w.f.Seek(w.off, io.SeekStart); err == nil {
+			return
+		}
 	}
-	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
-		return err
-	}
-	return w.f.Sync()
+	w.broken = cause
 }
+
+// poison makes every further Append fail with cause. Dir uses it when the
+// directory may already have moved to a newer snapshot generation: a record
+// appended to this older log would never be replayed, so accepting it would
+// be claiming a durability the log cannot provide.
+func (w *WAL) poison(cause error) { w.broken = cause }
 
 // Close closes the log file.
 func (w *WAL) Close() error {

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// These tests reach the WAL's unexported failure paths: rollback after a
+// torn append and the poisoned state when even the rollback fails. The
+// public contract they protect: a record is either fully appended and
+// acknowledged, or leaves no trace — never debris that a later append
+// writes after.
+
+func internalRec() *WALRecord { return &WALRecord{Type: RecDrop, Name: "R"} }
+
+// TestRollbackDiscardsDebris: rollback truncates whatever a failed append
+// left past the last acknowledged record, and the WAL keeps working.
+func TestRollbackDiscardsDebris(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(internalRec()); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the on-disk effect of a torn append: bytes past w.off.
+	h, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("torn write debris")); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	w.rollback(errors.New("simulated write failure"))
+	if w.broken != nil {
+		t.Fatalf("successful rollback poisoned the WAL: %v", w.broken)
+	}
+	if err := w.Append(internalRec()); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReplayWAL(bytes.NewReader(b), func(*WALRecord) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("replay after rollback: %d records, err %v; want 2, nil", n, err)
+	}
+}
+
+// TestAppendFailurePoisons: when the write fails and the file cannot be
+// restored either, the WAL must refuse every further append instead of
+// writing after debris it cannot remove.
+func TestAppendFailurePoisons(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(internalRec()); err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a read-only descriptor: the next write fails without landing
+	// a byte, and the truncate-back fails too.
+	rw := w.f
+	ro, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f = ro
+	if err := w.Append(internalRec()); err == nil {
+		t.Fatal("append through a read-only descriptor succeeded")
+	}
+	if w.broken == nil {
+		t.Fatal("unrestorable append failure did not poison the WAL")
+	}
+	if err := w.Append(internalRec()); err == nil {
+		t.Fatal("poisoned WAL accepted a record")
+	}
+	ro.Close()
+	w.f = rw
+	w.Close()
+	// The acknowledged record is intact on disk.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReplayWAL(bytes.NewReader(b), func(*WALRecord) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("replay: %d records, err %v; want the 1 acknowledged record", n, err)
+	}
+}

@@ -111,23 +111,9 @@ func TestWALReopenAppends(t *testing.T) {
 	}
 }
 
-func TestWALTruncate(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "wal.log")
-	w, err := storage.OpenWAL(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Append(testRecords()[0]); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Truncate(); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Append(testRecords()[1]); err != nil {
-		t.Fatal(err)
-	}
-	w.Close()
+// replayFile replays a WAL file from disk with strict ReplayWAL semantics.
+func replayFile(t *testing.T, path string) []*storage.WALRecord {
+	t.Helper()
 	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -137,10 +123,103 @@ func TestWALTruncate(t *testing.T) {
 		got = append(got, rec)
 		return nil
 	}); err != nil {
+		t.Fatalf("replay of %s: %v", path, err)
+	}
+	return got
+}
+
+// TestWALTornTailDiscarded: a partial record at the tail is debris of an
+// append cut short by a crash — it was never acknowledged, so OpenWAL must
+// discard it and the log must keep working: the complete records before it
+// survive, new appends land after them, and strict replay then sees exactly
+// acknowledged records. Every cut point of the final record is tried.
+func TestWALTornTailDiscarded(t *testing.T) {
+	recs := testRecords()
+	full := walBytes(t, recs[:3])
+	two := walBytes(t, recs[:2])
+	for cut := len(two); cut < len(full); cut++ {
+		path := filepath.Join(t.TempDir(), "wal-000000.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := storage.OpenWAL(path)
+		if err != nil {
+			t.Fatalf("cut at %d: open: %v", cut, err)
+		}
+		if err := w.Append(recs[3]); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		w.Close()
+		got := replayFile(t, path)
+		if len(got) != 3 || got[0].Type != recs[0].Type || got[1].Type != recs[1].Type || got[2].Type != recs[3].Type {
+			t.Fatalf("cut at %d: replay saw %d records %+v; want recs 0,1 then the appended one", cut, len(got), got)
+		}
+	}
+}
+
+// TestWALTornHeaderReinitialized: a file shorter than the 8-byte header can
+// only be the very first open's own header write, torn before its fsync —
+// the log never held a record, so reopen must reinitialize it, not refuse
+// to boot. Bytes that are NOT a prefix of our header stay ErrBadMagic.
+func TestWALTornHeaderReinitialized(t *testing.T) {
+	full := walBytes(t, testRecords()[:1])
+	for cut := 0; cut < 8; cut++ {
+		path := filepath.Join(t.TempDir(), "wal-000000.log")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := storage.OpenWAL(path)
+		if err != nil {
+			t.Fatalf("header cut at %d: %v", cut, err)
+		}
+		if err := w.Append(testRecords()[0]); err != nil {
+			t.Fatalf("header cut at %d: append: %v", cut, err)
+		}
+		w.Close()
+		if got := replayFile(t, path); len(got) != 1 {
+			t.Fatalf("header cut at %d: replay saw %d records, want 1", cut, len(got))
+		}
+	}
+	path := filepath.Join(t.TempDir(), "wal-000000.log")
+	if err := os.WriteFile(path, []byte("NOPE"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[0].Type != storage.RecDrop {
-		t.Fatalf("after truncate + append, replay saw %+v; want just the DROP", got)
+	if _, err := storage.OpenWAL(path); !errors.Is(err, storage.ErrBadMagic) {
+		t.Fatalf("foreign short file: got %v, want ErrBadMagic", err)
+	}
+}
+
+// TestWALFlippedTailRecord: a checksum-invalid final record is
+// indistinguishable from an out-of-order torn write, so open trims it too.
+func TestWALFlippedTailRecord(t *testing.T) {
+	recs := testRecords()
+	full := walBytes(t, recs[:3])
+	two := walBytes(t, recs[:2])
+	bad := append([]byte(nil), full...)
+	bad[len(two)+9] ^= 1 // a payload byte of the third record
+	path := filepath.Join(t.TempDir(), "wal-000000.log")
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := storage.OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := replayFile(t, path); len(got) != 2 {
+		t.Fatalf("replay saw %d records after trimming the flipped record, want 2", len(got))
+	}
+}
+
+// TestWALAppendClosed: appending to a closed WAL is an error, not a panic.
+func TestWALAppendClosed(t *testing.T) {
+	w, err := storage.OpenWAL(filepath.Join(t.TempDir(), "wal-000000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Append(testRecords()[0]); err == nil {
+		t.Fatal("Append on a closed WAL succeeded")
 	}
 }
 
