@@ -13,6 +13,7 @@
 //	server_qps       qps per connection count (higher is better)
 //	bulk_load        ingest rows/s per size (higher is better)
 //	snapshot_restore restore_ns per size (lower is better)
+//	shard_scaling    elapsed_ns per shard count (lower is better)
 //
 // Entries present in only one file are reported but never fail the run
 // (series appear and disappear as figures are added) — each skipped point
@@ -22,12 +23,13 @@
 // A zero or negative measurement on either side of a gated point — a
 // malformed or truncated results file — is reported and skipped rather than
 // divided into a NaN/Inf ratio that would read as a spurious pass or fail.
-// The parallel series only measures real scaling on multi-core hosts; each
-// point records the core count of the host that measured it, and a point is
-// gated only when both baseline and candidate were measured on at least
-// -mincores cores (default 2) — otherwise it is reported but skipped, so a
-// starved host cannot fail the job on scheduler noise (files from before
-// the cores field fall back to the diffing host's count).
+// The parallel, server_qps and shard_scaling series only measure real
+// scaling on multi-core hosts; each point records the core count of the host
+// that measured it, and a point is gated only when both baseline and
+// candidate were measured on at least -mincores cores (default 2) —
+// otherwise it is reported but skipped, so a starved host cannot fail the
+// job on scheduler noise (files from before the cores field fall back to
+// the diffing host's count).
 //
 // Usage:
 //
@@ -94,6 +96,13 @@ type results struct {
 		Density   float64 `json:"density"`
 		RestoreNS int64   `json:"restore_ns"`
 	} `json:"snapshot_restore"`
+	ShardScaling []struct {
+		Shards    int     `json:"shards"`
+		Rows      int     `json:"rows"`
+		Density   float64 `json:"density"`
+		ElapsedNS int64   `json:"elapsed_ns"`
+		Cores     int     `json:"cores"`
+	} `json:"shard_scaling"`
 }
 
 // cfg renders the workload parameters of a point; it is part of every
@@ -289,6 +298,33 @@ func main() {
 	}
 	for _, p := range newR.SnapshotRestore {
 		checkNS("snapshot_restore", oldRestore, cfg(p.Rows, p.Density), p.RestoreNS)
+	}
+	// The shard_scaling series is a latency (elapsed_ns per shard count),
+	// but sharded points above one shard only show real scaling on
+	// multi-core hosts — they reuse the parallel series' -mincores guard.
+	// The 1-shard baseline point is pure single-threaded latency and is
+	// gated unconditionally, like the other ns series.
+	type shardBase struct {
+		ns    int64
+		cores int
+	}
+	oldShard := make(map[string]shardBase)
+	for _, p := range oldR.ShardScaling {
+		oldShard[fmt.Sprintf("s=%d %s", p.Shards, cfg(p.Rows, p.Density))] = shardBase{p.ElapsedNS, cores(p.Cores)}
+	}
+	for _, p := range newR.ShardScaling {
+		key := fmt.Sprintf("s=%d %s", p.Shards, cfg(p.Rows, p.Density))
+		base, ok := oldShard[key]
+		switch {
+		case !ok:
+			noBaseline("shard_scaling", key)
+		case base.ns <= 0 || p.ElapsedNS <= 0:
+			fmt.Printf("%-18s %-28s (skipped: non-positive ns — baseline %d, candidate %d)\n", "shard_scaling", key, base.ns, p.ElapsedNS)
+		case p.Shards > 1 && (cores(p.Cores) < *minCores || base.cores < *minCores):
+			fmt.Printf("%-18s %-28s (skipped: measured below %d cores)\n", "shard_scaling", key, *minCores)
+		default:
+			check("shard_scaling", key, float64(p.ElapsedNS)/float64(base.ns))
+		}
 	}
 
 	for _, series := range missingOrder {

@@ -19,7 +19,11 @@
 // end-to-end network throughput against the in-process parallel ceiling.
 // "load" measures bulk ingest (internal/storage's BulkLoader against the
 // row-at-a-time path it replaced) and "restore" measures loading a binary
-// snapshot against re-ingesting and re-chasing the same store.
+// snapshot against re-ingesting and re-chasing the same store. "shard"
+// measures the census CONF query morsel-parallel across 1/2/4/8 shards
+// partitioned by component connectivity (-rows sets the relation size, up
+// to 1M), checking the sharded answers byte-identical to the unsharded
+// fold.
 //
 // Usage:
 //
@@ -80,6 +84,24 @@ type benchJSON struct {
 	// restore against re-ingest + re-chase.
 	BulkLoad        []bulkLoadJSON `json:"bulk_load,omitempty"`
 	SnapshotRestore []restoreJSON  `json:"snapshot_restore,omitempty"`
+	// ShardScaling is the PR 8 series: the census CONF query morsel-parallel
+	// across 1/2/4/8 shards (partitioned by component connectivity), answers
+	// byte-identical to the unsharded fold.
+	ShardScaling []shardJSON `json:"shard_scaling,omitempty"`
+}
+
+type shardJSON struct {
+	Shards    int     `json:"shards"`
+	Workers   int     `json:"workers"`
+	Rows      int     `json:"rows"`
+	Density   float64 `json:"density"`
+	Answers   int     `json:"answers"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Speedup   float64 `json:"speedup"`
+	// Cores is runtime.GOMAXPROCS on the measuring host; benchdiff skips
+	// gating points measured below its -mincores threshold.
+	Cores int `json:"cores"`
 }
 
 type bulkLoadJSON struct {
@@ -212,12 +234,13 @@ type queryJSON struct {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func main() {
-	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore or all")
+	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore, shard or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated relation sizes (default 100000,250000,500000,1000000)")
 	densFlag := flag.String("densities", "", "comma-separated densities as fractions (default 0.00005,0.0001,0.0005,0.001)")
 	seed := flag.Int64("seed", 42, "random seed")
 	reps := flag.Int("reps", 5, "executions per prepared statement (-fig prepared)")
 	queries := flag.Int("queries", 200, "executions per throughput measurement (-fig parallel)")
+	shardRows := flag.Int("rows", 0, "relation size for -fig shard, up to 1000000 (0 = largest configured size)")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (empty disables)")
 	flag.Parse()
 
@@ -236,11 +259,11 @@ func main() {
 
 	out := benchJSON{Seed: *seed, Sizes: sizes, Densities: densities}
 	wanted := make(map[string]bool)
-	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true, "server": true, "load": true, "restore": true}
+	known := map[string]bool{"all": true, "26": true, "27": true, "28": true, "30": true, "prepared": true, "conf": true, "parallel": true, "except": true, "server": true, "load": true, "restore": true, "shard": true}
 	for _, f := range strings.Split(*fig, ",") {
 		f = strings.TrimSpace(f)
 		if !known[f] {
-			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore or all)\n", f)
+			fmt.Fprintf(os.Stderr, "census-experiment: unknown figure %q (want 26, 27, 28, 30, prepared, conf, parallel, except, server, load, restore, shard or all)\n", f)
 			os.Exit(2)
 		}
 		wanted[f] = true
@@ -441,6 +464,27 @@ func main() {
 				Rows: p.Rows, Density: p.Density, OrSets: p.OrSets, Bytes: p.Bytes,
 				RestoreNS: p.Restore.Nanoseconds(), RestoreMS: ms(p.Restore),
 				ReingestNS: p.Reingest.Nanoseconds(), Speedup: p.Speedup,
+			})
+		}
+	}
+	if run("shard") {
+		// Shard scaling runs at one size (-rows; default the largest
+		// configured) and the highest density: the point is the scaling
+		// across shard counts, with the byte-identity of the sharded
+		// answers checked inside the measurement.
+		rows := *shardRows
+		if rows == 0 {
+			rows = sizes[len(sizes)-1]
+		}
+		points, err := bench.ShardScaling(rows, densities[len(densities)-1], *seed, []int{1, 2, 4, 8}, *reps)
+		fail(err)
+		bench.PrintShardScaling(os.Stdout, points)
+		fmt.Println()
+		for _, p := range points {
+			out.ShardScaling = append(out.ShardScaling, shardJSON{
+				Shards: p.Shards, Workers: p.Workers, Rows: p.Rows, Density: p.Density,
+				Answers: p.Answers, ElapsedNS: p.Elapsed.Nanoseconds(), ElapsedMS: ms(p.Elapsed),
+				Speedup: p.Speedup, Cores: p.Cores,
 			})
 		}
 	}

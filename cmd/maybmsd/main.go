@@ -23,7 +23,19 @@
 // holding a snapshot is restored — newest snapshot plus write-ahead-log
 // replay, zero CSV re-ingest — and -store/-rows are ignored; a fresh
 // directory is initialized from the usual build path and every MATERIALIZE
-// or DROP commit is logged from then on.
+// or DROP commit is logged from then on. A fresh directory combined with
+// -store boots durably without writing a snapshot first: the ingest is one
+// LOAD CSV log record (file checksum + row count) and the chase is logged
+// behind it, so a kill -9 before the first checkpoint replays the boot
+// exactly.
+//
+// With -shards N the store is partitioned into N sub-stores by component
+// connectivity and distributable queries run morsel-parallel across them
+// (docs/sharding.md); -shards 0 (the default) decides from the store size
+// and the host's core count. The confidence-fold worker pool defaults to
+// GOMAXPROCS, clamped; both are logged at boot, along with one fingerprint
+// line per shard (the partition is deterministic, so two boots of the same
+// directory log identical fingerprints).
 //
 // SIGTERM and SIGINT drain gracefully: the listener closes, in-flight
 // requests finish, idle clients get a shutting-down error frame, and the
@@ -41,6 +53,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -61,6 +75,7 @@ func main() {
 	data := flag.String("data", "", "durable store directory: restore (snapshot + WAL replay) or initialize, log commits, checkpoint on drain")
 	rel := flag.String("rel", "R", "relation name for the ingested CSV")
 	skipChase := flag.Bool("skip-chase", false, "skip the data-cleaning chase")
+	shards := flag.Int("shards", 0, "shard count for morsel-parallel execution (0 = auto from store size and cores, 1 = off)")
 	maxConns := flag.Int("max-conns", 256, "concurrent connection limit")
 	sessionBudget := flag.Int64("session-budget", 256<<20, "per-session result-memory budget in bytes")
 	globalBudget := flag.Int64("global-budget", 1<<30, "server-wide result-memory budget in bytes")
@@ -79,6 +94,18 @@ func main() {
 		log.Fatal(err)    // exit code 1 with the actionable message
 	}
 	defer db.Close()
+	if err := db.EnableSharding(*shards, 0); err != nil {
+		log.Fatalf("enabling sharding (-shards %d): %v", *shards, err)
+	}
+	if n, workers := db.Sharding(); n > 1 {
+		log.Printf("sharding: %d shards, %d fold workers (GOMAXPROCS %d, clamped to [1,%d])",
+			n, workers, runtime.GOMAXPROCS(0), engine.MaxConfWorkers)
+		for i, fp := range db.ShardFingerprints() {
+			log.Printf("shard %d: fingerprint %08x", i, fp)
+		}
+	} else {
+		log.Printf("sharding off (single authority store; -shards N forces it on)")
+	}
 	srv := server.New(db, server.Config{
 		MaxConns:       *maxConns,
 		SessionBudget:  *sessionBudget,
@@ -126,7 +153,11 @@ func openDB(dataDir, storePath, rel string, rows int, density float64, seed int6
 	}
 	db, replayed, err := sql.Restore(dataDir)
 	if err == nil {
-		log.Printf("restored %s: snapshot + %d WAL records, zero re-ingest", dataDir, replayed)
+		if snaps, _ := filepath.Glob(filepath.Join(dataDir, "snapshot-*.mybs")); len(snaps) > 0 {
+			log.Printf("restored %s: snapshot + %d WAL records, zero re-ingest", dataDir, replayed)
+		} else {
+			log.Printf("restored %s: WAL-only boot, %d records replayed (no snapshot yet; the drain checkpoint writes one)", dataDir, replayed)
+		}
 		for _, name := range db.Relations() {
 			logStats(db, name)
 		}
@@ -134,6 +165,13 @@ func openDB(dataDir, storePath, rel string, rows int, density float64, seed int6
 	}
 	if !errors.Is(err, storage.ErrNoSnapshot) {
 		return nil, fmt.Errorf("maybmsd: restoring -data %s: %w (move the damaged directory aside to re-initialize)", dataDir, err)
+	}
+	if storePath != "" {
+		// Fresh directory + CSV: boot durably through the log instead of
+		// loading in memory and snapshotting — the ingest is one LOAD CSV
+		// record and the chase is logged behind it, so the boot survives a
+		// kill -9 before any checkpoint.
+		return createCSVDir(dataDir, storePath, rel, skipChase)
 	}
 	st, err := buildStore(storePath, rel, rows, density, seed, skipChase)
 	if err != nil {
@@ -144,6 +182,35 @@ func openDB(dataDir, storePath, rel string, rows int, density float64, seed int6
 		return nil, fmt.Errorf("maybmsd: initializing -data %s: %w", dataDir, err)
 	}
 	log.Printf("initialized %s: first snapshot written, commits logged from here on", dataDir)
+	return db, nil
+}
+
+// createCSVDir boots a fresh durable directory from a CSV file: the ingest
+// and the cleaning chase are logged as WAL records (no snapshot yet), so the
+// CSV file must stay in place until the first checkpoint.
+func createCSVDir(dataDir, storePath, rel string, skipChase bool) (*sql.DB, error) {
+	db, err := sql.CreateDir(dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("maybmsd: creating -data %s: %w", dataDir, err)
+	}
+	info, err := db.IngestCSV(storePath, rel)
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("maybmsd: %v", err)
+	}
+	log.Printf("ingested %s: %d tuples × %d attributes, %d or-sets (logged as one LOAD CSV record; keep the file until the first checkpoint)",
+		storePath, info.Rows, info.Attrs, info.OrSets)
+	if !skipChase && isCensusSchema(db.Schema(rel)) {
+		start := time.Now()
+		if err := db.Chase(rel, census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("maybmsd: cleaning chase over %s failed: %w (the data contradicts the census dependencies; rerun with -skip-chase to serve it as-is)", rel, err)
+		}
+		log.Printf("census schema detected: chased %d dependencies in %s",
+			len(census.Dependencies()), time.Since(start).Round(time.Millisecond))
+	}
+	logStats(db, rel)
+	log.Printf("created %s: commits logged from the first record, no snapshot yet", dataDir)
 	return db, nil
 }
 

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"maybms/internal/census"
+	"maybms/internal/engine"
+	"maybms/internal/sql"
+)
+
+// ShardQuery is the statement the shard_scaling figure measures: a selective
+// CONF() over the census relation — distributable (no join), so a sharded
+// session runs it morsel-parallel across the shards, and heavy enough in the
+// confidence fold that the parallelism shows.
+const ShardQuery = "SELECT CONF() FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"
+
+// ShardPoint is one measurement of the shard_scaling figure: the census
+// CONF query over one chased store at a given shard count. Speedup is
+// relative to the 1-shard (unsharded) point of the same store; Cores
+// records the measuring host's GOMAXPROCS so downstream gating can skip
+// points measured on boxes that cannot show parallel speedup.
+type ShardPoint struct {
+	Shards  int
+	Workers int
+	Rows    int
+	Density float64
+	Answers int
+	Elapsed time.Duration
+	Speedup float64
+	Cores   int
+}
+
+// ShardScaling prepares and chases one census store of the given size and
+// measures ShardQuery at each shard count (1 = the unsharded baseline). The
+// sharded answers are checked byte-identical to the baseline's — a sharding
+// that is fast but drifts by an ulp would poison every figure built on it —
+// and reps runs are averaged per point (the minimum is 1).
+func ShardScaling(rows int, density float64, seed int64, shardCounts []int, reps int) ([]ShardPoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	p, err := Prepare(rows, density, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store.ChaseEGDsOpt("R", census.Dependencies(), engine.ChaseOptions{AssumeClean: true}); err != nil {
+		return nil, err
+	}
+	var baseline []float64
+	var baseNS time.Duration
+	var out []ShardPoint
+	for _, n := range shardCounts {
+		db := sql.Open(p.Store)
+		if n > 1 {
+			if err := db.EnableSharding(n, 0); err != nil {
+				return nil, fmt.Errorf("bench: sharding %d ways: %w", n, err)
+			}
+		}
+		_, workers := db.Sharding()
+		var confs []float64
+		var elapsed time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			rws, err := db.Query(ShardQuery)
+			if err != nil {
+				return nil, err
+			}
+			confs = confs[:0]
+			for rws.Next() {
+				confs = append(confs, rws.Conf())
+			}
+			rws.Close()
+			elapsed += time.Since(start)
+		}
+		elapsed /= time.Duration(reps)
+		if n == 1 || baseline == nil {
+			baseline = append([]float64(nil), confs...)
+			baseNS = elapsed
+		} else {
+			if len(confs) != len(baseline) {
+				return nil, fmt.Errorf("bench: %d shards returned %d answers, unsharded returned %d", n, len(confs), len(baseline))
+			}
+			for i := range confs {
+				if confs[i] != baseline[i] {
+					return nil, fmt.Errorf("bench: %d shards: answer %d = %b, unsharded %b (sharded CONF must be byte-identical)", n, i, confs[i], baseline[i])
+				}
+			}
+		}
+		out = append(out, ShardPoint{
+			Shards: n, Workers: workers, Rows: rows, Density: density,
+			Answers: len(confs), Elapsed: elapsed,
+			Speedup: float64(baseNS) / float64(elapsed),
+			Cores:   runtime.GOMAXPROCS(0),
+		})
+	}
+	return out, nil
+}
+
+// PrintShardScaling renders the shard_scaling series.
+func PrintShardScaling(w io.Writer, points []ShardPoint) {
+	fmt.Fprintln(w, "shard_scaling — sharded CONF() by component connectivity (answers byte-identical to unsharded)")
+	fmt.Fprintf(w, "%12s %8s %8s %8s %12s %8s %6s\n", "tuples", "shards", "workers", "answers", "time", "speedup", "cores")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12d %8d %8d %8d %12s %7.2fx %6d\n",
+			p.Rows, p.Shards, p.Workers, p.Answers, p.Elapsed.Round(time.Microsecond), p.Speedup, p.Cores)
+	}
+}

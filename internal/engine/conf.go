@@ -27,6 +27,52 @@ type TupleConf struct {
 	Conf  float64
 }
 
+// TupleMasses is the pre-fold form of one confidence-table entry: the tuple,
+// whether some certain template row produces it (confidence exactly 1), and
+// the probability mass it collects from each independent group that can
+// produce it. The final confidence is FoldMasses over Masses — kept separate
+// so per-shard mass lists can be merged before folding (shards partition the
+// groups, so the union of the shards' mass lists is exactly the unsharded
+// list as a multiset).
+type TupleMasses struct {
+	Tuple   []int32
+	Certain bool
+	Masses  []float64
+}
+
+// FoldMasses combines the per-group masses of one tuple into its confidence:
+// matches in distinct groups are independent events, so
+// conf = 1 - Π(1 - mass). The masses are folded in ascending value order —
+// floating-point combination is order-sensitive, and the canonical order
+// makes the result a function of the mass multiset alone. That is what keeps
+// sharded confidence byte-identical to unsharded: both paths fold the same
+// multiset.
+func FoldMasses(ms []float64) float64 {
+	switch len(ms) {
+	case 0:
+		return 0
+	case 1:
+		return ms[0]
+	}
+	sorted := append(make([]float64, 0, len(ms)), ms...)
+	sort.Float64s(sorted)
+	c := sorted[0]
+	for _, m := range sorted[1:] {
+		c = 1 - (1-c)*(1-m)
+	}
+	return c
+}
+
+// AppendTupleKey appends the canonical byte key of a native tuple to dst and
+// returns the extended slice. Equal tuples map to equal keys; the shard merge
+// layer uses it to intern tuples across per-shard confidence tables.
+func AppendTupleKey(dst []byte, t []int32) []byte {
+	for _, v := range t {
+		dst = appendFieldKey(dst, v, false)
+	}
+	return dst
+}
+
 // CompareTuples orders two native tuples lexicographically; it matches the
 // canonical order of relation.CompareTuples on all-integer tuples, so native
 // and bridge answer lists sort identically.
@@ -56,7 +102,8 @@ func CompareTuples(a, b []int32) int {
 type tupleAccum struct {
 	idx     map[string]int
 	tuples  [][]int32
-	conf    []float64
+	certain []bool
+	masses  [][]float64
 	mass    []float64
 	stamp   []int // last (group, local world) epoch that counted the tuple
 	touched []int
@@ -70,17 +117,15 @@ func newTupleAccum() *tupleAccum {
 // intern returns the dense index of tuple t, adding it on first sight. The
 // returned index is stable; t is copied only when new.
 func (ac *tupleAccum) intern(t []int32) int {
-	ac.keyBuf = ac.keyBuf[:0]
-	for _, v := range t {
-		ac.keyBuf = appendFieldKey(ac.keyBuf, v, false)
-	}
+	ac.keyBuf = AppendTupleKey(ac.keyBuf[:0], t)
 	if i, ok := ac.idx[string(ac.keyBuf)]; ok {
 		return i
 	}
 	i := len(ac.tuples)
 	ac.idx[string(ac.keyBuf)] = i
 	ac.tuples = append(ac.tuples, append([]int32(nil), t...))
-	ac.conf = append(ac.conf, 0)
+	ac.certain = append(ac.certain, false)
+	ac.masses = append(ac.masses, nil)
 	ac.mass = append(ac.mass, 0)
 	ac.stamp = append(ac.stamp, -1)
 	return i
@@ -99,25 +144,39 @@ func (ac *tupleAccum) add(i, e int, p float64) {
 	ac.mass[i] += p
 }
 
-// fold combines the accumulated group masses into the running confidences —
-// matches in distinct groups are independent events — and resets the masses
-// for the next group.
+// fold closes the current group: every touched tuple's accumulated group
+// mass is appended to its mass list (one entry per producing group) and the
+// running masses reset for the next group. The confidence itself is computed
+// later by FoldMasses, in canonical order.
 func (ac *tupleAccum) fold() {
 	for _, i := range ac.touched {
-		ac.conf[i] = 1 - (1-ac.conf[i])*(1-ac.mass[i])
+		ac.masses[i] = append(ac.masses[i], ac.mass[i])
 		ac.mass[i] = 0
 	}
 	ac.touched = ac.touched[:0]
 }
 
-// sorted returns the interned tuples with their confidences in canonical
+// sorted returns the interned tuples with their mass lists in canonical
 // order.
-func (ac *tupleAccum) sorted() []TupleConf {
-	out := make([]TupleConf, len(ac.tuples))
+func (ac *tupleAccum) sorted() []TupleMasses {
+	out := make([]TupleMasses, len(ac.tuples))
 	for i := range ac.tuples {
-		out[i] = TupleConf{Tuple: ac.tuples[i], Conf: ac.conf[i]}
+		out[i] = TupleMasses{Tuple: ac.tuples[i], Certain: ac.certain[i], Masses: ac.masses[i]}
 	}
 	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].Tuple, out[j].Tuple) < 0 })
+	return out
+}
+
+// foldAll turns sorted mass lists into the final confidence table.
+func foldAll(tms []TupleMasses) []TupleConf {
+	out := make([]TupleConf, len(tms))
+	for i, tm := range tms {
+		c := 1.0
+		if !tm.Certain {
+			c = FoldMasses(tm.Masses)
+		}
+		out[i] = TupleConf{Tuple: tm.Tuple, Conf: c}
+	}
 	return out
 }
 
@@ -140,29 +199,28 @@ func groupTuple(r *Relation, g *tlGroup, tr tlRow, w int, buf []int32) (_ []int3
 	return buf, true
 }
 
-// possiblePOf computes the Figure 19 confidence table of rel natively: the
-// tuple-level view is built once and every tuple is scored in a single
-// sweep over it.
-func possiblePOf(v catView, rel string) ([]TupleConf, error) {
-	tv, err := tupleLevelView(v, rel)
-	if err != nil {
-		return nil, err
-	}
-	r := tv.rel
-	ac := newTupleAccum()
-	// Certain rows are present in every world: confidence 1, whatever the
-	// uncertain rows add.
+// internCertain interns the certain template rows of the view: present in
+// every world, confidence exactly 1, whatever the uncertain rows add.
+func (ac *tupleAccum) internCertain(r *Relation, rows []int32) {
 	tbuf := make([]int32, 0, len(r.Attrs))
-	for _, row := range tv.certain {
+	for _, row := range rows {
 		tbuf = tbuf[:0]
 		for a := range r.Attrs {
 			tbuf = append(tbuf, r.Cols[a][row])
 		}
-		i := ac.intern(tbuf)
-		ac.conf[i] = 1
+		ac.certain[ac.intern(tbuf)] = true
 	}
+}
+
+// sweepGroups scores every tuple each group can produce: one epoch per
+// (group, local world), fold at each group boundary. Each group must be swept
+// whole — the per-group mass is a sum in local-world order — but distinct
+// groups are independent, so disjoint group subsets can be swept by separate
+// accumulators and merged (mergeMasses).
+func (ac *tupleAccum) sweepGroups(r *Relation, groups []*tlGroup) {
+	tbuf := make([]int32, 0, len(r.Attrs))
 	epoch := 0
-	for _, g := range tv.groups {
+	for _, g := range groups {
 		for w := range g.comp.Rows {
 			p := g.comp.Rows[w].P
 			for _, tr := range g.rows {
@@ -177,7 +235,29 @@ func possiblePOf(v catView, rel string) ([]TupleConf, error) {
 		}
 		ac.fold()
 	}
+}
+
+// possibleMassesOf computes the pre-fold confidence table of rel natively:
+// the tuple-level view is built once and every tuple's per-group masses are
+// collected in a single sweep over it, in canonical tuple order.
+func possibleMassesOf(v catView, rel string) ([]TupleMasses, error) {
+	tv, err := tupleLevelView(v, rel)
+	if err != nil {
+		return nil, err
+	}
+	ac := newTupleAccum()
+	ac.internCertain(tv.rel, tv.certain)
+	ac.sweepGroups(tv.rel, tv.groups)
 	return ac.sorted(), nil
+}
+
+// possiblePOf computes the Figure 19 confidence table of rel natively.
+func possiblePOf(v catView, rel string) ([]TupleConf, error) {
+	tms, err := possibleMassesOf(v, rel)
+	if err != nil {
+		return nil, err
+	}
+	return foldAll(tms), nil
 }
 
 // confOf computes the Figure 17 confidence of one tuple of rel natively.
@@ -207,7 +287,7 @@ func confOf(v catView, rel string, t []int32) (float64, error) {
 			return 1, nil
 		}
 	}
-	c := 0.0
+	var masses []float64
 	buf := make([]int32, 0, len(t))
 	for _, g := range tv.groups {
 		mass := 0.0
@@ -221,9 +301,11 @@ func confOf(v catView, rel string, t []int32) (float64, error) {
 				}
 			}
 		}
-		c = 1 - (1-c)*(1-mass)
+		if mass != 0 {
+			masses = append(masses, mass)
+		}
 	}
-	return c, nil
+	return FoldMasses(masses), nil
 }
 
 // possibleOf computes the Figure 18 possible tuples of rel natively, in
@@ -263,6 +345,11 @@ func (a *Arena) Conf(rel string, t []int32) (float64, error) { return confOf(a, 
 // they extend are read in place, with no WSD materialization.
 func (a *Arena) PossibleP(rel string) ([]TupleConf, error) { return possiblePOf(a, rel) }
 
+// PossibleMasses computes the pre-fold confidence table of rel on the
+// arena's view: per-tuple group masses, not yet folded. The shard layer
+// merges these across sub-stores before FoldMasses.
+func (a *Arena) PossibleMasses(rel string) ([]TupleMasses, error) { return possibleMassesOf(a, rel) }
+
 // Possible computes the tuples of rel appearing in at least one world
 // (Figure 18) natively on the arena's view, sorted canonically.
 func (a *Arena) Possible(rel string) ([][]int32, error) { return possibleOf(a, rel) }
@@ -279,6 +366,12 @@ func (sn *Snapshot) Conf(rel string, t []int32) (float64, error) { return confOf
 
 // PossibleP computes the confidence table of rel natively on the snapshot.
 func (sn *Snapshot) PossibleP(rel string) ([]TupleConf, error) { return possiblePOf(sn, rel) }
+
+// PossibleMasses computes the pre-fold confidence table of rel natively on
+// the snapshot.
+func (sn *Snapshot) PossibleMasses(rel string) ([]TupleMasses, error) {
+	return possibleMassesOf(sn, rel)
+}
 
 // Possible computes the possible tuples of rel natively on the snapshot.
 func (sn *Snapshot) Possible(rel string) ([][]int32, error) { return possibleOf(sn, rel) }

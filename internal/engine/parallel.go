@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Morsel-parallel confidence: the tuple-level view's groups are independent
+// factors, so disjoint group subsets can be swept by separate accumulators on
+// separate goroutines and the per-tuple mass lists merged afterwards. Because
+// every group is swept whole by one worker (the per-group mass is a
+// local-world-ordered sum) and FoldMasses folds each tuple's mass multiset in
+// canonical order, the parallel result is byte-identical to the serial one —
+// the property the shard subsystem's differential tests pin down.
+
+// DefaultConfWorkers is the worker count used when a caller passes 0: derived
+// from GOMAXPROCS, clamped to [1, MaxConfWorkers].
+func DefaultConfWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	if w > MaxConfWorkers {
+		w = MaxConfWorkers
+	}
+	return w
+}
+
+// MaxConfWorkers clamps worker pools: beyond this, merge overhead dominates.
+const MaxConfWorkers = 16
+
+// parallelThreshold is the minimum amount of scoring work (certain rows plus
+// groups) worth fanning out; below it a single sweep wins.
+const parallelThreshold = 256
+
+// possibleMassesParallel is possibleMassesOf with the sweep striped over a
+// worker pool: worker w scores certain-row chunk w and every group g with
+// index ≡ w (mod workers). The merged result is identical to the serial one.
+func possibleMassesParallel(v catView, rel string, workers int) ([]TupleMasses, error) {
+	if workers <= 0 {
+		workers = DefaultConfWorkers()
+	}
+	tv, err := tupleLevelView(v, rel)
+	if err != nil {
+		return nil, err
+	}
+	work := len(tv.certain) + len(tv.groups)
+	if workers > work {
+		workers = work
+	}
+	if workers <= 1 || work < parallelThreshold {
+		ac := newTupleAccum()
+		ac.internCertain(tv.rel, tv.certain)
+		ac.sweepGroups(tv.rel, tv.groups)
+		return ac.sorted(), nil
+	}
+	parts := make([][]TupleMasses, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ac := newTupleAccum()
+			lo := len(tv.certain) * w / workers
+			hi := len(tv.certain) * (w + 1) / workers
+			ac.internCertain(tv.rel, tv.certain[lo:hi])
+			var groups []*tlGroup
+			for i := w; i < len(tv.groups); i += workers {
+				groups = append(groups, tv.groups[i])
+			}
+			ac.sweepGroups(tv.rel, groups)
+			parts[w] = ac.sorted()
+		}(w)
+	}
+	wg.Wait()
+	return MergeMasses(parts), nil
+}
+
+// MergeMasses merges per-part pre-fold confidence tables — each produced by
+// PossibleMasses over a disjoint subset of the independent groups (a shard,
+// or a worker's stripe) — into one canonical table: equal tuples concatenate
+// their mass lists and OR their certain flags. The merged mass multiset per
+// tuple equals the unsharded one, so FoldMasses yields byte-identical
+// confidences.
+func MergeMasses(parts [][]TupleMasses) []TupleMasses {
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 {
+		for _, p := range parts {
+			if len(p) > 0 {
+				return p
+			}
+		}
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []TupleMasses
+	var key []byte
+	for _, part := range parts {
+		for _, tm := range part {
+			key = AppendTupleKey(key[:0], tm.Tuple)
+			i, ok := idx[string(key)]
+			if !ok {
+				i = len(out)
+				idx[string(key)] = i
+				out = append(out, TupleMasses{Tuple: tm.Tuple})
+			}
+			out[i].Certain = out[i].Certain || tm.Certain
+			out[i].Masses = append(out[i].Masses, tm.Masses...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].Tuple, out[j].Tuple) < 0 })
+	return out
+}
+
+// FoldMassTable folds a merged pre-fold table into the final confidence
+// table (certain tuples are exactly 1).
+func FoldMassTable(tms []TupleMasses) []TupleConf { return foldAll(tms) }
+
+// PossiblePParallel computes the confidence table of rel with the group
+// sweep striped over a pool of workers (0 = DefaultConfWorkers). The result
+// is byte-identical to PossibleP.
+func (a *Arena) PossiblePParallel(rel string, workers int) ([]TupleConf, error) {
+	tms, err := possibleMassesParallel(a, rel, workers)
+	if err != nil {
+		return nil, err
+	}
+	return foldAll(tms), nil
+}
+
+// PossiblePParallel computes the confidence table of rel on the snapshot
+// with a parallel group sweep; byte-identical to PossibleP.
+func (sn *Snapshot) PossiblePParallel(rel string, workers int) ([]TupleConf, error) {
+	tms, err := possibleMassesParallel(sn, rel, workers)
+	if err != nil {
+		return nil, err
+	}
+	return foldAll(tms), nil
+}

@@ -182,3 +182,114 @@ func ImportState(st *StoreState) (*Store, error) {
 	}
 	return s, nil
 }
+
+// InstallRelation installs a bulk-loaded relation — a flat RelState plus the
+// components backing its placeholder fields — into a live store. Unlike
+// ImportState, which builds a fresh store, this grafts onto an existing
+// catalog: the relation gets the next free id, component ids are remapped
+// past the store's sequence, and every field reference is rewritten to the
+// new relation id (the components must reference only the installed
+// relation). The store takes ownership of the state's slices. All local
+// invariants are checked before anything is registered, so a failed install
+// leaves the store untouched.
+func (s *Store) InstallRelation(rs *RelState, comps []*CompState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
+	if rs == nil || rs.Name == "" {
+		return fmt.Errorf("engine: install: empty relation")
+	}
+	if _, dup := s.relID[rs.Name]; dup {
+		return fmt.Errorf("engine: relation %q already exists", rs.Name)
+	}
+	if len(rs.Cols) != len(rs.Attrs) {
+		return fmt.Errorf("engine: install: relation %q has %d columns for %d attributes", rs.Name, len(rs.Cols), len(rs.Attrs))
+	}
+	relID := int32(len(s.rels))
+	r := &Relation{
+		id:        relID,
+		Name:      rs.Name,
+		Attrs:     rs.Attrs,
+		Cols:      rs.Cols,
+		uncertain: make(map[int32][]uint16),
+	}
+	n := -1
+	for a, col := range rs.Cols {
+		if n < 0 {
+			n = len(col)
+		}
+		if len(col) != n {
+			return fmt.Errorf("engine: install: relation %q column %s has %d rows, want %d", rs.Name, rs.Attrs[a], len(col), n)
+		}
+		for row, v := range col {
+			if v < Placeholder {
+				return fmt.Errorf("engine: install: relation %q has invalid value %d", rs.Name, v)
+			}
+			if v == Placeholder {
+				r.uncertain[int32(row)] = append(r.uncertain[int32(row)], uint16(a))
+			}
+		}
+	}
+	// Check the components against the relation (and each other) before
+	// registering anything: the checks mirror ImportState's, scoped to the
+	// installed relation. Field Rel values are rewritten to the new id, so a
+	// loader built against a single-relation store (Rel 0) installs cleanly.
+	placeholders := 0
+	for _, attrs := range r.uncertain {
+		placeholders += len(attrs)
+	}
+	covered := make(map[FieldID]bool, placeholders)
+	built := make([]*Component, 0, len(comps))
+	for i, cs := range comps {
+		if cs == nil {
+			return fmt.Errorf("engine: install: nil component")
+		}
+		if len(cs.Fields) == 0 || len(cs.Fields) > MaxCompFields {
+			return fmt.Errorf("engine: install: component %d has %d fields", cs.ID, len(cs.Fields))
+		}
+		if len(cs.Rows) == 0 {
+			return fmt.Errorf("engine: install: component %d has no local worlds", cs.ID)
+		}
+		id := s.nextCID + int32(i) + 1
+		c := &Component{ID: id, Fields: make([]FieldID, len(cs.Fields)), Rows: cs.Rows, pos: make(map[FieldID]int, len(cs.Fields))}
+		var mass float64
+		for _, row := range cs.Rows {
+			if len(row.Vals) != len(cs.Fields) {
+				return fmt.Errorf("engine: install: component %d row has %d values for %d fields", cs.ID, len(row.Vals), len(cs.Fields))
+			}
+			mass += row.P
+		}
+		if mass < 1-1e-6 || mass > 1+1e-6 {
+			return fmt.Errorf("engine: install: component %d probabilities sum to %g", cs.ID, mass)
+		}
+		for j, f := range cs.Fields {
+			f.Rel = relID
+			if f.Row < 0 || int(f.Row) >= n || int(f.Attr) >= len(rs.Attrs) {
+				return fmt.Errorf("engine: install: component %d field %v outside relation %q", cs.ID, f, rs.Name)
+			}
+			if rs.Cols[f.Attr][f.Row] != Placeholder {
+				return fmt.Errorf("engine: install: component %d field %v is not a placeholder cell", cs.ID, f)
+			}
+			if covered[f] {
+				return fmt.Errorf("engine: install: field %v belongs to two components", f)
+			}
+			covered[f] = true
+			c.Fields[j] = f
+			c.pos[f] = j
+		}
+		built = append(built, c)
+	}
+	if len(covered) != placeholders {
+		return fmt.Errorf("engine: install: relation %q has %d placeholder fields but %d component fields", rs.Name, placeholders, len(covered))
+	}
+	s.relID[rs.Name] = relID
+	s.rels = append(s.rels, r)
+	for _, c := range built {
+		s.comps[c.ID] = c
+		for _, f := range c.Fields {
+			s.fieldComp[f] = c.ID
+		}
+	}
+	s.nextCID += int32(len(built))
+	return nil
+}

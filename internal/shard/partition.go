@@ -1,0 +1,216 @@
+// Package shard partitions a world-set store into N independent sub-stores
+// keyed by component connectivity and runs queries and the confidence fold
+// morsel-parallel across them.
+//
+// The partitioning invariant: a component never spans two shards. The
+// world-set decomposition is a product of independent factors, so the store
+// splits along exactly the seams the paper's representation already has —
+// union-find over field↔component edges groups template rows into
+// connectivity units, every unit lands whole on one shard, and components
+// follow their rows. Per-shard answers then compose by the product rule
+// with no cross-shard correlation, which is what keeps CONF/POSSIBLE/CERTAIN
+// exact (see docs/sharding.md for the proof sketch).
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"maybms/internal/engine"
+)
+
+// unitKey packs a (relation id, row) pair; ascending key order is ascending
+// (rel, row) order, which makes the unit enumeration deterministic.
+func unitKey(rel, row int32) uint64 {
+	return uint64(uint32(rel))<<32 | uint64(uint32(row))
+}
+
+// partition is the computed assignment of every template row to a shard,
+// with the order-preserving local renumbering that builds the sub-stores.
+type partition struct {
+	n int
+	// rowShard[rel][row] is the shard owning the row; localRow[rel][row] its
+	// row index inside that shard's copy of the relation. Renumbering is
+	// order-preserving per (relation, shard): global row order is kept, so
+	// the tuple-level view's composition and marginalization orders — and
+	// therefore every per-group probability mass — are bit-identical to the
+	// unsharded store's.
+	rowShard [][]int32
+	localRow [][]int32
+	rows     []int // rows assigned per shard
+	units    int
+}
+
+// computePartition groups rows into connectivity units via union-find over
+// the state's components and deals units greedily onto the least-loaded
+// shard, in deterministic unit order (ascending minimal member key).
+func computePartition(st *engine.StoreState, n int) *partition {
+	parent := make(map[uint64]uint64)
+	var find func(x uint64) uint64
+	find = func(x uint64) uint64 {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(x, y uint64) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	for _, cs := range st.Comps {
+		first := unitKey(cs.Fields[0].Rel, cs.Fields[0].Row)
+		for _, f := range cs.Fields[1:] {
+			union(first, unitKey(f.Rel, f.Row))
+		}
+	}
+
+	p := &partition{
+		n:        n,
+		rowShard: make([][]int32, len(st.Rels)),
+		localRow: make([][]int32, len(st.Rels)),
+		rows:     make([]int, n),
+	}
+	// Enumerate units in ascending (rel, row) scan order: the first row of a
+	// unit names it. Count sizes first, then deal units onto shards.
+	unitOf := make(map[uint64]int)
+	var sizes []int
+	for ri, rs := range st.Rels {
+		if rs == nil {
+			continue
+		}
+		rows := 0
+		if len(rs.Cols) > 0 {
+			rows = len(rs.Cols[0])
+		}
+		p.rowShard[ri] = make([]int32, rows)
+		p.localRow[ri] = make([]int32, rows)
+		for row := 0; row < rows; row++ {
+			root := find(unitKey(int32(ri), int32(row)))
+			u, ok := unitOf[root]
+			if !ok {
+				u = len(sizes)
+				unitOf[root] = u
+				sizes = append(sizes, 0)
+			}
+			sizes[u]++
+			// Stash the unit ordinal; the shard index replaces it below.
+			p.rowShard[ri][row] = int32(u)
+		}
+	}
+	p.units = len(sizes)
+	shardOf := make([]int32, len(sizes))
+	for u, size := range sizes {
+		best := 0
+		for k := 1; k < n; k++ {
+			if p.rows[k] < p.rows[best] {
+				best = k
+			}
+		}
+		shardOf[u] = int32(best)
+		p.rows[best] += size
+	}
+	// Replace unit ordinals with shard indexes and assign local row numbers
+	// in global row order.
+	local := make([]int32, n)
+	for ri, rs := range p.rowShard {
+		if rs == nil {
+			continue
+		}
+		for k := range local {
+			local[k] = 0
+		}
+		for row := range rs {
+			k := shardOf[rs[row]]
+			rs[row] = k
+			p.localRow[ri][row] = local[k]
+			local[k]++
+		}
+	}
+	return p
+}
+
+// buildStates slices the flat state into one StoreState per shard: every
+// relation slot is present in every shard (ids stay aligned with the
+// authority), rows are filtered by ownership in order, and components are
+// copied with their field rows remapped to local numbering. Component ids
+// and local-world rows are shared with the authority state (read-only).
+func buildStates(st *engine.StoreState, p *partition) []*engine.StoreState {
+	out := make([]*engine.StoreState, p.n)
+	for k := range out {
+		out[k] = &engine.StoreState{
+			Rels:       make([]*engine.RelState, len(st.Rels)),
+			NextCID:    st.NextCID,
+			ScratchSeq: st.ScratchSeq,
+		}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < p.n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sk := out[k]
+			for ri, rs := range st.Rels {
+				if rs == nil {
+					continue
+				}
+				cols := make([][]int32, len(rs.Cols))
+				for a, col := range rs.Cols {
+					kept := make([]int32, 0, len(col)/p.n+1)
+					owner := p.rowShard[ri]
+					for row, v := range col {
+						if owner[row] == int32(k) {
+							kept = append(kept, v)
+						}
+					}
+					cols[a] = kept
+				}
+				sk.Rels[ri] = &engine.RelState{Name: rs.Name, Attrs: rs.Attrs, Cols: cols}
+			}
+			for _, cs := range st.Comps {
+				f0 := cs.Fields[0]
+				if p.rowShard[f0.Rel][f0.Row] != int32(k) {
+					continue
+				}
+				fields := make([]engine.FieldID, len(cs.Fields))
+				for i, f := range cs.Fields {
+					fields[i] = engine.FieldID{Rel: f.Rel, Row: p.localRow[f.Rel][f.Row], Attr: f.Attr}
+				}
+				sk.Comps = append(sk.Comps, &engine.CompState{ID: cs.ID, Fields: fields, Rows: cs.Rows})
+			}
+		}(k)
+	}
+	wg.Wait()
+	return out
+}
+
+// validatePartition re-checks the invariant on the computed assignment:
+// every component's fields resolve to a single shard.
+func validatePartition(st *engine.StoreState, p *partition) error {
+	for _, cs := range st.Comps {
+		k := p.rowShard[cs.Fields[0].Rel][cs.Fields[0].Row]
+		for _, f := range cs.Fields[1:] {
+			if p.rowShard[f.Rel][f.Row] != k {
+				return fmt.Errorf("shard: component %d spans shards %d and %d (field %v)",
+					cs.ID, k, p.rowShard[f.Rel][f.Row], f)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedCompIDs returns the component ids of a state in ascending order
+// (already sorted on export; re-sorted defensively for validation).
+func sortedCompIDs(st *engine.StoreState) []int32 {
+	ids := make([]int32, len(st.Comps))
+	for i, cs := range st.Comps {
+		ids[i] = cs.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

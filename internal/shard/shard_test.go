@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"maybms/internal/engine"
+)
+
+// randState builds a random multi-relation store state: template relations
+// with placeholder cells, grouped into components of 1–3 fields. Fields of
+// one component are drawn across relations on purpose — cross-relation
+// components force shard co-location, the hard case of the partitioner.
+func randState(r *rand.Rand, nrels, rows int) *engine.StoreState {
+	st := &engine.StoreState{}
+	var fields []engine.FieldID
+	for ri := 0; ri < nrels; ri++ {
+		attrs := []string{"A", "B", "C"}
+		cols := make([][]int32, len(attrs))
+		n := rows/2 + r.Intn(rows+1)
+		for a := range cols {
+			cols[a] = make([]int32, n)
+			for row := range cols[a] {
+				cols[a][row] = int32(r.Intn(40))
+			}
+		}
+		// Sprinkle placeholders over ~15% of the cells.
+		for row := 0; row < n; row++ {
+			for a := range attrs {
+				if r.Float64() < 0.15 {
+					cols[a][row] = engine.Placeholder
+					fields = append(fields, engine.FieldID{Rel: int32(ri), Row: int32(row), Attr: uint16(a)})
+				}
+			}
+		}
+		st.Rels = append(st.Rels, &engine.RelState{
+			Name:  fmt.Sprintf("R%d", ri),
+			Attrs: attrs,
+			Cols:  cols,
+		})
+	}
+	r.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	for len(fields) > 0 {
+		k := 1 + r.Intn(3)
+		if k > len(fields) {
+			k = len(fields)
+		}
+		fs := append([]engine.FieldID(nil), fields[:k]...)
+		fields = fields[k:]
+		nw := 1 + r.Intn(3)
+		crows := make([]engine.CompRow, nw)
+		total := 0.0
+		for w := range crows {
+			vals := make([]int32, k)
+			for i := range vals {
+				vals[i] = int32(r.Intn(40))
+			}
+			crows[w] = engine.CompRow{Vals: vals, P: 0.1 + r.Float64()}
+			total += crows[w].P
+		}
+		for w := range crows {
+			crows[w].P /= total
+		}
+		st.NextCID++
+		st.Comps = append(st.Comps, &engine.CompState{ID: st.NextCID, Fields: fs, Rows: crows})
+	}
+	return st
+}
+
+func mustImport(t *testing.T, st *engine.StoreState) *engine.Store {
+	t.Helper()
+	s, err := engine.ImportState(st)
+	if err != nil {
+		t.Fatalf("ImportState: %v", err)
+	}
+	return s
+}
+
+func relNames(st *engine.StoreState) []string {
+	var out []string
+	for _, rs := range st.Rels {
+		if rs != nil {
+			out = append(out, rs.Name)
+		}
+	}
+	return out
+}
+
+// requireSameTable asserts byte-identity of two confidence tables: same
+// tuples, and bit-equal float64 confidences.
+func requireSameTable(t *testing.T, ctx string, want, got []engine.TupleConf) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d tuples, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if engine.CompareTuples(want[i].Tuple, got[i].Tuple) != 0 {
+			t.Fatalf("%s: tuple %d is %v, want %v", ctx, i, got[i].Tuple, want[i].Tuple)
+		}
+		if want[i].Conf != got[i].Conf {
+			t.Fatalf("%s: tuple %v conf %v, want %v (not byte-identical)", ctx, got[i].Tuple, got[i].Conf, want[i].Conf)
+		}
+	}
+}
+
+// TestDifferentialPossibleP is the randomized differential suite: across
+// seeds and shard counts, the sharded confidence table must be byte-identical
+// to the single-store engine's.
+func TestDifferentialPossibleP(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		st := randState(rand.New(rand.NewSource(seed)), 3, 60)
+		authority := mustImport(t, st)
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			sh, err := New(authority, n, 2)
+			if err != nil {
+				t.Fatalf("seed %d n=%d: New: %v", seed, n, err)
+			}
+			if err := sh.Validate(); err != nil {
+				t.Fatalf("seed %d n=%d: Validate: %v", seed, n, err)
+			}
+			for _, rel := range relNames(st) {
+				want, err := authority.PossibleP(rel)
+				if err != nil {
+					t.Fatalf("seed %d: authority PossibleP(%s): %v", seed, rel, err)
+				}
+				got, err := sh.PossibleP(rel)
+				if err != nil {
+					t.Fatalf("seed %d n=%d: sharded PossibleP(%s): %v", seed, n, rel, err)
+				}
+				requireSameTable(t, fmt.Sprintf("seed %d n=%d rel %s", seed, n, rel), want, got)
+			}
+		}
+	}
+}
+
+// TestCrossRelationCoLocation pins the invariant directly: a component
+// spanning relations lands whole on one shard, whatever the shard count.
+func TestCrossRelationCoLocation(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(42)), 4, 80)
+	cross := 0
+	for _, cs := range st.Comps {
+		rel := cs.Fields[0].Rel
+		for _, f := range cs.Fields[1:] {
+			if f.Rel != rel {
+				cross++
+				break
+			}
+		}
+	}
+	if cross == 0 {
+		t.Fatalf("generator produced no cross-relation components; the test would be vacuous")
+	}
+	for _, n := range []int{2, 3, 8} {
+		p := computePartition(st, n)
+		if err := validatePartition(st, p); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestPartitionDeterministic: the same state partitions identically every
+// time (the assignment drives fingerprints and restore byte-identity).
+func TestPartitionDeterministic(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(7)), 3, 100)
+	a := computePartition(st, 4)
+	b := computePartition(st, 4)
+	for ri := range a.rowShard {
+		for row := range a.rowShard[ri] {
+			if a.rowShard[ri][row] != b.rowShard[ri][row] || a.localRow[ri][row] != b.localRow[ri][row] {
+				t.Fatalf("rel %d row %d: nondeterministic assignment", ri, row)
+			}
+		}
+	}
+	authority := mustImport(t, st)
+	s1, err := New(authority, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(authority, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := s1.Fingerprints(), s2.Fingerprints()
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("shard %d: fingerprint %08x vs %08x", i, f1[i], f2[i])
+		}
+	}
+}
+
+// TestValidateDetectsDrift: mutating the authority without Resync is exactly
+// the drift Validate exists to catch.
+func TestValidateDetectsDrift(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(3)), 2, 40)
+	authority := mustImport(t, st)
+	sh, err := New(authority, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Validate(); err != nil {
+		t.Fatalf("fresh shard set: %v", err)
+	}
+	if _, err := authority.AddRelation("S", []string{"X"}, [][]int32{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Validate(); err == nil {
+		t.Fatalf("Validate missed a drifted authority")
+	}
+	if err := sh.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Validate(); err != nil {
+		t.Fatalf("after Resync: %v", err)
+	}
+}
+
+// TestResyncUnderReaders hammers Resync while readers fold confidence — the
+// commit/re-balance-while-readers-hold-snapshots case, meaningful under
+// -race. Readers must never observe an error or a non-exact table.
+func TestResyncUnderReaders(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(11)), 2, 50)
+	authority := mustImport(t, st)
+	sh, err := New(authority, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sh.PossibleP("R0"); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	certainRow := -1
+	r0 := authority.Rel("R0")
+	for row := 0; row < r0.NumRows(); row++ {
+		if r0.Cols[0][row] != engine.Placeholder {
+			certainRow = row
+			break
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if certainRow >= 0 && i == 5 {
+			// One catalog-shaped commit mid-stream: a new uncertain field.
+			if err := authority.SetUncertain("R0", certainRow, "A", []int32{1, 2, 3}, nil); err != nil {
+				t.Errorf("SetUncertain: %v", err)
+			}
+		}
+		if err := sh.Resync(); err != nil {
+			t.Errorf("Resync %d: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	want, err := authority.PossibleP("R0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sh.PossibleP("R0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTable(t, "after resyncs", want, got)
+}
+
+// TestParallelFoldIdentity: the engine's striped sweep (PossiblePParallel)
+// must be byte-identical to the serial fold — it backs the morsel-parallel
+// confidence path on non-distributable plans.
+func TestParallelFoldIdentity(t *testing.T) {
+	st := randState(rand.New(rand.NewSource(19)), 2, 600)
+	authority := mustImport(t, st)
+	sn := authority.Snapshot()
+	for _, rel := range relNames(st) {
+		want, err := sn.PossibleP(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{0, 1, 3, 8} {
+			got, err := sn.PossiblePParallel(rel, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameTable(t, fmt.Sprintf("rel %s workers %d", rel, w), want, got)
+		}
+	}
+}
+
+// TestWorkerClamp pins the satellite fix: the default pool derives from
+// GOMAXPROCS and is clamped.
+func TestWorkerClamp(t *testing.T) {
+	w := engine.DefaultConfWorkers()
+	if w < 1 || w > engine.MaxConfWorkers {
+		t.Fatalf("DefaultConfWorkers() = %d, want within [1, %d]", w, engine.MaxConfWorkers)
+	}
+	st := randState(rand.New(rand.NewSource(1)), 1, 10)
+	sh, err := New(mustImport(t, st), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Workers(); got != w {
+		t.Fatalf("Workers() = %d, want derived default %d", got, w)
+	}
+}

@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"maybms/internal/engine"
+)
+
+// Store partitions an authority engine.Store into N independent sub-stores.
+// The authority remains the system of record — every commit still lands
+// there (and in the WAL) — and the sub-stores are a derived, rebuildable
+// execution structure: Resync re-partitions from the authority's current
+// snapshot and swaps the sub-store set atomically, so readers holding
+// snapshots of the old set keep a consistent view while new queries see the
+// new one.
+type Store struct {
+	authority *engine.Store
+	n         int
+	workers   int
+
+	mu   sync.RWMutex
+	subs []*engine.Store
+	gen  int64 // bumped per Resync; Explain reports it
+}
+
+// New partitions authority into n sub-stores (n ≥ 1) executed by a pool of
+// the given worker count (0 derives the default from GOMAXPROCS with a
+// clamp, see engine.DefaultConfWorkers).
+func New(authority *engine.Store, n, workers int) (*Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: %d shards (want ≥ 1)", n)
+	}
+	if workers <= 0 {
+		workers = engine.DefaultConfWorkers()
+	}
+	if workers > engine.MaxConfWorkers {
+		workers = engine.MaxConfWorkers
+	}
+	s := &Store{authority: authority, n: n, workers: workers}
+	if err := s.Resync(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// N returns the shard count, Workers the worker-pool size.
+func (s *Store) N() int       { return s.n }
+func (s *Store) Workers() int { return s.workers }
+
+// Generation returns the number of completed Resyncs (the re-balance
+// counter; Explain reports it).
+func (s *Store) Generation() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Resync re-partitions the authority's current state and swaps the
+// sub-store set in — the re-balance step after a commit. The per-shard
+// stores are rebuilt in parallel; readers holding snapshots of the old
+// sub-stores are unaffected (the swap is just a pointer exchange).
+func (s *Store) Resync() error {
+	st := s.authority.ExportState()
+	p := computePartition(st, s.n)
+	if err := validatePartition(st, p); err != nil {
+		return err
+	}
+	states := buildStates(st, p)
+	subs := make([]*engine.Store, s.n)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for k := range states {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			subs[k], errs[k] = engine.ImportState(states[k])
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: rebuilding shard %d: %w", k, err)
+		}
+	}
+	s.mu.Lock()
+	s.subs = subs
+	s.gen++
+	s.mu.Unlock()
+	return nil
+}
+
+// Snapshots returns one O(1) copy-on-write snapshot per shard — a mutually
+// consistent read view of the current sub-store set.
+func (s *Store) Snapshots() []*engine.Snapshot {
+	s.mu.RLock()
+	subs := s.subs
+	s.mu.RUnlock()
+	snaps := make([]*engine.Snapshot, len(subs))
+	for i, sub := range subs {
+		snaps[i] = sub.Snapshot()
+	}
+	return snaps
+}
+
+// Each runs f for every shard on the store's worker pool and returns the
+// first error. All shards see the same consistent snapshot set.
+func (s *Store) Each(f func(shard int, sn *engine.Snapshot) error) error {
+	return EachSnapshot(s.Snapshots(), s.workers, f)
+}
+
+// EachSnapshot fans f out over an already-taken snapshot set on a pool of
+// the given width; it is the scheduler under both Each and the sql layer's
+// sharded executor (which must pin one snapshot set per query).
+func EachSnapshot(snaps []*engine.Snapshot, workers int, f func(shard int, sn *engine.Snapshot) error) error {
+	if workers <= 0 {
+		workers = engine.DefaultConfWorkers()
+	}
+	if workers > len(snaps) {
+		workers = len(snaps)
+	}
+	if workers <= 1 {
+		for i, sn := range snaps {
+			if err := f(i, sn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := f(i, snaps[i]); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range snaps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return first
+}
+
+// PossibleMasses computes the pre-fold confidence table of rel across all
+// shards: each shard's table covers its own groups, and the merged mass
+// multiset per tuple equals the unsharded store's (the groups are
+// partitioned, never split), so folding gives byte-identical confidences.
+func (s *Store) PossibleMasses(rel string) ([]engine.TupleMasses, error) {
+	snaps := s.Snapshots()
+	parts := make([][]engine.TupleMasses, len(snaps))
+	err := EachSnapshot(snaps, s.workers, func(i int, sn *engine.Snapshot) error {
+		tms, err := sn.PossibleMasses(rel)
+		if err != nil {
+			return err
+		}
+		parts[i] = tms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.MergeMasses(parts), nil
+}
+
+// PossibleP computes the Figure 19 confidence table of rel morsel-parallel
+// across the shards; byte-identical to the unsharded engine's PossibleP.
+func (s *Store) PossibleP(rel string) ([]engine.TupleConf, error) {
+	tms, err := s.PossibleMasses(rel)
+	if err != nil {
+		return nil, err
+	}
+	return engine.FoldMassTable(tms), nil
+}
+
+// Info describes one shard's slice of a relation for EXPLAIN.
+type Info struct {
+	Shard int
+	Rows  int
+	Stats engine.Stats
+}
+
+// RelInfo returns per-shard row counts and representation statistics of rel
+// (nil entries for shards where the relation is unknown — cannot happen for
+// authority-cataloged relations, every shard carries every relation slot).
+func (s *Store) RelInfo(rel string) []Info {
+	snaps := s.Snapshots()
+	out := make([]Info, len(snaps))
+	for i, sn := range snaps {
+		out[i] = Info{Shard: i}
+		if r := sn.Rel(rel); r != nil {
+			out[i].Rows = r.NumRows()
+			out[i].Stats = sn.Stats(rel)
+		}
+	}
+	return out
+}
+
+// Validate re-checks the cross-shard invariants against the authority's
+// current state: the row partition conserves every relation, each component
+// lives on exactly one shard, and no component id appears twice across the
+// sub-store set. The per-shard internal invariants were already re-validated
+// by ImportState on every Resync.
+func (s *Store) Validate() error {
+	st := s.authority.ExportState()
+	snaps := s.Snapshots()
+	for ri, rs := range st.Rels {
+		if rs == nil {
+			continue
+		}
+		want := 0
+		if len(rs.Cols) > 0 {
+			want = len(rs.Cols[0])
+		}
+		got := 0
+		for _, sn := range snaps {
+			r := sn.Rel(rs.Name)
+			if r == nil {
+				return fmt.Errorf("shard: relation %q missing from a shard", rs.Name)
+			}
+			got += r.NumRows()
+		}
+		if got != want {
+			return fmt.Errorf("shard: relation %q has %d rows across shards, authority has %d (slot %d)", rs.Name, got, want, ri)
+		}
+	}
+	owner := make(map[int32]int)
+	total := 0
+	for i, sn := range snaps {
+		ids := sortedCompIDs(sn.ExportState())
+		total += len(ids)
+		for _, id := range ids {
+			if prev, dup := owner[id]; dup {
+				return fmt.Errorf("shard: component %d on both shard %d and shard %d", id, prev, i)
+			}
+			owner[id] = i
+		}
+	}
+	if total != len(st.Comps) {
+		return fmt.Errorf("shard: %d components across shards, authority has %d", total, len(st.Comps))
+	}
+	for _, cs := range st.Comps {
+		if _, ok := owner[cs.ID]; !ok {
+			return fmt.Errorf("shard: component %d missing from every shard", cs.ID)
+		}
+	}
+	return nil
+}
+
+// Fingerprints returns a deterministic CRC32 per shard over the shard's
+// flat state — relation names, attributes, columns, and components with
+// their local worlds. Two boots of the same durable directory with the same
+// shard count log identical fingerprints; the CI persistence-smoke job
+// diffs them across a kill -9 restart.
+func (s *Store) Fingerprints() []uint32 {
+	s.mu.RLock()
+	subs := s.subs
+	s.mu.RUnlock()
+	out := make([]uint32, len(subs))
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub *engine.Store) {
+			defer wg.Done()
+			out[i] = fingerprintState(sub.ExportState())
+		}(i, sub)
+	}
+	wg.Wait()
+	return out
+}
+
+// fingerprintState hashes a flat store state deterministically.
+func fingerprintState(st *engine.StoreState) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u32(uint32(len(s)))
+		h.Write([]byte(s))
+	}
+	u32(uint32(len(st.Rels)))
+	for _, rs := range st.Rels {
+		if rs == nil {
+			u32(math.MaxUint32)
+			continue
+		}
+		str(rs.Name)
+		u32(uint32(len(rs.Attrs)))
+		for _, a := range rs.Attrs {
+			str(a)
+		}
+		for _, col := range rs.Cols {
+			u32(uint32(len(col)))
+			for _, v := range col {
+				u32(uint32(v))
+			}
+		}
+	}
+	u32(uint32(len(st.Comps)))
+	for _, cs := range st.Comps {
+		u32(uint32(cs.ID))
+		u32(uint32(len(cs.Fields)))
+		for _, f := range cs.Fields {
+			u32(uint32(f.Rel))
+			u32(uint32(f.Row))
+			u32(uint32(f.Attr))
+		}
+		u32(uint32(len(cs.Rows)))
+		for _, row := range cs.Rows {
+			u32(uint32(len(row.Vals)))
+			for _, v := range row.Vals {
+				u32(uint32(v))
+			}
+			u32(uint32(len(row.Absent)))
+			for _, w := range row.Absent {
+				u64(w)
+			}
+			u64(math.Float64bits(row.P))
+		}
+	}
+	return h.Sum32()
+}

@@ -1,7 +1,10 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 
 	"maybms/internal/engine"
@@ -33,6 +36,25 @@ func Restore(dir string) (*DB, int, error) {
 	}
 	st, err := d.LoadLatest()
 	if err != nil {
+		if errors.Is(err, storage.ErrNoSnapshot) {
+			// WAL-only boot: a directory that has logged commits (a durable
+			// CSV ingest through CreateDir, say) but never checkpointed
+			// restores from the generation-0 log alone. A fresh directory
+			// (empty log) still reports ErrNoSnapshot, so the InitDir
+			// bootstrap path of existing callers is unchanged.
+			db := Open(engine.NewStore())
+			n, rerr := db.replayWAL(d)
+			if rerr != nil {
+				d.Close()
+				db.Close()
+				return nil, 0, rerr
+			}
+			if n > 0 {
+				db.dur = d
+				return db, n, nil
+			}
+			db.Close()
+		}
 		d.Close()
 		return nil, 0, err
 	}
@@ -60,6 +82,39 @@ func InitDir(dir string, st *engine.Store) (*DB, error) {
 		return nil, err
 	}
 	db := Open(st)
+	db.dur = d
+	return db, nil
+}
+
+// CreateDir opens a fresh durable directory and binds an empty store to it:
+// every commit — including bulk CSV ingests and chases — is logged from the
+// first record, so the session is durable before any snapshot exists
+// (Restore replays the log over an empty store). A directory that already
+// holds a snapshot or logged commits is refused; use Restore for those.
+func CreateDir(dir string) (*DB, error) {
+	d, err := storage.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.LoadLatest(); err == nil {
+		d.Close()
+		return nil, fmt.Errorf("sql: CreateDir: %s already holds a snapshot; use Restore", dir)
+	} else if !errors.Is(err, storage.ErrNoSnapshot) {
+		d.Close()
+		return nil, err
+	}
+	db := Open(engine.NewStore())
+	n, err := db.replayWAL(d)
+	if err != nil {
+		d.Close()
+		db.Close()
+		return nil, err
+	}
+	if n > 0 {
+		d.Close()
+		db.Close()
+		return nil, fmt.Errorf("sql: CreateDir: %s already holds %d logged commits; use Restore", dir, n)
+	}
 	db.dur = d
 	return db, nil
 }
@@ -111,6 +166,7 @@ func (db *DB) RenameRelation(old, new string) error {
 		}
 		return fmt.Errorf("sql: logging RENAME: %w", err)
 	}
+	db.resyncShards()
 	return nil
 }
 
@@ -134,7 +190,84 @@ func (db *DB) Chase(rel string, deps []engine.EGD, opts engine.ChaseOptions) err
 		// whoever reads its error) sees that the log is missing a commit.
 		db.durErr = fmt.Errorf("logging CHASE %s: %w", rel, err)
 	}
+	db.resyncShards()
 	return nil
+}
+
+// SetUncertain replaces the field (rel, row, attr) by an or-set of values
+// with probabilities (nil probs = uniform) and logs the commit, so durable
+// CSV boots that add uncertainty after the load survive a restart without a
+// first checkpoint.
+func (db *DB) SetUncertain(rel string, row int, attr string, values []int32, probs []float64) error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if err := db.store.SetUncertain(rel, row, attr, values, probs); err != nil {
+		return err
+	}
+	if err := db.logCommit(&storage.WALRecord{
+		Type:   storage.RecSetUncertain,
+		Rel:    rel,
+		Row:    int32(row),
+		Attr:   attr,
+		Values: values,
+		Probs:  probs,
+	}); err != nil {
+		// The or-set is already committed and cannot be undone; remember the
+		// divergence so Checkpoint refuses to compact a log that is short.
+		db.durErr = fmt.Errorf("logging SET UNCERTAIN %s: %w", rel, err)
+	}
+	db.resyncShards()
+	return nil
+}
+
+// IngestCSV bulk-loads a CSV file as a new relation rel and logs the commit
+// as a single LOAD CSV record carrying the file's CRC32 and row count — the
+// log stays O(1) in the data size, and replay re-reads the file and verifies
+// both before trusting it. The file must therefore outlive the log (until
+// the next Checkpoint captures the loaded state in a snapshot).
+func (db *DB) IngestCSV(path, rel string) (storage.LoadInfo, error) {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	return db.ingestCSVLocked(path, rel, nil)
+}
+
+// ingestCSVLocked loads path into rel; callers hold db.writer. A non-nil
+// replay record means this is WAL replay: the file's checksum and row count
+// must match what was logged, and nothing is re-logged (db.dur is nil during
+// replay anyway).
+func (db *DB) ingestCSVLocked(path, rel string, replay *storage.WALRecord) (storage.LoadInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return storage.LoadInfo{}, fmt.Errorf("sql: ingest: %w", err)
+	}
+	defer f.Close()
+	sum := crc32.NewIEEE()
+	rs, comps, info, err := storage.LoadCSVState(io.TeeReader(f, sum), path, rel)
+	if err != nil {
+		return storage.LoadInfo{}, err
+	}
+	if replay != nil && (sum.Sum32() != replay.Sum || int64(info.Rows) != replay.Rows) {
+		return storage.LoadInfo{}, fmt.Errorf(
+			"sql: replaying LOAD CSV %s: file changed since it was logged (checksum %08x/%d rows, logged %08x/%d); restore the original file or checkpoint-and-drop the relation",
+			path, sum.Sum32(), info.Rows, replay.Sum, replay.Rows)
+	}
+	if err := db.store.InstallRelation(rs, comps); err != nil {
+		return storage.LoadInfo{}, err
+	}
+	if err := db.logCommit(&storage.WALRecord{
+		Type: storage.RecLoadCSV,
+		Rel:  rel,
+		Path: path,
+		Sum:  sum.Sum32(),
+		Rows: int64(info.Rows),
+	}); err != nil {
+		// Undo the install so the store never diverges from what a replay
+		// would rebuild.
+		db.store.DropRelation(rel)
+		return storage.LoadInfo{}, fmt.Errorf("sql: logging LOAD CSV: %w", err)
+	}
+	db.resyncShards()
+	return info, nil
 }
 
 // logCommit appends one record to the DB's log; callers hold db.writer. A
@@ -177,6 +310,13 @@ func (db *DB) applyWALRecord(rec *storage.WALRecord) error {
 			AssumeClean: rec.AssumeClean,
 			Refined:     rec.Refined,
 		})
+	case storage.RecSetUncertain:
+		return db.SetUncertain(rec.Rel, int(rec.Row), rec.Attr, rec.Values, rec.Probs)
+	case storage.RecLoadCSV:
+		db.writer.Lock()
+		defer db.writer.Unlock()
+		_, err := db.ingestCSVLocked(rec.Path, rec.Rel, rec)
+		return err
 	}
 	return fmt.Errorf("sql: unknown WAL record type %d", rec.Type)
 }

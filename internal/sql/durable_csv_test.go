@@ -1,0 +1,171 @@
+package sql_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maybms/internal/sql"
+	"maybms/internal/storage"
+)
+
+const bootCSV = "AGE,SEX,YEARSCH\n3,1,17\n5|7,2,17\n2,1|2,11\n9,2,17\n"
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDurableCSVBoot: CreateDir + IngestCSV + SetUncertain are durable with
+// no snapshot ever written — Restore boots from the WAL alone, re-reading
+// the CSV, and answers queries identically.
+func TestDurableCSVBoot(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, bootCSV)
+	db, err := sql.CreateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := db.IngestCSV(csvPath, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 4 || info.OrSets != 2 {
+		t.Fatalf("LoadInfo = %+v, want 4 rows, 2 or-sets", info)
+	}
+	if err := db.SetUncertain("R", 3, "AGE", []int32{9, 4}, []float64{0.75, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT CONF() FROM R WHERE YEARSCH = 17"
+	want := confLines(t, db, q)
+	wantStats := db.Stats("R")
+	// Close without Checkpoint: the directory holds only the log.
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d records, want LOAD CSV + SET UNCERTAIN", replayed)
+	}
+	if got := db2.Stats("R"); got != wantStats {
+		t.Fatalf("WAL-only boot stats %+v, want %+v", got, wantStats)
+	}
+	got := confLines(t, db2, q)
+	if len(got) != len(want) {
+		t.Fatalf("%d result rows after WAL-only boot, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %q after WAL-only boot, want %q", i, got[i], want[i])
+		}
+	}
+	// A checkpoint compacts the log; the next restore replays nothing and
+	// no longer needs the CSV file.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	if err := os.Remove(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	db3, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if replayed != 0 {
+		t.Fatalf("replayed %d records after checkpoint, want 0", replayed)
+	}
+	if got := db3.Stats("R"); got != wantStats {
+		t.Fatalf("post-checkpoint stats %+v, want %+v", got, wantStats)
+	}
+}
+
+// TestLoadCSVReplayChecksum: replay re-reads the logged CSV and refuses a
+// file whose bytes changed since the load.
+func TestLoadCSVReplayChecksum(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeCSV(t, bootCSV)
+	db, err := sql.CreateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.IngestCSV(csvPath, "R"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := os.WriteFile(csvPath, []byte("AGE,SEX,YEARSCH\n1,1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sql.Restore(dir)
+	if err == nil || !strings.Contains(err.Error(), "changed since it was logged") {
+		t.Fatalf("Restore over a modified CSV: got %v, want checksum error", err)
+	}
+}
+
+// TestCreateDirRefusesNonEmpty: a directory with a snapshot, or with logged
+// commits, must go through Restore instead.
+func TestCreateDirRefusesNonEmpty(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := sql.CreateDir(dir); err == nil || !strings.Contains(err.Error(), "use Restore") {
+		t.Fatalf("CreateDir on an initialized dir: got %v, want refusal", err)
+	}
+
+	dir2 := t.TempDir()
+	db2, err := sql.CreateDir(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.IngestCSV(writeCSV(t, bootCSV), "R"); err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+	if _, err := sql.CreateDir(dir2); err == nil || !strings.Contains(err.Error(), "use Restore") {
+		t.Fatalf("CreateDir on a dir with logged commits: got %v, want refusal", err)
+	}
+	// A fresh directory still reports ErrNoSnapshot through Restore, so the
+	// InitDir bootstrap of existing callers keeps working.
+	if _, _, err := sql.Restore(t.TempDir()); !errors.Is(err, storage.ErrNoSnapshot) {
+		t.Fatalf("Restore on fresh dir: got %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestSetUncertainLogged: a SET UNCERTAIN on a snapshot-backed DB is
+// replayed on restore.
+func TestSetUncertainLogged(t *testing.T) {
+	dir := t.TempDir()
+	db, err := sql.InitDir(dir, prepared(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetUncertain("R", 0, "AGE", []int32{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := db.Stats("R")
+	db.Close()
+
+	db2, replayed, err := sql.Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if replayed != 1 {
+		t.Fatalf("replayed %d records, want the 1 SET UNCERTAIN", replayed)
+	}
+	if got := db2.Stats("R"); got != want {
+		t.Fatalf("replay stats %+v, want %+v", got, want)
+	}
+}

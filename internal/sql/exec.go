@@ -40,6 +40,14 @@ type Executor interface {
 // on the arena (engine.Arena.PossibleP — FieldID/component structures read
 // in place, no core.WSD construction) and the arena is released.
 func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
+	return runEngineConf(snap, tpl, args, install, 1)
+}
+
+// runEngineConf is runEngine with the across-world confidence fold striped
+// over foldWorkers goroutines (1 = serial; the sharded session passes its
+// worker-pool width for non-distributable mode queries). The parallel fold
+// is byte-identical to the serial one (engine.PossiblePParallel).
+func runEngineConf(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string, foldWorkers int) (*Result, error) {
 	ar := engine.AcquireArena(snap)
 	keep := false
 	defer func() {
@@ -76,7 +84,12 @@ func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, in
 		keep = true
 		return out, nil
 	}
-	native, err := ar.PossibleP(scratch)
+	var native []engine.TupleConf
+	if foldWorkers > 1 {
+		native, err = ar.PossiblePParallel(scratch, foldWorkers)
+	} else {
+		native, err = ar.PossibleP(scratch)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"maybms/internal/engine"
 	"maybms/internal/relation"
+	"maybms/internal/shard"
 	"maybms/internal/storage"
 	"maybms/internal/worlds"
 )
@@ -46,6 +47,11 @@ type DB struct {
 	// durable.go). Both are guarded by writer.
 	dur    *storage.Dir
 	durErr error
+	// shards is the derived sharded-execution structure (nil = off;
+	// EnableSharding builds it, every commit re-balances it) and shardErr
+	// why it was disabled, if a re-balance failed. Guarded by mu.
+	shards   *shard.Store
+	shardErr error
 }
 
 // CacheStats reports the DB's plan cache: resident compiled plans plus the
@@ -194,11 +200,13 @@ func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
 		db.store.DropRelation(res)
 		return nil, fmt.Errorf("sql: logging MATERIALIZE: %w", err)
 	}
+	db.resyncShards()
 	return out, nil
 }
 
 // Explain renders the Section 5 SQL rewriting of the statement's engine
-// plan (the EXPLAIN keyword is optional).
+// plan (the EXPLAIN keyword is optional). On a sharded DB it appends the
+// execution strategy and per-shard statistics of the plan's base relations.
 func (db *DB) Explain(query string) (string, error) {
 	snap := db.store.Snapshot()
 	db.mu.Lock()
@@ -207,7 +215,37 @@ func (db *DB) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return Explain(snap, query)
+	out, err := Explain(snap, query)
+	if err != nil {
+		return "", err
+	}
+	sh := db.shardStore()
+	if sh == nil {
+		return out, nil
+	}
+	st, err := Parse(query)
+	if err != nil {
+		return out, nil
+	}
+	tpl, err := compileEngine(st, catalogView{snap})
+	if err != nil {
+		return out, nil
+	}
+	strategy := "authority (plan has join/product/difference; components would entangle across shards)"
+	if tpl.distributable() {
+		strategy = "morsel-parallel across shards"
+	} else if tpl.Mode != ModePlain {
+		strategy = "authority store, confidence fold striped over the worker pool"
+	}
+	out += fmt.Sprintf("-- sharded: %d shards, %d workers, re-balance generation %d: %s\n",
+		sh.N(), sh.Workers(), sh.Generation(), strategy)
+	for _, b := range tpl.bases {
+		for _, info := range sh.RelInfo(b.name) {
+			out += fmt.Sprintf("--   %s[shard %d]: %d rows, %d components (%d or-sets >1), |C| %d\n",
+				b.name, info.Shard, info.Rows, info.Stats.NumComp, info.Stats.NumCompGT1, info.Stats.CSize)
+		}
+	}
+	return out, nil
 }
 
 // Relations lists the store's live user relations.
@@ -258,6 +296,7 @@ func (db *DB) DropRelation(rel string) {
 		// divergence so Checkpoint refuses to compact a log that is short.
 		db.durErr = fmt.Errorf("logging DROP %s: %w", rel, err)
 	}
+	db.resyncShards()
 }
 
 // templateFor takes a fresh snapshot and returns the statement's compiled
@@ -345,7 +384,7 @@ func (p *Prepared) Query(args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Rows{result: res, cols: res.Attrs, arena: res.arena, rel: res.rel, idx: -1}
+	r := &Rows{result: res, cols: res.Attrs, arena: res.arena, rel: res.rel, segs: res.segs, idx: -1}
 	if res.Mode != ModePlain {
 		r.tuples = make([]relation.Tuple, len(res.Tuples))
 		r.confs = make([]float64, len(res.Tuples))
@@ -378,6 +417,20 @@ func (e *engineExec) Query(args []relation.Value) (*Result, error) {
 	snap, tpl, err := e.db.templateFor(e)
 	if err != nil {
 		return nil, err
+	}
+	if sh := e.db.shardStore(); sh != nil {
+		if tpl.distributable() {
+			out, err := runEngineSharded(sh, tpl, args)
+			if err != errShardStale {
+				return out, err
+			}
+			// A commit raced the shard set; the authority snapshot above is
+			// current, so fall through to it.
+		} else if tpl.Mode != ModePlain {
+			// Non-distributable mode query: run on the authority, but stripe
+			// the confidence fold over the shard store's worker pool.
+			return runEngineConf(snap, tpl, args, "", sh.Workers())
+		}
 	}
 	return runEngine(snap, tpl, args, "")
 }
@@ -424,8 +477,11 @@ type Rows struct {
 	// private to this execution, so reading them needs no locks, and Close
 	// frees the result by dropping the arena (the shared store was never
 	// touched).
-	arena  *engine.Arena
-	rel    *engine.Relation
+	arena *engine.Arena
+	rel   *engine.Relation
+	// segs are the per-shard segments of a sharded plain result, walked in
+	// shard order; arena and rel are nil then.
+	segs   []resultSeg
 	tuples []relation.Tuple // across-world answers (mode queries)
 	confs  []float64
 	idx    int
@@ -443,6 +499,13 @@ func (r *Rows) Len() int {
 	}
 	if r.rel != nil {
 		return r.rel.NumRows()
+	}
+	if r.segs != nil {
+		n := 0
+		for _, seg := range r.segs {
+			n += seg.rel.NumRows()
+		}
+		return n
 	}
 	return len(r.tuples)
 }
@@ -490,6 +553,13 @@ func (r *Rows) MemUsage() int64 {
 	}
 	if r.arena != nil {
 		return r.arena.MemUsage()
+	}
+	if r.segs != nil {
+		var n int64
+		for _, seg := range r.segs {
+			n += seg.arena.MemUsage()
+		}
+		return n
 	}
 	var n int64
 	for _, t := range r.tuples {
@@ -565,6 +635,18 @@ func (r *Rows) value(i int) relation.Value {
 		}
 		return relation.Placeholder()
 	}
+	if r.segs != nil {
+		idx := r.idx
+		for _, seg := range r.segs {
+			if idx < seg.rel.NumRows() {
+				if v := seg.rel.Cols[i][idx]; v != engine.Placeholder {
+					return relation.Int(int64(v))
+				}
+				return relation.Placeholder()
+			}
+			idx -= seg.rel.NumRows()
+		}
+	}
 	return r.tuples[r.idx][i]
 }
 
@@ -578,13 +660,18 @@ func (r *Rows) Close() error {
 	}
 	r.closed = true
 	engine.ReleaseArena(r.arena)
+	for _, seg := range r.segs {
+		engine.ReleaseArena(seg.arena)
+	}
 	r.arena = nil
 	r.rel = nil
+	r.segs = nil
 	r.tuples = nil
 	r.confs = nil
 	if r.result != nil {
 		r.result.arena = nil
 		r.result.rel = nil
+		r.result.segs = nil
 	}
 	return nil
 }

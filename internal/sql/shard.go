@@ -1,0 +1,266 @@
+package sql
+
+import (
+	"fmt"
+	"runtime"
+
+	"maybms/internal/confidence"
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+	"maybms/internal/shard"
+)
+
+// Sharded execution: when a DB has sharding enabled, distributable
+// statements run morsel-parallel across the shard set — each shard executes
+// the full plan over its slice of every base relation on a worker pool, and
+// the per-shard answers merge exactly. Plain results concatenate (the row
+// partition distributes over Select/Project/Rename/Union); across-world
+// results merge their pre-fold mass tables and fold canonically, which makes
+// sharded CONF()/POSSIBLE/CERTAIN byte-identical to the unsharded engine
+// (see docs/sharding.md). Plans containing Join/Product/Difference are not
+// distributable — they entangle components across inputs, so per-shard
+// execution could double-count correlated provenance — and fall back to the
+// authority store, where mode queries still get a morsel-parallel confidence
+// fold (engine.PossiblePParallel).
+//
+// The shard set is derived state: every catalog commit re-partitions it
+// (resyncShards), and queries in flight keep the snapshots of the set they
+// started on.
+
+// AutoShardRows is the template-row threshold above which EnableSharding(0,
+// 0) turns sharding on: below it, partitioning overhead dominates.
+const AutoShardRows = 200000
+
+// EnableSharding partitions the DB's store into n sub-stores executed by a
+// pool of the given worker count (0 workers derives the default from
+// GOMAXPROCS with a clamp). n == 0 decides automatically from the store's
+// size and the host's core count; n == 1 disables sharding. The shard set
+// re-partitions on every subsequent catalog commit.
+func (db *DB) EnableSharding(n, workers int) error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
+	if n == 0 {
+		rows := 0
+		snap := db.store.Snapshot()
+		for _, name := range snap.Relations() {
+			if r := snap.Rel(name); r != nil {
+				rows += r.NumRows()
+			}
+		}
+		if cores := runtime.GOMAXPROCS(0); rows >= AutoShardRows && cores >= 2 {
+			n = cores
+			if n > 8 {
+				n = 8
+			}
+		} else {
+			n = 1
+		}
+	}
+	if n <= 1 {
+		db.mu.Lock()
+		db.shards = nil
+		db.mu.Unlock()
+		return nil
+	}
+	sh, err := shard.New(db.store, n, workers)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.shards = sh
+	db.mu.Unlock()
+	return nil
+}
+
+// Sharding reports the DB's shard and worker-pool counts (1, 0 when
+// sharding is off).
+func (db *DB) Sharding() (shards, workers int) {
+	if sh := db.shardStore(); sh != nil {
+		return sh.N(), sh.Workers()
+	}
+	return 1, 0
+}
+
+// ShardStats returns per-shard row counts and representation statistics of
+// rel; nil when sharding is off.
+func (db *DB) ShardStats(rel string) []shard.Info {
+	sh := db.shardStore()
+	if sh == nil {
+		return nil
+	}
+	return sh.RelInfo(rel)
+}
+
+// ShardFingerprints returns one deterministic CRC32 per shard over the
+// shard's state; nil when sharding is off. Two boots of the same durable
+// directory log identical lists — the persistence-smoke byte-identity check.
+func (db *DB) ShardFingerprints() []uint32 {
+	sh := db.shardStore()
+	if sh == nil {
+		return nil
+	}
+	return sh.Fingerprints()
+}
+
+// ShardError reports why sharding was disabled, if a re-balance failed
+// (nil while sharding is healthy or simply off).
+func (db *DB) ShardError() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.shardErr
+}
+
+// ValidateShards re-checks the partitioning invariant against the store;
+// a no-op without sharding.
+func (db *DB) ValidateShards() error {
+	if sh := db.shardStore(); sh != nil {
+		return sh.Validate()
+	}
+	return nil
+}
+
+// shardStore reads the current shard set under db.mu.
+func (db *DB) shardStore() *shard.Store {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.shards
+}
+
+// resyncShards re-partitions the shard set after a catalog commit; callers
+// hold db.writer, so the authority state it exports is the committed one. A
+// failed re-balance disables sharding (queries fall back to the authority —
+// correct, just not parallel) and records why.
+func (db *DB) resyncShards() {
+	sh := db.shardStore()
+	if sh == nil {
+		return
+	}
+	if err := sh.Resync(); err != nil {
+		db.mu.Lock()
+		db.shards = nil
+		db.shardErr = fmt.Errorf("sql: shard re-balance failed, sharding disabled: %w", err)
+		db.mu.Unlock()
+	}
+}
+
+// distributable reports whether the plan runs shard-local: every operator
+// must distribute over a row partition of its inputs. Select, Project and
+// Rename are per-row; Union concatenates disjoint slices. Join, Product and
+// Difference compare rows across inputs — their matches entangle components
+// from both sides, so per-shard execution would correlate what the merge
+// assumes independent.
+func (p *EnginePlan) distributable() bool {
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSelect, OpProject, OpRename, OpUnion:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// errShardStale reports a shard snapshot that no longer matches the plan's
+// catalog (a commit raced the query); the caller falls back to the
+// authority.
+var errShardStale = fmt.Errorf("sql: shard snapshot stale")
+
+// runEngineSharded executes a distributable template once per shard on the
+// store's worker pool and merges: plain results keep one arena-owned segment
+// per shard (Rows walks them in shard order); across-world modes merge the
+// per-shard pre-fold mass tables and fold canonically.
+func runEngineSharded(sh *shard.Store, tpl *EnginePlan, args []relation.Value) (*Result, error) {
+	snaps := sh.Snapshots()
+	for _, sn := range snaps {
+		if !tpl.CatalogValid(sn) {
+			return nil, errShardStale
+		}
+	}
+	if tpl.Mode == ModePlain {
+		segs := make([]resultSeg, len(snaps))
+		ok := false
+		defer func() {
+			if !ok {
+				for _, seg := range segs {
+					engine.ReleaseArena(seg.arena)
+				}
+			}
+		}()
+		var attrs []string
+		err := shard.EachSnapshot(snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
+			ar := engine.AcquireArena(sn)
+			scratch := ar.NewScratch()
+			plan, err := tpl.Bind(scratch, args)
+			if err != nil {
+				engine.ReleaseArena(ar)
+				return err
+			}
+			if err := plan.Run(ar); err != nil {
+				engine.ReleaseArena(ar)
+				return err
+			}
+			plan.DropTemps(ar)
+			segs[i] = resultSeg{arena: ar, rel: ar.Rel(scratch)}
+			if i == 0 {
+				attrs = plan.OutAttrs
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{Mode: tpl.Mode, Attrs: attrs, segs: segs}
+		for _, seg := range segs {
+			st := seg.arena.Stats(seg.rel.Name)
+			out.Stats.NumComp += st.NumComp
+			out.Stats.NumCompGT1 += st.NumCompGT1
+			out.Stats.CSize += st.CSize
+			out.Stats.RSize += st.RSize
+		}
+		ok = true
+		return out, nil
+	}
+
+	parts := make([][]engine.TupleMasses, len(snaps))
+	var attrs []string
+	err := shard.EachSnapshot(snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
+		ar := engine.AcquireArena(sn)
+		defer engine.ReleaseArena(ar)
+		scratch := ar.NewScratch()
+		plan, err := tpl.Bind(scratch, args)
+		if err != nil {
+			return err
+		}
+		if err := plan.Run(ar); err != nil {
+			return err
+		}
+		plan.DropTemps(ar)
+		tms, err := ar.PossibleMasses(scratch)
+		if err != nil {
+			return err
+		}
+		parts[i] = tms
+		if i == 0 {
+			attrs = plan.OutAttrs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Mode: tpl.Mode, Attrs: attrs}
+	native := engine.FoldMassTable(engine.MergeMasses(parts))
+	tcs := make([]confidence.TupleConf, 0, len(native))
+	for _, tc := range native {
+		if tpl.Mode == ModeCertain && tc.Conf < 1-certainEps {
+			continue
+		}
+		t := make(relation.Tuple, len(tc.Tuple))
+		for i, v := range tc.Tuple {
+			t[i] = relation.Int(int64(v))
+		}
+		tcs = append(tcs, confidence.TupleConf{Tuple: t, Conf: tc.Conf})
+	}
+	out.Tuples = tcs
+	return out, nil
+}

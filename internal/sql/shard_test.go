@@ -1,0 +1,270 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"maybms/internal/engine"
+	"maybms/internal/relation"
+)
+
+// shardedStore builds a store big enough to shard meaningfully: two
+// relations with randomized values and or-sets placed by seed.
+func shardedStore(t *testing.T, seed int64, rows int) *engine.Store {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	s := engine.NewStore()
+	for ri, name := range []string{"R", "S"} {
+		attrs := []string{"A", "B", "C"}
+		cols := make([][]int32, len(attrs))
+		for a := range cols {
+			cols[a] = make([]int32, rows)
+			for row := range cols[a] {
+				cols[a][row] = int32(r.Intn(30))
+			}
+		}
+		if _, err := s.AddRelation(name, attrs, cols); err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < rows; row++ {
+			if r.Float64() < 0.08 {
+				a := attrs[r.Intn(len(attrs))]
+				alts := []int32{int32(r.Intn(30)), int32(30 + r.Intn(10)), int32(40 + ri)}
+				if err := s.SetUncertain(name, row, a, alts, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// rowsAsStrings drains a plain result into a sorted multiset of row
+// renderings — sharded plain results are shard-grouped, so order-insensitive
+// comparison is the contract.
+func rowsAsStrings(t *testing.T, rows *Rows) []string {
+	t.Helper()
+	defer rows.Close()
+	ncols := len(rows.Columns())
+	var out []string
+	for rows.Next() {
+		dest := make([]any, ncols)
+		vals := make([]relation.Value, ncols)
+		for i := range dest {
+			dest[i] = &vals[i]
+		}
+		if err := rows.Scan(dest...); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "%s|", v)
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// modeTable drains a mode result into (tuple, conf-bits) pairs.
+func modeTable(t *testing.T, rows *Rows) []string {
+	t.Helper()
+	defer rows.Close()
+	ncols := len(rows.Columns())
+	var out []string
+	for rows.Next() {
+		dest := make([]any, ncols)
+		vals := make([]relation.Value, ncols)
+		for i := range dest {
+			dest[i] = &vals[i]
+		}
+		if err := rows.Scan(dest...); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, v := range vals {
+			fmt.Fprintf(&sb, "%s|", v)
+		}
+		fmt.Fprintf(&sb, "%b", rows.Conf()) // %b: exact bits, not rounded
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+var shardDiffQueries = []string{
+	// Distributable: run morsel-parallel across the shards.
+	"SELECT * FROM R",
+	"SELECT A, B FROM R WHERE A < 15",
+	"SELECT A AS X FROM R WHERE B > 5 UNION SELECT A AS X FROM S WHERE C < 20",
+	"SELECT CONF() FROM R WHERE A < 15",
+	"SELECT POSSIBLE A, B FROM R WHERE B > 10",
+	"SELECT CERTAIN A FROM R WHERE A < 25",
+	"SELECT CONF() FROM R WHERE B = 7 UNION SELECT * FROM S WHERE B = 7",
+	// Not distributable: fall back to the authority store (joins and
+	// differences entangle components across inputs).
+	"SELECT x.A, y.B FROM R AS x, S AS y WHERE x.A = y.A AND x.B < 3 AND y.C < 3",
+	"SELECT CONF() FROM R AS x, S AS y WHERE x.A = y.A AND x.B < 2 AND y.C < 2",
+	"SELECT A FROM R WHERE A < 10 EXCEPT SELECT A FROM S WHERE B > 3",
+	"SELECT CONF() FROM R WHERE A < 10 EXCEPT SELECT * FROM S WHERE B > 3",
+}
+
+// TestShardedDifferential runs the same statements on an unsharded and a
+// sharded session over the same store: plain results must agree as
+// multisets, CONF/POSSIBLE/CERTAIN must be byte-identical.
+func TestShardedDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		store := shardedStore(t, seed, 150)
+		plain := Open(store)
+		for _, n := range []int{2, 4} {
+			sharded := Open(store)
+			if err := sharded.EnableSharding(n, 2); err != nil {
+				t.Fatalf("seed %d: EnableSharding(%d): %v", seed, n, err)
+			}
+			if got, workers := sharded.Sharding(); got != n || workers < 1 {
+				t.Fatalf("Sharding() = (%d, %d), want (%d, ≥1)", got, workers, n)
+			}
+			for _, q := range shardDiffQueries {
+				wantRows, err := plain.Query(q)
+				if err != nil {
+					t.Fatalf("seed %d unsharded %q: %v", seed, q, err)
+				}
+				gotRows, err := sharded.Query(q)
+				if err != nil {
+					t.Fatalf("seed %d n=%d %q: %v", seed, n, q, err)
+				}
+				if wantRows.Mode() == ModePlain {
+					want, got := rowsAsStrings(t, wantRows), rowsAsStrings(t, gotRows)
+					if len(want) != len(got) {
+						t.Fatalf("seed %d n=%d %q: %d rows, want %d", seed, n, q, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("seed %d n=%d %q row %d: %s, want %s", seed, n, q, i, got[i], want[i])
+						}
+					}
+				} else {
+					want, got := modeTable(t, wantRows), modeTable(t, gotRows)
+					if len(want) != len(got) {
+						t.Fatalf("seed %d n=%d %q: %d answers, want %d", seed, n, q, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("seed %d n=%d %q answer %d not byte-identical:\n got %s\nwant %s", seed, n, q, i, got[i], want[i])
+						}
+					}
+				}
+			}
+			if err := sharded.ValidateShards(); err != nil {
+				t.Fatalf("seed %d n=%d: %v", seed, n, err)
+			}
+		}
+	}
+}
+
+// TestShardedCommitWhileReading exercises commit + re-balance while readers
+// hold sharded snapshots, under -race: Materialize/Drop loops against
+// concurrent distributable queries.
+func TestShardedCommitWhileReading(t *testing.T) {
+	store := shardedStore(t, 9, 300)
+	db := Open(store)
+	if err := db.EnableSharding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := db.Query("SELECT CONF() FROM R WHERE A < 15")
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				rows.Close()
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		res := fmt.Sprintf("M%d", i)
+		if _, err := db.Materialize(res, "SELECT A, B FROM R WHERE A < 10"); err != nil {
+			t.Errorf("Materialize %s: %v", res, err)
+			break
+		}
+		db.DropRelation(res)
+	}
+	close(stop)
+	wg.Wait()
+	if err := db.ValidateShards(); err != nil {
+		t.Fatal(err)
+	}
+	// The materialized relations were dropped again: sharded and unsharded
+	// answers must still agree exactly.
+	plain := Open(store)
+	want := modeTable(t, mustQuery(t, plain, "SELECT CONF() FROM R WHERE A < 15"))
+	got := modeTable(t, mustQuery(t, db, "SELECT CONF() FROM R WHERE A < 15"))
+	if len(want) != len(got) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("answer %d: %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func mustQuery(t *testing.T, db *DB, q string) *Rows {
+	t.Helper()
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestAutoShardingThreshold: EnableSharding(0, 0) stays off below
+// AutoShardRows regardless of core count.
+func TestAutoShardingThreshold(t *testing.T) {
+	db := Open(shardedStore(t, 1, 50))
+	if err := db.EnableSharding(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Sharding(); n != 1 {
+		t.Fatalf("auto sharding on a %d-row store picked %d shards, want 1", 100, n)
+	}
+}
+
+// TestShardedExplain: EXPLAIN on a sharded session reports the strategy and
+// per-shard statistics.
+func TestShardedExplain(t *testing.T) {
+	db := Open(shardedStore(t, 2, 200))
+	if err := db.EnableSharding(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Explain("SELECT CONF() FROM R WHERE A < 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sharded: 2 shards", "morsel-parallel", "R[shard 0]", "R[shard 1]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = db.Explain("SELECT x.A FROM R AS x, S AS y WHERE x.A = y.A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "authority") {
+		t.Fatalf("EXPLAIN of a join should report authority fallback:\n%s", out)
+	}
+}

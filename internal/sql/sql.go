@@ -125,4 +125,14 @@ type Result struct {
 	// session-arena lifecycle replacing PR 2's drop-from-shared-catalog.
 	arena *engine.Arena
 	rel   *engine.Relation
+	// segs holds the per-shard result segments of a sharded plain execution
+	// (one arena-owned relation per shard, walked in shard order); arena and
+	// rel are nil then. Rows.Close releases every segment.
+	segs []resultSeg
+}
+
+// resultSeg is one shard's slice of a sharded plain result.
+type resultSeg struct {
+	arena *engine.Arena
+	rel   *engine.Relation
 }

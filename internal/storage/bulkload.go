@@ -99,6 +99,17 @@ func (b *BulkLoader) Build() (*engine.Store, error) {
 	return s, nil
 }
 
+// State returns the accumulated relation and components in flat export form,
+// for installing into an existing store with engine.Store.InstallRelation
+// (field Rel references are 0; InstallRelation rewrites them). The loader
+// must not be reused after State.
+func (b *BulkLoader) State() (*engine.RelState, []*engine.CompState, error) {
+	if b.nrows == 0 {
+		return nil, nil, fmt.Errorf("storage: bulk load: no rows appended")
+	}
+	return &engine.RelState{Name: b.rel, Attrs: b.attrs, Cols: b.cols}, b.comps, nil
+}
+
 // addOrSet records one uncertain field as a single-field component with
 // uniform probabilities. Component ids are assigned in field order, so the
 // same input always builds the same store.
@@ -162,6 +173,34 @@ type LoadInfo struct {
 // style multiple-choice data repeats a few hundred distinct fields across
 // millions of rows.
 func LoadCSV(r io.Reader, name, rel string) (*engine.Store, LoadInfo, error) {
+	b, info, err := loadCSV(r, name, rel)
+	if err != nil {
+		return nil, LoadInfo{}, err
+	}
+	st, err := b.Build()
+	if err != nil {
+		return nil, LoadInfo{}, fmt.Errorf("%s: %v", name, err)
+	}
+	return st, info, nil
+}
+
+// LoadCSVState is LoadCSV in flat export form: the relation and its
+// components, ready for engine.Store.InstallRelation into an existing store
+// (the durable CSV-boot path installs into the session's live store this
+// way, so the load is one WAL record instead of a snapshot rewrite).
+func LoadCSVState(r io.Reader, name, rel string) (*engine.RelState, []*engine.CompState, LoadInfo, error) {
+	b, info, err := loadCSV(r, name, rel)
+	if err != nil {
+		return nil, nil, LoadInfo{}, err
+	}
+	rs, comps, err := b.State()
+	if err != nil {
+		return nil, nil, LoadInfo{}, fmt.Errorf("%s: %v", name, err)
+	}
+	return rs, comps, info, nil
+}
+
+func loadCSV(r io.Reader, name, rel string) (*BulkLoader, LoadInfo, error) {
 	cr := csv.NewReader(r)
 	attrs, err := cr.Read()
 	if err != nil {
@@ -207,11 +246,7 @@ func LoadCSV(r io.Reader, name, rel string) (*engine.Store, LoadInfo, error) {
 	if row == 0 {
 		return nil, LoadInfo{}, fmt.Errorf("%s holds a header but no data rows", name)
 	}
-	st, err := b.Build()
-	if err != nil {
-		return nil, LoadInfo{}, fmt.Errorf("%s: %v", name, err)
-	}
-	return st, LoadInfo{Rows: row, Attrs: len(attrs), OrSets: b.NumOrSets()}, nil
+	return b, LoadInfo{Rows: row, Attrs: len(attrs), OrSets: b.NumOrSets()}, nil
 }
 
 // ParseField parses one CSV field: a non-negative integer, or "a|b|c" as an

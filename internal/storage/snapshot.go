@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"runtime"
 
 	"maybms/internal/engine"
 )
@@ -63,125 +64,95 @@ func Save(src Snapshotable, w io.Writer) error {
 	return SaveState(src.Snapshot().ExportState(), w)
 }
 
-// SaveState serializes an exported store state.
+// SaveState serializes an exported store state. Section payloads are
+// encoded and checksummed on a bounded parallel pipeline (big stores spend
+// their save time in column and component encoding, which is embarrassingly
+// parallel per section) but written strictly in section order, so the output
+// bytes are identical to a serial save.
 func SaveState(st *engine.StoreState, w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	sections := 1 + len(st.Rels) + len(st.Comps)
-	for _, r := range st.Rels {
-		if r != nil {
-			sections += len(r.Cols)
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
 	}
+	return saveStateWorkers(st, w, workers)
+}
+
+func saveStateWorkers(st *engine.StoreState, w io.Writer, workers int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	jobs := sectionJobs(st)
 	// Header.
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
 	var hdr enc
 	hdr.u32(snapVersion)
-	hdr.u32(uint32(sections))
+	hdr.u32(uint32(len(jobs)))
 	hdr.u32(0)
 	if _, err := bw.Write(hdr.b); err != nil {
 		return err
 	}
 	var crcs enc
-	var e enc
-	emit := func(kind uint32) error {
+	write := func(kind uint32, payload []byte) error {
 		var sh enc
 		sh.u32(kind)
-		sh.u64(uint64(len(e.b)))
+		sh.u64(uint64(len(payload)))
 		if _, err := bw.Write(sh.b); err != nil {
 			return err
 		}
-		if _, err := bw.Write(e.b); err != nil {
+		if _, err := bw.Write(payload); err != nil {
 			return err
 		}
-		crc := crc32.ChecksumIEEE(e.b)
+		crc := crc32.ChecksumIEEE(payload)
 		crcs.u32(crc)
 		var tail enc
 		tail.u32(crc)
 		_, err := bw.Write(tail.b)
 		return err
 	}
-	// META.
-	e.i32(st.NextCID)
-	e.i64(st.ScratchSeq)
-	e.u32(uint32(len(st.Rels)))
-	e.u32(uint32(len(st.Comps)))
-	if err := emit(secMeta); err != nil {
-		return err
-	}
-	// RELHDR per catalog slot (dropped slots persist as absent: components
-	// key relations by id, so the id space must survive round trips).
-	for id, r := range st.Rels {
-		e.reset()
-		e.u32(uint32(id))
-		if r == nil {
-			e.u8(0)
-		} else {
-			e.u8(1)
-			e.str(r.Name)
-			e.u32(uint32(len(r.Attrs)))
-			for _, a := range r.Attrs {
-				e.str(a)
-			}
-			n := 0
-			if len(r.Cols) > 0 {
-				n = len(r.Cols[0])
-			}
-			e.u32(uint32(n))
-		}
-		if err := emit(secRelHdr); err != nil {
-			return err
-		}
-	}
-	// COLUMN sections: one raw bulk write per template column.
-	for id, r := range st.Rels {
-		if r == nil {
-			continue
-		}
-		for a, col := range r.Cols {
+	if workers <= 1 || len(jobs) < 8 {
+		var e enc
+		for _, j := range jobs {
 			e.reset()
-			e.u32(uint32(id))
-			e.u32(uint32(a))
-			for _, v := range col {
-				e.i32(v)
-			}
-			if err := emit(secColumn); err != nil {
+			j.encode(&e)
+			if err := write(j.kind, e.b); err != nil {
 				return err
 			}
 		}
-	}
-	// COMPONENT sections: vals, absence bitmaps and probabilities each as
-	// one contiguous run.
-	for _, c := range st.Comps {
-		e.reset()
-		e.i32(c.ID)
-		e.u32(uint32(len(c.Fields)))
-		for _, f := range c.Fields {
-			e.i32(f.Rel)
-			e.i32(f.Row)
-			e.u16(f.Attr)
+	} else {
+		// Ordered pipeline: a producer hands out one future per section in
+		// order and spawns its encoder; the consumer below awaits them in the
+		// same order. The futures channel's capacity bounds the encoded
+		// payloads in flight, so a huge store cannot balloon into one buffered
+		// payload per section.
+		type future struct {
+			kind uint32
+			ch   chan []byte
 		}
-		e.u32(uint32(len(c.Rows)))
-		for _, row := range c.Rows {
-			for _, v := range row.Vals {
-				e.i32(v)
+		futs := make(chan future, 2*workers)
+		sem := make(chan struct{}, workers)
+		go func() {
+			for _, j := range jobs {
+				f := future{kind: j.kind, ch: make(chan []byte, 1)}
+				futs <- f
+				sem <- struct{}{}
+				go func() {
+					defer func() { <-sem }()
+					var e enc
+					j.encode(&e)
+					f.ch <- e.b
+				}()
 			}
-		}
-		words := (len(c.Fields) + 63) / 64
-		for _, row := range c.Rows {
-			for w := 0; w < words; w++ {
-				var word uint64
-				if w < len(row.Absent) {
-					word = row.Absent[w]
-				}
-				e.u64(word)
+			close(futs)
+		}()
+		var err error
+		for f := range futs {
+			payload := <-f.ch
+			if err == nil {
+				err = write(f.kind, payload)
 			}
+			// Keep draining on error so the producer goroutine exits.
 		}
-		for _, row := range c.Rows {
-			e.u64(math.Float64bits(row.P))
-		}
-		if err := emit(secComponent); err != nil {
+		if err != nil {
 			return err
 		}
 	}
@@ -195,6 +166,102 @@ func SaveState(st *engine.StoreState, w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// secJob is one section of a snapshot: its kind and a payload encoder. Jobs
+// are independent of each other, which is what lets SaveState encode them in
+// parallel; the emit order (META, RELHDRs by id, COLUMNs by (rel, attr),
+// COMPONENTs by id) is fixed by the format.
+type secJob struct {
+	kind   uint32
+	encode func(e *enc)
+}
+
+func sectionJobs(st *engine.StoreState) []secJob {
+	n := 1 + len(st.Rels) + len(st.Comps)
+	for _, r := range st.Rels {
+		if r != nil {
+			n += len(r.Cols)
+		}
+	}
+	jobs := make([]secJob, 0, n)
+	// META.
+	jobs = append(jobs, secJob{secMeta, func(e *enc) {
+		e.i32(st.NextCID)
+		e.i64(st.ScratchSeq)
+		e.u32(uint32(len(st.Rels)))
+		e.u32(uint32(len(st.Comps)))
+	}})
+	// RELHDR per catalog slot (dropped slots persist as absent: components
+	// key relations by id, so the id space must survive round trips).
+	for id, r := range st.Rels {
+		jobs = append(jobs, secJob{secRelHdr, func(e *enc) {
+			e.u32(uint32(id))
+			if r == nil {
+				e.u8(0)
+				return
+			}
+			e.u8(1)
+			e.str(r.Name)
+			e.u32(uint32(len(r.Attrs)))
+			for _, a := range r.Attrs {
+				e.str(a)
+			}
+			n := 0
+			if len(r.Cols) > 0 {
+				n = len(r.Cols[0])
+			}
+			e.u32(uint32(n))
+		}})
+	}
+	// COLUMN sections: one raw bulk write per template column.
+	for id, r := range st.Rels {
+		if r == nil {
+			continue
+		}
+		for a, col := range r.Cols {
+			jobs = append(jobs, secJob{secColumn, func(e *enc) {
+				e.u32(uint32(id))
+				e.u32(uint32(a))
+				for _, v := range col {
+					e.i32(v)
+				}
+			}})
+		}
+	}
+	// COMPONENT sections: vals, absence bitmaps and probabilities each as
+	// one contiguous run.
+	for _, c := range st.Comps {
+		jobs = append(jobs, secJob{secComponent, func(e *enc) {
+			e.i32(c.ID)
+			e.u32(uint32(len(c.Fields)))
+			for _, f := range c.Fields {
+				e.i32(f.Rel)
+				e.i32(f.Row)
+				e.u16(f.Attr)
+			}
+			e.u32(uint32(len(c.Rows)))
+			for _, row := range c.Rows {
+				for _, v := range row.Vals {
+					e.i32(v)
+				}
+			}
+			words := (len(c.Fields) + 63) / 64
+			for _, row := range c.Rows {
+				for w := 0; w < words; w++ {
+					var word uint64
+					if w < len(row.Absent) {
+						word = row.Absent[w]
+					}
+					e.u64(word)
+				}
+			}
+			for _, row := range c.Rows {
+				e.u64(math.Float64bits(row.P))
+			}
+		}})
+	}
+	return jobs
 }
 
 // Load deserializes a snapshot into a fresh live store, re-deriving the

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"maybms/internal/engine"
@@ -59,6 +60,14 @@ const (
 	RecRename = 3
 	// RecChase replays as a chase of Deps over Rel.
 	RecChase = 4
+	// RecSetUncertain replays as DB.SetUncertain(Rel, Row, Attr, Values,
+	// Probs) — one field turned into an or-set.
+	RecSetUncertain = 5
+	// RecLoadCSV replays as a CSV bulk-load of Path into relation Rel; the
+	// replay re-reads the file and verifies Sum (CRC32 of the file bytes)
+	// and Rows, so a boot over an edited CSV fails loudly instead of
+	// rebuilding a different store than the one the log continued.
+	RecLoadCSV = 6
 )
 
 // WALRecord is one logical commit. Type selects which fields are
@@ -73,11 +82,23 @@ type WALRecord struct {
 	Name string
 	// NewName is the new name of a RENAME.
 	NewName string
-	// Rel and Deps with the chase options describe a chase commit.
+	// Rel and Deps with the chase options describe a chase commit. Rel also
+	// names the relation of a SET UNCERTAIN or CSV-load commit.
 	Rel         string
 	Deps        []engine.EGD
 	AssumeClean bool
 	Refined     bool
+	// Row, Attr, Values and Probs describe a SET UNCERTAIN commit: the field
+	// (Rel, Row, Attr) becomes an or-set over Values (uniform when Probs is
+	// nil).
+	Row    int32
+	Attr   string
+	Values []int32
+	Probs  []float64
+	// Path, Sum and Rows describe a CSV-load commit (see RecLoadCSV).
+	Path string
+	Sum  uint32
+	Rows int64
 }
 
 // WAL is an append-only log open for writing. Appends are serialized by the
@@ -333,6 +354,10 @@ func recName(t byte) string {
 		return "RENAME"
 	case RecChase:
 		return "CHASE"
+	case RecSetUncertain:
+		return "SET UNCERTAIN"
+	case RecLoadCSV:
+		return "LOAD CSV"
 	}
 	return fmt.Sprintf("type %d", t)
 }
@@ -385,6 +410,30 @@ func encodeWALRecord(rec *WALRecord) ([]byte, error) {
 			}
 			atom(d.Conclusion)
 		}
+	case RecSetUncertain:
+		e.str(rec.Rel)
+		e.i32(rec.Row)
+		e.str(rec.Attr)
+		e.u32(uint32(len(rec.Values)))
+		for _, v := range rec.Values {
+			e.i32(v)
+		}
+		if rec.Probs != nil && len(rec.Probs) != len(rec.Values) {
+			return nil, fmt.Errorf("storage: SET UNCERTAIN record with %d probabilities for %d values", len(rec.Probs), len(rec.Values))
+		}
+		if rec.Probs == nil {
+			e.u8(0)
+		} else {
+			e.u8(1)
+			for _, p := range rec.Probs {
+				e.u64(math.Float64bits(p))
+			}
+		}
+	case RecLoadCSV:
+		e.str(rec.Rel)
+		e.str(rec.Path)
+		e.u32(rec.Sum)
+		e.i64(rec.Rows)
 	default:
 		return nil, fmt.Errorf("storage: unknown WAL record type %d", rec.Type)
 	}
@@ -497,6 +546,56 @@ func decodeWALRecord(payload []byte) (*WALRecord, error) {
 			if rec.Deps[i].Conclusion, err = atom(); err != nil {
 				return nil, err
 			}
+		}
+	case RecSetUncertain:
+		if rec.Rel, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.Row, err = d.i32(); err != nil {
+			return nil, err
+		}
+		if rec.Attr, err = d.str(); err != nil {
+			return nil, err
+		}
+		nvals, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(nvals)*4 > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: SET UNCERTAIN record claims %d values", ErrCorrupt, nvals)
+		}
+		rec.Values = make([]int32, nvals)
+		for i := range rec.Values {
+			if rec.Values[i], err = d.i32(); err != nil {
+				return nil, err
+			}
+		}
+		hasProbs, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		if hasProbs != 0 {
+			rec.Probs = make([]float64, nvals)
+			for i := range rec.Probs {
+				bits, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				rec.Probs[i] = math.Float64frombits(bits)
+			}
+		}
+	case RecLoadCSV:
+		if rec.Rel, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.Path, err = d.str(); err != nil {
+			return nil, err
+		}
+		if rec.Sum, err = d.u32(); err != nil {
+			return nil, err
+		}
+		if rec.Rows, err = d.i64(); err != nil {
+			return nil, err
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown WAL record type %d", ErrCorrupt, t)
