@@ -47,6 +47,9 @@ type Arena struct {
 	// (extended, composed, or trimmed); Commit installs only these.
 	dirty      map[int32]bool
 	scratchSeq int64
+	// guard is the execution's cancellation/memory checkpoint (cancel.go);
+	// nil means never canceled.
+	guard *Guard
 }
 
 // NewArena creates an empty arena over a snapshot.

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Cooperative cancellation. Confidence computation is exponential in the
+// worst case (Section 6), so a query must be stoppable from outside: the
+// serving layer derives a context per request and the engine honors it at
+// checkpoints inside every operator and fold loop. The checkpoints are
+// counter-amortized — one atomic increment per unit of work, a real
+// context/budget check every guardPeriod units — so the uncancelled fast
+// path pays an atomic add per row, not a channel read.
+//
+// The Guard also carries the mid-flight memory hook: at every real check it
+// probes the arena's retained bytes and reports growth to the serving
+// layer's ledger, so a result that will blow the budget is stopped while it
+// is being built, not after.
+
+// ErrCanceled marks an execution stopped at a guard checkpoint because its
+// context was done. The returned error chains the context's own error too,
+// so errors.Is sees both ErrCanceled and context.Canceled or
+// context.DeadlineExceeded.
+var ErrCanceled = errors.New("engine: query canceled")
+
+// guardPeriod is the tick count between real checks: large enough that the
+// per-row cost is one atomic add, small enough that a cancelled query stops
+// within microseconds of work.
+const guardPeriod = 1024
+
+// Guard is the cancellation and resource checkpoint of one query execution.
+// It is attached to the arenas (and shared by the fold workers) of that
+// execution; a nil *Guard is valid everywhere and means "never canceled" —
+// the Store's deprecated one-shot path and plain library use pay nothing.
+//
+// A Guard is safe for concurrent use: sharded and fold-parallel execution
+// tick one guard from many goroutines.
+type Guard struct {
+	ctx context.Context
+	n   atomic.Uint64
+	// memMu serializes the memory probe (probe, lastMem, onGrow).
+	memMu   sync.Mutex
+	probe   func() int64
+	onGrow  func(delta int64) error
+	lastMem int64
+	// failed latches the first checkpoint error so every later Tick fails
+	// fast — parallel workers all stop on the first failure.
+	failed atomic.Pointer[error]
+}
+
+// NewGuard returns a guard checking ctx at checkpoint cadence. A nil ctx
+// never cancels (memory hooks may still be attached).
+func NewGuard(ctx context.Context) *Guard {
+	return &Guard{ctx: ctx}
+}
+
+// SetMemHook attaches the mid-flight memory hook: probe reads the current
+// retained bytes (typically Arena.MemUsage) and onGrow is called with the
+// positive growth since the previous check. An onGrow error aborts the
+// execution at the next checkpoint. Each arena of a sharded execution gets
+// its own guard instance so per-arena growth deltas stay monotone; the
+// onGrow callbacks may share state (the serving layer's ledger) and must be
+// goroutine-safe then.
+func (g *Guard) SetMemHook(probe func() int64, onGrow func(delta int64) error) {
+	g.probe = probe
+	g.onGrow = onGrow
+	g.lastMem = 0
+}
+
+// Tick is the amortized checkpoint: cheap on every call, a real Check every
+// guardPeriod calls. Operators call it once per row (or per local-world
+// epoch); a non-nil error must abort the operator.
+func (g *Guard) Tick() error {
+	if g == nil {
+		return nil
+	}
+	if g.n.Add(1)%guardPeriod != 0 {
+		return nil
+	}
+	return g.Check()
+}
+
+// Check runs a real checkpoint now: context first, then the memory hook.
+// Executors also call it once around plan phases so even a query too small
+// to reach a single amortized checkpoint notices a cancel.
+func (g *Guard) Check() error {
+	if g == nil {
+		return nil
+	}
+	if p := g.failed.Load(); p != nil {
+		return *p
+	}
+	if g.ctx != nil {
+		if cause := g.ctx.Err(); cause != nil {
+			var err error = &cancelError{cause: cause}
+			g.failed.Store(&err)
+			return err
+		}
+	}
+	if g.onGrow == nil {
+		return nil
+	}
+	g.memMu.Lock()
+	used := g.probe()
+	delta := used - g.lastMem
+	var err error
+	if delta > 0 {
+		err = g.onGrow(delta)
+		if err == nil {
+			g.lastMem = used
+		}
+	}
+	g.memMu.Unlock()
+	if err != nil {
+		g.failed.Store(&err)
+	}
+	return err
+}
+
+// Canceled wraps a context error into the engine's cancellation chain:
+// errors.Is sees both ErrCanceled and cause. Layers that notice a done
+// context outside a guard (the shard scheduler, executors) wrap through here
+// so cancellation reads uniformly no matter which checkpoint caught it. A nil
+// cause returns nil.
+func Canceled(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &cancelError{cause: cause}
+}
+
+// cancelError chains both ErrCanceled and the originating context error, so
+// callers can branch on either (the serving layer maps context.Canceled to
+// the CANCELED wire code and context.DeadlineExceeded to TIMEOUT).
+type cancelError struct{ cause error }
+
+func (e *cancelError) Error() string { return ErrCanceled.Error() + ": " + e.cause.Error() }
+
+func (e *cancelError) Is(target error) bool { return target == ErrCanceled }
+
+func (e *cancelError) Unwrap() error { return e.cause }
+
+// SetGuard attaches a guard to the arena: every operator and fold running on
+// this arena checkpoints through it. When the guard carries a memory hook
+// but no probe yet, the arena wires its own MemUsage. Reset clears the
+// attachment.
+func (a *Arena) SetGuard(g *Guard) {
+	a.guard = g
+	if g != nil && g.probe == nil && g.onGrow != nil {
+		g.probe = a.MemUsage
+	}
+}
+
+// tick is the operators' checkpoint; a nil guard (the plain library path)
+// costs one predictable branch.
+func (a *Arena) tick() error { return a.guard.Tick() }
+
+// execGuard exposes the arena's guard to the catView-generic confidence
+// code; Snapshot and Store carry none (reads of committed state run
+// unguarded).
+func (a *Arena) execGuard() *Guard { return a.guard }
+
+// guardOf resolves the guard of a catView: arenas carry one, snapshots and
+// stores do not.
+func guardOf(v catView) *Guard {
+	if g, ok := v.(interface{ execGuard() *Guard }); ok {
+		return g.execGuard()
+	}
+	return nil
+}

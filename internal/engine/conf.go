@@ -216,12 +216,17 @@ func (ac *tupleAccum) internCertain(r *Relation, rows []int32) {
 // (group, local world), fold at each group boundary. Each group must be swept
 // whole — the per-group mass is a sum in local-world order — but distinct
 // groups are independent, so disjoint group subsets can be swept by separate
-// accumulators and merged (mergeMasses).
-func (ac *tupleAccum) sweepGroups(r *Relation, groups []*tlGroup) {
+// accumulators and merged (mergeMasses). The guard is ticked once per
+// (group, local world) epoch — the sweep is the exponential part of
+// confidence computation, so this is where a cancel must land.
+func (ac *tupleAccum) sweepGroups(r *Relation, groups []*tlGroup, guard *Guard) error {
 	tbuf := make([]int32, 0, len(r.Attrs))
 	epoch := 0
 	for _, g := range groups {
 		for w := range g.comp.Rows {
+			if err := guard.Tick(); err != nil {
+				return err
+			}
 			p := g.comp.Rows[w].P
 			for _, tr := range g.rows {
 				t, ok := groupTuple(r, g, tr, w, tbuf)
@@ -235,6 +240,7 @@ func (ac *tupleAccum) sweepGroups(r *Relation, groups []*tlGroup) {
 		}
 		ac.fold()
 	}
+	return nil
 }
 
 // possibleMassesOf computes the pre-fold confidence table of rel natively:
@@ -247,7 +253,9 @@ func possibleMassesOf(v catView, rel string) ([]TupleMasses, error) {
 	}
 	ac := newTupleAccum()
 	ac.internCertain(tv.rel, tv.certain)
-	ac.sweepGroups(tv.rel, tv.groups)
+	if err := ac.sweepGroups(tv.rel, tv.groups, guardOf(v)); err != nil {
+		return nil, err
+	}
 	return ac.sorted(), nil
 }
 
@@ -287,11 +295,15 @@ func confOf(v catView, rel string, t []int32) (float64, error) {
 			return 1, nil
 		}
 	}
+	guard := guardOf(v)
 	var masses []float64
 	buf := make([]int32, 0, len(t))
 	for _, g := range tv.groups {
 		mass := 0.0
 		for w := range g.comp.Rows {
+			if err := guard.Tick(); err != nil {
+				return 0, err
+			}
 			for _, tr := range g.rows {
 				tup, ok := groupTuple(r, g, tr, w, buf)
 				buf = tup[:0]

@@ -137,6 +137,9 @@ func (a *Arena) Difference(res, l, r string) (*Relation, error) {
 	ln := lr.NumRows()
 	matches := make([]slotMatch, ln)
 	for i := 0; i < ln; i++ {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		li := int32(i)
 		m := &matches[i]
 		m.src = li
@@ -189,6 +192,9 @@ func (a *Arena) Difference(res, l, r string) (*Relation, error) {
 	// the surviving slots.
 	var plans []rowPlan
 	for i := 0; i < ln; i++ {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		m := &matches[i]
 		if m.dropped {
 			continue

@@ -56,6 +56,9 @@ func (a *Arena) Join(res, l, r, onL, onR string) (*Relation, error) {
 		}
 	}
 	for i := 0; i < lr.NumRows(); i++ {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		li := int32(i)
 		v := lr.Cols[la][i]
 		if v != Placeholder {
@@ -105,6 +108,9 @@ func (a *Arena) Join(res, l, r, onL, onR string) (*Relation, error) {
 	}
 	var plan []plannedPair
 	for _, p := range pairs {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		lUnc := lr.Cols[la][p.li] == Placeholder
 		rUnc := rr.Cols[ra][p.rj] == Placeholder
 		if !lUnc && !rUnc {
@@ -187,6 +193,9 @@ func (a *Arena) Join(res, l, r, onL, onR string) (*Relation, error) {
 		return nil
 	}
 	for j, pp := range plan {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		if err := ext(lr, pp.li, 0, j, pp); err != nil {
 			return nil, err
 		}

@@ -63,6 +63,9 @@ func (a *Arena) Select(res, src string, p Pred) (*Relation, error) {
 	var plans []rowPlan
 	n := r.NumRows()
 	for i := 0; i < n; i++ {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		row := int32(i)
 		uattrs := r.uncertain[row]
 		var refUnc []uint16
@@ -135,6 +138,9 @@ func (a *Arena) materialize(res string, r *Relation, attrOrder []uint16, plans [
 		cols[i] = make([]int32, len(plans))
 	}
 	for j, pl := range plans {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		for i, at := range attrOrder {
 			cols[i][j] = r.Cols[at][pl.src]
 		}
@@ -152,6 +158,9 @@ func (a *Arena) materialize(res string, r *Relation, attrOrder []uint16, plans [
 		dstOf[at] = i
 	}
 	for j, pl := range plans {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		for _, at := range r.uncertain[pl.src] {
 			di := dstOf[at]
 			if di < 0 {
@@ -217,6 +226,9 @@ func (a *Arena) Project(res, src string, attrs ...string) (*Relation, error) {
 	}
 	var props []propagate
 	for row, uattrs := range r.uncertain {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		var pr propagate
 		pr.row = row
 		for _, at := range uattrs {

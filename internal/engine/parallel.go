@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,18 +50,31 @@ func possibleMassesParallel(v catView, rel string, workers int) ([]TupleMasses, 
 	if workers > work {
 		workers = work
 	}
+	guard := guardOf(v)
 	if workers <= 1 || work < parallelThreshold {
 		ac := newTupleAccum()
 		ac.internCertain(tv.rel, tv.certain)
-		ac.sweepGroups(tv.rel, tv.groups)
+		if err := ac.sweepGroups(tv.rel, tv.groups, guard); err != nil {
+			return nil, err
+		}
 		return ac.sorted(), nil
 	}
+	// The workers share one guard: its tick counter and failure latch are
+	// atomic, so the first worker to hit a cancel or budget failure stops the
+	// whole pool within a checkpoint period. Worker panics are contained here
+	// and surface as an error — a poisoned fold must not kill the process.
 	parts := make([][]TupleMasses, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = fmt.Errorf("engine: confidence fold worker panic: %v", p)
+				}
+			}()
 			ac := newTupleAccum()
 			lo := len(tv.certain) * w / workers
 			hi := len(tv.certain) * (w + 1) / workers
@@ -69,11 +83,19 @@ func possibleMassesParallel(v catView, rel string, workers int) ([]TupleMasses, 
 			for i := w; i < len(tv.groups); i += workers {
 				groups = append(groups, tv.groups[i])
 			}
-			ac.sweepGroups(tv.rel, groups)
+			if err := ac.sweepGroups(tv.rel, groups, guard); err != nil {
+				errs[w] = err
+				return
+			}
 			parts[w] = ac.sorted()
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	return MergeMasses(parts), nil
 }
 

@@ -50,6 +50,7 @@ func ReleaseArena(a *Arena) {
 // from NewArena.
 func (a *Arena) Reset(snap *Snapshot) {
 	a.snap = snap
+	a.guard = nil
 	for i := range a.rels {
 		a.rels[i] = nil // release result templates to the GC, keep capacity
 	}

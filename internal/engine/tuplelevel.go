@@ -67,9 +67,13 @@ func tupleLevelView(v catView, rel string) (*tupleView, error) {
 	// summing their probabilities. Components are keyed by pointer — the
 	// arena overlay already resolves adopted copies — and the restricted
 	// copies are private to the view.
+	guard := guardOf(v)
 	restricted := make(map[*Component]*Component)
 	rowsOf := make(map[*Component][]int32)
 	for row, attrs := range r.uncertain {
+		if err := guard.Tick(); err != nil {
+			return nil, err
+		}
 		for _, a := range attrs {
 			f := FieldID{Rel: r.id, Row: row, Attr: a}
 			c := v.compOf(f)
@@ -121,6 +125,9 @@ func tupleLevelView(v catView, rel string) (*tupleView, error) {
 	}
 	groupOf := make(map[int32]*tlGroup)
 	for i := 0; i < n; i++ {
+		if err := guard.Tick(); err != nil {
+			return nil, err
+		}
 		row := int32(i)
 		uattrs := r.uncertain[row]
 		if len(uattrs) == 0 {

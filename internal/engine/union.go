@@ -92,6 +92,9 @@ func (a *Arena) Product(res, l, r string) (*Relation, error) {
 	slot := func(i, j int) int { return i*rn + j }
 	for i := 0; i < ln; i++ {
 		for j := 0; j < rn; j++ {
+			if err := a.tick(); err != nil {
+				return nil, err
+			}
 			k := slot(i, j)
 			for at := range lr.Attrs {
 				cols[at][k] = lr.Cols[at][i]
@@ -128,6 +131,9 @@ func (a *Arena) Product(res, l, r string) (*Relation, error) {
 	}
 	for i := 0; i < ln; i++ {
 		for j := 0; j < rn; j++ {
+			if err := a.tick(); err != nil {
+				return nil, err
+			}
 			k := slot(i, j)
 			if err := ext(lr, int32(i), 0, k); err != nil {
 				return nil, err

@@ -1,0 +1,376 @@
+package server_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"maybms/internal/engine"
+	"maybms/internal/server"
+	"maybms/internal/server/client"
+	"maybms/internal/sql"
+)
+
+// blockOnce installs a sql.TestHookExec that blocks the first execution of
+// the given statement text until release is closed, signalling entered when
+// the query is held. Other statements pass through untouched.
+func blockOnce(t *testing.T, text string) (entered, release chan struct{}) {
+	t.Helper()
+	entered = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	sql.TestHookExec = func(got string) {
+		if got == text {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+		}
+	}
+	t.Cleanup(func() { sql.TestHookExec = nil })
+	return entered, release
+}
+
+// waitReleases polls until the process-wide arena-release counter moves past
+// before, failing the test after a grace period. Cleanup runs on the server's
+// session goroutine, so the test must wait rather than assert immediately.
+func waitReleases(t *testing.T, before uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for engine.ArenaReleases() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("arena never returned to the pool")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancelMidQuery is the tentpole acceptance path: a CANCEL frame sent
+// while an EXEC is executing aborts it with the CANCELED wire code, the
+// result arena is released, and the same connection immediately serves the
+// next query with byte-identical results.
+func TestCancelMidQuery(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const victim = "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"
+	entered, release := blockOnce(t, victim)
+	before := engine.ArenaReleases()
+	errc := make(chan error, 1)
+	go func() {
+		rows, qerr := conn.Query(victim)
+		if qerr == nil {
+			rows.Close()
+		}
+		errc <- qerr
+	}()
+	<-entered
+	if err := conn.Cancel(); err != nil {
+		t.Fatalf("sending CANCEL: %v", err)
+	}
+	// Give the out-of-band frame time to reach the server's reader goroutine
+	// before letting the query proceed into its first guard checkpoint.
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+
+	qerr := <-errc
+	var werr *server.WireError
+	if !errors.As(qerr, &werr) || werr.Code != server.ErrCanceled {
+		t.Fatalf("canceled query: got %v, want wire code CANCELED", qerr)
+	}
+	waitReleases(t, before)
+
+	// The connection is not poisoned: the identical statement now answers,
+	// byte-for-byte what the in-process session returns.
+	localRows, err := db.Query(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderAll(localRows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteRows, err := conn.Query(victim)
+	if err != nil {
+		t.Fatalf("query after cancel: %v", err)
+	}
+	got, err := renderAll(remoteRows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("result after cancel differs from in-process result:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestShardedCancelOverWire is the acceptance path on a sharded store: the
+// CANCEL frame crosses the wire, the session context, the shard scheduler and
+// the per-shard guard checkpoints — the fan-out aborts with the CANCELED wire
+// code and the same connection then serves byte-identical results.
+func TestShardedCancelOverWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-row sharded store setup is slow")
+	}
+	db := sql.Open(testStore(t, 20000))
+	defer db.Close()
+	if err := db.EnableSharding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, db, server.Config{})
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const victim = "SELECT * FROM R WHERE YEARSCH = 17"
+	entered, release := blockOnce(t, victim)
+	errc := make(chan error, 1)
+	go func() {
+		rows, qerr := conn.Query(victim)
+		if qerr == nil {
+			rows.Close()
+		}
+		errc <- qerr
+	}()
+	<-entered
+	if err := conn.Cancel(); err != nil {
+		t.Fatalf("sending CANCEL: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+
+	qerr := <-errc
+	var werr *server.WireError
+	if !errors.As(qerr, &werr) || werr.Code != server.ErrCanceled {
+		t.Fatalf("canceled sharded query: got %v, want wire code CANCELED", qerr)
+	}
+
+	localRows, err := db.Query(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderAll(localRows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteRows, err := conn.Query(victim)
+	if err != nil {
+		t.Fatalf("query after sharded cancel: %v", err)
+	}
+	got, err := renderAll(remoteRows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sharded result after cancel differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDisconnectCancelsInflight: a client vanishing mid-query implicitly
+// cancels it — the executing goroutine stops at the next checkpoint and its
+// arena returns to the pool even though no response can be delivered.
+func TestDisconnectCancelsInflight(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = "SELECT * FROM R WHERE YEARSCH = 17"
+	entered, release := blockOnce(t, victim)
+	before := engine.ArenaReleases()
+	go func() {
+		rows, qerr := conn.Query(victim)
+		if qerr == nil {
+			rows.Close()
+		}
+	}()
+	<-entered
+	conn.Close()
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	waitReleases(t, before)
+
+	// The server is still serving fresh connections.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after disconnect-cancel: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Ping(); err != nil {
+		t.Fatalf("ping after disconnect-cancel: %v", err)
+	}
+}
+
+// TestDisconnectMidFetchReleasesArena: a cursor abandoned mid-stream (client
+// gone between FETCH batches) is closed by session cleanup, returning its
+// arena and its budget.
+func TestDisconnectMidFetchReleasesArena(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Config{})
+	conn, err := client.Dial(addr, client.WithFetchBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := conn.Query("SELECT * FROM R WHERE YEARSCH = 17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull a few rows so the cursor is genuinely mid-stream, then vanish.
+	for i := 0; i < 3 && rows.Next(); i++ {
+	}
+	if srv.GlobalUsed() == 0 {
+		t.Fatal("open cursor holds no global budget; test is not exercising the ledger")
+	}
+	before := engine.ArenaReleases()
+	conn.Close()
+	waitReleases(t, before)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.GlobalUsed() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("global budget still holds %d bytes after disconnect", srv.GlobalUsed())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPanicContainment: an injected panic inside query execution answers a
+// typed INTERNAL error frame — and neither the poisoned connection nor any
+// other stops being served; results elsewhere stay byte-identical.
+func TestPanicContainment(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	_, addr := startServer(t, db, server.Config{})
+
+	const poisoned = "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"
+	const reference = "SELECT CONF() FROM R WHERE YEARSCH = 17"
+	sql.TestHookExec = func(text string) {
+		if text == poisoned {
+			panic("injected engine defect")
+		}
+	}
+	defer func() { sql.TestHookExec = nil }()
+
+	localRows, err := db.Query(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderAll(localRows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	connA, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer connA.Close()
+	_, qerr := connA.Query(poisoned)
+	var werr *server.WireError
+	if !errors.As(qerr, &werr) || werr.Code != server.ErrInternal {
+		t.Fatalf("poisoned query: got %v, want wire code INTERNAL", qerr)
+	}
+
+	// The panicking connection itself keeps serving...
+	if err := connA.Ping(); err != nil {
+		t.Fatalf("ping on the connection that hit the panic: %v", err)
+	}
+	// ...and a second connection gets byte-identical results.
+	connB, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial after contained panic: %v", err)
+	}
+	defer connB.Close()
+	remoteRows, err := connB.Query(reference)
+	if err != nil {
+		t.Fatalf("query after contained panic: %v", err)
+	}
+	got, err := renderAll(remoteRows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("result after contained panic differs:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestClientRetryMemBudget: WithRetry re-sends an EXEC rejected by the memory
+// budget and succeeds once the holding cursor closes — opt-in backoff turning
+// a transient rejection into a slow success. Without retry the same sequence
+// fails immediately with the budget code.
+func TestClientRetryMemBudget(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	const query = "SELECT * FROM R WHERE YEARSCH = 17 AND CITIZEN = 0"
+
+	// Measure one result's charged bytes, then serve with a session budget
+	// that fits exactly one such result at a time.
+	msrv, maddr := startServer(t, db, server.Config{})
+	mc, err := client.Dial(maddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrows, err := mc.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultBytes := msrv.GlobalUsed()
+	if resultBytes == 0 {
+		t.Fatal("result charges no budget; test cannot exercise rejection")
+	}
+	mrows.Close()
+	mc.Close()
+
+	_, addr := startServer(t, db, server.Config{SessionBudget: resultBytes})
+	conn, err := client.Dial(addr, client.WithRetry(8, 20*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	holder, err := conn.Query(query) // fills the session budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		holder.Close() // frees the budget mid-backoff
+	}()
+	start := time.Now()
+	rows, qerr := conn.Query(query) // rejected, retried, admitted
+	if qerr != nil {
+		t.Fatalf("query with retry: %v", qerr)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("query succeeded in %v; it should have been rejected and retried", elapsed)
+	}
+	rows.Close()
+
+	// Control: without WithRetry the rejection surfaces immediately.
+	plain, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	holder2, err := plain.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder2.Close()
+	_, qerr = plain.Query(query)
+	var werr *server.WireError
+	if !errors.As(qerr, &werr) || werr.Code != server.ErrMemBudget {
+		t.Fatalf("without retry: got %v, want wire code MEM_BUDGET", qerr)
+	}
+}

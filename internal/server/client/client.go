@@ -13,9 +13,13 @@ package client
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"maybms/internal/engine"
@@ -28,15 +32,46 @@ import (
 // pulls per round trip.
 const DefaultFetch = 1024
 
-// Conn is one connection to a maybmsd server.
+// DefaultDialTimeout bounds Dial when neither a context deadline nor
+// WithDialTimeout shortens it.
+const DefaultDialTimeout = 10 * time.Second
+
+// retryPolicy is the capped-exponential-backoff retry configured by
+// WithRetry; the zero value means no retries.
+type retryPolicy struct {
+	retries int
+	base    time.Duration
+	cap     time.Duration
+}
+
+// backoff returns the jittered delay before retry attempt n (0-based):
+// base·2ⁿ capped at cap, with up to 50% uniform jitter subtracted so
+// synchronized clients (a load spike that just saturated the server) spread
+// out instead of stampeding back in step.
+func (p retryPolicy) backoff(n int) time.Duration {
+	d := p.base << uint(n)
+	if d > p.cap || d <= 0 {
+		d = p.cap
+	}
+	return d - time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// Conn is one connection to a maybmsd server. The mu serializes whole
+// request/response rounds; wmu serializes raw frame writes underneath it, so
+// Cancel can inject its out-of-band frame while a round is blocked reading.
 type Conn struct {
 	mu     sync.Mutex
+	wmu    sync.Mutex
 	conn   net.Conn
 	br     *bufio.Reader
 	bw     *bufio.Writer
 	fetch  int
-	closed bool
+	closed atomic.Bool
 	banner string
+	proto  uint16
+
+	dialTimeout time.Duration
+	retry       retryPolicy
 }
 
 // Option tunes Dial.
@@ -51,50 +86,122 @@ func WithFetchBatch(n int) Option {
 	}
 }
 
+// WithDialTimeout bounds the TCP connect (the default is
+// DefaultDialTimeout); a DialContext deadline still applies whichever is
+// sooner.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Conn) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithRetry opts in to automatic retries of retryable failures: a connection
+// refused with ErrTooManyConns (retried by Dial/DialContext, reconnecting
+// each time) and a query rejected with ErrMemBudget (retried by Stmt.Query —
+// other sessions' cursors closing frees budget). Retries back off
+// exponentially from base, capped at max, with jitter; retries ≤ 0 disables
+// again, base/max ≤ 0 take defaults (50ms, 2s). Errors of any other code are
+// never retried.
+func WithRetry(retries int, base, max time.Duration) Option {
+	return func(c *Conn) {
+		if retries <= 0 {
+			c.retry = retryPolicy{}
+			return
+		}
+		if base <= 0 {
+			base = 50 * time.Millisecond
+		}
+		if max <= 0 {
+			max = 2 * time.Second
+		}
+		if max < base {
+			max = base
+		}
+		c.retry = retryPolicy{retries: retries, base: base, cap: max}
+	}
+}
+
+// retryableCode reports the wire codes WithRetry may retry: transient
+// resource rejections, where backing off genuinely helps.
+func retryableCode(code uint16) bool {
+	return code == server.ErrMemBudget || code == server.ErrTooManyConns
+}
+
 // Dial connects and performs the protocol handshake.
 func Dial(addr string, opts ...Option) (*Conn, error) {
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
-	}
-	c := &Conn{
-		conn:  nc,
-		br:    bufio.NewReaderSize(nc, 32<<10),
-		bw:    bufio.NewWriterSize(nc, 32<<10),
-		fetch: DefaultFetch,
-	}
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext is Dial honoring ctx for the connect (and for the backoff
+// sleeps of a WithRetry dial). The context only bounds connection setup; it
+// does not govern later requests on the Conn.
+func DialContext(ctx context.Context, addr string, opts ...Option) (*Conn, error) {
+	c := &Conn{fetch: DefaultFetch, dialTimeout: DefaultDialTimeout}
 	for _, o := range opts {
 		o(c)
 	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.connect(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		var werr *server.WireError
+		if attempt >= c.retry.retries || !errors.As(err, &werr) || !retryableCode(werr.Code) {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.retry.backoff(attempt)):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: dialing %s: %w (last error: %v)", addr, ctx.Err(), lastErr)
+		}
+	}
+}
+
+// connect performs one TCP connect plus handshake attempt on c.
+func (c *Conn) connect(ctx context.Context, addr string) error {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	c.conn = nc
+	c.br = bufio.NewReaderSize(nc, 32<<10)
+	c.bw = bufio.NewWriterSize(nc, 32<<10)
 	var w wb
 	w.b = append(w.b, server.Magic...)
 	w.u16(server.ProtoVersion)
 	payload, err := c.round(server.OpHello, w.b, server.OpHelloOK)
 	if err != nil {
 		nc.Close()
-		return nil, err
+		return err
 	}
 	r := rb{b: payload}
-	if v := r.u16(); v != server.ProtoVersion {
+	v := r.u16()
+	if v == 0 || v > server.ProtoVersion {
 		nc.Close()
-		return nil, fmt.Errorf("client: server speaks protocol version %d, want %d", v, server.ProtoVersion)
+		return fmt.Errorf("client: server speaks protocol version %d, want ≤ %d", v, server.ProtoVersion)
 	}
+	c.proto = v
 	c.banner = r.str()
-	return c, nil
+	return nil
 }
 
 // Banner returns the server identification string from the handshake.
 func (c *Conn) Banner() string { return c.banner }
 
 // Close closes the connection. Open cursors and statements die with the
-// session server-side (their arenas are released there).
+// session server-side (their arenas are released there). Close is safe to
+// call from any goroutine, including while another goroutine's request is in
+// flight — that request fails with a read error, and server-side the
+// disconnect cancels it.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
 	return c.conn.Close()
 }
 
@@ -107,13 +214,10 @@ func (c *Conn) round(op byte, payload []byte, want byte) ([]byte, error) {
 }
 
 func (c *Conn) roundLocked(op byte, payload []byte, want byte) ([]byte, error) {
-	if c.closed {
+	if c.closed.Load() {
 		return nil, fmt.Errorf("client: connection is closed")
 	}
-	if err := server.WriteFrame(c.bw, op, payload); err != nil {
-		return nil, fmt.Errorf("client: writing request: %w", err)
-	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.writeFrame(op, payload); err != nil {
 		return nil, fmt.Errorf("client: writing request: %w", err)
 	}
 	rop, rpayload, err := server.ReadFrame(c.br)
@@ -130,6 +234,49 @@ func (c *Conn) roundLocked(op byte, payload []byte, want byte) ([]byte, error) {
 		return nil, fmt.Errorf("client: unexpected response opcode 0x%02x (want 0x%02x)", rop, want)
 	}
 	return rpayload, nil
+}
+
+// writeFrame writes and flushes one frame under wmu — the only path touching
+// bw, so rounds and the out-of-band Cancel interleave whole frames, never
+// bytes.
+func (c *Conn) writeFrame(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := server.WriteFrame(c.bw, op, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// roundRetry is round with the WithRetry policy applied to ErrMemBudget
+// responses (safe: a rejected EXEC opens no cursor, so re-sending it is
+// idempotent). Only Stmt.Query goes through here.
+func (c *Conn) roundRetry(op byte, payload []byte, want byte) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.round(op, payload, want)
+		var werr *server.WireError
+		if err == nil || attempt >= c.retry.retries ||
+			!errors.As(err, &werr) || werr.Code != server.ErrMemBudget {
+			return resp, err
+		}
+		time.Sleep(c.retry.backoff(attempt))
+	}
+}
+
+// Cancel asks the server to abort the EXEC currently in flight on this
+// connection (a server-side no-op when none is). It is the one request meant
+// to be issued from another goroutine while a Query round is blocked waiting
+// for its response; the canceled Query then returns a *server.WireError with
+// code ErrCanceled. Cancel itself gets no response frame. The server must
+// speak protocol v2.
+func (c *Conn) Cancel() error {
+	if c.proto < 2 {
+		return fmt.Errorf("client: server protocol version %d predates CANCEL", c.proto)
+	}
+	if err := c.writeFrame(server.OpCancel, nil); err != nil {
+		return fmt.Errorf("client: sending CANCEL: %w", err)
+	}
+	return nil
 }
 
 // Ping round-trips an empty request.
@@ -210,7 +357,7 @@ func (s *Stmt) Query(args ...any) (*Rows, error) {
 	for _, v := range vals {
 		w.value(v)
 	}
-	payload, err := s.c.round(server.OpExec, w.b, server.OpExecOK)
+	payload, err := s.c.roundRetry(server.OpExec, w.b, server.OpExecOK)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,184 @@
+package server_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"maybms/internal/server"
+	"maybms/internal/server/client"
+	"maybms/internal/sql"
+)
+
+// This file injects misbehaving connections at the raw TCP layer — frames cut
+// mid-payload, readers that stall inside a frame, writers that never drain
+// their responses — and checks the server's blast radius is one session:
+// other connections keep answering byte-identical results and every budget
+// byte comes back. It builds on the byte-level peer in robustness_test.go,
+// which covers malformed frames; here the frames are well-formed and the
+// connection itself is the fault.
+
+// partialFrame is a header declaring claim payload bytes followed by only n
+// of them, leaving the server's reader mid-frame.
+func partialFrame(claim uint32, n int) []byte {
+	b := make([]byte, 5+n)
+	binary.BigEndian.PutUint32(b, 1+claim)
+	b[4] = server.OpPing
+	return b
+}
+
+// strPayload encodes a single length-prefixed string (the PREPARE payload).
+func strPayload(s string) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(s)))
+	return append(b, s...)
+}
+
+// wantHealthy asserts a fresh client connection still gets byte-identical
+// results from the server — the invariant every fault in this file must
+// preserve.
+func wantHealthy(t *testing.T, db *sql.DB, addr string) {
+	t.Helper()
+	const q = "SELECT CONF() FROM R WHERE YEARSCH = 17"
+	localRows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderAll(localRows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial during/after fault: %v", err)
+	}
+	defer conn.Close()
+	remoteRows, err := conn.Query(q)
+	if err != nil {
+		t.Fatalf("query during/after fault: %v", err)
+	}
+	got, err := renderAll(remoteRows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("result diverged during/after fault:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// waitGlobalDrained polls the global ledger to zero — session cleanup runs on
+// the server's goroutines after the socket dies, so the test must wait.
+func waitGlobalDrained(t *testing.T, srv *server.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.GlobalUsed() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("global budget still holds %d bytes", srv.GlobalUsed())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMidFrameClose: a connection that dies in the middle of a frame — header
+// promising 64 bytes, 3 delivered, then FIN — is torn down without disturbing
+// anyone else.
+func TestMidFrameClose(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Config{})
+
+	r := dialRaw(t, addr)
+	r.write(hello())
+	r.expectHelloOK()
+	r.write(partialFrame(64, 3))
+	r.c.Close()
+
+	wantHealthy(t, db, addr)
+	waitGlobalDrained(t, srv)
+}
+
+// TestStalledReader: a connection that goes silent in the middle of a frame
+// and stays open occupies exactly one session — every other connection keeps
+// being served while it stalls, because sessions read on their own
+// goroutines.
+func TestStalledReader(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	srv, addr := startServer(t, db, server.Config{})
+
+	r := dialRaw(t, addr)
+	r.write(hello())
+	r.expectHelloOK()
+	r.write(partialFrame(1024, 7))
+	// The frame is never completed and the socket stays open: the server's
+	// reader for this session blocks mid-frame indefinitely.
+
+	wantHealthy(t, db, addr)
+
+	r.c.Close()
+	wantHealthy(t, db, addr)
+	waitGlobalDrained(t, srv)
+}
+
+// TestBlackHoleWriter: a client that pipelines requests but never reads a
+// byte of response. The responses fill the socket buffers, the server's write
+// blocks, and the per-response write deadline (RequestTimeout) reaps the
+// session instead of parking a goroutine on it forever — returning every
+// budget byte its cursors held.
+func TestBlackHoleWriter(t *testing.T) {
+	db := sql.Open(testStore(t, 2000))
+	defer db.Close()
+	const reqTimeout = 750 * time.Millisecond
+	srv, addr := startServer(t, db, server.Config{RequestTimeout: reqTimeout})
+
+	r := dialRaw(t, addr)
+	r.write(hello())
+	r.expectHelloOK()
+	r.write(frame(server.OpPrepare, strPayload("SELECT * FROM R")))
+	op, prepared, ok := r.readFrame()
+	if !ok || op != server.OpPrepared {
+		t.Fatalf("prepare reply: op=0x%02x ok=%v, want OpPrepared", op, ok)
+	}
+	stmt := binary.BigEndian.Uint32(prepared[:4])
+
+	// Pipeline EXEC+FETCH pairs and never read. Each FETCH drains the whole
+	// 2000-row result in one big OpRows frame (~125 KiB), so ~12 MiB of
+	// responses queue up — far past what the kernel's socket buffers absorb
+	// (tcp_wmem caps the send side at 4 MiB and the receive side stays at its
+	// 128 KiB initial while nobody reads) — and the server's write must
+	// block. Cursor ids are allocated sequentially per session, so pair k
+	// fetches cursor k without having to parse the EXEC_OK we are
+	// deliberately not reading.
+	exec := binary.BigEndian.AppendUint32(nil, stmt)
+	exec = append(exec, 0, 0) // nargs = 0
+	var pipelined []byte
+	for k := uint32(1); k <= 96; k++ {
+		fetch := binary.BigEndian.AppendUint32(nil, k)
+		fetch = binary.BigEndian.AppendUint32(fetch, 1<<20)
+		pipelined = append(pipelined, frame(server.OpExec, exec)...)
+		pipelined = append(pipelined, frame(server.OpFetch, fetch)...)
+	}
+	r.write(pipelined)
+
+	// Long past the write deadline, the session must be gone. Only start
+	// reading now: draining earlier would un-stick a healthy server and prove
+	// nothing.
+	time.Sleep(2 * reqTimeout)
+	r.c.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	buf := make([]byte, 64<<10)
+	drained := 0
+	for {
+		n, err := r.c.Read(buf)
+		drained += n
+		if err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				t.Fatalf("connection still open after draining %d bytes: the server never reaped the black-hole session", drained)
+			}
+			break // EOF or RST: the server killed the session
+		}
+	}
+	t.Logf("drained %d bytes before the server hung up", drained)
+
+	waitGlobalDrained(t, srv)
+	wantHealthy(t, db, addr)
+}

@@ -24,7 +24,7 @@ import (
 // versions above its own; additions to the protocol bump the version.
 const (
 	Magic        = "MYBM"
-	ProtoVersion = 1
+	ProtoVersion = 2 // v2 adds OpCancel and the ErrCanceled error code
 )
 
 // MaxFrame bounds a frame's declared payload length. A length above it is a
@@ -47,6 +47,11 @@ const (
 	OpDrop        byte = 0x09 // str rel
 	OpCatalog     byte = 0x0A // empty
 	OpPing        byte = 0x0B // empty
+	// OpCancel (v2) is the only out-of-band request: it carries no payload,
+	// gets no response, and asks the server to cancel the EXEC currently
+	// running on this connection (a no-op when none is). The canceled EXEC
+	// itself answers OpErr/ErrCanceled.
+	OpCancel byte = 0x0C
 
 	OpOK           byte = 0x80 // empty
 	OpHelloOK      byte = 0x81 // u16 version, str banner
@@ -64,15 +69,16 @@ const (
 // protocol error is not), so codes are stable across releases — new ones are
 // appended, never renumbered.
 const (
-	ErrProtocol      uint16 = 1 // malformed frame, bad handshake, unknown opcode
-	ErrSQL           uint16 = 2 // parse/plan/execution error (message has detail)
-	ErrUnknownStmt   uint16 = 3 // EXEC/CLOSE of a statement id this session never prepared
-	ErrUnknownCursor uint16 = 4 // FETCH/CLOSE of a cursor id not open on this session
-	ErrMemBudget     uint16 = 5 // result rejected: per-session or global memory budget
-	ErrTooManyConns  uint16 = 6 // connection limit reached; retry later
-	ErrShutdown      uint16 = 7 // server draining; reconnect elsewhere
-	ErrTimeout       uint16 = 8 // request deadline exceeded (includes budget-queue waits)
-	ErrInternal      uint16 = 9
+	ErrProtocol      uint16 = 1  // malformed frame, bad handshake, unknown opcode
+	ErrSQL           uint16 = 2  // parse/plan/execution error (message has detail)
+	ErrUnknownStmt   uint16 = 3  // EXEC/CLOSE of a statement id this session never prepared
+	ErrUnknownCursor uint16 = 4  // FETCH/CLOSE of a cursor id not open on this session
+	ErrMemBudget     uint16 = 5  // result rejected: per-session or global memory budget
+	ErrTooManyConns  uint16 = 6  // connection limit reached; retry later
+	ErrShutdown      uint16 = 7  // server draining; reconnect elsewhere
+	ErrTimeout       uint16 = 8  // request deadline exceeded (includes budget-queue waits)
+	ErrInternal      uint16 = 9  // server-side defect (contained panic); never the client's fault
+	ErrCanceled      uint16 = 10 // query canceled by OpCancel or connection teardown (v2)
 )
 
 // errName renders an error code for messages and logs.
@@ -94,6 +100,8 @@ func errName(code uint16) string {
 		return "shutting-down"
 	case ErrTimeout:
 		return "timeout"
+	case ErrCanceled:
+		return "canceled"
 	}
 	return "internal"
 }

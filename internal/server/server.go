@@ -196,6 +196,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			s.mu.Lock()
 			for sess := range s.sessions {
+				sess.cancelInflight()
 				sess.conn.Close()
 			}
 			s.mu.Unlock()

@@ -2,22 +2,29 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"maybms/internal/engine"
 	"maybms/internal/relation"
 	"maybms/internal/sql"
 )
 
 // session is one connection: its own prepared-statement table, its own open
 // cursors (each owning a pooled result arena via sql.Rows), its own memory
-// ledger. The protocol is synchronous per connection — one request, one
-// response — so all session state is touched by a single goroutine and needs
-// no locks; concurrency comes from many connections, which is exactly the
-// shape the snapshot/arena engine was built for.
+// ledger. Requests are answered synchronously — one request, one response —
+// but since protocol v2 a dedicated reader goroutine pulls frames off the
+// wire, so the out-of-band CANCEL opcode (and a connection teardown) can
+// cancel the request the session goroutine is still executing. Session maps
+// are still touched only by the session goroutine; the few fields the reader
+// and in-flight engine workers need are independently synchronized.
 type session struct {
 	srv  *Server
 	conn net.Conn
@@ -28,7 +35,20 @@ type session struct {
 	cursors    map[uint32]*cursor
 	nextStmt   uint32
 	nextCursor uint32
-	mem        int64 // bytes charged by open cursors (session budget)
+	mem        atomic.Int64 // bytes charged by open cursors (session budget)
+
+	// closed unparks the reader goroutine when the session goroutine exits
+	// first; closing it is guarded by closeOnce.
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// curMu guards curCancel (the in-flight request's cancel, nil between
+	// requests) and reserved (mid-flight bytes charged to the global ledger
+	// by the memory guard). Touched by the reader goroutine (CANCEL,
+	// disconnect), by Shutdown, and by engine workers mid-query.
+	curMu     sync.Mutex
+	curCancel context.CancelFunc
+	reserved  int64
 }
 
 // cursor is one executing statement's result, streamed out in FETCH batches.
@@ -52,7 +72,92 @@ func newSession(srv *Server, conn net.Conn) *session {
 		bw:      bufio.NewWriterSize(conn, 32<<10),
 		stmts:   make(map[uint32]*sql.Prepared),
 		cursors: make(map[uint32]*cursor),
+		closed:  make(chan struct{}),
 	}
+}
+
+// setInflight publishes the in-flight request's cancel so CANCEL frames,
+// disconnects and forced shutdown reach it.
+func (s *session) setInflight(cancel context.CancelFunc) {
+	s.curMu.Lock()
+	s.curCancel = cancel
+	s.curMu.Unlock()
+}
+
+// clearInflight retires the in-flight request, always invoking its cancel
+// (releasing the deadline timer; the request is done, so this cancels
+// nothing).
+func (s *session) clearInflight() {
+	s.curMu.Lock()
+	if s.curCancel != nil {
+		s.curCancel()
+		s.curCancel = nil
+	}
+	s.curMu.Unlock()
+}
+
+// cancelInflight cancels the request the session goroutine is executing, if
+// any. Safe from any goroutine; a no-op between requests.
+func (s *session) cancelInflight() {
+	s.curMu.Lock()
+	if s.curCancel != nil {
+		s.curCancel()
+	}
+	s.curMu.Unlock()
+}
+
+// errMidBudget marks a query aborted mid-flight by the memory guard; the
+// wire code is ErrMemBudget, same as a cursor-open rejection.
+var errMidBudget = errors.New("memory budget exceeded mid-query")
+
+// memGrow is the mid-flight memory guard hook (sql.WithMemGuard): engine
+// checkpoints report arena growth here while the result is being built, so a
+// query that would blow the session or global budget is stopped during
+// execution instead of being measured only at cursor open. The contract
+// mirrors cursor-open admission: a session-budget breach and a query that
+// alone could never fit the global budget reject immediately (ErrMemBudget);
+// global contention queues until other sessions free memory, bounded by the
+// request deadline (ErrTimeout) — while queued, the query holds still, so a
+// CANCEL takes effect only once the wait resolves. Reservations are settled
+// (released) when the request finishes; an admitted result is then
+// re-charged through the normal cursor-open path. Called from engine worker
+// goroutines.
+func (s *session) memGrow(delta int64, deadline time.Time) error {
+	if delta <= 0 {
+		return nil
+	}
+	s.curMu.Lock()
+	if s.mem.Load()+s.reserved+delta > s.srv.cfg.SessionBudget {
+		s.curMu.Unlock()
+		return fmt.Errorf("%w: session budget %d bytes", errMidBudget, s.srv.cfg.SessionBudget)
+	}
+	if s.reserved+delta > s.srv.cfg.GlobalBudget {
+		s.curMu.Unlock()
+		return fmt.Errorf("%w: the query alone exceeds the global budget (%d bytes)",
+			errMidBudget, s.srv.cfg.GlobalBudget)
+	}
+	s.curMu.Unlock()
+	if err := s.srv.global.acquire(delta, deadline); err != nil {
+		if errors.Is(err, errQueueTimeout) {
+			return fmt.Errorf("%w waiting for memory mid-query (global budget %d bytes, %d in use)",
+				errQueueTimeout, s.srv.cfg.GlobalBudget, s.srv.global.Used())
+		}
+		return fmt.Errorf("%w: %v", errMidBudget, err)
+	}
+	s.curMu.Lock()
+	s.reserved += delta
+	s.curMu.Unlock()
+	return nil
+}
+
+// settleReserved returns the in-flight reservation to the global ledger once
+// the request is done (successful results are re-admitted at cursor open).
+func (s *session) settleReserved() {
+	s.curMu.Lock()
+	n := s.reserved
+	s.reserved = 0
+	s.curMu.Unlock()
+	s.srv.global.release(n)
 }
 
 // drain unparks a session blocked reading its next request so the serve loop
@@ -76,30 +181,49 @@ func perr(code uint16, format string, args ...any) *protoErr {
 
 func (e *protoErr) asFatal() *protoErr { e.fatal = true; return e }
 
+// frame is one request as handed from the reader goroutine to the session
+// goroutine; err reports the end of the stream (EOF, corruption, drain).
+type frame struct {
+	op      byte
+	payload []byte
+	err     error
+}
+
 // serve runs the session to completion: handshake, then one frame in, one
 // frame out, until the peer disconnects, a fatal protocol error poisons the
-// stream, or the server drains.
+// stream, or the server drains. Frames are pulled by a dedicated reader
+// goroutine so CANCEL — and the implicit cancel of a disconnect — reaches a
+// request this goroutine is still executing. A panic escaping a request is
+// contained at the dispatch boundary; a panic escaping the session machinery
+// itself is contained here, so a poisoned connection never kills the
+// process.
 func (s *session) serve() {
 	defer s.cleanup()
+	defer func() {
+		if p := recover(); p != nil {
+			s.srv.cfg.Logf("maybmsd: %s: session panic: %v\n%s", s.conn.RemoteAddr(), p, debug.Stack())
+		}
+	}()
 	if err := s.handshake(); err != nil {
 		s.reply(OpErr, errPayload(err.code, err.msg))
 		return
 	}
-	for {
-		op, payload, err := ReadFrame(s.br)
-		if err != nil {
+	frames := make(chan frame)
+	go s.readLoop(frames)
+	for fr := range frames {
+		if fr.err != nil {
 			if s.srv.draining.Load() {
 				// Drain unparked the read (or the peer was mid-frame): tell
 				// the client why the connection is going away.
 				s.reply(OpErr, errPayload(ErrShutdown, "server is draining"))
 				return
 			}
-			if !errors.Is(err, io.EOF) {
-				s.reply(OpErr, errPayload(ErrProtocol, err.Error()))
+			if !errors.Is(fr.err, io.EOF) {
+				s.reply(OpErr, errPayload(ErrProtocol, fr.err.Error()))
 			}
 			return
 		}
-		rop, rpayload, perr := s.dispatch(op, payload)
+		rop, rpayload, perr := s.dispatchSafe(fr.op, fr.payload)
 		if perr != nil {
 			rop, rpayload = OpErr, errPayload(perr.code, perr.msg)
 		}
@@ -110,6 +234,55 @@ func (s *session) serve() {
 			return
 		}
 	}
+}
+
+// readLoop pulls frames off the wire on its own goroutine. CANCEL frames are
+// consumed here — out of band, no response — and cancel the in-flight
+// request; so does the stream ending for any reason other than a server
+// drain (a vanished client's query must stop consuming CPU). The loop exits
+// on stream end or when the session goroutine closes s.closed.
+func (s *session) readLoop(frames chan<- frame) {
+	defer close(frames)
+	for {
+		op, payload, err := ReadFrame(s.br)
+		if err != nil {
+			if !s.srv.draining.Load() {
+				s.cancelInflight()
+			}
+			select {
+			case frames <- frame{err: err}:
+			case <-s.closed:
+			}
+			return
+		}
+		if op == OpCancel {
+			s.cancelInflight()
+			continue
+		}
+		select {
+		case frames <- frame{op: op, payload: payload}:
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// dispatchSafe is dispatch behind a panic barrier: a defect inside one
+// request (engine bug, poisoned data) answers a typed ErrInternal frame with
+// the stack in the server log, and the session — and every other connection —
+// keeps serving.
+func (s *session) dispatchSafe(op byte, payload []byte) (rop byte, rpayload []byte, pe *protoErr) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.srv.cfg.Logf("maybmsd: %s: panic in request 0x%02x: %v\n%s", s.conn.RemoteAddr(), op, p, debug.Stack())
+			rop, rpayload = 0, nil
+			pe = perr(ErrInternal, "internal error executing request 0x%02x (see server log)", op)
+			// The panic may have skipped the request's own bookkeeping.
+			s.clearInflight()
+			s.settleReserved()
+		}
+	}()
+	return s.dispatch(op, payload)
 }
 
 // reply writes one response frame under the request write deadline; false
@@ -142,8 +315,10 @@ func (s *session) handshake() *protoErr {
 	if version > ProtoVersion {
 		return perr(ErrProtocol, "protocol version %d not supported (server speaks %d)", version, ProtoVersion)
 	}
+	// Echo the client's (validated) version: a v1 client on a v2 server keeps
+	// its v1 contract — CANCEL simply never arrives from it.
 	var w wbuf
-	w.u16(ProtoVersion)
+	w.u16(version)
 	w.str("maybmsd")
 	if !s.reply(OpHelloOK, w.b) {
 		return perr(ErrProtocol, "handshake reply failed").asFatal()
@@ -264,20 +439,28 @@ func (s *session) exec(r *rbuf) (byte, []byte, *protoErr) {
 	if !ok {
 		return 0, nil, perr(ErrUnknownStmt, "no prepared statement %d", id)
 	}
+	// Per-request context: the RequestTimeout deadline, canceled early by a
+	// CANCEL frame, a disconnect, or forced shutdown. The memory guard hook
+	// rides along so arena growth is charged while the query runs.
 	deadline := time.Now().Add(s.srv.cfg.RequestTimeout)
-	rows, err := st.Query(args...)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	ctx = sql.WithMemGuard(ctx, func(delta int64) error { return s.memGrow(delta, deadline) })
+	s.setInflight(cancel)
+	rows, err := st.QueryContext(ctx, args...)
+	s.clearInflight()
+	s.settleReserved()
 	if err != nil {
-		return 0, nil, perr(ErrSQL, "%v", err)
+		return 0, nil, perr(execErrCode(err), "%v", err)
 	}
 	// Admission: the result is measured, then charged against the session
 	// budget (reject — the session holds too much) and the global ledger
 	// (queue until other sessions free memory, bounded by the deadline).
 	mem := rows.MemUsage()
-	if s.mem+mem > s.srv.cfg.SessionBudget {
+	if s.mem.Load()+mem > s.srv.cfg.SessionBudget {
 		rows.Close() //nolint:errcheck // releasing the rejected result
 		return 0, nil, perr(ErrMemBudget,
 			"result needs %d bytes; session holds %d of its %d-byte budget (close cursors or narrow the query)",
-			mem, s.mem, s.srv.cfg.SessionBudget)
+			mem, s.mem.Load(), s.srv.cfg.SessionBudget)
 	}
 	if err := s.srv.global.acquire(mem, deadline); err != nil {
 		rows.Close() //nolint:errcheck // releasing the rejected result
@@ -288,7 +471,7 @@ func (s *session) exec(r *rbuf) (byte, []byte, *protoErr) {
 		return 0, nil, perr(code, "%v (global budget %d bytes, %d in use)",
 			err, s.srv.cfg.GlobalBudget, s.srv.global.Used())
 	}
-	s.mem += mem
+	s.mem.Add(mem)
 
 	res := rows.Result()
 	cols := rows.Columns()
@@ -406,18 +589,38 @@ func (s *session) catalog() (byte, []byte, *protoErr) {
 	return OpCatalogR, w.b, nil
 }
 
+// execErrCode maps an execution error to its wire code: the engine's
+// cancellation chain distinguishes a deadline (TIMEOUT) from a client cancel
+// or disconnect (CANCELED); the mid-flight memory guard keeps the MEM_BUDGET
+// contract of cursor-open rejections.
+func execErrCode(err error) uint16 {
+	switch {
+	case errors.Is(err, errMidBudget):
+		return ErrMemBudget
+	case errors.Is(err, errQueueTimeout), errors.Is(err, context.DeadlineExceeded):
+		return ErrTimeout
+	case errors.Is(err, engine.ErrCanceled), errors.Is(err, context.Canceled):
+		return ErrCanceled
+	}
+	return ErrSQL
+}
+
 // closeCursor releases one cursor: the Rows close returns the pooled arena,
 // and the bytes go back to both ledgers (waking globally queued requests).
 func (s *session) closeCursor(id uint32, c *cursor) {
 	c.rows.Close() //nolint:errcheck // Close is idempotent and infallible here
-	s.mem -= c.mem
+	s.mem.Add(-c.mem)
 	s.srv.global.release(c.mem)
 	delete(s.cursors, id)
 }
 
 // cleanup releases everything the session holds; it runs however the
-// session ends, so a dropped connection can never leak arenas or budget.
+// session ends, so a dropped connection can never leak arenas, budget, or
+// the reader goroutine.
 func (s *session) cleanup() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.cancelInflight()
+	s.settleReserved()
 	for id, c := range s.cursors {
 		s.closeCursor(id, c)
 	}

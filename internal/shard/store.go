@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -116,45 +117,85 @@ func (s *Store) Each(f func(shard int, sn *engine.Snapshot) error) error {
 // the given width; it is the scheduler under both Each and the sql layer's
 // sharded executor (which must pin one snapshot set per query).
 func EachSnapshot(snaps []*engine.Snapshot, workers int, f func(shard int, sn *engine.Snapshot) error) error {
+	return EachSnapshotCtx(context.Background(), snaps, workers, f)
+}
+
+// EachSnapshotCtx is EachSnapshot with first-failure abort: when ctx is
+// canceled or any shard returns an error (or panics), the queued shards are
+// never started and the pool drains as soon as the in-flight shards notice —
+// a canceled query stops consuming workers instead of grinding through the
+// remaining morsels. Worker panics are contained and surface as the returned
+// error, so one poisoned shard cannot kill the process.
+func EachSnapshotCtx(ctx context.Context, snaps []*engine.Snapshot, workers int, f func(shard int, sn *engine.Snapshot) error) error {
 	if workers <= 0 {
 		workers = engine.DefaultConfWorkers()
 	}
 	if workers > len(snaps) {
 		workers = len(snaps)
 	}
+	run := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("shard: worker panic on shard %d: %v", i, p)
+			}
+		}()
+		return f(i, snaps[i])
+	}
 	if workers <= 1 {
-		for i, sn := range snaps {
-			if err := f(i, sn); err != nil {
+		for i := range snaps {
+			if err := ctx.Err(); err != nil {
+				return engine.Canceled(err)
+			}
+			if err := run(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	// abort releases the pool on first failure: the feeder stops handing out
+	// shards and the workers fall through their channel reads.
+	abortCtx, abort := context.WithCancel(ctx)
+	defer abort()
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var first error
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		abort()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if err := f(i, snaps[i]); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+				if abortCtx.Err() != nil {
+					continue // drain without running: the query is dead
+				}
+				if err := run(i); err != nil {
+					fail(err)
 				}
 			}
 		}()
 	}
+feed:
 	for i := range snaps {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-abortCtx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return engine.Canceled(ctx.Err())
 }
 
 // PossibleMasses computes the pre-fold confidence table of rel across all

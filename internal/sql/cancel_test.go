@@ -1,0 +1,135 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"maybms/internal/engine"
+)
+
+// TestQueryContextPreCanceled: a context canceled before the query starts is
+// noticed by the eager guard checkpoint — even a query too small to reach an
+// amortized one — and the pooled arena goes straight back to the pool.
+func TestQueryContextPreCanceled(t *testing.T) {
+	db := Open(tinyStore(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := engine.ArenaReleases()
+	_, err := db.QueryContext(ctx, "SELECT CONF() FROM R WHERE A = 1")
+	if err == nil {
+		t.Fatal("query on a pre-canceled context succeeded")
+	}
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("error %v does not chain engine.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not chain context.Canceled", err)
+	}
+	if engine.ArenaReleases() == before {
+		t.Fatal("aborted query did not release its pooled arena")
+	}
+}
+
+// TestQueryContextDeadlineChains: an expired deadline surfaces as both
+// engine.ErrCanceled (the engine-side latch) and context.DeadlineExceeded
+// (what the server maps to the TIMEOUT wire code).
+func TestQueryContextDeadlineChains(t *testing.T) {
+	db := Open(tinyStore(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	TestHookExec = func(string) { cancel() }
+	defer func() { TestHookExec = nil }()
+	_, err := db.QueryContext(ctx, "SELECT * FROM R")
+	if !errors.Is(err, engine.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel between prepare and run: got %v, want ErrCanceled + context.Canceled", err)
+	}
+}
+
+// TestMemGuardAbortsMidQuery: a WithMemGuard hook refusing arena growth stops
+// the query during execution with the hook's error in the chain, and the
+// arena is released.
+func TestMemGuardAbortsMidQuery(t *testing.T) {
+	db := Open(shardedStore(t, 5, 4000))
+	boom := errors.New("budget blown")
+	grew := false
+	ctx := WithMemGuard(context.Background(), func(delta int64) error {
+		grew = true
+		return boom
+	})
+	before := engine.ArenaReleases()
+	_, err := db.QueryContext(ctx, "SELECT * FROM R WHERE A < 20")
+	if !grew {
+		t.Fatal("query never reported arena growth to the memory guard")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the guard's error in the chain", err)
+	}
+	if engine.ArenaReleases() == before {
+		t.Fatal("guard-aborted query did not release its pooled arena")
+	}
+}
+
+// TestShardedQueryCanceled: cancellation crosses the shard scheduler — the
+// canceled context stops the fan-out before any shard runs, with the engine's
+// typed error, and the session keeps answering afterwards.
+func TestShardedQueryCanceled(t *testing.T) {
+	db := Open(shardedStore(t, 9, 3000))
+	if err := db.EnableSharding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	TestHookExec = func(string) { cancel() }
+	defer func() { TestHookExec = nil }()
+	_, err := db.QueryContext(ctx, "SELECT * FROM R WHERE A < 10")
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("sharded cancel: got %v, want engine.ErrCanceled", err)
+	}
+
+	// The same statement with a live context still answers; the session is not
+	// poisoned by the aborted run.
+	TestHookExec = nil
+	rows, err := db.Query("SELECT * FROM R WHERE A < 10")
+	if err != nil {
+		t.Fatalf("query after canceled run: %v", err)
+	}
+	if got := rowsAsStrings(t, rows); len(got) == 0 {
+		t.Fatal("query after canceled run returned no rows")
+	}
+}
+
+// TestShardedMemGuardAborts: a mid-flight abort with shard workers already
+// running — every worker stops on the guard's error and every shard arena
+// goes back to the pool. The store is big enough that each shard crosses a
+// real (amortized) checkpoint after its result has started growing.
+func TestShardedMemGuardAborts(t *testing.T) {
+	db := Open(shardedStore(t, 13, 20000))
+	if err := db.EnableSharding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("budget blown")
+	ctx := WithMemGuard(context.Background(), func(delta int64) error { return boom })
+	before := engine.ArenaReleases()
+	_, err := db.QueryContext(ctx, "SELECT * FROM R WHERE A < 25")
+	if !errors.Is(err, boom) {
+		t.Fatalf("sharded guard abort: got %v, want the guard's error in the chain", err)
+	}
+	if engine.ArenaReleases() == before {
+		t.Fatal("aborted sharded query did not release shard arenas")
+	}
+}
+
+// TestShardedModeQueryCanceled covers the non-distributable (confidence fold)
+// sharded path, whose parallel fold threads the same guard.
+func TestShardedModeQueryCanceled(t *testing.T) {
+	db := Open(shardedStore(t, 11, 2000))
+	if err := db.EnableSharding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	TestHookExec = func(string) { cancel() }
+	defer func() { TestHookExec = nil }()
+	_, err := db.QueryContext(ctx, "SELECT CONF() FROM R WHERE A < 10")
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("sharded mode-query cancel: got %v, want engine.ErrCanceled", err)
+	}
+}

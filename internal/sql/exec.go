@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,8 +24,10 @@ type Executor interface {
 	Columns() []string
 	// NumParams returns the number of ? placeholders to bind.
 	NumParams() int
-	// Query binds args positionally and executes the statement.
-	Query(args []relation.Value) (*Result, error)
+	// Query binds args positionally and executes the statement under ctx:
+	// cancellation and deadline are honored at engine checkpoints, and a
+	// WithMemGuard hook on the context is charged with arena growth.
+	Query(ctx context.Context, args []relation.Value) (*Result, error)
 }
 
 // runEngine binds a compiled template to a fresh scratch relation in a
@@ -39,15 +42,15 @@ type Executor interface {
 // nothing: the confidence table of the scratch result is computed natively
 // on the arena (engine.Arena.PossibleP — FieldID/component structures read
 // in place, no core.WSD construction) and the arena is released.
-func runEngine(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
-	return runEngineConf(snap, tpl, args, install, 1)
+func runEngine(ctx context.Context, snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string) (*Result, error) {
+	return runEngineConf(ctx, snap, tpl, args, install, 1)
 }
 
 // runEngineConf is runEngine with the across-world confidence fold striped
 // over foldWorkers goroutines (1 = serial; the sharded session passes its
 // worker-pool width for non-distributable mode queries). The parallel fold
 // is byte-identical to the serial one (engine.PossiblePParallel).
-func runEngineConf(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string, foldWorkers int) (*Result, error) {
+func runEngineConf(ctx context.Context, snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value, install string, foldWorkers int) (*Result, error) {
 	ar := engine.AcquireArena(snap)
 	keep := false
 	defer func() {
@@ -55,6 +58,14 @@ func runEngineConf(snap *engine.Snapshot, tpl *EnginePlan, args []relation.Value
 			engine.ReleaseArena(ar)
 		}
 	}()
+	guard := newExecGuard(ctx)
+	ar.SetGuard(guard)
+	// One eager checkpoint before any work: a context canceled before the
+	// query starts (or between retries) is noticed even by a query too small
+	// to reach an amortized checkpoint.
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
 	scratch := ar.NewScratch()
 	plan, err := tpl.Bind(scratch, args)
 	if err != nil {
@@ -150,7 +161,7 @@ func ExecStmt(s *engine.Store, st *Stmt, res string) (*Result, error) {
 	if st.Mode != ModePlain {
 		install = ""
 	}
-	return runEngine(snap, tpl, nil, install)
+	return runEngine(context.Background(), snap, tpl, nil, install)
 }
 
 // ExecWorlds executes a parsed statement under the per-world reference

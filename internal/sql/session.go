@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -154,11 +155,19 @@ func (db *DB) Prepare(query string) (*Prepared, error) {
 // Query prepares (or reuses the cached plan of) the statement and executes
 // it with the given arguments. Iterate the returned Rows and Close it.
 func (db *DB) Query(query string, args ...any) (*Rows, error) {
+	return db.QueryContext(context.Background(), query, args...)
+}
+
+// QueryContext is Query honoring ctx: cancellation or deadline expiry stops
+// the execution at its next engine checkpoint (within ~guardPeriod rows) and
+// releases the query's arenas. The returned error chains engine.ErrCanceled
+// and the context's own error.
+func (db *DB) QueryContext(ctx context.Context, query string, args ...any) (*Rows, error) {
 	stmt, err := db.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Query(args...)
+	return stmt.QueryContext(ctx, args...)
 }
 
 // Materialize executes a plain statement and installs its result relation
@@ -190,7 +199,7 @@ func (db *DB) Materialize(res, query string, args ...any) (*Result, error) {
 	if snap.Rel(res) != nil {
 		return nil, fmt.Errorf("sql: result relation %q already exists in the store (drop it first or pick another name)", res)
 	}
-	out, err := runEngine(snap, tpl, vals, res)
+	out, err := runEngine(context.Background(), snap, tpl, vals, res)
 	if err != nil {
 		return nil, err
 	}
@@ -376,11 +385,17 @@ func (p *Prepared) Close() error { return nil }
 // always Close it — that is what releases the session's result arena on the
 // engine path.
 func (p *Prepared) Query(args ...any) (*Rows, error) {
+	return p.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query honoring ctx at the engine's cancellation
+// checkpoints; see DB.QueryContext.
+func (p *Prepared) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 	vals, err := valuesOf(args)
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.exec.Query(vals)
+	res, err := p.exec.Query(ctx, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -413,14 +428,17 @@ func (e *engineExec) Columns() []string {
 
 func (e *engineExec) NumParams() int { return e.st.NumParams }
 
-func (e *engineExec) Query(args []relation.Value) (*Result, error) {
+func (e *engineExec) Query(ctx context.Context, args []relation.Value) (*Result, error) {
+	if TestHookExec != nil {
+		TestHookExec(e.text)
+	}
 	snap, tpl, err := e.db.templateFor(e)
 	if err != nil {
 		return nil, err
 	}
 	if sh := e.db.shardStore(); sh != nil {
 		if tpl.distributable() {
-			out, err := runEngineSharded(sh, tpl, args)
+			out, err := runEngineSharded(ctx, sh, tpl, args)
 			if err != errShardStale {
 				return out, err
 			}
@@ -429,10 +447,10 @@ func (e *engineExec) Query(args []relation.Value) (*Result, error) {
 		} else if tpl.Mode != ModePlain {
 			// Non-distributable mode query: run on the authority, but stripe
 			// the confidence fold over the shard store's worker pool.
-			return runEngineConf(snap, tpl, args, "", sh.Workers())
+			return runEngineConf(ctx, snap, tpl, args, "", sh.Workers())
 		}
 	}
-	return runEngine(snap, tpl, args, "")
+	return runEngine(ctx, snap, tpl, args, "")
 }
 
 // worldsExec evaluates the statement per world, the reference semantics.
@@ -452,7 +470,12 @@ func (e *worldsExec) Columns() []string { return e.cols }
 
 func (e *worldsExec) NumParams() int { return e.st.NumParams }
 
-func (e *worldsExec) Query(args []relation.Value) (*Result, error) {
+func (e *worldsExec) Query(ctx context.Context, args []relation.Value) (*Result, error) {
+	// The per-world reference path is coarse-grained: the context is checked
+	// between planning and evaluation, not inside the world loop.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if e.st.NumParams == 0 {
 		if err := checkArgs(0, args); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -169,7 +170,7 @@ var errShardStale = fmt.Errorf("sql: shard snapshot stale")
 // store's worker pool and merges: plain results keep one arena-owned segment
 // per shard (Rows walks them in shard order); across-world modes merge the
 // per-shard pre-fold mass tables and fold canonically.
-func runEngineSharded(sh *shard.Store, tpl *EnginePlan, args []relation.Value) (*Result, error) {
+func runEngineSharded(ctx context.Context, sh *shard.Store, tpl *EnginePlan, args []relation.Value) (*Result, error) {
 	snaps := sh.Snapshots()
 	for _, sn := range snaps {
 		if !tpl.CatalogValid(sn) {
@@ -187,8 +188,12 @@ func runEngineSharded(sh *shard.Store, tpl *EnginePlan, args []relation.Value) (
 			}
 		}()
 		var attrs []string
-		err := shard.EachSnapshot(snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
+		err := shard.EachSnapshotCtx(ctx, snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
 			ar := engine.AcquireArena(sn)
+			// Each shard arena gets its own guard over the shared request
+			// context: growth deltas stay per-arena while cancellation and the
+			// budget hook are common to the whole query.
+			ar.SetGuard(newExecGuard(ctx))
 			scratch := ar.NewScratch()
 			plan, err := tpl.Bind(scratch, args)
 			if err != nil {
@@ -223,9 +228,10 @@ func runEngineSharded(sh *shard.Store, tpl *EnginePlan, args []relation.Value) (
 
 	parts := make([][]engine.TupleMasses, len(snaps))
 	var attrs []string
-	err := shard.EachSnapshot(snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
+	err := shard.EachSnapshotCtx(ctx, snaps, sh.Workers(), func(i int, sn *engine.Snapshot) error {
 		ar := engine.AcquireArena(sn)
 		defer engine.ReleaseArena(ar)
+		ar.SetGuard(newExecGuard(ctx))
 		scratch := ar.NewScratch()
 		plan, err := tpl.Bind(scratch, args)
 		if err != nil {

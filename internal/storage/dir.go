@@ -2,7 +2,6 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -31,6 +30,7 @@ import (
 // file is missing (crash in the rotation window) replays as empty, which is
 // exactly right.
 type Dir struct {
+	fs   FS
 	path string
 	// seq is the number of the newest snapshot on disk (0 if none); the
 	// current log generation.
@@ -50,14 +50,20 @@ const (
 // of its current snapshot generation. It does not load anything; call
 // LoadLatest, then replay the WAL.
 func OpenDir(path string) (*Dir, error) {
-	if err := os.MkdirAll(path, 0o755); err != nil {
+	return OpenDirFS(osFS{}, path)
+}
+
+// OpenDirFS is OpenDir on an explicit filesystem; the fault-injection tests
+// pass a FaultFS to fail specific steps of the checkpoint sequence.
+func OpenDirFS(fsys FS, path string) (*Dir, error) {
+	if err := fsys.MkdirAll(path, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating data directory: %w", err)
 	}
-	d := &Dir{path: path}
+	d := &Dir{fs: fsys, path: path}
 	if _, err := d.snapshots(); err != nil {
 		return nil, err
 	}
-	wal, err := OpenWAL(d.walPath(d.seq))
+	wal, err := OpenWALFS(fsys, d.walPath(d.seq))
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening WAL: %w", err)
 	}
@@ -84,7 +90,7 @@ func (d *Dir) walPath(seq uint64) string {
 // Every record in them is contained in the current snapshot, so removal is
 // cosmetic and best-effort.
 func (d *Dir) removeStaleWALs() {
-	entries, err := os.ReadDir(d.path)
+	entries, err := d.fs.ReadDir(d.path)
 	if err != nil {
 		return
 	}
@@ -97,14 +103,14 @@ func (d *Dir) removeStaleWALs() {
 		if err != nil || seq >= d.seq {
 			continue
 		}
-		os.Remove(filepath.Join(d.path, name))
+		d.fs.Remove(filepath.Join(d.path, name))
 	}
 }
 
 // snapshots lists the snapshot sequence numbers present, ascending, and
 // records the highest in d.seq.
 func (d *Dir) snapshots() ([]uint64, error) {
-	entries, err := os.ReadDir(d.path)
+	entries, err := d.fs.ReadDir(d.path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading data directory: %w", err)
 	}
@@ -146,7 +152,7 @@ func (d *Dir) LoadLatest() (*engine.Store, error) {
 		return nil, ErrNoSnapshot
 	}
 	path := d.snapPath(d.seq)
-	f, err := os.Open(path)
+	f, err := d.fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening snapshot: %w", err)
 	}
@@ -179,14 +185,14 @@ func (d *Dir) LoadLatest() (*engine.Store, error) {
 func (d *Dir) Checkpoint(src Snapshotable) error {
 	next := d.seq + 1
 	final := d.snapPath(next)
-	tmp, err := os.CreateTemp(d.path, "snapshot-*.tmp")
+	tmp, err := d.fs.CreateTemp(d.path, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("storage: creating snapshot temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		d.fs.Remove(tmpName)
 		return err
 	}
 	if err := Save(src, tmp); err != nil {
@@ -198,25 +204,25 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 	if err := tmp.Close(); err != nil {
 		return fail(fmt.Errorf("storage: closing snapshot temp file: %w", err))
 	}
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := d.fs.Rename(tmpName, final); err != nil {
+		d.fs.Remove(tmpName)
 		return fmt.Errorf("storage: installing snapshot: %w", err)
 	}
-	if err := syncDir(d.path); err != nil {
+	if err := syncDir(d.fs, d.path); err != nil {
 		// The rename may not be durable; withdraw the new snapshot so the
 		// old generation stays authoritative either way.
-		os.Remove(final)
+		d.fs.Remove(final)
 		return fmt.Errorf("storage: syncing data directory after snapshot install: %w", err)
 	}
-	nw, err := OpenWAL(d.walPath(next))
+	nw, err := OpenWALFS(d.fs, d.walPath(next))
 	if err != nil {
 		// The new snapshot is already durable. Withdraw it to back out of
 		// the checkpoint; if even that fails, a restore could load it and
 		// ignore the old log, so the old log must refuse records past the
 		// state the new snapshot captured.
-		rerr := os.Remove(final)
+		rerr := d.fs.Remove(final)
 		if rerr == nil {
-			rerr = syncDir(d.path)
+			rerr = syncDir(d.fs, d.path)
 		}
 		if rerr != nil {
 			d.wal.poison(fmt.Errorf("snapshot %d installed but its WAL could not be created: %v", next, err))
@@ -230,15 +236,15 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 	// The old generation's log and the older snapshots are dead weight now;
 	// removal failures cost disk, not correctness (OpenDir also sweeps
 	// stale logs).
-	os.Remove(d.walPath(old))
+	d.fs.Remove(d.walPath(old))
 	for seq := old; seq > 0; seq-- {
 		p := d.snapPath(seq)
-		if _, err := os.Stat(p); err != nil {
+		if _, err := d.fs.Stat(p); err != nil {
 			break
 		}
-		os.Remove(p)
+		d.fs.Remove(p)
 	}
-	syncDir(d.path)
+	syncDir(d.fs, d.path)
 	return nil
 }
 
@@ -247,8 +253,8 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 // snapshot and discarding the log records it covers: without it a power
 // loss could persist the log removal but not the rename, silently losing
 // every commit since the previous checkpoint.
-func syncDir(path string) error {
-	f, err := os.Open(path)
+func syncDir(fsys FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,277 @@
+package storage_test
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"maybms/internal/storage"
+)
+
+// The fault-injection suite drives the WAL and checkpoint recovery paths with
+// a FaultFS failing the exact write, sync, truncate, rename or create a real
+// crash would hit. Every test asserts the durability contract, not just the
+// error: a failed append leaves the log replayable, a failed checkpoint
+// leaves the old generation authoritative, and the few unrecoverable
+// combinations poison loudly instead of corrupting silently.
+
+// rec builds a minimal WAL record (DROP carries one string and nothing else).
+func rec(name string) *storage.WALRecord {
+	return &storage.WALRecord{Type: storage.RecDrop, Name: name}
+}
+
+// replayNames replays the log at path and returns the DROP names, proving
+// which appends survived as complete records.
+func replayNames(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var names []string
+	if _, err := storage.ReplayWAL(f, func(r *storage.WALRecord) error {
+		names = append(names, r.Name)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return names
+}
+
+func wantNames(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWALAppendWriteFailureRollsBack: a failed append must leave the log
+// exactly as it was — the next append lands on a clean boundary and replay
+// sees only acknowledged records.
+func TestWALAppendWriteFailureRollsBack(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	ffs := storage.NewFaultFS(nil)
+	w, err := storage.OpenWALFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec("A")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAt(storage.OpWrite, 1, errors.New("disk full"))
+	if err := w.Append(rec("B")); err == nil {
+		t.Fatal("append with injected write failure succeeded")
+	}
+	if err := w.Append(rec("C")); err != nil {
+		t.Fatalf("append after rolled-back failure: %v", err)
+	}
+	w.Close()
+	wantNames(t, replayNames(t, path), "A", "C")
+}
+
+// TestWALSyncFailureRollsBack: same contract when the fsync, not the write,
+// fails — the record was never durable, so it must not be replayable.
+func TestWALSyncFailureRollsBack(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	ffs := storage.NewFaultFS(nil)
+	w, err := storage.OpenWALFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec("A")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAt(storage.OpSync, 1, errors.New("fsync: I/O error"))
+	if err := w.Append(rec("B")); err == nil {
+		t.Fatal("append with injected sync failure succeeded")
+	}
+	if err := w.Append(rec("C")); err != nil {
+		t.Fatalf("append after rolled-back sync failure: %v", err)
+	}
+	w.Close()
+	wantNames(t, replayNames(t, path), "A", "C")
+}
+
+// TestWALRollbackFailurePoisons: when even the rollback truncate fails, the
+// log must refuse further appends — writing past debris would strand every
+// later record behind an unreplayable prefix.
+func TestWALRollbackFailurePoisons(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	ffs := storage.NewFaultFS(nil)
+	w, err := storage.OpenWALFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec("A")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAt(storage.OpWrite, 1, errors.New("disk full"))
+	ffs.FailAt(storage.OpTruncate, 1, errors.New("truncate: I/O error"))
+	if err := w.Append(rec("B")); err == nil {
+		t.Fatal("append with injected write failure succeeded")
+	}
+	err = w.Append(rec("C"))
+	if err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("append to poisoned WAL: got %v, want refusal", err)
+	}
+	w.Close()
+}
+
+// TestWALTornTailRecovered is the crash-debris path end to end: an append
+// torn mid-record (partial write, rollback also failing — the process "died"
+// here) leaves garbage on disk, and the next open truncates it away and keeps
+// appending from the last complete record.
+func TestWALTornTailRecovered(t *testing.T) {
+	path := t.TempDir() + "/wal.log"
+	ffs := storage.NewFaultFS(nil)
+	w, err := storage.OpenWALFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(rec("A")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.PartialWriteAt(1, 5, errors.New("power loss"))
+	ffs.FailAt(storage.OpTruncate, 1, errors.New("power loss"))
+	if err := w.Append(rec("B")); err == nil {
+		t.Fatal("torn append succeeded")
+	}
+	w.Close()
+
+	// The file now ends in 5 bytes of debris. Reopen on the real filesystem:
+	// recovery must trim the tail and leave a log that appends and replays.
+	w2, err := storage.OpenWAL(path)
+	if err != nil {
+		t.Fatalf("reopening WAL with torn tail: %v", err)
+	}
+	if err := w2.Append(rec("C")); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	w2.Close()
+	wantNames(t, replayNames(t, path), "A", "C")
+}
+
+// checkpointDir builds a FaultFS-backed Dir with one checkpointed store and
+// one WAL record on top of it — the state every checkpoint-crash test starts
+// from.
+func checkpointDir(t *testing.T) (*storage.FaultFS, *storage.Dir, []byte) {
+	t.Helper()
+	ffs := storage.NewFaultFS(nil)
+	d, err := storage.OpenDirFS(ffs, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	s1 := mustImport(t, randomState(21))
+	if err := d.Checkpoint(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WAL().Append(rec("A")); err != nil {
+		t.Fatal(err)
+	}
+	return ffs, d, saveBytes(t, s1)
+}
+
+// requireOldGeneration asserts the failed checkpoint changed nothing
+// observable: the old snapshot still loads, the old log still holds its
+// record and still accepts appends.
+func requireOldGeneration(t *testing.T, d *storage.Dir, oldSnap []byte) {
+	t.Helper()
+	loaded, err := d.LoadLatest()
+	if err != nil {
+		t.Fatalf("loading after failed checkpoint: %v", err)
+	}
+	if string(saveBytes(t, loaded)) != string(oldSnap) {
+		t.Fatal("failed checkpoint changed the authoritative snapshot")
+	}
+	if err := d.WAL().Append(rec("B")); err != nil {
+		t.Fatalf("old log refused appends after failed checkpoint: %v", err)
+	}
+	wantNames(t, replayNames(t, d.WALPath()), "A", "B")
+}
+
+// TestCheckpointRenameFailure: the snapshot install rename fails; the old
+// generation stays authoritative and a retry succeeds.
+func TestCheckpointRenameFailure(t *testing.T) {
+	ffs, d, oldSnap := checkpointDir(t)
+	s2 := mustImport(t, randomState(22))
+	ffs.FailAt(storage.OpRename, 1, errors.New("rename: I/O error"))
+	if err := d.Checkpoint(s2); err == nil {
+		t.Fatal("checkpoint with injected rename failure succeeded")
+	}
+	requireOldGeneration(t, d, oldSnap)
+	ffs.Clear(storage.OpRename)
+	if err := d.Checkpoint(s2); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+	loaded, err := d.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(saveBytes(t, loaded)) != string(saveBytes(t, s2)) {
+		t.Fatal("retried checkpoint did not install the new snapshot")
+	}
+	wantNames(t, replayNames(t, d.WALPath())) // rotated log is empty
+}
+
+// TestCheckpointDirSyncFailure: the directory fsync after the rename fails —
+// the rename may not be durable, so the checkpoint must withdraw the new
+// snapshot and keep the old generation authoritative.
+func TestCheckpointDirSyncFailure(t *testing.T) {
+	ffs, d, oldSnap := checkpointDir(t)
+	s2 := mustImport(t, randomState(22))
+	// Syncs inside Checkpoint: #1 the snapshot temp file, #2 the directory.
+	ffs.FailAt(storage.OpSync, 2, errors.New("fsync: I/O error"))
+	if err := d.Checkpoint(s2); err == nil {
+		t.Fatal("checkpoint with injected directory-sync failure succeeded")
+	}
+	requireOldGeneration(t, d, oldSnap)
+	ffs.Clear(storage.OpSync)
+	if err := d.Checkpoint(s2); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+}
+
+// TestCheckpointWALCreateFailure: the new generation's log cannot be created
+// after the snapshot is durably installed; the checkpoint backs out (removes
+// the new snapshot) and the old generation keeps serving.
+func TestCheckpointWALCreateFailure(t *testing.T) {
+	ffs, d, oldSnap := checkpointDir(t)
+	s2 := mustImport(t, randomState(22))
+	// Creates inside Checkpoint: #1 the snapshot temp file, #2 the new WAL.
+	ffs.FailAt(storage.OpCreate, 2, errors.New("open: too many open files"))
+	if err := d.Checkpoint(s2); err == nil {
+		t.Fatal("checkpoint with injected WAL-create failure succeeded")
+	}
+	requireOldGeneration(t, d, oldSnap)
+	ffs.Clear(storage.OpCreate)
+	if err := d.Checkpoint(s2); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+}
+
+// TestCheckpointWALCreateWithdrawFailurePoisons is the unrecoverable window:
+// the new snapshot is durable, its log cannot be created, and the withdrawal
+// remove fails too. A restore could now load the new snapshot and ignore the
+// old log — so the old log must refuse further appends rather than accept
+// records that would silently never replay.
+func TestCheckpointWALCreateWithdrawFailurePoisons(t *testing.T) {
+	ffs, d, _ := checkpointDir(t)
+	s2 := mustImport(t, randomState(22))
+	ffs.FailAt(storage.OpCreate, 2, errors.New("open: too many open files"))
+	ffs.FailAt(storage.OpRemove, 1, errors.New("remove: I/O error"))
+	if err := d.Checkpoint(s2); err == nil {
+		t.Fatal("checkpoint with injected WAL-create failure succeeded")
+	}
+	err := d.WAL().Append(rec("B"))
+	if err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("append to a log stranded behind a newer snapshot: got %v, want refusal", err)
+	}
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FaultFS wraps an FS and fails chosen operations deterministically: "fail
+// the Nth write", "tear the 3rd write after 5 bytes", "fail the next rename".
+// It exists for the fault-injection tests of the WAL and checkpoint recovery
+// paths — the failure points a real crash, full disk or dying device would
+// hit, made reproducible. Counters are global across all files opened through
+// the FaultFS (the durability layer touches one file per operation, so tests
+// stay easy to aim), and every method is safe for concurrent use.
+type FaultFS struct {
+	base FS
+
+	mu     sync.Mutex
+	counts map[string]int
+	rules  map[string]faultRule
+}
+
+// Operation names accepted by FailAt/PartialWriteAt and counted by Calls.
+const (
+	OpWrite    = "write"    // File.Write / File.WriteAt
+	OpSync     = "sync"     // File.Sync
+	OpTruncate = "truncate" // File.Truncate
+	OpRename   = "rename"   // FS.Rename
+	OpCreate   = "create"   // FS.CreateTemp / FS.OpenFile
+	OpRemove   = "remove"   // FS.Remove
+)
+
+type faultRule struct {
+	n       int // 1-based call number that fails
+	err     error
+	partial int // for OpWrite: bytes written through before failing (-1: none)
+}
+
+// NewFaultFS wraps base (the real filesystem when base is nil).
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = osFS{}
+	}
+	return &FaultFS{
+		base:   base,
+		counts: make(map[string]int),
+		rules:  make(map[string]faultRule),
+	}
+}
+
+// FailAt makes the nth (1-based, counted from now) call of op fail with err.
+// One rule per op; setting a new one replaces the old and resets op's counter.
+func (f *FaultFS) FailAt(op string, n int, err error) {
+	if err == nil {
+		err = fmt.Errorf("faultfs: injected %s failure", op)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op] = 0
+	f.rules[op] = faultRule{n: n, err: err, partial: -1}
+}
+
+// PartialWriteAt makes the nth write a torn write: keep bytes go through to
+// the underlying file, then the write fails with err. This is how a crash
+// mid-append looks to the next open — a checksummed record cut short.
+func (f *FaultFS) PartialWriteAt(n, keep int, err error) {
+	if err == nil {
+		err = fmt.Errorf("faultfs: injected torn write")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[OpWrite] = 0
+	f.rules[OpWrite] = faultRule{n: n, err: err, partial: keep}
+}
+
+// Clear removes op's rule and resets its counter.
+func (f *FaultFS) Clear(op string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.rules, op)
+	f.counts[op] = 0
+}
+
+// Calls reports how many times op has run since its rule (or Clear) reset
+// the counter.
+func (f *FaultFS) Calls(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// trip counts one call of op and returns the rule to apply, if this call is
+// the one that fails.
+func (f *FaultFS) trip(op string) (faultRule, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	r, ok := f.rules[op]
+	if !ok || f.counts[op] != r.n {
+		return faultRule{}, false
+	}
+	return r, true
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if r, hit := f.trip(OpCreate); hit {
+		return nil, r.err
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if r, hit := f.trip(OpCreate); hit {
+		return nil, r.err
+	}
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if r, hit := f.trip(OpRename); hit {
+		return r.err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if r, hit := f.trip(OpRemove); hit {
+		return r.err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error)   { return f.base.ReadDir(name) }
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+func (f *FaultFS) Stat(name string) (os.FileInfo, error)        { return f.base.Stat(name) }
+
+// faultFile threads per-file operations back through the FaultFS rules.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if r, hit := ff.fs.trip(OpWrite); hit {
+		n := 0
+		if r.partial > 0 {
+			keep := r.partial
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n, _ = ff.File.Write(p[:keep])
+		}
+		return n, r.err
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if r, hit := ff.fs.trip(OpWrite); hit {
+		return 0, r.err
+	}
+	return ff.File.WriteAt(p, off)
+}
+
+func (ff *faultFile) Sync() error {
+	if r, hit := ff.fs.trip(OpSync); hit {
+		return r.err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if r, hit := ff.fs.trip(OpTruncate); hit {
+		return r.err
+	}
+	return ff.File.Truncate(size)
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of the filesystem the durability layer runs on. Production
+// code uses the real OS via osFS; the fault-injection tests substitute a
+// FaultFS that fails the Nth write, sync or rename deterministically, driving
+// the WAL and checkpoint recovery paths that a real crash would hit. The
+// interface deliberately covers only what wal.go and dir.go call — it is a
+// seam, not a VFS.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open is os.Open (also used on directories, for syncDir).
+	Open(name string) (File, error)
+	// CreateTemp is os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename is os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat is os.Stat.
+	Stat(name string) (os.FileInfo, error)
+}
+
+// File is the open-file surface the durability layer uses; *os.File
+// satisfies it.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }

@@ -104,7 +104,7 @@ type WALRecord struct {
 // WAL is an append-only log open for writing. Appends are serialized by the
 // caller (the session API's writer lock).
 type WAL struct {
-	f    *os.File
+	f    File
 	path string
 	// sync fsyncs after every append; disabled only by tests.
 	sync bool
@@ -133,7 +133,13 @@ func walHeader() []byte {
 // start. A file that is not a WAL at all (wrong magic, unknown version)
 // stays a typed error.
 func OpenWAL(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(osFS{}, path)
+}
+
+// OpenWALFS is OpenWAL on an explicit filesystem; the fault-injection tests
+// pass a FaultFS to fail specific writes, syncs and truncates.
+func OpenWALFS(fsys FS, path string) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +154,7 @@ func OpenWAL(path string) (*WAL, error) {
 
 // recoverWAL validates or (re)writes f's header and trims torn debris from
 // the tail, leaving f positioned for appending.
-func recoverWAL(f *os.File) (*WAL, error) {
+func recoverWAL(f File) (*WAL, error) {
 	hdr := walHeader()
 	info, err := f.Stat()
 	if err != nil {
@@ -208,7 +214,7 @@ func recoverWAL(f *os.File) (*WAL, error) {
 // scanWALEnd walks the record stream of a size-byte file with a valid
 // header and returns the offset just past the last record that is fully
 // framed and passes its checksum. Bytes beyond that offset are a torn tail.
-func scanWALEnd(f *os.File, size int64) int64 {
+func scanWALEnd(f File, size int64) int64 {
 	br := bufio.NewReaderSize(io.NewSectionReader(f, walHeaderLen, size-walHeaderLen), 1<<20)
 	end := int64(walHeaderLen)
 	rh := make([]byte, 8)
