@@ -1,3 +1,8 @@
 module maybms
 
 go 1.22
+
+// Pinned to the exact golang.org/x/tools revision vendored under vendor/
+// (the copy the Go 1.24 toolchain itself ships in src/cmd/vendor), so
+// maybms-vet builds reproducibly offline. See docs/static-analysis.md.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,414 @@
+// Package arenapool checks the pooled-arena lifecycle invariant:
+// every engine.AcquireArena must be paired with engine.ReleaseArena on
+// every control-flow path, or the arena must be handed to a new owner
+// (stored into a result structure, returned, or sent away) that carries
+// the release obligation — the Rows.Close path of the session API.
+//
+// PR 6 and PR 9 both fixed hand-found leaks of exactly this shape (a
+// cursor closed mid-fetch, an error path that skipped the release); the
+// serving layer even counts releases (engine.ArenaReleases) to assert the
+// invariant dynamically. This analyzer makes it a compile-time property.
+//
+// Recognized discharge of the obligation, per acquired variable:
+//
+//   - a call engine.ReleaseArena(a) on the path;
+//   - defer engine.ReleaseArena(a), or a deferred closure that mentions a
+//     and calls ReleaseArena (the conditional-keep pattern of runEngineConf);
+//   - ownership handoff: a is returned, stored into a composite literal,
+//     assigned to a field/element/another variable, or sent on a channel;
+//   - an explicit //maybms:arena-handoff directive on the acquire line,
+//     for transfers the analyzer cannot see.
+//
+// Passing a as a plain argument to a function is NOT a handoff: every
+// in-tree callee (plan.Run, Stats, PossibleP, ...) borrows the arena, and
+// treating borrows as transfers would hide real leaks. A genuine
+// ownership-taking callee must be marked with the directive.
+package arenapool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"maybms/internal/analysis/internal/common"
+)
+
+const doc = `check that every engine.AcquireArena is released or handed off on all paths
+
+Pooled arenas hold the engine's result relations and components; a leaked
+arena is memory the pool never gets back and a release counter the serving
+layer's budget ledger never decrements. Pair AcquireArena with
+ReleaseArena (directly or deferred), hand the arena to an owning structure,
+or mark an intentional transfer with //maybms:arena-handoff.`
+
+// Analyzer is the arenapool pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "arenapool",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	dirs := map[*ast.File]*common.Directives{}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	insp.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if !isEngineCall(pass, call, "AcquireArena") {
+			return true
+		}
+		if common.IsTestFile(pass, call.Pos()) {
+			return true
+		}
+		file := fileOf(call.Pos())
+		if file == nil {
+			return true
+		}
+		d, ok := dirs[file]
+		if !ok {
+			d = common.FileDirectives(pass.Fset, file)
+			dirs[file] = d
+		}
+		if d.At(call.Pos(), common.DirArenaHandoff) {
+			return true
+		}
+		checkAcquire(pass, cfgs, call, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// isEngineCall reports whether call invokes the engine function (or the
+// maybms package-level alias var) of the given name.
+func isEngineCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.(type) {
+	case *types.Func:
+		return common.PathHasSuffix(obj.Pkg().Path(), "internal/engine")
+	case *types.Var:
+		// The root package republishes the lifecycle as alias vars
+		// (maybms.AcquireArena / maybms.ReleaseArena).
+		sig, ok := obj.Type().(*types.Signature)
+		return ok && sig != nil
+	}
+	return false
+}
+
+// checkAcquire analyzes one AcquireArena call given its ancestor stack.
+func checkAcquire(pass *analysis.Pass, cfgs *ctrlflow.CFGs, call *ast.CallExpr, stack []ast.Node) {
+	// Walk up past parenthesis to the statement consuming the result.
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of engine.AcquireArena is discarded: the arena leaks from the pool")
+		return
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 {
+			return
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok {
+			return // stored straight into a field/element: handoff
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of engine.AcquireArena is discarded: the arena leaks from the pool")
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		checkVar(pass, cfgs, call, p, obj, stack)
+	default:
+		// Return value flows directly into a composite literal, a return
+		// statement, another call, etc. — an immediate handoff.
+	}
+}
+
+// checkVar verifies that variable obj (holding the acquired arena, assigned
+// by stmt) is released or handed off on every path of its enclosing
+// function.
+func checkVar(pass *analysis.Pass, cfgs *ctrlflow.CFGs, call *ast.CallExpr, stmt *ast.AssignStmt, obj types.Object, stack []ast.Node) {
+	fn, body := enclosingFunc(stack)
+	if body == nil {
+		return
+	}
+
+	// Deferred release anywhere in the enclosing function discharges the
+	// obligation on every path, including panics.
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || deferred {
+			return !deferred
+		}
+		if releasesObj(pass, d.Call, obj) {
+			deferred = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			if mentionsObj(pass, lit.Body, obj) && callsRelease(pass, lit.Body) {
+				deferred = true
+				return false
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+
+	var g *cfg.CFG
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		g = cfgs.FuncDecl(f)
+	case *ast.FuncLit:
+		g = cfgs.FuncLit(f)
+	}
+	if g == nil {
+		return
+	}
+
+	if ret := leakPath(pass, g, stmt, obj); ret != nil {
+		pass.Reportf(call.Pos(),
+			"arena acquired here is not released on the path to the return at line %d (add engine.ReleaseArena, defer it, or mark the transfer with //maybms:arena-handoff)",
+			pass.Fset.Position(ret.Pos()).Line)
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack, with its body.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// leakPath searches the CFG for a path from the acquiring statement to a
+// return that neither releases nor hands off obj; it returns the offending
+// return statement, or nil if every path discharges the obligation.
+func leakPath(pass *analysis.Pass, g *cfg.CFG, acquire ast.Stmt, obj types.Object) *ast.ReturnStmt {
+	// Locate the block and node index of the acquire.
+	var start *cfg.Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == acquire {
+				start, startIdx = b, i
+				break
+			}
+		}
+		if start != nil {
+			break
+		}
+	}
+	if start == nil {
+		return nil
+	}
+
+	// memo: block index -> leaky return reachable from the block's start
+	// without discharging; nil means all paths discharge.
+	memo := map[*cfg.Block]*ast.ReturnStmt{}
+	visiting := map[*cfg.Block]bool{}
+
+	var fromBlockStart func(b *cfg.Block) *ast.ReturnStmt
+	scan := func(b *cfg.Block, from int) (*ast.ReturnStmt, bool) {
+		for _, n := range b.Nodes[from:] {
+			if discharges(pass, n, obj) {
+				return nil, true // obligation met on this path
+			}
+		}
+		if ret := b.Return(); ret != nil {
+			return ret, true // reached an exit without discharging
+		}
+		return nil, false
+	}
+	fromBlockStart = func(b *cfg.Block) *ast.ReturnStmt {
+		if r, ok := memo[b]; ok {
+			return r
+		}
+		if visiting[b] {
+			return nil // loop back-edge: no new exits on this path
+		}
+		visiting[b] = true
+		defer func() { visiting[b] = false }()
+		if ret, done := scan(b, 0); done {
+			memo[b] = ret
+			return ret
+		}
+		for _, s := range b.Succs {
+			if ret := fromBlockStart(s); ret != nil {
+				memo[b] = ret
+				return ret
+			}
+		}
+		memo[b] = nil
+		return nil
+	}
+
+	// The acquire's own block: scan only after the acquire statement.
+	if ret, done := scan(start, startIdx+1); done {
+		return ret
+	}
+	for _, s := range start.Succs {
+		if ret := fromBlockStart(s); ret != nil {
+			return ret
+		}
+	}
+	return nil
+}
+
+// discharges reports whether CFG node n releases or hands off obj.
+func discharges(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			if releasesObj(pass, x, obj) {
+				found = true
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if usesObj(pass, res, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if usesObj(pass, el, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(pass, x.Value, obj) {
+				found = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// obj on the RHS: stored into a field, element, or another
+			// variable — the new location owns it now. obj on the LHS:
+			// re-pointed; the old arena's obligation moved elsewhere
+			// before, or this is a fresh acquire checked separately.
+			for _, r := range x.Rhs {
+				if isObjExpr(pass, r, obj) {
+					found = true
+					return false
+				}
+			}
+			for _, l := range x.Lhs {
+				if isObjExpr(pass, l, obj) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// releasesObj reports whether call is engine.ReleaseArena(obj) — or, when
+// obj is nil, any ReleaseArena call at all.
+func releasesObj(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	if !isEngineCall(pass, call, "ReleaseArena") {
+		return false
+	}
+	if obj == nil {
+		return true
+	}
+	return len(call.Args) == 1 && isObjExpr(pass, call.Args[0], obj)
+}
+
+func callsRelease(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && releasesObj(pass, call, nil) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isObjExpr reports whether e (modulo parens) is an identifier bound to obj.
+func isObjExpr(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// usesObj reports whether the expression mentions obj anywhere, except as
+// the receiver of a method call (a borrow, not a transfer).
+func usesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsObj reports whether body references obj at all.
+func mentionsObj(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

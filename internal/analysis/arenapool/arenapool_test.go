@@ -1,0 +1,12 @@
+package arenapool_test
+
+import (
+	"testing"
+
+	"maybms/internal/analysis/arenapool"
+	"maybms/internal/analysis/internal/vettest"
+)
+
+func TestArenaPool(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), arenapool.Analyzer, "a.example/client")
+}

@@ -1,0 +1,107 @@
+// Package client exercises the arenapool lifecycle rules against the fake
+// engine package.
+package client
+
+import (
+	"errors"
+
+	"a.example/internal/engine"
+)
+
+var errBind = errors.New("bind failed")
+
+// leakOnError releases on the happy path but leaks on the early return.
+func leakOnError(sn *engine.Snapshot, fail bool) error {
+	a := engine.AcquireArena(sn) // want "not released on the path to the return at line"
+	if fail {
+		return errBind
+	}
+	engine.ReleaseArena(a)
+	return nil
+}
+
+// discarded never even binds the arena.
+func discarded(sn *engine.Snapshot) {
+	engine.AcquireArena(sn) // want "result of engine.AcquireArena is discarded"
+}
+
+// blanked throws the arena away explicitly.
+func blanked(sn *engine.Snapshot) {
+	_ = engine.AcquireArena(sn) // want "result of engine.AcquireArena is discarded"
+}
+
+// deferred is the canonical compliant shape.
+func deferred(sn *engine.Snapshot, fail bool) error {
+	a := engine.AcquireArena(sn)
+	defer engine.ReleaseArena(a)
+	if fail {
+		return errBind
+	}
+	return nil
+}
+
+// conditionalKeep mirrors runEngineConf: a deferred closure releases unless
+// ownership was transferred.
+func conditionalKeep(sn *engine.Snapshot, fail bool) error {
+	a := engine.AcquireArena(sn)
+	keep := false
+	defer func() {
+		if !keep {
+			engine.ReleaseArena(a)
+		}
+	}()
+	if fail {
+		return errBind
+	}
+	keep = true
+	return nil
+}
+
+// allPaths releases explicitly on every path.
+func allPaths(sn *engine.Snapshot, fail bool) error {
+	a := engine.AcquireArena(sn)
+	if fail {
+		engine.ReleaseArena(a)
+		return errBind
+	}
+	engine.ReleaseArena(a)
+	return nil
+}
+
+// rows carries the release obligation for its arena.
+type rows struct {
+	arena *engine.Arena
+}
+
+// handoffStruct transfers ownership into a result structure, the
+// Rows.Close pattern of the session API.
+func handoffStruct(sn *engine.Snapshot) *rows {
+	a := engine.AcquireArena(sn)
+	return &rows{arena: a}
+}
+
+// handoffReturn transfers ownership to the caller.
+func handoffReturn(sn *engine.Snapshot) *engine.Arena {
+	a := engine.AcquireArena(sn)
+	return a
+}
+
+// handoffDirective marks a transfer the analyzer cannot see (the callee
+// takes ownership).
+func handoffDirective(sn *engine.Snapshot) {
+	//maybms:arena-handoff fixture: adoptArena takes ownership
+	adoptArena(engine.AcquireArena(sn))
+}
+
+var adopted *engine.Arena
+
+func adoptArena(a *engine.Arena) { adopted = a }
+
+// borrowIsNotHandoff passes the arena to a callee and then forgets it:
+// borrows do not discharge the obligation, so the leak is caught.
+func borrowIsNotHandoff(sn *engine.Snapshot) {
+	a := engine.AcquireArena(sn) // want "not released on the path to the return at line"
+	inspect(a)
+}
+
+func inspect(a *engine.Arena) {}

@@ -1,0 +1,11 @@
+// Package engine is a miniature double of maybms/internal/engine: just the
+// pooled-arena lifecycle that arenapool keys on.
+package engine
+
+type Snapshot struct{}
+
+type Arena struct{ used bool }
+
+func AcquireArena(sn *Snapshot) *Arena { return &Arena{} }
+
+func ReleaseArena(a *Arena) {}

@@ -1,0 +1,301 @@
+// Package detmap checks the byte-identity invariant of everything the
+// system emits or hashes: in determinism-critical code, iterating a Go map
+// directly is an error, because map iteration order is randomized per run.
+//
+// The invariant is what makes snapshot re-saves byte-identical
+// (docs/snapshot-format.md), per-shard fingerprints stable across kill -9
+// restarts, and sharded CONF() byte-identical to unsharded execution (the
+// canonical mass fold). Each of those properties is asserted by tests, but
+// only for the code paths the tests happen to cover; this analyzer checks
+// the rule itself.
+//
+// Scope:
+//
+//   - all of internal/storage and internal/shard (snapshot and WAL
+//     emission, partitioning, fingerprints);
+//   - any function marked //maybms:deterministic in its doc comment
+//     (the canonical fold, state export, EXPLAIN rendering).
+//
+// Allowed forms inside the scope:
+//
+//   - for range m {...} with no iteration variables (pure counting);
+//   - the collect-and-sort idiom: a range whose body only appends the key
+//     to a slice, provided that slice is sorted later in the function;
+//   - an explicit //maybms:any-order <reason> directive on the range line
+//     for provably order-insensitive bodies (building another map,
+//     integer counters).
+//
+// Everything else gets a diagnostic, with a suggested fix rewriting the
+// loop to the collect-and-sort idiom when the key type is ordered.
+package detmap
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"maybms/internal/analysis/internal/common"
+)
+
+const doc = `check that determinism-critical code never depends on map iteration order
+
+Snapshot bytes, WAL records, shard fingerprints and the canonical
+confidence fold must be functions of the store's logical state alone; map
+iteration order is randomized and would leak into them. Collect the keys,
+sort them, and iterate the sorted slice — or mark a provably
+order-insensitive loop with //maybms:any-order <reason>.`
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "detmap",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	wholePkg := common.PkgHasSuffix(pass, "internal/storage", "internal/shard")
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	dirs := map[*ast.File]*common.Directives{}
+	fileOf := func(pos ast.Node) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos.Pos() && pos.Pos() < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	nodeFilter := []ast.Node{(*ast.RangeStmt)(nil)}
+	insp.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rng := n.(*ast.RangeStmt)
+		if common.IsTestFile(pass, rng.Pos()) {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		fn, body := enclosingFunc(stack)
+		if body == nil {
+			return true
+		}
+		if !wholePkg && !common.FuncHas(fn, common.DirDeterministic) {
+			return true
+		}
+		file := fileOf(rng)
+		if file == nil {
+			return true
+		}
+		d, ok := dirs[file]
+		if !ok {
+			d = common.FileDirectives(pass.Fset, file)
+			dirs[file] = d
+		}
+		if d.At(rng.Pos(), common.DirAnyOrder) {
+			return true
+		}
+		// for range m {} with no variables: the body runs len(m) times in
+		// some order, but sees neither key nor value.
+		if rng.Key == nil && rng.Value == nil {
+			return true
+		}
+		if keys := collectOnly(pass, rng); keys != nil {
+			if sortedLater(pass, body, rng, keys) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map keys are collected into %q but never sorted: sort before iterating, or the emission order is random",
+				keys.Name())
+			return true
+		}
+		diag := analysis.Diagnostic{
+			Pos: rng.Pos(),
+			Message: "iteration over a map in determinism-critical code: collect and sort the keys first " +
+				"(or mark a provably order-insensitive loop with //maybms:any-order <reason>)",
+		}
+		if fix := sortFix(pass, rng); fix != nil {
+			diag.SuggestedFixes = []analysis.SuggestedFix{*fix}
+		}
+		pass.Report(diag)
+		return true
+	})
+	return nil, nil
+}
+
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for _, n := range stack {
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// collectOnly recognizes the first half of the collect-and-sort idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The body must be exactly one append of the key (the value variable must
+// be absent or blank). It returns the slice variable being appended to,
+// or nil.
+func collectOnly(pass *analysis.Pass, rng *ast.RangeStmt) *types.Var {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return nil
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return nil
+		}
+	}
+	if len(rng.Body.List) != 1 {
+		return nil
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return nil
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return nil
+	}
+	if len(call.Args) != 2 {
+		return nil
+	}
+	if a0, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.ObjectOf(a0) != pass.TypesInfo.ObjectOf(dst) {
+		return nil
+	}
+	a1, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(a1) != pass.TypesInfo.ObjectOf(keyID) {
+		return nil
+	}
+	v, _ := pass.TypesInfo.ObjectOf(dst).(*types.Var)
+	return v
+}
+
+// sortedLater reports whether, after the collection loop, the function
+// body passes the keys slice to a sort (any sort.* or slices.Sort* call
+// mentioning it).
+func sortedLater(pass *analysis.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, keys *types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, isPkg := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); !isPkg ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == keys {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortFix builds a suggested fix rewriting `for k, v := range m {` into the
+// collect-and-sort idiom, when the key type is an ordered basic type. The
+// fix assumes package sort is (or will be) imported.
+func sortFix(pass *analysis.Pass, rng *ast.RangeStmt) *analysis.SuggestedFix {
+	mapType, ok := pass.TypesInfo.Types[rng.X].Type.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	basic, ok := mapType.Key().Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsFloat|types.IsString) == 0 {
+		return nil
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return nil
+	}
+	mapStr, err := exprString(rng.X)
+	if err != nil {
+		return nil
+	}
+	keyType := types.TypeString(mapType.Key(), func(p *types.Package) string { return p.Name() })
+	keys := keyID.Name + "Sorted"
+	var sortStmt string
+	switch {
+	case basic.Kind() == types.String:
+		sortStmt = fmt.Sprintf("sort.Strings(%s)", keys)
+	case basic.Kind() == types.Int:
+		sortStmt = fmt.Sprintf("sort.Ints(%s)", keys)
+	default:
+		sortStmt = fmt.Sprintf("sort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })", keys, keys, keys)
+	}
+	header := fmt.Sprintf("%s := make([]%s, 0, len(%s))\n", keys, keyType, mapStr) +
+		fmt.Sprintf("for %s := range %s {\n\t%s = append(%s, %s)\n}\n", keyID.Name, mapStr, keys, keys, keyID.Name) +
+		sortStmt + "\n" +
+		fmt.Sprintf("for _, %s := range %s {", keyID.Name, keys)
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); ok && v.Name != "_" {
+			header += fmt.Sprintf("\n%s := %s[%s]", v.Name, mapStr, keyID.Name)
+		}
+	}
+	return &analysis.SuggestedFix{
+		Message: "iterate the sorted keys instead",
+		TextEdits: []analysis.TextEdit{{
+			Pos:     rng.Pos(),
+			End:     rng.Body.Lbrace + 1,
+			NewText: []byte(header),
+		}},
+	}
+}
+
+// exprString renders a (simple) expression back to source.
+func exprString(e ast.Expr) (string, error) {
+	var buf bytes.Buffer
+	if err := format.Node(&buf, token.NewFileSet(), e); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}

@@ -1,0 +1,32 @@
+package detmap_test
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/analysis/detmap"
+	"maybms/internal/analysis/internal/vettest"
+)
+
+func TestDetMap(t *testing.T) {
+	diags := vettest.Run(t, vettest.TestData(), detmap.Analyzer,
+		"d.example/internal/storage",
+		"d.example/emit",
+	)
+
+	// The direct-iteration diagnostic must carry a suggested fix rewriting
+	// the loop to the collect-and-sort idiom (ordered key type).
+	fixed := false
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				if strings.Contains(string(e.NewText), "sort.Strings") {
+					fixed = true
+				}
+			}
+		}
+	}
+	if !fixed {
+		t.Errorf("no diagnostic carried a collect-and-sort suggested fix")
+	}
+}

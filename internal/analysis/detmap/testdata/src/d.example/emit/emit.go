@@ -1,0 +1,23 @@
+// Package emit is outside detmap's always-checked packages: only functions
+// marked //maybms:deterministic are held to the rule.
+package emit
+
+// render is marked deterministic, so its map iteration is flagged.
+//
+//maybms:deterministic fixture: rendered text is golden-tested
+func render(m map[string]string) string {
+	s := ""
+	for k := range m { // want "iteration over a map in determinism-critical code"
+		s += m[k]
+	}
+	return s
+}
+
+// freeForm is unmarked: detmap does not police it.
+func freeForm(m map[string]string) string {
+	s := ""
+	for k := range m {
+		s += m[k]
+	}
+	return s
+}

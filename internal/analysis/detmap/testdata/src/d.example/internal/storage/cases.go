@@ -1,0 +1,70 @@
+// Package storage exercises detmap inside an always-checked package: every
+// map iteration here must be order-insensitive or sorted.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emitDirect leaks map order straight into the output: flagged, with a
+// suggested rewrite to the collect-and-sort idiom.
+func emitDirect(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "iteration over a map in determinism-critical code"
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// emitSorted is the canonical compliant shape.
+func emitSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// collectNoSort starts the idiom but never finishes it.
+func collectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want `map keys are collected into "keys" but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// countOnly sees neither key nor value: allowed.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert builds another map, which is itself unordered: the directive
+// documents why order cannot leak.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	//maybms:any-order fixture: output is itself an unordered map
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sliceRange is not a map: outside the rule.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

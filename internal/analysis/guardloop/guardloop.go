@@ -1,0 +1,229 @@
+// Package guardloop checks the cooperative-cancellation invariant of the
+// query engine: hot loops over tuple rows and component local worlds in
+// internal/engine and internal/shard must tick the cancellation Guard
+// (engine.Guard.Tick/Check or Arena.tick), so a canceled or over-budget
+// query stops inside the loop instead of grinding to completion.
+//
+// Confidence computation is exponential in the worst case (Section 6 of the
+// paper); PR 9 threaded counter-amortized guard checkpoints through every
+// operator precisely so the serving layer can kill a runaway query. The
+// invariant is load-bearing but purely conventional — a new operator that
+// forgets to tick compiles, passes every functional test, and ships an
+// uncancellable code path. This analyzer closes that hole:
+//
+//   - a loop ranging over row-typed data (engine.CompRow local worlds,
+//     pre-fold TupleMasses / TupleConf tables, tuple-level view rows) in a
+//     function with a Guard in scope (a *Guard or *Arena parameter,
+//     receiver, or local) must contain a guard checkpoint, directly or in
+//     an enclosing loop of the same function;
+//   - such a loop in a function with no Guard in scope is an uncancellable
+//     sweep: either thread a *Guard through (preferred for anything on a
+//     query path) or document the exemption with //maybms:unguarded <why>
+//     in the function's doc comment (boot-time fingerprints, memory
+//     probes, the differential oracle).
+package guardloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"maybms/internal/analysis/internal/common"
+)
+
+const doc = `check that row-sweeping loops in engine/shard tick the cancellation Guard
+
+A loop over component local worlds or confidence-fold tables that never
+calls Guard.Tick/Check (or Arena.tick) is uncancellable: the request
+context, the memory budget, and the shard scheduler's first-failure abort
+are all invisible to it. Tick in the loop (or an enclosing loop), thread a
+*Guard through, or mark an intentionally unguarded sweep with
+//maybms:unguarded <reason> on the function.`
+
+// rowTypeNames are the engine types whose slices constitute a row sweep:
+// component local worlds, pre-fold and folded confidence tables, and the
+// tuple-level view's row and group forms.
+var rowTypeNames = []string{"CompRow", "TupleMasses", "TupleConf", "tlRow", "tlGroup"}
+
+// Analyzer is the guardloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "guardloop",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !common.PkgHasSuffix(pass, "internal/engine", "internal/shard") {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.RangeStmt)(nil)}
+	insp.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rng := n.(*ast.RangeStmt)
+		if common.IsTestFile(pass, rng.Pos()) {
+			return false
+		}
+		if !isRowSweep(pass, rng) {
+			return true
+		}
+		fn, body := enclosingFunc(stack)
+		if body == nil {
+			return true
+		}
+		if common.FuncHas(fn, common.DirUnguarded) {
+			return true
+		}
+		// A checkpoint in this loop's body, or in the body of any enclosing
+		// loop of the same function, covers the sweep: the enclosing loop's
+		// tick fires at least once per outer iteration.
+		if containsTick(pass, rng.Body) {
+			return true
+		}
+		for _, anc := range stack {
+			if encl := loopBody(anc); encl != nil && encl != rng.Body && containsTick(pass, encl) {
+				return true
+			}
+		}
+		if guardInScope(pass, fn, body) {
+			pass.Reportf(rng.Pos(),
+				"row sweep without a guard checkpoint: call Tick/Check in this loop (a Guard is in scope), or an enclosing loop")
+		} else {
+			pass.Reportf(rng.Pos(),
+				"uncancellable row sweep: no *Guard in scope — thread one through, or document with //maybms:unguarded <reason> on the function")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isRowSweep reports whether rng ranges over a slice (or array) of one of
+// the engine's row types.
+func isRowSweep(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type.Underlying()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem().Underlying()
+	}
+	var elem types.Type
+	switch seq := t.(type) {
+	case *types.Slice:
+		elem = seq.Elem()
+	case *types.Array:
+		elem = seq.Elem()
+	default:
+		return false
+	}
+	return common.NamedFrom(elem, "internal/engine", rowTypeNames...)
+}
+
+// containsTick reports whether body contains a guard checkpoint call:
+// a method named Tick, Check, or tick on a *Guard or *Arena.
+func containsTick(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Tick", "Check", "tick":
+		default:
+			return true
+		}
+		if rtv, ok := pass.TypesInfo.Types[sel.X]; ok &&
+			common.NamedFrom(rtv.Type, "internal/engine", "Guard", "Arena") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopBody returns the body of n if n is a loop statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// enclosingFunc returns the outermost enclosing function declaration (or
+// outermost literal when the loop sits in a package-level func value) and
+// its body. The outermost declaration is the unit of the invariant: its
+// doc comment carries the //maybms:unguarded directive, and a guard
+// anywhere in it is capturable by the closures it spawns.
+func enclosingFunc(stack []ast.Node) (ast.Node, *ast.BlockStmt) {
+	for _, n := range stack {
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			return f, f.Body
+		case *ast.FuncLit:
+			return f, f.Body
+		}
+	}
+	return nil, nil
+}
+
+// guardInScope reports whether a *engine.Guard or *engine.Arena is
+// denotable in fn: a receiver, a parameter, or any identifier of that type
+// in the function body (covering locals like `guard := guardOf(v)`).
+func guardInScope(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) bool {
+	isGuardish := func(t types.Type) bool {
+		return common.NamedFrom(t, "internal/engine", "Guard", "Arena")
+	}
+	var fields []*ast.FieldList
+	switch decl := fn.(type) {
+	case *ast.FuncDecl:
+		fields = append(fields, decl.Recv, decl.Type.Params)
+	case *ast.FuncLit:
+		fields = append(fields, decl.Type.Params)
+	}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if tv, ok := pass.TypesInfo.Types[f.Type]; ok && isGuardish(tv.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && isGuardish(obj.Type()) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package guardloop_test
+
+import (
+	"testing"
+
+	"maybms/internal/analysis/guardloop"
+	"maybms/internal/analysis/internal/vettest"
+)
+
+func TestGuardLoop(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), guardloop.Analyzer,
+		"g.example/internal/engine",
+		"g.example/internal/shard",
+		"g.example/other", // out of scope: must stay silent
+	)
+}

@@ -1,0 +1,101 @@
+package engine
+
+// sweepNoTick has a guard in scope but never ticks: flagged.
+func sweepNoTick(g *Guard, rows []CompRow) float64 {
+	var s float64
+	for _, r := range rows { // want "row sweep without a guard checkpoint"
+		s += r.P
+	}
+	_ = g
+	return s
+}
+
+// sweepNoGuard has no guard anywhere: the uncancellable variant.
+func sweepNoGuard(rows []CompRow) float64 {
+	var s float64
+	for _, r := range rows { // want "uncancellable row sweep"
+		s += r.P
+	}
+	return s
+}
+
+// sweepTicking checkpoints inside the loop: compliant.
+func sweepTicking(g *Guard, rows []CompRow) error {
+	for range rows {
+		if err := g.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepOuterTick checkpoints in the enclosing loop, which fires at least
+// once per inner sweep: compliant.
+func sweepOuterTick(g *Guard, parts [][]TupleMasses) (float64, error) {
+	var s float64
+	for _, part := range parts {
+		if err := g.Tick(); err != nil {
+			return 0, err
+		}
+		for _, tm := range part {
+			s += tm.Masses[0]
+		}
+	}
+	return s, nil
+}
+
+// sweepArenaTick uses the arena's amortized tick: compliant.
+func sweepArenaTick(a *Arena, rows []CompRow) error {
+	for range rows {
+		if err := a.tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepLocalGuard materializes a guard locally but forgets the tick: the
+// in-scope message fires because the guard is right there.
+func sweepLocalGuard(rows []CompRow) int {
+	g := &Guard{}
+	n := 0
+	for range rows { // want "row sweep without a guard checkpoint"
+		n++
+	}
+	_ = g
+	return n
+}
+
+// sweepExempt documents an intentional unguarded sweep.
+//
+//maybms:unguarded fixture: bounded debug sweep, never on a query path
+func sweepExempt(rows []CompRow) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}
+
+// sweepClosure: the directive sits on the outermost declaration and covers
+// sweeps inside closures too.
+//
+//maybms:unguarded fixture: oracle helper
+func sweepClosure(rows []tlRow) func() int {
+	return func() int {
+		n := 0
+		for _, r := range rows {
+			n += len(r.cols)
+		}
+		return n
+	}
+}
+
+// notARowSweep ranges over plain data: outside the invariant.
+func notARowSweep(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

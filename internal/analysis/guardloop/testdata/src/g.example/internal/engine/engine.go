@@ -1,0 +1,21 @@
+// Package engine is a miniature double of maybms/internal/engine carrying
+// just the names guardloop keys on: the row types and the Guard/Arena tick
+// surface. No row sweeps live in this file.
+package engine
+
+type CompRow struct{ P float64 }
+
+type TupleMasses struct{ Masses []float64 }
+
+type TupleConf struct{ Conf float64 }
+
+type tlRow struct{ cols []int }
+
+type Guard struct{ n int }
+
+func (g *Guard) Tick() error  { return nil }
+func (g *Guard) Check() error { return nil }
+
+type Arena struct{ guard *Guard }
+
+func (a *Arena) tick() error { return a.guard.Tick() }

@@ -1,0 +1,27 @@
+// Package shard exercises guardloop's second scoped package: sweeps over
+// engine row types are checked here too.
+package shard
+
+import "g.example/internal/engine"
+
+// mergeNoGuard sweeps a pre-fold table with no guard: flagged.
+func mergeNoGuard(parts [][]engine.TupleMasses) int {
+	n := 0
+	for _, part := range parts {
+		for _, tm := range part { // want "uncancellable row sweep"
+			n += len(tm.Masses)
+		}
+	}
+	return n
+}
+
+// fingerprint is a documented boot-time exemption.
+//
+//maybms:unguarded fixture: boot-time fingerprint, no guard exists yet
+func fingerprint(rows []engine.CompRow) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+// Package other is outside guardloop's scope (not internal/engine or
+// internal/shard): identical sweeps produce no diagnostics here.
+package other
+
+import "g.example/internal/engine"
+
+func SweepFreely(rows []engine.CompRow) float64 {
+	var s float64
+	for _, r := range rows {
+		s += r.P
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+// Package common holds the small shared vocabulary of the maybms-vet
+// analyzers: package scoping by import-path suffix, engine/storage type
+// matching, and the //maybms:* comment directives that mark intentional
+// exceptions to the checked invariants (docs/static-analysis.md).
+package common
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Directive names recognized in //maybms:<name> comments. A directive
+// applies to the statement on its own line, to the statement on the line
+// directly below it, or — for function-scoped directives — anywhere in the
+// function's doc comment.
+const (
+	// DirArenaHandoff marks an engine.AcquireArena call whose result is
+	// deliberately handed to another owner that will release it.
+	DirArenaHandoff = "arena-handoff"
+	// DirUnguarded marks a function whose row sweeps intentionally run
+	// without a cancellation Guard (boot-time fingerprints, memory probes,
+	// the differential oracle). A reason is required after the directive.
+	DirUnguarded = "unguarded"
+	// DirAnyOrder marks a map range whose body is provably order-insensitive
+	// (pure counting, building another map). A reason is required.
+	DirAnyOrder = "any-order"
+	// DirDeterministic marks a function outside the always-checked packages
+	// whose output must not depend on map iteration order; detmap checks it.
+	DirDeterministic = "deterministic"
+	// DirRawError exempts a function (doc comment) or a statement (own or
+	// preceding line) from walerr: the code deliberately propagates or
+	// discards a raw fs-op error. Only the fault-injection shim qualifies —
+	// it must stay byte-transparent to the filesystem it wraps. A reason is
+	// required.
+	DirRawError = "raw-error"
+)
+
+const prefix = "//maybms:"
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers
+// check production invariants; tests iterate maps and skip guards freely.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f == nil || strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// PkgHasSuffix reports whether the package under analysis lives at an
+// import path ending in one of the given suffixes ("internal/engine",
+// "internal/storage", ...). Suffix matching keeps the analyzers working on
+// both the real module paths and the analyzers' own testdata trees.
+func PkgHasSuffix(pass *analysis.Pass, suffixes ...string) bool {
+	return PathHasSuffix(pass.Pkg.Path(), suffixes...)
+}
+
+// PathHasSuffix reports whether path ends in one of the given
+// path-component suffixes.
+func PathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedFrom unwraps pointers and aliases and reports whether t is a named
+// type with one of the given names declared in a package whose import path
+// ends in pkgSuffix.
+func NamedFrom(t types.Type, pkgSuffix string, names ...string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives indexes the //maybms:* comments of one file by line.
+type Directives struct {
+	fset  *token.FileSet
+	lines map[int][]string // line -> directive names on that line
+}
+
+// FileDirectives collects the //maybms:* directives of file.
+func FileDirectives(fset *token.FileSet, file *ast.File) *Directives {
+	d := &Directives{fset: fset, lines: map[int][]string{}}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name, ok := directiveName(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			d.lines[line] = append(d.lines[line], name)
+		}
+	}
+	return d
+}
+
+func directiveName(text string) (string, bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// At reports whether directive name is present on the line of pos or on the
+// line directly above it.
+func (d *Directives) At(pos token.Pos, name string) bool {
+	line := d.fset.Position(pos).Line
+	return d.onLine(line, name) || d.onLine(line-1, name)
+}
+
+func (d *Directives) onLine(line int, name string) bool {
+	for _, n := range d.lines[line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHas reports whether the doc comment of fn carries directive name.
+// fn may be an *ast.FuncDecl; func literals have no doc comment and always
+// report false.
+func FuncHas(fn ast.Node, name string) bool {
+	decl, ok := fn.(*ast.FuncDecl)
+	if !ok || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if n, ok := directiveName(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}

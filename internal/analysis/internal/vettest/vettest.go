@@ -1,0 +1,431 @@
+// Package vettest drives the maybms-vet analyzers over small testdata
+// packages and checks their diagnostics against // want comments — a
+// minimal stand-in for golang.org/x/tools/go/analysis/analysistest, which
+// is not part of the vendored x/tools subset (the subset mirrors what the
+// Go toolchain itself vendors, and the toolchain does not ship
+// analysistest).
+//
+// Layout follows the analysistest convention: an analyzer's test loads
+// packages from <analyzer dir>/testdata/src/<import path>. Imports between
+// testdata packages resolve within that tree; standard-library imports
+// resolve through `go list -export`, so the type information is the real
+// compiler's. A diagnostic must be announced by a
+//
+//	// want "regexp"
+//
+// comment on the offending line (several quoted regexps allow several
+// diagnostics on one line), and every announced diagnostic must fire:
+// unmatched wants and unexpected diagnostics both fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the testdata package at dir/src/<path> for each path, applies
+// analyzer a (running its transitive requirements and fact producers
+// first) and checks a's diagnostics against the packages' // want
+// comments. It returns those diagnostics in file order so tests can make
+// extra assertions (suggested fixes, positions).
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) []analysis.Diagnostic {
+	t.Helper()
+	ld := newLoader(t, filepath.Join(dir, "src"))
+	var out []analysis.Diagnostic
+	for _, path := range paths {
+		pkg := ld.load(path)
+		ld.run(a, pkg)
+		diags := ld.diags[resultKey{a, pkg}]
+		checkWants(t, ld.fset, pkg, diags)
+		out = append(out, diags...)
+	}
+	return out
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring analysistest.TestData.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+type resultKey struct {
+	a   *analysis.Analyzer
+	pkg *lpkg
+}
+
+type lpkg struct {
+	path    string
+	files   []*ast.File
+	types   *types.Package
+	info    *types.Info
+	imports []string // local (testdata) imports, in first-seen order
+}
+
+type loader struct {
+	t       *testing.T
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*lpkg
+	std     types.ImporterFrom
+	exports map[string]string // std import path -> export data file
+
+	results  map[resultKey]interface{}
+	diags    map[resultKey][]analysis.Diagnostic
+	objFacts map[types.Object]map[reflect.Type]analysis.Fact
+	pkgFacts map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+func newLoader(t *testing.T, srcRoot string) *loader {
+	ld := &loader{
+		t:        t,
+		srcRoot:  srcRoot,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*lpkg{},
+		exports:  map[string]string{},
+		results:  map[resultKey]interface{}{},
+		diags:    map[resultKey][]analysis.Diagnostic{},
+		objFacts: map[types.Object]map[reflect.Type]analysis.Fact{},
+		pkgFacts: map[*types.Package]map[reflect.Type]analysis.Fact{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", ld.lookupExport).(types.ImporterFrom)
+	return ld
+}
+
+func (ld *loader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// load parses and type-checks the testdata package at path (memoized).
+func (ld *loader) load(path string) *lpkg {
+	ld.t.Helper()
+	if p, ok := ld.pkgs[path]; ok {
+		if p == nil {
+			ld.t.Fatalf("import cycle through testdata package %s", path)
+		}
+		return p
+	}
+	ld.pkgs[path] = nil // cycle marker
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("reading testdata package %s: %v", path, err)
+	}
+	p := &lpkg{path: path}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		ld.t.Fatalf("testdata package %s has no Go files", path)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			ld.t.Fatalf("parsing %s: %v", name, err)
+		}
+		p.files = append(p.files, f)
+	}
+	// Load local imports first (and record them for fact propagation); the
+	// std ones are batch-resolved below.
+	var std []string
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || ip == "unsafe" {
+				continue
+			}
+			if ld.isLocal(ip) {
+				seen := false
+				for _, have := range p.imports {
+					if have == ip {
+						seen = true
+					}
+				}
+				if !seen {
+					p.imports = append(p.imports, ip)
+					ld.load(ip)
+				}
+			} else if _, ok := ld.exports[ip]; !ok {
+				std = append(std, ip)
+			}
+		}
+	}
+	ld.resolveStd(std)
+
+	p.info = &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	var terrs []error
+	conf := &types.Config{
+		Importer: ld,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, p.files, p.info)
+	if len(terrs) > 0 {
+		for _, e := range terrs {
+			ld.t.Errorf("testdata package %s: %v", path, e)
+		}
+		ld.t.Fatalf("testdata package %s does not type-check", path)
+	}
+	p.types = tpkg
+	ld.pkgs[path] = p
+	return p
+}
+
+// resolveStd maps standard-library import paths to their export data via
+// one `go list -export -deps` invocation (deps included: reading fmt's
+// export data makes the importer ask for its dependencies too).
+func (ld *loader) resolveStd(paths []string) {
+	ld.t.Helper()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := ld.exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, missing...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		ld.t.Fatalf("go list -export %s: %v", strings.Join(missing, " "), msg)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if ok && path != "" && file != "" {
+			ld.exports[path] = file
+		}
+	}
+}
+
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("vettest: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import / ImportFrom make the loader the type-checker's importer:
+// testdata packages resolve within the tree, everything else through the
+// compiler's export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ld.isLocal(path) {
+		return ld.load(path).types, nil
+	}
+	ld.resolveStd([]string{path})
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+// run applies analyzer a to pkg (memoized): requirements first, and — so
+// cross-package facts work like in a real driver — fact-producing
+// analyzers run over pkg's local imports before pkg itself.
+func (ld *loader) run(a *analysis.Analyzer, pkg *lpkg) interface{} {
+	ld.t.Helper()
+	key := resultKey{a, pkg}
+	if res, ok := ld.results[key]; ok {
+		return res
+	}
+	if len(a.FactTypes) > 0 {
+		for _, imp := range pkg.imports {
+			ld.run(a, ld.pkgs[imp])
+		}
+	}
+	deps := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		deps[req] = ld.run(req, pkg)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       ld.fset,
+		Files:      pkg.files,
+		Pkg:        pkg.types,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:   deps,
+		ReadFile:   os.ReadFile,
+		Report: func(d analysis.Diagnostic) {
+			ld.diags[key] = append(ld.diags[key], d)
+		},
+		ImportObjectFact:  ld.importObjectFact,
+		ExportObjectFact:  ld.exportObjectFact,
+		ImportPackageFact: ld.importPackageFact,
+		ExportPackageFact: func(fact analysis.Fact) { ld.exportPackageFact(pkg.types, fact) },
+		AllObjectFacts:    ld.allObjectFacts,
+		AllPackageFacts:   ld.allPackageFacts,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		ld.t.Fatalf("analyzer %s failed on %s: %v", a.Name, pkg.path, err)
+	}
+	ld.results[key] = res
+	return res
+}
+
+// --- in-memory facts (single process, so objects are shared pointers) ---
+
+func copyFact(dst, src analysis.Fact) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+func (ld *loader) exportObjectFact(obj types.Object, fact analysis.Fact) {
+	m := ld.objFacts[obj]
+	if m == nil {
+		m = map[reflect.Type]analysis.Fact{}
+		ld.objFacts[obj] = m
+	}
+	m[reflect.TypeOf(fact)] = fact
+}
+
+func (ld *loader) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	if have, ok := ld.objFacts[obj][reflect.TypeOf(fact)]; ok {
+		copyFact(fact, have)
+		return true
+	}
+	return false
+}
+
+func (ld *loader) exportPackageFact(pkg *types.Package, fact analysis.Fact) {
+	m := ld.pkgFacts[pkg]
+	if m == nil {
+		m = map[reflect.Type]analysis.Fact{}
+		ld.pkgFacts[pkg] = m
+	}
+	m[reflect.TypeOf(fact)] = fact
+}
+
+func (ld *loader) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	if have, ok := ld.pkgFacts[pkg][reflect.TypeOf(fact)]; ok {
+		copyFact(fact, have)
+		return true
+	}
+	return false
+}
+
+func (ld *loader) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for obj, m := range ld.objFacts {
+		for _, f := range m {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	return out
+}
+
+func (ld *loader) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for pkg, m := range ld.pkgFacts {
+		for _, f := range m {
+			out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+		}
+	}
+	return out
+}
+
+// --- want-comment matching ---
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var quotedRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants verifies diags against pkg's // want comments: every
+// diagnostic needs a matching want on its line, every want needs a
+// diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *lpkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[key] = append(wants[key], rx)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[key] {
+			if rx != nil && rx.MatchString(d.Message) {
+				wants[key][i] = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, rxs := range wants {
+		for _, rx := range rxs {
+			if rx != nil {
+				t.Errorf("%s:%d: want %q: no diagnostic reported", key.file, key.line, rx)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package storage
+
+import "fmt"
+
+// discardSync drops an fsync error on the floor: rule 1.
+func discardSync(f File) {
+	f.Sync() // want "error of File.Sync is discarded"
+}
+
+// blankWrite discards explicitly: rule 1.
+func blankWrite(f File, p []byte) {
+	_, _ = f.Write(p) // want "error of File.Write is assigned to _"
+}
+
+// deferredSync can never surface its error: rule 1.
+func deferredSync(f File) {
+	defer f.Sync() // want "error of deferred File.Sync is discarded"
+}
+
+// bareReturnIf propagates the raw error from the if-init form: rule 2.
+func bareReturnIf(f File) error {
+	if err := f.Sync(); err != nil {
+		return err // want "error of File.Sync returned without context"
+	}
+	return nil
+}
+
+// bareReturnBlock propagates the raw error from the adjacent-statement
+// form: rule 2.
+func bareReturnBlock(fsys FS, oldpath, newpath string) error {
+	err := fsys.Rename(oldpath, newpath)
+	if err != nil {
+		return err // want "error of FS.Rename returned without context"
+	}
+	return nil
+}
+
+// bareReturnMulti propagates through a multi-result return: rule 2.
+func bareReturnMulti(fsys FS, name string) (File, error) {
+	f, err := fsys.OpenFile(name)
+	if err != nil {
+		return nil, err // want "error of FS.OpenFile returned without context"
+	}
+	return f, nil
+}
+
+// wrapped adds context with %w: compliant.
+func wrapped(f File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// typedHelper wraps through the storage helper: compliant.
+func typedHelper(f File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return truncated(err)
+	}
+	return nil
+}
+
+// reassigned rebinds err before returning it: no longer the raw fs error.
+func reassigned(f File) error {
+	if err := f.Sync(); err != nil {
+		err = fmt.Errorf("storage: syncing journal: %w", err)
+		return err
+	}
+	return nil
+}
+
+// checkedElsewhere handles the error without returning it: compliant.
+func checkedElsewhere(f File) bool {
+	if err := f.Truncate(0); err != nil {
+		return false
+	}
+	return true
+}
+
+// passthrough is the fault-shim escape: its doc directive exempts the
+// whole function.
+//
+//maybms:raw-error fixture: transparent shim, base FS errors pass through unchanged
+func passthrough(fsys FS, name string) (File, error) {
+	f, err := fsys.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// tornWrite uses the line-level escape for a deliberate discard.
+func tornWrite(f File, p []byte) (int, error) {
+	//maybms:raw-error fixture: deliberate torn write, injected error supersedes
+	n, _ := f.Write(p[:1])
+	return n, ErrTruncated
+}

@@ -1,0 +1,27 @@
+// Package storage is a miniature double of maybms/internal/storage: the FS
+// seam and a typed error, which is all walerr keys on.
+package storage
+
+import "errors"
+
+// ErrTruncated mimics the typed storage errors.
+var ErrTruncated = errors.New("truncated")
+
+// FS is the filesystem seam.
+type FS interface {
+	OpenFile(name string) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// File is one open file on the seam.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// truncated mimics the storage helper that wraps short reads.
+func truncated(err error) error {
+	return errors.Join(ErrTruncated, err)
+}

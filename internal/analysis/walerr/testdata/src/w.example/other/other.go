@@ -1,0 +1,9 @@
+// Package other is outside walerr's scope (not internal/storage): the
+// durability rules do not apply here.
+package other
+
+import "w.example/internal/storage"
+
+func DropFreely(f storage.File) {
+	f.Sync()
+}

@@ -1,0 +1,305 @@
+// Package walerr checks the durability layer's error discipline: in
+// internal/storage, the errors of filesystem operations — Write, Sync,
+// Truncate, Rename and friends, on the storage.FS/File seam, *os.File, or
+// a buffered writer over them — must be (1) checked, never discarded, and
+// (2) propagated with context, never returned bare.
+//
+// The WAL's crash-safety argument (docs/snapshot-format.md#wal) rests on
+// this: Append acknowledges a record only after write+fsync succeed, a
+// failed append is truncated away or the log poisons itself, and every
+// failure surfaces to the caller wrapped so the serving layer can map it.
+// A single dropped fsync error silently converts "durable" into "probably
+// durable", which is exactly the class of bug the FaultFS suite exists to
+// catch dynamically — this analyzer catches it statically.
+//
+// Rule 1 (discard): an fs-op call used as a statement, or with its error
+// assigned to _, is an error. A genuinely best-effort fs write does not
+// exist in this layer; the single escape, //maybms:raw-error <reason>, is
+// reserved for the fault-injection shim, whose whole point is to forward
+// the base filesystem raw (and to produce deliberately torn writes).
+//
+// Rule 2 (bare return): `return err` where err demonstrably holds the raw
+// result of an fs op (the err := op(); if err != nil { return err } and
+// the if-init forms) is an error — wrap it (fmt.Errorf with %w and what
+// was being attempted, or one of the typed storage errors) so a failed
+// boot names the operation that failed, not just the OS's errno text.
+package walerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"maybms/internal/analysis/internal/common"
+)
+
+const doc = `check fs-op error discipline in the durability layer (internal/storage)
+
+Errors from Write/Sync/Truncate/Rename/... on the storage.FS seam must be
+checked and wrapped with context before they propagate; a discarded fsync
+error is a durability lie, and a bare one loses which operation failed.`
+
+// fsOps are the method names whose error results the analyzer tracks.
+// Write-side ops fall under both rules; the read/metadata ops under rule 2
+// only (their results cannot be usefully discarded).
+var fsOps = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true, "Sync": true,
+	"Truncate": true, "Rename": true, "Flush": true,
+}
+
+var fsOpsReturnOnly = map[string]bool{
+	"OpenFile": true, "Open": true, "CreateTemp": true, "Stat": true,
+	"Seek": true, "MkdirAll": true, "Remove": true, "ReadDir": true,
+	"ReadAt": true, "Read": true,
+}
+
+// Analyzer is the walerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "walerr",
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !common.PkgHasSuffix(pass, "internal/storage") {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	dirs := map[*ast.File]*common.Directives{}
+	// exempt reports whether n sits under a //maybms:raw-error escape: on
+	// its own (or the preceding) line, or in the doc comment of the
+	// enclosing function. The only legitimate user is the fault-injection
+	// shim, which must pass the base filesystem's errors through unchanged.
+	exempt := func(n ast.Node, stack []ast.Node) bool {
+		for _, anc := range stack {
+			if fd, ok := anc.(*ast.FuncDecl); ok && common.FuncHas(fd, common.DirRawError) {
+				return true
+			}
+			if f, ok := anc.(*ast.File); ok {
+				d, ok := dirs[f]
+				if !ok {
+					d = common.FileDirectives(pass.Fset, f)
+					dirs[f] = d
+				}
+				if d.At(n.Pos(), common.DirRawError) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Rule 1: discarded errors.
+	insp.WithStack([]ast.Node{(*ast.ExprStmt)(nil), (*ast.AssignStmt)(nil), (*ast.GoStmt)(nil), (*ast.DeferStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if common.IsTestFile(pass, n.Pos()) || exempt(n, stack) {
+			return true
+		}
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if op, ok := fsOpCall(pass, s.X, false); ok {
+				pass.Reportf(s.Pos(), "error of %s is discarded: the durability layer checks every fs-op error", op)
+			}
+		case *ast.GoStmt:
+			if op, ok := fsOpCall(pass, s.Call, false); ok {
+				pass.Reportf(s.Pos(), "error of %s is discarded: the durability layer checks every fs-op error", op)
+			}
+		case *ast.DeferStmt:
+			if op, ok := fsOpCall(pass, s.Call, false); ok {
+				pass.Reportf(s.Pos(), "error of deferred %s is discarded: check it in a deferred closure instead", op)
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			op, ok := fsOpCall(pass, s.Rhs[0], false)
+			if !ok {
+				return true
+			}
+			// The error is the last result; discarded if that LHS is blank.
+			last, isIdent := s.Lhs[len(s.Lhs)-1].(*ast.Ident)
+			if isIdent && last.Name == "_" {
+				pass.Reportf(s.Pos(), "error of %s is assigned to _: the durability layer checks every fs-op error", op)
+			}
+		}
+		return true
+	})
+
+	// Rule 2: bare returns of fs-op errors.
+	insp.WithStack([]ast.Node{(*ast.IfStmt)(nil), (*ast.BlockStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if common.IsTestFile(pass, n.Pos()) || exempt(n, stack) {
+			return true
+		}
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			// if [vars,] err := <fsop>(); err != nil { ... return [..,] err }
+			init, ok := s.Init.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkGuardedReturn(pass, init, s)
+		case *ast.BlockStmt:
+			// [vars,] err := <fsop>()    (or =)
+			// if err != nil { ... return [..,] err }
+			for i := 0; i+1 < len(s.List); i++ {
+				asg, ok := s.List[i].(*ast.AssignStmt)
+				if !ok {
+					continue
+				}
+				ifs, ok := s.List[i+1].(*ast.IfStmt)
+				if !ok || ifs.Init != nil {
+					continue
+				}
+				checkGuardedReturn(pass, asg, ifs)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkGuardedReturn flags `return [..,] err` inside ifs's body when asg
+// assigns err from an fs-op call and ifs's condition tests that same err.
+func checkGuardedReturn(pass *analysis.Pass, asg *ast.AssignStmt, ifs *ast.IfStmt) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	op, ok := fsOpCall(pass, asg.Rhs[0], true)
+	if !ok {
+		return
+	}
+	errID, ok := asg.Lhs[len(asg.Lhs)-1].(*ast.Ident)
+	if !ok || errID.Name == "_" {
+		return
+	}
+	errObj := pass.TypesInfo.ObjectOf(errID)
+	if errObj == nil || !isErrorType(errObj.Type()) {
+		return
+	}
+	// Condition must test this err (err != nil or similar mention).
+	if !mentions(pass, ifs.Cond, errObj) {
+		return
+	}
+	// ast.Inspect visits in source order, so a reassignment of err stops the
+	// scan for everything after it, not just its own subtree.
+	stop := false
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// err reassigned before a return: no longer the raw fs error.
+			for _, l := range x.Lhs {
+				if id, ok := l.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == errObj {
+					stop = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == errObj {
+					pass.Reportf(x.Pos(),
+						"error of %s returned without context: wrap it (fmt.Errorf with %%w, a typed storage error, or a helper like truncated) so the failure names the operation",
+						op)
+					stop = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fsOpCall reports whether e is a call of a tracked fs op on a relevant
+// receiver, returning a printable name. returnOnly widens the op set to
+// the read/metadata ops tracked by rule 2.
+func fsOpCall(pass *analysis.Pass, e ast.Expr, returnOnly bool) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !fsOps[name] && !(returnOnly && fsOpsReturnOnly[name]) {
+		return "", false
+	}
+	// Package-level os.Rename / os.Remove / ... count as the seam too.
+	if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, isPkg := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName); isPkg {
+			if pn.Imported().Path() == "os" {
+				return "os." + name, true
+			}
+			return "", false
+		}
+	}
+	rtv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	if !fsReceiver(rtv.Type) {
+		return "", false
+	}
+	return receiverLabel(rtv.Type) + "." + name, true
+}
+
+// fsReceiver reports whether t is a filesystem-facing type: the storage
+// seam (FS, File, or an implementation like osFS/FaultFS), *os.File, or a
+// *bufio.Writer (always buffering one of the former here).
+func fsReceiver(t types.Type) bool {
+	if common.NamedFrom(t, "internal/storage", "FS", "File", "osFS", "osFile", "FaultFS", "faultFile") {
+		return true
+	}
+	if common.NamedFrom(t, "os", "File") {
+		return true
+	}
+	if common.NamedFrom(t, "bufio", "Writer") {
+		return true
+	}
+	return false
+}
+
+func receiverLabel(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

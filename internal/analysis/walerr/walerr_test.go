@@ -1,0 +1,15 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"maybms/internal/analysis/internal/vettest"
+	"maybms/internal/analysis/walerr"
+)
+
+func TestWalErr(t *testing.T) {
+	vettest.Run(t, vettest.TestData(), walerr.Analyzer,
+		"w.example/internal/storage",
+		"w.example/other", // out of scope: must stay silent
+	)
+}

@@ -311,6 +311,9 @@ func (a *Arena) addField(c *Component, f FieldID, vals []int32, absent []bool) e
 	c.Fields = append(c.Fields, f)
 	c.pos[f] = col
 	for i := range c.Rows {
+		if err := a.tick(); err != nil {
+			return err
+		}
 		c.Rows[i].Vals = append(c.Rows[i].Vals, vals[i])
 		if absent[i] {
 			c.Rows[i].Absent = c.Rows[i].Absent.Set(col)

@@ -150,6 +150,7 @@ func (s *Store) chaseEGDs(rel string, deps []EGD, opt ChaseOptions) error {
 	return nil
 }
 
+//maybms:unguarded chase runs on the update path (INSERT repair) under the store lock, fail-fast bounded by MaxCompRows
 func (s *Store) chaseOne(r *Relation, d EGD, idx map[string]uint16, opt ChaseOptions) error {
 	rows := chaseRows(r, idx, opt)
 	for _, row := range rows {

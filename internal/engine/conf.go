@@ -167,17 +167,23 @@ func (ac *tupleAccum) sorted() []TupleMasses {
 	return out
 }
 
-// foldAll turns sorted mass lists into the final confidence table.
-func foldAll(tms []TupleMasses) []TupleConf {
+// foldAll turns sorted mass lists into the final confidence table. It
+// ticks g per tuple — each fold sorts and multiplies a mass list, and the
+// table can be as large as the result — so a canceled query dies inside
+// the fold, not after it. A nil guard ticks for free.
+func foldAll(g *Guard, tms []TupleMasses) ([]TupleConf, error) {
 	out := make([]TupleConf, len(tms))
 	for i, tm := range tms {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		c := 1.0
 		if !tm.Certain {
 			c = FoldMasses(tm.Masses)
 		}
 		out[i] = TupleConf{Tuple: tm.Tuple, Conf: c}
 	}
-	return out
+	return out, nil
 }
 
 // groupTuple materializes the tuple of row tr at local world w of its
@@ -265,7 +271,7 @@ func possiblePOf(v catView, rel string) ([]TupleConf, error) {
 	if err != nil {
 		return nil, err
 	}
-	return foldAll(tms), nil
+	return foldAll(guardOf(v), tms)
 }
 
 // confOf computes the Figure 17 confidence of one tuple of rel natively.
@@ -322,6 +328,8 @@ func confOf(v catView, rel string, t []int32) (float64, error) {
 
 // possibleOf computes the Figure 18 possible tuples of rel natively, in
 // canonical order.
+//
+//maybms:unguarded linear copy of the already-folded table; possiblePOf ticks per tuple
 func possibleOf(v catView, rel string) ([][]int32, error) {
 	tcs, err := possiblePOf(v, rel)
 	if err != nil {

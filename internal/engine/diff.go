@@ -308,6 +308,9 @@ func (a *Arena) Difference(res, l, r string) (*Relation, error) {
 	// ⊥-propagation, the first attribute becomes a placeholder with a
 	// constant value, absent where a right tuple matches.
 	for j, pl := range plans {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		if pl.pass == nil || len(lr.uncertain[pl.src]) != 0 {
 			continue
 		}

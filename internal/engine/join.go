@@ -170,6 +170,9 @@ func (a *Arena) Join(res, l, r, onL, onR string) (*Relation, error) {
 	}
 	ext := func(srcRel *Relation, srcRow int32, attrOffset, dstRow int, pp plannedPair) error {
 		for _, at := range srcRel.uncertain[srcRow] {
+			if err := a.tick(); err != nil {
+				return err
+			}
 			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: at}
 			comp := a.compFor(srcF)
 			col := comp.Pos(srcF)
@@ -220,6 +223,9 @@ func (a *Arena) fieldValues(f FieldID) []int32 {
 	return compFieldValues(c, f)
 }
 
+// compFieldValues collects the distinct present values of field f.
+//
+//maybms:unguarded bounded single-component probe; the planning loops that call it tick per candidate
 func compFieldValues(c *Component, f FieldID) []int32 {
 	col := c.Pos(f)
 	seen := make(map[int32]bool)
@@ -235,6 +241,8 @@ func compFieldValues(c *Component, f FieldID) []int32 {
 
 // fieldCanTake reports whether an uncertain field can take value v
 // (read-only, no adoption).
+//
+//maybms:unguarded bounded single-component probe; the planning loops that call it tick per candidate
 func (a *Arena) fieldCanTake(f FieldID, v int32) bool {
 	c := a.compOf(f)
 	if c == nil {
@@ -254,6 +262,8 @@ func (a *Arena) fieldCanTake(f FieldID, v int32) bool {
 // (joint rows); otherwise the value sets are intersected. Reads through
 // compOf — adoption remaps every field of a component at once, so pointer
 // equality between the resolved components stays exact.
+//
+//maybms:unguarded bounded single-component probe; the planning loops that call it tick per candidate
 func (a *Arena) fieldsIntersect(f, g FieldID) bool {
 	cf, cg := a.compOf(f), a.compOf(g)
 	if cf == nil || cg == nil {

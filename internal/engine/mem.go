@@ -18,6 +18,8 @@ const mapEntryOverhead = 48
 // state: result relations, adopted and composed components, and the
 // field-index overlays. Snapshot data shared with the store is not charged —
 // it exists once regardless of how many sessions read it.
+//
+//maybms:unguarded runs inside Guard.Check's own memory hook; ticking here would recurse
 func (a *Arena) MemUsage() int64 {
 	if a == nil {
 		return 0

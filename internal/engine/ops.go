@@ -262,6 +262,9 @@ func (a *Arena) Project(res, src string, attrs ...string) (*Relation, error) {
 		planOf[plans[i].src] = &plans[i]
 	}
 	for _, pr := range props {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		comp := a.compFor(pr.dropped[0])
 		pass := make([]bool, len(comp.Rows))
 		for w := range comp.Rows {
@@ -286,6 +289,9 @@ func (a *Arena) Project(res, src string, attrs ...string) (*Relation, error) {
 	// need a presence carrier: the first kept attribute becomes a
 	// placeholder with a constant value, absent where the tuple is absent.
 	for _, pr := range props {
+		if err := a.tick(); err != nil {
+			return nil, err
+		}
 		if len(pr.kept) > 0 {
 			continue
 		}
@@ -318,6 +324,9 @@ func (a *Arena) fieldHasAbsence(f FieldID) bool {
 	return compFieldHasAbsence(c, f)
 }
 
+// compFieldHasAbsence reports whether f is absent in some local world.
+//
+//maybms:unguarded bounded single-component probe; the planning loops that call it tick per candidate
 func compFieldHasAbsence(c *Component, f FieldID) bool {
 	col := c.Pos(f)
 	for _, r := range c.Rows {

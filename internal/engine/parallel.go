@@ -96,7 +96,7 @@ func possibleMassesParallel(v catView, rel string, workers int) ([]TupleMasses, 
 			return nil, err
 		}
 	}
-	return MergeMasses(parts), nil
+	return MergeMasses(guard, parts)
 }
 
 // MergeMasses merges per-part pre-fold confidence tables — each produced by
@@ -105,7 +105,7 @@ func possibleMassesParallel(v catView, rel string, workers int) ([]TupleMasses, 
 // their mass lists and OR their certain flags. The merged mass multiset per
 // tuple equals the unsharded one, so FoldMasses yields byte-identical
 // confidences.
-func MergeMasses(parts [][]TupleMasses) []TupleMasses {
+func MergeMasses(g *Guard, parts [][]TupleMasses) ([]TupleMasses, error) {
 	nonEmpty := 0
 	for _, p := range parts {
 		if len(p) > 0 {
@@ -115,16 +115,19 @@ func MergeMasses(parts [][]TupleMasses) []TupleMasses {
 	if nonEmpty <= 1 {
 		for _, p := range parts {
 			if len(p) > 0 {
-				return p
+				return p, nil
 			}
 		}
-		return nil
+		return nil, nil
 	}
 	idx := make(map[string]int)
 	var out []TupleMasses
 	var key []byte
 	for _, part := range parts {
 		for _, tm := range part {
+			if err := g.Tick(); err != nil {
+				return nil, err
+			}
 			key = AppendTupleKey(key[:0], tm.Tuple)
 			i, ok := idx[string(key)]
 			if !ok {
@@ -137,12 +140,13 @@ func MergeMasses(parts [][]TupleMasses) []TupleMasses {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return CompareTuples(out[i].Tuple, out[j].Tuple) < 0 })
-	return out
+	return out, nil
 }
 
 // FoldMassTable folds a merged pre-fold table into the final confidence
-// table (certain tuples are exactly 1).
-func FoldMassTable(tms []TupleMasses) []TupleConf { return foldAll(tms) }
+// table (certain tuples are exactly 1), ticking g per tuple (nil is a
+// no-op guard).
+func FoldMassTable(g *Guard, tms []TupleMasses) ([]TupleConf, error) { return foldAll(g, tms) }
 
 // PossiblePParallel computes the confidence table of rel with the group
 // sweep striped over a pool of workers (0 = DefaultConfWorkers). The result
@@ -152,7 +156,7 @@ func (a *Arena) PossiblePParallel(rel string, workers int) ([]TupleConf, error) 
 	if err != nil {
 		return nil, err
 	}
-	return foldAll(tms), nil
+	return foldAll(a.guard, tms)
 }
 
 // PossiblePParallel computes the confidence table of rel on the snapshot
@@ -162,5 +166,5 @@ func (sn *Snapshot) PossiblePParallel(rel string, workers int) ([]TupleConf, err
 	if err != nil {
 		return nil, err
 	}
-	return foldAll(tms), nil
+	return foldAll(guardOf(sn), tms)
 }

@@ -48,7 +48,11 @@ type StoreState struct {
 
 // ExportState flattens the snapshot into a StoreState. The returned state
 // shares the snapshot's column and row storage (read-only); it stays valid
-// as long as the snapshot does.
+// as long as the snapshot does. Everything a snapshot file contains is
+// derived from this state, so its layout must be a pure function of the
+// store's logical content — byte-identical re-saves depend on it.
+//
+//maybms:deterministic snapshot bytes and shard fingerprints are derived from this state
 func (sn *Snapshot) ExportState() *StoreState {
 	st := &StoreState{Rels: make([]*RelState, len(sn.rels))}
 	for i, r := range sn.rels {
@@ -192,6 +196,8 @@ func ImportState(st *StoreState) (*Store, error) {
 // relation). The store takes ownership of the state's slices. All local
 // invariants are checked before anything is registered, so a failed install
 // leaves the store untouched.
+//
+//maybms:unguarded recovery/ingest-path validation under the store lock; no query guard exists yet
 func (s *Store) InstallRelation(rs *RelState, comps []*CompState) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

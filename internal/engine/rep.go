@@ -55,6 +55,7 @@ func (a *Arena) ToWSDOf(names ...string) (*core.WSD, error) {
 	return wsdOf(a, names...)
 }
 
+//maybms:unguarded bridge to the reference WSD representation; testing and EXPLAIN only, never a query answer path
 func wsdOf(v catView, names ...string) (*core.WSD, error) {
 	bridgeConversions.Add(1)
 	include := make(map[int32]bool, len(names))
@@ -182,6 +183,8 @@ func (a *Arena) RepRelation(rel string, maxWorlds int) (*worlds.WorldSet, error)
 
 // Validate checks store invariants: field/component index agreement,
 // probability sums, bitmap width, and placeholder bookkeeping.
+//
+//maybms:unguarded debug invariant check, not on any query path
 func (s *Store) Validate(eps float64) error {
 	for cid, c := range s.comps {
 		if c.ID != cid {

@@ -130,6 +130,8 @@ func (sn *Snapshot) Stats(rel string) Stats { return statsOf(sn, rel) }
 func (sn *Snapshot) TotalPlaceholders(rel string) int { return totalPlaceholders(sn, rel) }
 
 // cloneComponent deep-copies one component (fields, rows, index).
+//
+//maybms:unguarded single bounded copy (MaxCompRows worlds at most), charged to the ticking operator that triggers the adoption
 func cloneComponent(c *Component) *Component {
 	nc := &Component{
 		ID:     c.ID,

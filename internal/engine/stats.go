@@ -47,6 +47,9 @@ func (s *Store) eachComp(fn func(*Component)) {
 // Stats computes the representation statistics of one relation.
 func (s *Store) Stats(rel string) Stats { return statsOf(s, rel) }
 
+// statsOf computes the statistics with one bounded pass per uncertain field.
+//
+//maybms:unguarded planner/EXPLAIN statistics probe, not a query answer path
 func statsOf(v catView, rel string) Stats {
 	r := v.Rel(rel)
 	if r == nil {

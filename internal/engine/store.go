@@ -72,6 +72,8 @@ func (c *Component) Size() int { return len(c.Rows) }
 func (c *Component) Arity() int { return len(c.Fields) }
 
 // TotalP sums the local world probabilities.
+//
+//maybms:unguarded O(worlds) scalar sum used by update-path validation and renormalization
 func (c *Component) TotalP() float64 {
 	var s float64
 	for _, r := range c.Rows {
@@ -348,6 +350,10 @@ func (s *Store) mergeComps(fields ...FieldID) (*Component, error) {
 	return merged, nil
 }
 
+// composeComponents builds the product component of a and b (Figure 20's
+// composition): one local world per pair, probabilities multiplied.
+//
+//maybms:unguarded update-path composition under the store lock, fail-fast bounded by MaxCompRows
 func composeComponents(a, b *Component) *Component {
 	fields := append(append([]FieldID(nil), a.Fields...), b.Fields...)
 	m := &Component{Fields: fields, pos: make(map[FieldID]int, len(fields))}
@@ -383,6 +389,8 @@ const MaxCompRows = 1 << 21
 // Figure 20). Composition products shrink dramatically: fields restricted
 // by earlier selections contribute their distinct surviving states rather
 // than their original local-world count.
+//
+//maybms:unguarded update-path normalization of a composition product, bounded by MaxCompRows
 func compressComponent(c *Component) {
 	if len(c.Rows) < 2 {
 		return
@@ -420,6 +428,8 @@ func appendFieldKey(buf []byte, v int32, absent bool) []byte {
 
 // addField appends a new field column to component c with the given values
 // and absence bits (one entry per component row).
+//
+//maybms:unguarded update-path mutation under the store lock; queries run on snapshots and arenas
 func (s *Store) addField(c *Component, f FieldID, vals []int32, absent []bool) error {
 	if len(c.Fields) >= MaxCompFields {
 		return fmt.Errorf("engine: component %d is full", c.ID)
@@ -443,6 +453,8 @@ func (s *Store) addField(c *Component, f FieldID, vals []int32, absent []bool) e
 // Clone deep-copies the store: templates, components and indexes. Used by
 // benchmarks to re-run destructive operations (chase) from one prepared
 // state, and generally to branch a world-set.
+//
+//maybms:unguarded deep copy on the update path (test fixtures, import); no query guard exists
 func (s *Store) Clone() *Store {
 	c := &Store{
 		rels:       make([]*Relation, len(s.rels)),
@@ -537,6 +549,7 @@ func (s *Store) DropRelation(name string) {
 	delete(s.relID, name)
 }
 
+//maybms:unguarded DDL-path column removal under the store lock
 func dropFieldFromComp(c *Component, f FieldID) {
 	i, ok := c.pos[f]
 	if !ok {
@@ -563,6 +576,8 @@ func dropFieldFromComp(c *Component, f FieldID) {
 
 // renormalize rescales a component's probabilities to sum to 1; it returns
 // false if the total mass is zero.
+//
+//maybms:unguarded update-path rescale, one bounded pass over a component
 func renormalize(c *Component) bool {
 	total := c.TotalP()
 	if total <= 0 || math.IsNaN(total) {

@@ -81,7 +81,11 @@ func tupleLevelView(v catView, rel string) (*tupleView, error) {
 				return nil, fmt.Errorf("engine: field %v has no component", f)
 			}
 			if _, ok := restricted[c]; !ok {
-				restricted[c] = restrictToRel(c, r.id)
+				rc, err := restrictToRel(guard, c, r.id)
+				if err != nil {
+					return nil, err
+				}
+				restricted[c] = rc
 			}
 		}
 	}
@@ -171,8 +175,9 @@ func tupleLevelView(v catView, rel string) (*tupleView, error) {
 // restrictToRel copies component c keeping only the fields of relation rel,
 // merging local worlds that become indistinguishable and summing their
 // probabilities — the engine-native marginalization the WSD bridge used to
-// perform through relation.Value maps.
-func restrictToRel(c *Component, rel int32) *Component {
+// perform through relation.Value maps. It ticks g per local world: the
+// component may hold up to MaxCompRows of them (nil guard ticks for free).
+func restrictToRel(g *Guard, c *Component, rel int32) (*Component, error) {
 	var keep []int
 	for i, f := range c.Fields {
 		if f.Rel == rel {
@@ -187,6 +192,9 @@ func restrictToRel(c *Component, rel int32) *Component {
 	seen := make(map[string]int, len(c.Rows))
 	key := make([]byte, 0, 4*len(keep))
 	for _, row := range c.Rows {
+		if err := g.Tick(); err != nil {
+			return nil, err
+		}
 		key = key[:0]
 		for _, col := range keep {
 			key = appendFieldKey(key, row.Vals[col], row.IsAbsent(col))
@@ -206,7 +214,7 @@ func restrictToRel(c *Component, rel int32) *Component {
 		seen[string(key)] = len(rc.Rows)
 		rc.Rows = append(rc.Rows, CompRow{Vals: vals, Absent: absent, P: row.P})
 	}
-	return rc
+	return rc, nil
 }
 
 // lessFieldID orders fields (relation, row, attribute)-lexicographically; it

@@ -35,6 +35,9 @@ func (a *Arena) Union(res, l, r string) (*Relation, error) {
 	ext := func(src *Relation, offset int) error {
 		for row, attrs := range src.uncertain {
 			for _, at := range attrs {
+				if err := a.tick(); err != nil {
+					return err
+				}
 				srcF := FieldID{Rel: src.id, Row: row, Attr: at}
 				comp := a.compFor(srcF)
 				col := comp.Pos(srcF)
@@ -110,6 +113,9 @@ func (a *Arena) Product(res, l, r string) (*Relation, error) {
 	}
 	ext := func(srcRel *Relation, srcRow int32, attrOffset uint16, dstRow int) error {
 		for _, at := range srcRel.uncertain[srcRow] {
+			if err := a.tick(); err != nil {
+				return err
+			}
 			srcF := FieldID{Rel: srcRel.id, Row: srcRow, Attr: at}
 			comp := a.compFor(srcF)
 			col := comp.Pos(srcF)

@@ -216,7 +216,9 @@ func (s *Store) PossibleMasses(rel string) ([]engine.TupleMasses, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.MergeMasses(parts), nil
+	// The store-level API carries no request context, so the merge runs
+	// unguarded (nil guard); the serving layer uses the ctx-aware sql path.
+	return engine.MergeMasses(nil, parts)
 }
 
 // PossibleP computes the Figure 19 confidence table of rel morsel-parallel
@@ -226,7 +228,7 @@ func (s *Store) PossibleP(rel string) ([]engine.TupleConf, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.FoldMassTable(tms), nil
+	return engine.FoldMassTable(nil, tms)
 }
 
 // Info describes one shard's slice of a relation for EXPLAIN.
@@ -326,6 +328,8 @@ func (s *Store) Fingerprints() []uint32 {
 }
 
 // fingerprintState hashes a flat store state deterministically.
+//
+//maybms:unguarded boot-time integrity fingerprint; runs before any query guard exists
 func fingerprintState(st *engine.StoreState) uint32 {
 	h := crc32.NewIEEE()
 	var buf [8]byte

@@ -17,6 +17,8 @@ import (
 // union scripts, and the recursive-PL/SQL notes for π, σ(AθB) and
 // non-atomic conditions. The result relation is named P. The catalog may be
 // a Store or a Snapshot (the session API explains against snapshots).
+//
+//maybms:deterministic EXPLAIN text is golden-tested; map order must not leak into it
 func Explain(cat Catalog, input string) (string, error) {
 	st, err := Parse(input)
 	if err != nil {
@@ -28,6 +30,8 @@ func Explain(cat Catalog, input string) (string, error) {
 // ExplainStmt renders the Section 5 rewriting of a parsed statement. A
 // parameterized statement explains fine — the plan shape never depends on a
 // parameter — with the placeholders rendered as 0 and a header note.
+//
+//maybms:deterministic EXPLAIN text is golden-tested; map order must not leak into it
 func ExplainStmt(cat Catalog, st *Stmt) (string, error) {
 	tpl, err := CompileEngine(st, cat)
 	if err != nil {

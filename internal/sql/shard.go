@@ -255,7 +255,17 @@ func runEngineSharded(ctx context.Context, sh *shard.Store, tpl *EnginePlan, arg
 		return nil, err
 	}
 	out := &Result{Mode: tpl.Mode, Attrs: attrs}
-	native := engine.FoldMassTable(engine.MergeMasses(parts))
+	// The merge and fold run on the coordinator after the shard arenas are
+	// gone; give them their own guard so a canceled request dies here too.
+	mg := newExecGuard(ctx)
+	merged, err := engine.MergeMasses(mg, parts)
+	if err != nil {
+		return nil, err
+	}
+	native, err := engine.FoldMassTable(mg, merged)
+	if err != nil {
+		return nil, err
+	}
 	tcs := make([]confidence.TupleConf, 0, len(native))
 	for _, tc := range native {
 		if tpl.Mode == ModeCertain && tc.Conf < 1-certainEps {

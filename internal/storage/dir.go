@@ -256,7 +256,7 @@ func (d *Dir) Checkpoint(src Snapshotable) error {
 func syncDir(fsys FS, path string) error {
 	f, err := fsys.Open(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("storage: opening directory for fsync: %w", err)
 	}
 	err = f.Sync()
 	if cerr := f.Close(); err == nil {

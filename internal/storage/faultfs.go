@@ -103,6 +103,10 @@ func (f *FaultFS) trip(op string) (faultRule, bool) {
 	return r, true
 }
 
+// OpenFile opens through the base FS, wrapping the handle so per-file
+// operations trip the fault rules.
+//
+//maybms:raw-error transparent shim: base FS errors must pass through unchanged
 func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	if r, hit := f.trip(OpCreate); hit {
 		return nil, r.err
@@ -114,6 +118,9 @@ func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error
 	return &faultFile{File: file, fs: f}, nil
 }
 
+// Open opens through the base FS, wrapping the handle.
+//
+//maybms:raw-error transparent shim: base FS errors must pass through unchanged
 func (f *FaultFS) Open(name string) (File, error) {
 	file, err := f.base.Open(name)
 	if err != nil {
@@ -122,6 +129,9 @@ func (f *FaultFS) Open(name string) (File, error) {
 	return &faultFile{File: file, fs: f}, nil
 }
 
+// CreateTemp creates through the base FS, wrapping the handle.
+//
+//maybms:raw-error transparent shim: base FS errors must pass through unchanged
 func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
 	if r, hit := f.trip(OpCreate); hit {
 		return nil, r.err
@@ -165,6 +175,7 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 			if keep > len(p) {
 				keep = len(p)
 			}
+			//maybms:raw-error deliberate torn write: the injected r.err supersedes the partial flush's own
 			n, _ = ff.File.Write(p[:keep])
 		}
 		return n, r.err

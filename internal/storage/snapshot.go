@@ -82,14 +82,14 @@ func saveStateWorkers(st *engine.StoreState, w io.Writer, workers int) error {
 	jobs := sectionJobs(st)
 	// Header.
 	if _, err := bw.WriteString(snapMagic); err != nil {
-		return err
+		return fmt.Errorf("storage: writing snapshot magic: %w", err)
 	}
 	var hdr enc
 	hdr.u32(snapVersion)
 	hdr.u32(uint32(len(jobs)))
 	hdr.u32(0)
 	if _, err := bw.Write(hdr.b); err != nil {
-		return err
+		return fmt.Errorf("storage: writing snapshot header: %w", err)
 	}
 	var crcs enc
 	write := func(kind uint32, payload []byte) error {
@@ -97,17 +97,19 @@ func saveStateWorkers(st *engine.StoreState, w io.Writer, workers int) error {
 		sh.u32(kind)
 		sh.u64(uint64(len(payload)))
 		if _, err := bw.Write(sh.b); err != nil {
-			return err
+			return fmt.Errorf("storage: writing section header: %w", err)
 		}
 		if _, err := bw.Write(payload); err != nil {
-			return err
+			return fmt.Errorf("storage: writing section payload: %w", err)
 		}
 		crc := crc32.ChecksumIEEE(payload)
 		crcs.u32(crc)
 		var tail enc
 		tail.u32(crc)
-		_, err := bw.Write(tail.b)
-		return err
+		if _, err := bw.Write(tail.b); err != nil {
+			return fmt.Errorf("storage: writing section checksum: %w", err)
+		}
+		return nil
 	}
 	if workers <= 1 || len(jobs) < 8 {
 		var e enc
@@ -158,14 +160,17 @@ func saveStateWorkers(st *engine.StoreState, w io.Writer, workers int) error {
 	}
 	// Footer: seals the section list against boundary truncation.
 	if _, err := bw.WriteString(snapFooterMagic); err != nil {
-		return err
+		return fmt.Errorf("storage: writing snapshot footer: %w", err)
 	}
 	var foot enc
 	foot.u32(crc32.ChecksumIEEE(crcs.b))
 	if _, err := bw.Write(foot.b); err != nil {
-		return err
+		return fmt.Errorf("storage: writing snapshot footer checksum: %w", err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("storage: flushing snapshot: %w", err)
+	}
+	return nil
 }
 
 // secJob is one section of a snapshot: its kind and a payload encoder. Jobs

@@ -141,7 +141,7 @@ func OpenWAL(path string) (*WAL, error) {
 func OpenWALFS(fsys FS, path string) (*WAL, error) {
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: opening WAL %s: %w", path, err)
 	}
 	w, err := recoverWAL(f)
 	if err != nil {
@@ -158,7 +158,7 @@ func recoverWAL(f File) (*WAL, error) {
 	hdr := walHeader()
 	info, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: stat of WAL: %w", err)
 	}
 	size := info.Size()
 	if size < walHeaderLen {
@@ -175,13 +175,13 @@ func recoverWAL(f File) (*WAL, error) {
 			return nil, fmt.Errorf("%w: %q is not a WAL header", ErrBadMagic, got)
 		}
 		if err := f.Truncate(0); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: reinitializing WAL header: %w", err)
 		}
 		if _, err := f.WriteAt(hdr, 0); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: writing WAL header: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: syncing WAL header: %w", err)
 		}
 		size = walHeaderLen
 	} else {
@@ -199,14 +199,14 @@ func recoverWAL(f File) (*WAL, error) {
 	end := scanWALEnd(f, size)
 	if end < size {
 		if err := f.Truncate(end); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: trimming torn WAL tail: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("storage: syncing trimmed WAL: %w", err)
 		}
 	}
 	if _, err := f.Seek(end, io.SeekStart); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: seeking to WAL end: %w", err)
 	}
 	return &WAL{f: f, off: end, sync: true}, nil
 }
